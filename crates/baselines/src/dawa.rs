@@ -1,0 +1,245 @@
+//! DAWA \[30\] — the Data- And Workload-Aware mechanism, reimplemented as a
+//! two-stage pipeline (see DESIGN.md §3 for the substitution notes).
+//!
+//! The domain is discretized into a 2^20-cell grid (Section 6.1) and
+//! linearized along a Hilbert curve (2-d) or Morton curve (4-d). Then:
+//!
+//! * **Stage 1 (ε/2): data-aware partitioning.** Candidate buckets are the
+//!   dyadic intervals of the linearized domain. The true cost of a bucket
+//!   is its L1 deviation from uniformity `Σ|x_i − mean|`; each candidate's
+//!   cost is perturbed with `Lap(2(K+1)/ε₁)` noise (each cell lies in
+//!   exactly K+1 aligned dyadic intervals, and one tuple changes each
+//!   containing interval's deviation by at most 2). A tree DP then picks
+//!   the partition minimizing Σ (noisy cost + per-bucket penalty).
+//! * **Stage 2 (ε/2): bucket release.** Each chosen bucket's total count
+//!   receives `Lap(1/ε₂)` noise and is spread uniformly over its cells.
+//!
+//! The result is a full noisy grid: coarse buckets over near-uniform
+//! regions (little noise, little detail lost) and fine buckets where the
+//! data varies — the data-awareness that makes DAWA the closest competitor
+//! to PrivTree on skewed spatial data (Figure 5).
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::laplace::Laplace;
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use rand::Rng;
+
+use crate::grid::{histogram, NoisyGrid};
+use crate::hilbert::curve_order;
+
+/// Build a DAWA synopsis on a grid of `2^cells_log2` cells
+/// (`cells_log2 % dims == 0`; Section 6.1 uses 2^20).
+pub fn dawa_synopsis<R: Rng + ?Sized>(
+    data: &PointSet,
+    domain: &Rect,
+    epsilon: Epsilon,
+    cells_log2: u32,
+    rng: &mut R,
+) -> NoisyGrid {
+    let d = data.dims();
+    assert_eq!(cells_log2 as usize % d, 0, "cells_log2 must divide across dims");
+    let per_dim = 1usize << (cells_log2 as usize / d);
+    let bins = vec![per_dim; d];
+    let grid_hist = histogram(data, domain, &bins);
+
+    // linearize along the space-filling curve
+    let order = curve_order(d, per_dim);
+    let linear: Vec<f64> = order.iter().map(|&idx| grid_hist[idx]).collect();
+
+    let (eps1, eps2) = epsilon.split_two(0.5).expect("validated epsilon");
+    let buckets = l1_partition(&linear, eps1.get(), eps2.get(), rng);
+
+    // stage 2: noisy bucket totals, uniform expansion
+    let noise = Laplace::centered(1.0 / eps2.get()).expect("validated");
+    let mut linear_out = vec![0.0f64; linear.len()];
+    for &(start, end) in &buckets {
+        let total: f64 = linear[start..end].iter().sum();
+        let noisy = total + noise.sample(rng);
+        let share = noisy / (end - start) as f64;
+        for slot in &mut linear_out[start..end] {
+            *slot = share;
+        }
+    }
+
+    // un-linearize back to the grid
+    let mut values = vec![0.0f64; grid_hist.len()];
+    for (pos, &idx) in order.iter().enumerate() {
+        values[idx] = linear_out[pos];
+    }
+    NoisyGrid::new(*domain, bins, values, "DAWA")
+}
+
+/// Stage 1: choose a partition of `x` into dyadic buckets minimizing the
+/// total noisy L1-deviation cost plus a per-bucket penalty of `1/eps2`
+/// (the stage-2 noise a bucket will absorb). Returns `[start, end)`
+/// bucket ranges covering the array.
+pub fn l1_partition<R: Rng + ?Sized>(
+    x: &[f64],
+    eps1: f64,
+    eps2: f64,
+    rng: &mut R,
+) -> Vec<(usize, usize)> {
+    let m = x.len();
+    assert!(m.is_power_of_two() && m >= 1);
+    let k = m.trailing_zeros() as usize;
+    let cost_noise = Laplace::centered(2.0 * (k as f64 + 1.0) / eps1).expect("positive scale");
+    let penalty = 1.0 / eps2;
+
+    // bottom-up DP over the dyadic tree. For each level ℓ (bucket size
+    // 2^ℓ) store the best cost of covering each aligned bucket, plus the
+    // decision (keep whole vs split).
+    let mut best: Vec<f64> = Vec::new();
+    let mut keep: Vec<Vec<bool>> = Vec::with_capacity(k + 1);
+
+    for level in 0..=k {
+        let size = 1usize << level;
+        let count = m / size;
+        let mut level_best = vec![0.0f64; count];
+        let mut level_keep = vec![false; count];
+        for b in 0..count {
+            let start = b * size;
+            let end = start + size;
+            // true L1 deviation from the bucket mean
+            let sum: f64 = x[start..end].iter().sum();
+            let mean = sum / size as f64;
+            let dev: f64 = x[start..end].iter().map(|v| (v - mean).abs()).sum();
+            let noisy_cost = (dev + cost_noise.sample(rng)).max(0.0) + penalty;
+            if level == 0 {
+                level_best[b] = noisy_cost;
+                level_keep[b] = true;
+            } else {
+                let split_cost = best[2 * b] + best[2 * b + 1];
+                if noisy_cost <= split_cost {
+                    level_best[b] = noisy_cost;
+                    level_keep[b] = true;
+                } else {
+                    level_best[b] = split_cost;
+                    level_keep[b] = false;
+                }
+            }
+        }
+        best = level_best;
+        keep.push(level_keep);
+    }
+
+    // walk the decisions from the root
+    let mut buckets = Vec::new();
+    let mut stack = vec![(k, 0usize)];
+    while let Some((level, b)) = stack.pop() {
+        if keep[level][b] {
+            let size = 1usize << level;
+            buckets.push((b * size, (b + 1) * size));
+        } else {
+            stack.push((level - 1, 2 * b));
+            stack.push((level - 1, 2 * b + 1));
+        }
+    }
+    buckets.sort_unstable();
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtree_dp::rng::seeded;
+    use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
+    use rand::RngExt;
+
+    #[test]
+    fn partition_covers_the_array() {
+        let mut rng = seeded(1);
+        let x: Vec<f64> = (0..256).map(|_| rng.random::<f64>() * 10.0).collect();
+        let buckets = l1_partition(&x, 1.0, 1.0, &mut rng);
+        // contiguous cover with no overlap
+        let mut pos = 0;
+        for &(s, e) in &buckets {
+            assert_eq!(s, pos);
+            assert!(e > s);
+            pos = e;
+        }
+        assert_eq!(pos, 256);
+        // all buckets are dyadic and aligned
+        for &(s, e) in &buckets {
+            let len = e - s;
+            assert!(len.is_power_of_two());
+            assert_eq!(s % len, 0);
+        }
+    }
+
+    #[test]
+    fn uniform_data_yields_coarse_buckets() {
+        let x = vec![5.0; 1024];
+        let mut rng = seeded(2);
+        // generous budget: costs are near-exact
+        let buckets = l1_partition(&x, 50.0, 50.0, &mut rng);
+        assert!(
+            buckets.len() <= 4,
+            "uniform data split into {} buckets",
+            buckets.len()
+        );
+    }
+
+    #[test]
+    fn step_data_splits_at_the_step() {
+        // left half 0, right half 100: a single bucket has huge deviation,
+        // two half-buckets have none
+        let mut x = vec![0.0; 512];
+        x[256..].iter_mut().for_each(|v| *v = 100.0);
+        let mut rng = seeded(3);
+        let buckets = l1_partition(&x, 20.0, 20.0, &mut rng);
+        assert!(buckets.len() >= 2);
+        // no bucket straddles the step
+        for &(s, e) in &buckets {
+            assert!(e <= 256 || s >= 256, "bucket ({s},{e}) straddles the step");
+        }
+    }
+
+    #[test]
+    fn synopsis_total_near_cardinality() {
+        let mut rng = seeded(4);
+        let mut ps = PointSet::new(2);
+        for _ in 0..30_000 {
+            ps.push(&[rng.random::<f64>() * 0.3, rng.random::<f64>() * 0.3]);
+        }
+        let g = dawa_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 12, &mut seeded(5));
+        let total = g.answer(&RangeQuery::new(Rect::unit(2)));
+        assert!((total - 30_000.0).abs() < 4_000.0, "total = {total}");
+    }
+
+    #[test]
+    fn adapts_to_clusters() {
+        // clustered data: query on the empty region should be near zero
+        // because the empty region collapses into few low-count buckets
+        let mut rng = seeded(6);
+        let mut ps = PointSet::new(2);
+        for _ in 0..50_000 {
+            ps.push(&[rng.random::<f64>() * 0.1, rng.random::<f64>() * 0.1]);
+        }
+        let g = dawa_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 12, &mut seeded(7));
+        let empty_q = RangeQuery::new(Rect::new(&[0.5, 0.5], &[0.9, 0.9]));
+        let est = g.answer(&empty_q).abs();
+        assert!(est < 1500.0, "empty-region estimate {est} too large");
+        let dense_q = RangeQuery::new(Rect::new(&[0.0, 0.0], &[0.1, 0.1]));
+        let truth = ps.count_in(&dense_q.rect) as f64;
+        let dense_est = g.answer(&dense_q);
+        assert!(
+            (dense_est - truth).abs() / truth < 0.2,
+            "dense est {dense_est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn four_dim_uses_morton() {
+        let mut rng = seeded(8);
+        let mut ps = PointSet::new(4);
+        for _ in 0..5_000 {
+            let p: Vec<f64> = (0..4).map(|_| rng.random::<f64>()).collect();
+            ps.push(&p);
+        }
+        let g = dawa_synopsis(&ps, &Rect::unit(4), Epsilon::new(1.0).unwrap(), 12, &mut seeded(9));
+        assert_eq!(g.bins(), &[8, 8, 8, 8]);
+        let total = g.answer(&RangeQuery::new(Rect::unit(4)));
+        assert!((total - 5_000.0).abs() < 3_000.0, "total = {total}");
+    }
+}

@@ -1,0 +1,411 @@
+//! Hierarchy — the multi-level decomposition of Qardaji et al. \[42\] with
+//! the constrained-inference (mean consistency) post-processing of Hay et
+//! al. \[25\], which Section 3.1 lists among the heuristics used to shore up
+//! Algorithm 1.
+//!
+//! A height-h uniform tree (root plus h−1 measured levels, per-dimension
+//! fanout f, so each node has b = f^d children) releases a noisy count for
+//! every non-root node with per-level budget ε/(h−1). The recommended 2-d
+//! setting is h = 3 and b = 64 (f = 8), i.e. a 64×64 leaf grid; Figure 11
+//! sweeps h while keeping the leaf resolution comparable.
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::mechanism::LaplaceMechanism;
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
+use rand::Rng;
+
+use crate::grid::{histogram, NoisyGrid};
+
+/// A hierarchy of noisy grids: `levels[ℓ]` holds the counts of the grid
+/// with `f^(ℓ+1)` bins per dimension.
+#[derive(Debug, Clone)]
+pub struct HierarchySynopsis {
+    domain: Rect,
+    f: usize,
+    dims: usize,
+    levels: Vec<Vec<f64>>,
+}
+
+/// Per-dimension fanout for a height-`h` hierarchy whose leaf level has
+/// roughly `leaf_per_dim` bins per dimension (the Figure 11 sweep keeps
+/// the leaf resolution while varying the number of intermediate levels).
+pub fn fanout_for_height(height: u32, leaf_per_dim: usize) -> usize {
+    assert!(height >= 2);
+    let f = (leaf_per_dim as f64).powf(1.0 / (height as f64 - 1.0)).round() as usize;
+    f.max(2)
+}
+
+/// Build the raw hierarchy: exact per-level histograms plus `Lap((h−1)/ε)`
+/// noise on every measured cell.
+pub fn build_hierarchy<R: Rng + ?Sized>(
+    data: &PointSet,
+    domain: &Rect,
+    epsilon: Epsilon,
+    height: u32,
+    f: usize,
+    rng: &mut R,
+) -> HierarchySynopsis {
+    assert!(height >= 2, "hierarchy needs at least two levels");
+    assert!(f >= 2);
+    let d = data.dims();
+    let measured_levels = (height - 1) as usize;
+    // each point is counted once per measured level ⇒ sensitivity h−1
+    let mech = LaplaceMechanism::new(epsilon, measured_levels as f64).expect("validated");
+
+    let mut levels = Vec::with_capacity(measured_levels);
+    for l in 0..measured_levels {
+        let per_dim = f.pow(l as u32 + 1);
+        let bins = vec![per_dim; d];
+        let mut values = histogram(data, domain, &bins);
+        for v in &mut values {
+            *v = mech.randomize(*v, rng);
+        }
+        levels.push(values);
+    }
+    HierarchySynopsis {
+        domain: *domain,
+        f,
+        dims: d,
+        levels,
+    }
+}
+
+impl HierarchySynopsis {
+    /// Number of measured levels (h − 1).
+    pub fn measured_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Per-dimension fanout f.
+    pub fn fanout_per_dim(&self) -> usize {
+        self.f
+    }
+
+    fn bins_at(&self, level: usize) -> usize {
+        self.f.pow(level as u32 + 1)
+    }
+
+    fn cell_rect(&self, level: usize, coord: &[usize]) -> Rect {
+        let m = self.bins_at(level);
+        let d = self.dims;
+        let mut lo = vec![0.0; d];
+        let mut hi = vec![0.0; d];
+        for k in 0..d {
+            let w = self.domain.side(k) / m as f64;
+            lo[k] = self.domain.lo()[k] + w * coord[k] as f64;
+            hi[k] = self.domain.lo()[k] + w * (coord[k] + 1) as f64;
+        }
+        Rect::new(&lo, &hi)
+    }
+
+    fn flat(&self, level: usize, coord: &[usize]) -> usize {
+        let m = self.bins_at(level);
+        coord.iter().fold(0usize, |acc, c| acc * m + c)
+    }
+
+    /// Greedy top-down answering over the raw (inconsistent) hierarchy:
+    /// fully covered nodes contribute their own noisy count, partially
+    /// covered leaves use the uniform assumption.
+    pub fn answer_greedy(&self, q: &Rect) -> f64 {
+        let d = self.dims;
+        let mut total = 0.0;
+        // recursion over cells of level 0 downwards
+        let mut stack: Vec<(usize, Vec<usize>)> = Vec::new();
+        let m0 = self.bins_at(0);
+        let mut coord = vec![0usize; d];
+        loop {
+            // push level-0 cells lazily via odometer
+            stack.push((0, coord.clone()));
+            let mut k = d;
+            let mut done = false;
+            loop {
+                if k == 0 {
+                    done = true;
+                    break;
+                }
+                k -= 1;
+                if coord[k] + 1 < m0 {
+                    coord[k] += 1;
+                    for c in coord.iter_mut().skip(k + 1) {
+                        *c = 0;
+                    }
+                    break;
+                }
+            }
+            if done {
+                break;
+            }
+        }
+        while let Some((level, coord)) = stack.pop() {
+            let rect = self.cell_rect(level, &coord);
+            if !rect.intersects(q) {
+                continue;
+            }
+            let value = self.levels[level][self.flat(level, &coord)];
+            if q.contains_rect(&rect) {
+                total += value;
+            } else if level + 1 < self.levels.len() {
+                // expand into the f^d children
+                let mut child = vec![0usize; d];
+                loop {
+                    let cc: Vec<usize> = (0..d).map(|k| coord[k] * self.f + child[k]).collect();
+                    stack.push((level + 1, cc));
+                    let mut k = d;
+                    let mut done = false;
+                    loop {
+                        if k == 0 {
+                            done = true;
+                            break;
+                        }
+                        k -= 1;
+                        if child[k] + 1 < self.f {
+                            child[k] += 1;
+                            for c in child.iter_mut().skip(k + 1) {
+                                *c = 0;
+                            }
+                            break;
+                        }
+                    }
+                    if done {
+                        break;
+                    }
+                }
+            } else {
+                total += value * rect.overlap_fraction(q);
+            }
+        }
+        total
+    }
+
+    /// Hay et al. \[25\] mean consistency: an upward weighted-average pass
+    /// followed by a downward redistribution pass. Afterwards every
+    /// internal count equals the sum of its children, so the leaf level
+    /// alone carries the full information; it is returned as a fast
+    /// SAT-backed grid.
+    pub fn into_consistent_grid(mut self) -> NoisyGrid {
+        let d = self.dims;
+        let b = self.f.pow(d as u32); // children per node
+        let l_count = self.levels.len();
+
+        // upward pass: z-values replace levels in place, leaves first
+        for level in (0..l_count).rev() {
+            let k_below = (l_count - 1 - level) as i32; // measured levels below
+            if k_below == 0 {
+                continue; // leaves: z = y
+            }
+            let bf = (b as f64).powi(k_below + 1);
+            let bf_minus = (b as f64).powi(k_below);
+            let w_self = (bf - bf_minus) / (bf - 1.0);
+            let m = self.bins_at(level);
+            let total_cells = m.pow(d as u32);
+            for flat_idx in 0..total_cells {
+                let coord = self.unflatten(level, flat_idx);
+                let child_sum = self.child_sum(level, &coord);
+                let y = self.levels[level][flat_idx];
+                self.levels[level][flat_idx] = w_self * y + (1.0 - w_self) * child_sum;
+            }
+        }
+
+        // downward pass: adjust children so they sum to their parent
+        for level in 0..l_count.saturating_sub(1) {
+            let m = self.bins_at(level);
+            let total_cells = m.pow(d as u32);
+            for flat_idx in 0..total_cells {
+                let coord = self.unflatten(level, flat_idx);
+                let parent_u = self.levels[level][flat_idx];
+                let child_sum = self.child_sum(level, &coord);
+                let adjust = (parent_u - child_sum) / b as f64;
+                self.for_each_child(level, &coord, |levels, child_flat| {
+                    levels[level + 1][child_flat] += adjust;
+                });
+            }
+        }
+
+        let leaf_level = l_count - 1;
+        let per_dim = self.bins_at(leaf_level);
+        NoisyGrid::new(
+            self.domain,
+            vec![per_dim; d],
+            self.levels.pop().expect("at least one level"),
+            "Hierarchy",
+        )
+    }
+
+    fn unflatten(&self, level: usize, mut flat: usize) -> Vec<usize> {
+        let m = self.bins_at(level);
+        let d = self.dims;
+        let mut coord = vec![0usize; d];
+        for k in (0..d).rev() {
+            coord[k] = flat % m;
+            flat /= m;
+        }
+        coord
+    }
+
+    fn child_sum(&self, level: usize, coord: &[usize]) -> f64 {
+        let mut sum = 0.0;
+        let d = self.dims;
+        let mut child = vec![0usize; d];
+        loop {
+            let cc: Vec<usize> = (0..d).map(|k| coord[k] * self.f + child[k]).collect();
+            sum += self.levels[level + 1][self.flat(level + 1, &cc)];
+            if !Self::odometer(&mut child, self.f) {
+                break;
+            }
+        }
+        sum
+    }
+
+    fn for_each_child(
+        &mut self,
+        level: usize,
+        coord: &[usize],
+        mut f: impl FnMut(&mut Vec<Vec<f64>>, usize),
+    ) {
+        let d = self.dims;
+        let mut child = vec![0usize; d];
+        loop {
+            let cc: Vec<usize> = (0..d).map(|k| coord[k] * self.f + child[k]).collect();
+            let flat = self.flat(level + 1, &cc);
+            f(&mut self.levels, flat);
+            if !Self::odometer(&mut child, self.f) {
+                break;
+            }
+        }
+    }
+
+    fn odometer(coord: &mut [usize], base: usize) -> bool {
+        for k in (0..coord.len()).rev() {
+            if coord[k] + 1 < base {
+                coord[k] += 1;
+                for c in coord.iter_mut().skip(k + 1) {
+                    *c = 0;
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl RangeCountSynopsis for HierarchySynopsis {
+    fn answer(&self, q: &RangeQuery) -> f64 {
+        self.answer_greedy(&q.rect)
+    }
+
+    fn label(&self) -> &'static str {
+        "Hierarchy(raw)"
+    }
+}
+
+/// The standard Hierarchy pipeline: build, apply mean consistency, return
+/// the SAT-backed leaf grid.
+pub fn hierarchy_synopsis<R: Rng + ?Sized>(
+    data: &PointSet,
+    domain: &Rect,
+    epsilon: Epsilon,
+    height: u32,
+    leaf_per_dim: usize,
+    rng: &mut R,
+) -> NoisyGrid {
+    let f = fanout_for_height(height, leaf_per_dim);
+    build_hierarchy(data, domain, epsilon, height, f, rng).into_consistent_grid()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtree_dp::rng::seeded;
+    use rand::RngExt;
+
+    fn uniform_points(n: usize, seed: u64) -> PointSet {
+        let mut rng = seeded(seed);
+        let mut ps = PointSet::new(2);
+        for _ in 0..n {
+            ps.push(&[rng.random::<f64>(), rng.random::<f64>()]);
+        }
+        ps
+    }
+
+    #[test]
+    fn fanout_heuristic() {
+        assert_eq!(fanout_for_height(3, 64), 8); // 8² levels → 64 leaf bins
+        assert_eq!(fanout_for_height(4, 64), 4); // 4³ = 64
+        assert_eq!(fanout_for_height(7, 64), 2); // 2⁶ = 64
+    }
+
+    #[test]
+    fn level_shapes() {
+        let ps = uniform_points(5000, 1);
+        let h = build_hierarchy(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 3, 8, &mut seeded(2));
+        assert_eq!(h.measured_levels(), 2);
+        assert_eq!(h.levels[0].len(), 64); // 8×8
+        assert_eq!(h.levels[1].len(), 4096); // 64×64
+    }
+
+    #[test]
+    fn consistency_makes_parents_equal_child_sums() {
+        let ps = uniform_points(20_000, 3);
+        let mut h =
+            build_hierarchy(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 3, 8, &mut seeded(4));
+        // run only the passes (clone the result grid to check level 0 too)
+        let before_root_level: Vec<f64> = h.levels[0].clone();
+        let d = 2;
+        let grid = h.clone().into_consistent_grid();
+        let _ = (before_root_level, d);
+        // reconstruct level-0 sums from the leaf grid and compare with a
+        // freshly consistent hierarchy's own level-0 values
+        h = build_hierarchy(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 3, 8, &mut seeded(4));
+        // consistent level-0 values: recompute via the same passes
+        let q = Rect::new(&[0.0, 0.0], &[0.125, 0.125]); // exactly level-0 cell (0,0)
+        let leaf_sum = grid.answer_rect(&q);
+        // the consistent hierarchy must give the same answer through any
+        // level — compare greedy on a consistent copy
+        let consistent_leafsum_again = h.clone().into_consistent_grid().answer_rect(&q);
+        assert!((leaf_sum - consistent_leafsum_again).abs() < 1e-6);
+    }
+
+    #[test]
+    fn consistency_reduces_error_for_large_queries() {
+        let ps = uniform_points(100_000, 5);
+        let e = Epsilon::new(0.2).unwrap();
+        let q = Rect::new(&[0.0, 0.0], &[0.75, 0.75]);
+        let truth = ps.count_in(&q) as f64;
+        let mut raw_err = 0.0;
+        let mut cons_err = 0.0;
+        for rep in 0..10 {
+            let h = build_hierarchy(&ps, &Rect::unit(2), e, 3, 8, &mut seeded(100 + rep));
+            raw_err += (h.answer_greedy(&q) - truth).abs();
+            cons_err += (h.into_consistent_grid().answer_rect(&q) - truth).abs();
+        }
+        // consistency should not make things notably worse (it is the
+        // variance-optimal combination); allow slack for sampling noise
+        assert!(
+            cons_err < raw_err * 1.5,
+            "consistent err {cons_err} vs raw {raw_err}"
+        );
+    }
+
+    #[test]
+    fn greedy_answer_total() {
+        let ps = uniform_points(30_000, 6);
+        let h = build_hierarchy(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 3, 8, &mut seeded(7));
+        let total = h.answer_greedy(&Rect::unit(2));
+        assert!((total - 30_000.0).abs() < 3_000.0, "total = {total}");
+    }
+
+    #[test]
+    fn four_dim_hierarchy_small() {
+        let mut rng = seeded(8);
+        let mut ps = PointSet::new(4);
+        for _ in 0..5000 {
+            let p: Vec<f64> = (0..4).map(|_| rng.random::<f64>()).collect();
+            ps.push(&p);
+        }
+        let g = hierarchy_synopsis(&ps, &Rect::unit(4), Epsilon::new(1.0).unwrap(), 3, 9, &mut seeded(9));
+        let total = g.answer_rect(&Rect::unit(4));
+        assert!((total - 5000.0).abs() < 2_000.0, "total = {total}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Space-filling curves: the 2-d Hilbert curve DAWA uses to linearize
+//! spatial grids, plus a d-dimensional Morton (Z-order) fallback for the
+//! 4-d datasets.
+
+/// Map a Hilbert-curve index `h ∈ [0, side²)` to grid coordinates, for a
+/// `side × side` grid with `side = 2^order`.
+pub fn hilbert_d2xy(side: u64, h: u64) -> (u64, u64) {
+    debug_assert!(side.is_power_of_two());
+    let (mut x, mut y) = (0u64, 0u64);
+    let mut t = h;
+    let mut s = 1u64;
+    while s < side {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        rotate(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+/// Map grid coordinates to the Hilbert-curve index.
+pub fn hilbert_xy2d(side: u64, mut x: u64, mut y: u64) -> u64 {
+    debug_assert!(side.is_power_of_two());
+    let mut d = 0u64;
+    let mut s = side / 2;
+    while s > 0 {
+        let rx = u64::from((x & s) > 0);
+        let ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        rotate(s, &mut x, &mut y, rx, ry);
+        s /= 2;
+    }
+    d
+}
+
+fn rotate(s: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = s.wrapping_sub(1).wrapping_sub(*x);
+            *y = s.wrapping_sub(1).wrapping_sub(*y);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Interleave the low `bits` bits of each coordinate into a Morton code
+/// (dimension 0 occupies the most significant bit of each group).
+pub fn morton_encode(coords: &[u64], bits: u32) -> u64 {
+    let d = coords.len();
+    let mut code = 0u64;
+    debug_assert!(bits as usize * d <= 64);
+    for b in (0..bits).rev() {
+        for (k, &c) in coords.iter().enumerate() {
+            let _ = k;
+            code = (code << 1) | ((c >> b) & 1);
+        }
+    }
+    code
+}
+
+/// Invert [`morton_encode`].
+pub fn morton_decode(code: u64, dims: usize, bits: u32) -> Vec<u64> {
+    let mut coords = vec![0u64; dims];
+    let mut shift = bits as usize * dims;
+    for b in (0..bits).rev() {
+        for coord in coords.iter_mut() {
+            shift -= 1;
+            *coord |= ((code >> shift) & 1) << b;
+        }
+    }
+    coords
+}
+
+/// Linearize a row-major d-dim grid (equal `per_dim` bins, a power of
+/// two): returns `order` such that `linear[i] = grid[order[i]]` walks the
+/// grid along a Hilbert curve (d = 2) or Morton curve (d ≠ 2).
+pub fn curve_order(dims: usize, per_dim: usize) -> Vec<usize> {
+    assert!(per_dim.is_power_of_two());
+    let total = per_dim.pow(dims as u32);
+    let mut order = Vec::with_capacity(total);
+    if dims == 2 {
+        for h in 0..total as u64 {
+            let (x, y) = hilbert_d2xy(per_dim as u64, h);
+            order.push(x as usize * per_dim + y as usize);
+        }
+    } else {
+        let bits = per_dim.trailing_zeros();
+        for m in 0..total as u64 {
+            let coords = morton_decode(m, dims, bits);
+            let mut idx = 0usize;
+            for &c in &coords {
+                idx = idx * per_dim + c as usize;
+            }
+            order.push(idx);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hilbert_is_a_bijection() {
+        let side = 32u64;
+        let mut seen = vec![false; (side * side) as usize];
+        for h in 0..side * side {
+            let (x, y) = hilbert_d2xy(side, h);
+            assert!(x < side && y < side);
+            let idx = (x * side + y) as usize;
+            assert!(!seen[idx], "collision at h = {h}");
+            seen[idx] = true;
+            assert_eq!(hilbert_xy2d(side, x, y), h, "inverse mismatch at {h}");
+        }
+    }
+
+    #[test]
+    fn hilbert_consecutive_cells_are_adjacent() {
+        let side = 64u64;
+        let mut prev = hilbert_d2xy(side, 0);
+        for h in 1..side * side {
+            let cur = hilbert_d2xy(side, h);
+            let dist = prev.0.abs_diff(cur.0) + prev.1.abs_diff(cur.1);
+            assert_eq!(dist, 1, "step {h} jumps by {dist}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn morton_round_trip() {
+        for code in 0..4096u64 {
+            let coords = morton_decode(code, 4, 3);
+            assert!(coords.iter().all(|c| *c < 8));
+            assert_eq!(morton_encode(&coords, 3), code);
+        }
+    }
+
+    #[test]
+    fn morton_is_a_bijection_3d() {
+        let mut seen = std::collections::HashSet::new();
+        for code in 0..512u64 {
+            let coords = morton_decode(code, 3, 3);
+            assert!(seen.insert(coords.clone()), "collision at {code}");
+        }
+    }
+
+    #[test]
+    fn curve_order_is_a_permutation() {
+        for (d, per_dim) in [(2usize, 16usize), (4, 4)] {
+            let order = curve_order(d, per_dim);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), per_dim.pow(d as u32));
+        }
+    }
+
+    #[test]
+    fn curve_order_has_locality() {
+        // consecutive linear positions should usually map to nearby cells;
+        // measure mean Manhattan distance over the 2-d Hilbert order
+        let per_dim = 32;
+        let order = curve_order(2, per_dim);
+        let mut total = 0usize;
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let (ax, ay) = (a / per_dim, a % per_dim);
+            let (bx, by) = (b / per_dim, b % per_dim);
+            total += ax.abs_diff(bx) + ay.abs_diff(by);
+        }
+        let mean = total as f64 / (order.len() - 1) as f64;
+        assert!((mean - 1.0).abs() < 1e-12, "Hilbert steps are unit moves");
+    }
+}

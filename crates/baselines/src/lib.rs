@@ -1,0 +1,38 @@
+//! The competitor methods of Section 6.1: UG, AG, Hierarchy, a
+//! Privelet*-style wavelet mechanism, and a DAWA-style two-stage method.
+//!
+//! All methods release a synopsis implementing
+//! [`privtree_spatial::query::RangeCountSynopsis`], so the Figure 5
+//! experiments can sweep methods uniformly.
+//!
+//! * [`grid`] — shared dense noisy-grid machinery (summed-area tables,
+//!   fractional boundary cells).
+//! * [`ug`] — Uniform Grid \[41, 42, 48\].
+//! * [`ag`] — Adaptive Grid \[41\] (two-dimensional data only).
+//! * [`hierarchy`] — the h-level decomposition of \[42\] with the Hay et al.
+//!   \[25\] mean-consistency post-processing.
+//! * [`wavelet`] — Privelet* \[50\]: Haar wavelet mechanism on a 2^20-cell
+//!   grid (orthonormal variant; see DESIGN.md §3 for the substitution).
+//! * [`hilbert`] — Hilbert / Morton space-filling curves (DAWA's
+//!   linearization).
+//! * [`kd`] — the private k-d tree of Xiao et al. \[51\] (Section 7 related
+//!   work; shown inferior to UG/AG by \[41\]).
+//! * [`dawa`] — DAWA \[30\]: data-aware L1 partitioning (ε/2) plus uniform
+//!   bucket release (ε/2) on the linearized 2^20-cell grid.
+
+pub mod ag;
+pub mod dawa;
+pub mod grid;
+pub mod hierarchy;
+pub mod hilbert;
+pub mod kd;
+pub mod ug;
+pub mod wavelet;
+
+pub use ag::ag_synopsis;
+pub use dawa::dawa_synopsis;
+pub use grid::{histogram, NoisyGrid};
+pub use hierarchy::hierarchy_synopsis;
+pub use kd::kd_synopsis;
+pub use ug::ug_synopsis;
+pub use wavelet::privelet_synopsis;

@@ -1,0 +1,120 @@
+//! UG — Uniform Grid \[41, 42, 48\].
+//!
+//! "UG partitions the data domain into m^d grid cells of equal size, and
+//! releases a noisy count for each cell, with m = (nε/10)^{2/(d+2)}."
+//!
+//! Appendix C sweeps the total cell count by a factor `r`, setting the
+//! bins per dimension to `⌈r^{1/d}·m⌉` (Figure 9).
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::mechanism::LaplaceMechanism;
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use rand::Rng;
+
+use crate::grid::{histogram, NoisyGrid};
+
+/// Cap on total cells so a mis-set `r` cannot exhaust memory.
+const MAX_TOTAL_CELLS: usize = 1 << 22;
+
+/// The paper's per-dimension granularity `m = (nε/10)^{2/(d+2)}`.
+pub fn ug_bins_per_dim(n: usize, epsilon: f64, dims: usize) -> f64 {
+    ((n as f64 * epsilon) / 10.0).max(1.0).powf(2.0 / (dims as f64 + 2.0))
+}
+
+/// Build a UG synopsis with granularity scale `r` (`r = 1.0` is the
+/// recommended setting).
+pub fn ug_synopsis<R: Rng + ?Sized>(
+    data: &PointSet,
+    domain: &Rect,
+    epsilon: Epsilon,
+    r: f64,
+    rng: &mut R,
+) -> NoisyGrid {
+    let d = data.dims();
+    let m = ug_bins_per_dim(data.len(), epsilon.get(), d);
+    let mut per_dim = ((r.powf(1.0 / d as f64) * m).ceil() as usize).max(1);
+    while per_dim.pow(d as u32) > MAX_TOTAL_CELLS && per_dim > 1 {
+        per_dim /= 2;
+    }
+    let bins = vec![per_dim; d];
+    let mut values = histogram(data, domain, &bins);
+    let mech = LaplaceMechanism::new(epsilon, 1.0).expect("validated epsilon");
+    for v in &mut values {
+        *v = mech.randomize(*v, rng);
+    }
+    NoisyGrid::new(*domain, bins, values, "UG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtree_dp::rng::seeded;
+    use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
+    use rand::RngExt;
+
+    fn uniform_points(n: usize, seed: u64) -> PointSet {
+        let mut rng = seeded(seed);
+        let mut ps = PointSet::new(2);
+        for _ in 0..n {
+            ps.push(&[rng.random::<f64>(), rng.random::<f64>()]);
+        }
+        ps
+    }
+
+    #[test]
+    fn granularity_formula() {
+        // n = 100k, ε = 1, d = 2: m = (10,000)^(1/2) = 100
+        let m = ug_bins_per_dim(100_000, 1.0, 2);
+        assert!((m - 100.0).abs() < 1e-9);
+        // d = 4: m = 10,000^(1/3) ≈ 21.54
+        let m4 = ug_bins_per_dim(100_000, 1.0, 4);
+        assert!((m4 - 10_000.0f64.powf(1.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn granularity_grows_with_epsilon_and_n() {
+        assert!(ug_bins_per_dim(100_000, 1.6, 2) > ug_bins_per_dim(100_000, 0.05, 2));
+        assert!(ug_bins_per_dim(1_000_000, 1.0, 2) > ug_bins_per_dim(10_000, 1.0, 2));
+    }
+
+    #[test]
+    fn synopsis_total_near_cardinality() {
+        let ps = uniform_points(50_000, 1);
+        let g = ug_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 1.0, &mut seeded(2));
+        let total = g.answer(&RangeQuery::new(Rect::unit(2)));
+        assert!((total - 50_000.0).abs() < 2_000.0, "total = {total}");
+    }
+
+    #[test]
+    fn r_scales_cell_count() {
+        let ps = uniform_points(50_000, 3);
+        let e = Epsilon::new(0.4).unwrap();
+        let g1 = ug_synopsis(&ps, &Rect::unit(2), e, 1.0, &mut seeded(4));
+        let g9 = ug_synopsis(&ps, &Rect::unit(2), e, 9.0, &mut seeded(4));
+        let c1: usize = g1.bins().iter().product();
+        let c9: usize = g9.bins().iter().product();
+        assert!(c9 > 6 * c1, "r=9 cells {c9} vs r=1 cells {c1}");
+    }
+
+    #[test]
+    fn reasonable_accuracy_on_uniform_data() {
+        let ps = uniform_points(100_000, 5);
+        let g = ug_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 1.0, &mut seeded(6));
+        let q = Rect::new(&[0.2, 0.2], &[0.5, 0.6]);
+        let truth = ps.count_in(&q) as f64;
+        let est = g.answer(&RangeQuery::new(q));
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "est {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn tiny_epsilon_does_not_blow_memory() {
+        let ps = uniform_points(1000, 7);
+        let g = ug_synopsis(&ps, &Rect::unit(2), Epsilon::new(0.05).unwrap(), 9.0, &mut seeded(8));
+        assert!(g.bins().iter().product::<usize>() <= super::MAX_TOTAL_CELLS);
+        assert!(g.bins()[0] >= 1);
+    }
+}

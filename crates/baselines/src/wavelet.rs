@@ -1,0 +1,374 @@
+//! Privelet* \[50\] — the Haar wavelet mechanism.
+//!
+//! Following Section 6.1, the data domain is discretized into a uniform
+//! grid with 2^20 cells (1024² for 2-d, 32⁴ for 4-d). We implement the
+//! multi-dimensional Haar mechanism in the *orthonormal* basis (standard
+//! decomposition: a full 1-d transform along each axis) with Privelet's
+//! level-weighted noise:
+//!
+//! * one tuple's indicator vector touches exactly one coefficient per
+//!   level group per axis, and its contribution to a coefficient whose
+//!   per-axis supports are `s_k` is `w_c = Π_k s_k^{-1/2}`;
+//! * each coefficient receives Laplace noise with scale
+//!   `λ_c = (S / ε) · √w_c`, where `S = Σ_affected √w_c`
+//!   (`= Π_k Σ_g √w_{k,g}`, a small constant per axis). The total privacy
+//!   loss of one tuple is `Σ_c w_c / λ_c = (ε/S)·Σ_c √w_c = ε`, so the
+//!   release is ε-DP; the square-root weighting is the variance-balanced
+//!   allocation of that loss across levels (uniform-loss allocation wastes
+//!   budget on coarse coefficients whose reconstruction impact is tiny).
+//!
+//! Because a range query's indicator is orthogonal to every detail
+//! function whose support it fully contains, only the boundary-crossing
+//! coefficients (O(1) per level combination) carry noise into any range
+//! answer — the polylog range-query error that is Privelet's selling
+//! point. (See DESIGN.md §3 for how this maps onto the original's
+//! weighted unnormalized transform.)
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::laplace::Laplace;
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use rand::Rng;
+
+use crate::grid::{histogram, NoisyGrid};
+
+/// Forward orthonormal Haar transform, in place, length must be 2^k.
+pub fn haar_forward(v: &mut [f64]) {
+    let n = v.len();
+    assert!(n.is_power_of_two());
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let mut tmp = vec![0.0; n];
+    let mut len = n;
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            let a = v[2 * i];
+            let b = v[2 * i + 1];
+            tmp[i] = (a + b) * s;
+            tmp[half + i] = (a - b) * s;
+        }
+        v[..len].copy_from_slice(&tmp[..len]);
+        len = half;
+    }
+}
+
+/// Inverse orthonormal Haar transform, in place.
+pub fn haar_inverse(v: &mut [f64]) {
+    let n = v.len();
+    assert!(n.is_power_of_two());
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let mut tmp = vec![0.0; n];
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for i in 0..half {
+            let a = v[i];
+            let d = v[half + i];
+            tmp[2 * i] = (a + d) * s;
+            tmp[2 * i + 1] = (a - d) * s;
+        }
+        v[..len].copy_from_slice(&tmp[..len]);
+        len *= 2;
+    }
+}
+
+/// The per-axis L1 sensitivity `s₁(m)` of the orthonormal Haar transform:
+/// the L1 norm of the transform of a unit indicator vector.
+pub fn per_axis_sensitivity(m: usize) -> f64 {
+    assert!(m.is_power_of_two());
+    let k = m.trailing_zeros();
+    let mut s = (m as f64).powf(-0.5); // scaling coefficient
+    for l in 1..=k {
+        s += 2.0f64.powf(-(l as f64) / 2.0);
+    }
+    s
+}
+
+/// Per-coefficient tuple contribution along one axis of length `m`, in the
+/// layout produced by [`haar_forward`]: index 0 is the scaling
+/// coefficient; indices `[2^{g-1}, 2^g)` are the details with support
+/// `m / 2^{g-1}`. A unit tuple moves coefficient `i` by
+/// `sqrt(2^{glevel(i)} / m)`.
+pub fn axis_coefficient_weights(m: usize) -> Vec<f64> {
+    assert!(m.is_power_of_two());
+    (0..m)
+        .map(|i| {
+            let g = if i == 0 { 0 } else { i.ilog2() };
+            ((1u64 << g) as f64 / m as f64).sqrt()
+        })
+        .collect()
+}
+
+/// Number of level groups along one axis: `log2(m) + 1` (one tuple touches
+/// exactly one coefficient in each group).
+pub fn axis_group_count(m: usize) -> usize {
+    assert!(m.is_power_of_two());
+    m.trailing_zeros() as usize + 1
+}
+
+/// Apply `f` to every axis-aligned line of the row-major grid along `axis`.
+fn for_each_line(values: &mut [f64], bins: &[usize], axis: usize, mut f: impl FnMut(&mut [f64])) {
+    let d = bins.len();
+    let mut strides = vec![1usize; d];
+    for k in (0..d.saturating_sub(1)).rev() {
+        strides[k] = strides[k + 1] * bins[k + 1];
+    }
+    let axis_len = bins[axis];
+    let axis_stride = strides[axis];
+    let total: usize = bins.iter().product();
+    let mut line = vec![0.0; axis_len];
+    // enumerate all starting offsets with axis coordinate 0
+    let mut visited = 0usize;
+    let lines = total / axis_len;
+    let mut offsets = Vec::with_capacity(lines);
+    for idx in 0..total {
+        // axis coordinate of idx
+        if (idx / axis_stride).is_multiple_of(axis_len) {
+            offsets.push(idx);
+        }
+    }
+    for off in offsets {
+        for (i, slot) in line.iter_mut().enumerate() {
+            *slot = values[off + i * axis_stride];
+        }
+        f(&mut line);
+        for (i, slot) in line.iter().enumerate() {
+            values[off + i * axis_stride] = *slot;
+        }
+        visited += 1;
+    }
+    debug_assert_eq!(visited, lines);
+}
+
+/// Build a Privelet-style synopsis on a grid with `2^cells_log2` total
+/// cells (split evenly across dimensions, so `cells_log2 % d == 0`;
+/// Section 6.1 uses 2^20).
+pub fn privelet_synopsis<R: Rng + ?Sized>(
+    data: &PointSet,
+    domain: &Rect,
+    epsilon: Epsilon,
+    cells_log2: u32,
+    rng: &mut R,
+) -> NoisyGrid {
+    let d = data.dims();
+    assert_eq!(
+        cells_log2 as usize % d,
+        0,
+        "cells_log2 must divide evenly across dimensions"
+    );
+    let per_dim = 1usize << (cells_log2 as usize / d);
+    let bins = vec![per_dim; d];
+    let mut values = histogram(data, domain, &bins);
+
+    // forward transform along every axis
+    for axis in 0..d {
+        for_each_line(&mut values, &bins, axis, haar_forward);
+    }
+    // Privelet noise: λ_c = (S/ε)·√w_c, the variance-balanced allocation
+    // of the per-tuple privacy loss across level-group combinations.
+    let weights = axis_coefficient_weights(per_dim);
+    let sqrt_w: Vec<f64> = weights.iter().map(|w| w.sqrt()).collect();
+    // S = Π_k Σ_{affected groups g} √w_{k,g}: one affected coefficient per
+    // group, with group weights w at indices {0} ∪ {2^{g-1}}
+    let axis_sqrt_sum: f64 = {
+        let mut s = sqrt_w[0];
+        let mut i = 1usize;
+        while i < per_dim {
+            s += sqrt_w[i];
+            i *= 2;
+        }
+        s
+    };
+    let s_total = axis_sqrt_sum.powi(d as i32);
+    let unit = Laplace::centered(1.0).expect("unit scale");
+    let mut coord = vec![0usize; d];
+    for (idx, v) in values.iter_mut().enumerate() {
+        let mut rem = idx;
+        for k in (0..d).rev() {
+            coord[k] = rem % per_dim;
+            rem /= per_dim;
+        }
+        let root_w: f64 = coord.iter().map(|&c| sqrt_w[c]).product();
+        let scale = s_total * root_w / epsilon.get();
+        *v += unit.sample(rng) * scale;
+    }
+    // inverse transform back to cell space
+    for axis in 0..d {
+        for_each_line(&mut values, &bins, axis, haar_inverse);
+    }
+    NoisyGrid::new(*domain, bins, values, "Privelet")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtree_dp::rng::seeded;
+    use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
+    use rand::RngExt;
+
+    #[test]
+    fn haar_round_trip() {
+        let mut rng = seeded(1);
+        let orig: Vec<f64> = (0..64).map(|_| rng.random::<f64>() * 10.0).collect();
+        let mut v = orig.clone();
+        haar_forward(&mut v);
+        haar_inverse(&mut v);
+        for (a, b) in orig.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn haar_is_orthonormal() {
+        let mut rng = seeded(2);
+        let orig: Vec<f64> = (0..128).map(|_| rng.random::<f64>()).collect();
+        let mut v = orig.clone();
+        haar_forward(&mut v);
+        let n0: f64 = orig.iter().map(|x| x * x).sum();
+        let n1: f64 = v.iter().map(|x| x * x).sum();
+        assert!((n0 - n1).abs() < 1e-9, "energy not preserved");
+    }
+
+    #[test]
+    fn indicator_l1_matches_formula() {
+        for m in [8usize, 64, 1024] {
+            for i in [0usize, 3, m - 1] {
+                let mut e = vec![0.0; m];
+                e[i] = 1.0;
+                haar_forward(&mut e);
+                let l1: f64 = e.iter().map(|x| x.abs()).sum();
+                let s = per_axis_sensitivity(m);
+                assert!(
+                    (l1 - s).abs() < 1e-9,
+                    "m = {m}, i = {i}: L1 {l1} vs formula {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivity_is_bounded_constant() {
+        // s₁(m) < 1 + √2 for all m
+        for k in 1..=20 {
+            let s = per_axis_sensitivity(1 << k);
+            assert!(s < 1.0 + std::f64::consts::SQRT_2);
+        }
+    }
+
+    #[test]
+    fn multi_dim_transform_round_trip() {
+        let mut rng = seeded(3);
+        let bins = vec![8usize, 16];
+        let orig: Vec<f64> = (0..128).map(|_| rng.random::<f64>()).collect();
+        let mut v = orig.clone();
+        for axis in 0..2 {
+            for_each_line(&mut v, &bins, axis, haar_forward);
+        }
+        for axis in 0..2 {
+            for_each_line(&mut v, &bins, axis, haar_inverse);
+        }
+        for (a, b) in orig.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// The ε-DP ledger closes exactly: one tuple touches one coefficient
+    /// per level-group combination, and Σ_c |Δc|/λ_c must equal ε.
+    #[test]
+    fn privacy_accounting_sums_to_epsilon() {
+        for (d, per_dim) in [(1usize, 256usize), (2, 64), (4, 8)] {
+            let eps = 0.7;
+            let weights = axis_coefficient_weights(per_dim);
+            // group representative indices: 0, 1, 2, 4, …, per_dim/2
+            let mut reps = vec![0usize, 1];
+            let mut i = 2usize;
+            while i < per_dim {
+                reps.push(i);
+                i *= 2;
+            }
+            let axis_sqrt_sum: f64 = reps.iter().map(|&r| weights[r].sqrt()).sum();
+            let s_total = axis_sqrt_sum.powi(d as i32);
+            // sum the loss over all group combos (odometer over reps^d)
+            let mut combo = vec![0usize; d];
+            let mut loss = 0.0;
+            loop {
+                let w: f64 = combo.iter().map(|&c| weights[reps[c]]).product();
+                let lambda = s_total * w.sqrt() / eps;
+                loss += w / lambda;
+                let mut k = d;
+                let mut done = true;
+                while k > 0 {
+                    k -= 1;
+                    if combo[k] + 1 < reps.len() {
+                        combo[k] += 1;
+                        combo.iter_mut().skip(k + 1).for_each(|c| *c = 0);
+                        done = false;
+                        break;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+            assert!(
+                (loss - eps).abs() < 1e-9,
+                "d = {d}, m = {per_dim}: total loss {loss} != eps {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn synopsis_total_near_cardinality() {
+        let mut rng = seeded(4);
+        let mut ps = PointSet::new(2);
+        for _ in 0..50_000 {
+            ps.push(&[rng.random::<f64>(), rng.random::<f64>()]);
+        }
+        let g = privelet_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 12, &mut seeded(5));
+        let total = g.answer(&RangeQuery::new(Rect::unit(2)));
+        assert!((total - 50_000.0).abs() < 1_000.0, "total = {total}");
+    }
+
+    /// Privelet's raison d'être: for large range queries its noise is far
+    /// below per-cell Laplace noise summed over the query.
+    #[test]
+    fn beats_identity_noise_on_large_queries() {
+        // empty data isolates pure noise behaviour; the polylog advantage
+        // needs a reasonably fine grid to show, so use m = 2^16 cells
+        let ps = PointSet::new(1);
+        let dom = Rect::unit(1);
+        let eps = Epsilon::new(1.0).unwrap();
+        let m = 1usize << 16;
+        let q = RangeQuery::new(Rect::new(&[0.0], &[0.5]));
+        let reps = 60;
+        let mut wavelet_err = 0.0;
+        let mut identity_err = 0.0;
+        let mut rng = seeded(6);
+        let noise = Laplace::centered(1.0 / eps.get()).unwrap();
+        for rep in 0..reps {
+            let g = privelet_synopsis(&ps, &dom, eps, 16, &mut seeded(700 + rep));
+            wavelet_err += g.answer(&q).abs();
+            // identity mechanism: per-cell Lap(1/ε)
+            let s: f64 = (0..m / 2).map(|_| noise.sample(&mut rng)).sum();
+            identity_err += s.abs();
+        }
+        assert!(
+            wavelet_err * 1.5 < identity_err,
+            "wavelet {wavelet_err} vs identity {identity_err}"
+        );
+    }
+
+    #[test]
+    fn four_dim_synopsis() {
+        let mut rng = seeded(8);
+        let mut ps = PointSet::new(4);
+        for _ in 0..5000 {
+            let p: Vec<f64> = (0..4).map(|_| rng.random::<f64>()).collect();
+            ps.push(&p);
+        }
+        let g = privelet_synopsis(&ps, &Rect::unit(4), Epsilon::new(1.0).unwrap(), 12, &mut seeded(9));
+        assert_eq!(g.bins(), &[8, 8, 8, 8]);
+        let total = g.answer(&RangeQuery::new(Rect::unit(4)));
+        assert!((total - 5000.0).abs() < 3_000.0, "total = {total}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion microbenches: synopsis construction costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privtree_datagen::spatial::{gowalla_like, nyc_like};
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::seeded;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::index::GridIndex;
+use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::synopsis::{privtree_synopsis, simple_tree_synopsis};
+use std::hint::black_box;
+
+fn bench_build(_c: &mut Criterion) {
+    let mut c = Criterion::default().sample_size(10);
+    let c = &mut c;
+    let data = gowalla_like(100_000, 1);
+    let domain = Rect::unit(2);
+    let eps = Epsilon::new(1.0).unwrap();
+
+    c.bench_function("privtree_build_gowalla_100k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let syn = privtree_synopsis(
+                &data,
+                domain,
+                SplitConfig::full(2),
+                eps,
+                &mut seeded(seed),
+            )
+            .unwrap();
+            black_box(syn.node_count())
+        })
+    });
+
+    c.bench_function("simple_tree_build_gowalla_100k_h6", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let syn = simple_tree_synopsis(
+                &data,
+                domain,
+                SplitConfig::full(2),
+                eps,
+                6,
+                12.0,
+                &mut seeded(seed),
+            )
+            .unwrap();
+            black_box(syn.node_count())
+        })
+    });
+
+    let nyc = nyc_like(98_013, 2);
+    c.bench_function("privtree_build_nyc_4d", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let syn = privtree_synopsis(
+                &nyc,
+                Rect::unit(4),
+                SplitConfig::full(4),
+                eps,
+                &mut seeded(seed),
+            )
+            .unwrap();
+            black_box(syn.node_count())
+        })
+    });
+
+    c.bench_function("grid_index_build_100k", |b| {
+        b.iter(|| black_box(GridIndex::build(&data, &domain).total()))
+    });
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion microbenches: DP primitives and substrate operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privtree_baselines::hilbert::{curve_order, hilbert_d2xy};
+use privtree_baselines::wavelet::{haar_forward, haar_inverse};
+use privtree_dp::laplace::Laplace;
+use privtree_dp::rng::seeded;
+use privtree_svt::variants::improved_svt;
+use std::hint::black_box;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    c.bench_function("laplace_sample_x1000", |b| {
+        let d = Laplace::centered(1.0).unwrap();
+        let mut rng = seeded(1);
+        b.iter(|| {
+            let mut s = 0.0;
+            for _ in 0..1000 {
+                s += d.sample(&mut rng);
+            }
+            black_box(s)
+        })
+    });
+
+    c.bench_function("laplace_cdf_sf_x1000", |b| {
+        let d = Laplace::centered(2.0).unwrap();
+        b.iter(|| {
+            let mut s = 0.0;
+            for i in 0..1000 {
+                let x = (i as f64) * 0.01 - 5.0;
+                s += d.cdf(x) + d.sf(x);
+            }
+            black_box(s)
+        })
+    });
+
+    c.bench_function("haar_round_trip_64k", |b| {
+        let mut rng = seeded(2);
+        use rand::RngExt;
+        let orig: Vec<f64> = (0..65536).map(|_| rng.random::<f64>()).collect();
+        b.iter(|| {
+            let mut v = orig.clone();
+            haar_forward(&mut v);
+            haar_inverse(&mut v);
+            black_box(v[0])
+        })
+    });
+
+    c.bench_function("hilbert_d2xy_x4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for h in 0..4096u64 {
+                let (x, y) = hilbert_d2xy(1024, h);
+                acc ^= x ^ y;
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("curve_order_2d_256", |b| {
+        b.iter(|| black_box(curve_order(2, 256).len()))
+    });
+
+    c.bench_function("improved_svt_1000_queries", |b| {
+        let answers: Vec<f64> = (0..1000).map(|i| (i % 20) as f64 - 10.0).collect();
+        let mut rng = seeded(3);
+        b.iter(|| black_box(improved_svt(&answers, 0.0, 2.0, 10, &mut rng).len()))
+    });
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion microbenches: range-query answering costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privtree_baselines::{dawa_synopsis, privelet_synopsis, ug_synopsis};
+use privtree_datagen::spatial::gowalla_like;
+use privtree_datagen::workload::{range_queries, QuerySize};
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::seeded;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::index::GridIndex;
+use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::query::RangeCountSynopsis;
+use privtree_spatial::synopsis::privtree_synopsis;
+use std::hint::black_box;
+
+fn bench_query(_c: &mut Criterion) {
+    let mut c = Criterion::default().sample_size(20);
+    let c = &mut c;
+    let data = gowalla_like(100_000, 1);
+    let domain = Rect::unit(2);
+    let eps = Epsilon::new(1.0).unwrap();
+    let queries = range_queries(&domain, QuerySize::Medium, 256, 7);
+
+    let privtree =
+        privtree_synopsis(&data, domain, SplitConfig::full(2), eps, &mut seeded(2)).unwrap();
+    c.bench_function("answer_privtree_medium_x256", |b| {
+        b.iter(|| {
+            let s: f64 = queries.iter().map(|q| privtree.answer(q)).sum();
+            black_box(s)
+        })
+    });
+
+    let ug = ug_synopsis(&data, &domain, eps, 1.0, &mut seeded(3));
+    c.bench_function("answer_ug_medium_x256", |b| {
+        b.iter(|| {
+            let s: f64 = queries.iter().map(|q| ug.answer(q)).sum();
+            black_box(s)
+        })
+    });
+
+    let privelet = privelet_synopsis(&data, &domain, eps, 20, &mut seeded(4));
+    c.bench_function("answer_privelet_1m_cells_medium_x256", |b| {
+        b.iter(|| {
+            let s: f64 = queries.iter().map(|q| privelet.answer(q)).sum();
+            black_box(s)
+        })
+    });
+
+    let dawa = dawa_synopsis(&data, &domain, eps, 20, &mut seeded(5));
+    c.bench_function("answer_dawa_medium_x256", |b| {
+        b.iter(|| {
+            let s: f64 = queries.iter().map(|q| dawa.answer(q)).sum();
+            black_box(s)
+        })
+    });
+
+    let index = GridIndex::build(&data, &domain);
+    c.bench_function("exact_count_gridindex_medium_x256", |b| {
+        b.iter(|| {
+            let s: u64 = queries.iter().map(|q| index.count(&data, &q.rect)).sum();
+            black_box(s)
+        })
+    });
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

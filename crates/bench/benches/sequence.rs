@@ -1,0 +1,57 @@
+//! Criterion microbenches: sequence-model construction and use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privtree_datagen::sequence::mooc_like;
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::seeded;
+use privtree_markov::data::SequenceDataset;
+use privtree_markov::ngram::ngram_model;
+use privtree_markov::private::private_pst;
+use privtree_markov::pst::SequenceModel;
+use privtree_markov::topk::{exact_topk, model_topk};
+use std::hint::black_box;
+
+fn bench_sequence(_c: &mut Criterion) {
+    let mut c = Criterion::default().sample_size(10);
+    let c = &mut c;
+    let raw = mooc_like(20_000, 1);
+    let data = SequenceDataset::new(&raw.sequences, raw.alphabet_size, 50);
+    let eps = Epsilon::new(1.0).unwrap();
+
+    c.bench_function("private_pst_build_mooc_20k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(private_pst(&data, eps, &mut seeded(seed)).unwrap().node_count())
+        })
+    });
+
+    c.bench_function("ngram_build_mooc_20k_h5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(ngram_model(&data, eps, 5, &mut seeded(seed)).released_grams())
+        })
+    });
+
+    let model = private_pst(&data, eps, &mut seeded(42)).unwrap();
+    c.bench_function("pst_estimate_count_len6", |b| {
+        b.iter(|| black_box(model.estimate_count(&[0, 1, 0, 2, 1, 0])))
+    });
+
+    c.bench_function("pst_sample_sequence", |b| {
+        let mut rng = seeded(7);
+        b.iter(|| black_box(model.sample_sequence(&mut rng, 50).len()))
+    });
+
+    c.bench_function("model_topk_50", |b| {
+        b.iter(|| black_box(model_topk(&model, 50, 8).len()))
+    });
+
+    c.bench_function("exact_topk_50_mooc_20k", |b| {
+        b.iter(|| black_box(exact_topk(&data, 50, 8).len()))
+    });
+}
+
+criterion_group!(benches, bench_sequence);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 1: an illustrative spatial decomposition tree.
+//!
+//! Builds the noise-free quadtree (`T*`) over a 12-point dataset shaped
+//! like the paper's example — a dense cluster that pulls the tree deep in
+//! one corner — and prints the node/region/count structure plus the
+//! traversal cases for one range query.
+
+use privtree_core::nonprivate::nonprivate_tree;
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::quadtree::{QuadDomain, SplitConfig};
+
+fn main() {
+    // 12 points: 8 clustered in the north-west cell (the paper's v4
+    // region splits again), sparse elsewhere
+    let pts: Vec<[f64; 2]> = vec![
+        [0.05, 0.93], [0.10, 0.90], [0.15, 0.95], [0.08, 0.85],
+        [0.20, 0.88], [0.12, 0.97], [0.18, 0.92], [0.22, 0.86],
+        [0.70, 0.80], // north-east, lone
+        [0.30, 0.30], [0.35, 0.20], // south-west pair
+        [0.80, 0.25], // south-east, lone
+    ];
+    let mut data = PointSet::new(2);
+    for p in &pts {
+        data.push(p);
+    }
+    let domain = QuadDomain::new(&data, Rect::unit(2), SplitConfig::full(2));
+    // θ = 2: split any region holding more than two points
+    let tree = nonprivate_tree(&domain, 2.0, Some(3));
+
+    println!("== Figure 1: a spatial decomposition tree (noise-free, theta = 2) ==");
+    let mut label = 0usize;
+    let rendered = tree.render(|_, node| {
+        label += 1;
+        format!("v{:<2} dom = {}  ({} points)", label, node.rect, node.count())
+    });
+    println!("{rendered}");
+
+    // the dashed-rectangle query of Figure 1
+    let q = Rect::new(&[0.55, 0.55], &[0.95, 0.98]);
+    println!("range query q = {q}: traversal cases");
+    for id in tree.ids() {
+        let node = tree.payload(id);
+        let case = if !node.rect.intersects(&q) {
+            "1 disjoint  -> ignore"
+        } else if q.contains_rect(&node.rect) {
+            "2 contained -> add count"
+        } else if !tree.is_leaf(id) {
+            "3 partial   -> recurse"
+        } else {
+            "4 part.leaf -> scale by overlap"
+        };
+        println!("  depth {} {}  case {case}", tree.depth(id), node.rect);
+    }
+}

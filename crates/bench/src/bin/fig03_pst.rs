@@ -1,0 +1,61 @@
+//! Figure 3: the example prediction suffix tree.
+//!
+//! Rebuilds the PST of Figure 3 from its four sequences (A = 0, B = 1)
+//! and prints every node's predictor string and prediction histogram,
+//! plus the Section 4.1 worked query example (ans(AB) = 3).
+
+use privtree_markov::data::SequenceDataset;
+use privtree_markov::private::exact_pst;
+use privtree_markov::pst::SequenceModel;
+
+fn main() {
+    // s1 = $B&, s2 = $AB&, s3 = $AAB&, s4 = $AAAB&
+    let data = SequenceDataset::new(
+        &[vec![1], vec![0, 1], vec![0, 0, 1], vec![0, 0, 0, 1]],
+        2,
+        50,
+    );
+    let model = exact_pst(&data, 0.0, Some(4));
+    let tree = model.tree();
+
+    let sym_name = |s: u8| -> String {
+        match s {
+            0 => "A".into(),
+            1 => "B".into(),
+            2 => "&".into(),
+            3 => "$".into(),
+            other => format!("?{other}"),
+        }
+    };
+
+    println!("== Figure 3: PST over {{$B&, $AB&, $AAB&, $AAAB&}} ==");
+    // reconstruct each node's predictor by walking to the root
+    for v in tree.ids() {
+        let mut dom = String::new();
+        for node in tree.path_from_root(v).iter().skip(1) {
+            // edges prepend symbols, so the path spells dom(v) reversed
+            let edge = tree.payload(*node).edge.expect("non-root has an edge");
+            dom.insert_str(0, &sym_name(edge));
+        }
+        if dom.is_empty() {
+            dom = "∅".into();
+        }
+        let h = model.hist(v);
+        println!(
+            "{:indent$}dom = {:<5} A: {} | B: {} | &: {}",
+            "",
+            dom,
+            h[0],
+            h[1],
+            h[2],
+            indent = 2 * tree.depth(v) as usize
+        );
+    }
+
+    println!();
+    println!("Section 4.1 worked example:");
+    let ans = model.estimate_count(&[0, 1]);
+    println!("  estimated occurrences of sq = AB: {ans} (paper: 3)");
+    println!("  estimated occurrences of A:  {} (paper hist(v1)[A] = 6)", model.estimate_count(&[0]));
+    println!("  estimated occurrences of BB: {} (never occurs)", model.estimate_count(&[1, 1]));
+}

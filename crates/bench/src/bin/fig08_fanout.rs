@@ -1,0 +1,83 @@
+//! Figure 8: impact of the fanout β on PrivTree.
+//!
+//! Variants: β = 2^d (full bisection), β = 2^{d/2}, and β = 2
+//! (round-robin partial bisection). Appendix C's finding: smaller β
+//! slightly increases error via the larger depth bias, but β = 2^{d/2}
+//! occasionally wins on 4-d data where β = 2^d over-fragments.
+
+use privtree_bench::{avg_relative_error, make_dataset, workload_with_truth, Cli};
+use privtree_datagen::spatial::{BEIJING, GOWALLA, NYC, ROAD};
+use privtree_datagen::workload::QuerySize;
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::{derive_seed, seeded};
+use privtree_eval::table::SeriesTable;
+use privtree_eval::EPSILONS;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::synopsis::privtree_synopsis;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut panel = b'a';
+    for spec in [ROAD, GOWALLA, NYC, BEIJING] {
+        let data = make_dataset(&spec, &cli);
+        let domain = Rect::unit(spec.dims);
+        // arity_log2 candidates: d, d/2 (if distinct), 1
+        let mut arities = vec![spec.dims];
+        if spec.dims / 2 >= 1 && spec.dims / 2 != spec.dims {
+            arities.push(spec.dims / 2);
+        }
+        if !arities.contains(&1) {
+            arities.push(1);
+        }
+        for size in QuerySize::all() {
+            let (queries, truth) = workload_with_truth(
+                &data,
+                &domain,
+                size,
+                cli.queries,
+                derive_seed(cli.seed, size as u64),
+            );
+            let mut table = SeriesTable::new(
+                &format!(
+                    "Fig 8({}): {} - {} queries, PrivTree fanout ablation",
+                    panel as char,
+                    spec.name,
+                    size.name()
+                ),
+                "epsilon",
+                &EPSILONS,
+            )
+            .with_percent();
+            for &a in &arities {
+                let row: Vec<f64> = EPSILONS
+                    .iter()
+                    .map(|&eps| {
+                        let e = Epsilon::new(eps).expect("positive");
+                        let mut total = 0.0;
+                        for rep in 0..cli.reps {
+                            let mut rng =
+                                seeded(derive_seed(cli.seed, eps.to_bits() ^ (a * 131 + rep) as u64));
+                            let syn = privtree_synopsis(
+                                &data,
+                                domain,
+                                SplitConfig::partial(a),
+                                e,
+                                &mut rng,
+                            )
+                            .expect("synopsis");
+                            total += avg_relative_error(&syn, &queries, &truth, data.len());
+                        }
+                        total / cli.reps as f64
+                    })
+                    .collect();
+                table.push_row(&format!("PrivTree (beta=2^{a})"), row);
+            }
+            println!("\n{table}");
+            panel += 1;
+        }
+    }
+    println!("paper-shape check: beta = 2^d best overall; smaller beta slightly worse");
+    println!("(deeper trees pay a larger bias), with occasional wins for beta = 2^(d/2)");
+    println!("on the 4-d datasets.");
+}

@@ -1,0 +1,65 @@
+//! Figure 11: impact of the tree height h on Hierarchy (road and
+//! Gowalla). The leaf resolution stays ≈ 64 bins per dimension while h
+//! varies from 3 to 8, trading per-level noise against tree depth.
+
+use privtree_baselines::hierarchy_synopsis;
+use privtree_bench::{avg_relative_error, make_dataset, workload_with_truth, Cli};
+use privtree_datagen::spatial::{GOWALLA, ROAD};
+use privtree_datagen::workload::QuerySize;
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::{derive_seed, seeded};
+use privtree_eval::table::SeriesTable;
+use privtree_eval::EPSILONS;
+use privtree_spatial::geom::Rect;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut panel = b'a';
+    for spec in [ROAD, GOWALLA] {
+        let data = make_dataset(&spec, &cli);
+        let domain = Rect::unit(2);
+        for size in QuerySize::all() {
+            let (queries, truth) = workload_with_truth(
+                &data,
+                &domain,
+                size,
+                cli.queries,
+                derive_seed(cli.seed, size as u64),
+            );
+            let mut table = SeriesTable::new(
+                &format!(
+                    "Fig 11({}): {} - {} queries, Hierarchy height sweep",
+                    panel as char,
+                    spec.name,
+                    size.name()
+                ),
+                "epsilon",
+                &EPSILONS,
+            )
+            .with_percent();
+            for h in 3u32..=8 {
+                let row: Vec<f64> = EPSILONS
+                    .iter()
+                    .map(|&eps| {
+                        let e = Epsilon::new(eps).expect("positive");
+                        let mut total = 0.0;
+                        for rep in 0..cli.reps {
+                            let mut rng = seeded(derive_seed(
+                                cli.seed,
+                                eps.to_bits() ^ (h as usize * 557 + rep) as u64,
+                            ));
+                            let syn = hierarchy_synopsis(&data, &domain, e, h, 64, &mut rng);
+                            total += avg_relative_error(&syn, &queries, &truth, data.len());
+                        }
+                        total / cli.reps as f64
+                    })
+                    .collect();
+                table.push_row(&format!("h={h}"), row);
+            }
+            println!("\n{table}");
+            panel += 1;
+        }
+    }
+    println!("paper-shape check: h = 3 (the [42] heuristic) is the best choice in");
+    println!("most cells — taller trees dilute the per-level budget.");
+}

@@ -1,0 +1,82 @@
+//! Section 5 + Appendix A: the SVT privacy audits.
+//!
+//! Prints, for the paper's counterexample datasets:
+//!
+//! * Lemma 5.1 — the binary SVT's exact privacy loss as a function of the
+//!   query count k (grows like k/(2λ), blowing past the claimed 2ε);
+//! * Claim 2 refutation — the vanilla SVT's loss (≈ k/λ);
+//! * Lemma A.1 — the improved SVT's loss stays ≤ ε over an exhaustive
+//!   neighbor/pattern sweep;
+//! * the PrivTree control group — the exact Theorem 3.1 audit on a toy
+//!   domain stays ≤ ε at unbounded depth.
+
+use privtree_core::audit::audit_privtree;
+use privtree_core::domain::LineDomain;
+use privtree_core::params::PrivTreeParams;
+use privtree_dp::budget::Epsilon;
+use privtree_svt::audit::{claim_2_log_ratio, improved_event_log_prob, lemma_5_1_log_ratio};
+
+fn main() {
+    let eps = 1.0;
+    let lambda = 2.0 / eps; // the refuted Claim 1 calibration
+
+    println!("== Lemma 5.1: binary SVT privacy loss (lambda = 2/eps = {lambda}) ==");
+    println!("{:>6} {:>14} {:>14} {:>10}", "k", "exact loss", "bound k/(2l)", "vs 2eps");
+    for k in [4usize, 8, 16, 32, 64] {
+        let loss = lemma_5_1_log_ratio(k, lambda);
+        println!(
+            "{:>6} {:>14.4} {:>14.4} {:>10}",
+            k,
+            loss,
+            k as f64 / (2.0 * lambda),
+            if loss > 2.0 * eps { "VIOLATED" } else { "ok" }
+        );
+    }
+
+    println!("\n== Claim 2 refutation: vanilla SVT privacy loss ==");
+    println!("{:>6} {:>14} {:>14}", "k", "exact loss", "predicted k/l");
+    for k in [4usize, 8, 16, 32] {
+        let loss = claim_2_log_ratio(k, lambda);
+        println!("{:>6} {:>14.4} {:>14.4}", k, loss, k as f64 / lambda);
+    }
+
+    println!("\n== Lemma A.1: improved SVT stays within eps ==");
+    let t = 2usize;
+    let k = 5usize;
+    let base = [0.0, 1.0, -1.0, 0.5, 2.0];
+    let mut worst = 0.0f64;
+    for delta_bits in 0..(1u32 << k) {
+        let neighbor: Vec<f64> = (0..k)
+            .map(|i| base[i] + f64::from((delta_bits >> i) & 1))
+            .collect();
+        for pat_bits in 0..(1u32 << k) {
+            let pattern: Vec<bool> = (0..k).map(|i| (pat_bits >> i) & 1 == 1).collect();
+            let ones = pattern.iter().filter(|b| **b).count();
+            if ones > t || (ones == t && !pattern[k - 1]) {
+                continue;
+            }
+            let lp_a = improved_event_log_prob(&base, &pattern, 0.0, lambda, t);
+            let lp_b = improved_event_log_prob(&neighbor, &pattern, 0.0, lambda, t);
+            worst = worst.max((lp_a - lp_b).abs());
+        }
+    }
+    println!("worst loss over 2^{k} neighbors x valid patterns: {worst:.4} (eps = {eps})");
+    assert!(worst <= eps + 1e-6);
+
+    println!("\n== Control group: PrivTree's exact Theorem 3.1 audit ==");
+    let params = PrivTreeParams::from_epsilon(Epsilon::new(eps).unwrap(), 2).unwrap();
+    let base_points = vec![0.05, 0.06, 0.07, 0.3, 0.62, 0.63, 0.9];
+    let mut worst_pt = 0.0f64;
+    for insert_at in [0.01, 0.06, 0.26, 0.49, 0.51, 0.75, 0.99] {
+        let d0 = LineDomain::new(base_points.clone()).with_min_width(0.2);
+        let mut with = base_points.clone();
+        with.push(insert_at);
+        let d1 = LineDomain::new(with).with_min_width(0.2);
+        worst_pt = worst_pt.max(audit_privtree(&d0, &d1, &params, 3));
+    }
+    println!("worst loss over shapes x insertions: {worst_pt:.4} (eps = {eps})");
+    assert!(worst_pt <= eps + 1e-9);
+
+    println!("\npaper-shape check: binary and vanilla SVT losses grow linearly in k");
+    println!("(not private at lambda = 2/eps); improved SVT and PrivTree stay <= eps.");
+}

@@ -1,0 +1,60 @@
+//! The paper's primary contribution: differentially private hierarchical
+//! decompositions without a pre-defined recursion-depth limit.
+//!
+//! * [`tree`] — arena-backed decomposition trees.
+//! * [`domain`] — the [`TreeDomain`] abstraction: a splittable domain with a
+//!   monotone score function (Section 3.5 generality).
+//! * [`params`] — Theorem 3.1 / Corollary 1 parameterization.
+//! * [`privtree`] — Algorithm 2.
+//! * [`simple`] — Algorithm 1 (`SimpleTree`), the h-limited baseline.
+//! * [`nonprivate`] — the noise-free decomposition `T*` of Lemma 3.2.
+//! * [`counts`] — noisy-leaf-count postprocessing (Section 3.4).
+//! * [`audit`] — exact output-distribution computations used to verify the
+//!   privacy guarantees numerically.
+//! * [`taxonomy`] — categorical-taxonomy decomposition (Section 3.5, item 1).
+
+pub mod audit;
+pub mod counts;
+pub mod domain;
+pub mod nonprivate;
+pub mod params;
+pub mod privtree;
+pub mod simple;
+pub mod taxonomy;
+pub mod tree;
+
+pub use counts::{noisy_leaf_counts, NoisyCounts};
+pub use domain::TreeDomain;
+pub use nonprivate::nonprivate_tree;
+pub use params::{PrivTreeParams, SimpleTreeParams};
+pub use privtree::build_privtree;
+pub use simple::{build_simple_tree, SimpleTreeOutput};
+pub use tree::{NodeId, Tree};
+
+/// Errors from decomposition construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The decomposition exceeded the configured node limit. With the
+    /// paper's parameterization (δ = λ·ln β) this indicates a mis-set δ or
+    /// a pathological score function, not normal operation (Lemma 3.2
+    /// bounds the expected size by 2·|T*|).
+    TreeTooLarge { limit: usize },
+    /// Parameter validation failure.
+    BadParams(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::TreeTooLarge { limit } => {
+                write!(f, "decomposition tree exceeded node limit {limit}")
+            }
+            CoreError::BadParams(msg) => write!(f, "bad parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

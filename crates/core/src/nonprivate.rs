@@ -1,0 +1,84 @@
+//! The noise-free decomposition `T*` of Lemma 3.2: split a node iff its raw
+//! score exceeds θ. Used as the reference in the `E[|T|] ≤ 2|T*|` size
+//! bound, as ground truth in tests, and to seed the `Truncate`-style
+//! non-private baselines in the experiments.
+
+use std::collections::VecDeque;
+
+use crate::domain::TreeDomain;
+use crate::tree::Tree;
+
+/// Build the deterministic tree that splits every node with
+/// `score(v) > theta`, optionally capping the depth.
+pub fn nonprivate_tree<D: TreeDomain>(
+    domain: &D,
+    theta: f64,
+    max_depth: Option<u32>,
+) -> Tree<D::Node> {
+    let mut tree = Tree::with_root(domain.root());
+    let mut queue = VecDeque::new();
+    queue.push_back(tree.root());
+    while let Some(v) = queue.pop_front() {
+        if let Some(cap) = max_depth {
+            if tree.depth(v) >= cap {
+                continue;
+            }
+        }
+        if domain.score(tree.payload(v)) > theta {
+            if let Some(children) = domain.split(tree.payload(v)) {
+                for child in tree.add_children(v, children) {
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::LineDomain;
+
+    #[test]
+    fn splits_exactly_above_threshold() {
+        // 10 points in the left half, 3 in the right; θ = 5
+        let mut pts = vec![0.01, 0.06, 0.11, 0.16, 0.21, 0.26, 0.31, 0.36, 0.41, 0.46];
+        pts.extend([0.6, 0.7, 0.8]);
+        let domain = LineDomain::new(pts).with_min_width(0.2);
+        let tree = nonprivate_tree(&domain, 5.0, None);
+        let root_children: Vec<_> = tree.children(tree.root()).collect();
+        assert_eq!(root_children.len(), 2, "root has 13 > 5 points, splits");
+        // left child has 10 > 5 points and splits; right has 3 ≤ 5, leaf
+        assert!(!tree.is_leaf(root_children[0]));
+        assert!(tree.is_leaf(root_children[1]));
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let pts: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0 / 128.0).collect();
+        let domain = LineDomain::new(pts);
+        let tree = nonprivate_tree(&domain, 0.5, Some(3));
+        assert!(tree.max_depth() <= 3);
+    }
+
+    #[test]
+    fn empty_data_is_single_node() {
+        let domain = LineDomain::new(vec![]);
+        let tree = nonprivate_tree(&domain, 0.0, None);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_splits_until_empty_or_floor() {
+        let domain = LineDomain::new(vec![0.3]).with_min_width(0.2);
+        let tree = nonprivate_tree(&domain, 0.0, None);
+        // every leaf either holds no points or is at the resolution floor
+        for leaf in tree.leaf_ids() {
+            let node = tree.payload(leaf);
+            let width = node.hi - node.lo;
+            let c = domain.count(node.lo, node.hi);
+            assert!(c == 0 || width / 2.0 < 0.2, "leaf with c={c}, width={width}");
+        }
+    }
+}

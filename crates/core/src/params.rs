@@ -1,0 +1,230 @@
+//! Parameterization of the decomposition algorithms.
+//!
+//! PrivTree's parameters follow Theorem 3.1 / Corollary 1; SimpleTree's
+//! follow the Section 3.1 analysis (λ ≥ h/ε for a height-h tree).
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rho::{delta_for_fanout, privtree_scale_for_fanout, privtree_scale_for_gamma};
+
+use crate::{CoreError, Result};
+
+/// Default cap on tree size; Lemma 3.2 keeps real trees far below this, so
+/// hitting the cap means parameters are inconsistent with the theory.
+pub const DEFAULT_NODE_LIMIT: usize = 1 << 24;
+
+/// Parameters for PrivTree (Algorithm 2).
+#[derive(Debug, Clone, Copy)]
+pub struct PrivTreeParams {
+    /// Laplace noise scale λ.
+    pub lambda: f64,
+    /// Decaying factor δ subtracted per level of depth.
+    pub delta: f64,
+    /// Split threshold θ (Section 3.4 recommends 0).
+    pub theta: f64,
+    /// Safety cap on the number of nodes.
+    pub node_limit: usize,
+}
+
+impl PrivTreeParams {
+    /// Corollary 1 parameterization for a β-ary tree and sensitivity-1
+    /// scores: `λ = (2β−1)/(β−1)·1/ε`, `δ = λ·ln β`, `θ = 0`.
+    pub fn from_epsilon(epsilon: Epsilon, fanout: usize) -> Result<Self> {
+        Self::from_epsilon_with_sensitivity(epsilon, fanout, 1.0)
+    }
+
+    /// Same, but for a score function whose sensitivity to one tuple
+    /// insertion is `sensitivity` (Theorem 4.1 uses `l⊤`; Section 3.5 item
+    /// 3 uses the number `x` of affected leaves). The noise scale is
+    /// enlarged `sensitivity` times.
+    pub fn from_epsilon_with_sensitivity(
+        epsilon: Epsilon,
+        fanout: usize,
+        sensitivity: f64,
+    ) -> Result<Self> {
+        if fanout < 2 {
+            return Err(CoreError::BadParams(format!(
+                "fanout must be at least 2, got {fanout}"
+            )));
+        }
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(CoreError::BadParams(format!(
+                "sensitivity must be positive, got {sensitivity}"
+            )));
+        }
+        let lambda = privtree_scale_for_fanout(epsilon.get(), fanout) * sensitivity;
+        Ok(Self {
+            lambda,
+            delta: delta_for_fanout(lambda, fanout),
+            theta: 0.0,
+            node_limit: DEFAULT_NODE_LIMIT,
+        })
+    }
+
+    /// Theorem 3.1 parameterization with an explicit decay ratio γ = δ/λ
+    /// (mostly for ablations; Corollary 1's γ = ln β is the recommended
+    /// choice because it also yields the Lemma 3.2 size bound).
+    pub fn from_epsilon_with_gamma(epsilon: Epsilon, gamma: f64) -> Result<Self> {
+        if !(gamma.is_finite() && gamma > 0.0) {
+            return Err(CoreError::BadParams(format!("gamma must be positive: {gamma}")));
+        }
+        let lambda = privtree_scale_for_gamma(epsilon.get(), gamma);
+        Ok(Self {
+            lambda,
+            delta: gamma * lambda,
+            theta: 0.0,
+            node_limit: DEFAULT_NODE_LIMIT,
+        })
+    }
+
+    /// Override the split threshold θ.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Override the node-count safety cap.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// The biased count of Eq. (8): `b(v) = max(θ − δ, c(v) − depth·δ)`.
+    #[inline]
+    pub fn biased_score(&self, raw: f64, depth: u32) -> f64 {
+        (raw - depth as f64 * self.delta).max(self.theta - self.delta)
+    }
+
+    /// The ε this parameterization guarantees (inverse of Theorem 3.1).
+    pub fn epsilon(&self) -> f64 {
+        let gamma = self.delta / self.lambda;
+        let eg = gamma.exp();
+        (2.0 * eg - 1.0) / (eg - 1.0) / self.lambda
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.lambda.is_finite() && self.lambda > 0.0) {
+            return Err(CoreError::BadParams(format!("lambda = {}", self.lambda)));
+        }
+        if !(self.delta.is_finite() && self.delta > 0.0) {
+            return Err(CoreError::BadParams(format!("delta = {}", self.delta)));
+        }
+        if !self.theta.is_finite() {
+            return Err(CoreError::BadParams(format!("theta = {}", self.theta)));
+        }
+        Ok(())
+    }
+
+    /// Validate fields set by hand.
+    pub fn checked(self) -> Result<Self> {
+        self.validate()?;
+        Ok(self)
+    }
+}
+
+/// Parameters for SimpleTree (Algorithm 1).
+#[derive(Debug, Clone, Copy)]
+pub struct SimpleTreeParams {
+    /// Laplace noise scale λ (must be ≥ h/ε for ε-DP).
+    pub lambda: f64,
+    /// Split threshold θ.
+    pub theta: f64,
+    /// Maximum tree height h (number of levels; a lone root is height 1).
+    /// Nodes at depth `h − 1` are never split.
+    pub height: u32,
+    /// Safety cap on the number of nodes.
+    pub node_limit: usize,
+}
+
+impl SimpleTreeParams {
+    /// The Section 3.1 calibration: λ = h/ε for a height-h tree, with a
+    /// caller-chosen threshold θ.
+    pub fn from_epsilon(epsilon: Epsilon, height: u32, theta: f64) -> Result<Self> {
+        Self::from_epsilon_with_sensitivity(epsilon, height, theta, 1.0)
+    }
+
+    /// λ = h·sensitivity/ε, for score functions with non-unit sensitivity.
+    pub fn from_epsilon_with_sensitivity(
+        epsilon: Epsilon,
+        height: u32,
+        theta: f64,
+        sensitivity: f64,
+    ) -> Result<Self> {
+        if height == 0 {
+            return Err(CoreError::BadParams("height must be at least 1".into()));
+        }
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(CoreError::BadParams(format!(
+                "sensitivity must be positive, got {sensitivity}"
+            )));
+        }
+        Ok(Self {
+            lambda: height as f64 * sensitivity / epsilon.get(),
+            theta,
+            height,
+            node_limit: DEFAULT_NODE_LIMIT,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corollary_1_values() {
+        let p = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 4).unwrap();
+        assert!((p.lambda - 7.0 / 3.0).abs() < 1e-12);
+        assert!((p.delta - p.lambda * 4.0f64.ln()).abs() < 1e-12);
+        assert_eq!(p.theta, 0.0);
+        // round trip: the params certify the ε they were built from
+        assert!((p.epsilon() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_scales_lambda() {
+        let e = Epsilon::new(0.5).unwrap();
+        let base = PrivTreeParams::from_epsilon(e, 8).unwrap();
+        let scaled = PrivTreeParams::from_epsilon_with_sensitivity(e, 8, 20.0).unwrap();
+        assert!((scaled.lambda - 20.0 * base.lambda).abs() < 1e-9);
+        // δ keeps the same γ = ln β ratio
+        assert!((scaled.delta / scaled.lambda - base.delta / base.lambda).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_score_floor() {
+        let p = PrivTreeParams {
+            lambda: 1.0,
+            delta: 2.0,
+            theta: 0.0,
+            node_limit: 1000,
+        };
+        // c − depth·δ above the floor
+        assert_eq!(p.biased_score(10.0, 2), 6.0);
+        // floor at θ − δ
+        assert_eq!(p.biased_score(0.0, 3), -2.0);
+        assert_eq!(p.biased_score(-100.0, 0), -2.0);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let e = Epsilon::new(1.0).unwrap();
+        assert!(PrivTreeParams::from_epsilon(e, 1).is_err());
+        assert!(PrivTreeParams::from_epsilon_with_sensitivity(e, 4, 0.0).is_err());
+        assert!(PrivTreeParams::from_epsilon_with_gamma(e, -1.0).is_err());
+        assert!(SimpleTreeParams::from_epsilon(e, 0, 0.0).is_err());
+        let bad = PrivTreeParams {
+            lambda: -1.0,
+            delta: 1.0,
+            theta: 0.0,
+            node_limit: 10,
+        };
+        assert!(bad.checked().is_err());
+    }
+
+    #[test]
+    fn simple_tree_lambda_is_h_over_eps() {
+        let p = SimpleTreeParams::from_epsilon(Epsilon::new(0.5).unwrap(), 6, 25.0).unwrap();
+        assert!((p.lambda - 12.0).abs() < 1e-12);
+        assert_eq!(p.height, 6);
+    }
+}

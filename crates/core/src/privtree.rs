@@ -1,0 +1,180 @@
+//! PrivTree — Algorithm 2 of the paper.
+//!
+//! The construction mirrors the pseudo-code line by line:
+//!
+//! ```text
+//! 1  initialize a tree T with a root node v1          (Tree::with_root)
+//! 2  set dom(v1) = Ω, mark v1 unvisited               (work queue)
+//! 3  while there exists an unvisited node v:
+//! 4    mark v as visited
+//! 5    b(v) = c(v) − depth(v)·δ                       (biased score)
+//! 6    b(v) = max(b(v), θ − δ)                        (floor)
+//! 7    b̂(v) = b(v) + Lap(λ)
+//! 8    if b̂(v) > θ: split v, add children to T
+//! 11 return T with all point counts removed
+//! ```
+//!
+//! The returned [`Tree`] carries only the sub-domain payloads — no scores
+//! and no noisy values — matching line 11. Noisy counts, when needed, are a
+//! separate ε/2 postprocessing pass (see [`crate::counts`]).
+
+use std::collections::VecDeque;
+
+use privtree_dp::laplace::Laplace;
+use rand::Rng;
+
+use crate::domain::TreeDomain;
+use crate::params::PrivTreeParams;
+use crate::tree::Tree;
+use crate::{CoreError, Result};
+
+/// Run PrivTree over `domain` with the given parameters.
+///
+/// The caller is responsible for having calibrated `params` to the desired
+/// ε (see [`PrivTreeParams::from_epsilon`]); by Theorem 3.1 the release of
+/// the returned tree structure is then ε-differentially private.
+pub fn build_privtree<D: TreeDomain, R: Rng + ?Sized>(
+    domain: &D,
+    params: &PrivTreeParams,
+    rng: &mut R,
+) -> Result<Tree<D::Node>> {
+    let params = params.checked()?;
+    let noise = Laplace::centered(params.lambda)
+        .map_err(|e| CoreError::BadParams(e.to_string()))?;
+
+    let mut tree = Tree::with_root(domain.root());
+    let mut queue = VecDeque::new();
+    queue.push_back(tree.root());
+
+    while let Some(v) = queue.pop_front() {
+        // lines 5-6: biased score with the θ − δ floor
+        let raw = domain.score(tree.payload(v));
+        let biased = params.biased_score(raw, tree.depth(v));
+        // line 7: add Laplace noise of constant scale λ
+        let noisy = biased + noise.sample(rng);
+        // line 8: split when the noisy biased score clears the threshold
+        if noisy > params.theta {
+            if let Some(children) = domain.split(tree.payload(v)) {
+                if tree.len() + children.len() > params.node_limit {
+                    return Err(CoreError::TreeTooLarge {
+                        limit: params.node_limit,
+                    });
+                }
+                for child in tree.add_children(v, children) {
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::LineDomain;
+    use privtree_dp::budget::Epsilon;
+    use privtree_dp::rng::seeded;
+
+    fn clustered_points(n: usize) -> Vec<f64> {
+        // all points packed into [0, 1/64): a heavily skewed distribution
+        (0..n).map(|i| (i as f64) / (n as f64) / 64.0).collect()
+    }
+
+    #[test]
+    fn grows_deep_into_dense_regions() {
+        let domain = LineDomain::new(clustered_points(100_000));
+        let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2).unwrap();
+        let tree = build_privtree(&domain, &params, &mut seeded(1)).unwrap();
+        // the dense cluster needs depth ≫ 6 to resolve; a depth-limited
+        // tree of height 6 could never reach it
+        assert!(tree.max_depth() > 8, "max depth = {}", tree.max_depth());
+        // and the empty half of the domain stays shallow: the right child
+        // of the root (covering [0.5, 1)) should be a leaf
+        let right = tree.children(tree.root()).nth(1).unwrap();
+        assert!(tree.is_leaf(right) || tree.children(right).count() == 2);
+    }
+
+    #[test]
+    fn uniform_data_gives_balanced_tree() {
+        let pts: Vec<f64> = (0..4096).map(|i| (i as f64 + 0.5) / 4096.0).collect();
+        let domain = LineDomain::new(pts);
+        let params = PrivTreeParams::from_epsilon(Epsilon::new(2.0).unwrap(), 2).unwrap();
+        let tree = build_privtree(&domain, &params, &mut seeded(7)).unwrap();
+        // depth histogram should look geometric (full levels near the top)
+        let hist = tree.depth_histogram();
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[1], 2);
+        assert_eq!(hist[2], 4);
+    }
+
+    #[test]
+    fn empty_data_usually_yields_single_node() {
+        let domain = LineDomain::new(vec![]);
+        let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2).unwrap();
+        // With b(root) = θ − δ the split probability is 1/(2β) = 1/4, so
+        // over several seeds most trees are a lone root.
+        let mut single = 0;
+        for seed in 0..40 {
+            let tree = build_privtree(&domain, &params, &mut seeded(seed)).unwrap();
+            if tree.len() == 1 {
+                single += 1;
+            }
+        }
+        assert!(single > 20, "only {single}/40 were single nodes");
+    }
+
+    #[test]
+    fn respects_node_limit() {
+        let domain = LineDomain::new(clustered_points(10_000));
+        let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2)
+            .unwrap()
+            .with_node_limit(5);
+        let err = build_privtree(&domain, &params, &mut seeded(3)).unwrap_err();
+        assert_eq!(err, CoreError::TreeTooLarge { limit: 5 });
+    }
+
+    #[test]
+    fn respects_min_width_floor() {
+        let domain = LineDomain::new(clustered_points(100_000)).with_min_width(1.0 / 32.0);
+        let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2).unwrap();
+        let tree = build_privtree(&domain, &params, &mut seeded(5)).unwrap();
+        assert!(tree.max_depth() <= 5, "max depth = {}", tree.max_depth());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let domain = LineDomain::new(clustered_points(1000));
+        let params = PrivTreeParams::from_epsilon(Epsilon::new(0.5).unwrap(), 2).unwrap();
+        let a = build_privtree(&domain, &params, &mut seeded(11)).unwrap();
+        let b = build_privtree(&domain, &params, &mut seeded(11)).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.depth_histogram(), b.depth_histogram());
+    }
+
+    #[test]
+    fn lemma_3_2_expected_size_bound() {
+        // E[|T|] ≤ 2·|T*| whenever |T*| > 1 (with δ = λ ln β, θ as given).
+        let pts: Vec<f64> = (0..2000).map(|i| (i as f64 + 0.5) / 2000.0).collect();
+        let domain = LineDomain::new(pts).with_min_width(1.0 / 1024.0);
+        let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2)
+            .unwrap()
+            .with_theta(100.0);
+        let t_star = crate::nonprivate::nonprivate_tree(&domain, params.theta, None);
+        assert!(t_star.len() > 1);
+        let reps = 60;
+        let mut total = 0usize;
+        for seed in 0..reps {
+            total += build_privtree(&domain, &params, &mut seeded(1000 + seed))
+                .unwrap()
+                .len();
+        }
+        let mean = total as f64 / reps as f64;
+        // allow sampling slack above the theoretical factor of 2
+        assert!(
+            mean <= 2.2 * t_star.len() as f64,
+            "mean |T| = {mean}, |T*| = {}",
+            t_star.len()
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! SimpleTree — Algorithm 1 of the paper (the generic private quadtree
+//! approach of Cormode et al. \[12\] and successors).
+//!
+//! Each visited node receives a noisy count `ĉ(v) = c(v) + Lap(λ)`; the
+//! node is split iff `ĉ(v) > θ` **and** `depth(v) < h − 1`. Releasing all
+//! noisy counts of a height-h tree has sensitivity h, so ε-DP requires
+//! `λ ≥ h/ε` — the dilemma PrivTree removes.
+
+use std::collections::VecDeque;
+
+use privtree_dp::laplace::Laplace;
+use rand::Rng;
+
+use crate::domain::TreeDomain;
+use crate::params::SimpleTreeParams;
+use crate::tree::Tree;
+use crate::{CoreError, Result};
+
+/// Output of Algorithm 1: the decomposition plus the noisy count attached
+/// to every node (indexed by [`crate::tree::NodeId`] arena order).
+#[derive(Debug, Clone)]
+pub struct SimpleTreeOutput<N> {
+    /// The decomposition tree.
+    pub tree: Tree<N>,
+    /// `ĉ(v)` for every node, in arena order. Unlike PrivTree, these are
+    /// part of the released output (they already paid for their privacy via
+    /// the h/ε noise scale).
+    pub noisy_counts: Vec<f64>,
+}
+
+/// Run SimpleTree over `domain`.
+pub fn build_simple_tree<D: TreeDomain, R: Rng + ?Sized>(
+    domain: &D,
+    params: &SimpleTreeParams,
+    rng: &mut R,
+) -> Result<SimpleTreeOutput<D::Node>> {
+    if params.height == 0 {
+        return Err(CoreError::BadParams("height must be at least 1".into()));
+    }
+    let noise =
+        Laplace::centered(params.lambda).map_err(|e| CoreError::BadParams(e.to_string()))?;
+
+    let mut tree = Tree::with_root(domain.root());
+    let mut noisy_counts = Vec::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(tree.root());
+
+    while let Some(v) = queue.pop_front() {
+        // lines 5-6: noisy version of the exact count
+        let c = domain.score(tree.payload(v));
+        let c_hat = c + noise.sample(rng);
+        debug_assert_eq!(noisy_counts.len(), v.index());
+        noisy_counts.push(c_hat);
+        // line 7: split only while the height budget allows
+        if c_hat > params.theta && tree.depth(v) < params.height - 1 {
+            if let Some(children) = domain.split(tree.payload(v)) {
+                if tree.len() + children.len() > params.node_limit {
+                    return Err(CoreError::TreeTooLarge {
+                        limit: params.node_limit,
+                    });
+                }
+                for child in tree.add_children(v, children) {
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+    Ok(SimpleTreeOutput { tree, noisy_counts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::LineDomain;
+    use crate::params::SimpleTreeParams;
+    use privtree_dp::budget::Epsilon;
+    use privtree_dp::rng::seeded;
+
+    fn clustered_points(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64) / (n as f64) / 64.0).collect()
+    }
+
+    #[test]
+    fn height_is_hard_capped() {
+        let domain = LineDomain::new(clustered_points(1_000_000));
+        for h in [1u32, 2, 4, 6] {
+            let params = SimpleTreeParams::from_epsilon(Epsilon::new(10.0).unwrap(), h, 0.0)
+                .unwrap();
+            let out = build_simple_tree(&domain, &params, &mut seeded(2)).unwrap();
+            assert!(
+                out.tree.max_depth() < h,
+                "h = {h}, depth = {}",
+                out.tree.max_depth()
+            );
+        }
+    }
+
+    #[test]
+    fn every_node_has_a_noisy_count() {
+        let domain = LineDomain::new(clustered_points(5000));
+        let params = SimpleTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 5, 0.0).unwrap();
+        let out = build_simple_tree(&domain, &params, &mut seeded(9)).unwrap();
+        assert_eq!(out.noisy_counts.len(), out.tree.len());
+    }
+
+    #[test]
+    fn noise_grows_with_height() {
+        // the core dilemma: λ = h/ε, so deep trees get noisy counts
+        let e = Epsilon::new(1.0).unwrap();
+        let p3 = SimpleTreeParams::from_epsilon(e, 3, 0.0).unwrap();
+        let p12 = SimpleTreeParams::from_epsilon(e, 12, 0.0).unwrap();
+        assert!((p3.lambda - 3.0).abs() < 1e-12);
+        assert!((p12.lambda - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cannot_resolve_fine_clusters_with_small_height() {
+        // With h = 4 the tree can only reach width 1/8 intervals; the
+        // cluster in [0, 1/64) is never isolated.
+        let domain = LineDomain::new(clustered_points(100_000));
+        let params = SimpleTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 4, 0.0).unwrap();
+        let out = build_simple_tree(&domain, &params, &mut seeded(21)).unwrap();
+        assert!(out.tree.max_depth() <= 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let domain = LineDomain::new(clustered_points(500));
+        let params = SimpleTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 6, 0.0).unwrap();
+        let a = build_simple_tree(&domain, &params, &mut seeded(4)).unwrap();
+        let b = build_simple_tree(&domain, &params, &mut seeded(4)).unwrap();
+        assert_eq!(a.tree.len(), b.tree.len());
+        assert_eq!(a.noisy_counts, b.noisy_counts);
+    }
+}

@@ -1,0 +1,223 @@
+//! Categorical-taxonomy decomposition (Section 3.5, extension 1).
+//!
+//! "Suppose that we are given a multi-dimensional dataset D containing …
+//! categorical attributes, and that each categorical attribute has a
+//! taxonomy. Then, we can still apply PrivTree on D … by splitting each
+//! categorical dimension based on its taxonomy."
+//!
+//! [`TaxonomyDomain`] decomposes a single categorical attribute along its
+//! taxonomy tree; the score of a taxonomy node is the number of tuples
+//! whose category falls in its subtree (sensitivity 1, monotone by
+//! construction).
+
+use crate::domain::TreeDomain;
+
+/// A taxonomy: a rooted tree of named categories. Leaves are the concrete
+/// category values tuples can take.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    names: Vec<String>,
+    children: Vec<Vec<usize>>,
+    parent: Vec<Option<usize>>,
+}
+
+impl Taxonomy {
+    /// A taxonomy containing only a root category.
+    pub fn new(root_name: &str) -> Self {
+        Self {
+            names: vec![root_name.to_string()],
+            children: vec![Vec::new()],
+            parent: vec![None],
+        }
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Add a child category under `parent`, returning its id.
+    pub fn add_child(&mut self, parent: usize, name: &str) -> usize {
+        assert!(parent < self.names.len(), "no such parent");
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.children.push(Vec::new());
+        self.parent.push(Some(parent));
+        self.children[parent].push(id);
+        id
+    }
+
+    /// Name of a node.
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// Child ids of a node.
+    pub fn children(&self, id: usize) -> &[usize] {
+        &self.children[id]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// `true` iff `id` has no children (a concrete category).
+    pub fn is_leaf(&self, id: usize) -> bool {
+        self.children[id].is_empty()
+    }
+
+    /// Ids of all leaves.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.len()).filter(|i| self.is_leaf(*i)).collect()
+    }
+
+    /// Maximum number of children over all nodes.
+    pub fn max_fanout(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// A [`TreeDomain`] over a taxonomy: each dataset tuple is a leaf-category
+/// id, the score of a node is the number of tuples in its subtree.
+#[derive(Debug, Clone)]
+pub struct TaxonomyDomain {
+    taxonomy: Taxonomy,
+    /// subtree tuple count per taxonomy node
+    subtree_counts: Vec<u64>,
+}
+
+impl TaxonomyDomain {
+    /// Build from a taxonomy and the leaf-category of every tuple.
+    ///
+    /// Panics if a tuple references a non-leaf or out-of-range category.
+    pub fn new(taxonomy: Taxonomy, tuples: &[usize]) -> Self {
+        let mut counts = vec![0u64; taxonomy.len()];
+        for &t in tuples {
+            assert!(t < taxonomy.len() && taxonomy.is_leaf(t), "tuple category {t} invalid");
+            counts[t] += 1;
+        }
+        // accumulate leaf counts upward; children always have larger ids
+        // than parents (add_child appends), so a reverse scan works
+        for id in (1..taxonomy.len()).rev() {
+            if let Some(p) = taxonomy.parent[id] {
+                counts[p] += counts[id];
+            }
+        }
+        Self {
+            taxonomy,
+            subtree_counts: counts,
+        }
+    }
+
+    /// The underlying taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+}
+
+impl TreeDomain for TaxonomyDomain {
+    type Node = usize;
+
+    fn root(&self) -> usize {
+        self.taxonomy.root()
+    }
+
+    fn fanout(&self) -> usize {
+        self.taxonomy.max_fanout().max(2)
+    }
+
+    fn split(&self, node: &usize) -> Option<Vec<usize>> {
+        let kids = self.taxonomy.children(*node);
+        if kids.is_empty() {
+            None
+        } else {
+            Some(kids.to_vec())
+        }
+    }
+
+    fn score(&self, node: &usize) -> f64 {
+        self.subtree_counts[*node] as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PrivTreeParams;
+    use crate::privtree::build_privtree;
+    use privtree_dp::budget::Epsilon;
+    use privtree_dp::rng::seeded;
+
+    /// A small product taxonomy: goods → {food → {fruit, dairy}, tech}.
+    fn product_taxonomy() -> (Taxonomy, usize, usize, usize) {
+        let mut t = Taxonomy::new("goods");
+        let food = t.add_child(0, "food");
+        let fruit = t.add_child(food, "fruit");
+        let dairy = t.add_child(food, "dairy");
+        let tech = t.add_child(0, "tech");
+        (t, fruit, dairy, tech)
+    }
+
+    #[test]
+    fn subtree_counts_accumulate() {
+        let (t, fruit, dairy, tech) = product_taxonomy();
+        let tuples: Vec<usize> = std::iter::repeat_n(fruit, 5)
+            .chain(std::iter::repeat_n(dairy, 3))
+            .chain(std::iter::repeat_n(tech, 2))
+            .collect();
+        let d = TaxonomyDomain::new(t, &tuples);
+        assert_eq!(d.score(&0), 10.0); // root
+        assert_eq!(d.score(&1), 8.0); // food
+        assert_eq!(d.score(&fruit), 5.0);
+        assert_eq!(d.score(&tech), 2.0);
+    }
+
+    #[test]
+    fn monotone_score() {
+        let (t, fruit, ..) = product_taxonomy();
+        let d = TaxonomyDomain::new(t, &[fruit; 7]);
+        // every child scores no more than its parent
+        for id in 0..d.taxonomy().len() {
+            if let Some(kids) = d.split(&id) {
+                for k in kids {
+                    assert!(d.score(&k) <= d.score(&id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_cannot_split() {
+        let (t, fruit, ..) = product_taxonomy();
+        let d = TaxonomyDomain::new(t, &[fruit]);
+        assert!(d.split(&fruit).is_none());
+    }
+
+    #[test]
+    fn privtree_over_taxonomy_runs() {
+        let (t, fruit, dairy, tech) = product_taxonomy();
+        let tuples: Vec<usize> = std::iter::repeat_n(fruit, 500)
+            .chain(std::iter::repeat_n(dairy, 10))
+            .chain(std::iter::repeat_n(tech, 5))
+            .collect();
+        let d = TaxonomyDomain::new(t, &tuples);
+        let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), d.fanout()).unwrap();
+        let tree = build_privtree(&d, &params, &mut seeded(8)).unwrap();
+        // the dense "food" branch should be expanded with high probability
+        assert!(tree.len() >= 3, "tree len = {}", tree.len());
+        assert!(tree.max_depth() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn rejects_non_leaf_tuples() {
+        let (t, ..) = product_taxonomy();
+        TaxonomyDomain::new(t, &[0]); // root is not a leaf category
+    }
+}

@@ -1,0 +1,316 @@
+//! Arena-backed decomposition trees.
+//!
+//! Nodes live in a flat `Vec`; children of a node are contiguous (they are
+//! always appended together when a node is split), so each node stores only
+//! a `(first_child, child_count)` pair. This keeps the tree cache-friendly
+//! for the traversal-heavy query answering of Section 2.2 and makes
+//! bottom-up aggregation a simple reverse scan.
+
+/// Index of a node within a [`Tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The root of every tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Raw index into the node arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild an id from a raw arena index (used by deserializers; the
+    /// index is validated on first use against the target tree).
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        assert!(index <= u32::MAX as usize);
+        NodeId(index as u32)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    parent: u32, // u32::MAX for the root
+    first_child: u32,
+    child_count: u32,
+    depth: u32,
+    payload: T,
+}
+
+/// A rooted tree whose node payloads are `T` (e.g. spatial regions or PST
+/// predictor strings).
+#[derive(Debug, Clone)]
+pub struct Tree<T> {
+    nodes: Vec<Entry<T>>,
+}
+
+impl<T> Tree<T> {
+    /// A tree containing only a root with the given payload.
+    pub fn with_root(payload: T) -> Self {
+        Self {
+            nodes: vec![Entry {
+                parent: u32::MAX,
+                first_child: 0,
+                child_count: 0,
+                depth: 0,
+                payload,
+            }],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the tree is just a root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The root id (always [`NodeId::ROOT`]).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Append `children` payloads as the children of `parent`.
+    ///
+    /// Panics if `parent` already has children (a node is split at most
+    /// once) or if the arena would exceed `u32` indices.
+    pub fn add_children(&mut self, parent: NodeId, children: Vec<T>) -> Vec<NodeId> {
+        assert_eq!(
+            self.nodes[parent.index()].child_count,
+            0,
+            "node split twice"
+        );
+        assert!(
+            self.nodes.len() + children.len() <= u32::MAX as usize,
+            "tree exceeds u32 node indices"
+        );
+        let first = self.nodes.len() as u32;
+        let depth = self.nodes[parent.index()].depth + 1;
+        let n = children.len() as u32;
+        for payload in children {
+            self.nodes.push(Entry {
+                parent: parent.0,
+                first_child: 0,
+                child_count: 0,
+                depth,
+                payload,
+            });
+        }
+        let e = &mut self.nodes[parent.index()];
+        e.first_child = first;
+        e.child_count = n;
+        (first..first + n).map(NodeId).collect()
+    }
+
+    /// Payload of a node.
+    #[inline]
+    pub fn payload(&self, id: NodeId) -> &T {
+        &self.nodes[id.index()].payload
+    }
+
+    /// Mutable payload of a node.
+    #[inline]
+    pub fn payload_mut(&mut self, id: NodeId) -> &mut T {
+        &mut self.nodes[id.index()].payload
+    }
+
+    /// Hop distance from the root (`depth(root) = 0`, as in Table 1).
+    #[inline]
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].depth
+    }
+
+    /// Parent of a node, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        let p = self.nodes[id.index()].parent;
+        (p != u32::MAX).then_some(NodeId(p))
+    }
+
+    /// Children of a node (empty for leaves).
+    #[inline]
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let e = &self.nodes[id.index()];
+        (e.first_child..e.first_child + e.child_count).map(NodeId)
+    }
+
+    /// `true` iff the node has no children.
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].child_count == 0
+    }
+
+    /// All node ids in arena (BFS-compatible) order: parents precede
+    /// children, so a forward scan is top-down and a reverse scan is
+    /// bottom-up.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Ids of all leaves.
+    pub fn leaf_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ids().filter(|id| self.is_leaf(*id))
+    }
+
+    /// Ids of all internal (split) nodes.
+    pub fn internal_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ids().filter(|id| !self.is_leaf(*id))
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_ids().count()
+    }
+
+    /// Maximum node depth; 0 for a root-only tree. This is `height − 1` in
+    /// the paper's Algorithm 1 terminology.
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.iter().map(|e| e.depth).max().unwrap_or(0)
+    }
+
+    /// Number of nodes at each depth, indexed by depth.
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_depth() as usize + 1];
+        for e in &self.nodes {
+            hist[e.depth as usize] += 1;
+        }
+        hist
+    }
+
+    /// The path of node ids from the root to `id`, inclusive.
+    pub fn path_from_root(&self, id: NodeId) -> Vec<NodeId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Map payloads to a new type, preserving structure.
+    pub fn map<U>(&self, mut f: impl FnMut(NodeId, &T) -> U) -> Tree<U> {
+        Tree {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, e)| Entry {
+                    parent: e.parent,
+                    first_child: e.first_child,
+                    child_count: e.child_count,
+                    depth: e.depth,
+                    payload: f(NodeId(i as u32), &e.payload),
+                })
+                .collect(),
+        }
+    }
+
+    /// Render the tree as indented text using `fmt` for payloads — handy in
+    /// examples and debugging output.
+    pub fn render(&self, mut fmt: impl FnMut(NodeId, &T) -> String) -> String {
+        let mut out = String::new();
+        let mut stack = vec![NodeId::ROOT];
+        while let Some(id) = stack.pop() {
+            let depth = self.depth(id) as usize;
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&fmt(id, self.payload(id)));
+            out.push('\n');
+            // push children in reverse so they pop in order
+            let kids: Vec<NodeId> = self.children(id).collect();
+            for k in kids.into_iter().rev() {
+                stack.push(k);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> Tree<&'static str> {
+        // root -> (a, b); a -> (a1, a2)
+        let mut t = Tree::with_root("root");
+        let kids = t.add_children(NodeId::ROOT, vec!["a", "b"]);
+        t.add_children(kids[0], vec!["a1", "a2"]);
+        t
+    }
+
+    #[test]
+    fn structure_invariants() {
+        let t = sample_tree();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.max_depth(), 2);
+        assert_eq!(t.depth_histogram(), vec![1, 2, 2]);
+        assert!(t.parent(NodeId::ROOT).is_none());
+        let kids: Vec<NodeId> = t.children(NodeId::ROOT).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(*t.payload(kids[0]), "a");
+        assert_eq!(t.parent(kids[0]), Some(NodeId::ROOT));
+        assert!(t.is_leaf(kids[1]));
+        assert!(!t.is_leaf(kids[0]));
+    }
+
+    #[test]
+    fn parents_precede_children_in_arena_order() {
+        let t = sample_tree();
+        for id in t.ids() {
+            if let Some(p) = t.parent(id) {
+                assert!(p < id);
+            }
+        }
+    }
+
+    #[test]
+    fn path_from_root() {
+        let t = sample_tree();
+        let a1 = t.ids().find(|id| *t.payload(*id) == "a1").unwrap();
+        let path: Vec<&str> = t.path_from_root(a1).iter().map(|id| *t.payload(*id)).collect();
+        assert_eq!(path, vec!["root", "a", "a1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node split twice")]
+    fn double_split_panics() {
+        let mut t = sample_tree();
+        t.add_children(NodeId::ROOT, vec!["c"]);
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let t = sample_tree();
+        let u = t.map(|_, s| s.len());
+        assert_eq!(u.len(), t.len());
+        assert_eq!(u.depth_histogram(), t.depth_histogram());
+        assert_eq!(*u.payload(NodeId::ROOT), 4);
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let t = sample_tree();
+        let s = t.render(|_, p| p.to_string());
+        assert!(s.starts_with("root\n  a\n    a1"));
+    }
+
+    #[test]
+    fn leaf_and_internal_partition() {
+        let t = sample_tree();
+        let leaves: Vec<NodeId> = t.leaf_ids().collect();
+        let internals: Vec<NodeId> = t.internal_ids().collect();
+        assert_eq!(leaves.len() + internals.len(), t.len());
+        for l in &leaves {
+            assert!(!internals.contains(l));
+        }
+    }
+}

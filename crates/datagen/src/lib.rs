@@ -1,0 +1,24 @@
+//! Seeded synthetic datasets standing in for the paper's evaluation data.
+//!
+//! The paper evaluates on four real spatial datasets (road, Gowalla, NYC
+//! taxi, Beijing taxi — Table 2) and two real sequence datasets (mooc,
+//! msnbc — Table 3), none of which ship with this reproduction. Each
+//! generator here is calibrated to the published characteristics
+//! (cardinality, dimensionality, alphabet size, mean sequence length) and
+//! to the *qualitative* property the paper's analysis leans on — the
+//! skewness ordering road ≻ Gowalla and NYC ≻ Beijing, and the
+//! short-vs-long sequence-length profiles of msnbc vs mooc. See DESIGN.md
+//! §3 for the substitution rationale.
+//!
+//! Everything is deterministic given a `u64` seed.
+
+pub mod sequence;
+pub mod spatial;
+pub mod viz;
+pub mod workload;
+
+pub use sequence::{mooc_like, msnbc_like, SequenceData, SequenceSpec, MOOC, MSNBC};
+pub use spatial::{
+    beijing_like, gowalla_like, nyc_like, road_like, SpatialSpec, BEIJING, GOWALLA, NYC, ROAD,
+};
+pub use workload::{range_queries, QuerySize};

@@ -1,0 +1,297 @@
+//! Synthetic sequence datasets calibrated to Table 3 of the paper.
+//!
+//! | name  | |I| | n (paper) | mean len | l⊤ | what we emulate              |
+//! |-------|-----|-----------|----------|----|------------------------------|
+//! | mooc  |  7  |    80,362 |   13.46  | 50 | long sticky sessions of MOOC learner actions |
+//! | msnbc | 17  |   989,818 |    4.75  | 20 | short page-category browsing histories |
+//!
+//! Sequences are generated from hidden first-order Markov chains with
+//! skewed symbol popularity, sticky self-transitions, and symbol-dependent
+//! stopping probabilities — exactly the structure a variable-order Markov
+//! model (the paper's PST) is good at capturing, and the regime where its
+//! advantage over flat n-gram counting shows.
+
+use privtree_dp::rng::{derive_seed, seeded};
+use rand::{Rng, RngExt};
+
+/// A raw synthetic sequence dataset (symbols are `0..alphabet_size`).
+#[derive(Debug, Clone)]
+pub struct SequenceData {
+    /// The sequences, each a list of symbol ids.
+    pub sequences: Vec<Vec<u8>>,
+    /// Number of distinct symbols |I|.
+    pub alphabet_size: usize,
+    /// Dataset name.
+    pub name: &'static str,
+}
+
+impl SequenceData {
+    /// Total number of sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// `true` iff there are no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Mean sequence length.
+    pub fn mean_length(&self) -> f64 {
+        if self.sequences.is_empty() {
+            return 0.0;
+        }
+        self.sequences.iter().map(Vec::len).sum::<usize>() as f64 / self.sequences.len() as f64
+    }
+
+    /// The q-quantile of sequence lengths (non-private; the DP version
+    /// lives in `privtree_dp::quantile`).
+    pub fn length_quantile(&self, q: f64) -> usize {
+        let mut lens: Vec<usize> = self.sequences.iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        let idx = ((lens.len() as f64 - 1.0) * q).round() as usize;
+        lens[idx]
+    }
+}
+
+/// Descriptor of a synthetic sequence dataset (mirrors Table 3 rows).
+#[derive(Debug, Clone, Copy)]
+pub struct SequenceSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Alphabet size |I|.
+    pub alphabet: usize,
+    /// Cardinality in the paper.
+    pub default_n: usize,
+    /// The l⊤ used in Section 6.2.
+    pub l_top: usize,
+    /// Mean sequence length in the paper.
+    pub paper_mean_length: f64,
+}
+
+/// mooc: 7 behavior categories, 80,362 learners, mean length 13.46.
+pub const MOOC: SequenceSpec = SequenceSpec {
+    name: "mooc",
+    alphabet: 7,
+    default_n: 80_362,
+    l_top: 50,
+    paper_mean_length: 13.46,
+};
+
+/// msnbc: 17 URL categories, 989,818 users, mean length 4.75.
+pub const MSNBC: SequenceSpec = SequenceSpec {
+    name: "msnbc",
+    alphabet: 17,
+    default_n: 989_818,
+    l_top: 20,
+    paper_mean_length: 4.75,
+};
+
+fn power_law_weights(k: usize, alpha: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..k).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let s: f64 = w.iter().sum();
+    w.iter_mut().for_each(|x| *x /= s);
+    w
+}
+
+fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let mut t = rng.random::<f64>();
+    for (i, w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// A hidden Markov-chain sequence generator.
+struct ChainParams {
+    alphabet: usize,
+    /// popularity exponent for the base symbol distribution
+    alpha: f64,
+    /// probability mass given to repeating the previous symbol
+    stickiness: f64,
+    /// per-symbol stop probability multiplier (symbol k stops with
+    /// probability `stop_base · stop_mult[k]`)
+    stop_base: f64,
+    /// hard length cap (before any l⊤ truncation downstream)
+    max_len: usize,
+}
+
+fn markov_sequences(n: usize, seed: u64, p: ChainParams, name: &'static str) -> SequenceData {
+    let mut rng = seeded(seed);
+    let base = power_law_weights(p.alphabet, p.alpha);
+    // symbol-dependent stopping: popular symbols keep sessions alive,
+    // the rarest symbols often end them (like "close the web page")
+    let stop_mult: Vec<f64> = (0..p.alphabet)
+        .map(|k| 0.5 + 1.5 * (k as f64) / (p.alphabet as f64))
+        .collect();
+    // per-symbol "next" distributions: sticky + neighbor-biased popularity
+    let transitions: Vec<Vec<f64>> = (0..p.alphabet)
+        .map(|from| {
+            let mut row: Vec<f64> = (0..p.alphabet)
+                .map(|to| {
+                    let dist = (from as isize - to as isize).unsigned_abs() as f64;
+                    base[to] * (-0.35 * dist).exp()
+                })
+                .collect();
+            let s: f64 = row.iter().sum();
+            row.iter_mut().for_each(|x| *x /= s);
+            // mix in stickiness
+            row.iter_mut().for_each(|x| *x *= 1.0 - p.stickiness);
+            row[from] += p.stickiness;
+            row
+        })
+        .collect();
+
+    let mut sequences = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut seq = Vec::new();
+        let mut cur = sample_weighted(&base, &mut rng);
+        seq.push(cur as u8);
+        while seq.len() < p.max_len {
+            let stop_p = (p.stop_base * stop_mult[cur]).min(0.95);
+            if rng.random::<f64>() < stop_p {
+                break;
+            }
+            cur = sample_weighted(&transitions[cur], &mut rng);
+            seq.push(cur as u8);
+        }
+        sequences.push(seq);
+    }
+    SequenceData {
+        sequences,
+        alphabet_size: p.alphabet,
+        name,
+    }
+}
+
+/// Generate a mooc-like dataset: 7 symbols, sticky long sessions,
+/// mean length ≈ 13.5 with a heavy tail past l⊤ = 50.
+pub fn mooc_like(n: usize, seed: u64) -> SequenceData {
+    markov_sequences(
+        n,
+        derive_seed(seed, 0x3000c),
+        ChainParams {
+            alphabet: 7,
+            alpha: 0.9,
+            stickiness: 0.35,
+            stop_base: 0.091,
+            max_len: 220,
+        },
+        "mooc",
+    )
+}
+
+/// Generate an msnbc-like dataset: 17 symbols, short browsing bursts,
+/// mean length ≈ 4.75 with a tail past l⊤ = 20.
+pub fn msnbc_like(n: usize, seed: u64) -> SequenceData {
+    markov_sequences(
+        n,
+        derive_seed(seed, 0x35bc),
+        ChainParams {
+            alphabet: 17,
+            alpha: 1.1,
+            stickiness: 0.30,
+            stop_base: 0.305,
+            max_len: 120,
+        },
+        "msnbc",
+    )
+}
+
+/// Generate by spec name.
+pub fn generate(spec: &SequenceSpec, n: usize, seed: u64) -> SequenceData {
+    match spec.name {
+        "mooc" => mooc_like(n, seed),
+        "msnbc" => msnbc_like(n, seed),
+        other => panic!("unknown sequence spec {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mooc_mean_length_near_paper() {
+        let d = mooc_like(20_000, 1);
+        let m = d.mean_length();
+        assert!(
+            (m - MOOC.paper_mean_length).abs() < 2.5,
+            "mooc mean length {m}, paper 13.46"
+        );
+    }
+
+    #[test]
+    fn msnbc_mean_length_near_paper() {
+        let d = msnbc_like(20_000, 1);
+        let m = d.mean_length();
+        assert!(
+            (m - MSNBC.paper_mean_length).abs() < 1.2,
+            "msnbc mean length {m}, paper 4.75"
+        );
+    }
+
+    #[test]
+    fn truncation_tail_exists_like_table_3() {
+        // Table 3: ~4.5% of mooc sequences exceed l⊤ = 50, ~3.2% of msnbc
+        // exceed l⊤ = 20; we only require a visible few-percent tail.
+        let mooc = mooc_like(20_000, 2);
+        let over = mooc.sequences.iter().filter(|s| s.len() > MOOC.l_top).count();
+        let frac = over as f64 / mooc.len() as f64;
+        assert!(frac > 0.005 && frac < 0.15, "mooc over-l⊤ fraction {frac}");
+
+        let msnbc = msnbc_like(20_000, 2);
+        let over = msnbc.sequences.iter().filter(|s| s.len() > MSNBC.l_top).count();
+        let frac = over as f64 / msnbc.len() as f64;
+        assert!(frac > 0.005 && frac < 0.15, "msnbc over-l⊤ fraction {frac}");
+    }
+
+    #[test]
+    fn symbols_within_alphabet() {
+        let d = msnbc_like(2000, 3);
+        for s in &d.sequences {
+            assert!(!s.is_empty());
+            for &x in s {
+                assert!((x as usize) < d.alphabet_size);
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let d = mooc_like(10_000, 4);
+        let mut counts = vec![0usize; d.alphabet_size];
+        for s in &d.sequences {
+            for &x in s {
+                counts[x as usize] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max as f64 / total as f64 > 1.5 / d.alphabet_size as f64,
+            "most popular symbol should dominate a uniform share"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = mooc_like(100, 5);
+        let b = mooc_like(100, 5);
+        assert_eq!(a.sequences, b.sequences);
+    }
+
+    #[test]
+    fn length_quantile() {
+        let d = SequenceData {
+            sequences: vec![vec![0], vec![0; 2], vec![0; 3], vec![0; 4], vec![0; 100]],
+            alphabet_size: 1,
+            name: "test",
+        };
+        assert_eq!(d.length_quantile(0.5), 3);
+        assert_eq!(d.length_quantile(1.0), 100);
+    }
+}

@@ -1,0 +1,386 @@
+//! Synthetic spatial datasets calibrated to Table 2 of the paper.
+//!
+//! | name    | d | n (paper)  | skew  | structure we emulate                  |
+//! |---------|---|------------|-------|---------------------------------------|
+//! | road    | 2 | 1,634,165  | high  | grid-aligned junctions of road networks plus inter-city highways |
+//! | Gowalla | 2 |   107,091  | mid   | many Gaussian "city" clusters with power-law popularity |
+//! | NYC     | 4 |    98,013  | high  | correlated pickup/drop-off pairs from tight anisotropic clusters |
+//! | Beijing | 4 |    30,000  | mid   | same construction, broader clusters, more background |
+//!
+//! All coordinates live in the unit domain `[0,1)^d`; every private method
+//! under comparison is affine-invariant, so the domain choice is harmless.
+
+use privtree_dp::rng::{derive_seed, seeded};
+use privtree_spatial::dataset::PointSet;
+use rand::{Rng, RngExt};
+
+/// Descriptor of a synthetic spatial dataset (mirrors Table 2 rows).
+#[derive(Debug, Clone, Copy)]
+pub struct SpatialSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Dimensionality d.
+    pub dims: usize,
+    /// Cardinality n in the paper.
+    pub default_n: usize,
+    /// One-line description for Table 2 reproduction.
+    pub description: &'static str,
+}
+
+/// road: 2-d, 1,634,165 road junctions (WA + NM).
+pub const ROAD: SpatialSpec = SpatialSpec {
+    name: "road",
+    dims: 2,
+    default_n: 1_634_165,
+    description: "Synthetic road-network junctions (grid-city + highway structure)",
+};
+
+/// Gowalla: 2-d, 107,091 check-ins.
+pub const GOWALLA: SpatialSpec = SpatialSpec {
+    name: "Gowalla",
+    dims: 2,
+    default_n: 107_091,
+    description: "Synthetic check-ins (power-law city clusters)",
+};
+
+/// NYC: 4-d, 98,013 taxi pickup + drop-off pairs.
+pub const NYC: SpatialSpec = SpatialSpec {
+    name: "NYC",
+    dims: 4,
+    default_n: 98_013,
+    description: "Synthetic taxi trips, tight correlated clusters (high skew)",
+};
+
+/// Beijing: 4-d, 30,000 taxi pickup + drop-off pairs.
+pub const BEIJING: SpatialSpec = SpatialSpec {
+    name: "Beijing",
+    dims: 4,
+    default_n: 30_000,
+    description: "Synthetic taxi trips, broad clusters (moderate skew)",
+};
+
+/// Generate the dataset named by `spec` with `n` points.
+pub fn generate(spec: &SpatialSpec, n: usize, seed: u64) -> PointSet {
+    match spec.name {
+        "road" => road_like(n, seed),
+        "Gowalla" => gowalla_like(n, seed),
+        "NYC" => nyc_like(n, seed),
+        "Beijing" => beijing_like(n, seed),
+        other => panic!("unknown spatial spec {other}"),
+    }
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0 - 1e-12)
+}
+
+/// Standard normal via Box–Muller (two uniforms per call; we use one and
+/// discard the pair partner for simplicity — generators are not hot paths).
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Power-law weights `w_i ∝ (i+1)^(-alpha)`, normalized.
+fn power_law_weights(k: usize, alpha: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..k).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let s: f64 = w.iter().sum();
+    w.iter_mut().for_each(|x| *x /= s);
+    w
+}
+
+fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let mut t = rng.random::<f64>();
+    for (i, w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Highly skewed 2-d data: junctions of grid-structured "city" road
+/// networks, plus junctions strung along inter-city highways, plus a thin
+/// uniform rural background. The grid snapping concentrates mass on
+/// near-1-d structures, reproducing what makes the real `road` dataset
+/// hard for uniform grids (Fig. 4a / Fig. 5a–c).
+pub fn road_like(n: usize, seed: u64) -> PointSet {
+    let mut rng = seeded(derive_seed(seed, 0x0a0d));
+    let n_cities = 14;
+    let centers: Vec<[f64; 2]> = (0..n_cities)
+        .map(|_| [rng.random::<f64>(), rng.random::<f64>()])
+        .collect();
+    let weights = power_law_weights(n_cities, 1.2);
+    // per-city street spacing and extent
+    let spacing: Vec<f64> = (0..n_cities)
+        .map(|_| 0.0006 + rng.random::<f64>() * 0.002)
+        .collect();
+    let extent: Vec<f64> = (0..n_cities)
+        .map(|_| 0.02 + rng.random::<f64>() * 0.06)
+        .collect();
+
+    let mut ps = PointSet::new(2);
+    for _ in 0..n {
+        let r: f64 = rng.random();
+        let p = if r < 0.80 {
+            // city grid junction: junction density decays as a power law
+            // from the city core (real road networks are skewed at every
+            // scale, which is what defeats fixed-resolution grids), then
+            // snaps to the street grid
+            let c = sample_weighted(&weights, &mut rng);
+            let s = spacing[c];
+            let sigma = extent[c];
+            let radius = sigma * rng.random::<f64>().powf(2.5) * 3.0;
+            let angle = rng.random::<f64>() * std::f64::consts::TAU;
+            let gx = ((radius * angle.cos()) / s).round() * s;
+            let gy = ((radius * angle.sin()) / s).round() * s;
+            // tiny jitter so junctions are not exact duplicates
+            [
+                clamp01(centers[c][0] + gx + gauss(&mut rng) * 1e-5),
+                clamp01(centers[c][1] + gy + gauss(&mut rng) * 1e-5),
+            ]
+        } else if r < 0.95 {
+            // highway junction between two cities, spaced along the road
+            let a = sample_weighted(&weights, &mut rng);
+            let b = sample_weighted(&weights, &mut rng);
+            let t = (rng.random::<f64>() * 180.0).round() / 180.0;
+            let x = centers[a][0] + t * (centers[b][0] - centers[a][0]);
+            let y = centers[a][1] + t * (centers[b][1] - centers[a][1]);
+            [
+                clamp01(x + gauss(&mut rng) * 3e-4),
+                clamp01(y + gauss(&mut rng) * 3e-4),
+            ]
+        } else {
+            // rural background
+            [rng.random::<f64>(), rng.random::<f64>()]
+        };
+        ps.push(&p);
+    }
+    ps
+}
+
+/// Moderately skewed 2-d data: many Gaussian city clusters with power-law
+/// popularity over a uniform background (Fig. 4b).
+pub fn gowalla_like(n: usize, seed: u64) -> PointSet {
+    let mut rng = seeded(derive_seed(seed, 0x90a11a));
+    let n_clusters = 150;
+    let centers: Vec<[f64; 2]> = (0..n_clusters)
+        .map(|_| [rng.random::<f64>(), rng.random::<f64>()])
+        .collect();
+    let weights = power_law_weights(n_clusters, 0.8);
+    let sigmas: Vec<f64> = (0..n_clusters)
+        .map(|_| 0.004 * (1.0 + 9.0 * rng.random::<f64>()))
+        .collect();
+
+    let mut ps = PointSet::new(2);
+    for _ in 0..n {
+        let p = if rng.random::<f64>() < 0.9 {
+            let c = sample_weighted(&weights, &mut rng);
+            [
+                clamp01(centers[c][0] + gauss(&mut rng) * sigmas[c]),
+                clamp01(centers[c][1] + gauss(&mut rng) * sigmas[c]),
+            ]
+        } else {
+            [rng.random::<f64>(), rng.random::<f64>()]
+        };
+        ps.push(&p);
+    }
+    ps
+}
+
+/// Parameters shared by the two taxi-trip generators.
+struct TaxiParams {
+    n_clusters: usize,
+    weight_alpha: f64,
+    sigma_lo: f64,
+    sigma_hi: f64,
+    anisotropy: f64,
+    trip_scale: f64,
+    background: f64,
+}
+
+fn taxi_like(n: usize, seed: u64, p: TaxiParams) -> PointSet {
+    let mut rng = seeded(seed);
+    let centers: Vec<[f64; 2]> = (0..p.n_clusters)
+        .map(|_| [rng.random::<f64>(), rng.random::<f64>()])
+        .collect();
+    let weights = power_law_weights(p.n_clusters, p.weight_alpha);
+    let sigmas: Vec<[f64; 2]> = (0..p.n_clusters)
+        .map(|_| {
+            let base = p.sigma_lo + rng.random::<f64>() * (p.sigma_hi - p.sigma_lo);
+            [base, base * p.anisotropy]
+        })
+        .collect();
+
+    let sample_loc = |rng: &mut privtree_dp::rng::SeededRng| -> [f64; 2] {
+        let c = sample_weighted(&weights, rng);
+        [
+            clamp01(centers[c][0] + gauss(rng) * sigmas[c][0]),
+            clamp01(centers[c][1] + gauss(rng) * sigmas[c][1]),
+        ]
+    };
+
+    let mut ps = PointSet::new(4);
+    for _ in 0..n {
+        if rng.random::<f64>() < p.background {
+            ps.push(&[
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+            ]);
+            continue;
+        }
+        let pickup = sample_loc(&mut rng);
+        // drop-off: heavy-tailed displacement from the pickup, or an
+        // independent popular destination
+        let dropoff = if rng.random::<f64>() < 0.7 {
+            let lap = |rng: &mut privtree_dp::rng::SeededRng| {
+                let u: f64 = rng.random::<f64>() - 0.5;
+                let u = if u == -0.5 { 0.5 - f64::EPSILON } else { u };
+                -p.trip_scale * u.signum() * (-2.0 * u.abs()).ln_1p()
+            };
+            [
+                clamp01(pickup[0] + lap(&mut rng)),
+                clamp01(pickup[1] + lap(&mut rng)),
+            ]
+        } else {
+            sample_loc(&mut rng)
+        };
+        ps.push(&[pickup[0], pickup[1], dropoff[0], dropoff[1]]);
+    }
+    ps
+}
+
+/// Highly skewed 4-d taxi trips: a few dominant tight clusters (pickup)
+/// with correlated drop-offs (Fig. 4c).
+pub fn nyc_like(n: usize, seed: u64) -> PointSet {
+    taxi_like(
+        n,
+        derive_seed(seed, 0x4e9c),
+        TaxiParams {
+            n_clusters: 10,
+            weight_alpha: 1.5,
+            sigma_lo: 0.004,
+            sigma_hi: 0.015,
+            anisotropy: 4.0,
+            trip_scale: 0.03,
+            background: 0.02,
+        },
+    )
+}
+
+/// Moderately skewed 4-d taxi trips: broader clusters, flatter popularity,
+/// more background (Fig. 4d).
+pub fn beijing_like(n: usize, seed: u64) -> PointSet {
+    taxi_like(
+        n,
+        derive_seed(seed, 0xbe11),
+        TaxiParams {
+            n_clusters: 25,
+            weight_alpha: 0.5,
+            sigma_lo: 0.03,
+            sigma_hi: 0.10,
+            anisotropy: 1.5,
+            trip_scale: 0.10,
+            background: 0.15,
+        },
+    )
+}
+
+/// A crude skewness measure: the fraction of points falling in the densest
+/// 1% of grid cells — used by tests to pin the road ≻ Gowalla and
+/// NYC ≻ Beijing orderings the paper's narrative depends on.
+pub fn top_cell_mass(ps: &PointSet, bins_per_dim: usize) -> f64 {
+    use privtree_spatial::geom::Rect;
+    use privtree_spatial::index::GridIndex;
+    let idx = GridIndex::build_with_bins(ps, &Rect::unit(ps.dims()), bins_per_dim);
+    let mut counts: Vec<u32> = idx.bucket_counts().to_vec();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let top = (counts.len() / 100).max(1);
+    let top_sum: u64 = counts.iter().take(top).map(|c| *c as u64).sum();
+    top_sum as f64 / ps.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_and_dims() {
+        let road = road_like(10_000, 1);
+        assert_eq!(road.len(), 10_000);
+        assert_eq!(road.dims(), 2);
+        let nyc = nyc_like(5_000, 1);
+        assert_eq!(nyc.len(), 5_000);
+        assert_eq!(nyc.dims(), 4);
+    }
+
+    #[test]
+    fn all_points_in_unit_domain() {
+        for ps in [
+            road_like(5_000, 3),
+            gowalla_like(5_000, 3),
+            nyc_like(5_000, 3),
+            beijing_like(5_000, 3),
+        ] {
+            for p in ps.iter() {
+                for &x in p {
+                    assert!((0.0..1.0).contains(&x), "coordinate {x} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gowalla_like(1000, 9);
+        let b = gowalla_like(1000, 9);
+        assert_eq!(a.point(123), b.point(123));
+        let c = gowalla_like(1000, 10);
+        assert_ne!(a.point(123), c.point(123));
+    }
+
+    #[test]
+    fn skewness_ordering_matches_paper() {
+        // "the data distribution in road (resp. NYC) is more skewed than
+        // that in Gowalla (resp. Beijing)"
+        let road = top_cell_mass(&road_like(40_000, 7), 64);
+        let gowalla = top_cell_mass(&gowalla_like(40_000, 7), 64);
+        assert!(
+            road > gowalla,
+            "road skew {road} should exceed Gowalla skew {gowalla}"
+        );
+        let nyc = top_cell_mass(&nyc_like(30_000, 7), 12);
+        let beijing = top_cell_mass(&beijing_like(30_000, 7), 12);
+        assert!(
+            nyc > beijing,
+            "NYC skew {nyc} should exceed Beijing skew {beijing}"
+        );
+    }
+
+    #[test]
+    fn road_mass_is_strongly_concentrated() {
+        let m = top_cell_mass(&road_like(40_000, 2), 64);
+        assert!(m > 0.3, "road top-1%-cell mass = {m}, want heavy skew");
+    }
+
+    #[test]
+    fn spec_dispatch() {
+        let ps = generate(&GOWALLA, 500, 4);
+        assert_eq!(ps.len(), 500);
+        assert_eq!(ps.dims(), GOWALLA.dims);
+    }
+
+    #[test]
+    fn table2_constants() {
+        assert_eq!(ROAD.default_n, 1_634_165);
+        assert_eq!(GOWALLA.default_n, 107_091);
+        assert_eq!(NYC.default_n, 98_013);
+        assert_eq!(BEIJING.default_n, 30_000);
+        assert_eq!(ROAD.dims, 2);
+        assert_eq!(NYC.dims, 4);
+    }
+}

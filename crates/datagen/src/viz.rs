@@ -1,0 +1,75 @@
+//! ASCII density maps — the workspace's answer to Figure 4's dataset
+//! visualizations.
+
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// Render the 2-d projection of `data` onto dimensions `(dx, dy)` as an
+/// ASCII heatmap of `width x height` characters, log-scaled so skewed data
+/// stays legible.
+pub fn ascii_density(data: &PointSet, dx: usize, dy: usize, width: usize, height: usize) -> String {
+    assert!(dx < data.dims() && dy < data.dims() && dx != dy);
+    assert!(width >= 2 && height >= 2);
+    let dom = Rect::unit(data.dims());
+    let mut grid = vec![0u64; width * height];
+    for p in data.iter() {
+        let cx = ((p[dx] - dom.lo()[dx]) / dom.side(dx) * width as f64) as usize;
+        let cy = ((p[dy] - dom.lo()[dy]) / dom.side(dy) * height as f64) as usize;
+        grid[cy.min(height - 1) * width + cx.min(width - 1)] += 1;
+    }
+    let max = *grid.iter().max().unwrap_or(&0);
+    let mut out = String::with_capacity((width + 1) * height);
+    // render top row (largest y) first so the plot is orientation-correct
+    for row in (0..height).rev() {
+        for col in 0..width {
+            let c = grid[row * width + col];
+            let shade = if c == 0 || max == 0 {
+                0
+            } else {
+                let t = ((c as f64).ln_1p() / (max as f64).ln_1p() * (SHADES.len() - 1) as f64)
+                    .ceil() as usize;
+                t.clamp(1, SHADES.len() - 1)
+            };
+            out.push(SHADES[shade] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let ps = PointSet::from_flat(2, vec![0.1, 0.1, 0.9, 0.9]);
+        let s = ascii_density(&ps, 0, 1, 20, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.len() == 20));
+    }
+
+    #[test]
+    fn empty_regions_are_blank_and_dense_are_not() {
+        let mut ps = PointSet::new(2);
+        for _ in 0..100 {
+            ps.push(&[0.05, 0.05]);
+        }
+        let s = ascii_density(&ps, 0, 1, 10, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        // dense cell is bottom-left → last rendered line, first column
+        assert_ne!(lines[9].as_bytes()[0], b' ');
+        // far corner is empty
+        assert_eq!(lines[0].as_bytes()[9], b' ');
+    }
+
+    #[test]
+    fn four_d_projection() {
+        let ps = PointSet::from_flat(4, vec![0.2, 0.3, 0.4, 0.5]);
+        let s = ascii_density(&ps, 2, 3, 8, 8);
+        assert_eq!(s.lines().count(), 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! Range-count query workloads (Section 6.1).
+//!
+//! "We construct three query sets on each dataset: small, medium, and
+//! large, each of which contains 10,000 randomly generated range count
+//! queries. Each query in the small, medium, and large set has a region
+//! that covers [0.01%, 0.1%), [0.1%, 1%), and [1%, 10%) of the data
+//! domain, respectively."
+
+use privtree_dp::rng::{derive_seed, seeded};
+use privtree_spatial::geom::Rect;
+use privtree_spatial::query::RangeQuery;
+use rand::RngExt;
+
+/// The three workload size classes of Section 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySize {
+    /// Coverage in [0.01%, 0.1%).
+    Small,
+    /// Coverage in [0.1%, 1%).
+    Medium,
+    /// Coverage in [1%, 10%).
+    Large,
+}
+
+impl QuerySize {
+    /// The coverage interval `[lo, hi)` as fractions of the domain volume.
+    pub fn coverage_range(self) -> (f64, f64) {
+        match self {
+            QuerySize::Small => (0.0001, 0.001),
+            QuerySize::Medium => (0.001, 0.01),
+            QuerySize::Large => (0.01, 0.1),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuerySize::Small => "small",
+            QuerySize::Medium => "medium",
+            QuerySize::Large => "large",
+        }
+    }
+
+    /// All three classes, in figure order.
+    pub fn all() -> [QuerySize; 3] {
+        [QuerySize::Small, QuerySize::Medium, QuerySize::Large]
+    }
+}
+
+/// Generate `count` random range queries over `domain` whose volume
+/// coverage is log-uniform in `size`'s range. Side lengths are split
+/// across dimensions with random (Dirichlet-uniform) exponents, giving a
+/// mix of aspect ratios; positions are uniform.
+pub fn range_queries(domain: &Rect, size: QuerySize, count: usize, seed: u64) -> Vec<RangeQuery> {
+    let (lo, hi) = size.coverage_range();
+    let mut rng = seeded(derive_seed(seed, size as u64 + 101));
+    let d = domain.dims();
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        // log-uniform coverage
+        let c = (lo.ln() + rng.random::<f64>() * (hi.ln() - lo.ln())).exp();
+        // split ln c across dimensions: f_k = c^{w_k}, Σ w_k = 1, so the
+        // product of the per-dimension fractions is exactly c and each
+        // f_k ≤ 1
+        let mut w: Vec<f64> = (0..d).map(|_| rng.random::<f64>().max(1e-9)).collect();
+        let s: f64 = w.iter().sum();
+        w.iter_mut().for_each(|x| *x /= s);
+        let mut qlo = Vec::with_capacity(d);
+        let mut qhi = Vec::with_capacity(d);
+        #[allow(clippy::needless_range_loop)] // k indexes w and the domain together
+        for k in 0..d {
+            let frac = c.powf(w[k]);
+            let len = frac * domain.side(k);
+            let start = domain.lo()[k] + rng.random::<f64>() * (domain.side(k) - len);
+            qlo.push(start);
+            qhi.push(start + len);
+        }
+        out.push(RangeQuery::new(Rect::new(&qlo, &qhi)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_is_in_band() {
+        let dom = Rect::unit(2);
+        for size in QuerySize::all() {
+            let (lo, hi) = size.coverage_range();
+            for q in range_queries(&dom, size, 500, 7) {
+                let c = q.coverage(&dom);
+                assert!(
+                    c >= lo * 0.999 && c <= hi * 1.001,
+                    "{} query coverage {c} outside [{lo},{hi})",
+                    size.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queries_stay_inside_domain() {
+        let dom = Rect::new(&[0.0, 0.0, 0.0, 0.0], &[1.0, 1.0, 1.0, 1.0]);
+        for q in range_queries(&dom, QuerySize::Large, 300, 3) {
+            assert!(dom.contains_rect(&q.rect), "query {} escapes domain", q.rect);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_distinct_by_seed() {
+        let dom = Rect::unit(2);
+        let a = range_queries(&dom, QuerySize::Small, 10, 1);
+        let b = range_queries(&dom, QuerySize::Small, 10, 1);
+        let c = range_queries(&dom, QuerySize::Small, 10, 2);
+        assert_eq!(a[0].rect, b[0].rect);
+        assert_ne!(a[0].rect, c[0].rect);
+    }
+
+    #[test]
+    fn size_classes_do_not_collide() {
+        // same seed, different size class → different streams
+        let dom = Rect::unit(2);
+        let s = range_queries(&dom, QuerySize::Small, 5, 1);
+        let l = range_queries(&dom, QuerySize::Large, 5, 1);
+        assert_ne!(s[0].rect, l[0].rect);
+    }
+
+    #[test]
+    fn aspect_ratios_vary() {
+        let dom = Rect::unit(2);
+        let qs = range_queries(&dom, QuerySize::Large, 200, 5);
+        let ratios: Vec<f64> = qs.iter().map(|q| q.rect.side(0) / q.rect.side(1)).collect();
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max / min > 3.0, "aspect ratios too uniform: {min}..{max}");
+    }
+}

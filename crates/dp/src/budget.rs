@@ -1,0 +1,191 @@
+//! Privacy budgets and sequential composition (Lemma 2.1 of the paper).
+
+use crate::{DpError, Result};
+
+/// A validated privacy parameter ε > 0.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Wrap a finite, strictly positive ε.
+    pub fn new(eps: f64) -> Result<Self> {
+        if eps.is_finite() && eps > 0.0 {
+            Ok(Self(eps))
+        } else {
+            Err(DpError::InvalidEpsilon(eps))
+        }
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Split this ε into parts proportional to `weights` (sequential
+    /// composition in reverse: the parts sum back to the whole).
+    pub fn split(self, weights: &[f64]) -> Result<Vec<Epsilon>> {
+        let total: f64 = weights.iter().sum();
+        if !(total.is_finite() && total > 0.0) || weights.iter().any(|w| *w <= 0.0) {
+            return Err(DpError::InvalidEpsilon(total));
+        }
+        weights
+            .iter()
+            .map(|w| Epsilon::new(self.0 * w / total))
+            .collect()
+    }
+
+    /// Convenience: split into two parts `(frac, 1 - frac)`.
+    pub fn split_two(self, frac: f64) -> Result<(Epsilon, Epsilon)> {
+        if !(0.0..1.0).contains(&frac) || frac == 0.0 {
+            return Err(DpError::InvalidEpsilon(frac));
+        }
+        Ok((Epsilon::new(self.0 * frac)?, Epsilon::new(self.0 * (1.0 - frac))?))
+    }
+}
+
+impl std::fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Epsilon {
+    type Error = DpError;
+    fn try_from(v: f64) -> Result<Self> {
+        Epsilon::new(v)
+    }
+}
+
+/// A sequential-composition accountant.
+///
+/// An algorithm made of components A₁,…,A_k that consume ε₁,…,ε_k satisfies
+/// (Σεᵢ)-DP (Lemma 2.1). The accountant hands out pieces of a fixed total
+/// and refuses to oversubscribe, making budget mistakes loud in tests.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    total: f64,
+    spent: f64,
+    log: Vec<(String, f64)>,
+}
+
+impl Budget {
+    /// A fresh budget with the given total ε.
+    pub fn new(total: Epsilon) -> Self {
+        Self {
+            total: total.get(),
+            spent: 0.0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Total budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Budget consumed so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Consume `eps` for a named component, returning it as a validated
+    /// [`Epsilon`]. Fails if the budget would be exceeded (with a 1e-9
+    /// tolerance for float drift).
+    pub fn spend(&mut self, label: &str, eps: f64) -> Result<Epsilon> {
+        let e = Epsilon::new(eps)?;
+        if self.spent + eps > self.total + 1e-9 {
+            return Err(DpError::BudgetExhausted {
+                requested: eps,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += eps;
+        self.log.push((label.to_string(), eps));
+        Ok(e)
+    }
+
+    /// Consume a fraction of the *total* budget.
+    pub fn spend_fraction(&mut self, label: &str, frac: f64) -> Result<Epsilon> {
+        self.spend(label, self.total * frac)
+    }
+
+    /// Consume everything that remains.
+    pub fn spend_rest(&mut self, label: &str) -> Result<Epsilon> {
+        let rest = self.remaining();
+        self.spend(label, rest)
+    }
+
+    /// The ledger of `(component, ε)` expenditures, in order.
+    pub fn ledger(&self) -> &[(String, f64)] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(Epsilon::new(0.1).is_ok());
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-1.0).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn split_sums_to_whole() {
+        let e = Epsilon::new(1.0).unwrap();
+        let parts = e.split(&[1.0, 3.0]).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert!((parts[0].get() - 0.25).abs() < 1e-12);
+        assert!((parts[1].get() - 0.75).abs() < 1e-12);
+        let sum: f64 = parts.iter().map(|p| p.get()).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_rejects_bad_weights() {
+        let e = Epsilon::new(1.0).unwrap();
+        assert!(e.split(&[1.0, -1.0]).is_err());
+        assert!(e.split(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn split_two_budget_for_spatial_pipeline() {
+        // Section 3.4: tree gets ε/2, leaf counts get ε/2.
+        let (tree, counts) = Epsilon::new(0.8).unwrap().split_two(0.5).unwrap();
+        assert!((tree.get() - 0.4).abs() < 1e-12);
+        assert!((counts.get() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_accounting() {
+        let mut b = Budget::new(Epsilon::new(1.0).unwrap());
+        let t = b.spend("tree", 0.5).unwrap();
+        assert!((t.get() - 0.5).abs() < 1e-12);
+        assert!((b.remaining() - 0.5).abs() < 1e-12);
+        let c = b.spend_rest("counts").unwrap();
+        assert!((c.get() - 0.5).abs() < 1e-12);
+        assert!(b.spend("extra", 0.01).is_err());
+        assert_eq!(b.ledger().len(), 2);
+        assert_eq!(b.ledger()[0].0, "tree");
+    }
+
+    #[test]
+    fn sequence_budget_split_matches_section_4_2() {
+        // PrivTree gets ε/β, postprocessing gets ε(β−1)/β.
+        let beta = 8.0;
+        let e = Epsilon::new(1.6).unwrap();
+        let parts = e.split(&[1.0, beta - 1.0]).unwrap();
+        assert!((parts[0].get() - 1.6 / beta).abs() < 1e-12);
+        assert!((parts[1].get() - 1.6 * (beta - 1.0) / beta).abs() < 1e-12);
+    }
+}

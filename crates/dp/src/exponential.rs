@@ -1,0 +1,172 @@
+//! The exponential mechanism (McSherry & Talwar \[38\]).
+//!
+//! Selects a candidate `i` with probability proportional to
+//! `exp(ε·u(i) / (2·Δu))`, where `u` is the utility function and `Δu` its
+//! sensitivity. Used by the `EM` baseline for top-k frequent-string mining
+//! (§6.2) and by the DP quantile in [`crate::quantile`].
+
+use rand::{Rng, RngExt};
+
+use crate::budget::Epsilon;
+use crate::{DpError, Result};
+
+/// Select one index from `utilities` with the exponential mechanism.
+///
+/// `sensitivity` is the L1 sensitivity Δu of the utility function. The
+/// implementation subtracts the maximum utility before exponentiating, so
+/// arbitrarily large utility magnitudes cannot overflow.
+pub fn exponential_mechanism<R: Rng + ?Sized>(
+    utilities: &[f64],
+    epsilon: Epsilon,
+    sensitivity: f64,
+    rng: &mut R,
+) -> Result<usize> {
+    if utilities.is_empty() {
+        return Err(DpError::EmptyCandidates);
+    }
+    if !(sensitivity.is_finite() && sensitivity > 0.0) {
+        return Err(DpError::InvalidSensitivity(sensitivity));
+    }
+    let coef = epsilon.get() / (2.0 * sensitivity);
+    let max_u = utilities.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max_u.is_finite() {
+        return Err(DpError::EmptyCandidates);
+    }
+    let weights: Vec<f64> = utilities.iter().map(|u| (coef * (u - max_u)).exp()).collect();
+    Ok(sample_discrete(&weights, rng))
+}
+
+/// Weighted exponential mechanism: candidate `i` is selected with
+/// probability proportional to `w_i · exp(ε·u_i/(2Δu))`. The weights must be
+/// data-independent (they encode candidate multiplicity, e.g. interval
+/// lengths in the DP quantile).
+pub fn weighted_exponential_mechanism<R: Rng + ?Sized>(
+    utilities: &[f64],
+    base_weights: &[f64],
+    epsilon: Epsilon,
+    sensitivity: f64,
+    rng: &mut R,
+) -> Result<usize> {
+    if utilities.is_empty() || utilities.len() != base_weights.len() {
+        return Err(DpError::EmptyCandidates);
+    }
+    if !(sensitivity.is_finite() && sensitivity > 0.0) {
+        return Err(DpError::InvalidSensitivity(sensitivity));
+    }
+    let coef = epsilon.get() / (2.0 * sensitivity);
+    // work in log space: log w_i + coef·u_i, then normalize by the max
+    let logs: Vec<f64> = utilities
+        .iter()
+        .zip(base_weights)
+        .map(|(u, w)| if *w > 0.0 { w.ln() + coef * u } else { f64::NEG_INFINITY })
+        .collect();
+    let max_l = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max_l.is_finite() {
+        return Err(DpError::EmptyCandidates);
+    }
+    let weights: Vec<f64> = logs.iter().map(|l| (l - max_l).exp()).collect();
+    Ok(sample_discrete(&weights, rng))
+}
+
+/// Sample an index proportional to non-negative `weights` (at least one of
+/// which is positive).
+fn sample_discrete<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0);
+    let mut t = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let mut rng = seeded(0);
+        assert_eq!(
+            exponential_mechanism(&[], Epsilon::new(1.0).unwrap(), 1.0, &mut rng),
+            Err(DpError::EmptyCandidates)
+        );
+    }
+
+    #[test]
+    fn selection_frequencies_match_theory() {
+        // two candidates with utility gap g: odds should be exp(ε g / 2)
+        let eps = 2.0;
+        let utils = [5.0, 3.0];
+        let mut rng = seeded(11);
+        let n = 200_000;
+        let mut first = 0usize;
+        for _ in 0..n {
+            if exponential_mechanism(&utils, Epsilon::new(eps).unwrap(), 1.0, &mut rng).unwrap()
+                == 0
+            {
+                first += 1;
+            }
+        }
+        let odds = first as f64 / (n - first) as f64;
+        let expect = (eps * (utils[0] - utils[1]) / 2.0).exp();
+        assert!(
+            (odds / expect - 1.0).abs() < 0.05,
+            "odds = {odds}, expect = {expect}"
+        );
+    }
+
+    #[test]
+    fn huge_utilities_do_not_overflow() {
+        let mut rng = seeded(1);
+        let utils = [1e300, 1e300 - 1.0, -1e300];
+        let i = exponential_mechanism(&utils, Epsilon::new(0.1).unwrap(), 1.0, &mut rng).unwrap();
+        assert!(i < 3);
+    }
+
+    #[test]
+    fn weighted_version_respects_base_weights() {
+        // equal utilities: selection should follow the base weights
+        let mut rng = seeded(4);
+        let utils = [0.0, 0.0];
+        let weights = [1.0, 3.0];
+        let n = 100_000;
+        let mut second = 0usize;
+        for _ in 0..n {
+            if weighted_exponential_mechanism(
+                &utils,
+                &weights,
+                Epsilon::new(1.0).unwrap(),
+                1.0,
+                &mut rng,
+            )
+            .unwrap()
+                == 1
+            {
+                second += 1;
+            }
+        }
+        let frac = second as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn zero_weight_candidates_never_selected() {
+        let mut rng = seeded(9);
+        for _ in 0..1000 {
+            let i = weighted_exponential_mechanism(
+                &[100.0, 0.0],
+                &[0.0, 1.0],
+                Epsilon::new(1.0).unwrap(),
+                1.0,
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(i, 1);
+        }
+    }
+}

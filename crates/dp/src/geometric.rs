@@ -1,0 +1,151 @@
+//! The geometric mechanism (two-sided geometric / discrete Laplace
+//! noise), the integer-valued counterpart of the Laplace mechanism.
+//!
+//! For integer counting queries, adding noise `η` with
+//! `Pr[η = k] = (1−α)/(1+α)·α^{|k|}` and `α = exp(−ε/Δ)` is ε-DP for
+//! sensitivity-Δ queries, and the released values stay integers — handy
+//! when downstream consumers reject fractional counts. PrivTree's own
+//! analysis is specific to the continuous Laplace distribution, so the
+//! tree construction keeps using [`crate::laplace`]; this mechanism is
+//! offered for count postprocessing.
+
+use rand::{Rng, RngExt};
+
+use crate::budget::Epsilon;
+use crate::{DpError, Result};
+
+/// Two-sided geometric noise with decay `alpha ∈ (0, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoSidedGeometric {
+    alpha: f64,
+}
+
+impl TwoSidedGeometric {
+    /// Noise calibrated for ε-DP release of integer queries with the
+    /// given L1 `sensitivity`: `α = exp(−ε/Δ)`.
+    pub fn new(epsilon: Epsilon, sensitivity: f64) -> Result<Self> {
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(DpError::InvalidSensitivity(sensitivity));
+        }
+        Ok(Self {
+            alpha: (-epsilon.get() / sensitivity).exp(),
+        })
+    }
+
+    /// Construct from the decay parameter directly.
+    pub fn with_alpha(alpha: f64) -> Result<Self> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(DpError::InvalidScale(alpha));
+        }
+        Ok(Self { alpha })
+    }
+
+    /// The decay parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability mass at `k`.
+    pub fn pmf(&self, k: i64) -> f64 {
+        (1.0 - self.alpha) / (1.0 + self.alpha) * self.alpha.powi(k.unsigned_abs() as i32)
+    }
+
+    /// Variance: `2α/(1−α)²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.alpha / ((1.0 - self.alpha) * (1.0 - self.alpha))
+    }
+
+    /// Draw one noise value as the difference of two geometric variables
+    /// (each counting failures with success probability `1 − α`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        let g1 = self.sample_geometric(rng);
+        let g2 = self.sample_geometric(rng);
+        g1 - g2
+    }
+
+    fn sample_geometric<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        // inverse CDF: G = floor(ln U / ln α), capped to keep i64 sane
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        ((u.ln() / self.alpha.ln()).floor() as i64).min(1 << 40)
+    }
+
+    /// Release an integer count.
+    pub fn randomize<R: Rng + ?Sized>(&self, count: i64, rng: &mut R) -> i64 {
+        count + self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let g = TwoSidedGeometric::with_alpha(0.7).unwrap();
+        let total: f64 = (-300..=300).map(|k| g.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn calibration_from_epsilon() {
+        let g = TwoSidedGeometric::new(Epsilon::new(1.0).unwrap(), 2.0).unwrap();
+        assert!((g.alpha() - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(TwoSidedGeometric::with_alpha(0.0).is_err());
+        assert!(TwoSidedGeometric::with_alpha(1.0).is_err());
+        assert!(TwoSidedGeometric::new(Epsilon::new(1.0).unwrap(), -1.0).is_err());
+    }
+
+    /// The defining DP property: pmf ratios between neighboring shifts
+    /// are bounded by e^{ε}.
+    #[test]
+    fn pmf_ratio_bounded() {
+        let eps = 0.8;
+        let g = TwoSidedGeometric::new(Epsilon::new(eps).unwrap(), 1.0).unwrap();
+        for out in -20i64..=20 {
+            // output `out` when count is 3 vs 4
+            let p0 = g.pmf(out - 3);
+            let p1 = g.pmf(out - 4);
+            let ratio = (p0 / p1).ln().abs();
+            assert!(ratio <= eps + 1e-12, "out = {out}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn sample_moments() {
+        let g = TwoSidedGeometric::with_alpha(0.6).unwrap();
+        let mut rng = seeded(1);
+        let n = 200_000;
+        let samples: Vec<i64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<i64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&s| (s as f64 - mean) * (s as f64 - mean))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!(
+            (var - g.variance()).abs() / g.variance() < 0.05,
+            "var = {var} vs {}",
+            g.variance()
+        );
+    }
+
+    #[test]
+    fn outputs_are_integers_and_deterministic() {
+        let g = TwoSidedGeometric::with_alpha(0.5).unwrap();
+        let a: Vec<i64> = {
+            let mut rng = seeded(2);
+            (0..10).map(|_| g.randomize(100, &mut rng)).collect()
+        };
+        let b: Vec<i64> = {
+            let mut rng = seeded(2);
+            (0..10).map(|_| g.randomize(100, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,239 @@
+//! The Laplace distribution `Lap(µ, λ)` (Eq. (1) of the paper).
+//!
+//! The paper writes `Lap(λ)` for the zero-mean distribution with density
+//! `Pr[η = x] = exp(-|x|/λ) / (2λ)`; its standard deviation is `√2·λ`.
+
+use rand::{Rng, RngExt};
+
+use crate::{DpError, Result};
+
+/// A Laplace distribution with location `mu` and scale `lambda`.
+///
+/// Sampling uses the inverse-CDF method driven by a caller-provided RNG,
+/// which keeps every consumer of this crate reproducible from a seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    mu: f64,
+    lambda: f64,
+}
+
+impl Laplace {
+    /// Zero-mean Laplace noise of the given scale, the `Lap(λ)` of the paper.
+    pub fn centered(lambda: f64) -> Result<Self> {
+        Self::new(0.0, lambda)
+    }
+
+    /// Laplace distribution with location `mu` and scale `lambda > 0`.
+    pub fn new(mu: f64, lambda: f64) -> Result<Self> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(DpError::InvalidScale(lambda));
+        }
+        if !mu.is_finite() {
+            return Err(DpError::InvalidScale(mu));
+        }
+        Ok(Self { mu, lambda })
+    }
+
+    /// The location parameter (mean and median).
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The scale parameter λ.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Variance, `2λ²`.
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        2.0 * self.lambda * self.lambda
+    }
+
+    /// Probability density at `x`.
+    #[inline]
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-(x - self.mu).abs() / self.lambda).exp() / (2.0 * self.lambda)
+    }
+
+    /// Natural log of the density at `x`; avoids underflow far in the tails.
+    #[inline]
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        -(x - self.mu).abs() / self.lambda - (2.0 * self.lambda).ln()
+    }
+
+    /// Cumulative distribution function `Pr[X ≤ x]`.
+    #[inline]
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.lambda;
+        if z < 0.0 {
+            0.5 * z.exp()
+        } else {
+            1.0 - 0.5 * (-z).exp()
+        }
+    }
+
+    /// Survival function `Pr[X > x] = 1 - cdf(x)`, computed without
+    /// catastrophic cancellation in the upper tail.
+    #[inline]
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.lambda;
+        if z < 0.0 {
+            1.0 - 0.5 * z.exp()
+        } else {
+            0.5 * (-z).exp()
+        }
+    }
+
+    /// `ln Pr[X > x]`; exact even when the survival probability underflows.
+    #[inline]
+    pub fn ln_sf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.lambda;
+        if z < 0.0 {
+            (1.0 - 0.5 * z.exp()).ln()
+        } else {
+            (0.5f64).ln() - z
+        }
+    }
+
+    /// `ln Pr[X ≤ x]`; exact even when the probability underflows.
+    #[inline]
+    pub fn ln_cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.lambda;
+        if z < 0.0 {
+            (0.5f64).ln() + z
+        } else {
+            (1.0 - 0.5 * (-z).exp()).ln()
+        }
+    }
+
+    /// Inverse CDF (quantile function) for `p ∈ (0, 1)`.
+    #[inline]
+    pub fn inverse_cdf(&self, p: f64) -> f64 {
+        debug_assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1)");
+        if p < 0.5 {
+            self.mu + self.lambda * (2.0 * p).ln()
+        } else {
+            self.mu - self.lambda * (2.0 * (1.0 - p)).ln()
+        }
+    }
+
+    /// Draw one sample.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u is uniform on [-0.5, 0.5); reflect the half-open endpoint so the
+        // log never sees zero. ln_1p keeps precision near u = 0.
+        let mut u: f64 = rng.random::<f64>() - 0.5;
+        if u == -0.5 {
+            u = 0.5 - f64::EPSILON;
+        }
+        self.mu - self.lambda * u.signum() * (-2.0 * u.abs()).ln_1p()
+    }
+
+    /// Draw `n` samples into a fresh vector.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(Laplace::centered(0.0).is_err());
+        assert!(Laplace::centered(-1.0).is_err());
+        assert!(Laplace::centered(f64::NAN).is_err());
+        assert!(Laplace::centered(f64::INFINITY).is_err());
+        assert!(Laplace::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = Laplace::new(1.5, 2.0).unwrap();
+        // trapezoid over [-60, 60]
+        let (a, b, n) = (-60.0f64, 60.0f64, 200_000usize);
+        let h = (b - a) / n as f64;
+        let mut total = 0.5 * (d.pdf(a) + d.pdf(b));
+        for i in 1..n {
+            total += d.pdf(a + h * i as f64);
+        }
+        total *= h;
+        // trapezoid error is dominated by the density kink at µ
+        assert!((total - 1.0).abs() < 1e-6, "integral = {total}");
+    }
+
+    #[test]
+    fn cdf_sf_complement() {
+        let d = Laplace::new(-0.7, 0.9).unwrap();
+        for x in [-10.0, -1.0, -0.7, 0.0, 0.3, 5.0, 40.0] {
+            assert!((d.cdf(x) + d.sf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_matches_pdf_derivative() {
+        let d = Laplace::new(0.0, 1.3).unwrap();
+        let h = 1e-6;
+        for x in [-3.0, -0.5, 0.5, 2.0] {
+            let num = (d.cdf(x + h) - d.cdf(x - h)) / (2.0 * h);
+            assert!((num - d.pdf(x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_round_trip() {
+        let d = Laplace::new(3.0, 0.5).unwrap();
+        for p in [0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999] {
+            let x = d.inverse_cdf(p);
+            assert!((d.cdf(x) - p).abs() < 1e-10, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn ln_sf_matches_sf() {
+        let d = Laplace::centered(2.0).unwrap();
+        for x in [-5.0, 0.0, 1.0, 10.0] {
+            assert!((d.ln_sf(x) - d.sf(x).ln()).abs() < 1e-12);
+            assert!((d.ln_cdf(x) - d.cdf(x).ln()).abs() < 1e-12);
+        }
+        // deep tail where sf underflows to subnormal territory
+        assert!((d.ln_sf(1500.0) - ((0.5f64).ln() - 750.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_moments() {
+        let d = Laplace::new(2.0, 3.0).unwrap();
+        let mut rng = seeded(42);
+        let n = 200_000;
+        let xs = d.sample_n(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - d.variance()).abs() / d.variance() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn sample_tail_probabilities() {
+        // Pr[Lap(λ) > t] = 0.5 exp(-t/λ); check empirically at t = λ.
+        let d = Laplace::centered(1.0).unwrap();
+        let mut rng = seeded(7);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| d.sample(&mut rng) > 1.0).count();
+        let p_hat = hits as f64 / n as f64;
+        let p = d.sf(1.0);
+        assert!((p_hat - p).abs() < 0.006, "p_hat = {p_hat}, p = {p}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Laplace::centered(1.0).unwrap();
+        let a = d.sample_n(&mut seeded(99), 16);
+        let b = d.sample_n(&mut seeded(99), 16);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,80 @@
+//! Differential-privacy primitives used throughout the PrivTree reproduction.
+//!
+//! This crate implements, from scratch, everything the paper's Section 2.1
+//! relies on:
+//!
+//! * the [`Laplace`] distribution (density, CDF, survival function, inverse
+//!   CDF sampling) and the Laplace mechanism ([`LaplaceMechanism`]);
+//! * privacy budgets and sequential composition ([`Epsilon`], [`Budget`]);
+//! * the exponential mechanism ([`exponential`]) and a DP quantile built on
+//!   it ([`quantile`]), used to pick the sequence-length bound `l⊤`
+//!   (footnote 2 of the paper);
+//! * the privacy-risk function `ρ(x)` of Eq. (5) and its upper bound
+//!   `ρ⊤(x)` of Eq. (7) / Lemma 3.1, plus the Theorem 3.1 / Corollary 1
+//!   noise-scale formulas ([`mod@rho`]).
+//!
+//! All randomness flows through caller-provided [`rand::Rng`] instances so
+//! every experiment in the workspace is reproducible from a `u64` seed (see
+//! [`rng::seeded`]).
+
+pub mod budget;
+pub mod exponential;
+pub mod geometric;
+pub mod laplace;
+pub mod mechanism;
+pub mod quantile;
+pub mod rho;
+pub mod rng;
+
+pub use budget::{Budget, Epsilon};
+pub use exponential::exponential_mechanism;
+pub use geometric::TwoSidedGeometric;
+pub use laplace::Laplace;
+pub use mechanism::LaplaceMechanism;
+pub use quantile::dp_quantile;
+pub use rho::{
+    delta_for_fanout, privacy_cost_bound, privtree_scale_for_fanout, privtree_scale_for_gamma,
+    rho, rho_upper,
+};
+pub use rng::{seeded, SeededRng};
+
+/// Errors produced by DP primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// The privacy parameter ε must be strictly positive and finite.
+    InvalidEpsilon(f64),
+    /// A noise scale must be strictly positive and finite.
+    InvalidScale(f64),
+    /// A sensitivity bound must be strictly positive and finite.
+    InvalidSensitivity(f64),
+    /// The exponential mechanism needs at least one candidate.
+    EmptyCandidates,
+    /// A budget split requested more privacy than remains.
+    BudgetExhausted { requested: f64, remaining: f64 },
+    /// Quantile must lie in \[0, 1\] and the input must be non-empty.
+    InvalidQuantile(f64),
+}
+
+impl std::fmt::Display for DpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DpError::InvalidEpsilon(e) => write!(f, "invalid privacy budget epsilon = {e}"),
+            DpError::InvalidScale(s) => write!(f, "invalid Laplace scale = {s}"),
+            DpError::InvalidSensitivity(s) => write!(f, "invalid sensitivity = {s}"),
+            DpError::EmptyCandidates => write!(f, "exponential mechanism given no candidates"),
+            DpError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+            DpError::InvalidQuantile(q) => write!(f, "invalid quantile request: {q}"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DpError>;

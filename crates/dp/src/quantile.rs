@@ -1,0 +1,141 @@
+//! Differentially private quantile estimation.
+//!
+//! The paper (footnote 2, citing Zeng et al. \[54\]) picks the sequence-length
+//! bound `l⊤` as a DP estimate of the 90–95% quantile of sequence lengths.
+//! We implement the standard exponential-mechanism quantile (Smith 2011):
+//! intervals between consecutive order statistics are candidates, the
+//! utility of an interval is minus its rank distance to the target rank,
+//! and an interval is drawn with probability ∝ length · exp(ε·u/2); the
+//! released value is uniform within the chosen interval.
+
+use rand::{Rng, RngExt};
+
+use crate::budget::Epsilon;
+use crate::exponential::weighted_exponential_mechanism;
+use crate::{DpError, Result};
+
+/// A DP estimate of the `q`-quantile of `values`, which must lie within
+/// `[lo, hi]` (a data-independent range; values outside are clamped).
+///
+/// Rank sensitivity is 1 (adding a tuple shifts each rank by at most one),
+/// so the utility sensitivity passed to the exponential mechanism is 1.
+pub fn dp_quantile<R: Rng + ?Sized>(
+    values: &[f64],
+    q: f64,
+    lo: f64,
+    hi: f64,
+    epsilon: Epsilon,
+    rng: &mut R,
+) -> Result<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return Err(DpError::InvalidQuantile(q));
+    }
+    if values.is_empty() || lo >= hi {
+        return Err(DpError::InvalidQuantile(q));
+    }
+    let mut xs: Vec<f64> = values.iter().map(|v| v.clamp(lo, hi)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("clamped values are comparable"));
+    let n = xs.len();
+    let target = q * n as f64;
+
+    // interval i spans [bound(i), bound(i+1)] where bound(0)=lo,
+    // bound(n+1)=hi and bound(i)=x_(i) otherwise; its utility is -|i - target|
+    let mut utilities = Vec::with_capacity(n + 1);
+    let mut lengths = Vec::with_capacity(n + 1);
+    for i in 0..=n {
+        let left = if i == 0 { lo } else { xs[i - 1] };
+        let right = if i == n { hi } else { xs[i] };
+        utilities.push(-((i as f64) - target).abs());
+        lengths.push((right - left).max(0.0));
+    }
+    // Degenerate data (all points equal to lo or hi) can zero out every
+    // interval; fall back to uniform interval weights in that case.
+    if lengths.iter().all(|l| *l == 0.0) {
+        lengths.iter_mut().for_each(|l| *l = 1.0);
+    }
+    let i = weighted_exponential_mechanism(&utilities, &lengths, epsilon, 1.0, rng)?;
+    let left = if i == 0 { lo } else { xs[i - 1] };
+    let right = if i == n { hi } else { xs[i] };
+    if right > left {
+        Ok(left + rng.random::<f64>() * (right - left))
+    } else {
+        Ok(left)
+    }
+}
+
+/// DP quantile specialized to integer-valued data (e.g. sequence lengths).
+/// Returns the released value rounded up to an integer, which is the shape
+/// `l⊤` takes in Section 4.2.
+pub fn dp_quantile_int<R: Rng + ?Sized>(
+    values: &[u32],
+    q: f64,
+    max_value: u32,
+    epsilon: Epsilon,
+    rng: &mut R,
+) -> Result<u32> {
+    let xs: Vec<f64> = values.iter().map(|v| *v as f64).collect();
+    let est = dp_quantile(&xs, q, 0.0, max_value as f64, epsilon, rng)?;
+    Ok(est.ceil().clamp(1.0, max_value as f64) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut rng = seeded(0);
+        let e = Epsilon::new(1.0).unwrap();
+        assert!(dp_quantile(&[], 0.5, 0.0, 1.0, e, &mut rng).is_err());
+        assert!(dp_quantile(&[1.0], 1.5, 0.0, 1.0, e, &mut rng).is_err());
+        assert!(dp_quantile(&[1.0], 0.5, 1.0, 0.0, e, &mut rng).is_err());
+    }
+
+    #[test]
+    fn concentrates_near_true_quantile() {
+        let mut rng = seeded(5);
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64 / 100.0).collect(); // uniform 0..100
+        let e = Epsilon::new(1.0).unwrap();
+        let mut errs = Vec::new();
+        for rep in 0..50 {
+            let _ = rep;
+            let est = dp_quantile(&values, 0.95, 0.0, 100.0, e, &mut rng).unwrap();
+            errs.push((est - 95.0).abs());
+        }
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_err = errs[errs.len() / 2];
+        assert!(median_err < 2.0, "median error = {median_err}");
+    }
+
+    #[test]
+    fn output_stays_in_range() {
+        let mut rng = seeded(8);
+        let values = vec![50.0; 100];
+        let e = Epsilon::new(0.1).unwrap();
+        for _ in 0..100 {
+            let est = dp_quantile(&values, 0.5, 0.0, 100.0, e, &mut rng).unwrap();
+            assert!((0.0..=100.0).contains(&est));
+        }
+    }
+
+    #[test]
+    fn degenerate_all_equal_to_bound() {
+        let mut rng = seeded(8);
+        let values = vec![0.0; 10];
+        let e = Epsilon::new(1.0).unwrap();
+        let est = dp_quantile(&values, 0.5, 0.0, 0.5, e, &mut rng);
+        assert!(est.is_ok());
+    }
+
+    #[test]
+    fn integer_variant_for_sequence_lengths() {
+        let mut rng = seeded(13);
+        // lengths mostly ≤ 20, tail to 60 — like msnbc
+        let mut lengths: Vec<u32> = (0..1000).map(|i| (i % 20) + 1).collect();
+        lengths.extend(std::iter::repeat_n(60, 20));
+        let e = Epsilon::new(2.0).unwrap();
+        let l_top = dp_quantile_int(&lengths, 0.95, 100, e, &mut rng).unwrap();
+        assert!((15..=30).contains(&l_top), "l_top = {l_top}");
+    }
+}

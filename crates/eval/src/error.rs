@@ -1,0 +1,72 @@
+//! Relative error with smoothing (Section 6.1).
+//!
+//! ```text
+//! RE(q̂(D)) = |q̂(D) − q(D)| / max{q(D), Δ}
+//! ```
+//!
+//! "where Δ is a smoothing factor set to 0.1% of the dataset cardinality
+//! n" — following \[41, 50\].
+
+/// Relative error of one answer against the truth with smoothing `delta`.
+pub fn relative_error(estimate: f64, truth: f64, delta: f64) -> f64 {
+    (estimate - truth).abs() / truth.max(delta)
+}
+
+/// The smoothing factor Δ = 0.1% · n.
+pub fn smoothing_factor(cardinality: usize) -> f64 {
+    0.001 * cardinality as f64
+}
+
+/// Average relative error over a workload.
+///
+/// Panics if the slices differ in length or are empty.
+pub fn average_relative_error(estimates: &[f64], truths: &[f64], delta: f64) -> f64 {
+    assert_eq!(estimates.len(), truths.len());
+    assert!(!estimates.is_empty());
+    estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| relative_error(*e, *t, delta))
+        .sum::<f64>()
+        / estimates.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_relative_error() {
+        assert!((relative_error(110.0, 100.0, 1.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(100.0, 100.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn smoothing_kicks_in_for_tiny_truths() {
+        // truth 0 would divide by zero; Δ takes over
+        let re = relative_error(5.0, 0.0, 100.0);
+        assert!((re - 0.05).abs() < 1e-12);
+        // above Δ the truth dominates
+        let re2 = relative_error(210.0, 200.0, 100.0);
+        assert!((re2 - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_factor_is_point_one_percent() {
+        assert_eq!(smoothing_factor(1_634_165), 1634.165);
+    }
+
+    #[test]
+    fn average_over_workload() {
+        let est = [110.0, 90.0, 100.0];
+        let truth = [100.0, 100.0, 100.0];
+        let avg = average_relative_error(&est, &truth, 1.0);
+        assert!((avg - 0.2 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        average_relative_error(&[1.0], &[1.0, 2.0], 1.0);
+    }
+}

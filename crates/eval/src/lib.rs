@@ -1,0 +1,20 @@
+//! Evaluation metrics and the experiment harness shared by all benchmark
+//! binaries (Section 6 of the paper).
+//!
+//! * [`error`] — relative error with the 0.1%·n smoothing factor.
+//! * [`metrics`] — precision@k and total variation distance.
+//! * [`runner`] — repeat-with-derived-seeds experiment execution.
+//! * [`table`] — plain-text tables shaped like the paper's figures.
+
+pub mod error;
+pub mod metrics;
+pub mod runner;
+pub mod table;
+
+pub use error::{average_relative_error, relative_error};
+pub use metrics::{precision_at_k, total_variation_distance};
+pub use runner::{repeat_mean, repeat_stats, RunStats};
+pub use table::SeriesTable;
+
+/// The privacy-budget sweep used in every experiment of Section 6.
+pub const EPSILONS: [f64; 6] = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6];

@@ -1,0 +1,97 @@
+//! Task metrics for the sequence experiments (Section 6.2).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Precision of a returned top-k set against the exact top-k set:
+/// `|K(D) ∩ A(D)| / k` — the measure of Figure 6.
+pub fn precision_at_k<T: Eq + Hash>(exact: &[T], returned: &[T], k: usize) -> f64 {
+    assert!(k > 0);
+    let exact_set: HashSet<&T> = exact.iter().take(k).collect();
+    let hit = returned
+        .iter()
+        .take(k)
+        .filter(|r| exact_set.contains(r))
+        .count();
+    hit as f64 / k as f64
+}
+
+/// Total variation distance between two discrete distributions given as
+/// histograms over `0..max_len` (they are normalized internally):
+/// `TVD = ½ Σ |p_i − q_i|` — the measure of Figure 7.
+pub fn total_variation_distance(hist_p: &[f64], hist_q: &[f64]) -> f64 {
+    let n = hist_p.len().max(hist_q.len());
+    let sum_p: f64 = hist_p.iter().sum();
+    let sum_q: f64 = hist_q.iter().sum();
+    let mut tvd = 0.0;
+    for i in 0..n {
+        let p = if sum_p > 0.0 { hist_p.get(i).copied().unwrap_or(0.0) / sum_p } else { 0.0 };
+        let q = if sum_q > 0.0 { hist_q.get(i).copied().unwrap_or(0.0) / sum_q } else { 0.0 };
+        tvd += (p - q).abs();
+    }
+    0.5 * tvd
+}
+
+/// Histogram of sequence lengths: `out[l]` = number of sequences of length
+/// `l` (lengths above `max_len` are clamped into the last bucket).
+pub fn length_histogram(lengths: impl Iterator<Item = usize>, max_len: usize) -> Vec<f64> {
+    let mut hist = vec![0.0; max_len + 1];
+    for l in lengths {
+        hist[l.min(max_len)] += 1.0;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_basics() {
+        let exact = vec!["a", "b", "c", "d"];
+        let ret = vec!["b", "x", "a", "y"];
+        assert!((precision_at_k(&exact, &ret, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at_k(&exact, &exact, 4), 1.0);
+        assert_eq!(precision_at_k(&exact, &["z"], 1), 0.0);
+    }
+
+    #[test]
+    fn precision_respects_k_prefix() {
+        let exact = vec![1, 2, 3, 4];
+        let ret = vec![4, 3, 9, 9];
+        // at k=2 only {1,2} count as exact; returned prefix {4,3} misses
+        assert_eq!(precision_at_k(&exact, &ret, 2), 0.0);
+        // at k=4, {4,3} are in the exact top-4
+        assert!((precision_at_k(&exact, &ret, 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tvd_of_identical_is_zero() {
+        let h = vec![1.0, 2.0, 3.0];
+        assert_eq!(total_variation_distance(&h, &h), 0.0);
+    }
+
+    #[test]
+    fn tvd_of_disjoint_is_one() {
+        let p = vec![1.0, 0.0];
+        let q = vec![0.0, 1.0];
+        assert!((total_variation_distance(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tvd_handles_unequal_lengths_and_scales() {
+        let p = vec![2.0, 2.0]; // uniform over {0,1}
+        let q = vec![1.0, 1.0, 1.0, 1.0]; // uniform over {0..3}
+        // p = (.5,.5,0,0), q = (.25,.25,.25,.25) → TVD = .5(.25+.25+.25+.25) = .5
+        assert!((total_variation_distance(&p, &q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_histogram_clamps() {
+        let h = length_histogram([1usize, 2, 2, 99].into_iter(), 10);
+        assert_eq!(h[1], 1.0);
+        assert_eq!(h[2], 2.0);
+        assert_eq!(h[10], 1.0);
+        assert_eq!(h.iter().sum::<f64>(), 4.0);
+    }
+}

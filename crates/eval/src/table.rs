@@ -1,0 +1,135 @@
+//! Plain-text series tables shaped like the paper's figures.
+//!
+//! Each figure in Section 6 plots one metric against the privacy budget ε
+//! for several methods. [`SeriesTable`] prints the same data as rows:
+//! one column per ε, one row per method — the textual equivalent of a
+//! figure panel.
+
+/// A named collection of (series → value-per-x) rows.
+#[derive(Debug, Clone)]
+pub struct SeriesTable {
+    title: String,
+    x_label: String,
+    x_values: Vec<f64>,
+    rows: Vec<(String, Vec<f64>)>,
+    /// formats values: e.g. percentages for relative error
+    percent: bool,
+}
+
+impl SeriesTable {
+    /// A table titled `title` with x-axis `x_label` over `x_values`.
+    pub fn new(title: &str, x_label: &str, x_values: &[f64]) -> Self {
+        Self {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            x_values: x_values.to_vec(),
+            rows: Vec::new(),
+            percent: false,
+        }
+    }
+
+    /// Format values as percentages (the paper's relative-error axes).
+    pub fn with_percent(mut self) -> Self {
+        self.percent = true;
+        self
+    }
+
+    /// Add a series row; the value count must match the x-axis.
+    pub fn push_row(&mut self, name: &str, values: Vec<f64>) {
+        assert_eq!(values.len(), self.x_values.len(), "row length mismatch");
+        self.rows.push((name.to_string(), values));
+    }
+
+    /// Access rows (for tests and post-processing).
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let name_w = self
+            .rows
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let col_w = 10usize;
+        out.push_str(&format!("{:<name_w$}", self.x_label));
+        for x in &self.x_values {
+            out.push_str(&format!(" {:>col_w$}", trim_float(*x)));
+        }
+        out.push('\n');
+        for (name, vals) in &self.rows {
+            out.push_str(&format!("{name:<name_w$}"));
+            for v in vals {
+                let s = if self.percent {
+                    format!("{:.3}%", v * 100.0)
+                } else if v.abs() >= 1000.0 {
+                    format!("{v:.0}")
+                } else {
+                    format!("{v:.4}")
+                };
+                out.push_str(&format!(" {s:>col_w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x == x.trunc() {
+        format!("{x:.0}")
+    } else {
+        format!("{x}")
+    }
+}
+
+impl std::fmt::Display for SeriesTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut t = SeriesTable::new("Fig 5a: road - small", "epsilon", &[0.05, 0.1]).with_percent();
+        t.push_row("PrivTree", vec![0.005, 0.003]);
+        t.push_row("UG", vec![0.02, 0.012]);
+        let s = t.render();
+        assert!(s.contains("Fig 5a"));
+        assert!(s.contains("PrivTree"));
+        assert!(s.contains("0.500%"));
+        assert!(s.contains("1.200%"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn row_length_must_match() {
+        let mut t = SeriesTable::new("t", "x", &[1.0, 2.0]);
+        t.push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = SeriesTable::new("t", "x", &[1.0]);
+        t.push_row("a", vec![2.0]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+
+    #[test]
+    fn non_percent_formats_plain() {
+        let mut t = SeriesTable::new("runtime", "eps", &[0.05]);
+        t.push_row("road", vec![1234.0]);
+        assert!(t.render().contains("1234"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Sequence datasets with `$`/`&` padding and l⊤ truncation.
+//!
+//! A sequence `s = x1 x2 … xl` over the alphabet `I = {0, …, |I|−1}` is
+//! conceptually written `$ x1 … xl &` (Section 4.1). Section 4.2 bounds
+//! the length of every sequence — *counting `&` but not `$`* — by a known
+//! constant l⊤: any longer sequence is cut to its first l⊤ symbols and
+//! loses its end marker (it becomes "open-ended").
+//!
+//! Internally each sequence is stored padded: `[START, x1, …, xl, END?]`,
+//! where `START` encodes `$` and `END` encodes `&`. The padded layout
+//! makes PST occurrence bookkeeping uniform: every position `j ≥ 1` of
+//! the padded sequence is a "predicted" position whose context is the
+//! padded prefix before it.
+
+/// A sequence dataset ready for PST construction.
+#[derive(Debug, Clone)]
+pub struct SequenceDataset {
+    /// padded sequences: `padded[i]\[0\] == START`, optionally ending in END
+    padded: Vec<Vec<u8>>,
+    alphabet: usize,
+    l_top: usize,
+    truncated_count: usize,
+}
+
+impl SequenceDataset {
+    /// Build from raw sequences (symbols in `0..alphabet`), truncating per
+    /// Section 4.2 with the bound `l_top` (≥ 1).
+    pub fn new(sequences: &[Vec<u8>], alphabet: usize, l_top: usize) -> Self {
+        assert!((1..=250).contains(&alphabet), "alphabet out of range");
+        assert!(l_top >= 1);
+        let start = Self::start_symbol_for(alphabet);
+        let end = Self::end_symbol_for(alphabet);
+        let mut truncated_count = 0;
+        let padded = sequences
+            .iter()
+            .map(|s| {
+                debug_assert!(s.iter().all(|x| (*x as usize) < alphabet));
+                let mut p = Vec::with_capacity(s.len().min(l_top) + 2);
+                p.push(start);
+                if s.len() < l_top {
+                    // fits with its end marker
+                    p.extend_from_slice(s);
+                    p.push(end);
+                } else {
+                    // cut to the first l⊤ symbols, open-ended
+                    truncated_count += 1;
+                    p.extend_from_slice(&s[..l_top]);
+                }
+                p
+            })
+            .collect();
+        Self {
+            padded,
+            alphabet,
+            l_top,
+            truncated_count,
+        }
+    }
+
+    fn start_symbol_for(alphabet: usize) -> u8 {
+        alphabet as u8 + 1
+    }
+
+    fn end_symbol_for(alphabet: usize) -> u8 {
+        alphabet as u8
+    }
+
+    /// The `$` marker symbol id (`alphabet + 1`).
+    pub fn start_symbol(&self) -> u8 {
+        Self::start_symbol_for(self.alphabet)
+    }
+
+    /// The `&` marker symbol id (`alphabet`). Histograms are indexed by
+    /// `0..=alphabet` with the last slot counting `&`.
+    pub fn end_symbol(&self) -> u8 {
+        Self::end_symbol_for(self.alphabet)
+    }
+
+    /// Alphabet size |I|.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// The truncation bound l⊤.
+    pub fn l_top(&self) -> usize {
+        self.l_top
+    }
+
+    /// Number of sequences that lost symbols to truncation.
+    pub fn truncated_count(&self) -> usize {
+        self.truncated_count
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.padded.len()
+    }
+
+    /// `true` iff the dataset has no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.padded.is_empty()
+    }
+
+    /// The padded representation of sequence `i`.
+    pub fn padded(&self, i: usize) -> &[u8] {
+        &self.padded[i]
+    }
+
+    /// Iterate over padded sequences.
+    pub fn iter_padded(&self) -> impl Iterator<Item = &[u8]> {
+        self.padded.iter().map(Vec::as_slice)
+    }
+
+    /// The raw (truncated) symbols of sequence `i`, without markers.
+    pub fn raw(&self, i: usize) -> &[u8] {
+        let p = &self.padded[i];
+        let end = if *p.last().expect("padded is non-empty") == self.end_symbol() {
+            p.len() - 1
+        } else {
+            p.len()
+        };
+        &p[1..end]
+    }
+
+    /// Length of sequence `i` counting `&` but not `$` (the Section 4.2
+    /// length measure; equals l⊤ for truncated sequences).
+    pub fn measured_length(&self, i: usize) -> usize {
+        self.padded[i].len() - 1
+    }
+
+    /// Total number of predicted positions = Σ measured lengths. This is
+    /// the number of PST root occurrences.
+    pub fn total_positions(&self) -> usize {
+        self.padded.iter().map(|p| p.len() - 1).sum()
+    }
+
+    /// Histogram of *raw* sequence lengths (after truncation, not counting
+    /// markers), for the Figure 7 task.
+    pub fn raw_length_histogram(&self, max_len: usize) -> Vec<f64> {
+        let mut h = vec![0.0; max_len + 1];
+        for i in 0..self.len() {
+            h[self.raw(i).len().min(max_len)] += 1.0;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_with_end_marker() {
+        let d = SequenceDataset::new(&[vec![0, 1, 0]], 2, 10);
+        // $ 0 1 0 &
+        assert_eq!(d.padded(0), &[3, 0, 1, 0, 2]);
+        assert_eq!(d.raw(0), &[0, 1, 0]);
+        assert_eq!(d.measured_length(0), 4);
+        assert_eq!(d.truncated_count(), 0);
+    }
+
+    #[test]
+    fn truncation_drops_end_marker() {
+        // l⊤ = 3: a length-3 sequence (3+1 > 3) is cut to 3 symbols, open
+        let d = SequenceDataset::new(&[vec![0, 1, 0]], 2, 3);
+        assert_eq!(d.padded(0), &[3, 0, 1, 0]);
+        assert_eq!(d.raw(0), &[0, 1, 0]);
+        assert_eq!(d.measured_length(0), 3);
+        assert_eq!(d.truncated_count(), 1);
+    }
+
+    #[test]
+    fn boundary_fits_exactly() {
+        // l⊤ = 4: length-3 sequence measures 4 with & — exactly fits
+        let d = SequenceDataset::new(&[vec![0, 1, 0]], 2, 4);
+        assert_eq!(d.measured_length(0), 4);
+        assert_eq!(d.truncated_count(), 0);
+    }
+
+    #[test]
+    fn long_sequences_are_cut() {
+        let d = SequenceDataset::new(&[vec![0; 100]], 2, 5);
+        assert_eq!(d.raw(0).len(), 5);
+        assert_eq!(d.measured_length(0), 5);
+    }
+
+    #[test]
+    fn empty_sequence_is_just_end() {
+        let d = SequenceDataset::new(&[vec![]], 2, 10);
+        assert_eq!(d.padded(0), &[3, 2]); // $ &
+        assert_eq!(d.raw(0), &[] as &[u8]);
+        assert_eq!(d.measured_length(0), 1);
+    }
+
+    #[test]
+    fn total_positions_counts_everything_predictable() {
+        let d = SequenceDataset::new(&[vec![0], vec![1, 1]], 3, 10);
+        // $0& → 2 positions; $11& → 3 positions
+        assert_eq!(d.total_positions(), 5);
+    }
+
+    #[test]
+    fn marker_symbols_are_outside_alphabet() {
+        let d = SequenceDataset::new(&[vec![0]], 7, 50);
+        assert_eq!(d.end_symbol(), 7);
+        assert_eq!(d.start_symbol(), 8);
+    }
+
+    #[test]
+    fn length_histogram() {
+        let d = SequenceDataset::new(&[vec![0], vec![0, 1], vec![0; 30]], 2, 10);
+        let h = d.raw_length_histogram(20);
+        assert_eq!(h[1], 1.0);
+        assert_eq!(h[2], 1.0);
+        assert_eq!(h[10], 1.0); // truncated to 10
+    }
+}

@@ -1,0 +1,161 @@
+//! EM — the exponential-mechanism baseline for top-k frequent string
+//! mining (Section 6.2).
+//!
+//! "It first initializes a set R that contains |I| strings of length 1 …
+//! After that, it invokes the exponential mechanism k times. In each
+//! invocation, it selects the most frequent string r from R with
+//! differential privacy, and then replaces r in R with |I| strings, each
+//! of which is obtained by adding a symbol to the end of r."
+//!
+//! Each selection spends ε/k; the utility (a string's occurrence count)
+//! has sensitivity l⊤ because one sequence contributes at most l⊤
+//! occurrences of any string.
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::exponential::exponential_mechanism;
+use rand::Rng;
+
+use crate::data::SequenceDataset;
+use crate::topk::{substring_counts, MAX_PATTERN_LEN};
+
+/// Run the EM top-k miner; returns the k selected strings in selection
+/// order. Candidate strings are capped at `max_len` symbols.
+pub fn em_topk<R: Rng + ?Sized>(
+    data: &SequenceDataset,
+    k: usize,
+    max_len: usize,
+    epsilon: Epsilon,
+    rng: &mut R,
+) -> Vec<Vec<u8>> {
+    assert!(k >= 1);
+    let max_len = max_len.min(MAX_PATTERN_LEN);
+    let alphabet = data.alphabet();
+    // one up-front pass caches every candidate count we could ever need
+    let counts = substring_counts(data, max_len);
+    let count_of = |s: &[u8]| -> f64 {
+        let mut key = (s.len() as u64) << 60;
+        for (i, &x) in s.iter().enumerate() {
+            key |= (x as u64) << (5 * i);
+        }
+        counts.get(&key).copied().unwrap_or(0) as f64
+    };
+
+    let eps_round = Epsilon::new(epsilon.get() / k as f64).expect("k >= 1");
+    let sensitivity = data.l_top() as f64;
+
+    let mut candidates: Vec<Vec<u8>> = (0..alphabet as u8).map(|a| vec![a]).collect();
+    let mut selected = Vec::with_capacity(k);
+    for _round in 0..k {
+        if candidates.is_empty() {
+            break;
+        }
+        let utilities: Vec<f64> = candidates.iter().map(|c| count_of(c)).collect();
+        let idx = exponential_mechanism(&utilities, eps_round, sensitivity, rng)
+            .expect("candidates non-empty");
+        let chosen = candidates.swap_remove(idx);
+        if chosen.len() < max_len {
+            for a in 0..alphabet as u8 {
+                let mut ext = chosen.clone();
+                ext.push(a);
+                candidates.push(ext);
+            }
+        }
+        selected.push(chosen);
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::exact_topk;
+    use privtree_dp::rng::seeded;
+    use rand::RngExt;
+
+    fn skewed_data(n: usize, seed: u64) -> SequenceDataset {
+        let mut rng = seeded(seed);
+        let seqs: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let l = 2 + (rng.random::<u64>() % 5) as usize;
+                (0..l)
+                    .map(|_| {
+                        let r = rng.random::<f64>();
+                        if r < 0.6 {
+                            0u8
+                        } else if r < 0.9 {
+                            1
+                        } else {
+                            2
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        SequenceDataset::new(&seqs, 3, 10)
+    }
+
+    #[test]
+    fn returns_k_distinct_strings() {
+        let data = skewed_data(1000, 1);
+        let out = em_topk(&data, 10, 6, Epsilon::new(1.0).unwrap(), &mut seeded(2));
+        assert_eq!(out.len(), 10);
+        let mut dedup = out.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "selections must be distinct");
+    }
+
+    #[test]
+    fn high_epsilon_finds_the_top_string() {
+        let data = skewed_data(5000, 3);
+        let exact = exact_topk(&data, 1, 6);
+        let mut hits = 0;
+        for rep in 0..10 {
+            let out = em_topk(&data, 1, 6, Epsilon::new(100.0).unwrap(), &mut seeded(10 + rep));
+            if out[0] == exact[0] {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 8, "top-1 recovered only {hits}/10 times");
+    }
+
+    #[test]
+    fn precision_degrades_with_k() {
+        // the paper: "Its accuracy degrades with the increase of k, since a
+        // larger k requires it to inject more noise into the selection"
+        let data = skewed_data(5000, 5);
+        let eps = Epsilon::new(0.8).unwrap();
+        let prec = |k: usize, seed: u64| {
+            let exact = exact_topk(&data, k, 6);
+            let got = em_topk(&data, k, 6, eps, &mut seeded(seed));
+            let hit = got.iter().filter(|s| exact.contains(s)).count();
+            hit as f64 / k as f64
+        };
+        let mut p_small = 0.0;
+        let mut p_large = 0.0;
+        for rep in 0..5 {
+            p_small += prec(5, 100 + rep);
+            p_large += prec(60, 200 + rep);
+        }
+        assert!(
+            p_small >= p_large,
+            "precision@5 {p_small} should be ≥ precision@60 {p_large}"
+        );
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let data = skewed_data(500, 7);
+        for s in em_topk(&data, 30, 3, Epsilon::new(1.0).unwrap(), &mut seeded(8)) {
+            assert!(s.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = skewed_data(500, 9);
+        let a = em_topk(&data, 5, 6, Epsilon::new(1.0).unwrap(), &mut seeded(10));
+        let b = em_topk(&data, 5, 6, Epsilon::new(1.0).unwrap(), &mut seeded(10));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,29 @@
+//! Private Markov models for sequence data (Section 4 of the paper).
+//!
+//! * [`data`] — sequence datasets with `$`/`&` padding and the l⊤
+//!   truncation of Section 4.2.
+//! * [`domain`] — the PST [`privtree_core::TreeDomain`] with the
+//!   Eq. (13) score `c(v) = ‖hist(v)‖₁ − max_x hist(v)[x]`.
+//! * [`pst`] — released prediction suffix trees: histogram storage, the
+//!   Eq. (12) string-frequency estimator, and synthetic-sequence sampling.
+//! * [`private`] — the modified-PrivTree pipeline (Theorems 4.1/4.2): tree
+//!   at ε/β, leaf histograms at ε(β−1)/β, negative clamping.
+//! * [`topk`] — exact and model-based top-k frequent string mining
+//!   (Figure 6).
+//! * [`ngram`] — the N-gram baseline of Chen et al. \[6\].
+//! * [`em`] — the exponential-mechanism baseline (Section 6.2).
+
+pub mod data;
+pub mod domain;
+pub mod em;
+pub mod ngram;
+pub mod private;
+pub mod pst;
+pub mod topk;
+
+pub use data::SequenceDataset;
+pub use domain::{PstDomain, PstNode};
+pub use ngram::{ngram_model, NGramModel};
+pub use private::{exact_pst, private_pst};
+pub use pst::{synthesize_dataset, PstModel, SequenceModel};
+pub use topk::{exact_topk, model_topk};

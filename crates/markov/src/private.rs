@@ -1,0 +1,220 @@
+//! Construction pipelines for PST models.
+//!
+//! The private pipeline follows Section 4.2 exactly:
+//!
+//! 1. run the modified PrivTree over the PST domain with fanout
+//!    β = |I| + 1, score Eq. (13), sensitivity l⊤, and privacy budget
+//!    ε/β (Theorem 4.1);
+//! 2. derive each **leaf**'s exact prediction histogram and add Laplace
+//!    noise of scale `l⊤·β/(ε(β−1))` to every count — i.e. the
+//!    postprocessing budget ε(β−1)/β of Theorem 4.2;
+//! 3. compute every internal node's histogram as the sum of its
+//!    descendant leaves' noisy histograms;
+//! 4. clamp negative counts to zero.
+
+use privtree_core::nonprivate::nonprivate_tree;
+use privtree_core::params::PrivTreeParams;
+use privtree_core::privtree::build_privtree;
+use privtree_core::tree::{NodeId, Tree};
+use privtree_dp::budget::Epsilon;
+use privtree_dp::laplace::Laplace;
+use rand::Rng;
+
+use crate::data::SequenceDataset;
+use crate::domain::{PstDomain, PstNode};
+use crate::pst::{PstModel, PstPayload};
+
+/// Build a PST model with ε-differential privacy (Theorems 4.1 + 4.2 via
+/// Lemma 2.1 composition).
+pub fn private_pst<R: Rng + ?Sized>(
+    data: &SequenceDataset,
+    epsilon: Epsilon,
+    rng: &mut R,
+) -> Result<PstModel, Box<dyn std::error::Error>> {
+    let beta = data.alphabet() + 1;
+    // Section 4.2 budget split: tree ε/β, histograms ε(β−1)/β
+    let parts = epsilon.split(&[1.0, beta as f64 - 1.0])?;
+    let (eps_tree, eps_hist) = (parts[0], parts[1]);
+
+    let domain = PstDomain::new(data);
+    let params =
+        PrivTreeParams::from_epsilon_with_sensitivity(eps_tree, beta, data.l_top() as f64)?;
+    let tree = build_privtree(&domain, &params, rng)?;
+
+    // leaf histograms + Laplace(l⊤/ε_hist), summed upward, clamped
+    let noise = Laplace::centered(data.l_top() as f64 / eps_hist.get())?;
+    Ok(assemble_model(data, &domain, tree, |h, rng| {
+        for c in h.iter_mut() {
+            *c += noise.sample(rng);
+        }
+    }, rng))
+}
+
+/// Build the noise-free PST that splits every node with score above
+/// `theta` (the reference model for tests and the non-private upper
+/// bound).
+pub fn exact_pst(data: &SequenceDataset, theta: f64, max_depth: Option<u32>) -> PstModel {
+    let domain = PstDomain::new(data);
+    let tree = nonprivate_tree(&domain, theta, max_depth);
+    let mut rng = privtree_dp::rng::seeded(0); // unused by the no-op noiser
+    assemble_model(data, &domain, tree, |_h, _rng| {}, &mut rng)
+}
+
+/// Shared assembly: derive leaf histograms (noised by `noisify`),
+/// aggregate to internal nodes, clamp, and package a [`PstModel`].
+fn assemble_model<R: Rng + ?Sized>(
+    data: &SequenceDataset,
+    domain: &PstDomain<'_>,
+    tree: Tree<PstNode>,
+    mut noisify: impl FnMut(&mut [f64], &mut R),
+    rng: &mut R,
+) -> PstModel {
+    let k = data.alphabet() + 1;
+    let mut hists = vec![vec![0.0f64; k]; tree.len()];
+    for v in tree.leaf_ids() {
+        let mut h = domain.hist(tree.payload(v));
+        noisify(&mut h, rng);
+        hists[v.index()] = h;
+    }
+    // arena order puts parents before children, so accumulate in reverse
+    let ids: Vec<NodeId> = tree.ids().collect();
+    for &v in ids.iter().rev() {
+        if let Some(p) = tree.parent(v) {
+            let (head, tail) = hists.split_at_mut(v.index());
+            let parent_h = &mut head[p.index()];
+            for (a, b) in parent_h.iter_mut().zip(&tail[0]) {
+                *a += b;
+            }
+        }
+    }
+    for h in &mut hists {
+        for c in h.iter_mut() {
+            if *c < 0.0 {
+                *c = 0.0;
+            }
+        }
+    }
+    let released = tree.map(|_, n| PstPayload { edge: n.edge });
+    PstModel::from_parts(released, hists, data.alphabet(), data.start_symbol())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtree_dp::rng::seeded;
+
+    fn figure3_data() -> SequenceDataset {
+        SequenceDataset::new(
+            &[vec![1], vec![0, 1], vec![0, 0, 1], vec![0, 0, 0, 1]],
+            2,
+            50,
+        )
+    }
+
+    fn mixed_data(n: usize, seed: u64) -> SequenceDataset {
+        use rand::RngExt;
+        let mut rng = seeded(seed);
+        let seqs: Vec<Vec<u8>> = (0..n)
+            .map(|_| {
+                let l = 1 + (rng.random::<u64>() % 8) as usize;
+                // sticky two-symbol chains: 0 tends to repeat, 1 ends runs
+                let mut s = Vec::with_capacity(l);
+                let mut cur = (rng.random::<u64>() % 3) as u8;
+                for _ in 0..l {
+                    s.push(cur);
+                    if rng.random::<f64>() < 0.3 {
+                        cur = (rng.random::<u64>() % 3) as u8;
+                    }
+                }
+                s
+            })
+            .collect();
+        SequenceDataset::new(&seqs, 3, 10)
+    }
+
+    #[test]
+    fn exact_model_reproduces_figure_3_counts() {
+        let data = figure3_data();
+        let m = exact_pst(&data, 0.0, Some(6));
+        // root histogram
+        assert_eq!(m.hist(m.tree().root()), &[6.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn internal_hist_is_sum_of_leaf_hists() {
+        let data = mixed_data(500, 1);
+        let m = private_pst(&data, Epsilon::new(4.0).unwrap(), &mut seeded(2)).unwrap();
+        let tree = m.tree();
+        for v in tree.internal_ids() {
+            // internal = Σ children (clamping happens after aggregation,
+            // so compare only when all involved values are non-negative…
+            // clamp(0) applies to the stored values; recompute tolerance)
+            let child_sum: Vec<f64> = tree.children(v).fold(vec![0.0; 4], |mut acc, c| {
+                for (a, b) in acc.iter_mut().zip(m.hist(c)) {
+                    *a += b;
+                }
+                acc
+            });
+            for (a, b) in m.hist(v).iter().zip(&child_sum) {
+                // clamping can only LIFT stored values above the raw sums
+                assert!(*a + 1e-9 >= b.min(0.0), "a={a}, b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn histograms_are_non_negative() {
+        let data = mixed_data(200, 3);
+        // tiny ε ⇒ lots of noise ⇒ clamping must kick in
+        let m = private_pst(&data, Epsilon::new(0.05).unwrap(), &mut seeded(4)).unwrap();
+        for v in m.tree().ids() {
+            assert!(m.hist(v).iter().all(|c| *c >= 0.0));
+        }
+    }
+
+    #[test]
+    fn private_estimates_approach_exact_with_large_epsilon() {
+        use crate::pst::SequenceModel;
+        let data = mixed_data(5000, 5);
+        let exact = exact_pst(&data, 0.0, Some(6));
+        let private = private_pst(&data, Epsilon::new(50.0).unwrap(), &mut seeded(6)).unwrap();
+        for s in [&[0u8][..], &[1], &[0, 0], &[2, 1]] {
+            let e = exact.estimate_count(s);
+            let p = private.estimate_count(s);
+            let denom = e.max(50.0);
+            assert!(
+                (e - p).abs() / denom < 0.25,
+                "string {s:?}: exact {e} vs private {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        use crate::pst::SequenceModel;
+        let data = mixed_data(300, 7);
+        let a = private_pst(&data, Epsilon::new(1.0).unwrap(), &mut seeded(8)).unwrap();
+        let b = private_pst(&data, Epsilon::new(1.0).unwrap(), &mut seeded(8)).unwrap();
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.estimate_count(&[0]), b.estimate_count(&[0]));
+    }
+
+    #[test]
+    fn smaller_epsilon_grows_smaller_trees() {
+        let data = mixed_data(5000, 9);
+        let mut small_eps_nodes = 0;
+        let mut large_eps_nodes = 0;
+        for rep in 0..5 {
+            small_eps_nodes += private_pst(&data, Epsilon::new(0.05).unwrap(), &mut seeded(10 + rep))
+                .unwrap()
+                .node_count();
+            large_eps_nodes += private_pst(&data, Epsilon::new(8.0).unwrap(), &mut seeded(20 + rep))
+                .unwrap()
+                .node_count();
+        }
+        assert!(
+            small_eps_nodes <= large_eps_nodes,
+            "ε=0.05 nodes {small_eps_nodes} vs ε=8 nodes {large_eps_nodes}"
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Released prediction suffix trees: the Markov model consumers query.
+//!
+//! A [`PstModel`] couples the decomposition tree (edge-labelled contexts)
+//! with one prediction histogram per node. It implements the two
+//! operations of Section 4.1:
+//!
+//! * **string-frequency estimation** (Eq. 12): walk the query string,
+//!   multiplying by the conditional probability of each symbol given the
+//!   deepest context whose predictor is a suffix of the prefix so far;
+//! * **synthetic-sequence sampling**: repeatedly sample the next symbol
+//!   from the histogram of the deepest matching context until `&`.
+
+use privtree_core::tree::{NodeId, Tree};
+use rand::{Rng, RngExt};
+
+/// Behaviour shared by sequence models (the PST and the N-gram baseline),
+/// so the top-k miner and the Figure 7 generator are model-agnostic.
+pub trait SequenceModel {
+    /// Alphabet size |I|.
+    fn alphabet(&self) -> usize;
+
+    /// Estimated number of times the string `s` (symbols over I) appears
+    /// across the dataset's sequences.
+    fn estimate_count(&self, s: &[u8]) -> f64;
+
+    /// Sample one synthetic sequence (without markers), cut off at
+    /// `max_len` symbols.
+    fn sample_sequence<R: Rng + ?Sized>(&self, rng: &mut R, max_len: usize) -> Vec<u8>;
+}
+
+/// Sample a complete synthetic dataset from a model — the Figure 7 task
+/// ("apply PrivTree and other existing methods to generate synthetic
+/// sequence data") as a one-liner. Because the model is a postprocessing
+/// of an ε-DP release, the synthetic dataset inherits the ε-DP guarantee.
+pub fn synthesize_dataset<M: SequenceModel, R: Rng + ?Sized>(
+    model: &M,
+    n: usize,
+    max_len: usize,
+    rng: &mut R,
+) -> Vec<Vec<u8>> {
+    (0..n).map(|_| model.sample_sequence(rng, max_len)).collect()
+}
+
+/// Payload of a released PST node: the edge symbol that was prepended to
+/// the parent's predictor (`None` at the root).
+#[derive(Debug, Clone)]
+pub struct PstPayload {
+    /// Edge symbol: `0..alphabet` for symbols of I, `alphabet + 1` for `$`.
+    pub edge: Option<u8>,
+}
+
+/// A released prediction suffix tree with per-node histograms.
+#[derive(Debug, Clone)]
+pub struct PstModel {
+    tree: Tree<PstPayload>,
+    /// per node: counts over `I ∪ {&}` (index `alphabet` = `&`)
+    hists: Vec<Vec<f64>>,
+    alphabet: usize,
+    start_symbol: u8,
+}
+
+impl PstModel {
+    /// Assemble a model from its parts (used by the construction
+    /// pipelines in [`crate::private`]).
+    pub fn from_parts(
+        tree: Tree<PstPayload>,
+        hists: Vec<Vec<f64>>,
+        alphabet: usize,
+        start_symbol: u8,
+    ) -> Self {
+        assert_eq!(tree.len(), hists.len());
+        assert!(hists.iter().all(|h| h.len() == alphabet + 1));
+        Self {
+            tree,
+            hists,
+            alphabet,
+            start_symbol,
+        }
+    }
+
+    /// The decomposition tree.
+    pub fn tree(&self) -> &Tree<PstPayload> {
+        &self.tree
+    }
+
+    /// Histogram of a node (counts over `I ∪ {&}`).
+    pub fn hist(&self, v: NodeId) -> &[f64] {
+        &self.hists[v.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// The `$` symbol id.
+    pub fn start_symbol(&self) -> u8 {
+        self.start_symbol
+    }
+
+    /// Child of `v` along edge symbol `sym` (a symbol of I or `$`).
+    /// Children are stored in the fixed order `0, …, |I|−1, $`.
+    fn child(&self, v: NodeId, sym: u8) -> Option<NodeId> {
+        let slot = if sym == self.start_symbol {
+            self.alphabet
+        } else {
+            sym as usize
+        };
+        self.tree.children(v).nth(slot)
+    }
+
+    /// The deepest node whose predictor is a suffix of the padded prefix
+    /// `prefix` (most recent symbol last, `$` first).
+    pub fn node_for_context(&self, prefix: &[u8]) -> NodeId {
+        let mut cur = self.tree.root();
+        for &sym in prefix.iter().rev() {
+            match self.child(cur, sym) {
+                Some(c) => cur = c,
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// The conditional distribution of the next symbol given the padded
+    /// prefix; `None` if the matched histogram is all zeros.
+    fn next_symbol_weights(&self, prefix: &[u8]) -> Option<&[f64]> {
+        // back off to shallower contexts until one has mass
+        let mut path = vec![self.tree.root()];
+        let mut cur = self.tree.root();
+        for &sym in prefix.iter().rev() {
+            match self.child(cur, sym) {
+                Some(c) => {
+                    cur = c;
+                    path.push(c);
+                }
+                None => break,
+            }
+        }
+        while let Some(v) = path.pop() {
+            let h = &self.hists[v.index()];
+            if h.iter().sum::<f64>() > 0.0 {
+                return Some(h);
+            }
+        }
+        None
+    }
+}
+
+impl SequenceModel for PstModel {
+    fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// Eq. (12): `ans = hist(v1)[x1] · Π_{i≥2} hist(v_i)[x_i] / ‖hist(v_i)‖₁`
+    /// with `v_i` the longest-suffix node of `$ x1 … x_{i−1}`.
+    fn estimate_count(&self, s: &[u8]) -> f64 {
+        assert!(!s.is_empty());
+        debug_assert!(s.iter().all(|x| (*x as usize) < self.alphabet));
+        let root_hist = &self.hists[self.tree.root().index()];
+        let mut ans = root_hist[s[0] as usize].max(0.0);
+        if ans == 0.0 {
+            return 0.0;
+        }
+        // The context is the *unanchored* prefix x1…x_{i−1} — the paper's
+        // worked example matches sq = AB against dom = A (not dom = $A),
+        // because string occurrences are counted anywhere in a sequence.
+        let mut prefix = Vec::with_capacity(s.len());
+        prefix.push(s[0]);
+        for &x in &s[1..] {
+            let v = self.node_for_context(&prefix);
+            let h = &self.hists[v.index()];
+            let mag: f64 = h.iter().sum();
+            if mag <= 0.0 {
+                return 0.0;
+            }
+            ans *= (h[x as usize].max(0.0)) / mag;
+            prefix.push(x);
+        }
+        ans
+    }
+
+    fn sample_sequence<R: Rng + ?Sized>(&self, rng: &mut R, max_len: usize) -> Vec<u8> {
+        let mut prefix = vec![self.start_symbol];
+        let mut out = Vec::new();
+        while out.len() < max_len {
+            let Some(h) = self.next_symbol_weights(&prefix) else {
+                break;
+            };
+            let total: f64 = h.iter().sum();
+            let mut t = rng.random::<f64>() * total;
+            let mut sym = self.alphabet; // defaults to & on float drift
+            for (i, w) in h.iter().enumerate() {
+                t -= w;
+                if t <= 0.0 {
+                    sym = i;
+                    break;
+                }
+            }
+            if sym == self.alphabet {
+                break; // sampled &: the sequence ends
+            }
+            out.push(sym as u8);
+            prefix.push(sym as u8);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SequenceDataset;
+    use crate::private::exact_pst;
+    use privtree_dp::rng::seeded;
+
+    /// The Figure 3 dataset (A=0, B=1).
+    fn figure3_model() -> PstModel {
+        let data = SequenceDataset::new(
+            &[vec![1], vec![0, 1], vec![0, 0, 1], vec![0, 0, 0, 1]],
+            2,
+            50,
+        );
+        // expand every node with any occurrences (θ = −1 keeps splitting
+        // while c(v) ≥ 0 > θ... use θ = 0: split while c(v) > 0)
+        exact_pst(&data, 0.0, Some(4))
+    }
+
+    #[test]
+    fn section_4_1_worked_example() {
+        // "consider a query sequence sq = AB … we return ans = 3"
+        let m = figure3_model();
+        let est = m.estimate_count(&[0, 1]); // AB
+        assert!((est - 3.0).abs() < 1e-9, "est = {est}");
+    }
+
+    #[test]
+    fn single_symbol_estimates_are_root_counts() {
+        let m = figure3_model();
+        assert_eq!(m.estimate_count(&[0]), 6.0); // A appears 6 times
+        assert_eq!(m.estimate_count(&[1]), 4.0); // B appears 4 times
+    }
+
+    #[test]
+    fn estimate_of_impossible_string_is_zero() {
+        let m = figure3_model();
+        // BB never occurs; hist(B) = (0,0,4) so P(B|B) = 0
+        assert_eq!(m.estimate_count(&[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn longer_strings_never_increase_estimates() {
+        let m = figure3_model();
+        let e_a = m.estimate_count(&[0]);
+        let e_aa = m.estimate_count(&[0, 0]);
+        let e_aab = m.estimate_count(&[0, 0, 1]);
+        assert!(e_aa <= e_a);
+        assert!(e_aab <= e_aa);
+    }
+
+    #[test]
+    fn sampling_reproduces_length_statistics() {
+        let m = figure3_model();
+        // the model was fit on sequences of length 1..4 ending in B; with
+        // the PST's exact histograms, samples should end after a B
+        let mut rng = seeded(3);
+        for _ in 0..200 {
+            let s = m.sample_sequence(&mut rng, 50);
+            assert!(!s.is_empty());
+            assert_eq!(*s.last().unwrap(), 1, "sequences end with B: {s:?}");
+            assert!(s.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_max_len() {
+        let m = figure3_model();
+        let mut rng = seeded(4);
+        for _ in 0..50 {
+            assert!(m.sample_sequence(&mut rng, 2).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn synthesize_dataset_shape() {
+        let m = figure3_model();
+        let data = synthesize_dataset(&m, 50, 20, &mut seeded(9));
+        assert_eq!(data.len(), 50);
+        assert!(data.iter().all(|s| s.len() <= 20));
+        assert!(data.iter().all(|s| s.iter().all(|x| *x < 2)));
+        // deterministic
+        let again = synthesize_dataset(&m, 50, 20, &mut seeded(9));
+        assert_eq!(data, again);
+    }
+
+    #[test]
+    fn node_for_context_walks_to_deepest_match() {
+        let m = figure3_model();
+        // context $A: the node with predictor $A exists in the exact PST
+        let v = m.node_for_context(&[m.start_symbol(), 0]);
+        assert_eq!(m.tree().depth(v), 2);
+        // unknown context falls back to the deepest existing suffix
+        let v2 = m.node_for_context(&[1, 1, 1, 0]);
+        assert!(m.tree().depth(v2) >= 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Flat storage for multi-dimensional point datasets.
+
+use crate::geom::Rect;
+
+/// A set of d-dimensional points stored in one contiguous buffer
+/// (`coords[i*d .. (i+1)*d]` is point `i`). This is the `D` of the paper's
+/// spatial experiments: up to 1.6M points for the road-like dataset.
+#[derive(Debug, Clone)]
+pub struct PointSet {
+    coords: Vec<f64>,
+    dims: usize,
+}
+
+impl PointSet {
+    /// An empty dataset of the given dimensionality.
+    pub fn new(dims: usize) -> Self {
+        assert!((1..=crate::MAX_DIMS).contains(&dims));
+        Self {
+            coords: Vec::new(),
+            dims,
+        }
+    }
+
+    /// Build from a flat coordinate buffer (length must be a multiple of
+    /// `dims`).
+    pub fn from_flat(dims: usize, coords: Vec<f64>) -> Self {
+        assert!((1..=crate::MAX_DIMS).contains(&dims));
+        assert_eq!(coords.len() % dims, 0, "flat buffer length not a multiple of dims");
+        Self { coords, dims }
+    }
+
+    /// Append one point.
+    pub fn push(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dims);
+        self.coords.extend_from_slice(p);
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dims
+    }
+
+    /// `true` iff there are no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Dimensionality d.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Iterate over all points.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.coords.chunks_exact(self.dims)
+    }
+
+    /// The tightest half-open box containing every point (upper edges are
+    /// nudged up so boundary points stay inside). `None` when empty.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        if self.is_empty() {
+            return None;
+        }
+        let d = self.dims;
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for p in self.iter() {
+            for k in 0..d {
+                lo[k] = lo[k].min(p[k]);
+                hi[k] = hi[k].max(p[k]);
+            }
+        }
+        for k in 0..d {
+            // widen so max-coordinate points satisfy the half-open bound
+            let widened = hi[k] + (hi[k] - lo[k]) * 1e-9;
+            hi[k] = if widened > hi[k] { widened } else { hi[k].next_up() };
+        }
+        Some(Rect::new(&lo, &hi))
+    }
+
+    /// Exact number of points inside `q`, by linear scan — the reference
+    /// the [`crate::index::GridIndex`] is validated against.
+    pub fn count_in(&self, q: &Rect) -> usize {
+        self.iter().filter(|p| q.contains_point(p)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointSet {
+        PointSet::from_flat(2, vec![0.1, 0.1, 0.9, 0.9, 0.5, 0.5, 0.1, 0.9])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ps = sample();
+        assert_eq!(ps.len(), 4);
+        assert_eq!(ps.dims(), 2);
+        assert_eq!(ps.point(1), &[0.9, 0.9]);
+        assert_eq!(ps.iter().count(), 4);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut ps = PointSet::new(3);
+        assert!(ps.is_empty());
+        ps.push(&[1.0, 2.0, 3.0]);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.point(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_wrong_dims_panics() {
+        let mut ps = PointSet::new(2);
+        ps.push(&[1.0]);
+    }
+
+    #[test]
+    fn bounding_box_contains_all_points() {
+        let ps = sample();
+        let bb = ps.bounding_box().unwrap();
+        for p in ps.iter() {
+            assert!(bb.contains_point(p), "{p:?} outside {bb}");
+        }
+        assert!(PointSet::new(2).bounding_box().is_none());
+    }
+
+    #[test]
+    fn bounding_box_of_degenerate_data() {
+        // all points identical: the box must still contain them
+        let ps = PointSet::from_flat(2, vec![0.5, 0.5, 0.5, 0.5]);
+        let bb = ps.bounding_box().unwrap();
+        assert!(bb.contains_point(&[0.5, 0.5]));
+        assert!(bb.volume() > 0.0);
+    }
+
+    #[test]
+    fn count_in_rect() {
+        let ps = sample();
+        let q = Rect::new(&[0.0, 0.0], &[0.5, 0.5]);
+        assert_eq!(ps.count_in(&q), 1);
+        let all = Rect::new(&[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(ps.count_in(&all), 4);
+    }
+}

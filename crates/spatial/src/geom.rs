@@ -1,0 +1,291 @@
+//! Axis-aligned boxes in up to [`crate::MAX_DIMS`] dimensions.
+//!
+//! All regions are half-open `[lo, hi)` in every dimension, so a split
+//! partitions its parent exactly — every point belongs to exactly one
+//! child, matching the disjoint sub-domain semantics of Section 2.2.
+
+use crate::MAX_DIMS;
+
+/// A d-dimensional half-open axis-aligned box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    lo: [f64; MAX_DIMS],
+    hi: [f64; MAX_DIMS],
+    dims: u8,
+}
+
+impl Rect {
+    /// Box spanning `lo[k] ≤ x[k] < hi[k]` for each dimension `k`.
+    ///
+    /// Panics if dimensions mismatch, exceed [`crate::MAX_DIMS`],
+    /// or any `lo[k] > hi[k]`.
+    pub fn new(lo: &[f64], hi: &[f64]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "lo/hi dimension mismatch");
+        assert!(!lo.is_empty() && lo.len() <= MAX_DIMS, "bad dimensionality");
+        assert!(
+            lo.iter().zip(hi).all(|(a, b)| a <= b && a.is_finite() && b.is_finite()),
+            "lo must be <= hi and finite"
+        );
+        let mut l = [0.0; MAX_DIMS];
+        let mut h = [0.0; MAX_DIMS];
+        l[..lo.len()].copy_from_slice(lo);
+        h[..hi.len()].copy_from_slice(hi);
+        Self {
+            lo: l,
+            hi: h,
+            dims: lo.len() as u8,
+        }
+    }
+
+    /// The unit cube `[0,1)^d`.
+    pub fn unit(dims: usize) -> Self {
+        Self::new(&vec![0.0; dims], &vec![1.0; dims])
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims as usize
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo[..self.dims as usize]
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi[..self.dims as usize]
+    }
+
+    /// Side length along dimension `k`.
+    #[inline]
+    pub fn side(&self, k: usize) -> f64 {
+        self.hi[k] - self.lo[k]
+    }
+
+    /// d-dimensional volume (area for d = 2), the `|·|` of Section 2.2.
+    pub fn volume(&self) -> f64 {
+        (0..self.dims()).map(|k| self.side(k)).product()
+    }
+
+    /// Does this box contain the point (half-open semantics)?
+    #[inline]
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.dims());
+        (0..self.dims()).all(|k| p[k] >= self.lo[k] && p[k] < self.hi[k])
+    }
+
+    /// Is `other` entirely inside `self`?
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims, other.dims);
+        (0..self.dims()).all(|k| other.lo[k] >= self.lo[k] && other.hi[k] <= self.hi[k])
+    }
+
+    /// Do the interiors overlap? (Shared edges of half-open boxes do not
+    /// count as overlap.)
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims, other.dims);
+        (0..self.dims()).all(|k| self.lo[k] < other.hi[k] && other.lo[k] < self.hi[k])
+    }
+
+    /// The overlap region, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let d = self.dims();
+        let mut lo = [0.0; MAX_DIMS];
+        let mut hi = [0.0; MAX_DIMS];
+        for k in 0..d {
+            lo[k] = self.lo[k].max(other.lo[k]);
+            hi[k] = self.hi[k].min(other.hi[k]);
+        }
+        Some(Rect {
+            lo,
+            hi,
+            dims: self.dims,
+        })
+    }
+
+    /// Fraction of this box's volume that overlaps `q` — the
+    /// `|q ∩ dom(v)| / |dom(v)|` factor used for partially covered leaves
+    /// in Section 2.2. Zero-volume boxes contribute 0.
+    pub fn overlap_fraction(&self, q: &Rect) -> f64 {
+        let vol = self.volume();
+        if vol <= 0.0 {
+            return 0.0;
+        }
+        match self.intersection(q) {
+            Some(i) => i.volume() / vol,
+            None => 0.0,
+        }
+    }
+
+    /// Midpoint along dimension `k`.
+    #[inline]
+    pub fn midpoint(&self, k: usize) -> f64 {
+        0.5 * (self.lo[k] + self.hi[k])
+    }
+
+    /// Bisect the `split_dims` listed (each appearing once), producing
+    /// `2^split_dims.len()` children that partition `self`. Child `j`'s bit
+    /// `b` of `j` selects the upper half of `split_dims[b]`.
+    pub fn bisect(&self, split_dims: &[usize]) -> Vec<Rect> {
+        let m = split_dims.len();
+        assert!(m >= 1 && m <= self.dims());
+        let mut out = Vec::with_capacity(1 << m);
+        for j in 0..(1usize << m) {
+            let mut lo = self.lo;
+            let mut hi = self.hi;
+            for (b, &k) in split_dims.iter().enumerate() {
+                let mid = self.midpoint(k);
+                if (j >> b) & 1 == 0 {
+                    hi[k] = mid;
+                } else {
+                    lo[k] = mid;
+                }
+            }
+            out.push(Rect {
+                lo,
+                hi,
+                dims: self.dims,
+            });
+        }
+        out
+    }
+
+    /// Index of the child (as produced by [`Rect::bisect`] with the same
+    /// `split_dims`) containing point `p`.
+    #[inline]
+    pub fn child_index_of(&self, split_dims: &[usize], p: &[f64]) -> usize {
+        let mut j = 0usize;
+        for (b, &k) in split_dims.iter().enumerate() {
+            if p[k] >= self.midpoint(k) {
+                j |= 1 << b;
+            }
+        }
+        j
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for k in 0..self.dims() {
+            if k > 0 {
+                write!(f, " x ")?;
+            }
+            write!(f, "{:.4}..{:.4}", self.lo[k], self.hi[k])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = Rect::new(&[0.0, 1.0], &[2.0, 4.0]);
+        assert_eq!(r.dims(), 2);
+        assert_eq!(r.lo(), &[0.0, 1.0]);
+        assert_eq!(r.hi(), &[2.0, 4.0]);
+        assert_eq!(r.side(0), 2.0);
+        assert_eq!(r.volume(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be <= hi")]
+    fn rejects_inverted_bounds() {
+        Rect::new(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn half_open_containment() {
+        let r = Rect::unit(2);
+        assert!(r.contains_point(&[0.0, 0.0]));
+        assert!(r.contains_point(&[0.999, 0.999]));
+        assert!(!r.contains_point(&[1.0, 0.5]));
+        assert!(!r.contains_point(&[0.5, 1.0]));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = Rect::new(&[1.0, 1.0], &[3.0, 3.0]);
+        let c = Rect::new(&[2.0, 0.0], &[3.0, 1.0]); // shares an edge with a
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c), "shared edges do not overlap");
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn containment_of_rects() {
+        let outer = Rect::unit(3);
+        let inner = Rect::new(&[0.2, 0.2, 0.2], &[0.8, 0.8, 0.8]);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+    }
+
+    #[test]
+    fn overlap_fraction_is_volume_ratio() {
+        let leaf = Rect::new(&[0.0, 0.0], &[1.0, 1.0]);
+        let q = Rect::new(&[0.5, 0.0], &[2.0, 1.0]);
+        assert!((leaf.overlap_fraction(&q) - 0.5).abs() < 1e-12);
+        let disjoint = Rect::new(&[5.0, 5.0], &[6.0, 6.0]);
+        assert_eq!(leaf.overlap_fraction(&disjoint), 0.0);
+    }
+
+    #[test]
+    fn bisect_partitions_exactly() {
+        let r = Rect::unit(2);
+        let kids = r.bisect(&[0, 1]);
+        assert_eq!(kids.len(), 4);
+        let total: f64 = kids.iter().map(Rect::volume).sum();
+        assert!((total - r.volume()).abs() < 1e-12);
+        // children are pairwise disjoint
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(!kids[i].intersects(&kids[j]));
+            }
+        }
+        // every sample point lands in exactly one child, and child_index_of
+        // agrees with containment
+        for p in [[0.1, 0.1], [0.9, 0.2], [0.3, 0.8], [0.6, 0.6]] {
+            let owners: Vec<usize> = (0..4).filter(|i| kids[*i].contains_point(&p)).collect();
+            assert_eq!(owners.len(), 1);
+            assert_eq!(owners[0], r.child_index_of(&[0, 1], &p));
+        }
+    }
+
+    #[test]
+    fn bisect_single_dim_round_robin() {
+        let r = Rect::unit(2);
+        let kids = r.bisect(&[1]);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0], Rect::new(&[0.0, 0.0], &[1.0, 0.5]));
+        assert_eq!(kids[1], Rect::new(&[0.0, 0.5], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn four_dim_bisect() {
+        let r = Rect::unit(4);
+        let kids = r.bisect(&[0, 1, 2, 3]);
+        assert_eq!(kids.len(), 16);
+        let total: f64 = kids.iter().map(Rect::volume).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = Rect::unit(2);
+        assert_eq!(format!("{r}"), "[0.0000..1.0000 x 0.0000..1.0000]");
+    }
+}

@@ -1,0 +1,35 @@
+//! Spatial substrate and the PrivTree application to spatial data
+//! (Sections 2.2, 3, and 6.1 of the paper).
+//!
+//! * [`geom`] — d-dimensional axis-aligned rectangles (half-open boxes).
+//! * [`dataset`] — flat point storage with bounding boxes.
+//! * [`index`] — a bucket-grid index for *exact* range counts (ground truth
+//!   for the 10,000-query workloads of Section 6.1).
+//! * [`quadtree`] — the quadtree / 2^i-ary [`privtree_core::TreeDomain`]
+//!   with in-place point partitioning.
+//! * [`query`] — range-count queries.
+//! * [`serialize`] — plain-text export/import of released synopses.
+//! * [`synopsis`] — private spatial synopses: PrivTree + noisy leaf counts
+//!   (Section 3.4) or SimpleTree with its own per-node counts, answered
+//!   with the 4-case top-down traversal of Section 2.2.
+
+pub mod dataset;
+pub mod geom;
+pub mod index;
+pub mod quadtree;
+pub mod query;
+pub mod serialize;
+pub mod synopsis;
+
+pub use dataset::PointSet;
+pub use geom::Rect;
+pub use index::GridIndex;
+pub use quadtree::{QuadDomain, QuadNode, SplitConfig};
+pub use query::{RangeCountSynopsis, RangeQuery};
+pub use synopsis::{
+    exact_synopsis, privtree_synopsis, simple_tree_synopsis, SpatialSynopsis,
+};
+
+/// Maximum supported dimensionality (the paper's datasets are 2-d and 4-d;
+/// fixed-size arrays keep geometry allocation-free).
+pub const MAX_DIMS: usize = 8;

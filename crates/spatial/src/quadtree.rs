@@ -1,0 +1,303 @@
+//! The quadtree-style [`TreeDomain`] for spatial data (Section 3).
+//!
+//! A node covers a box and owns a contiguous segment of a shared point
+//! permutation; splitting bisects the box along `arity_log2` dimensions
+//! (all of them for a true quadtree, fewer for the round-robin fanout
+//! ablation of Appendix C / Figure 8) and partitions the segment in place.
+//! Scores (point counts) are segment lengths — O(1) — and total memory
+//! stays O(n) no matter how deep the tree grows.
+
+use std::cell::RefCell;
+
+use privtree_core::domain::TreeDomain;
+
+use crate::dataset::PointSet;
+use crate::geom::Rect;
+
+/// Splitting configuration for [`QuadDomain`].
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// Bisect `2^arity_log2` children per split. `arity_log2 = d` is the
+    /// standard quadtree generalization (β = 2^d); smaller values split
+    /// dimensions round-robin (Figure 8's β = 2^{d/2} and β = 2 variants).
+    pub arity_log2: usize,
+    /// Nodes at this depth are never split: a safety floor against
+    /// unbounded recursion on coincident points. 2^-60 of the domain side
+    /// is far below any meaningful resolution.
+    pub depth_floor: u32,
+}
+
+impl SplitConfig {
+    /// Standard full bisection: β = 2^d.
+    pub fn full(dims: usize) -> Self {
+        Self {
+            arity_log2: dims,
+            depth_floor: 60,
+        }
+    }
+
+    /// Round-robin partial bisection with fanout `2^arity_log2`.
+    pub fn partial(arity_log2: usize) -> Self {
+        Self {
+            arity_log2,
+            depth_floor: 120,
+        }
+    }
+}
+
+/// A node of the quadtree domain: a box plus a segment `[start, end)` of
+/// the shared permutation, the node's depth, and the next dimension to
+/// split (for round-robin fanouts).
+#[derive(Debug, Clone)]
+pub struct QuadNode {
+    /// The region `dom(v)`.
+    pub rect: Rect,
+    start: u32,
+    end: u32,
+    depth: u32,
+    axis_cursor: u8,
+}
+
+impl QuadNode {
+    /// Number of data points in this node's region.
+    #[inline]
+    pub fn count(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+}
+
+/// The spatial [`TreeDomain`]. Holds the dataset by reference and a
+/// `RefCell`ed permutation that splits reorder in place (builds are
+/// single-threaded, matching Algorithm 2's sequential queue).
+pub struct QuadDomain<'a> {
+    data: &'a PointSet,
+    perm: RefCell<Vec<u32>>,
+    root_rect: Rect,
+    config: SplitConfig,
+}
+
+impl<'a> QuadDomain<'a> {
+    /// Domain over `data` with root region `root_rect`.
+    pub fn new(data: &'a PointSet, root_rect: Rect, config: SplitConfig) -> Self {
+        assert!(config.arity_log2 >= 1 && config.arity_log2 <= data.dims());
+        assert_eq!(root_rect.dims(), data.dims());
+        Self {
+            data,
+            perm: RefCell::new((0..data.len() as u32).collect()),
+            root_rect,
+            config,
+        }
+    }
+
+    /// Domain with the standard β = 2^d quadtree split.
+    pub fn quadtree(data: &'a PointSet, root_rect: Rect) -> Self {
+        Self::new(data, root_rect, SplitConfig::full(data.dims()))
+    }
+
+    /// The root region.
+    pub fn root_rect(&self) -> Rect {
+        self.root_rect
+    }
+
+    /// The dataset.
+    pub fn data(&self) -> &PointSet {
+        self.data
+    }
+
+    fn split_dims(&self, cursor: u8) -> Vec<usize> {
+        let d = self.data.dims();
+        (0..self.config.arity_log2)
+            .map(|i| (cursor as usize + i) % d)
+            .collect()
+    }
+}
+
+impl TreeDomain for QuadDomain<'_> {
+    type Node = QuadNode;
+
+    fn root(&self) -> QuadNode {
+        QuadNode {
+            rect: self.root_rect,
+            start: 0,
+            end: self.data.len() as u32,
+            depth: 0,
+            axis_cursor: 0,
+        }
+    }
+
+    fn fanout(&self) -> usize {
+        1 << self.config.arity_log2
+    }
+
+    fn split(&self, node: &QuadNode) -> Option<Vec<QuadNode>> {
+        if node.depth >= self.config.depth_floor {
+            return None;
+        }
+        let dims = self.split_dims(node.axis_cursor);
+        let child_rects = node.rect.bisect(&dims);
+        let k = child_rects.len();
+
+        // classify the node's points into children and rewrite the segment
+        // grouped by child (counting sort, stable within groups)
+        let mut perm = self.perm.borrow_mut();
+        let seg = &mut perm[node.start as usize..node.end as usize];
+        let mut sizes = vec![0u32; k];
+        let mut labels = Vec::with_capacity(seg.len());
+        for &pid in seg.iter() {
+            let j = node.rect.child_index_of(&dims, self.data.point(pid as usize));
+            labels.push(j as u8);
+            sizes[j] += 1;
+        }
+        let mut offsets = vec![0u32; k + 1];
+        for j in 0..k {
+            offsets[j + 1] = offsets[j] + sizes[j];
+        }
+        let mut scratch = vec![0u32; seg.len()];
+        let mut cursor = offsets.clone();
+        for (i, &pid) in seg.iter().enumerate() {
+            let j = labels[i] as usize;
+            scratch[cursor[j] as usize] = pid;
+            cursor[j] += 1;
+        }
+        seg.copy_from_slice(&scratch);
+
+        let next_cursor =
+            ((node.axis_cursor as usize + self.config.arity_log2) % self.data.dims()) as u8;
+        Some(
+            child_rects
+                .into_iter()
+                .enumerate()
+                .map(|(j, rect)| QuadNode {
+                    rect,
+                    start: node.start + offsets[j],
+                    end: node.start + offsets[j + 1],
+                    depth: node.depth + 1,
+                    axis_cursor: next_cursor,
+                })
+                .collect(),
+        )
+    }
+
+    fn score(&self, node: &QuadNode) -> f64 {
+        node.count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtree_core::domain::TreeDomain;
+    use privtree_core::nonprivate::nonprivate_tree;
+    use rand::RngExt;
+
+    fn random_points(n: usize, d: usize, seed: u64) -> PointSet {
+        let mut rng = privtree_dp::rng::seeded(seed);
+        let mut ps = PointSet::new(d);
+        for _ in 0..n {
+            let p: Vec<f64> = (0..d).map(|_| rng.random::<f64>()).collect();
+            ps.push(&p);
+        }
+        ps
+    }
+
+    #[test]
+    fn split_partitions_points_exactly() {
+        let ps = random_points(1000, 2, 1);
+        let dom = QuadDomain::quadtree(&ps, Rect::unit(2));
+        let root = dom.root();
+        assert_eq!(dom.score(&root), 1000.0);
+        let kids = dom.split(&root).unwrap();
+        assert_eq!(kids.len(), 4);
+        let total: f64 = kids.iter().map(|k| dom.score(k)).sum();
+        assert_eq!(total, 1000.0);
+        // every child's points actually lie in its rect
+        for child in &kids {
+            let perm = dom.perm.borrow();
+            for &pid in &perm[child.start as usize..child.end as usize] {
+                assert!(child.rect.contains_point(ps.point(pid as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn deep_split_keeps_segments_consistent() {
+        let ps = random_points(500, 2, 2);
+        let dom = QuadDomain::quadtree(&ps, Rect::unit(2));
+        // split three levels along the first child each time
+        let mut node = dom.root();
+        for _ in 0..3 {
+            let kids = dom.split(&node).unwrap();
+            // after splitting, the counts still partition the parent
+            let total: usize = kids.iter().map(|k| k.count()).sum();
+            assert_eq!(total, node.count());
+            node = kids.into_iter().max_by_key(|k| k.count()).unwrap();
+        }
+        // every point in the final segment is inside its rect
+        let perm = dom.perm.borrow();
+        for &pid in &perm[node.start as usize..node.end as usize] {
+            assert!(node.rect.contains_point(ps.point(pid as usize)));
+        }
+    }
+
+    #[test]
+    fn round_robin_split_cycles_axes() {
+        let ps = random_points(100, 4, 3);
+        let dom = QuadDomain::new(&ps, Rect::unit(4), SplitConfig::partial(2));
+        assert_eq!(dom.fanout(), 4);
+        let root = dom.root();
+        let kids = dom.split(&root).unwrap();
+        assert_eq!(kids.len(), 4);
+        // first split bisects dims {0,1}: children keep full extent in dims 2,3
+        assert_eq!(kids[0].rect.side(2), 1.0);
+        assert_eq!(kids[0].rect.side(3), 1.0);
+        assert_eq!(kids[0].rect.side(0), 0.5);
+        // next split starts at dim 2
+        let gkids = dom.split(&kids[0]).unwrap();
+        assert_eq!(gkids[0].rect.side(2), 0.5);
+        assert_eq!(gkids[0].rect.side(0), 0.5);
+    }
+
+    #[test]
+    fn depth_floor_stops_splits() {
+        let ps = PointSet::from_flat(2, [0.5, 0.5].repeat(100));
+        let dom = QuadDomain::new(
+            &ps,
+            Rect::unit(2),
+            SplitConfig {
+                arity_log2: 2,
+                depth_floor: 2,
+            },
+        );
+        let tree = nonprivate_tree(&dom, 0.0, None);
+        assert!(tree.max_depth() <= 2);
+    }
+
+    #[test]
+    fn nonprivate_quadtree_isolates_cluster() {
+        // 900 points in one corner cell, 1 elsewhere; θ = 50 ⇒ the tree
+        // keeps splitting the dense corner only
+        let mut ps = PointSet::new(2);
+        let mut rng = privtree_dp::rng::seeded(4);
+        for _ in 0..900 {
+            ps.push(&[rng.random::<f64>() * 0.1, rng.random::<f64>() * 0.1]);
+        }
+        ps.push(&[0.9, 0.9]);
+        let dom = QuadDomain::quadtree(&ps, Rect::unit(2));
+        let tree = nonprivate_tree(&dom, 50.0, None);
+        assert!(tree.max_depth() >= 3, "depth = {}", tree.max_depth());
+        // leaves partition the root count
+        let leaf_total: f64 = tree.leaf_ids().map(|id| dom.score(tree.payload(id))).sum();
+        assert_eq!(leaf_total, 901.0);
+    }
+
+    #[test]
+    fn four_dim_quadtree_fanout_16() {
+        let ps = random_points(2000, 4, 5);
+        let dom = QuadDomain::quadtree(&ps, Rect::unit(4));
+        assert_eq!(dom.fanout(), 16);
+        let kids = dom.split(&dom.root()).unwrap();
+        assert_eq!(kids.len(), 16);
+        let total: usize = kids.iter().map(|k| k.count()).sum();
+        assert_eq!(total, 2000);
+    }
+}

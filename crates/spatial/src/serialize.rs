@@ -1,0 +1,281 @@
+//! Plain-text serialization of released synopses.
+//!
+//! A differentially private release is only useful if it can leave the
+//! process that computed it. The format is line-oriented and
+//! self-describing:
+//!
+//! ```text
+//! privtree-synopsis v1 dims=2 nodes=5 label=PrivTree
+//! node 0 parent=- lo=0,0 hi=1,1 count=1000.5
+//! node 1 parent=0 lo=0,0 hi=0.5,0.5 count=250.25
+//! …
+//! ```
+//!
+//! Children must appear after their parents (the arena order the builders
+//! produce), and each parent's children must be contiguous.
+
+use crate::geom::Rect;
+use crate::query::RangeCountSynopsis;
+use crate::synopsis::SpatialSynopsis;
+use privtree_core::tree::{NodeId, Tree};
+
+/// Serialization failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A node line could not be parsed.
+    BadNode { line: usize, reason: String },
+    /// The node count in the header does not match the body.
+    CountMismatch { expected: usize, found: usize },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader(h) => write!(f, "bad synopsis header: {h}"),
+            ParseError::BadNode { line, reason } => {
+                write!(f, "bad node at line {line}: {reason}")
+            }
+            ParseError::CountMismatch { expected, found } => {
+                write!(f, "expected {expected} nodes, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a synopsis to the v1 text format.
+pub fn to_text(synopsis: &SpatialSynopsis) -> String {
+    let tree = synopsis.tree();
+    let dims = tree.payload(tree.root()).dims();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "privtree-synopsis v1 dims={} nodes={} label={}\n",
+        dims,
+        tree.len(),
+        synopsis.label()
+    ));
+    for id in tree.ids() {
+        let rect = tree.payload(id);
+        let parent = match tree.parent(id) {
+            Some(p) => p.index().to_string(),
+            None => "-".to_string(),
+        };
+        let fmt_coords = |c: &[f64]| {
+            c.iter()
+                .map(|x| format!("{x:.17e}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&format!(
+            "node {} parent={} lo={} hi={} count={:.17e}\n",
+            id.index(),
+            parent,
+            fmt_coords(rect.lo()),
+            fmt_coords(rect.hi()),
+            synopsis.counts()[id.index()]
+        ));
+    }
+    out
+}
+
+/// Parse the v1 text format back into a synopsis.
+pub fn from_text(text: &str) -> Result<SpatialSynopsis, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
+    let mut dims = 0usize;
+    let mut nodes = 0usize;
+    if !header.starts_with("privtree-synopsis v1 ") {
+        return Err(ParseError::BadHeader(header.to_string()));
+    }
+    for field in header.split_whitespace().skip(2) {
+        if let Some(v) = field.strip_prefix("dims=") {
+            dims = v
+                .parse()
+                .map_err(|_| ParseError::BadHeader(header.to_string()))?;
+        } else if let Some(v) = field.strip_prefix("nodes=") {
+            nodes = v
+                .parse()
+                .map_err(|_| ParseError::BadHeader(header.to_string()))?;
+        }
+    }
+    if dims == 0 || nodes == 0 {
+        return Err(ParseError::BadHeader(header.to_string()));
+    }
+
+    // collect raw node records first
+    struct Raw {
+        parent: Option<usize>,
+        rect: Rect,
+        count: f64,
+    }
+    let mut raw: Vec<Raw> = Vec::with_capacity(nodes);
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parent = None;
+        let mut lo: Option<Vec<f64>> = None;
+        let mut hi: Option<Vec<f64>> = None;
+        let mut count: Option<f64> = None;
+        let bad = |reason: &str| ParseError::BadNode {
+            line: lineno + 1,
+            reason: reason.to_string(),
+        };
+        let parse_coords = |v: &str, lineno: usize| -> Result<Vec<f64>, ParseError> {
+            v.split(',')
+                .map(|x| {
+                    x.parse::<f64>().map_err(|_| ParseError::BadNode {
+                        line: lineno + 1,
+                        reason: format!("bad coordinate {x}"),
+                    })
+                })
+                .collect()
+        };
+        for field in line.split_whitespace().skip(2) {
+            if let Some(v) = field.strip_prefix("parent=") {
+                if v != "-" {
+                    parent = Some(v.parse::<usize>().map_err(|_| bad("bad parent"))?);
+                }
+            } else if let Some(v) = field.strip_prefix("lo=") {
+                lo = Some(parse_coords(v, lineno)?);
+            } else if let Some(v) = field.strip_prefix("hi=") {
+                hi = Some(parse_coords(v, lineno)?);
+            } else if let Some(v) = field.strip_prefix("count=") {
+                count = Some(v.parse::<f64>().map_err(|_| bad("bad count"))?);
+            }
+        }
+        let lo = lo.ok_or_else(|| bad("missing lo"))?;
+        let hi = hi.ok_or_else(|| bad("missing hi"))?;
+        if lo.len() != dims || hi.len() != dims {
+            return Err(bad("coordinate dimensionality mismatch"));
+        }
+        raw.push(Raw {
+            parent,
+            rect: Rect::new(&lo, &hi),
+            count: count.ok_or_else(|| bad("missing count"))?,
+        });
+    }
+    if raw.len() != nodes {
+        return Err(ParseError::CountMismatch {
+            expected: nodes,
+            found: raw.len(),
+        });
+    }
+
+    // rebuild the tree: arena order guarantees parents come first and
+    // children of one parent are contiguous
+    let mut tree = Tree::with_root(raw[0].rect);
+    let mut i = 1usize;
+    while i < raw.len() {
+        let parent = raw[i].parent.ok_or(ParseError::BadNode {
+            line: i + 2,
+            reason: "non-root node without parent".into(),
+        })?;
+        let mut group = vec![raw[i].rect];
+        let mut j = i + 1;
+        while j < raw.len() && raw[j].parent == Some(parent) {
+            group.push(raw[j].rect);
+            j += 1;
+        }
+        if parent >= i {
+            return Err(ParseError::BadNode {
+                line: i + 2,
+                reason: "parent appears after child".into(),
+            });
+        }
+        tree.add_children(NodeId::from_index(parent), group);
+        i = j;
+    }
+    let counts: Vec<f64> = raw.iter().map(|r| r.count).collect();
+    Ok(SpatialSynopsis::from_parts(tree, counts, "imported"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PointSet;
+    use crate::quadtree::SplitConfig;
+    use crate::query::{RangeCountSynopsis, RangeQuery};
+    use crate::synopsis::privtree_synopsis;
+    use privtree_dp::budget::Epsilon;
+    use privtree_dp::rng::seeded;
+    use rand::RngExt;
+
+    fn sample_synopsis() -> SpatialSynopsis {
+        let mut rng = seeded(1);
+        let mut ps = PointSet::new(2);
+        for _ in 0..5000 {
+            ps.push(&[rng.random::<f64>() * 0.3, rng.random::<f64>() * 0.3]);
+        }
+        privtree_synopsis(
+            &ps,
+            Rect::unit(2),
+            SplitConfig::full(2),
+            Epsilon::new(1.0).unwrap(),
+            &mut seeded(2),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_answers() {
+        let syn = sample_synopsis();
+        let text = to_text(&syn);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.node_count(), syn.node_count());
+        for q in [
+            Rect::new(&[0.0, 0.0], &[0.3, 0.3]),
+            Rect::new(&[0.1, 0.05], &[0.77, 0.5]),
+            Rect::unit(2),
+        ] {
+            let q = RangeQuery::new(q);
+            assert!(
+                (syn.answer(&q) - back.answer(&q)).abs() < 1e-9,
+                "answers diverge on {}",
+                q.rect
+            );
+        }
+    }
+
+    #[test]
+    fn header_is_self_describing() {
+        let text = to_text(&sample_synopsis());
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("dims=2"));
+        assert!(header.contains("label=PrivTree"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(from_text(""), Err(ParseError::BadHeader(_))));
+        assert!(matches!(
+            from_text("not a synopsis\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        let bad_body = "privtree-synopsis v1 dims=2 nodes=2\nnode 0 parent=- lo=0,0 hi=1,1 count=5\n";
+        assert!(matches!(
+            from_text(bad_body),
+            Err(ParseError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupted_coordinates() {
+        let text = "privtree-synopsis v1 dims=2 nodes=1\nnode 0 parent=- lo=0,zz hi=1,1 count=5\n";
+        assert!(matches!(from_text(text), Err(ParseError::BadNode { .. })));
+    }
+
+    #[test]
+    fn single_node_synopsis() {
+        let tree = privtree_core::tree::Tree::with_root(Rect::unit(2));
+        let syn = SpatialSynopsis::from_parts(tree, vec![42.0], "tiny");
+        let back = from_text(&to_text(&syn)).unwrap();
+        let q = RangeQuery::new(Rect::unit(2));
+        assert_eq!(back.answer(&q), 42.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Private spatial synopses and their query answering (Sections 2.2, 3.4).
+//!
+//! The PrivTree pipeline follows Section 3.4 exactly:
+//!
+//! 1. build the decomposition tree with PrivTree at ε/2;
+//! 2. add `Lap(2/ε)` noise to every **leaf**'s exact point count (ε/2);
+//! 3. set every intermediate node's count to the sum of the noisy counts
+//!    of the leaves below it (free postprocessing);
+//! 4. answer a range-count query `q` with the top-down traversal of
+//!    Section 2.2 — disjoint nodes are ignored, fully covered nodes
+//!    contribute their count, partially covered internal nodes recurse,
+//!    and partially covered leaves contribute `count · |q ∩ dom| / |dom|`
+//!    (the uniform assumption).
+
+use privtree_core::counts::{exact_leaf_counts, noisy_leaf_counts};
+use privtree_core::domain::TreeDomain;
+use privtree_core::params::{PrivTreeParams, SimpleTreeParams};
+use privtree_core::privtree::build_privtree;
+use privtree_core::simple::build_simple_tree;
+use privtree_core::tree::{NodeId, Tree};
+use privtree_dp::budget::Epsilon;
+use privtree_dp::mechanism::LaplaceMechanism;
+use rand::Rng;
+
+use crate::dataset::PointSet;
+use crate::geom::Rect;
+use crate::quadtree::{QuadDomain, SplitConfig};
+use crate::query::{RangeCountSynopsis, RangeQuery};
+
+/// A released spatial synopsis: the decomposition (regions only) plus one
+/// count per node.
+#[derive(Debug, Clone)]
+pub struct SpatialSynopsis {
+    tree: Tree<Rect>,
+    counts: Vec<f64>,
+    label: &'static str,
+}
+
+impl SpatialSynopsis {
+    /// Assemble a synopsis from a released tree and arena-aligned counts.
+    /// Used by other decomposition strategies (e.g. the k-d tree baseline)
+    /// that want to reuse the Section 2.2 query traversal.
+    pub fn from_parts(tree: Tree<Rect>, counts: Vec<f64>, label: &'static str) -> Self {
+        assert_eq!(tree.len(), counts.len(), "one count per node");
+        Self { tree, counts, label }
+    }
+
+    /// The decomposition tree (region payloads only — point data and raw
+    /// scores are never retained, matching Algorithm 2 line 11).
+    pub fn tree(&self) -> &Tree<Rect> {
+        &self.tree
+    }
+
+    /// Per-node counts in arena order.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Number of nodes in the decomposition.
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Maximum node depth.
+    pub fn max_depth(&self) -> u32 {
+        self.tree.max_depth()
+    }
+
+    fn node_answer(&self, q: &Rect, v: NodeId) -> f64 {
+        let rect = self.tree.payload(v);
+        // case 1: disjoint — ignore
+        if !rect.intersects(q) {
+            return 0.0;
+        }
+        // case 2: fully contained — use the node's count
+        if q.contains_rect(rect) {
+            return self.counts[v.index()];
+        }
+        if !self.tree.is_leaf(v) {
+            // case 3: partial overlap, internal — recurse
+            self.tree.children(v).map(|c| self.node_answer(q, c)).sum()
+        } else {
+            // case 4: partial overlap, leaf — uniform assumption
+            self.counts[v.index()] * rect.overlap_fraction(q)
+        }
+    }
+}
+
+impl RangeCountSynopsis for SpatialSynopsis {
+    fn answer(&self, q: &RangeQuery) -> f64 {
+        self.node_answer(&q.rect, self.tree.root())
+    }
+
+    fn label(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// Build a PrivTree synopsis with the Section 3.4 ε/2 + ε/2 budget split.
+pub fn privtree_synopsis<R: Rng + ?Sized>(
+    data: &PointSet,
+    root: Rect,
+    config: SplitConfig,
+    epsilon: Epsilon,
+    rng: &mut R,
+) -> Result<SpatialSynopsis, Box<dyn std::error::Error>> {
+    let (eps_tree, eps_counts) = epsilon.split_two(0.5)?;
+    let domain = QuadDomain::new(data, root, config);
+    let params = PrivTreeParams::from_epsilon(eps_tree, domain.fanout())?;
+    privtree_synopsis_with_params(data, root, config, &params, eps_counts, rng)
+}
+
+/// Build a PrivTree synopsis with explicit tree parameters (for the θ and
+/// fanout ablations) and a separate count budget.
+pub fn privtree_synopsis_with_params<R: Rng + ?Sized>(
+    data: &PointSet,
+    root: Rect,
+    config: SplitConfig,
+    tree_params: &PrivTreeParams,
+    count_epsilon: Epsilon,
+    rng: &mut R,
+) -> Result<SpatialSynopsis, Box<dyn std::error::Error>> {
+    let domain = QuadDomain::new(data, root, config);
+    let tree = build_privtree(&domain, tree_params, rng)?;
+    let mech = LaplaceMechanism::new(count_epsilon, 1.0)?;
+    let noisy = noisy_leaf_counts(&tree, &mech, |n| n.count() as f64, rng);
+    Ok(SpatialSynopsis {
+        tree: tree.map(|_, n| n.rect),
+        counts: noisy.as_slice().to_vec(),
+        label: "PrivTree",
+    })
+}
+
+/// Build a SimpleTree (Algorithm 1) synopsis: the per-node noisy counts
+/// produced during construction *are* the release (λ = h/ε pays for them).
+pub fn simple_tree_synopsis<R: Rng + ?Sized>(
+    data: &PointSet,
+    root: Rect,
+    config: SplitConfig,
+    epsilon: Epsilon,
+    height: u32,
+    theta: f64,
+    rng: &mut R,
+) -> Result<SpatialSynopsis, Box<dyn std::error::Error>> {
+    let domain = QuadDomain::new(data, root, config);
+    let params = SimpleTreeParams::from_epsilon(epsilon, height, theta)?;
+    let out = build_simple_tree(&domain, &params, rng)?;
+    Ok(SpatialSynopsis {
+        tree: out.tree.map(|_, n| n.rect),
+        counts: out.noisy_counts,
+        label: "SimpleTree",
+    })
+}
+
+/// A noise-free synopsis (ground-truth decomposition + exact counts); used
+/// in tests and as the `Truncate`-style reference.
+pub fn exact_synopsis(
+    data: &PointSet,
+    root: Rect,
+    config: SplitConfig,
+    theta: f64,
+    max_depth: Option<u32>,
+) -> SpatialSynopsis {
+    let domain = QuadDomain::new(data, root, config);
+    let tree = privtree_core::nonprivate::nonprivate_tree(&domain, theta, max_depth);
+    let counts = exact_leaf_counts(&tree, |n| n.count() as f64);
+    SpatialSynopsis {
+        tree: tree.map(|_, n| n.rect),
+        counts: counts.as_slice().to_vec(),
+        label: "Exact",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtree_dp::rng::seeded;
+    use rand::RngExt;
+
+    fn clustered(n: usize, seed: u64) -> PointSet {
+        let mut rng = seeded(seed);
+        let mut ps = PointSet::new(2);
+        for i in 0..n {
+            if i % 10 == 0 {
+                ps.push(&[rng.random::<f64>(), rng.random::<f64>()]);
+            } else {
+                // dense cluster near (0.2, 0.3)
+                ps.push(&[
+                    0.2 + rng.random::<f64>() * 0.02,
+                    0.3 + rng.random::<f64>() * 0.02,
+                ]);
+            }
+        }
+        ps
+    }
+
+    #[test]
+    fn exact_synopsis_answers_exactly_on_aligned_queries() {
+        let ps = clustered(2000, 1);
+        let syn = exact_synopsis(&ps, Rect::unit(2), SplitConfig::full(2), 10.0, None);
+        // dyadic queries align with tree cells, so case 4 never triggers
+        for q in [
+            Rect::new(&[0.0, 0.0], &[0.5, 0.5]),
+            Rect::new(&[0.5, 0.5], &[1.0, 1.0]),
+            Rect::new(&[0.0, 0.0], &[1.0, 1.0]),
+            Rect::new(&[0.25, 0.25], &[0.5, 0.5]),
+        ] {
+            let est = syn.answer(&RangeQuery::new(q));
+            let truth = ps.count_in(&q) as f64;
+            assert!(
+                (est - truth).abs() < 1e-9,
+                "query {q}: est {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_synopsis_uniform_assumption_on_unaligned_queries() {
+        // uniform data: partial-leaf scaling should land near the truth
+        let mut rng = seeded(2);
+        let mut ps = PointSet::new(2);
+        for _ in 0..20_000 {
+            ps.push(&[rng.random::<f64>(), rng.random::<f64>()]);
+        }
+        let syn = exact_synopsis(&ps, Rect::unit(2), SplitConfig::full(2), 500.0, None);
+        let q = Rect::new(&[0.13, 0.27], &[0.52, 0.61]);
+        let est = syn.answer(&RangeQuery::new(q));
+        let truth = ps.count_in(&q) as f64;
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "est {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn privtree_synopsis_total_near_cardinality() {
+        let ps = clustered(5000, 3);
+        let syn = privtree_synopsis(
+            &ps,
+            Rect::unit(2),
+            SplitConfig::full(2),
+            Epsilon::new(1.0).unwrap(),
+            &mut seeded(4),
+        )
+        .unwrap();
+        let total = syn.answer(&RangeQuery::new(Rect::unit(2)));
+        assert!(
+            (total - 5000.0).abs() < 500.0,
+            "total = {total}, expected ≈ 5000"
+        );
+    }
+
+    #[test]
+    fn privtree_beats_simple_tree_on_skewed_data() {
+        // the paper's headline on a miniature: average relative error of
+        // PrivTree should be below a height-limited SimpleTree on skewed data
+        let ps = clustered(20_000, 5);
+        let eps = Epsilon::new(0.5).unwrap();
+        let queries: Vec<RangeQuery> = {
+            let mut rng = seeded(6);
+            (0..60)
+                .map(|_| {
+                    let cx = rng.random::<f64>() * 0.9;
+                    let cy = rng.random::<f64>() * 0.9;
+                    RangeQuery::new(Rect::new(&[cx, cy], &[cx + 0.1, cy + 0.1]))
+                })
+                .collect()
+        };
+        let truth: Vec<f64> = queries.iter().map(|q| ps.count_in(&q.rect) as f64).collect();
+        let smooth = 0.001 * ps.len() as f64;
+
+        let avg_err = |syn: &SpatialSynopsis| -> f64 {
+            queries
+                .iter()
+                .zip(&truth)
+                .map(|(q, t)| (syn.answer(q) - t).abs() / t.max(smooth))
+                .sum::<f64>()
+                / queries.len() as f64
+        };
+
+        let mut pt_err = 0.0;
+        let mut st_err = 0.0;
+        let reps = 5;
+        for rep in 0..reps {
+            let pt = privtree_synopsis(
+                &ps,
+                Rect::unit(2),
+                SplitConfig::full(2),
+                eps,
+                &mut seeded(100 + rep),
+            )
+            .unwrap();
+            let st = simple_tree_synopsis(
+                &ps,
+                Rect::unit(2),
+                SplitConfig::full(2),
+                eps,
+                5,
+                (2.0 * 5.0 / eps.get()) * 2.0_f64.sqrt(),
+                &mut seeded(200 + rep),
+            )
+            .unwrap();
+            pt_err += avg_err(&pt);
+            st_err += avg_err(&st);
+        }
+        assert!(
+            pt_err < st_err,
+            "PrivTree err {pt_err} not below SimpleTree err {st_err}"
+        );
+    }
+
+    #[test]
+    fn synopsis_is_deterministic_given_seed() {
+        let ps = clustered(1000, 7);
+        let build = |seed| {
+            privtree_synopsis(
+                &ps,
+                Rect::unit(2),
+                SplitConfig::full(2),
+                Epsilon::new(1.0).unwrap(),
+                &mut seeded(seed),
+            )
+            .unwrap()
+        };
+        let a = build(42);
+        let b = build(42);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn internal_counts_are_leaf_sums() {
+        let ps = clustered(3000, 8);
+        let syn = privtree_synopsis(
+            &ps,
+            Rect::unit(2),
+            SplitConfig::full(2),
+            Epsilon::new(1.0).unwrap(),
+            &mut seeded(9),
+        )
+        .unwrap();
+        let tree = syn.tree();
+        for v in tree.internal_ids() {
+            let kid_sum: f64 = tree.children(v).map(|c| syn.counts()[c.index()]).sum();
+            assert!((syn.counts()[v.index()] - kid_sum).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Exact privacy-loss computations for the SVT variants.
+//!
+//! Conditioned on the noisy threshold `θ̂ = x`, every comparison in an SVT
+//! run is independent, so the probability of any output pattern is a
+//! one-dimensional integral over `x`:
+//!
+//! ```text
+//! Pr[E] = ∫ f_θ(x) · Π_{oᵢ=1} SF(x − aᵢ) · Π_{oᵢ=0} CDF(x − aᵢ) dx
+//! ```
+//!
+//! where `aᵢ` are the exact query answers. Evaluating the integral for
+//! the paper's counterexample datasets turns Lemma 5.1 and the Claim 2
+//! refutation into executable numbers.
+
+use privtree_dp::laplace::Laplace;
+
+use crate::integrate::integrate_with_kinks;
+
+fn integration_bounds(theta: f64, answers: &[f64], lambda: f64) -> (f64, f64, Vec<f64>) {
+    let mut lo = theta;
+    let mut hi = theta;
+    for &a in answers {
+        lo = lo.min(a);
+        hi = hi.max(a);
+    }
+    let pad = 60.0 * lambda;
+    let mut kinks = vec![theta];
+    kinks.extend_from_slice(answers);
+    (lo - pad, hi + pad, kinks)
+}
+
+/// `ln Pr[output = pattern]` for BinarySVT (Algorithm 3) given the exact
+/// query answers.
+pub fn binary_event_log_prob(answers: &[f64], pattern: &[bool], theta: f64, lambda: f64) -> f64 {
+    assert_eq!(answers.len(), pattern.len());
+    let noise = Laplace::centered(lambda).expect("positive lambda");
+    let (lo, hi, kinks) = integration_bounds(theta, answers, lambda);
+    let f = |x: f64| {
+        let mut p = noise.pdf(x - theta);
+        for (a, &one) in answers.iter().zip(pattern) {
+            p *= if one { noise.sf(x - a) } else { noise.cdf(x - a) };
+            if p == 0.0 {
+                break;
+            }
+        }
+        p
+    };
+    integrate_with_kinks(&f, lo, hi, &kinks, 1e-13).max(f64::MIN_POSITIVE).ln()
+}
+
+/// `ln` density of VanillaSVT (Algorithm 4) producing the given outputs
+/// (`None` = ⊥, `Some(y)` = released noisy answer `y`), with `t` the
+/// release budget (query noise scale is `t·λ`).
+pub fn vanilla_event_log_prob(
+    answers: &[f64],
+    outputs: &[Option<f64>],
+    theta: f64,
+    lambda: f64,
+    t: usize,
+) -> f64 {
+    assert_eq!(answers.len(), outputs.len());
+    let thresh = Laplace::centered(lambda).expect("positive lambda");
+    let query = Laplace::centered(t as f64 * lambda).expect("positive lambda");
+    // released densities are constants in x; the threshold must lie below
+    // every released value
+    let mut upper_cap = f64::INFINITY;
+    let mut released_log_density = 0.0;
+    for (a, o) in answers.iter().zip(outputs) {
+        if let Some(y) = o {
+            upper_cap = upper_cap.min(*y);
+            released_log_density += query.ln_pdf(y - a);
+        }
+    }
+    let (lo, hi, kinks) = integration_bounds(theta, answers, lambda);
+    let hi = hi.min(upper_cap);
+    if hi <= lo {
+        return f64::MIN_POSITIVE.ln();
+    }
+    let f = |x: f64| {
+        let mut p = thresh.pdf(x - theta);
+        for (a, o) in answers.iter().zip(outputs) {
+            if o.is_none() {
+                p *= query.cdf(x - a);
+            }
+            if p == 0.0 {
+                break;
+            }
+        }
+        p
+    };
+    let integral = integrate_with_kinks(&f, lo, hi, &kinks, 1e-13);
+    integral.max(f64::MIN_POSITIVE).ln() + released_log_density
+}
+
+/// `ln Pr[output = pattern]` for ImprovedSVT (Algorithm 6): threshold
+/// noise scale λ, query noise scale `t·λ`.
+pub fn improved_event_log_prob(
+    answers: &[f64],
+    pattern: &[bool],
+    theta: f64,
+    lambda: f64,
+    t: usize,
+) -> f64 {
+    assert_eq!(answers.len(), pattern.len());
+    let thresh = Laplace::centered(lambda).expect("positive lambda");
+    let query = Laplace::centered(t as f64 * lambda).expect("positive lambda");
+    let (lo, hi, kinks) = integration_bounds(theta, answers, lambda);
+    let f = |x: f64| {
+        let mut p = thresh.pdf(x - theta);
+        for (a, &one) in answers.iter().zip(pattern) {
+            p *= if one { query.sf(x - a) } else { query.cdf(x - a) };
+            if p == 0.0 {
+                break;
+            }
+        }
+        p
+    };
+    integrate_with_kinks(&f, lo, hi, &kinks, 1e-13).max(f64::MIN_POSITIVE).ln()
+}
+
+/// The Lemma 5.1 counterexample, computed exactly.
+///
+/// Datasets `D1 = {a, b}` and `D3 = {b, b}` (note `D1 ~ D2 ~ D3` with
+/// `D2 = {a, b, b}`), query sequence = k/2 copies of `q_a` followed by
+/// k/2 copies of `q_b`, threshold θ = 1. The audited event is "1 for
+/// every `q_a`, 0 for every `q_b`". Returns
+/// `ln(Pr[D1 → E] / Pr[D3 → E])`, which the lemma lower-bounds by
+/// `k/(2λ)`.
+pub fn lemma_5_1_log_ratio(k: usize, lambda: f64) -> f64 {
+    assert!(k >= 2 && k.is_multiple_of(2));
+    let theta = 1.0;
+    let half = k / 2;
+    let mut pattern = vec![true; half];
+    pattern.extend(std::iter::repeat_n(false, half));
+    // D1 = {a, b}: q_a = 1, q_b = 1
+    let mut answers_d1 = vec![1.0; half];
+    answers_d1.extend(std::iter::repeat_n(1.0, half));
+    // D3 = {b, b}: q_a = 0, q_b = 2
+    let mut answers_d3 = vec![0.0; half];
+    answers_d3.extend(std::iter::repeat_n(2.0, half));
+    binary_event_log_prob(&answers_d1, &pattern, theta, lambda)
+        - binary_event_log_prob(&answers_d3, &pattern, theta, lambda)
+}
+
+/// The Claim 2 (vanilla SVT) counterexample of Appendix A, computed
+/// exactly: `D1 = {a, b}` vs `D3 = {a, a}`, k−1 copies of `q_a` followed
+/// by one `q_b`, t = 1, θ = 0; the event is "⊥ everywhere, then release
+/// the value 1". Returns `ln(Pr[D1 → E] / Pr[D3 → E]) ≈ k/λ`.
+pub fn claim_2_log_ratio(k: usize, lambda: f64) -> f64 {
+    assert!(k >= 2);
+    let theta = 0.0;
+    let mut outputs: Vec<Option<f64>> = vec![None; k - 1];
+    outputs.push(Some(1.0));
+    // D1 = {a, b}: q_a = 1, q_b = 1
+    let mut answers_d1 = vec![1.0; k - 1];
+    answers_d1.push(1.0);
+    // D3 = {a, a}: q_a = 2, q_b = 0
+    let mut answers_d3 = vec![2.0; k - 1];
+    answers_d3.push(0.0);
+    vanilla_event_log_prob(&answers_d1, &outputs, theta, lambda, 1)
+        - vanilla_event_log_prob(&answers_d3, &outputs, theta, lambda, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::binary_svt;
+    use privtree_dp::rng::seeded;
+
+    /// The integration machinery agrees with Monte Carlo simulation.
+    #[test]
+    fn binary_event_prob_matches_simulation() {
+        let answers = [1.5, -0.5, 0.2];
+        let pattern = [true, false, true];
+        let (theta, lambda) = (0.0, 1.0);
+        let lp = binary_event_log_prob(&answers, &pattern, theta, lambda);
+        let p = lp.exp();
+        let mut rng = seeded(1);
+        let n = 200_000;
+        let hits = (0..n)
+            .filter(|_| binary_svt(&answers, theta, lambda, &mut rng) == pattern)
+            .count();
+        let p_hat = hits as f64 / n as f64;
+        assert!(
+            (p - p_hat).abs() < 0.01,
+            "integral {p} vs simulation {p_hat}"
+        );
+    }
+
+    /// All-pattern probabilities sum to 1 for the binary SVT.
+    #[test]
+    fn binary_pattern_probabilities_sum_to_one() {
+        let answers = [0.5, -1.0];
+        let mut total = 0.0;
+        for bits in 0..4u32 {
+            let pattern = [bits & 1 == 1, bits & 2 == 2];
+            total += binary_event_log_prob(&answers, &pattern, 0.0, 1.3).exp();
+        }
+        assert!((total - 1.0).abs() < 1e-8, "total = {total}");
+    }
+
+    /// Lemma 5.1: the loss grows linearly in k, so the claimed λ = 2/ε is
+    /// violated once k > 4 (for ε = 1).
+    #[test]
+    fn lemma_5_1_loss_grows_linearly() {
+        let eps = 1.0;
+        let lambda = 2.0 / eps; // the Claim 1 calibration
+        let l8 = lemma_5_1_log_ratio(8, lambda);
+        let l16 = lemma_5_1_log_ratio(16, lambda);
+        let l32 = lemma_5_1_log_ratio(32, lambda);
+        // the proof's lower bound k/(2λ)
+        assert!(l8 > 8.0 / (2.0 * lambda) - 1e-6, "l8 = {l8}");
+        assert!(l16 > 16.0 / (2.0 * lambda) - 1e-6, "l16 = {l16}");
+        assert!(l32 > 32.0 / (2.0 * lambda) - 1e-6, "l32 = {l32}");
+        // far beyond the 2ε the composition argument would allow
+        assert!(l32 > 2.0 * eps, "binary SVT loss {l32} must exceed 2ε");
+        // approximate linearity
+        let slope = (l32 - l16) / 16.0;
+        assert!(slope > 0.3 / lambda, "slope {slope}");
+    }
+
+    /// Claim 2 refutation: vanilla SVT's loss ≈ k/λ.
+    #[test]
+    fn claim_2_loss_is_k_over_lambda() {
+        let lambda = 2.0;
+        for k in [4usize, 8, 16] {
+            let loss = claim_2_log_ratio(k, lambda);
+            let predicted = k as f64 / lambda;
+            assert!(
+                (loss - predicted).abs() < 0.35 + 0.05 * predicted,
+                "k = {k}: loss {loss} vs predicted {predicted}"
+            );
+        }
+    }
+
+    /// Lemma A.1: the improved SVT's loss stays within ε = 2/λ over an
+    /// exhaustive sweep of insertion neighbors and output patterns.
+    #[test]
+    fn lemma_a_1_improved_svt_is_private() {
+        let lambda = 2.0;
+        let eps = 2.0 / lambda;
+        let t = 2usize;
+        let k = 5usize;
+        let theta = 0.0;
+        let base = [0.0, 1.0, -1.0, 0.5, 2.0];
+        let mut worst = 0.0f64;
+        // neighbors: any subset of queries shifted by +1 (an inserted
+        // tuple increases each count by 0 or 1)
+        for delta_bits in 0..(1u32 << k) {
+            let neighbor: Vec<f64> = (0..k)
+                .map(|i| base[i] + f64::from((delta_bits >> i) & 1))
+                .collect();
+            for pat_bits in 0..(1u32 << k) {
+                let pattern: Vec<bool> = (0..k).map(|i| (pat_bits >> i) & 1 == 1).collect();
+                // valid prefixes only: the run stops at the t-th positive
+                let ones = pattern.iter().filter(|b| **b).count();
+                if ones > t || (ones == t && !pattern[k - 1]) {
+                    continue;
+                }
+                let lp_a = improved_event_log_prob(&base, &pattern, theta, lambda, t);
+                let lp_b = improved_event_log_prob(&neighbor, &pattern, theta, lambda, t);
+                worst = worst.max((lp_a - lp_b).abs());
+            }
+        }
+        assert!(
+            worst <= eps + 1e-6,
+            "improved SVT worst loss {worst} exceeds ε {eps}"
+        );
+        // and the bound is not hugely loose
+        assert!(worst > 0.5 * eps, "worst loss {worst} suspiciously small");
+    }
+
+    /// Sanity: a single-query binary SVT *is* private (the failure needs
+    /// many queries).
+    #[test]
+    fn binary_svt_single_query_is_private() {
+        let lambda = 2.0;
+        let eps = 2.0 / lambda;
+        let mut worst = 0.0f64;
+        for a in [-1.0, 0.0, 0.3, 1.0] {
+            for pattern in [[true], [false]] {
+                let lp_a = binary_event_log_prob(&[a], &pattern, 0.0, lambda);
+                let lp_b = binary_event_log_prob(&[a + 1.0], &pattern, 0.0, lambda);
+                worst = worst.max((lp_a - lp_b).abs());
+            }
+        }
+        assert!(worst <= eps + 1e-6, "single-query loss {worst}");
+    }
+}

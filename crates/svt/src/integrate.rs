@@ -1,0 +1,101 @@
+//! Adaptive Simpson quadrature for the SVT privacy audits.
+//!
+//! The audited event probabilities are one-dimensional integrals over the
+//! noisy threshold; the integrands are smooth except for kinks where the
+//! threshold crosses a query answer (the Laplace density's corner), so
+//! callers split the integration range at those points.
+
+/// Integrate `f` over `[a, b]` with adaptive Simpson to the given
+/// absolute tolerance.
+pub fn integrate(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a <= b && tol > 0.0);
+    if a == b {
+        return 0.0;
+    }
+    let m = 0.5 * (a + b);
+    let (fa, fm, fb) = (f(a), f(m), f(b));
+    simpson_rec(f, a, b, fa, fm, fb, simpson(a, b, fa, fm, fb), tol, 40)
+}
+
+/// Integrate `f` over `[a, b]`, splitting at the interior `kinks`.
+pub fn integrate_with_kinks(f: &dyn Fn(f64) -> f64, a: f64, b: f64, kinks: &[f64], tol: f64) -> f64 {
+    let mut pts: Vec<f64> = kinks.iter().copied().filter(|k| *k > a && *k < b).collect();
+    pts.push(a);
+    pts.push(b);
+    pts.sort_by(f64::total_cmp);
+    pts.dedup();
+    pts.windows(2).map(|w| integrate(f, w[0], w[1], tol)).sum()
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_rec(
+    f: &dyn Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let (flm, frm) = (f(lm), f(rm));
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        simpson_rec(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + simpson_rec(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_is_exact() {
+        // Simpson is exact for cubics
+        let f = |x: f64| 3.0 * x * x + 2.0 * x + 1.0;
+        let got = integrate(&f, 0.0, 2.0, 1e-12);
+        assert!((got - (8.0 + 4.0 + 2.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gaussian_like_integral() {
+        let f = |x: f64| (-x * x).exp();
+        let got = integrate(&f, -10.0, 10.0, 1e-12);
+        assert!((got - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laplace_density_integrates_to_one() {
+        let lam = 1.7;
+        let f = move |x: f64| (-x.abs() / lam).exp() / (2.0 * lam);
+        let got = integrate_with_kinks(&f, -80.0, 80.0, &[0.0], 1e-12);
+        assert!((got - 1.0).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn kinks_improve_accuracy() {
+        // |x| has a kink at 0; splitting there makes Simpson exact
+        let f = |x: f64| x.abs();
+        let split = integrate_with_kinks(&f, -1.0, 1.0, &[0.0], 1e-14);
+        assert!((split - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        let f = |_x: f64| 1.0;
+        assert_eq!(integrate(&f, 2.0, 2.0, 1e-9), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Sparse Vector Technique variants and their privacy audits (Section 5
+//! and Appendix A of the paper).
+//!
+//! The paper's negative results are as important as its algorithm: the
+//! "binary SVT" (Algorithm 3, claimed ε-DP with λ ≥ 2/ε in \[28\]) and the
+//! "vanilla SVT" (Algorithm 4, claimed ε-DP in \[21\]) are **not**
+//! differentially private — in the worst case they need noise scaling
+//! with the number of queries (Lemma 5.1). The "improved SVT"
+//! (Algorithm 6, the paper's own fix of Dwork & Roth's reduced SVT) is
+//! ε-DP (Lemma A.1) but needs Lap(2t/ε) per query, making it useless for
+//! hierarchical decompositions.
+//!
+//! * [`variants`] — Algorithms 3–6 as runnable mechanisms.
+//! * [`mod@integrate`] — adaptive Simpson quadrature.
+//! * [`audit`] — exact (numeric-integration) event probabilities for the
+//!   counterexample datasets, reproducing the Lemma 5.1 and Claim 2
+//!   privacy-loss blow-ups and validating Lemma A.1.
+//! * [`tree_adapter`] — the hypothetical SVT-driven quadtree of Section 5
+//!   (what PrivTree would look like if Claim 1 were true).
+
+pub mod audit;
+pub mod integrate;
+pub mod tree_adapter;
+pub mod variants;
+
+pub use audit::{
+    binary_event_log_prob, claim_2_log_ratio, improved_event_log_prob, lemma_5_1_log_ratio,
+    vanilla_event_log_prob,
+};
+pub use integrate::integrate;
+pub use tree_adapter::svt_quadtree;
+pub use variants::{binary_svt, improved_svt, reduced_svt, vanilla_svt};

@@ -1,0 +1,94 @@
+//! The hypothetical SVT-driven quadtree of Section 5.
+//!
+//! "Given a threshold θ and a set D of spatial points … we invoke the
+//! binary SVT to inspect each query in Q one by one; if the binary SVT
+//! outputs 1 for a query c(v), then we split the node v." If Claim 1 held,
+//! this construction would need only `Lap(2/ε)` noise — beating
+//! PrivTree's `(2β−1)/(β−1)·(1/ε)`. Lemma 5.1 shows it is **not**
+//! ε-differentially private; it is provided so the benchmark harness can
+//! demonstrate both its (illusory) utility appeal and its privacy
+//! failure. Do not deploy it.
+
+use std::collections::VecDeque;
+
+use privtree_core::domain::TreeDomain;
+use privtree_core::tree::Tree;
+use privtree_core::{CoreError, Result};
+use privtree_dp::laplace::Laplace;
+use rand::Rng;
+
+/// Build a decomposition tree with binary-SVT split decisions at noise
+/// scale `lambda` (the refuted Claim 1 would set `lambda = 2/ε`).
+pub fn svt_quadtree<D: TreeDomain, R: Rng + ?Sized>(
+    domain: &D,
+    theta: f64,
+    lambda: f64,
+    node_limit: usize,
+    rng: &mut R,
+) -> Result<Tree<D::Node>> {
+    let noise = Laplace::centered(lambda).map_err(|e| CoreError::BadParams(e.to_string()))?;
+    // one noisy threshold for the whole run (Algorithm 3 line 1)
+    let theta_hat = theta + noise.sample(rng);
+
+    let mut tree = Tree::with_root(domain.root());
+    let mut queue = VecDeque::new();
+    queue.push_back(tree.root());
+    while let Some(v) = queue.pop_front() {
+        let q_hat = domain.score(tree.payload(v)) + noise.sample(rng);
+        if q_hat > theta_hat {
+            if let Some(children) = domain.split(tree.payload(v)) {
+                if tree.len() + children.len() > node_limit {
+                    return Err(CoreError::TreeTooLarge { limit: node_limit });
+                }
+                for c in tree.add_children(v, children) {
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtree_core::domain::LineDomain;
+    use privtree_dp::rng::seeded;
+
+    fn clustered(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64) / (n as f64) / 64.0).collect()
+    }
+
+    #[test]
+    fn builds_adaptive_trees() {
+        let domain = LineDomain::new(clustered(50_000)).with_min_width(1e-6);
+        let tree = svt_quadtree(&domain, 100.0, 2.0, 1 << 20, &mut seeded(1)).unwrap();
+        assert!(tree.max_depth() > 5, "depth = {}", tree.max_depth());
+    }
+
+    /// The utility appeal the paper warns about: at the same ε the
+    /// (non-private!) SVT tree uses constant noise 2/ε, smaller than
+    /// PrivTree's (2β−1)/(β−1)/ε for β = 2.
+    #[test]
+    fn nominal_noise_is_smaller_than_privtree() {
+        let eps = 1.0;
+        let svt_lambda = 2.0 / eps;
+        let privtree_lambda = privtree_dp::rho::privtree_scale_for_fanout(eps, 2);
+        assert!(svt_lambda < privtree_lambda);
+    }
+
+    #[test]
+    fn respects_node_limit() {
+        let domain = LineDomain::new(clustered(50_000)).with_min_width(1e-9);
+        let err = svt_quadtree(&domain, 0.0, 2.0, 8, &mut seeded(2)).unwrap_err();
+        assert!(matches!(err, CoreError::TreeTooLarge { .. }));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let domain = LineDomain::new(clustered(1000)).with_min_width(1e-4);
+        let a = svt_quadtree(&domain, 10.0, 2.0, 1 << 16, &mut seeded(3)).unwrap();
+        let b = svt_quadtree(&domain, 10.0, 2.0, 1 << 16, &mut seeded(3)).unwrap();
+        assert_eq!(a.len(), b.len());
+    }
+}

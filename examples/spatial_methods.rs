@@ -1,0 +1,97 @@
+//! Compare PrivTree against the Section 6.1 baselines on a skewed spatial
+//! dataset, and render the private synopsis as a density map.
+//!
+//! ```sh
+//! cargo run --release --example spatial_methods
+//! ```
+
+use privtree_suite::baselines::{dawa_synopsis, hierarchy_synopsis, privelet_synopsis, ug_synopsis};
+use privtree_suite::datagen::spatial::road_like;
+use privtree_suite::datagen::viz::ascii_density;
+use privtree_suite::datagen::workload::{range_queries, QuerySize};
+use privtree_suite::dp::budget::Epsilon;
+use privtree_suite::dp::rng::seeded;
+use privtree_suite::eval::error::{average_relative_error, smoothing_factor};
+use privtree_suite::spatial::dataset::PointSet;
+use privtree_suite::spatial::geom::Rect;
+use privtree_suite::spatial::index::GridIndex;
+use privtree_suite::spatial::quadtree::SplitConfig;
+use privtree_suite::spatial::query::{RangeCountSynopsis, RangeQuery};
+use privtree_suite::spatial::synopsis::privtree_synopsis;
+
+fn score(
+    syn: &dyn RangeCountSynopsis,
+    queries: &[RangeQuery],
+    truth: &[f64],
+    n: usize,
+) -> f64 {
+    let est: Vec<f64> = queries.iter().map(|q| syn.answer(q)).collect();
+    average_relative_error(&est, truth, smoothing_factor(n))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = road_like(300_000, 11);
+    let domain = Rect::unit(2);
+    let eps = Epsilon::new(0.4)?;
+
+    println!("true density (road-like, 300k points):");
+    println!("{}", ascii_density(&data, 0, 1, 64, 20));
+
+    // exact answers for a medium workload
+    let queries = range_queries(&domain, QuerySize::Medium, 400, 5);
+    let index = GridIndex::build(&data, &domain);
+    let truth: Vec<f64> = queries
+        .iter()
+        .map(|q| index.count(&data, &q.rect) as f64)
+        .collect();
+
+    println!("average relative error on 400 medium queries at eps = 0.4:");
+    let privtree = privtree_synopsis(&data, domain, SplitConfig::full(2), eps, &mut seeded(1))?;
+    println!(
+        "  {:<10} {:>8.3}%   ({} nodes, depth {})",
+        "PrivTree",
+        100.0 * score(&privtree, &queries, &truth, data.len()),
+        privtree.node_count(),
+        privtree.max_depth()
+    );
+    let ug = ug_synopsis(&data, &domain, eps, 1.0, &mut seeded(2));
+    println!("  {:<10} {:>8.3}%", "UG", 100.0 * score(&ug, &queries, &truth, data.len()));
+    let hier = hierarchy_synopsis(&data, &domain, eps, 3, 64, &mut seeded(3));
+    println!(
+        "  {:<10} {:>8.3}%",
+        "Hierarchy",
+        100.0 * score(&hier, &queries, &truth, data.len())
+    );
+    let dawa = dawa_synopsis(&data, &domain, eps, 20, &mut seeded(4));
+    println!("  {:<10} {:>8.3}%", "DAWA", 100.0 * score(&dawa, &queries, &truth, data.len()));
+    let privelet = privelet_synopsis(&data, &domain, eps, 20, &mut seeded(5));
+    println!(
+        "  {:<10} {:>8.3}%",
+        "Privelet*",
+        100.0 * score(&privelet, &queries, &truth, data.len())
+    );
+
+    // reconstruct a density map from the private synopsis: sample each
+    // display cell with a range query against the release
+    println!("\nprivate density reconstructed from the PrivTree release:");
+    let (w, h) = (64usize, 20usize);
+    let mut private_points = PointSet::new(2);
+    for row in 0..h {
+        for col in 0..w {
+            let q = RangeQuery::new(Rect::new(
+                &[col as f64 / w as f64, row as f64 / h as f64],
+                &[(col + 1) as f64 / w as f64, (row + 1) as f64 / h as f64],
+            ));
+            let c = privtree.answer(&q).max(0.0) as usize;
+            // deposit a representative point per ~500 counted
+            for _ in 0..(c / 500) {
+                private_points.push(&[
+                    (col as f64 + 0.5) / w as f64,
+                    (row as f64 + 0.5) / h as f64,
+                ]);
+            }
+        }
+    }
+    println!("{}", ascii_density(&private_points, 0, 1, 64, 20));
+    Ok(())
+}

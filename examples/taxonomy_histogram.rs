@@ -1,0 +1,75 @@
+//! Section 3.5, extension 1: PrivTree over a categorical taxonomy.
+//!
+//! Decompose a product taxonomy adaptively — popular subtrees get
+//! expanded into fine categories, unpopular ones stay coarse — and then
+//! release noisy counts for the leaves of the decomposition.
+//!
+//! ```sh
+//! cargo run --release --example taxonomy_histogram
+//! ```
+
+use privtree_suite::core::counts::noisy_leaf_counts;
+use privtree_suite::core::params::PrivTreeParams;
+use privtree_suite::core::privtree::build_privtree;
+use privtree_suite::core::taxonomy::{Taxonomy, TaxonomyDomain};
+use privtree_suite::core::TreeDomain;
+use privtree_suite::dp::budget::Epsilon;
+use privtree_suite::dp::mechanism::LaplaceMechanism;
+use privtree_suite::dp::rng::seeded;
+use rand::RngExt;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // a small retail taxonomy
+    let mut tax = Taxonomy::new("all-products");
+    let food = tax.add_child(tax.root(), "food");
+    let fruit = tax.add_child(food, "fruit");
+    let apples = tax.add_child(fruit, "apples");
+    let bananas = tax.add_child(fruit, "bananas");
+    let dairy = tax.add_child(food, "dairy");
+    let milk = tax.add_child(dairy, "milk");
+    let cheese = tax.add_child(dairy, "cheese");
+    let tech = tax.add_child(tax.root(), "tech");
+    let phones = tax.add_child(tech, "phones");
+    let laptops = tax.add_child(tech, "laptops");
+    let books = tax.add_child(tax.root(), "books");
+
+    // synthetic purchases: food dominates, tech is niche, books are rare
+    let mut rng = seeded(5);
+    let leaves = [apples, bananas, milk, cheese, phones, laptops, books];
+    let weights = [0.35, 0.25, 0.2, 0.1, 0.05, 0.03, 0.02];
+    let mut purchases = Vec::new();
+    for _ in 0..50_000 {
+        let mut t = rng.random::<f64>();
+        let mut pick = leaves[0];
+        for (leaf, w) in leaves.iter().zip(weights) {
+            t -= w;
+            if t <= 0.0 {
+                pick = *leaf;
+                break;
+            }
+        }
+        purchases.push(pick);
+    }
+
+    let domain = TaxonomyDomain::new(tax, &purchases);
+    let epsilon = Epsilon::new(0.5)?;
+    let (eps_tree, eps_counts) = epsilon.split_two(0.5)?;
+    let params = PrivTreeParams::from_epsilon(eps_tree, domain.fanout())?;
+    let tree = build_privtree(&domain, &params, &mut rng)?;
+    let mech = LaplaceMechanism::new(eps_counts, 1.0)?;
+    let counts = noisy_leaf_counts(&tree, &mech, |n| domain.score(n), &mut rng);
+
+    println!("adaptive private taxonomy histogram (eps = 0.5):");
+    let rendered = tree.render(|id, node| {
+        format!(
+            "{:<14} ~{:.0}",
+            domain.taxonomy().name(*node),
+            counts.get(id).max(0.0)
+        )
+    });
+    println!("{rendered}");
+    println!("note how the popular 'food' branch is expanded to concrete");
+    println!("categories while niche branches stay coarse — the same");
+    println!("adaptivity as the spatial quadtree, on categorical data.");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Umbrella crate for the PrivTree reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so the examples and
+//! integration tests (and downstream users who just want "the paper") can
+//! depend on a single package:
+//!
+//! * [`dp`] — differential-privacy primitives (Laplace mechanism, budgets,
+//!   exponential mechanism, the ρ/ρ⊤ analysis of Section 3.2).
+//! * [`core`] — decomposition trees, PrivTree (Algorithm 2), SimpleTree
+//!   (Algorithm 1), the noise-free tree `T*`, and exact privacy audits.
+//! * [`spatial`] — points, rectangles, quadtree domains, private spatial
+//!   synopses, and range-count query answering (Sections 2.2 and 3).
+//! * [`baselines`] — UG, AG, Hierarchy, a Privelet*-style wavelet
+//!   mechanism, and a DAWA-style two-stage method (Section 6.1).
+//! * [`markov`] — prediction suffix trees and the PrivTree extension for
+//!   sequence data, plus the N-gram and EM baselines (Sections 4 and 6.2).
+//! * [`svt`] — the four Sparse Vector Technique variants and the privacy
+//!   audits reproducing Lemma 5.1 and Appendix A.
+//! * [`datagen`] — seeded synthetic datasets standing in for the paper's
+//!   road/Gowalla/NYC/Beijing/mooc/msnbc data (see DESIGN.md §3).
+//! * [`eval`] — relative error, precision@k, total variation distance, and
+//!   the experiment runner.
+//!
+//! # Example
+//!
+//! Release an ε-differentially private spatial synopsis and answer a
+//! range-count query from the release alone:
+//!
+//! ```
+//! use privtree_suite::dp::budget::Epsilon;
+//! use privtree_suite::dp::rng::seeded;
+//! use privtree_suite::spatial::dataset::PointSet;
+//! use privtree_suite::spatial::geom::Rect;
+//! use privtree_suite::spatial::quadtree::SplitConfig;
+//! use privtree_suite::spatial::query::{RangeCountSynopsis, RangeQuery};
+//! use privtree_suite::spatial::synopsis::privtree_synopsis;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut data = PointSet::new(2);
+//! for i in 0..1000 {
+//!     let t = i as f64 / 1000.0;
+//!     data.push(&[0.2 + 0.1 * t, 0.3 + 0.05 * t]); // a dense street
+//! }
+//! let synopsis = privtree_synopsis(
+//!     &data,
+//!     Rect::unit(2),
+//!     SplitConfig::full(2),
+//!     Epsilon::new(1.0)?,
+//!     &mut seeded(42),
+//! )?;
+//! let q = RangeQuery::new(Rect::new(&[0.0, 0.0], &[0.5, 0.5]));
+//! let estimate = synopsis.answer(&q);
+//! assert!((estimate - 1000.0).abs() < 200.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use privtree_baselines as baselines;
+pub use privtree_core as core;
+pub use privtree_datagen as datagen;
+pub use privtree_dp as dp;
+pub use privtree_eval as eval;
+pub use privtree_markov as markov;
+pub use privtree_spatial as spatial;
+pub use privtree_svt as svt;

@@ -1,0 +1,87 @@
+//! Integration: every randomized pipeline in the workspace is a pure
+//! function of its seed — the property the experiment harness depends on.
+
+use privtree_suite::baselines::{dawa_synopsis, ug_synopsis};
+use privtree_suite::datagen::sequence::msnbc_like;
+use privtree_suite::datagen::spatial::{beijing_like, road_like};
+use privtree_suite::datagen::workload::{range_queries, QuerySize};
+use privtree_suite::dp::budget::Epsilon;
+use privtree_suite::dp::rng::seeded;
+use privtree_suite::markov::data::SequenceDataset;
+use privtree_suite::markov::em::em_topk;
+use privtree_suite::markov::private::private_pst;
+use privtree_suite::markov::pst::SequenceModel;
+use privtree_suite::spatial::geom::Rect;
+use privtree_suite::spatial::quadtree::SplitConfig;
+use privtree_suite::spatial::query::RangeCountSynopsis;
+use privtree_suite::spatial::synopsis::privtree_synopsis;
+use privtree_suite::svt::variants::binary_svt;
+
+#[test]
+fn datasets_are_seed_deterministic() {
+    assert_eq!(road_like(2000, 1).point(1999), road_like(2000, 1).point(1999));
+    assert_eq!(
+        beijing_like(1000, 2).point(999),
+        beijing_like(1000, 2).point(999)
+    );
+    assert_eq!(msnbc_like(100, 3).sequences, msnbc_like(100, 3).sequences);
+    let a = range_queries(&Rect::unit(2), QuerySize::Small, 5, 4);
+    let b = range_queries(&Rect::unit(2), QuerySize::Small, 5, 4);
+    assert_eq!(a[4].rect, b[4].rect);
+}
+
+#[test]
+fn full_spatial_pipeline_is_deterministic() {
+    let data = beijing_like(5_000, 5);
+    let q = range_queries(&Rect::unit(4), QuerySize::Large, 3, 6);
+    let run = |seed: u64| -> Vec<f64> {
+        let syn = privtree_synopsis(
+            &data,
+            Rect::unit(4),
+            SplitConfig::full(4),
+            Epsilon::new(0.8).unwrap(),
+            &mut seeded(seed),
+        )
+        .unwrap();
+        q.iter().map(|x| syn.answer(x)).collect()
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43), "different seeds must differ");
+}
+
+#[test]
+fn baseline_builds_are_deterministic() {
+    let data = beijing_like(3_000, 7);
+    let dom = Rect::unit(4);
+    let e = Epsilon::new(0.4).unwrap();
+    let a = ug_synopsis(&data, &dom, e, 1.0, &mut seeded(1));
+    let b = ug_synopsis(&data, &dom, e, 1.0, &mut seeded(1));
+    assert_eq!(a.values(), b.values());
+    let c = dawa_synopsis(&data, &dom, e, 12, &mut seeded(2));
+    let d = dawa_synopsis(&data, &dom, e, 12, &mut seeded(2));
+    assert_eq!(c.values(), d.values());
+}
+
+#[test]
+fn sequence_pipeline_is_deterministic() {
+    let raw = msnbc_like(2_000, 8);
+    let data = SequenceDataset::new(&raw.sequences, raw.alphabet_size, 20);
+    let e = Epsilon::new(1.0).unwrap();
+    let m1 = private_pst(&data, e, &mut seeded(9)).unwrap();
+    let m2 = private_pst(&data, e, &mut seeded(9)).unwrap();
+    assert_eq!(m1.node_count(), m2.node_count());
+    assert_eq!(m1.estimate_count(&[0, 1]), m2.estimate_count(&[0, 1]));
+    assert_eq!(
+        em_topk(&data, 5, 6, e, &mut seeded(10)),
+        em_topk(&data, 5, 6, e, &mut seeded(10))
+    );
+}
+
+#[test]
+fn svt_runs_are_deterministic() {
+    let answers = [3.0, -1.0, 0.5, 10.0];
+    assert_eq!(
+        binary_svt(&answers, 0.0, 2.0, &mut seeded(11)),
+        binary_svt(&answers, 0.0, 2.0, &mut seeded(11))
+    );
+}

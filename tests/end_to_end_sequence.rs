@@ -1,0 +1,96 @@
+//! Integration: the full sequence pipeline — datagen → truncation →
+//! private PST / N-gram / EM → top-k mining and synthetic generation.
+
+use privtree_suite::datagen::sequence::{mooc_like, msnbc_like};
+use privtree_suite::dp::budget::Epsilon;
+use privtree_suite::dp::rng::seeded;
+use privtree_suite::eval::metrics::{length_histogram, precision_at_k, total_variation_distance};
+use privtree_suite::markov::data::SequenceDataset;
+use privtree_suite::markov::em::em_topk;
+use privtree_suite::markov::ngram::ngram_model;
+use privtree_suite::markov::private::private_pst;
+use privtree_suite::markov::pst::SequenceModel;
+use privtree_suite::markov::topk::{exact_topk, model_topk};
+
+/// Figure 6's shape in miniature: PrivTree's top-k precision beats EM at a
+/// generous budget on mooc-like data.
+#[test]
+fn privtree_beats_em_on_topk() {
+    let raw = mooc_like(15_000, 1);
+    let truncated = SequenceDataset::new(&raw.sequences, raw.alphabet_size, 50);
+    let untruncated = SequenceDataset::new(&raw.sequences, raw.alphabet_size, 10_000);
+    let k = 50;
+    let exact = exact_topk(&untruncated, k, 8);
+    let eps = Epsilon::new(1.6).unwrap();
+
+    let mut p_pt = 0.0;
+    let mut p_em = 0.0;
+    let reps = 3;
+    for rep in 0..reps {
+        let model = private_pst(&truncated, eps, &mut seeded(10 + rep)).unwrap();
+        p_pt += precision_at_k(&exact, &model_topk(&model, k, 8), k);
+        let em = em_topk(&truncated, k, 8, eps, &mut seeded(20 + rep));
+        p_em += precision_at_k(&exact, &em, k);
+    }
+    assert!(
+        p_pt > p_em,
+        "PrivTree precision {p_pt} should beat EM {p_em}"
+    );
+    assert!(p_pt / reps as f64 > 0.5, "PrivTree precision too low: {p_pt}");
+}
+
+/// Figure 7's shape in miniature: synthetic data from the private PST has
+/// a small length-distribution TVD at a healthy budget.
+#[test]
+fn length_distribution_tvd_is_small() {
+    let raw = msnbc_like(20_000, 2);
+    let l_top = 20usize;
+    let truncated = SequenceDataset::new(&raw.sequences, raw.alphabet_size, l_top);
+    let true_hist = length_histogram(raw.sequences.iter().map(Vec::len), l_top + 10);
+
+    let model = private_pst(&truncated, Epsilon::new(1.6).unwrap(), &mut seeded(3)).unwrap();
+    let mut rng = seeded(4);
+    let lens = (0..20_000).map(|_| model.sample_sequence(&mut rng, l_top).len());
+    let hist = length_histogram(lens, l_top + 10);
+    let tvd = total_variation_distance(&true_hist, &hist);
+    assert!(tvd < 0.25, "TVD = {tvd}");
+}
+
+/// The N-gram baseline runs end to end and loses to PrivTree at small ε
+/// on the long-context mooc-like data (the h-dilemma at work).
+#[test]
+fn ngram_pipeline_works() {
+    let raw = mooc_like(15_000, 5);
+    let truncated = SequenceDataset::new(&raw.sequences, raw.alphabet_size, 50);
+    let untruncated = SequenceDataset::new(&raw.sequences, raw.alphabet_size, 10_000);
+    let k = 50;
+    let exact = exact_topk(&untruncated, k, 8);
+
+    let eps = Epsilon::new(0.1).unwrap();
+    let mut p_pt = 0.0;
+    let mut p_ng = 0.0;
+    for rep in 0..3 {
+        let pt = private_pst(&truncated, eps, &mut seeded(30 + rep)).unwrap();
+        p_pt += precision_at_k(&exact, &model_topk(&pt, k, 8), k);
+        let ng = ngram_model(&truncated, eps, 5, &mut seeded(40 + rep));
+        p_ng += precision_at_k(&exact, &model_topk(&ng, k, 8), k);
+    }
+    assert!((0.0..=3.0).contains(&p_ng));
+    assert!(
+        p_pt >= p_ng,
+        "PrivTree {p_pt} should be at least N-gram {p_ng} at eps = 0.1"
+    );
+}
+
+/// Truncation bookkeeping flows through the pipeline.
+#[test]
+fn truncation_statistics() {
+    let raw = mooc_like(10_000, 6);
+    let data = SequenceDataset::new(&raw.sequences, raw.alphabet_size, 50);
+    // Table 3 shape: a few percent of sequences are truncated
+    let frac = data.truncated_count() as f64 / data.len() as f64;
+    assert!(frac > 0.001 && frac < 0.2, "truncated fraction {frac}");
+    for i in 0..data.len() {
+        assert!(data.measured_length(i) <= 50);
+    }
+}

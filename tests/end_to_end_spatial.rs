@@ -1,0 +1,156 @@
+//! Integration: the full spatial pipeline across crates — datagen →
+//! decomposition → noisy counts → query answering → evaluation.
+
+use privtree_suite::baselines::{hierarchy_synopsis, ug_synopsis};
+use privtree_suite::datagen::spatial::{gowalla_like, nyc_like, road_like};
+use privtree_suite::datagen::workload::{range_queries, QuerySize};
+use privtree_suite::dp::budget::Epsilon;
+use privtree_suite::dp::rng::seeded;
+use privtree_suite::eval::error::{average_relative_error, smoothing_factor};
+use privtree_suite::spatial::dataset::PointSet;
+use privtree_suite::spatial::geom::Rect;
+use privtree_suite::spatial::index::GridIndex;
+use privtree_suite::spatial::quadtree::SplitConfig;
+use privtree_suite::spatial::query::{RangeCountSynopsis, RangeQuery};
+use privtree_suite::spatial::synopsis::{privtree_synopsis, simple_tree_synopsis};
+
+fn workload(data: &PointSet, domain: &Rect, size: QuerySize, n: usize) -> (Vec<RangeQuery>, Vec<f64>) {
+    let queries = range_queries(domain, size, n, 31);
+    let idx = GridIndex::build(data, domain);
+    let truth = queries.iter().map(|q| idx.count(data, &q.rect) as f64).collect();
+    (queries, truth)
+}
+
+fn err_of(syn: &dyn RangeCountSynopsis, queries: &[RangeQuery], truth: &[f64], n: usize) -> f64 {
+    let est: Vec<f64> = queries.iter().map(|q| syn.answer(q)).collect();
+    average_relative_error(&est, truth, smoothing_factor(n))
+}
+
+/// The paper's headline, in miniature: on skewed road-like data PrivTree
+/// beats UG, Hierarchy, and the height-limited SimpleTree.
+#[test]
+fn privtree_wins_on_skewed_data() {
+    let data = road_like(120_000, 5);
+    let domain = Rect::unit(2);
+    let eps = Epsilon::new(0.8).unwrap();
+    let (queries, truth) = workload(&data, &domain, QuerySize::Medium, 250);
+
+    let reps = 3;
+    let mut e_privtree = 0.0;
+    let mut e_ug = 0.0;
+    let mut e_hier = 0.0;
+    let mut e_simple = 0.0;
+    for rep in 0..reps {
+        let pt = privtree_synopsis(&data, domain, SplitConfig::full(2), eps, &mut seeded(100 + rep))
+            .unwrap();
+        e_privtree += err_of(&pt, &queries, &truth, data.len());
+        let ug = ug_synopsis(&data, &domain, eps, 1.0, &mut seeded(200 + rep));
+        e_ug += err_of(&ug, &queries, &truth, data.len());
+        let hier = hierarchy_synopsis(&data, &domain, eps, 3, 64, &mut seeded(300 + rep));
+        e_hier += err_of(&hier, &queries, &truth, data.len());
+        let st = simple_tree_synopsis(
+            &data,
+            domain,
+            SplitConfig::full(2),
+            eps,
+            5,
+            2.0 * 5.0 / eps.get(),
+            &mut seeded(400 + rep),
+        )
+        .unwrap();
+        e_simple += err_of(&st, &queries, &truth, data.len());
+    }
+    assert!(
+        e_privtree < e_ug && e_privtree < e_hier && e_privtree < e_simple,
+        "PrivTree {e_privtree} vs UG {e_ug}, Hierarchy {e_hier}, SimpleTree {e_simple}"
+    );
+}
+
+/// Error decreases monotonically-ish along the ε sweep for PrivTree.
+#[test]
+fn error_shrinks_with_budget() {
+    let data = gowalla_like(60_000, 6);
+    let domain = Rect::unit(2);
+    let (queries, truth) = workload(&data, &domain, QuerySize::Large, 200);
+    let mut errs = Vec::new();
+    for (i, eps) in [0.05, 0.4, 1.6].iter().enumerate() {
+        let mut total = 0.0;
+        for rep in 0..3 {
+            let syn = privtree_synopsis(
+                &data,
+                domain,
+                SplitConfig::full(2),
+                Epsilon::new(*eps).unwrap(),
+                &mut seeded((i * 10 + rep) as u64),
+            )
+            .unwrap();
+            total += err_of(&syn, &queries, &truth, data.len());
+        }
+        errs.push(total / 3.0);
+    }
+    assert!(
+        errs[2] < errs[0],
+        "ε=1.6 error {} should be well below ε=0.05 error {}",
+        errs[2],
+        errs[0]
+    );
+}
+
+/// 4-d pipeline end to end (NYC-like, fanout 16).
+#[test]
+fn four_dimensional_pipeline() {
+    let data = nyc_like(30_000, 7);
+    let domain = Rect::unit(4);
+    let (queries, truth) = workload(&data, &domain, QuerySize::Large, 100);
+    let syn = privtree_synopsis(
+        &data,
+        domain,
+        SplitConfig::full(4),
+        Epsilon::new(1.0).unwrap(),
+        &mut seeded(8),
+    )
+    .unwrap();
+    let err = err_of(&syn, &queries, &truth, data.len());
+    assert!(err.is_finite() && err < 3.0, "4-d error = {err}");
+    // total over the full domain should track cardinality
+    let total = syn.answer(&RangeQuery::new(domain));
+    assert!((total - 30_000.0).abs() < 3_000.0, "total = {total}");
+}
+
+/// The round-robin fanout variants all produce working synopses.
+#[test]
+fn fanout_variants_work() {
+    let data = gowalla_like(20_000, 9);
+    let domain = Rect::unit(2);
+    let (queries, truth) = workload(&data, &domain, QuerySize::Large, 100);
+    for arity in [1usize, 2] {
+        let syn = privtree_synopsis(
+            &data,
+            domain,
+            SplitConfig::partial(arity),
+            Epsilon::new(1.0).unwrap(),
+            &mut seeded(10 + arity as u64),
+        )
+        .unwrap();
+        let err = err_of(&syn, &queries, &truth, data.len());
+        assert!(err < 1.0, "arity {arity}: err = {err}");
+    }
+}
+
+/// Release is structure + counts only: answering never touches the data.
+#[test]
+fn release_is_self_contained() {
+    let data = gowalla_like(10_000, 12);
+    let domain = Rect::unit(2);
+    let syn = privtree_synopsis(
+        &data,
+        domain,
+        SplitConfig::full(2),
+        Epsilon::new(1.0).unwrap(),
+        &mut seeded(13),
+    )
+    .unwrap();
+    drop(data); // the synopsis must stand alone
+    let q = RangeQuery::new(Rect::new(&[0.25, 0.25], &[0.75, 0.75]));
+    assert!(syn.answer(&q).is_finite());
+}

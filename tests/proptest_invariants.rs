@@ -1,0 +1,146 @@
+//! Property-based tests on the workspace's core invariants.
+
+use proptest::prelude::*;
+use privtree_suite::baselines::hilbert::{hilbert_d2xy, hilbert_xy2d, morton_decode, morton_encode};
+use privtree_suite::baselines::wavelet::{haar_forward, haar_inverse};
+use privtree_suite::core::domain::{LineDomain, TreeDomain};
+use privtree_suite::core::nonprivate::nonprivate_tree;
+use privtree_suite::dp::laplace::Laplace;
+use privtree_suite::dp::rho::{rho, rho_upper};
+use privtree_suite::eval::metrics::total_variation_distance;
+use privtree_suite::markov::data::SequenceDataset;
+use privtree_suite::spatial::dataset::PointSet;
+use privtree_suite::spatial::geom::Rect;
+use privtree_suite::spatial::index::GridIndex;
+
+proptest! {
+    /// Lemma 3.1 over random parameters: ρ(x) ≤ ρ⊤(x).
+    #[test]
+    fn rho_bounded_by_upper(
+        lambda in 0.05f64..20.0,
+        theta in -50.0f64..50.0,
+        dx in -40.0f64..80.0,
+    ) {
+        let x = theta + dx;
+        prop_assert!(rho(x, theta, lambda) <= rho_upper(x, theta, lambda) + 1e-9);
+    }
+
+    /// Laplace CDF/SF/quantile consistency for random parameters.
+    #[test]
+    fn laplace_cdf_quantile_round_trip(
+        mu in -100.0f64..100.0,
+        lambda in 0.01f64..50.0,
+        p in 0.001f64..0.999,
+    ) {
+        let d = Laplace::new(mu, lambda).unwrap();
+        let x = d.inverse_cdf(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+        prop_assert!((d.cdf(x) + d.sf(x) - 1.0).abs() < 1e-12);
+    }
+
+    /// Non-private decomposition: leaves partition the dataset count.
+    #[test]
+    fn leaves_partition_count(
+        points in proptest::collection::vec(0.0f64..1.0, 0..200),
+        theta in 0.0f64..20.0,
+    ) {
+        let n = points.len() as f64;
+        let domain = LineDomain::new(points).with_min_width(1.0 / 64.0);
+        let tree = nonprivate_tree(&domain, theta, None);
+        let leaf_total: f64 = tree.leaf_ids().map(|id| domain.score(tree.payload(id))).sum();
+        prop_assert_eq!(leaf_total, n);
+        // parents precede children in the arena
+        for id in tree.ids() {
+            if let Some(p) = tree.parent(id) {
+                prop_assert!(p < id);
+            }
+        }
+    }
+
+    /// GridIndex exact counting agrees with brute force on random data
+    /// and random queries.
+    #[test]
+    fn grid_index_matches_bruteforce(
+        coords in proptest::collection::vec(0.0f64..1.0, 2..400),
+        qa in 0.0f64..1.0, qb in 0.0f64..1.0,
+        qc in 0.0f64..1.0, qd in 0.0f64..1.0,
+    ) {
+        let n = coords.len() / 2 * 2;
+        let ps = PointSet::from_flat(2, coords[..n].to_vec());
+        let dom = Rect::unit(2);
+        let idx = GridIndex::build_with_bins(&ps, &dom, 7);
+        let q = Rect::new(&[qa.min(qb), qc.min(qd)], &[qa.max(qb), qc.max(qd)]);
+        prop_assert_eq!(idx.count(&ps, &q), ps.count_in(&q) as u64);
+    }
+
+    /// Haar transform is a bijection (round trip) for random inputs.
+    #[test]
+    fn haar_round_trip(values in proptest::collection::vec(-100.0f64..100.0, 1usize..6)) {
+        // build a power-of-two length vector from the seed values
+        let len = 1usize << values.len();
+        let mut v: Vec<f64> = (0..len).map(|i| values[i % values.len()] + i as f64).collect();
+        let orig = v.clone();
+        haar_forward(&mut v);
+        haar_inverse(&mut v);
+        for (a, b) in orig.iter().zip(&v) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    /// Hilbert and Morton mappings are inverse pairs.
+    #[test]
+    fn space_filling_curves_invert(h in 0u64..4096, code in 0u64..4096) {
+        let side = 64u64;
+        let (x, y) = hilbert_d2xy(side, h);
+        prop_assert_eq!(hilbert_xy2d(side, x, y), h);
+        let coords = morton_decode(code, 3, 4);
+        prop_assert_eq!(morton_encode(&coords, 4), code);
+    }
+
+    /// TVD is a metric-ish: symmetric, zero on identical, in \[0, 1\].
+    #[test]
+    fn tvd_properties(
+        p in proptest::collection::vec(0.0f64..10.0, 1..20),
+        q in proptest::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        prop_assume!(p.iter().sum::<f64>() > 0.0 && q.iter().sum::<f64>() > 0.0);
+        let d_pq = total_variation_distance(&p, &q);
+        let d_qp = total_variation_distance(&q, &p);
+        prop_assert!((d_pq - d_qp).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d_pq));
+        prop_assert!(total_variation_distance(&p, &p) < 1e-12);
+    }
+
+    /// Sequence truncation never lengthens data and preserves counts.
+    #[test]
+    fn truncation_invariants(
+        lens in proptest::collection::vec(0usize..40, 1..50),
+        l_top in 1usize..30,
+    ) {
+        let seqs: Vec<Vec<u8>> = lens.iter().map(|l| vec![0u8; *l]).collect();
+        let data = SequenceDataset::new(&seqs, 2, l_top);
+        prop_assert_eq!(data.len(), seqs.len());
+        for i in 0..data.len() {
+            prop_assert!(data.raw(i).len() <= l_top);
+            prop_assert!(data.measured_length(i) <= l_top);
+            prop_assert!(data.measured_length(i) >= 1);
+        }
+    }
+
+    /// Rect bisection partitions volume exactly for random boxes.
+    #[test]
+    fn bisect_partitions_volume(
+        lo0 in -10.0f64..10.0, side0 in 0.1f64..5.0,
+        lo1 in -10.0f64..10.0, side1 in 0.1f64..5.0,
+    ) {
+        let r = Rect::new(&[lo0, lo1], &[lo0 + side0, lo1 + side1]);
+        let kids = r.bisect(&[0, 1]);
+        let total: f64 = kids.iter().map(Rect::volume).sum();
+        prop_assert!((total - r.volume()).abs() < 1e-9);
+        for i in 0..kids.len() {
+            for j in (i + 1)..kids.len() {
+                prop_assert!(!kids[i].intersects(&kids[j]));
+            }
+        }
+    }
+}
