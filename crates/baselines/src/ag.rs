@@ -79,7 +79,10 @@ pub fn ag_synopsis<R: Rng + ?Sized>(
             let idx = c0 * m1 + c1;
             let noisy1 = mech1.randomize(level1[idx], rng);
             let rect = Rect::new(
-                &[domain.lo()[0] + w0 * c0 as f64, domain.lo()[1] + w1 * c1 as f64],
+                &[
+                    domain.lo()[0] + w0 * c0 as f64,
+                    domain.lo()[1] + w1 * c1 as f64,
+                ],
                 &[
                     domain.lo()[0] + w0 * (c0 + 1) as f64,
                     domain.lo()[1] + w1 * (c1 + 1) as f64,
@@ -198,7 +201,13 @@ mod tests {
     #[test]
     fn dense_cells_get_finer_subgrids() {
         let ps = skewed_points(100_000, 1);
-        let syn = ag_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 1.0, &mut seeded(2));
+        let syn = ag_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            1.0,
+            &mut seeded(2),
+        );
         // sub-grid resolution in the dense corner must exceed that in an
         // empty corner
         let dense = syn
@@ -222,7 +231,13 @@ mod tests {
     #[test]
     fn total_near_cardinality() {
         let ps = skewed_points(50_000, 3);
-        let syn = ag_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 1.0, &mut seeded(4));
+        let syn = ag_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            1.0,
+            &mut seeded(4),
+        );
         let total = syn.answer(&RangeQuery::new(Rect::unit(2)));
         // AG sums many independent noisy cells, so give it generous slack
         assert!((total - 50_000.0).abs() < 5_000.0, "total = {total}");
@@ -231,7 +246,13 @@ mod tests {
     #[test]
     fn answers_are_reasonable_on_the_dense_cluster() {
         let ps = skewed_points(100_000, 5);
-        let syn = ag_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 1.0, &mut seeded(6));
+        let syn = ag_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            1.0,
+            &mut seeded(6),
+        );
         let q = Rect::new(&[0.1, 0.7], &[0.15, 0.75]);
         let truth = ps.count_in(&q) as f64;
         let est = syn.answer(&RangeQuery::new(q));
@@ -245,13 +266,25 @@ mod tests {
     #[should_panic(expected = "two-dimensional")]
     fn rejects_4d_data() {
         let ps = PointSet::from_flat(4, vec![0.1; 8]);
-        ag_synopsis(&ps, &Rect::unit(4), Epsilon::new(1.0).unwrap(), 1.0, &mut seeded(7));
+        ag_synopsis(
+            &ps,
+            &Rect::unit(4),
+            Epsilon::new(1.0).unwrap(),
+            1.0,
+            &mut seeded(7),
+        );
     }
 
     #[test]
     fn m1_respects_minimum_of_10() {
         let ps = skewed_points(100, 8); // tiny n → formula below 10
-        let syn = ag_synopsis(&ps, &Rect::unit(2), Epsilon::new(0.05).unwrap(), 1.0, &mut seeded(9));
+        let syn = ag_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(0.05).unwrap(),
+            1.0,
+            &mut seeded(9),
+        );
         assert!(syn.m1() >= 10);
     }
 }

@@ -38,7 +38,11 @@ pub fn dawa_synopsis<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> NoisyGrid {
     let d = data.dims();
-    assert_eq!(cells_log2 as usize % d, 0, "cells_log2 must divide across dims");
+    assert_eq!(
+        cells_log2 as usize % d,
+        0,
+        "cells_log2 must divide across dims"
+    );
     let per_dim = 1usize << (cells_log2 as usize / d);
     let bins = vec![per_dim; d];
     let grid_hist = histogram(data, domain, &bins);
@@ -202,7 +206,13 @@ mod tests {
         for _ in 0..30_000 {
             ps.push(&[rng.random::<f64>() * 0.3, rng.random::<f64>() * 0.3]);
         }
-        let g = dawa_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 12, &mut seeded(5));
+        let g = dawa_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            12,
+            &mut seeded(5),
+        );
         let total = g.answer(&RangeQuery::new(Rect::unit(2)));
         assert!((total - 30_000.0).abs() < 4_000.0, "total = {total}");
     }
@@ -216,7 +226,13 @@ mod tests {
         for _ in 0..50_000 {
             ps.push(&[rng.random::<f64>() * 0.1, rng.random::<f64>() * 0.1]);
         }
-        let g = dawa_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 12, &mut seeded(7));
+        let g = dawa_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            12,
+            &mut seeded(7),
+        );
         let empty_q = RangeQuery::new(Rect::new(&[0.5, 0.5], &[0.9, 0.9]));
         let est = g.answer(&empty_q).abs();
         assert!(est < 1500.0, "empty-region estimate {est} too large");
@@ -237,7 +253,13 @@ mod tests {
             let p: Vec<f64> = (0..4).map(|_| rng.random::<f64>()).collect();
             ps.push(&p);
         }
-        let g = dawa_synopsis(&ps, &Rect::unit(4), Epsilon::new(1.0).unwrap(), 12, &mut seeded(9));
+        let g = dawa_synopsis(
+            &ps,
+            &Rect::unit(4),
+            Epsilon::new(1.0).unwrap(),
+            12,
+            &mut seeded(9),
+        );
         assert_eq!(g.bins(), &[8, 8, 8, 8]);
         let total = g.answer(&RangeQuery::new(Rect::unit(4)));
         assert!((total - 5_000.0).abs() < 3_000.0, "total = {total}");

@@ -241,7 +241,8 @@ impl NoisyGrid {
             }
             for &e in &edges {
                 coord[k] = e;
-                total += self.boundary_walk(q, k, 0, &mut coord, &int_lo, &int_hi_excl, &lo_c, &hi_c);
+                total +=
+                    self.boundary_walk(q, k, 0, &mut coord, &int_lo, &int_hi_excl, &lo_c, &hi_c);
             }
         }
         total
@@ -329,7 +330,10 @@ mod tests {
                 .map(|(i, j)| h[i * bins[1] + j])
                 .sum();
             let fast = g.block_sum(&[a0, a1], &[b0, b1]);
-            assert!((naive - fast).abs() < 1e-9, "block ({a0},{a1})..({b0},{b1})");
+            assert!(
+                (naive - fast).abs() < 1e-9,
+                "block ({a0},{a1})..({b0},{b1})"
+            );
         }
     }
 

@@ -33,7 +33,9 @@ pub struct HierarchySynopsis {
 /// the leaf resolution while varying the number of intermediate levels).
 pub fn fanout_for_height(height: u32, leaf_per_dim: usize) -> usize {
     assert!(height >= 2);
-    let f = (leaf_per_dim as f64).powf(1.0 / (height as f64 - 1.0)).round() as usize;
+    let f = (leaf_per_dim as f64)
+        .powf(1.0 / (height as f64 - 1.0))
+        .round() as usize;
     f.max(2)
 }
 
@@ -339,7 +341,14 @@ mod tests {
     #[test]
     fn level_shapes() {
         let ps = uniform_points(5000, 1);
-        let h = build_hierarchy(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 3, 8, &mut seeded(2));
+        let h = build_hierarchy(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            3,
+            8,
+            &mut seeded(2),
+        );
         assert_eq!(h.measured_levels(), 2);
         assert_eq!(h.levels[0].len(), 64); // 8×8
         assert_eq!(h.levels[1].len(), 4096); // 64×64
@@ -348,8 +357,14 @@ mod tests {
     #[test]
     fn consistency_makes_parents_equal_child_sums() {
         let ps = uniform_points(20_000, 3);
-        let mut h =
-            build_hierarchy(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 3, 8, &mut seeded(4));
+        let mut h = build_hierarchy(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            3,
+            8,
+            &mut seeded(4),
+        );
         // run only the passes (clone the result grid to check level 0 too)
         let before_root_level: Vec<f64> = h.levels[0].clone();
         let d = 2;
@@ -357,7 +372,14 @@ mod tests {
         let _ = (before_root_level, d);
         // reconstruct level-0 sums from the leaf grid and compare with a
         // freshly consistent hierarchy's own level-0 values
-        h = build_hierarchy(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 3, 8, &mut seeded(4));
+        h = build_hierarchy(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            3,
+            8,
+            &mut seeded(4),
+        );
         // consistent level-0 values: recompute via the same passes
         let q = Rect::new(&[0.0, 0.0], &[0.125, 0.125]); // exactly level-0 cell (0,0)
         let leaf_sum = grid.answer_rect(&q);
@@ -391,7 +413,14 @@ mod tests {
     #[test]
     fn greedy_answer_total() {
         let ps = uniform_points(30_000, 6);
-        let h = build_hierarchy(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 3, 8, &mut seeded(7));
+        let h = build_hierarchy(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            3,
+            8,
+            &mut seeded(7),
+        );
         let total = h.answer_greedy(&Rect::unit(2));
         assert!((total - 30_000.0).abs() < 3_000.0, "total = {total}");
     }
@@ -404,7 +433,14 @@ mod tests {
             let p: Vec<f64> = (0..4).map(|_| rng.random::<f64>()).collect();
             ps.push(&p);
         }
-        let g = hierarchy_synopsis(&ps, &Rect::unit(4), Epsilon::new(1.0).unwrap(), 3, 9, &mut seeded(9));
+        let g = hierarchy_synopsis(
+            &ps,
+            &Rect::unit(4),
+            Epsilon::new(1.0).unwrap(),
+            3,
+            9,
+            &mut seeded(9),
+        );
         let total = g.answer_rect(&Rect::unit(4));
         assert!((total - 5000.0).abs() < 2_000.0, "total = {total}");
     }

@@ -32,8 +32,7 @@ pub fn kd_synopsis<R: Rng + ?Sized>(
     let d = data.dims();
     let (eps_structure, eps_counts) = epsilon.split_two(0.5).expect("validated epsilon");
     let levels = height.saturating_sub(1).max(1);
-    let eps_per_level =
-        Epsilon::new(eps_structure.get() / levels as f64).expect("positive share");
+    let eps_per_level = Epsilon::new(eps_structure.get() / levels as f64).expect("positive share");
 
     // recursive median splitting over an index permutation
     let mut perm: Vec<u32> = (0..data.len() as u32).collect();
@@ -59,14 +58,10 @@ pub fn kd_synopsis<R: Rng + ?Sized>(
         let median = if coords.is_empty() {
             0.5 * (lo + hi)
         } else {
-            dp_quantile(&coords, 0.5, lo, hi, eps_per_level, rng)
-                .unwrap_or(0.5 * (lo + hi))
+            dp_quantile(&coords, 0.5, lo, hi, eps_per_level, rng).unwrap_or(0.5 * (lo + hi))
         };
         // degenerate medians at the boundary would create empty slivers
-        let split_at = median.clamp(
-            lo + (hi - lo) * 0.01,
-            hi - (hi - lo) * 0.01,
-        );
+        let split_at = median.clamp(lo + (hi - lo) * 0.01, hi - (hi - lo) * 0.01);
 
         // partition the segment
         let seg = &mut perm[start..end];
@@ -139,7 +134,13 @@ mod tests {
     #[test]
     fn builds_complete_tree_of_requested_height() {
         let ps = clustered(5_000, 1);
-        let syn = kd_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 6, &mut seeded(2));
+        let syn = kd_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            6,
+            &mut seeded(2),
+        );
         // a height-6 complete binary tree has 2^6 − 1 = 63 nodes
         assert_eq!(syn.node_count(), 63);
         assert_eq!(syn.max_depth(), 5);
@@ -148,7 +149,13 @@ mod tests {
     #[test]
     fn leaves_partition_the_domain() {
         let ps = clustered(2_000, 3);
-        let syn = kd_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 5, &mut seeded(4));
+        let syn = kd_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            5,
+            &mut seeded(4),
+        );
         let total_leaf_volume: f64 = syn
             .tree()
             .leaf_ids()
@@ -160,7 +167,13 @@ mod tests {
     #[test]
     fn medians_track_the_data_at_high_epsilon() {
         let ps = clustered(20_000, 5);
-        let syn = kd_synopsis(&ps, &Rect::unit(2), Epsilon::new(50.0).unwrap(), 2, &mut seeded(6));
+        let syn = kd_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(50.0).unwrap(),
+            2,
+            &mut seeded(6),
+        );
         // the first split is along axis 0; most mass sits at x ≈ 0.8, so
         // the private median must lie well right of center
         let root_kids: Vec<_> = syn.tree().children(syn.tree().root()).collect();
@@ -175,7 +188,13 @@ mod tests {
     #[test]
     fn total_near_cardinality() {
         let ps = clustered(30_000, 7);
-        let syn = kd_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 7, &mut seeded(8));
+        let syn = kd_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            7,
+            &mut seeded(8),
+        );
         let total = syn.answer(&RangeQuery::new(Rect::unit(2)));
         assert!((total - 30_000.0).abs() < 3_000.0, "total = {total}");
     }
@@ -183,8 +202,20 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ps = clustered(1_000, 9);
-        let a = kd_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 5, &mut seeded(10));
-        let b = kd_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 5, &mut seeded(10));
+        let a = kd_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            5,
+            &mut seeded(10),
+        );
+        let b = kd_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            5,
+            &mut seeded(10),
+        );
         assert_eq!(a.counts(), b.counts());
     }
 
@@ -196,7 +227,13 @@ mod tests {
             let p: Vec<f64> = (0..4).map(|_| rng.random::<f64>()).collect();
             ps.push(&p);
         }
-        let syn = kd_synopsis(&ps, &Rect::unit(4), Epsilon::new(1.0).unwrap(), 6, &mut seeded(12));
+        let syn = kd_synopsis(
+            &ps,
+            &Rect::unit(4),
+            Epsilon::new(1.0).unwrap(),
+            6,
+            &mut seeded(12),
+        );
         let total = syn.answer(&RangeQuery::new(Rect::unit(4)));
         assert!((total - 4_000.0).abs() < 2_000.0);
     }

@@ -19,7 +19,9 @@ const MAX_TOTAL_CELLS: usize = 1 << 22;
 
 /// The paper's per-dimension granularity `m = (nε/10)^{2/(d+2)}`.
 pub fn ug_bins_per_dim(n: usize, epsilon: f64, dims: usize) -> f64 {
-    ((n as f64 * epsilon) / 10.0).max(1.0).powf(2.0 / (dims as f64 + 2.0))
+    ((n as f64 * epsilon) / 10.0)
+        .max(1.0)
+        .powf(2.0 / (dims as f64 + 2.0))
 }
 
 /// Build a UG synopsis with granularity scale `r` (`r = 1.0` is the
@@ -81,7 +83,13 @@ mod tests {
     #[test]
     fn synopsis_total_near_cardinality() {
         let ps = uniform_points(50_000, 1);
-        let g = ug_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 1.0, &mut seeded(2));
+        let g = ug_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            1.0,
+            &mut seeded(2),
+        );
         let total = g.answer(&RangeQuery::new(Rect::unit(2)));
         assert!((total - 50_000.0).abs() < 2_000.0, "total = {total}");
     }
@@ -100,7 +108,13 @@ mod tests {
     #[test]
     fn reasonable_accuracy_on_uniform_data() {
         let ps = uniform_points(100_000, 5);
-        let g = ug_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 1.0, &mut seeded(6));
+        let g = ug_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            1.0,
+            &mut seeded(6),
+        );
         let q = Rect::new(&[0.2, 0.2], &[0.5, 0.6]);
         let truth = ps.count_in(&q) as f64;
         let est = g.answer(&RangeQuery::new(q));
@@ -113,7 +127,13 @@ mod tests {
     #[test]
     fn tiny_epsilon_does_not_blow_memory() {
         let ps = uniform_points(1000, 7);
-        let g = ug_synopsis(&ps, &Rect::unit(2), Epsilon::new(0.05).unwrap(), 9.0, &mut seeded(8));
+        let g = ug_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(0.05).unwrap(),
+            9.0,
+            &mut seeded(8),
+        );
         assert!(g.bins().iter().product::<usize>() <= super::MAX_TOTAL_CELLS);
         assert!(g.bins()[0] >= 1);
     }

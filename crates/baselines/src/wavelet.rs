@@ -324,7 +324,13 @@ mod tests {
         for _ in 0..50_000 {
             ps.push(&[rng.random::<f64>(), rng.random::<f64>()]);
         }
-        let g = privelet_synopsis(&ps, &Rect::unit(2), Epsilon::new(1.0).unwrap(), 12, &mut seeded(5));
+        let g = privelet_synopsis(
+            &ps,
+            &Rect::unit(2),
+            Epsilon::new(1.0).unwrap(),
+            12,
+            &mut seeded(5),
+        );
         let total = g.answer(&RangeQuery::new(Rect::unit(2)));
         assert!((total - 50_000.0).abs() < 1_000.0, "total = {total}");
     }
@@ -366,7 +372,13 @@ mod tests {
             let p: Vec<f64> = (0..4).map(|_| rng.random::<f64>()).collect();
             ps.push(&p);
         }
-        let g = privelet_synopsis(&ps, &Rect::unit(4), Epsilon::new(1.0).unwrap(), 12, &mut seeded(9));
+        let g = privelet_synopsis(
+            &ps,
+            &Rect::unit(4),
+            Epsilon::new(1.0).unwrap(),
+            12,
+            &mut seeded(9),
+        );
         assert_eq!(g.bins(), &[8, 8, 8, 8]);
         let total = g.answer(&RangeQuery::new(Rect::unit(4)));
         assert!((total - 5000.0).abs() < 3_000.0, "total = {total}");

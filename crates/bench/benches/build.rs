@@ -1,12 +1,16 @@
-//! Criterion microbenches: synopsis construction costs.
+//! Criterion microbenches: synopsis construction costs, including the
+//! level-synchronous frontier builder against the node-at-a-time
+//! reference loop.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use privtree_core::params::PrivTreeParams;
+use privtree_core::privtree::{build_privtree, build_privtree_sequential};
 use privtree_datagen::spatial::{gowalla_like, nyc_like};
 use privtree_dp::budget::Epsilon;
 use privtree_dp::rng::seeded;
 use privtree_spatial::geom::Rect;
 use privtree_spatial::index::GridIndex;
-use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::quadtree::{QuadDomain, SplitConfig};
 use privtree_spatial::synopsis::{privtree_synopsis, simple_tree_synopsis};
 use std::hint::black_box;
 
@@ -21,14 +25,9 @@ fn bench_build(_c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let syn = privtree_synopsis(
-                &data,
-                domain,
-                SplitConfig::full(2),
-                eps,
-                &mut seeded(seed),
-            )
-            .unwrap();
+            let syn =
+                privtree_synopsis(&data, domain, SplitConfig::full(2), eps, &mut seeded(seed))
+                    .unwrap();
             black_box(syn.node_count())
         })
     });
@@ -73,5 +72,39 @@ fn bench_build(_c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_build);
+/// Frontier (level-synchronous, batch split) versus sequential
+/// (node-at-a-time) tree construction over the same quadtree domain; the
+/// two produce bit-identical trees, so this isolates the builder.
+fn bench_frontier_vs_sequential(c: &mut Criterion) {
+    let data = gowalla_like(100_000, 1);
+    let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 4).unwrap();
+
+    c.bench_function("privtree_frontier_build_gowalla_100k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut dom = QuadDomain::quadtree(&data, Rect::unit(2));
+            black_box(
+                build_privtree(&mut dom, &params, &mut seeded(seed))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+
+    c.bench_function("privtree_sequential_build_gowalla_100k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut dom = QuadDomain::quadtree(&data, Rect::unit(2));
+            black_box(
+                build_privtree_sequential(&mut dom, &params, &mut seeded(seed))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_frontier_vs_sequential);
 criterion_main!(benches);

@@ -1,4 +1,6 @@
-//! Criterion microbenches: range-query answering costs.
+//! Criterion microbenches: range-query answering costs, including the
+//! batched frozen-vs-tree-walk comparison (summarized into
+//! `BENCH_query_batch.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use privtree_baselines::{dawa_synopsis, privelet_synopsis, ug_synopsis};
@@ -12,6 +14,7 @@ use privtree_spatial::quadtree::SplitConfig;
 use privtree_spatial::query::RangeCountSynopsis;
 use privtree_spatial::synopsis::privtree_synopsis;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_query(_c: &mut Criterion) {
     let mut c = Criterion::default().sample_size(20);
@@ -63,5 +66,68 @@ fn bench_query(_c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_query);
+/// Batched-query throughput: the same PrivTree release served through the
+/// pointer-walk tree versus the frozen structure-of-arrays engine. Writes
+/// a machine-readable summary to `BENCH_query_batch.json`.
+fn bench_query_batch(c: &mut Criterion) {
+    let data = gowalla_like(100_000, 1);
+    let domain = Rect::unit(2);
+    let eps = Epsilon::new(1.0).unwrap();
+    let queries = range_queries(&domain, QuerySize::Medium, 1024, 7);
+
+    let tree_walk =
+        privtree_synopsis(&data, domain, SplitConfig::full(2), eps, &mut seeded(2)).unwrap();
+    let frozen = tree_walk.freeze();
+
+    c.bench_function("answer_batch_treewalk_medium_x1024", |b| {
+        b.iter(|| black_box(tree_walk.answer_batch(&queries)))
+    });
+    c.bench_function("answer_batch_frozen_medium_x1024", |b| {
+        b.iter(|| black_box(frozen.answer_batch(&queries)))
+    });
+
+    // timed summary for the JSON artifact: best of `samples` wall-clock
+    // runs per engine, plus derived throughput
+    let samples = 15;
+    let time_best = |f: &mut dyn FnMut() -> f64| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let start = Instant::now();
+            black_box(f());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let walk_secs = time_best(&mut || tree_walk.answer_batch(&queries).iter().sum());
+    let frozen_secs = time_best(&mut || frozen.answer_batch(&queries).iter().sum());
+    let n = queries.len() as f64;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"query_batch\",\n",
+            "  \"dataset\": \"gowalla_like_100k\",\n",
+            "  \"queries\": {},\n",
+            "  \"nodes\": {},\n",
+            "  \"treewalk_best_secs\": {:.9},\n",
+            "  \"frozen_best_secs\": {:.9},\n",
+            "  \"treewalk_qps\": {:.1},\n",
+            "  \"frozen_qps\": {:.1},\n",
+            "  \"frozen_speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        queries.len(),
+        frozen.node_count(),
+        walk_secs,
+        frozen_secs,
+        n / walk_secs,
+        n / frozen_secs,
+        walk_secs / frozen_secs,
+    );
+    match std::fs::write("BENCH_query_batch.json", &json) {
+        Ok(()) => println!("wrote BENCH_query_batch.json:\n{json}"),
+        Err(e) => eprintln!("could not write BENCH_query_batch.json: {e}\n{json}"),
+    }
+}
+
+criterion_group!(benches, bench_query, bench_query_batch);
 criterion_main!(benches);

@@ -22,7 +22,11 @@ fn bench_sequence(_c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(private_pst(&data, eps, &mut seeded(seed)).unwrap().node_count())
+            black_box(
+                private_pst(&data, eps, &mut seeded(seed))
+                    .unwrap()
+                    .node_count(),
+            )
         })
     });
 

@@ -27,7 +27,13 @@ fn main() {
     let beta = 1usize << spec.dims;
     let ln_beta = (beta as f64).ln();
     // γ as multiples of ln β
-    let gammas = [0.25 * ln_beta, 0.5 * ln_beta, ln_beta, 2.0 * ln_beta, 4.0 * ln_beta];
+    let gammas = [
+        0.25 * ln_beta,
+        0.5 * ln_beta,
+        ln_beta,
+        2.0 * ln_beta,
+        4.0 * ln_beta,
+    ];
 
     let (queries, truth) = workload_with_truth(
         &data,
@@ -37,7 +43,10 @@ fn main() {
         derive_seed(cli.seed, 2),
     );
     let mut err_table = SeriesTable::new(
-        &format!("gamma ablation: {} - medium queries (avg relative error)", spec.name),
+        &format!(
+            "gamma ablation: {} - medium queries (avg relative error)",
+            spec.name
+        ),
         "epsilon",
         &EPSILONS,
     )
@@ -56,8 +65,10 @@ fn main() {
             let mut err = 0.0;
             let mut size = 0.0;
             for rep in 0..cli.reps {
-                let mut rng =
-                    seeded(derive_seed(cli.seed, eps.to_bits() ^ (gi * 39 + rep) as u64));
+                let mut rng = seeded(derive_seed(
+                    cli.seed,
+                    eps.to_bits() ^ (gi * 39 + rep) as u64,
+                ));
                 let params =
                     PrivTreeParams::from_epsilon_with_gamma(e_tree, gamma).expect("params");
                 let syn = privtree_synopsis_with_params(

@@ -33,7 +33,10 @@ fn main() {
             derive_seed(cli.seed, 1),
         );
         let mut err_table = SeriesTable::new(
-            &format!("theta ablation: {} - medium queries (avg relative error)", spec.name),
+            &format!(
+                "theta ablation: {} - medium queries (avg relative error)",
+                spec.name
+            ),
             "epsilon",
             &EPSILONS,
         )

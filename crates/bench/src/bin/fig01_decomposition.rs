@@ -14,25 +14,37 @@ fn main() {
     // 12 points: 8 clustered in the north-west cell (the paper's v4
     // region splits again), sparse elsewhere
     let pts: Vec<[f64; 2]> = vec![
-        [0.05, 0.93], [0.10, 0.90], [0.15, 0.95], [0.08, 0.85],
-        [0.20, 0.88], [0.12, 0.97], [0.18, 0.92], [0.22, 0.86],
+        [0.05, 0.93],
+        [0.10, 0.90],
+        [0.15, 0.95],
+        [0.08, 0.85],
+        [0.20, 0.88],
+        [0.12, 0.97],
+        [0.18, 0.92],
+        [0.22, 0.86],
         [0.70, 0.80], // north-east, lone
-        [0.30, 0.30], [0.35, 0.20], // south-west pair
+        [0.30, 0.30],
+        [0.35, 0.20], // south-west pair
         [0.80, 0.25], // south-east, lone
     ];
     let mut data = PointSet::new(2);
     for p in &pts {
         data.push(p);
     }
-    let domain = QuadDomain::new(&data, Rect::unit(2), SplitConfig::full(2));
+    let mut domain = QuadDomain::new(&data, Rect::unit(2), SplitConfig::full(2));
     // θ = 2: split any region holding more than two points
-    let tree = nonprivate_tree(&domain, 2.0, Some(3));
+    let tree = nonprivate_tree(&mut domain, 2.0, Some(3));
 
     println!("== Figure 1: a spatial decomposition tree (noise-free, theta = 2) ==");
     let mut label = 0usize;
     let rendered = tree.render(|_, node| {
         label += 1;
-        format!("v{:<2} dom = {}  ({} points)", label, node.rect, node.count())
+        format!(
+            "v{:<2} dom = {}  ({} points)",
+            label,
+            node.rect,
+            node.count()
+        )
     });
     println!("{rendered}");
 

@@ -10,7 +10,10 @@ fn main() {
     let lambda = 2.0;
     let theta = 10.0;
     println!("== Figure 2: rho(x) and rho_upper(x), lambda = {lambda}, theta = {theta} ==");
-    println!("{:>8} {:>14} {:>14} {:>10}", "x", "rho(x)", "rho_up(x)", "ratio");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "x", "rho(x)", "rho_up(x)", "ratio"
+    );
     let mut x = theta - 6.0;
     while x <= theta + 20.0 + 1e-9 {
         let r = rho(x, theta, lambda);
@@ -20,7 +23,10 @@ fn main() {
     }
     println!();
     println!("paper-shape check:");
-    println!("  rho(x) = 1/lambda = {:.4} for all x <= theta", 1.0 / lambda);
+    println!(
+        "  rho(x) = 1/lambda = {:.4} for all x <= theta",
+        1.0 / lambda
+    );
     let r15 = rho(theta + 5.0, theta, lambda);
     let r16 = rho(theta + 6.0, theta, lambda);
     println!(

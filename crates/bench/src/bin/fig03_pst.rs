@@ -56,6 +56,12 @@ fn main() {
     println!("Section 4.1 worked example:");
     let ans = model.estimate_count(&[0, 1]);
     println!("  estimated occurrences of sq = AB: {ans} (paper: 3)");
-    println!("  estimated occurrences of A:  {} (paper hist(v1)[A] = 6)", model.estimate_count(&[0]));
-    println!("  estimated occurrences of BB: {} (never occurs)", model.estimate_count(&[1, 1]));
+    println!(
+        "  estimated occurrences of A:  {} (paper hist(v1)[A] = 6)",
+        model.estimate_count(&[0])
+    );
+    println!(
+        "  estimated occurrences of BB: {} (never occurs)",
+        model.estimate_count(&[1, 1])
+    );
 }

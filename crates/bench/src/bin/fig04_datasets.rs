@@ -31,7 +31,11 @@ fn main() {
     println!("\n== Figure 4: dataset visualizations (log-scaled ASCII density) ==");
     for spec in [ROAD, GOWALLA, NYC, BEIJING] {
         let data = make_dataset(&spec, &cli);
-        let label = if spec.dims == 4 { " (pickup projection)" } else { "" };
+        let label = if spec.dims == 4 {
+            " (pickup projection)"
+        } else {
+            ""
+        };
         println!("\n--- {}{} ---", spec.name, label);
         println!("{}", ascii_density(&data, 0, 1, 72, 24));
         let bins = if spec.dims == 2 { 64 } else { 12 };

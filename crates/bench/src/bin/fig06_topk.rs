@@ -25,7 +25,10 @@ fn main() {
     // msnbc is ~1M sequences in the paper; scale it like everything else
     let datasets: Vec<(SequenceData, usize)> = vec![
         (
-            mooc_like(((MOOC.default_n as f64 * cli.scale) as usize).max(1000), cli.seed),
+            mooc_like(
+                ((MOOC.default_n as f64 * cli.scale) as usize).max(1000),
+                cli.seed,
+            ),
             MOOC.l_top,
         ),
         (
@@ -43,7 +46,11 @@ fn main() {
         "Name", "|I|", "n", "mean len", "l_top", "#len>l_top"
     );
     for (raw, l_top) in &datasets {
-        let over = raw.sequences.iter().filter(|s| s.len() + 1 > *l_top).count();
+        let over = raw
+            .sequences
+            .iter()
+            .filter(|s| s.len() + 1 > *l_top)
+            .count();
         println!(
             "{:<8} {:>4} {:>10} {:>10.2} {:>5} {:>12}",
             raw.name,
@@ -87,8 +94,7 @@ fn main() {
                 let mut p_em = 0.0;
                 for rep in 0..cli.reps {
                     let seed = derive_seed(cli.seed, eps.to_bits() ^ rep as u64);
-                    let model = private_pst(&truncated, e, &mut seeded(seed))
-                        .expect("private pst");
+                    let model = private_pst(&truncated, e, &mut seeded(seed)).expect("private pst");
                     p_pt += precision_at_k(&exact, &model_topk(&model, k, PATTERN_LEN), k);
                     let ng = ngram_model(&truncated, e, 5, &mut seeded(seed ^ 0xa5));
                     p_ng += precision_at_k(&exact, &model_topk(&ng, k, PATTERN_LEN), k);

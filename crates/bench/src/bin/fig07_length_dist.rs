@@ -21,7 +21,10 @@ fn main() {
     let cli = Cli::parse();
     let datasets: Vec<(SequenceData, usize)> = vec![
         (
-            mooc_like(((MOOC.default_n as f64 * cli.scale) as usize).max(1000), cli.seed),
+            mooc_like(
+                ((MOOC.default_n as f64 * cli.scale) as usize).max(1000),
+                cli.seed,
+            ),
             MOOC.l_top,
         ),
         (

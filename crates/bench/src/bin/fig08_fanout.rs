@@ -56,8 +56,10 @@ fn main() {
                         let e = Epsilon::new(eps).expect("positive");
                         let mut total = 0.0;
                         for rep in 0..cli.reps {
-                            let mut rng =
-                                seeded(derive_seed(cli.seed, eps.to_bits() ^ (a * 131 + rep) as u64));
+                            let mut rng = seeded(derive_seed(
+                                cli.seed,
+                                eps.to_bits() ^ (a * 131 + rep) as u64,
+                            ));
                             let syn = privtree_synopsis(
                                 &data,
                                 domain,

@@ -18,7 +18,10 @@ fn main() {
     let cli = Cli::parse();
     let datasets = vec![
         (
-            mooc_like(((MOOC.default_n as f64 * cli.scale) as usize).max(1000), cli.seed),
+            mooc_like(
+                ((MOOC.default_n as f64 * cli.scale) as usize).max(1000),
+                cli.seed,
+            ),
             MOOC.l_top,
         ),
         (
@@ -39,9 +42,7 @@ fn main() {
             let mut table = SeriesTable::new(
                 &format!(
                     "Fig 12({}): {} - top{} N-gram height sweep (precision)",
-                    panel as char,
-                    raw.name,
-                    k
+                    panel as char, raw.name, k
                 ),
                 "epsilon",
                 &EPSILONS,
@@ -56,8 +57,7 @@ fn main() {
                             let seed =
                                 derive_seed(cli.seed, eps.to_bits() ^ (h * 713 + rep) as u64);
                             let ng = ngram_model(&truncated, e, h, &mut seeded(seed));
-                            total +=
-                                precision_at_k(&exact, &model_topk(&ng, k, PATTERN_LEN), k);
+                            total += precision_at_k(&exact, &model_topk(&ng, k, PATTERN_LEN), k);
                         }
                         total / cli.reps as f64
                     })

@@ -31,7 +31,11 @@ fn main() {
                 derive_seed(cli.seed, size as u64),
             );
             let mut table = SeriesTable::new(
-                &format!("related work: {} - {} queries (avg relative error)", spec.name, size.name()),
+                &format!(
+                    "related work: {} - {} queries (avg relative error)",
+                    spec.name,
+                    size.name()
+                ),
                 "epsilon",
                 &EPSILONS,
             )

@@ -21,7 +21,10 @@ fn main() {
     let lambda = 2.0 / eps; // the refuted Claim 1 calibration
 
     println!("== Lemma 5.1: binary SVT privacy loss (lambda = 2/eps = {lambda}) ==");
-    println!("{:>6} {:>14} {:>14} {:>10}", "k", "exact loss", "bound k/(2l)", "vs 2eps");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "k", "exact loss", "bound k/(2l)", "vs 2eps"
+    );
     for k in [4usize, 8, 16, 32, 64] {
         let loss = lemma_5_1_log_ratio(k, lambda);
         println!(
@@ -68,11 +71,11 @@ fn main() {
     let base_points = vec![0.05, 0.06, 0.07, 0.3, 0.62, 0.63, 0.9];
     let mut worst_pt = 0.0f64;
     for insert_at in [0.01, 0.06, 0.26, 0.49, 0.51, 0.75, 0.99] {
-        let d0 = LineDomain::new(base_points.clone()).with_min_width(0.2);
+        let mut d0 = LineDomain::new(base_points.clone()).with_min_width(0.2);
         let mut with = base_points.clone();
         with.push(insert_at);
-        let d1 = LineDomain::new(with).with_min_width(0.2);
-        worst_pt = worst_pt.max(audit_privtree(&d0, &d1, &params, 3));
+        let mut d1 = LineDomain::new(with).with_min_width(0.2);
+        worst_pt = worst_pt.max(audit_privtree(&mut d0, &mut d1, &params, 3));
     }
     println!("worst loss over shapes x insertions: {worst_pt:.4} (eps = {eps})");
     assert!(worst_pt <= eps + 1e-9);

@@ -9,12 +9,15 @@
 //! * dataset construction at paper or scaled cardinalities;
 //! * exact ground-truth evaluation and average-relative-error scoring.
 
-use privtree_baselines::{ag_synopsis, dawa_synopsis, hierarchy_synopsis, privelet_synopsis, ug_synopsis};
+use privtree_baselines::{
+    ag_synopsis, dawa_synopsis, hierarchy_synopsis, privelet_synopsis, ug_synopsis,
+};
 use privtree_datagen::spatial::{self, SpatialSpec};
 use privtree_datagen::workload::QuerySize;
 use privtree_dp::budget::Epsilon;
-use privtree_dp::rng::{derive_seed, seeded};
+use privtree_dp::rng::derive_seed;
 use privtree_eval::error::{average_relative_error, smoothing_factor};
+use privtree_eval::runner::repeat_mean;
 use privtree_spatial::dataset::PointSet;
 use privtree_spatial::geom::Rect;
 use privtree_spatial::index::GridIndex;
@@ -148,6 +151,10 @@ impl SpatialMethod {
     }
 
     /// Build a synopsis of this method on `data` at budget `eps`.
+    ///
+    /// PrivTree releases are frozen into the structure-of-arrays
+    /// [`privtree_spatial::FrozenSynopsis`] before serving, matching how
+    /// a query-heavy deployment would hold them.
     pub fn build(
         self,
         data: &PointSet,
@@ -160,7 +167,8 @@ impl SpatialMethod {
         match self {
             SpatialMethod::PrivTree => Box::new(
                 privtree_synopsis(data, *domain, SplitConfig::full(d), eps, rng)
-                    .expect("privtree synopsis"),
+                    .expect("privtree synopsis")
+                    .freeze(),
             ),
             SpatialMethod::Ug => Box::new(ug_synopsis(data, domain, eps, 1.0, rng)),
             SpatialMethod::Ag => Box::new(ag_synopsis(data, domain, eps, 1.0, rng)),
@@ -191,14 +199,15 @@ pub fn exact_answers(data: &PointSet, domain: &Rect, queries: &[RangeQuery]) -> 
         .collect()
 }
 
-/// Average relative error of a synopsis on a pre-evaluated workload.
+/// Average relative error of a synopsis on a pre-evaluated workload,
+/// answered through the batched entry point.
 pub fn avg_relative_error(
     syn: &dyn RangeCountSynopsis,
     queries: &[RangeQuery],
     truth: &[f64],
     cardinality: usize,
 ) -> f64 {
-    let estimates: Vec<f64> = queries.iter().map(|q| syn.answer(q)).collect();
+    let estimates = syn.answer_batch(queries);
     average_relative_error(&estimates, truth, smoothing_factor(cardinality))
 }
 
@@ -215,13 +224,10 @@ pub fn method_error(
     reps: usize,
     seed: u64,
 ) -> f64 {
-    let mut total = 0.0;
-    for rep in 0..reps {
-        let mut rng = seeded(derive_seed(seed, 0x5eed + rep as u64));
-        let syn = method.build(data, domain, eps, &mut rng);
-        total += avg_relative_error(syn.as_ref(), queries, truth, data.len());
-    }
-    total / reps as f64
+    repeat_mean(reps, derive_seed(seed, 0x5eed), |rng| {
+        let syn = method.build(data, domain, eps, rng);
+        avg_relative_error(syn.as_ref(), queries, truth, data.len())
+    })
 }
 
 /// The standard query workload for a dataset: `count` queries in each
@@ -303,11 +309,14 @@ mod tests {
         let cli = tiny_cli();
         let data = make_dataset(&GOWALLA, &cli);
         let domain = Rect::unit(2);
-        let (queries, truth) =
-            workload_with_truth(&data, &domain, QuerySize::Large, 20, cli.seed);
+        let (queries, truth) = workload_with_truth(&data, &domain, QuerySize::Large, 20, cli.seed);
         for method in SpatialMethod::roster(2) {
             let err = method_error(method, &data, &domain, &queries, &truth, 1.0, 1, 3);
-            assert!(err.is_finite() && err >= 0.0, "{}: err = {err}", method.name());
+            assert!(
+                err.is_finite() && err >= 0.0,
+                "{}: err = {err}",
+                method.name()
+            );
         }
     }
 
@@ -319,8 +328,7 @@ mod tests {
         };
         let data = make_dataset(&GOWALLA, &cli);
         let domain = Rect::unit(2);
-        let (queries, truth) =
-            workload_with_truth(&data, &domain, QuerySize::Large, 40, cli.seed);
+        let (queries, truth) = workload_with_truth(&data, &domain, QuerySize::Large, 40, cli.seed);
         let hi = method_error(
             SpatialMethod::PrivTree,
             &data,
@@ -341,6 +349,9 @@ mod tests {
             3,
             11,
         );
-        assert!(lo < hi, "error at ε=1.6 ({lo}) should be below ε=0.05 ({hi})");
+        assert!(
+            lo < hi,
+            "error at ε=1.6 ({lo}) should be below ε=0.05 ({hi})"
+        );
     }
 }

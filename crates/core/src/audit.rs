@@ -43,9 +43,7 @@ impl Shape {
     pub fn depth(&self) -> usize {
         match self {
             Shape::Leaf => 0,
-            Shape::Split(children) => {
-                1 + children.iter().map(Shape::depth).max().unwrap_or(0)
-            }
+            Shape::Split(children) => 1 + children.iter().map(Shape::depth).max().unwrap_or(0),
         }
     }
 }
@@ -82,13 +80,13 @@ pub fn enumerate_shapes(fanout: usize, max_depth: usize) -> Vec<Shape> {
 /// Returns `f64::NEG_INFINITY` for impossible shapes (a split where the
 /// domain is unsplittable).
 pub fn privtree_log_prob<D: TreeDomain>(
-    domain: &D,
+    domain: &mut D,
     shape: &Shape,
     params: &PrivTreeParams,
 ) -> f64 {
     let noise = Laplace::centered(params.lambda).expect("validated params");
     fn walk<D: TreeDomain>(
-        domain: &D,
+        domain: &mut D,
         node: &D::Node,
         depth: u32,
         shape: &Shape,
@@ -123,20 +121,21 @@ pub fn privtree_log_prob<D: TreeDomain>(
             },
         }
     }
-    walk(domain, &domain.root(), 0, shape, params, &noise)
+    let root = domain.root();
+    walk(domain, &root, 0, shape, params, &noise)
 }
 
 /// `ln Pr[dataset → shape]` for the *structure only* of a SimpleTree
 /// (Algorithm 1) release — the `T′` analysis of Section 3.2. Nodes at depth
 /// `height − 1` are never split.
 pub fn simple_tree_log_prob<D: TreeDomain>(
-    domain: &D,
+    domain: &mut D,
     shape: &Shape,
     params: &SimpleTreeParams,
 ) -> f64 {
     let noise = Laplace::centered(params.lambda).expect("validated params");
     fn walk<D: TreeDomain>(
-        domain: &D,
+        domain: &mut D,
         node: &D::Node,
         depth: u32,
         shape: &Shape,
@@ -173,7 +172,8 @@ pub fn simple_tree_log_prob<D: TreeDomain>(
             }
         }
     }
-    walk(domain, &domain.root(), 0, shape, params, &noise)
+    let root = domain.root();
+    walk(domain, &root, 0, shape, params, &noise)
 }
 
 /// The worst-case privacy cost of a full SimpleTree release (structure plus
@@ -204,8 +204,8 @@ pub fn max_abs_log_ratio(log_probs_a: &[f64], log_probs_b: &[f64]) -> f64 {
 /// Convenience: audit PrivTree over all shapes up to `max_depth` for a pair
 /// of neighboring datasets, returning the max |log ratio|.
 pub fn audit_privtree<D: TreeDomain>(
-    domain_a: &D,
-    domain_b: &D,
+    domain_a: &mut D,
+    domain_b: &mut D,
     params: &PrivTreeParams,
     max_depth: usize,
 ) -> f64 {
@@ -254,12 +254,12 @@ mod tests {
     fn shape_probabilities_sum_to_one() {
         let pts = vec![0.1, 0.12, 0.3, 0.55, 0.8, 0.81];
         // min_width = 0.2 limits splitting to depth ≤ 2 from width 1
-        let domain = LineDomain::new(pts).with_min_width(0.2);
+        let mut domain = LineDomain::new(pts).with_min_width(0.2);
         let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2).unwrap();
         let shapes = enumerate_shapes(2, 3); // one beyond the floor
         let total: f64 = shapes
             .iter()
-            .map(|s| privtree_log_prob(&domain, s, &params))
+            .map(|s| privtree_log_prob(&mut domain, s, &params))
             .filter(|lp| *lp > f64::NEG_INFINITY)
             .map(f64::exp)
             .sum();
@@ -274,11 +274,11 @@ mod tests {
         let params = PrivTreeParams::from_epsilon(Epsilon::new(eps).unwrap(), 2).unwrap();
         let base = vec![0.05, 0.06, 0.07, 0.3, 0.62, 0.63, 0.9];
         for insert_at in [0.01, 0.06, 0.26, 0.49, 0.51, 0.75, 0.99] {
-            let d0 = LineDomain::new(base.clone()).with_min_width(0.2);
+            let mut d0 = LineDomain::new(base.clone()).with_min_width(0.2);
             let mut with = base.clone();
             with.push(insert_at);
-            let d1 = LineDomain::new(with).with_min_width(0.2);
-            let worst = audit_privtree(&d0, &d1, &params, 3);
+            let mut d1 = LineDomain::new(with).with_min_width(0.2);
+            let worst = audit_privtree(&mut d0, &mut d1, &params, 3);
             assert!(
                 worst <= eps + 1e-9,
                 "insert at {insert_at}: privacy loss {worst} > ε = {eps}"
@@ -295,11 +295,11 @@ mod tests {
         let mut worst_overall = 0.0f64;
         // a deep stack of points at one location maximizes path length
         let base = vec![0.01; 40];
-        let d0 = LineDomain::new(base.clone()).with_min_width(0.2);
+        let mut d0 = LineDomain::new(base.clone()).with_min_width(0.2);
         let mut with = base;
         with.push(0.01);
-        let d1 = LineDomain::new(with).with_min_width(0.2);
-        worst_overall = worst_overall.max(audit_privtree(&d0, &d1, &params, 3));
+        let mut d1 = LineDomain::new(with).with_min_width(0.2);
+        worst_overall = worst_overall.max(audit_privtree(&mut d0, &mut d1, &params, 3));
         assert!(
             worst_overall > 0.2 * eps,
             "observed worst loss {worst_overall} suspiciously far below ε"
@@ -322,18 +322,18 @@ mod tests {
     fn simple_tree_shape_audit() {
         let params = SimpleTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 3, 1.0).unwrap();
         let base = vec![0.01; 10];
-        let d0 = LineDomain::new(base.clone()).with_min_width(0.0);
+        let mut d0 = LineDomain::new(base.clone()).with_min_width(0.0);
         let mut with = base;
         with.push(0.01);
-        let d1 = LineDomain::new(with).with_min_width(0.0);
+        let mut d1 = LineDomain::new(with).with_min_width(0.0);
         let shapes = enumerate_shapes(2, 3);
         let lp0: Vec<f64> = shapes
             .iter()
-            .map(|s| simple_tree_log_prob(&d0, s, &params))
+            .map(|s| simple_tree_log_prob(&mut d0, s, &params))
             .collect();
         let lp1: Vec<f64> = shapes
             .iter()
-            .map(|s| simple_tree_log_prob(&d1, s, &params))
+            .map(|s| simple_tree_log_prob(&mut d1, s, &params))
             .collect();
         // shapes deeper than h − 1 = 2 are impossible under BOTH datasets
         for (i, s) in shapes.iter().enumerate() {

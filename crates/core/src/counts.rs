@@ -91,8 +91,8 @@ mod tests {
 
     fn setup() -> (LineDomain, Tree<crate::domain::LineNode>) {
         let pts: Vec<f64> = (0..256).map(|i| (i as f64 + 0.5) / 256.0).collect();
-        let domain = LineDomain::new(pts).with_min_width(1.0 / 16.0);
-        let tree = nonprivate_tree(&domain, 20.0, None);
+        let mut domain = LineDomain::new(pts).with_min_width(1.0 / 16.0);
+        let tree = nonprivate_tree(&mut domain, 20.0, None);
         (domain, tree)
     }
 

@@ -8,6 +8,12 @@
 //! prediction suffix trees with the Eq. (13) score (Section 4) are the two
 //! instantiations shipped in this workspace; [`crate::taxonomy`] adds a
 //! third.
+//!
+//! Splitting takes `&mut self`: domains that reorder shared scratch state
+//! (the point permutation of the quadtree, the occurrence array of the
+//! PST) mutate it directly instead of hiding it behind a `RefCell`, which
+//! keeps every domain `Send` and lets [`TreeDomain::split_frontier`]
+//! process a whole frontier level as one batch.
 
 /// A domain that PrivTree (or SimpleTree) can decompose.
 pub trait TreeDomain {
@@ -27,16 +33,30 @@ pub trait TreeDomain {
     /// Split `node` into its children, or `None` if this node cannot be
     /// split (e.g. a PST node whose predictor string starts with `$`
     /// (condition C1), or a region at the resolution floor).
-    fn split(&self, node: &Self::Node) -> Option<Vec<Self::Node>>;
+    ///
+    /// Must be idempotent: splitting the same node twice yields the same
+    /// children (the exact audits re-split nodes while enumerating
+    /// shapes).
+    fn split(&mut self, node: &Self::Node) -> Option<Vec<Self::Node>>;
 
     /// The raw score `c(v)` used in the split decision. Must be monotone
     /// along root-to-leaf paths and must change by at most the configured
     /// sensitivity when one tuple is inserted into the dataset.
     fn score(&self, node: &Self::Node) -> f64;
+
+    /// Split every node of a frontier level as one batch, returning one
+    /// entry per input in order. The default loops [`TreeDomain::split`];
+    /// domains whose nodes own disjoint scratch segments override this to
+    /// partition the batch (and, with the `parallel` feature of
+    /// `privtree-spatial`, fan the work out across threads).
+    fn split_frontier(&mut self, nodes: &[&Self::Node]) -> Vec<Option<Vec<Self::Node>>> {
+        nodes.iter().map(|n| self.split(n)).collect()
+    }
 }
 
-/// Blanket access through references, so builders can take `&D`.
-impl<D: TreeDomain> TreeDomain for &D {
+/// Blanket access through mutable references, so builders can take
+/// `&mut D` and callers can keep the domain afterwards.
+impl<D: TreeDomain> TreeDomain for &mut D {
     type Node = D::Node;
 
     fn root(&self) -> Self::Node {
@@ -47,12 +67,16 @@ impl<D: TreeDomain> TreeDomain for &D {
         (**self).fanout()
     }
 
-    fn split(&self, node: &Self::Node) -> Option<Vec<Self::Node>> {
+    fn split(&mut self, node: &Self::Node) -> Option<Vec<Self::Node>> {
         (**self).split(node)
     }
 
     fn score(&self, node: &Self::Node) -> f64 {
         (**self).score(node)
+    }
+
+    fn split_frontier(&mut self, nodes: &[&Self::Node]) -> Vec<Option<Vec<Self::Node>>> {
+        (**self).split_frontier(nodes)
     }
 }
 
@@ -115,7 +139,7 @@ impl TreeDomain for LineDomain {
         2
     }
 
-    fn split(&self, node: &LineNode) -> Option<Vec<LineNode>> {
+    fn split(&mut self, node: &LineNode) -> Option<Vec<LineNode>> {
         let width = node.hi - node.lo;
         if width / 2.0 < self.min_width {
             return None;
@@ -154,7 +178,7 @@ mod tests {
 
     #[test]
     fn split_bisects() {
-        let d = LineDomain::new(vec![]);
+        let mut d = LineDomain::new(vec![]);
         let kids = d.split(&d.root()).unwrap();
         assert_eq!(kids.len(), 2);
         assert_eq!(kids[0], LineNode { lo: 0.0, hi: 0.5 });
@@ -163,7 +187,7 @@ mod tests {
 
     #[test]
     fn min_width_stops_splitting() {
-        let d = LineDomain::new(vec![]).with_min_width(0.25);
+        let mut d = LineDomain::new(vec![]).with_min_width(0.25);
         let kids = d.split(&d.root()).unwrap();
         let grandkids = d.split(&kids[0]).unwrap();
         assert!(d.split(&grandkids[0]).is_none());
@@ -172,7 +196,7 @@ mod tests {
     #[test]
     fn score_is_monotone_under_split() {
         let pts: Vec<f64> = (0..100).map(|i| (i as f64) / 101.0).collect();
-        let d = LineDomain::new(pts);
+        let mut d = LineDomain::new(pts);
         let root = d.root();
         let kids = d.split(&root).unwrap();
         for k in &kids {

@@ -5,8 +5,11 @@
 //! * [`domain`] — the [`TreeDomain`] abstraction: a splittable domain with a
 //!   monotone score function (Section 3.5 generality).
 //! * [`params`] — Theorem 3.1 / Corollary 1 parameterization.
-//! * [`privtree`] — Algorithm 2.
-//! * [`simple`] — Algorithm 1 (`SimpleTree`), the h-limited baseline.
+//! * [`privtree`] — Algorithm 2, built level-synchronously: each frontier
+//!   is scored and noised in one deterministic pass, then split as one
+//!   [`TreeDomain::split_frontier`] batch.
+//! * [`simple`] — Algorithm 1 (`SimpleTree`), the h-limited baseline,
+//!   built the same level-synchronous way.
 //! * [`nonprivate`] — the noise-free decomposition `T*` of Lemma 3.2.
 //! * [`counts`] — noisy-leaf-count postprocessing (Section 3.4).
 //! * [`audit`] — exact output-distribution computations used to verify the
@@ -27,8 +30,8 @@ pub use counts::{noisy_leaf_counts, NoisyCounts};
 pub use domain::TreeDomain;
 pub use nonprivate::nonprivate_tree;
 pub use params::{PrivTreeParams, SimpleTreeParams};
-pub use privtree::build_privtree;
-pub use simple::{build_simple_tree, SimpleTreeOutput};
+pub use privtree::{build_privtree, build_privtree_sequential};
+pub use simple::{build_simple_tree, build_simple_tree_sequential, SimpleTreeOutput};
 pub use tree::{NodeId, Tree};
 
 /// Errors from decomposition construction.

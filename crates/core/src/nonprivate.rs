@@ -3,32 +3,39 @@
 //! bound, as ground truth in tests, and to seed the `Truncate`-style
 //! non-private baselines in the experiments.
 
-use std::collections::VecDeque;
-
 use crate::domain::TreeDomain;
-use crate::tree::Tree;
+use crate::tree::{NodeId, Tree};
 
 /// Build the deterministic tree that splits every node with
-/// `score(v) > theta`, optionally capping the depth.
+/// `score(v) > theta`, optionally capping the depth. Like the private
+/// builders this proceeds level-synchronously, splitting each frontier as
+/// one [`TreeDomain::split_frontier`] batch.
 pub fn nonprivate_tree<D: TreeDomain>(
-    domain: &D,
+    domain: &mut D,
     theta: f64,
     max_depth: Option<u32>,
 ) -> Tree<D::Node> {
     let mut tree = Tree::with_root(domain.root());
-    let mut queue = VecDeque::new();
-    queue.push_back(tree.root());
-    while let Some(v) = queue.pop_front() {
-        if let Some(cap) = max_depth {
-            if tree.depth(v) >= cap {
-                continue;
+    let mut frontier = vec![tree.root()];
+    let mut survivors: Vec<NodeId> = Vec::new();
+    while !frontier.is_empty() {
+        survivors.clear();
+        for &v in &frontier {
+            if let Some(cap) = max_depth {
+                if tree.depth(v) >= cap {
+                    continue;
+                }
+            }
+            if domain.score(tree.payload(v)) > theta {
+                survivors.push(v);
             }
         }
-        if domain.score(tree.payload(v)) > theta {
-            if let Some(children) = domain.split(tree.payload(v)) {
-                for child in tree.add_children(v, children) {
-                    queue.push_back(child);
-                }
+        let payloads: Vec<&D::Node> = survivors.iter().map(|&v| tree.payload(v)).collect();
+        let splits = domain.split_frontier(&payloads);
+        frontier.clear();
+        for (&v, children) in survivors.iter().zip(splits) {
+            if let Some(children) = children {
+                frontier.extend(tree.add_children(v, children));
             }
         }
     }
@@ -45,8 +52,8 @@ mod tests {
         // 10 points in the left half, 3 in the right; θ = 5
         let mut pts = vec![0.01, 0.06, 0.11, 0.16, 0.21, 0.26, 0.31, 0.36, 0.41, 0.46];
         pts.extend([0.6, 0.7, 0.8]);
-        let domain = LineDomain::new(pts).with_min_width(0.2);
-        let tree = nonprivate_tree(&domain, 5.0, None);
+        let mut domain = LineDomain::new(pts).with_min_width(0.2);
+        let tree = nonprivate_tree(&mut domain, 5.0, None);
         let root_children: Vec<_> = tree.children(tree.root()).collect();
         assert_eq!(root_children.len(), 2, "root has 13 > 5 points, splits");
         // left child has 10 > 5 points and splits; right has 3 ≤ 5, leaf
@@ -57,28 +64,31 @@ mod tests {
     #[test]
     fn depth_cap_respected() {
         let pts: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0 / 128.0).collect();
-        let domain = LineDomain::new(pts);
-        let tree = nonprivate_tree(&domain, 0.5, Some(3));
+        let mut domain = LineDomain::new(pts);
+        let tree = nonprivate_tree(&mut domain, 0.5, Some(3));
         assert!(tree.max_depth() <= 3);
     }
 
     #[test]
     fn empty_data_is_single_node() {
-        let domain = LineDomain::new(vec![]);
-        let tree = nonprivate_tree(&domain, 0.0, None);
+        let mut domain = LineDomain::new(vec![]);
+        let tree = nonprivate_tree(&mut domain, 0.0, None);
         assert_eq!(tree.len(), 1);
     }
 
     #[test]
     fn zero_threshold_splits_until_empty_or_floor() {
-        let domain = LineDomain::new(vec![0.3]).with_min_width(0.2);
-        let tree = nonprivate_tree(&domain, 0.0, None);
+        let mut domain = LineDomain::new(vec![0.3]).with_min_width(0.2);
+        let tree = nonprivate_tree(&mut domain, 0.0, None);
         // every leaf either holds no points or is at the resolution floor
         for leaf in tree.leaf_ids() {
             let node = tree.payload(leaf);
             let width = node.hi - node.lo;
             let c = domain.count(node.lo, node.hi);
-            assert!(c == 0 || width / 2.0 < 0.2, "leaf with c={c}, width={width}");
+            assert!(
+                c == 0 || width / 2.0 < 0.2,
+                "leaf with c={c}, width={width}"
+            );
         }
     }
 }

@@ -65,7 +65,9 @@ impl PrivTreeParams {
     /// choice because it also yields the Lemma 3.2 size bound).
     pub fn from_epsilon_with_gamma(epsilon: Epsilon, gamma: f64) -> Result<Self> {
         if !(gamma.is_finite() && gamma > 0.0) {
-            return Err(CoreError::BadParams(format!("gamma must be positive: {gamma}")));
+            return Err(CoreError::BadParams(format!(
+                "gamma must be positive: {gamma}"
+            )));
         }
         let lambda = privtree_scale_for_gamma(epsilon.get(), gamma);
         Ok(Self {

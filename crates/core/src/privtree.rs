@@ -1,10 +1,10 @@
 //! PrivTree — Algorithm 2 of the paper.
 //!
-//! The construction mirrors the pseudo-code line by line:
+//! The construction follows the pseudo-code:
 //!
 //! ```text
 //! 1  initialize a tree T with a root node v1          (Tree::with_root)
-//! 2  set dom(v1) = Ω, mark v1 unvisited               (work queue)
+//! 2  set dom(v1) = Ω, mark v1 unvisited               (frontier)
 //! 3  while there exists an unvisited node v:
 //! 4    mark v as visited
 //! 5    b(v) = c(v) − depth(v)·δ                       (biased score)
@@ -13,6 +13,15 @@
 //! 8    if b̂(v) > θ: split v, add children to T
 //! 11 return T with all point counts removed
 //! ```
+//!
+//! [`build_privtree`] visits nodes **level-synchronously**: the entire
+//! frontier is scored and noised in one deterministic sequential pass
+//! (noise is consumed in arena order, exactly as the node-at-a-time loop
+//! of [`build_privtree_sequential`] consumes it, so both builders are
+//! bit-identical given the same seed), and the surviving nodes are then
+//! split as one batch through [`TreeDomain::split_frontier`]. Batching
+//! the splits lets domains with disjoint per-node scratch segments
+//! process a level without re-borrowing shared state node by node.
 //!
 //! The returned [`Tree`] carries only the sub-domain payloads — no scores
 //! and no noisy values — matching line 11. Noisy counts, when needed, are a
@@ -25,22 +34,73 @@ use rand::Rng;
 
 use crate::domain::TreeDomain;
 use crate::params::PrivTreeParams;
-use crate::tree::Tree;
+use crate::tree::{NodeId, Tree};
 use crate::{CoreError, Result};
 
-/// Run PrivTree over `domain` with the given parameters.
+/// Run PrivTree over `domain` with the given parameters, processing the
+/// tree one frontier level at a time.
 ///
 /// The caller is responsible for having calibrated `params` to the desired
 /// ε (see [`PrivTreeParams::from_epsilon`]); by Theorem 3.1 the release of
 /// the returned tree structure is then ε-differentially private.
 pub fn build_privtree<D: TreeDomain, R: Rng + ?Sized>(
-    domain: &D,
+    domain: &mut D,
     params: &PrivTreeParams,
     rng: &mut R,
 ) -> Result<Tree<D::Node>> {
     let params = params.checked()?;
-    let noise = Laplace::centered(params.lambda)
-        .map_err(|e| CoreError::BadParams(e.to_string()))?;
+    let noise =
+        Laplace::centered(params.lambda).map_err(|e| CoreError::BadParams(e.to_string()))?;
+
+    let mut tree = Tree::with_root(domain.root());
+    let mut frontier = vec![tree.root()];
+    let mut survivors: Vec<NodeId> = Vec::new();
+
+    while !frontier.is_empty() {
+        // lines 5-7 for the whole level: score, bias, and draw all Laplace
+        // noise in one deterministic sequential pass (arena order).
+        survivors.clear();
+        for &v in &frontier {
+            let raw = domain.score(tree.payload(v));
+            let biased = params.biased_score(raw, tree.depth(v));
+            let noisy = biased + noise.sample(rng);
+            if noisy > params.theta {
+                survivors.push(v);
+            }
+        }
+        // line 8 as a batch: split every survivor of this level at once.
+        let payloads: Vec<&D::Node> = survivors.iter().map(|&v| tree.payload(v)).collect();
+        let splits = domain.split_frontier(&payloads);
+        debug_assert_eq!(splits.len(), survivors.len());
+
+        frontier.clear();
+        for (&v, children) in survivors.iter().zip(splits) {
+            if let Some(children) = children {
+                if tree.len() + children.len() > params.node_limit {
+                    return Err(CoreError::TreeTooLarge {
+                        limit: params.node_limit,
+                    });
+                }
+                frontier.extend(tree.add_children(v, children));
+            }
+        }
+    }
+    Ok(tree)
+}
+
+/// The node-at-a-time reference implementation of Algorithm 2 (a FIFO
+/// work queue, exactly the paper's presentation). Kept as the oracle the
+/// frontier builder is tested against: both consume Laplace noise in
+/// arena order, so for any domain and seed the two produce identical
+/// trees.
+pub fn build_privtree_sequential<D: TreeDomain, R: Rng + ?Sized>(
+    domain: &mut D,
+    params: &PrivTreeParams,
+    rng: &mut R,
+) -> Result<Tree<D::Node>> {
+    let params = params.checked()?;
+    let noise =
+        Laplace::centered(params.lambda).map_err(|e| CoreError::BadParams(e.to_string()))?;
 
     let mut tree = Tree::with_root(domain.root());
     let mut queue = VecDeque::new();
@@ -72,7 +132,7 @@ pub fn build_privtree<D: TreeDomain, R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::domain::LineDomain;
+    use crate::domain::{LineDomain, LineNode};
     use privtree_dp::budget::Epsilon;
     use privtree_dp::rng::seeded;
 
@@ -83,9 +143,9 @@ mod tests {
 
     #[test]
     fn grows_deep_into_dense_regions() {
-        let domain = LineDomain::new(clustered_points(100_000));
+        let mut domain = LineDomain::new(clustered_points(100_000));
         let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2).unwrap();
-        let tree = build_privtree(&domain, &params, &mut seeded(1)).unwrap();
+        let tree = build_privtree(&mut domain, &params, &mut seeded(1)).unwrap();
         // the dense cluster needs depth ≫ 6 to resolve; a depth-limited
         // tree of height 6 could never reach it
         assert!(tree.max_depth() > 8, "max depth = {}", tree.max_depth());
@@ -98,9 +158,9 @@ mod tests {
     #[test]
     fn uniform_data_gives_balanced_tree() {
         let pts: Vec<f64> = (0..4096).map(|i| (i as f64 + 0.5) / 4096.0).collect();
-        let domain = LineDomain::new(pts);
+        let mut domain = LineDomain::new(pts);
         let params = PrivTreeParams::from_epsilon(Epsilon::new(2.0).unwrap(), 2).unwrap();
-        let tree = build_privtree(&domain, &params, &mut seeded(7)).unwrap();
+        let tree = build_privtree(&mut domain, &params, &mut seeded(7)).unwrap();
         // depth histogram should look geometric (full levels near the top)
         let hist = tree.depth_histogram();
         assert_eq!(hist[0], 1);
@@ -109,63 +169,103 @@ mod tests {
     }
 
     #[test]
-    fn empty_data_usually_yields_single_node() {
-        let domain = LineDomain::new(vec![]);
+    fn empty_data_often_yields_single_node() {
+        let mut domain = LineDomain::new(vec![]);
         let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2).unwrap();
-        // With b(root) = θ − δ the split probability is 1/(2β) = 1/4, so
-        // over several seeds most trees are a lone root.
+        // With c(root) = 0 and depth 0 the biased score is
+        // max(0 − 0·δ, θ − δ) = 0 = θ, so the root splits with probability
+        // Pr[Lap(λ) > 0] = 1/2; deeper nodes hit the θ − δ floor and split
+        // with probability only 1/(2β). Over many seeds roughly half the
+        // trees should be a lone root, and the rest should stay tiny.
         let mut single = 0;
-        for seed in 0..40 {
-            let tree = build_privtree(&domain, &params, &mut seeded(seed)).unwrap();
+        let mut total_nodes = 0usize;
+        let reps = 100;
+        for seed in 0..reps {
+            let tree = build_privtree(&mut domain, &params, &mut seeded(seed)).unwrap();
+            total_nodes += tree.len();
             if tree.len() == 1 {
                 single += 1;
             }
         }
-        assert!(single > 20, "only {single}/40 were single nodes");
+        assert!(
+            (35..=65).contains(&single),
+            "{single}/{reps} single-node trees, expected ≈ {}",
+            reps / 2
+        );
+        // mean size stays O(1): the floor stops runaway splitting
+        assert!(
+            total_nodes < reps as usize * 4,
+            "mean tree size {} suspiciously large",
+            total_nodes as f64 / reps as f64
+        );
     }
 
     #[test]
     fn respects_node_limit() {
-        let domain = LineDomain::new(clustered_points(10_000));
+        let mut domain = LineDomain::new(clustered_points(10_000));
         let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2)
             .unwrap()
             .with_node_limit(5);
-        let err = build_privtree(&domain, &params, &mut seeded(3)).unwrap_err();
+        let err = build_privtree(&mut domain, &params, &mut seeded(3)).unwrap_err();
         assert_eq!(err, CoreError::TreeTooLarge { limit: 5 });
     }
 
     #[test]
     fn respects_min_width_floor() {
-        let domain = LineDomain::new(clustered_points(100_000)).with_min_width(1.0 / 32.0);
+        let mut domain = LineDomain::new(clustered_points(100_000)).with_min_width(1.0 / 32.0);
         let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2).unwrap();
-        let tree = build_privtree(&domain, &params, &mut seeded(5)).unwrap();
+        let tree = build_privtree(&mut domain, &params, &mut seeded(5)).unwrap();
         assert!(tree.max_depth() <= 5, "max depth = {}", tree.max_depth());
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let domain = LineDomain::new(clustered_points(1000));
+        let mut domain = LineDomain::new(clustered_points(1000));
         let params = PrivTreeParams::from_epsilon(Epsilon::new(0.5).unwrap(), 2).unwrap();
-        let a = build_privtree(&domain, &params, &mut seeded(11)).unwrap();
-        let b = build_privtree(&domain, &params, &mut seeded(11)).unwrap();
+        let a = build_privtree(&mut domain, &params, &mut seeded(11)).unwrap();
+        let b = build_privtree(&mut domain, &params, &mut seeded(11)).unwrap();
         assert_eq!(a.len(), b.len());
         assert_eq!(a.depth_histogram(), b.depth_histogram());
+    }
+
+    /// The frontier builder consumes noise in the same (arena) order as
+    /// the node-at-a-time loop, so the two are bit-identical per seed.
+    #[test]
+    fn frontier_matches_sequential_bit_for_bit() {
+        let payloads = |t: &Tree<LineNode>| -> Vec<(f64, f64)> {
+            t.ids()
+                .map(|id| {
+                    let n = t.payload(id);
+                    (n.lo, n.hi)
+                })
+                .collect()
+        };
+        for seed in 0..25 {
+            let mut d1 = LineDomain::new(clustered_points(5000));
+            let mut d2 = d1.clone();
+            let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2).unwrap();
+            let a = build_privtree(&mut d1, &params, &mut seeded(seed)).unwrap();
+            let b = build_privtree_sequential(&mut d2, &params, &mut seeded(seed)).unwrap();
+            assert_eq!(a.len(), b.len(), "seed {seed}");
+            assert_eq!(payloads(&a), payloads(&b), "seed {seed}");
+            assert_eq!(a.depth_histogram(), b.depth_histogram(), "seed {seed}");
+        }
     }
 
     #[test]
     fn lemma_3_2_expected_size_bound() {
         // E[|T|] ≤ 2·|T*| whenever |T*| > 1 (with δ = λ ln β, θ as given).
         let pts: Vec<f64> = (0..2000).map(|i| (i as f64 + 0.5) / 2000.0).collect();
-        let domain = LineDomain::new(pts).with_min_width(1.0 / 1024.0);
+        let mut domain = LineDomain::new(pts).with_min_width(1.0 / 1024.0);
         let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2)
             .unwrap()
             .with_theta(100.0);
-        let t_star = crate::nonprivate::nonprivate_tree(&domain, params.theta, None);
+        let t_star = crate::nonprivate::nonprivate_tree(&mut domain, params.theta, None);
         assert!(t_star.len() > 1);
         let reps = 60;
         let mut total = 0usize;
         for seed in 0..reps {
-            total += build_privtree(&domain, &params, &mut seeded(1000 + seed))
+            total += build_privtree(&mut domain, &params, &mut seeded(1000 + seed))
                 .unwrap()
                 .len();
         }

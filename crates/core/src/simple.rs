@@ -5,6 +5,11 @@
 //! node is split iff `ĉ(v) > θ` **and** `depth(v) < h − 1`. Releasing all
 //! noisy counts of a height-h tree has sensitivity h, so ε-DP requires
 //! `λ ≥ h/ε` — the dilemma PrivTree removes.
+//!
+//! Like [`crate::privtree`], construction is level-synchronous: all noisy
+//! counts of a frontier level are drawn in one sequential pass (arena
+//! order, bit-identical to the node-at-a-time loop) and the surviving
+//! nodes are split as one batch.
 
 use std::collections::VecDeque;
 
@@ -13,7 +18,7 @@ use rand::Rng;
 
 use crate::domain::TreeDomain;
 use crate::params::SimpleTreeParams;
-use crate::tree::Tree;
+use crate::tree::{NodeId, Tree};
 use crate::{CoreError, Result};
 
 /// Output of Algorithm 1: the decomposition plus the noisy count attached
@@ -28,9 +33,58 @@ pub struct SimpleTreeOutput<N> {
     pub noisy_counts: Vec<f64>,
 }
 
-/// Run SimpleTree over `domain`.
+/// Run SimpleTree over `domain`, one frontier level at a time.
 pub fn build_simple_tree<D: TreeDomain, R: Rng + ?Sized>(
-    domain: &D,
+    domain: &mut D,
+    params: &SimpleTreeParams,
+    rng: &mut R,
+) -> Result<SimpleTreeOutput<D::Node>> {
+    if params.height == 0 {
+        return Err(CoreError::BadParams("height must be at least 1".into()));
+    }
+    let noise =
+        Laplace::centered(params.lambda).map_err(|e| CoreError::BadParams(e.to_string()))?;
+
+    let mut tree = Tree::with_root(domain.root());
+    let mut noisy_counts = Vec::new();
+    let mut frontier = vec![tree.root()];
+    let mut survivors: Vec<NodeId> = Vec::new();
+
+    while !frontier.is_empty() {
+        // noisy counts for the whole level, in arena order
+        survivors.clear();
+        for &v in &frontier {
+            let c = domain.score(tree.payload(v));
+            let c_hat = c + noise.sample(rng);
+            debug_assert_eq!(noisy_counts.len(), v.index());
+            noisy_counts.push(c_hat);
+            // split only while the height budget allows
+            if c_hat > params.theta && tree.depth(v) < params.height - 1 {
+                survivors.push(v);
+            }
+        }
+        let payloads: Vec<&D::Node> = survivors.iter().map(|&v| tree.payload(v)).collect();
+        let splits = domain.split_frontier(&payloads);
+
+        frontier.clear();
+        for (&v, children) in survivors.iter().zip(splits) {
+            if let Some(children) = children {
+                if tree.len() + children.len() > params.node_limit {
+                    return Err(CoreError::TreeTooLarge {
+                        limit: params.node_limit,
+                    });
+                }
+                frontier.extend(tree.add_children(v, children));
+            }
+        }
+    }
+    Ok(SimpleTreeOutput { tree, noisy_counts })
+}
+
+/// The node-at-a-time reference implementation of Algorithm 1, kept as
+/// the oracle [`build_simple_tree`] is tested against.
+pub fn build_simple_tree_sequential<D: TreeDomain, R: Rng + ?Sized>(
+    domain: &mut D,
     params: &SimpleTreeParams,
     rng: &mut R,
 ) -> Result<SimpleTreeOutput<D::Node>> {
@@ -46,12 +100,10 @@ pub fn build_simple_tree<D: TreeDomain, R: Rng + ?Sized>(
     queue.push_back(tree.root());
 
     while let Some(v) = queue.pop_front() {
-        // lines 5-6: noisy version of the exact count
         let c = domain.score(tree.payload(v));
         let c_hat = c + noise.sample(rng);
         debug_assert_eq!(noisy_counts.len(), v.index());
         noisy_counts.push(c_hat);
-        // line 7: split only while the height budget allows
         if c_hat > params.theta && tree.depth(v) < params.height - 1 {
             if let Some(children) = domain.split(tree.payload(v)) {
                 if tree.len() + children.len() > params.node_limit {
@@ -82,11 +134,11 @@ mod tests {
 
     #[test]
     fn height_is_hard_capped() {
-        let domain = LineDomain::new(clustered_points(1_000_000));
+        let mut domain = LineDomain::new(clustered_points(1_000_000));
         for h in [1u32, 2, 4, 6] {
-            let params = SimpleTreeParams::from_epsilon(Epsilon::new(10.0).unwrap(), h, 0.0)
-                .unwrap();
-            let out = build_simple_tree(&domain, &params, &mut seeded(2)).unwrap();
+            let params =
+                SimpleTreeParams::from_epsilon(Epsilon::new(10.0).unwrap(), h, 0.0).unwrap();
+            let out = build_simple_tree(&mut domain, &params, &mut seeded(2)).unwrap();
             assert!(
                 out.tree.max_depth() < h,
                 "h = {h}, depth = {}",
@@ -97,9 +149,9 @@ mod tests {
 
     #[test]
     fn every_node_has_a_noisy_count() {
-        let domain = LineDomain::new(clustered_points(5000));
+        let mut domain = LineDomain::new(clustered_points(5000));
         let params = SimpleTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 5, 0.0).unwrap();
-        let out = build_simple_tree(&domain, &params, &mut seeded(9)).unwrap();
+        let out = build_simple_tree(&mut domain, &params, &mut seeded(9)).unwrap();
         assert_eq!(out.noisy_counts.len(), out.tree.len());
     }
 
@@ -117,19 +169,40 @@ mod tests {
     fn cannot_resolve_fine_clusters_with_small_height() {
         // With h = 4 the tree can only reach width 1/8 intervals; the
         // cluster in [0, 1/64) is never isolated.
-        let domain = LineDomain::new(clustered_points(100_000));
+        let mut domain = LineDomain::new(clustered_points(100_000));
         let params = SimpleTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 4, 0.0).unwrap();
-        let out = build_simple_tree(&domain, &params, &mut seeded(21)).unwrap();
+        let out = build_simple_tree(&mut domain, &params, &mut seeded(21)).unwrap();
         assert!(out.tree.max_depth() <= 3);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let domain = LineDomain::new(clustered_points(500));
+        let mut domain = LineDomain::new(clustered_points(500));
         let params = SimpleTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 6, 0.0).unwrap();
-        let a = build_simple_tree(&domain, &params, &mut seeded(4)).unwrap();
-        let b = build_simple_tree(&domain, &params, &mut seeded(4)).unwrap();
+        let a = build_simple_tree(&mut domain, &params, &mut seeded(4)).unwrap();
+        let b = build_simple_tree(&mut domain, &params, &mut seeded(4)).unwrap();
         assert_eq!(a.tree.len(), b.tree.len());
         assert_eq!(a.noisy_counts, b.noisy_counts);
+    }
+
+    /// Frontier and node-at-a-time builders agree bit for bit, including
+    /// the released noisy counts.
+    #[test]
+    fn frontier_matches_sequential_bit_for_bit() {
+        for seed in 0..25 {
+            let mut d1 = LineDomain::new(clustered_points(2000));
+            let mut d2 = d1.clone();
+            let params =
+                SimpleTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 7, 0.0).unwrap();
+            let a = build_simple_tree(&mut d1, &params, &mut seeded(seed)).unwrap();
+            let b = build_simple_tree_sequential(&mut d2, &params, &mut seeded(seed)).unwrap();
+            assert_eq!(a.tree.len(), b.tree.len(), "seed {seed}");
+            assert_eq!(a.noisy_counts, b.noisy_counts, "seed {seed}");
+            assert_eq!(
+                a.tree.depth_histogram(),
+                b.tree.depth_histogram(),
+                "seed {seed}"
+            );
+        }
     }
 }

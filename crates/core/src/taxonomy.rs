@@ -99,7 +99,10 @@ impl TaxonomyDomain {
     pub fn new(taxonomy: Taxonomy, tuples: &[usize]) -> Self {
         let mut counts = vec![0u64; taxonomy.len()];
         for &t in tuples {
-            assert!(t < taxonomy.len() && taxonomy.is_leaf(t), "tuple category {t} invalid");
+            assert!(
+                t < taxonomy.len() && taxonomy.is_leaf(t),
+                "tuple category {t} invalid"
+            );
             counts[t] += 1;
         }
         // accumulate leaf counts upward; children always have larger ids
@@ -132,7 +135,7 @@ impl TreeDomain for TaxonomyDomain {
         self.taxonomy.max_fanout().max(2)
     }
 
-    fn split(&self, node: &usize) -> Option<Vec<usize>> {
+    fn split(&mut self, node: &usize) -> Option<Vec<usize>> {
         let kids = self.taxonomy.children(*node);
         if kids.is_empty() {
             None
@@ -181,7 +184,7 @@ mod tests {
     #[test]
     fn monotone_score() {
         let (t, fruit, ..) = product_taxonomy();
-        let d = TaxonomyDomain::new(t, &[fruit; 7]);
+        let mut d = TaxonomyDomain::new(t, &[fruit; 7]);
         // every child scores no more than its parent
         for id in 0..d.taxonomy().len() {
             if let Some(kids) = d.split(&id) {
@@ -195,7 +198,7 @@ mod tests {
     #[test]
     fn leaves_cannot_split() {
         let (t, fruit, ..) = product_taxonomy();
-        let d = TaxonomyDomain::new(t, &[fruit]);
+        let mut d = TaxonomyDomain::new(t, &[fruit]);
         assert!(d.split(&fruit).is_none());
     }
 
@@ -206,9 +209,9 @@ mod tests {
             .chain(std::iter::repeat_n(dairy, 10))
             .chain(std::iter::repeat_n(tech, 5))
             .collect();
-        let d = TaxonomyDomain::new(t, &tuples);
+        let mut d = TaxonomyDomain::new(t, &tuples);
         let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), d.fanout()).unwrap();
-        let tree = build_privtree(&d, &params, &mut seeded(8)).unwrap();
+        let tree = build_privtree(&mut d, &params, &mut seeded(8)).unwrap();
         // the dense "food" branch should be expanded with high probability
         assert!(tree.len() >= 3, "tree len = {}", tree.len());
         assert!(tree.max_depth() <= 2);

@@ -65,9 +65,19 @@ impl<T> Tree<T> {
         self.nodes.len()
     }
 
-    /// `true` iff the tree is just a root.
+    /// `true` iff the tree has no nodes. A [`Tree`] always carries at
+    /// least its root, so this is always `false`; it exists so that
+    /// `is_empty` agrees with `len() == 0` (the previous version returned
+    /// `true` for a root-only tree of length 1 — see
+    /// [`Tree::is_root_only`] for that predicate).
     #[inline]
     pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `true` iff the tree is just a root (no split ever happened).
+    #[inline]
+    pub fn is_root_only(&self) -> bool {
         self.nodes.len() <= 1
     }
 
@@ -276,7 +286,11 @@ mod tests {
     fn path_from_root() {
         let t = sample_tree();
         let a1 = t.ids().find(|id| *t.payload(*id) == "a1").unwrap();
-        let path: Vec<&str> = t.path_from_root(a1).iter().map(|id| *t.payload(*id)).collect();
+        let path: Vec<&str> = t
+            .path_from_root(a1)
+            .iter()
+            .map(|id| *t.payload(*id))
+            .collect();
         assert_eq!(path, vec!["root", "a", "a1"]);
     }
 
@@ -301,6 +315,16 @@ mod tests {
         let t = sample_tree();
         let s = t.render(|_, p| p.to_string());
         assert!(s.starts_with("root\n  a\n    a1"));
+    }
+
+    #[test]
+    fn emptiness_predicates() {
+        let t = Tree::with_root("solo");
+        assert!(!t.is_empty(), "a tree always has its root");
+        assert!(t.is_root_only());
+        let t = sample_tree();
+        assert!(!t.is_empty());
+        assert!(!t.is_root_only());
     }
 
     #[test]

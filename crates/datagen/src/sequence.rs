@@ -239,12 +239,20 @@ mod tests {
         // Table 3: ~4.5% of mooc sequences exceed l⊤ = 50, ~3.2% of msnbc
         // exceed l⊤ = 20; we only require a visible few-percent tail.
         let mooc = mooc_like(20_000, 2);
-        let over = mooc.sequences.iter().filter(|s| s.len() > MOOC.l_top).count();
+        let over = mooc
+            .sequences
+            .iter()
+            .filter(|s| s.len() > MOOC.l_top)
+            .count();
         let frac = over as f64 / mooc.len() as f64;
         assert!(frac > 0.005 && frac < 0.15, "mooc over-l⊤ fraction {frac}");
 
         let msnbc = msnbc_like(20_000, 2);
-        let over = msnbc.sequences.iter().filter(|s| s.len() > MSNBC.l_top).count();
+        let over = msnbc
+            .sequences
+            .iter()
+            .filter(|s| s.len() > MSNBC.l_top)
+            .count();
         let frac = over as f64 / msnbc.len() as f64;
         assert!(frac > 0.005 && frac < 0.15, "msnbc over-l⊤ fraction {frac}");
     }

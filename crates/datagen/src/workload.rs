@@ -104,7 +104,11 @@ mod tests {
     fn queries_stay_inside_domain() {
         let dom = Rect::new(&[0.0, 0.0, 0.0, 0.0], &[1.0, 1.0, 1.0, 1.0]);
         for q in range_queries(&dom, QuerySize::Large, 300, 3) {
-            assert!(dom.contains_rect(&q.rect), "query {} escapes domain", q.rect);
+            assert!(
+                dom.contains_rect(&q.rect),
+                "query {} escapes domain",
+                q.rect
+            );
         }
     }
 

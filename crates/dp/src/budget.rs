@@ -40,7 +40,10 @@ impl Epsilon {
         if !(0.0..1.0).contains(&frac) || frac == 0.0 {
             return Err(DpError::InvalidEpsilon(frac));
         }
-        Ok((Epsilon::new(self.0 * frac)?, Epsilon::new(self.0 * (1.0 - frac))?))
+        Ok((
+            Epsilon::new(self.0 * frac)?,
+            Epsilon::new(self.0 * (1.0 - frac))?,
+        ))
     }
 }
 

@@ -32,7 +32,10 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
     if !max_u.is_finite() {
         return Err(DpError::EmptyCandidates);
     }
-    let weights: Vec<f64> = utilities.iter().map(|u| (coef * (u - max_u)).exp()).collect();
+    let weights: Vec<f64> = utilities
+        .iter()
+        .map(|u| (coef * (u - max_u)).exp())
+        .collect();
     Ok(sample_discrete(&weights, rng))
 }
 
@@ -58,7 +61,13 @@ pub fn weighted_exponential_mechanism<R: Rng + ?Sized>(
     let logs: Vec<f64> = utilities
         .iter()
         .zip(base_weights)
-        .map(|(u, w)| if *w > 0.0 { w.ln() + coef * u } else { f64::NEG_INFINITY })
+        .map(|(u, w)| {
+            if *w > 0.0 {
+                w.ln() + coef * u
+            } else {
+                f64::NEG_INFINITY
+            }
+        })
         .collect();
     let max_l = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if !max_l.is_finite() {

@@ -214,7 +214,10 @@ mod tests {
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - 2.0).abs() < 0.05, "mean = {mean}");
-        assert!((var - d.variance()).abs() / d.variance() < 0.03, "var = {var}");
+        assert!(
+            (var - d.variance()).abs() / d.variance() < 0.03,
+            "var = {var}"
+        );
     }
 
     #[test]

@@ -33,8 +33,8 @@ pub use laplace::Laplace;
 pub use mechanism::LaplaceMechanism;
 pub use quantile::dp_quantile;
 pub use rho::{
-    delta_for_fanout, privacy_cost_bound, privtree_scale_for_fanout, privtree_scale_for_gamma,
-    rho, rho_upper,
+    delta_for_fanout, privacy_cost_bound, privtree_scale_for_fanout, privtree_scale_for_gamma, rho,
+    rho_upper,
 };
 pub use rng::{seeded, SeededRng};
 

@@ -25,8 +25,16 @@ pub fn total_variation_distance(hist_p: &[f64], hist_q: &[f64]) -> f64 {
     let sum_q: f64 = hist_q.iter().sum();
     let mut tvd = 0.0;
     for i in 0..n {
-        let p = if sum_p > 0.0 { hist_p.get(i).copied().unwrap_or(0.0) / sum_p } else { 0.0 };
-        let q = if sum_q > 0.0 { hist_q.get(i).copied().unwrap_or(0.0) / sum_q } else { 0.0 };
+        let p = if sum_p > 0.0 {
+            hist_p.get(i).copied().unwrap_or(0.0) / sum_p
+        } else {
+            0.0
+        };
+        let q = if sum_q > 0.0 {
+            hist_q.get(i).copied().unwrap_or(0.0) / sum_q
+        } else {
+            0.0
+        };
         tvd += (p - q).abs();
     }
     0.5 * tvd
@@ -82,7 +90,7 @@ mod tests {
     fn tvd_handles_unequal_lengths_and_scales() {
         let p = vec![2.0, 2.0]; // uniform over {0,1}
         let q = vec![1.0, 1.0, 1.0, 1.0]; // uniform over {0..3}
-        // p = (.5,.5,0,0), q = (.25,.25,.25,.25) → TVD = .5(.25+.25+.25+.25) = .5
+                                          // p = (.5,.5,0,0), q = (.25,.25,.25,.25) → TVD = .5(.25+.25+.25+.25) = .5
         assert!((total_variation_distance(&p, &q) - 0.5).abs() < 1e-12);
     }
 

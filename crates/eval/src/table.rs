@@ -101,7 +101,8 @@ mod tests {
 
     #[test]
     fn renders_aligned_rows() {
-        let mut t = SeriesTable::new("Fig 5a: road - small", "epsilon", &[0.05, 0.1]).with_percent();
+        let mut t =
+            SeriesTable::new("Fig 5a: road - small", "epsilon", &[0.05, 0.1]).with_percent();
         t.push_row("PrivTree", vec![0.005, 0.003]);
         t.push_row("UG", vec![0.02, 0.012]);
         let s = t.render();

@@ -12,8 +12,10 @@
 //!
 //! Condition C1 of Section 4.2 — a predictor starting with `$` cannot be
 //! extended — maps to `split() == None`.
-
-use std::cell::RefCell;
+//!
+//! The shared occurrence array is a plain `Vec` owned by the domain (no
+//! `RefCell`): splits take `&mut self` per the [`TreeDomain`] contract,
+//! so [`PstDomain`] is `Send` and frontier levels can be split in batch.
 
 use privtree_core::domain::TreeDomain;
 
@@ -43,7 +45,7 @@ impl PstNode {
 /// The PST domain over a [`SequenceDataset`].
 pub struct PstDomain<'a> {
     data: &'a SequenceDataset,
-    occ: RefCell<Vec<(u32, u32)>>,
+    occ: Vec<(u32, u32)>,
 }
 
 impl<'a> PstDomain<'a> {
@@ -56,10 +58,7 @@ impl<'a> PstDomain<'a> {
                 occ.push((i as u32, j as u32));
             }
         }
-        Self {
-            data,
-            occ: RefCell::new(occ),
-        }
+        Self { data, occ }
     }
 
     /// The dataset.
@@ -71,8 +70,7 @@ impl<'a> PstDomain<'a> {
     /// (index `alphabet` is `&`).
     pub fn hist(&self, node: &PstNode) -> Vec<f64> {
         let mut h = vec![0.0f64; self.data.alphabet() + 1];
-        let occ = self.occ.borrow();
-        for &(seq, pos) in &occ[node.start as usize..node.end as usize] {
+        for &(seq, pos) in &self.occ[node.start as usize..node.end as usize] {
             let sym = self.data.padded(seq as usize)[pos as usize] as usize;
             debug_assert!(sym <= self.data.alphabet());
             h[sym] += 1.0;
@@ -96,7 +94,7 @@ impl TreeDomain for PstDomain<'_> {
             edge: None,
             c1_blocked: false,
             start: 0,
-            end: self.occ.borrow().len() as u32,
+            end: self.occ.len() as u32,
             depth: 0,
         }
     }
@@ -106,7 +104,7 @@ impl TreeDomain for PstDomain<'_> {
         self.data.alphabet() + 1
     }
 
-    fn split(&self, node: &PstNode) -> Option<Vec<PstNode>> {
+    fn split(&mut self, node: &PstNode) -> Option<Vec<PstNode>> {
         // C1: predictors starting with $ cannot grow
         if node.c1_blocked {
             return None;
@@ -120,8 +118,7 @@ impl TreeDomain for PstDomain<'_> {
         let k = alphabet + 1; // children: symbols 0..alphabet-1, then $
         let depth = node.depth as usize;
 
-        let mut occ = self.occ.borrow_mut();
-        let seg = &mut occ[node.start as usize..node.end as usize];
+        let seg = &mut self.occ[node.start as usize..node.end as usize];
 
         // classify: child = symbol at pos − depth − 1, or drop if the
         // context window leaves the padded sequence
@@ -210,10 +207,10 @@ mod tests {
     #[test]
     fn first_level_histograms_match_figure_3() {
         let data = figure3_data();
-        let dom = PstDomain::new(&data);
+        let mut dom = PstDomain::new(&data);
         let kids = dom.split(&dom.root()).unwrap();
         assert_eq!(kids.len(), 3); // A, B, $
-        // v3: dom = A, hist A:3 | B:3 | &:0
+                                   // v3: dom = A, hist A:3 | B:3 | &:0
         assert_eq!(dom.hist(&kids[0]), vec![3.0, 3.0, 0.0]);
         // v4: dom = B, hist A:0 | B:0 | &:4
         assert_eq!(dom.hist(&kids[1]), vec![0.0, 0.0, 4.0]);
@@ -224,10 +221,10 @@ mod tests {
     #[test]
     fn second_level_histograms_match_figure_3() {
         let data = figure3_data();
-        let dom = PstDomain::new(&data);
+        let mut dom = PstDomain::new(&data);
         let kids = dom.split(&dom.root()).unwrap();
         let a_kids = dom.split(&kids[0]).unwrap(); // children of dom = A
-        // v6: dom = AA, hist A:1 | B:2 | &:0
+                                                   // v6: dom = AA, hist A:1 | B:2 | &:0
         assert_eq!(dom.hist(&a_kids[0]), vec![1.0, 2.0, 0.0]);
         // v7: dom = BA — never occurs: A:0 | B:0 | &:0
         assert_eq!(dom.hist(&a_kids[1]), vec![0.0, 0.0, 0.0]);
@@ -238,7 +235,7 @@ mod tests {
     #[test]
     fn dollar_children_are_c1_blocked() {
         let data = figure3_data();
-        let dom = PstDomain::new(&data);
+        let mut dom = PstDomain::new(&data);
         let kids = dom.split(&dom.root()).unwrap();
         assert!(dom.split(&kids[2]).is_none(), "dom=$ must not split");
         assert!(dom.split(&kids[0]).is_some());
@@ -247,7 +244,7 @@ mod tests {
     #[test]
     fn score_is_monotone_under_split() {
         let data = figure3_data();
-        let dom = PstDomain::new(&data);
+        let mut dom = PstDomain::new(&data);
         let root = dom.root();
         let root_score = dom.score(&root);
         let kids = dom.split(&root).unwrap();
@@ -267,7 +264,7 @@ mod tests {
     #[test]
     fn child_magnitudes_do_not_exceed_parent() {
         let data = figure3_data();
-        let dom = PstDomain::new(&data);
+        let mut dom = PstDomain::new(&data);
         let root = dom.root();
         let kids = dom.split(&root).unwrap();
         let child_sum: usize = kids.iter().map(|k| k.occurrence_count()).sum();

@@ -111,7 +111,13 @@ mod tests {
         let exact = exact_topk(&data, 1, 6);
         let mut hits = 0;
         for rep in 0..10 {
-            let out = em_topk(&data, 1, 6, Epsilon::new(100.0).unwrap(), &mut seeded(10 + rep));
+            let out = em_topk(
+                &data,
+                1,
+                6,
+                Epsilon::new(100.0).unwrap(),
+                &mut seeded(10 + rep),
+            );
             if out[0] == exact[0] {
                 hits += 1;
             }

@@ -70,8 +70,7 @@ pub fn ngram_model<R: Rng + ?Sized>(
             break;
         }
         // count all frontier grams in one scan over `x1…xl (&)`
-        let mut level_counts: HashMap<u64, f64> =
-            frontier.iter().map(|g| (pack(g), 0.0)).collect();
+        let mut level_counts: HashMap<u64, f64> = frontier.iter().map(|g| (pack(g), 0.0)).collect();
         let glen = frontier[0].len();
         for i in 0..data.len() {
             let padded = data.padded(i);

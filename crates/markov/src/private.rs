@@ -36,26 +36,32 @@ pub fn private_pst<R: Rng + ?Sized>(
     let parts = epsilon.split(&[1.0, beta as f64 - 1.0])?;
     let (eps_tree, eps_hist) = (parts[0], parts[1]);
 
-    let domain = PstDomain::new(data);
+    let mut domain = PstDomain::new(data);
     let params =
         PrivTreeParams::from_epsilon_with_sensitivity(eps_tree, beta, data.l_top() as f64)?;
-    let tree = build_privtree(&domain, &params, rng)?;
+    let tree = build_privtree(&mut domain, &params, rng)?;
 
     // leaf histograms + Laplace(l⊤/ε_hist), summed upward, clamped
     let noise = Laplace::centered(data.l_top() as f64 / eps_hist.get())?;
-    Ok(assemble_model(data, &domain, tree, |h, rng| {
-        for c in h.iter_mut() {
-            *c += noise.sample(rng);
-        }
-    }, rng))
+    Ok(assemble_model(
+        data,
+        &domain,
+        tree,
+        |h, rng| {
+            for c in h.iter_mut() {
+                *c += noise.sample(rng);
+            }
+        },
+        rng,
+    ))
 }
 
 /// Build the noise-free PST that splits every node with score above
 /// `theta` (the reference model for tests and the non-private upper
 /// bound).
 pub fn exact_pst(data: &SequenceDataset, theta: f64, max_depth: Option<u32>) -> PstModel {
-    let domain = PstDomain::new(data);
-    let tree = nonprivate_tree(&domain, theta, max_depth);
+    let mut domain = PstDomain::new(data);
+    let tree = nonprivate_tree(&mut domain, theta, max_depth);
     let mut rng = privtree_dp::rng::seeded(0); // unused by the no-op noiser
     assemble_model(data, &domain, tree, |_h, _rng| {}, &mut rng)
 }
@@ -205,12 +211,14 @@ mod tests {
         let mut small_eps_nodes = 0;
         let mut large_eps_nodes = 0;
         for rep in 0..5 {
-            small_eps_nodes += private_pst(&data, Epsilon::new(0.05).unwrap(), &mut seeded(10 + rep))
-                .unwrap()
-                .node_count();
-            large_eps_nodes += private_pst(&data, Epsilon::new(8.0).unwrap(), &mut seeded(20 + rep))
-                .unwrap()
-                .node_count();
+            small_eps_nodes +=
+                private_pst(&data, Epsilon::new(0.05).unwrap(), &mut seeded(10 + rep))
+                    .unwrap()
+                    .node_count();
+            large_eps_nodes +=
+                private_pst(&data, Epsilon::new(8.0).unwrap(), &mut seeded(20 + rep))
+                    .unwrap()
+                    .node_count();
         }
         assert!(
             small_eps_nodes <= large_eps_nodes,

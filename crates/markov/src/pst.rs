@@ -38,7 +38,9 @@ pub fn synthesize_dataset<M: SequenceModel, R: Rng + ?Sized>(
     max_len: usize,
     rng: &mut R,
 ) -> Vec<Vec<u8>> {
-    (0..n).map(|_| model.sample_sequence(rng, max_len)).collect()
+    (0..n)
+        .map(|_| model.sample_sequence(rng, max_len))
+        .collect()
 }
 
 /// Payload of a released PST node: the edge symbol that was prepended to

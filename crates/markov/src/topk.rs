@@ -53,7 +53,11 @@ pub fn exact_topk(data: &SequenceDataset, k: usize, max_len: usize) -> Vec<Vec<u
     let counts = substring_counts(data, max_len);
     let mut entries: Vec<(u64, u64)> = counts.into_iter().collect();
     entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    entries.into_iter().take(k).map(|(key, _)| unpack(key)).collect()
+    entries
+        .into_iter()
+        .take(k)
+        .map(|(key, _)| unpack(key))
+        .collect()
 }
 
 #[derive(PartialEq)]
@@ -129,16 +133,7 @@ mod tests {
 
     fn tiny_data() -> SequenceDataset {
         // "00" dominates, then "01"
-        SequenceDataset::new(
-            &[
-                vec![0, 0, 0],
-                vec![0, 0, 1],
-                vec![0, 1],
-                vec![1],
-            ],
-            2,
-            50,
-        )
+        SequenceDataset::new(&[vec![0, 0, 0], vec![0, 0, 1], vec![0, 1], vec![1]], 2, 50)
     }
 
     #[test]
@@ -168,8 +163,8 @@ mod tests {
         let top = exact_topk(&data, 4, 3);
         assert_eq!(top[0], vec![0]);
         assert_eq!(top[1], vec![1]); // 3 occurrences, ties with "00"…
-        // "1" (count 3) and "00" (count 3) tie; packed-key order puts the
-        // shorter string first
+                                     // "1" (count 3) and "00" (count 3) tie; packed-key order puts the
+                                     // shorter string first
         assert_eq!(top[2], vec![0, 0]);
         assert_eq!(top[3], vec![0, 1]);
     }
@@ -212,10 +207,7 @@ mod tests {
         let model = exact_pst(&data, 0.0, Some(8));
         let exact = exact_topk(&data, 20, 6);
         let estimated = model_topk(&model, 20, 6);
-        let hits = estimated
-            .iter()
-            .filter(|s| exact.contains(s))
-            .count();
+        let hits = estimated.iter().filter(|s| exact.contains(s)).count();
         assert!(
             hits >= 14,
             "noise-free model should recover most of the exact top-20, got {hits}"

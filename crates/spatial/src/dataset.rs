@@ -25,7 +25,11 @@ impl PointSet {
     /// `dims`).
     pub fn from_flat(dims: usize, coords: Vec<f64>) -> Self {
         assert!((1..=crate::MAX_DIMS).contains(&dims));
-        assert_eq!(coords.len() % dims, 0, "flat buffer length not a multiple of dims");
+        assert_eq!(
+            coords.len() % dims,
+            0,
+            "flat buffer length not a multiple of dims"
+        );
         Self { coords, dims }
     }
 
@@ -82,7 +86,11 @@ impl PointSet {
         for k in 0..d {
             // widen so max-coordinate points satisfy the half-open bound
             let widened = hi[k] + (hi[k] - lo[k]) * 1e-9;
-            hi[k] = if widened > hi[k] { widened } else { hi[k].next_up() };
+            hi[k] = if widened > hi[k] {
+                widened
+            } else {
+                hi[k].next_up()
+            };
         }
         Some(Rect::new(&lo, &hi))
     }

@@ -1,0 +1,326 @@
+//! A read-optimized, structure-of-arrays view of a released synopsis.
+//!
+//! [`crate::synopsis::SpatialSynopsis`] answers queries by walking a
+//! `Tree<Rect>` — fine for one-off questions, but every visit chases a
+//! node entry holding a padded [`Rect`] (two `[f64; MAX_DIMS]` corners)
+//! plus tree bookkeeping. A serving system that answers millions of
+//! range-count queries over one immutable release wants the opposite
+//! layout: the release is frozen once into parallel flat arrays
+//! (`lo`/`hi` coordinates packed at the *actual* dimensionality, child
+//! ranges, counts) and every query runs an allocation-free iterative
+//! traversal over them. [`FrozenSynopsis::answer_batch`] additionally
+//! reuses one traversal stack across a whole workload.
+//!
+//! Freezing is lossless: [`FrozenSynopsis::thaw`] reconstructs the exact
+//! tree (same arena order), and the answers agree with the tree-walk to
+//! floating-point reassociation error (≪ 1e-9; property-tested in
+//! `tests/proptest_invariants.rs`).
+
+use privtree_core::tree::{NodeId, Tree};
+
+use crate::geom::Rect;
+use crate::query::{RangeCountSynopsis, RangeQuery};
+use crate::synopsis::SpatialSynopsis;
+
+/// A flattened, immutable synopsis: one release, many fast reads.
+#[derive(Debug, Clone)]
+pub struct FrozenSynopsis {
+    dims: usize,
+    /// Lower corners, packed `dims` coordinates per node.
+    lo: Vec<f64>,
+    /// Upper corners, packed `dims` coordinates per node.
+    hi: Vec<f64>,
+    /// Arena index of each node's first child (0 for leaves).
+    first_child: Vec<u32>,
+    /// Number of children (0 for leaves).
+    child_count: Vec<u32>,
+    /// Released per-node counts, arena order.
+    counts: Vec<f64>,
+    label: &'static str,
+}
+
+impl FrozenSynopsis {
+    /// Flatten a released tree + arena-aligned counts.
+    pub fn from_tree(tree: &Tree<Rect>, counts: &[f64], label: &'static str) -> Self {
+        assert_eq!(tree.len(), counts.len(), "one count per node");
+        let n = tree.len();
+        let dims = tree.payload(tree.root()).dims();
+        let mut lo = Vec::with_capacity(n * dims);
+        let mut hi = Vec::with_capacity(n * dims);
+        let mut first_child = Vec::with_capacity(n);
+        let mut child_count = Vec::with_capacity(n);
+        for id in tree.ids() {
+            let rect = tree.payload(id);
+            debug_assert_eq!(rect.dims(), dims, "mixed dimensionality");
+            lo.extend_from_slice(rect.lo());
+            hi.extend_from_slice(rect.hi());
+            let mut kids = tree.children(id);
+            match kids.next() {
+                Some(first) => {
+                    first_child.push(first.index() as u32);
+                    child_count.push(1 + kids.count() as u32);
+                }
+                None => {
+                    first_child.push(0);
+                    child_count.push(0);
+                }
+            }
+        }
+        Self {
+            dims,
+            lo,
+            hi,
+            first_child,
+            child_count,
+            counts: counts.to_vec(),
+            label,
+        }
+    }
+
+    /// Freeze a tree-walk synopsis.
+    pub fn freeze(synopsis: &SpatialSynopsis) -> Self {
+        Self::from_tree(synopsis.tree(), synopsis.counts(), synopsis.label())
+    }
+
+    /// Number of nodes in the decomposition.
+    pub fn node_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Dimensionality of the domain.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Released per-node counts in arena order.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Lower corner of a node's region.
+    pub fn node_lo(&self, index: usize) -> &[f64] {
+        &self.lo[index * self.dims..(index + 1) * self.dims]
+    }
+
+    /// Upper corner of a node's region.
+    pub fn node_hi(&self, index: usize) -> &[f64] {
+        &self.hi[index * self.dims..(index + 1) * self.dims]
+    }
+
+    /// Reconstruct the pointer-walk synopsis (exact inverse of
+    /// [`FrozenSynopsis::freeze`], same arena order).
+    pub fn thaw(&self) -> SpatialSynopsis {
+        let rect_of = |i: usize| Rect::new(self.node_lo(i), self.node_hi(i));
+        let mut tree = Tree::with_root(rect_of(0));
+        // child blocks are appended in ascending first_child order, which
+        // reproduces the original arena layout exactly
+        let mut internal: Vec<usize> = (0..self.node_count())
+            .filter(|&i| self.child_count[i] > 0)
+            .collect();
+        internal.sort_unstable_by_key(|&i| self.first_child[i]);
+        for parent in internal {
+            let first = self.first_child[parent] as usize;
+            let count = self.child_count[parent] as usize;
+            let children: Vec<Rect> = (first..first + count).map(rect_of).collect();
+            let ids = tree.add_children(NodeId::from_index(parent), children);
+            assert_eq!(
+                ids.first().map(|id| id.index()),
+                Some(first),
+                "frozen child ranges are not a valid arena layout"
+            );
+        }
+        SpatialSynopsis::from_parts(tree, self.counts.clone(), self.label)
+    }
+
+    /// The Section 2.2 traversal over the flat arrays, with a
+    /// caller-provided stack so batches allocate nothing per query.
+    fn answer_with_stack(&self, q: &Rect, stack: &mut Vec<u32>) -> f64 {
+        debug_assert_eq!(q.dims(), self.dims);
+        let d = self.dims;
+        let (qlo, qhi) = (q.lo(), q.hi());
+        let mut acc = 0.0;
+        stack.clear();
+        stack.push(0);
+        while let Some(v) = stack.pop() {
+            let i = v as usize;
+            let nlo = &self.lo[i * d..(i + 1) * d];
+            let nhi = &self.hi[i * d..(i + 1) * d];
+            // case 1: disjoint — ignore (shared edges do not overlap)
+            if (0..d).any(|k| nlo[k] >= qhi[k] || qlo[k] >= nhi[k]) {
+                continue;
+            }
+            // case 2: node fully inside the query — take its count
+            if (0..d).all(|k| nlo[k] >= qlo[k] && nhi[k] <= qhi[k]) {
+                acc += self.counts[i];
+                continue;
+            }
+            let children = self.child_count[i];
+            if children > 0 {
+                // case 3: partial overlap, internal — visit children in
+                // arena order (pushed reversed so they pop in order,
+                // keeping the summation order of the tree walk)
+                let first = self.first_child[i];
+                for c in (first..first + children).rev() {
+                    stack.push(c);
+                }
+            } else {
+                // case 4: partial overlap, leaf — uniform assumption
+                let mut volume = 1.0;
+                let mut overlap = 1.0;
+                for k in 0..d {
+                    volume *= nhi[k] - nlo[k];
+                    overlap *= nhi[k].min(qhi[k]) - nlo[k].max(qlo[k]);
+                }
+                if volume > 0.0 {
+                    acc += self.counts[i] * overlap / volume;
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl RangeCountSynopsis for FrozenSynopsis {
+    fn answer(&self, q: &RangeQuery) -> f64 {
+        let mut stack = Vec::with_capacity(64);
+        self.answer_with_stack(&q.rect, &mut stack)
+    }
+
+    fn answer_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
+        let mut stack = Vec::with_capacity(64);
+        queries
+            .iter()
+            .map(|q| self.answer_with_stack(&q.rect, &mut stack))
+            .collect()
+    }
+
+    fn label(&self) -> &'static str {
+        self.label
+    }
+}
+
+impl From<&SpatialSynopsis> for FrozenSynopsis {
+    fn from(synopsis: &SpatialSynopsis) -> Self {
+        Self::freeze(synopsis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PointSet;
+    use crate::quadtree::SplitConfig;
+    use crate::synopsis::{exact_synopsis, privtree_synopsis};
+    use privtree_dp::budget::Epsilon;
+    use privtree_dp::rng::seeded;
+    use rand::RngExt;
+
+    fn clustered(n: usize, seed: u64) -> PointSet {
+        let mut rng = seeded(seed);
+        let mut ps = PointSet::new(2);
+        for i in 0..n {
+            if i % 7 == 0 {
+                ps.push(&[rng.random::<f64>(), rng.random::<f64>()]);
+            } else {
+                ps.push(&[
+                    0.3 + rng.random::<f64>() * 0.05,
+                    0.6 + rng.random::<f64>() * 0.05,
+                ]);
+            }
+        }
+        ps
+    }
+
+    fn sample_synopsis(seed: u64) -> SpatialSynopsis {
+        privtree_synopsis(
+            &clustered(4000, seed),
+            Rect::unit(2),
+            SplitConfig::full(2),
+            Epsilon::new(1.0).unwrap(),
+            &mut seeded(seed),
+        )
+        .unwrap()
+    }
+
+    fn random_queries(n: usize, seed: u64) -> Vec<RangeQuery> {
+        let mut rng = seeded(seed);
+        (0..n)
+            .map(|_| {
+                let cx = rng.random::<f64>() * 0.8;
+                let cy = rng.random::<f64>() * 0.8;
+                let w = 0.01 + rng.random::<f64>() * 0.2;
+                RangeQuery::new(Rect::new(&[cx, cy], &[cx + w, cy + w]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frozen_matches_tree_walk() {
+        let syn = sample_synopsis(1);
+        let frozen = FrozenSynopsis::freeze(&syn);
+        assert_eq!(frozen.node_count(), syn.node_count());
+        for q in random_queries(200, 2) {
+            let a = syn.answer(&q);
+            let b = frozen.answer(&q);
+            assert!((a - b).abs() < 1e-9, "tree {a} vs frozen {b} on {}", q.rect);
+        }
+    }
+
+    #[test]
+    fn answer_batch_matches_answer() {
+        let frozen = FrozenSynopsis::freeze(&sample_synopsis(3));
+        let queries = random_queries(128, 4);
+        let batch = frozen.answer_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(frozen.answer(q), *b, "batch diverges on {}", q.rect);
+        }
+    }
+
+    #[test]
+    fn thaw_round_trips_exactly() {
+        let syn = sample_synopsis(5);
+        let frozen = FrozenSynopsis::freeze(&syn);
+        let thawed = frozen.thaw();
+        assert_eq!(thawed.node_count(), syn.node_count());
+        assert_eq!(thawed.counts(), syn.counts());
+        let tree_a = syn.tree();
+        let tree_b = thawed.tree();
+        for id in tree_a.ids() {
+            assert_eq!(tree_a.payload(id), tree_b.payload(id));
+            assert_eq!(tree_a.parent(id), tree_b.parent(id));
+            assert_eq!(
+                tree_a.children(id).collect::<Vec<_>>(),
+                tree_b.children(id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_synopsis_stays_exact_when_frozen() {
+        let ps = clustered(3000, 9);
+        let syn = exact_synopsis(&ps, Rect::unit(2), SplitConfig::full(2), 20.0, None);
+        let frozen = FrozenSynopsis::freeze(&syn);
+        for q in [
+            Rect::new(&[0.0, 0.0], &[0.5, 0.5]),
+            Rect::new(&[0.25, 0.5], &[0.5, 0.75]),
+            Rect::unit(2),
+        ] {
+            let est = frozen.answer(&RangeQuery::new(q));
+            let truth = ps.count_in(&q) as f64;
+            assert!((est - truth).abs() < 1e-9, "query {q}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn single_node_release() {
+        let tree = Tree::with_root(Rect::unit(2));
+        let frozen = FrozenSynopsis::from_tree(&tree, &[7.5], "tiny");
+        let whole = frozen.answer(&RangeQuery::new(Rect::unit(2)));
+        assert_eq!(whole, 7.5);
+        let half = frozen.answer(&RangeQuery::new(Rect::new(&[0.0, 0.0], &[0.5, 1.0])));
+        assert!((half - 3.75).abs() < 1e-12, "uniform scaling on the root");
+        let thawed = frozen.thaw();
+        assert_eq!(thawed.node_count(), 1);
+    }
+}

@@ -23,7 +23,9 @@ impl Rect {
         assert_eq!(lo.len(), hi.len(), "lo/hi dimension mismatch");
         assert!(!lo.is_empty() && lo.len() <= MAX_DIMS, "bad dimensionality");
         assert!(
-            lo.iter().zip(hi).all(|(a, b)| a <= b && a.is_finite() && b.is_finite()),
+            lo.iter()
+                .zip(hi)
+                .all(|(a, b)| a <= b && a.is_finite() && b.is_finite()),
             "lo must be <= hi and finite"
         );
         let mut l = [0.0; MAX_DIMS];

@@ -122,7 +122,10 @@ impl GridIndex {
         let mut total = 0u64;
         loop {
             let rect = self.cell_rect(&cell);
-            let flat = cell.iter().zip(&self.bins).fold(0usize, |acc, (c, b)| acc * b + c);
+            let flat = cell
+                .iter()
+                .zip(&self.bins)
+                .fold(0usize, |acc, (c, b)| acc * b + c);
             if q.contains_rect(&rect) {
                 total += self.counts[flat] as u64;
             } else if rect.intersects(q) {

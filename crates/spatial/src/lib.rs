@@ -6,14 +6,19 @@
 //! * [`index`] — a bucket-grid index for *exact* range counts (ground truth
 //!   for the 10,000-query workloads of Section 6.1).
 //! * [`quadtree`] — the quadtree / 2^i-ary [`privtree_core::TreeDomain`]
-//!   with in-place point partitioning.
-//! * [`query`] — range-count queries.
+//!   with in-place point partitioning; `RefCell`-free, `Send`, and able
+//!   to split a whole frontier level as one (optionally threaded) batch.
+//! * [`query`] — range-count queries and the `answer`/`answer_batch`
+//!   synopsis interface.
+//! * [`frozen`] — [`frozen::FrozenSynopsis`], the read-optimized
+//!   structure-of-arrays flattening of a release for serving workloads.
 //! * [`serialize`] — plain-text export/import of released synopses.
 //! * [`synopsis`] — private spatial synopses: PrivTree + noisy leaf counts
 //!   (Section 3.4) or SimpleTree with its own per-node counts, answered
 //!   with the 4-case top-down traversal of Section 2.2.
 
 pub mod dataset;
+pub mod frozen;
 pub mod geom;
 pub mod index;
 pub mod quadtree;
@@ -22,13 +27,12 @@ pub mod serialize;
 pub mod synopsis;
 
 pub use dataset::PointSet;
+pub use frozen::FrozenSynopsis;
 pub use geom::Rect;
 pub use index::GridIndex;
 pub use quadtree::{QuadDomain, QuadNode, SplitConfig};
 pub use query::{RangeCountSynopsis, RangeQuery};
-pub use synopsis::{
-    exact_synopsis, privtree_synopsis, simple_tree_synopsis, SpatialSynopsis,
-};
+pub use synopsis::{exact_synopsis, privtree_synopsis, simple_tree_synopsis, SpatialSynopsis};
 
 /// Maximum supported dimensionality (the paper's datasets are 2-d and 4-d;
 /// fixed-size arrays keep geometry allocation-free).

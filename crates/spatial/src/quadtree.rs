@@ -6,8 +6,15 @@
 //! ablation of Appendix C / Figure 8) and partitions the segment in place.
 //! Scores (point counts) are segment lengths — O(1) — and total memory
 //! stays O(n) no matter how deep the tree grows.
-
-use std::cell::RefCell;
+//!
+//! The permutation is a plain `Vec<u32>` owned by the domain (no
+//! `RefCell`): [`TreeDomain::split`] takes `&mut self`, so [`QuadDomain`]
+//! is `Send` and a whole frontier level can be split as one batch. The
+//! segments of a frontier are pairwise disjoint and (in builder order)
+//! ascending, so [`QuadDomain::split_frontier`] carves the permutation
+//! into independent sub-slices — and, under the `parallel` feature, fans
+//! them out across threads with `std::thread::scope` (deterministic:
+//! results are joined in input order and no randomness is involved).
 
 use privtree_core::domain::TreeDomain;
 
@@ -43,6 +50,12 @@ impl SplitConfig {
             depth_floor: 120,
         }
     }
+
+    fn split_dims(&self, cursor: u8, dims: usize) -> Vec<usize> {
+        (0..self.arity_log2)
+            .map(|i| (cursor as usize + i) % dims)
+            .collect()
+    }
 }
 
 /// A node of the quadtree domain: a box plus a segment `[start, end)` of
@@ -66,12 +79,66 @@ impl QuadNode {
     }
 }
 
-/// The spatial [`TreeDomain`]. Holds the dataset by reference and a
-/// `RefCell`ed permutation that splits reorder in place (builds are
-/// single-threaded, matching Algorithm 2's sequential queue).
+/// Partition one node's permutation segment by child region and emit the
+/// children. Free function so batch splitting can run on disjoint
+/// sub-slices without borrowing the whole domain.
+fn split_segment(
+    data: &PointSet,
+    config: &SplitConfig,
+    node: &QuadNode,
+    seg: &mut [u32],
+) -> Option<Vec<QuadNode>> {
+    if node.depth >= config.depth_floor {
+        return None;
+    }
+    debug_assert_eq!(seg.len(), node.count());
+    let dims = config.split_dims(node.axis_cursor, data.dims());
+    let child_rects = node.rect.bisect(&dims);
+    let k = child_rects.len();
+
+    // classify the node's points into children and rewrite the segment
+    // grouped by child (counting sort, stable within groups)
+    let mut sizes = vec![0u32; k];
+    let mut labels = Vec::with_capacity(seg.len());
+    for &pid in seg.iter() {
+        let j = node.rect.child_index_of(&dims, data.point(pid as usize));
+        labels.push(j as u8);
+        sizes[j] += 1;
+    }
+    let mut offsets = vec![0u32; k + 1];
+    for j in 0..k {
+        offsets[j + 1] = offsets[j] + sizes[j];
+    }
+    let mut scratch = vec![0u32; seg.len()];
+    let mut cursor = offsets.clone();
+    for (i, &pid) in seg.iter().enumerate() {
+        let j = labels[i] as usize;
+        scratch[cursor[j] as usize] = pid;
+        cursor[j] += 1;
+    }
+    seg.copy_from_slice(&scratch);
+
+    let next_cursor = ((node.axis_cursor as usize + config.arity_log2) % data.dims()) as u8;
+    Some(
+        child_rects
+            .into_iter()
+            .enumerate()
+            .map(|(j, rect)| QuadNode {
+                rect,
+                start: node.start + offsets[j],
+                end: node.start + offsets[j + 1],
+                depth: node.depth + 1,
+                axis_cursor: next_cursor,
+            })
+            .collect(),
+    )
+}
+
+/// The spatial [`TreeDomain`]. Holds the dataset by reference and owns
+/// the point permutation that splits reorder in place.
 pub struct QuadDomain<'a> {
     data: &'a PointSet,
-    perm: RefCell<Vec<u32>>,
+    perm: Vec<u32>,
     root_rect: Rect,
     config: SplitConfig,
 }
@@ -83,7 +150,7 @@ impl<'a> QuadDomain<'a> {
         assert_eq!(root_rect.dims(), data.dims());
         Self {
             data,
-            perm: RefCell::new((0..data.len() as u32).collect()),
+            perm: (0..data.len() as u32).collect(),
             root_rect,
             config,
         }
@@ -102,13 +169,6 @@ impl<'a> QuadDomain<'a> {
     /// The dataset.
     pub fn data(&self) -> &PointSet {
         self.data
-    }
-
-    fn split_dims(&self, cursor: u8) -> Vec<usize> {
-        let d = self.data.dims();
-        (0..self.config.arity_log2)
-            .map(|i| (cursor as usize + i) % d)
-            .collect()
     }
 }
 
@@ -129,58 +189,116 @@ impl TreeDomain for QuadDomain<'_> {
         1 << self.config.arity_log2
     }
 
-    fn split(&self, node: &QuadNode) -> Option<Vec<QuadNode>> {
-        if node.depth >= self.config.depth_floor {
-            return None;
-        }
-        let dims = self.split_dims(node.axis_cursor);
-        let child_rects = node.rect.bisect(&dims);
-        let k = child_rects.len();
+    fn split(&mut self, node: &QuadNode) -> Option<Vec<QuadNode>> {
+        let seg = &mut self.perm[node.start as usize..node.end as usize];
+        split_segment(self.data, &self.config, node, seg)
+    }
 
-        // classify the node's points into children and rewrite the segment
-        // grouped by child (counting sort, stable within groups)
-        let mut perm = self.perm.borrow_mut();
-        let seg = &mut perm[node.start as usize..node.end as usize];
-        let mut sizes = vec![0u32; k];
-        let mut labels = Vec::with_capacity(seg.len());
-        for &pid in seg.iter() {
-            let j = node.rect.child_index_of(&dims, self.data.point(pid as usize));
-            labels.push(j as u8);
-            sizes[j] += 1;
+    /// Batch split: carve the permutation into the frontier's disjoint
+    /// segments and process them independently. Builders present frontier
+    /// nodes in arena order, which for this domain is ascending segment
+    /// order; if a caller passes overlapping or unordered nodes we fall
+    /// back to the sequential per-node path.
+    fn split_frontier(&mut self, nodes: &[&QuadNode]) -> Vec<Option<Vec<QuadNode>>> {
+        let disjoint_ascending = nodes.windows(2).all(|w| w[0].end <= w[1].start);
+        if !disjoint_ascending {
+            return nodes.iter().map(|n| self.split(n)).collect();
         }
-        let mut offsets = vec![0u32; k + 1];
-        for j in 0..k {
-            offsets[j + 1] = offsets[j] + sizes[j];
-        }
-        let mut scratch = vec![0u32; seg.len()];
-        let mut cursor = offsets.clone();
-        for (i, &pid) in seg.iter().enumerate() {
-            let j = labels[i] as usize;
-            scratch[cursor[j] as usize] = pid;
-            cursor[j] += 1;
-        }
-        seg.copy_from_slice(&scratch);
 
-        let next_cursor =
-            ((node.axis_cursor as usize + self.config.arity_log2) % self.data.dims()) as u8;
-        Some(
-            child_rects
-                .into_iter()
-                .enumerate()
-                .map(|(j, rect)| QuadNode {
-                    rect,
-                    start: node.start + offsets[j],
-                    end: node.start + offsets[j + 1],
-                    depth: node.depth + 1,
-                    axis_cursor: next_cursor,
-                })
-                .collect(),
-        )
+        // carve pairwise-disjoint mutable sub-slices, one per node
+        let mut jobs: Vec<(&QuadNode, &mut [u32])> = Vec::with_capacity(nodes.len());
+        let mut rest = self.perm.as_mut_slice();
+        let mut base = 0u32;
+        for &node in nodes {
+            let tmp = std::mem::take(&mut rest);
+            let (_, tail) = tmp.split_at_mut((node.start - base) as usize);
+            let (seg, tail) = tail.split_at_mut(node.count());
+            jobs.push((node, seg));
+            rest = tail;
+            base = node.end;
+        }
+
+        run_split_jobs(self.data, &self.config, jobs)
     }
 
     fn score(&self, node: &QuadNode) -> f64 {
         node.count() as f64
     }
+}
+
+/// Execute the per-segment split jobs sequentially.
+#[cfg(not(feature = "parallel"))]
+fn run_split_jobs(
+    data: &PointSet,
+    config: &SplitConfig,
+    jobs: Vec<(&QuadNode, &mut [u32])>,
+) -> Vec<Option<Vec<QuadNode>>> {
+    jobs.into_iter()
+        .map(|(node, seg)| split_segment(data, config, node, seg))
+        .collect()
+}
+
+/// Execute the per-segment split jobs across threads when the level holds
+/// enough work to amortize spawning. Output order always equals input
+/// order, so the result is identical to the sequential path.
+#[cfg(feature = "parallel")]
+fn run_split_jobs(
+    data: &PointSet,
+    config: &SplitConfig,
+    jobs: Vec<(&QuadNode, &mut [u32])>,
+) -> Vec<Option<Vec<QuadNode>>> {
+    /// Spawn threads only when a level moves at least this many points.
+    const PARALLEL_POINT_THRESHOLD: usize = 1 << 15;
+
+    let total_points: usize = jobs.iter().map(|(_, seg)| seg.len()).sum();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.len());
+    if threads <= 1 || total_points < PARALLEL_POINT_THRESHOLD {
+        return jobs
+            .into_iter()
+            .map(|(node, seg)| split_segment(data, config, node, seg))
+            .collect();
+    }
+
+    // contiguous chunks balanced by *point* count, not node count —
+    // PrivTree levels are heavily skewed (one dense segment can hold
+    // most of the data), so equal-node chunks would serialize on one
+    // thread. Joined in input order for determinism.
+    let target = total_points.div_ceil(threads);
+    let mut chunks: Vec<Vec<(&QuadNode, &mut [u32])>> = Vec::new();
+    let mut current: Vec<(&QuadNode, &mut [u32])> = Vec::new();
+    let mut current_points = 0usize;
+    for job in jobs {
+        current_points += job.1.len();
+        current.push(job);
+        if current_points >= target && chunks.len() + 1 < threads {
+            chunks.push(std::mem::take(&mut current));
+            current_points = 0;
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|(node, seg)| split_segment(data, config, node, seg))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("split worker panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -200,10 +318,19 @@ mod tests {
         ps
     }
 
+    /// The refactor's point: the domain no longer hides scratch state
+    /// behind a `RefCell`, so it is `Send` (and `Sync`).
+    #[test]
+    fn quad_domain_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuadDomain<'static>>();
+        assert_send_sync::<QuadNode>();
+    }
+
     #[test]
     fn split_partitions_points_exactly() {
         let ps = random_points(1000, 2, 1);
-        let dom = QuadDomain::quadtree(&ps, Rect::unit(2));
+        let mut dom = QuadDomain::quadtree(&ps, Rect::unit(2));
         let root = dom.root();
         assert_eq!(dom.score(&root), 1000.0);
         let kids = dom.split(&root).unwrap();
@@ -212,8 +339,7 @@ mod tests {
         assert_eq!(total, 1000.0);
         // every child's points actually lie in its rect
         for child in &kids {
-            let perm = dom.perm.borrow();
-            for &pid in &perm[child.start as usize..child.end as usize] {
+            for &pid in &dom.perm[child.start as usize..child.end as usize] {
                 assert!(child.rect.contains_point(ps.point(pid as usize)));
             }
         }
@@ -222,7 +348,7 @@ mod tests {
     #[test]
     fn deep_split_keeps_segments_consistent() {
         let ps = random_points(500, 2, 2);
-        let dom = QuadDomain::quadtree(&ps, Rect::unit(2));
+        let mut dom = QuadDomain::quadtree(&ps, Rect::unit(2));
         // split three levels along the first child each time
         let mut node = dom.root();
         for _ in 0..3 {
@@ -233,16 +359,59 @@ mod tests {
             node = kids.into_iter().max_by_key(|k| k.count()).unwrap();
         }
         // every point in the final segment is inside its rect
-        let perm = dom.perm.borrow();
-        for &pid in &perm[node.start as usize..node.end as usize] {
+        for &pid in &dom.perm[node.start as usize..node.end as usize] {
             assert!(node.rect.contains_point(ps.point(pid as usize)));
+        }
+    }
+
+    /// Batch splitting a frontier gives the same children (and the same
+    /// permutation) as splitting node by node.
+    #[test]
+    fn split_frontier_matches_sequential_splits() {
+        let ps = random_points(4000, 2, 9);
+        let mut batch_dom = QuadDomain::quadtree(&ps, Rect::unit(2));
+        let mut seq_dom = QuadDomain::quadtree(&ps, Rect::unit(2));
+
+        // two levels deep: frontier = all grandchildren of the root
+        let root = batch_dom.root();
+        let level1 = batch_dom.split(&root).unwrap();
+        seq_dom.split(&seq_dom.root()).unwrap();
+        let refs: Vec<&QuadNode> = level1.iter().collect();
+        let batch = batch_dom.split_frontier(&refs);
+        let sequential: Vec<Option<Vec<QuadNode>>> =
+            level1.iter().map(|n| seq_dom.split(n)).collect();
+
+        assert_eq!(batch.len(), sequential.len());
+        for (b, s) in batch.iter().zip(&sequential) {
+            let (b, s) = (b.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(b.len(), s.len());
+            for (bn, sn) in b.iter().zip(s) {
+                assert_eq!(bn.rect, sn.rect);
+                assert_eq!((bn.start, bn.end), (sn.start, sn.end));
+            }
+        }
+        assert_eq!(batch_dom.perm, seq_dom.perm, "permutations diverged");
+    }
+
+    #[test]
+    fn split_frontier_handles_sparse_unordered_input() {
+        let ps = random_points(2000, 2, 11);
+        let mut dom = QuadDomain::quadtree(&ps, Rect::unit(2));
+        let kids = dom.split(&dom.root()).unwrap();
+        // reversed order exercises the sequential fallback
+        let refs: Vec<&QuadNode> = kids.iter().rev().collect();
+        let out = dom.split_frontier(&refs);
+        for (node, children) in refs.iter().zip(&out) {
+            let children = children.as_ref().unwrap();
+            let total: usize = children.iter().map(|c| c.count()).sum();
+            assert_eq!(total, node.count());
         }
     }
 
     #[test]
     fn round_robin_split_cycles_axes() {
         let ps = random_points(100, 4, 3);
-        let dom = QuadDomain::new(&ps, Rect::unit(4), SplitConfig::partial(2));
+        let mut dom = QuadDomain::new(&ps, Rect::unit(4), SplitConfig::partial(2));
         assert_eq!(dom.fanout(), 4);
         let root = dom.root();
         let kids = dom.split(&root).unwrap();
@@ -260,7 +429,7 @@ mod tests {
     #[test]
     fn depth_floor_stops_splits() {
         let ps = PointSet::from_flat(2, [0.5, 0.5].repeat(100));
-        let dom = QuadDomain::new(
+        let mut dom = QuadDomain::new(
             &ps,
             Rect::unit(2),
             SplitConfig {
@@ -268,7 +437,7 @@ mod tests {
                 depth_floor: 2,
             },
         );
-        let tree = nonprivate_tree(&dom, 0.0, None);
+        let tree = nonprivate_tree(&mut dom, 0.0, None);
         assert!(tree.max_depth() <= 2);
     }
 
@@ -282,8 +451,8 @@ mod tests {
             ps.push(&[rng.random::<f64>() * 0.1, rng.random::<f64>() * 0.1]);
         }
         ps.push(&[0.9, 0.9]);
-        let dom = QuadDomain::quadtree(&ps, Rect::unit(2));
-        let tree = nonprivate_tree(&dom, 50.0, None);
+        let mut dom = QuadDomain::quadtree(&ps, Rect::unit(2));
+        let tree = nonprivate_tree(&mut dom, 50.0, None);
         assert!(tree.max_depth() >= 3, "depth = {}", tree.max_depth());
         // leaves partition the root count
         let leaf_total: f64 = tree.leaf_ids().map(|id| dom.score(tree.payload(id))).sum();
@@ -293,7 +462,7 @@ mod tests {
     #[test]
     fn four_dim_quadtree_fanout_16() {
         let ps = random_points(2000, 4, 5);
-        let dom = QuadDomain::quadtree(&ps, Rect::unit(4));
+        let mut dom = QuadDomain::quadtree(&ps, Rect::unit(4));
         assert_eq!(dom.fanout(), 16);
         let kids = dom.split(&dom.root()).unwrap();
         assert_eq!(kids.len(), 16);

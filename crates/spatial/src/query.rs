@@ -34,6 +34,15 @@ pub trait RangeCountSynopsis {
     /// Estimated number of dataset points inside `q`.
     fn answer(&self, q: &RangeQuery) -> f64;
 
+    /// Estimated counts for a whole workload, one answer per query in
+    /// order. The default loops [`RangeCountSynopsis::answer`];
+    /// read-optimized implementations (see
+    /// [`crate::frozen::FrozenSynopsis`]) override this to amortize
+    /// traversal scratch across the batch.
+    fn answer_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
+        queries.iter().map(|q| self.answer(q)).collect()
+    }
+
     /// A short method label for experiment tables.
     fn label(&self) -> &'static str {
         "synopsis"
@@ -63,5 +72,7 @@ mod tests {
         let q = RangeQuery::new(Rect::unit(2));
         assert_eq!(syn.answer(&q), 0.0);
         assert_eq!(syn.label(), "synopsis");
+        // answer_batch is object-safe and defaults to looping answer
+        assert_eq!(syn.answer_batch(&[q, q, q]), vec![0.0, 0.0, 0.0]);
     }
 }

@@ -14,6 +14,7 @@
 //! Children must appear after their parents (the arena order the builders
 //! produce), and each parent's children must be contiguous.
 
+use crate::frozen::FrozenSynopsis;
 use crate::geom::Rect;
 use crate::query::RangeCountSynopsis;
 use crate::synopsis::SpatialSynopsis;
@@ -79,6 +80,19 @@ pub fn to_text(synopsis: &SpatialSynopsis) -> String {
         ));
     }
     out
+}
+
+/// Serialize a frozen synopsis: thaw to the tree view (lossless, same
+/// arena order) and emit the same v1 text format, so frozen and tree-walk
+/// releases interchange freely on disk.
+pub fn frozen_to_text(synopsis: &FrozenSynopsis) -> String {
+    to_text(&synopsis.thaw())
+}
+
+/// Parse the v1 text format directly into the read-optimized
+/// representation.
+pub fn frozen_from_text(text: &str) -> Result<FrozenSynopsis, ParseError> {
+    Ok(from_text(text)?.freeze())
 }
 
 /// Parse the v1 text format back into a synopsis.
@@ -257,7 +271,8 @@ mod tests {
             from_text("not a synopsis\n"),
             Err(ParseError::BadHeader(_))
         ));
-        let bad_body = "privtree-synopsis v1 dims=2 nodes=2\nnode 0 parent=- lo=0,0 hi=1,1 count=5\n";
+        let bad_body =
+            "privtree-synopsis v1 dims=2 nodes=2\nnode 0 parent=- lo=0,0 hi=1,1 count=5\n";
         assert!(matches!(
             from_text(bad_body),
             Err(ParseError::CountMismatch { .. })
@@ -268,6 +283,18 @@ mod tests {
     fn rejects_corrupted_coordinates() {
         let text = "privtree-synopsis v1 dims=2 nodes=1\nnode 0 parent=- lo=0,zz hi=1,1 count=5\n";
         assert!(matches!(from_text(text), Err(ParseError::BadNode { .. })));
+    }
+
+    #[test]
+    fn frozen_round_trip_preserves_answers() {
+        let syn = sample_synopsis();
+        let frozen = syn.freeze();
+        let text = frozen_to_text(&frozen);
+        assert_eq!(text, to_text(&syn), "frozen and tree-walk emit one format");
+        let back = frozen_from_text(&text).unwrap();
+        assert_eq!(back.node_count(), frozen.node_count());
+        let q = RangeQuery::new(Rect::new(&[0.05, 0.1], &[0.4, 0.33]));
+        assert!((back.answer(&q) - frozen.answer(&q)).abs() < 1e-9);
     }
 
     #[test]

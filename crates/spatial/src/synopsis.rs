@@ -42,7 +42,11 @@ impl SpatialSynopsis {
     /// that want to reuse the Section 2.2 query traversal.
     pub fn from_parts(tree: Tree<Rect>, counts: Vec<f64>, label: &'static str) -> Self {
         assert_eq!(tree.len(), counts.len(), "one count per node");
-        Self { tree, counts, label }
+        Self {
+            tree,
+            counts,
+            label,
+        }
     }
 
     /// The decomposition tree (region payloads only — point data and raw
@@ -59,6 +63,12 @@ impl SpatialSynopsis {
     /// Number of nodes in the decomposition.
     pub fn node_count(&self) -> usize {
         self.tree.len()
+    }
+
+    /// Flatten into the read-optimized [`crate::frozen::FrozenSynopsis`]
+    /// for query-heavy serving.
+    pub fn freeze(&self) -> crate::frozen::FrozenSynopsis {
+        crate::frozen::FrozenSynopsis::freeze(self)
     }
 
     /// Maximum node depth.
@@ -120,8 +130,8 @@ pub fn privtree_synopsis_with_params<R: Rng + ?Sized>(
     count_epsilon: Epsilon,
     rng: &mut R,
 ) -> Result<SpatialSynopsis, Box<dyn std::error::Error>> {
-    let domain = QuadDomain::new(data, root, config);
-    let tree = build_privtree(&domain, tree_params, rng)?;
+    let mut domain = QuadDomain::new(data, root, config);
+    let tree = build_privtree(&mut domain, tree_params, rng)?;
     let mech = LaplaceMechanism::new(count_epsilon, 1.0)?;
     let noisy = noisy_leaf_counts(&tree, &mech, |n| n.count() as f64, rng);
     Ok(SpatialSynopsis {
@@ -142,9 +152,9 @@ pub fn simple_tree_synopsis<R: Rng + ?Sized>(
     theta: f64,
     rng: &mut R,
 ) -> Result<SpatialSynopsis, Box<dyn std::error::Error>> {
-    let domain = QuadDomain::new(data, root, config);
+    let mut domain = QuadDomain::new(data, root, config);
     let params = SimpleTreeParams::from_epsilon(epsilon, height, theta)?;
-    let out = build_simple_tree(&domain, &params, rng)?;
+    let out = build_simple_tree(&mut domain, &params, rng)?;
     Ok(SpatialSynopsis {
         tree: out.tree.map(|_, n| n.rect),
         counts: out.noisy_counts,
@@ -161,8 +171,8 @@ pub fn exact_synopsis(
     theta: f64,
     max_depth: Option<u32>,
 ) -> SpatialSynopsis {
-    let domain = QuadDomain::new(data, root, config);
-    let tree = privtree_core::nonprivate::nonprivate_tree(&domain, theta, max_depth);
+    let mut domain = QuadDomain::new(data, root, config);
+    let tree = privtree_core::nonprivate::nonprivate_tree(&mut domain, theta, max_depth);
     let counts = exact_leaf_counts(&tree, |n| n.count() as f64);
     SpatialSynopsis {
         tree: tree.map(|_, n| n.rect),
@@ -266,7 +276,10 @@ mod tests {
                 })
                 .collect()
         };
-        let truth: Vec<f64> = queries.iter().map(|q| ps.count_in(&q.rect) as f64).collect();
+        let truth: Vec<f64> = queries
+            .iter()
+            .map(|q| ps.count_in(&q.rect) as f64)
+            .collect();
         let smooth = 0.001 * ps.len() as f64;
 
         let avg_err = |syn: &SpatialSynopsis| -> f64 {

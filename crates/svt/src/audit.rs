@@ -38,14 +38,20 @@ pub fn binary_event_log_prob(answers: &[f64], pattern: &[bool], theta: f64, lamb
     let f = |x: f64| {
         let mut p = noise.pdf(x - theta);
         for (a, &one) in answers.iter().zip(pattern) {
-            p *= if one { noise.sf(x - a) } else { noise.cdf(x - a) };
+            p *= if one {
+                noise.sf(x - a)
+            } else {
+                noise.cdf(x - a)
+            };
             if p == 0.0 {
                 break;
             }
         }
         p
     };
-    integrate_with_kinks(&f, lo, hi, &kinks, 1e-13).max(f64::MIN_POSITIVE).ln()
+    integrate_with_kinks(&f, lo, hi, &kinks, 1e-13)
+        .max(f64::MIN_POSITIVE)
+        .ln()
 }
 
 /// `ln` density of VanillaSVT (Algorithm 4) producing the given outputs
@@ -108,14 +114,20 @@ pub fn improved_event_log_prob(
     let f = |x: f64| {
         let mut p = thresh.pdf(x - theta);
         for (a, &one) in answers.iter().zip(pattern) {
-            p *= if one { query.sf(x - a) } else { query.cdf(x - a) };
+            p *= if one {
+                query.sf(x - a)
+            } else {
+                query.cdf(x - a)
+            };
             if p == 0.0 {
                 break;
             }
         }
         p
     };
-    integrate_with_kinks(&f, lo, hi, &kinks, 1e-13).max(f64::MIN_POSITIVE).ln()
+    integrate_with_kinks(&f, lo, hi, &kinks, 1e-13)
+        .max(f64::MIN_POSITIVE)
+        .ln()
 }
 
 /// The Lemma 5.1 counterexample, computed exactly.

@@ -18,7 +18,13 @@ pub fn integrate(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
 }
 
 /// Integrate `f` over `[a, b]`, splitting at the interior `kinks`.
-pub fn integrate_with_kinks(f: &dyn Fn(f64) -> f64, a: f64, b: f64, kinks: &[f64], tol: f64) -> f64 {
+pub fn integrate_with_kinks(
+    f: &dyn Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    kinks: &[f64],
+    tol: f64,
+) -> f64 {
     let mut pts: Vec<f64> = kinks.iter().copied().filter(|k| *k > a && *k < b).collect();
     pts.push(a);
     pts.push(b);

@@ -20,7 +20,7 @@ use rand::Rng;
 /// Build a decomposition tree with binary-SVT split decisions at noise
 /// scale `lambda` (the refuted Claim 1 would set `lambda = 2/ε`).
 pub fn svt_quadtree<D: TreeDomain, R: Rng + ?Sized>(
-    domain: &D,
+    domain: &mut D,
     theta: f64,
     lambda: f64,
     node_limit: usize,
@@ -61,8 +61,8 @@ mod tests {
 
     #[test]
     fn builds_adaptive_trees() {
-        let domain = LineDomain::new(clustered(50_000)).with_min_width(1e-6);
-        let tree = svt_quadtree(&domain, 100.0, 2.0, 1 << 20, &mut seeded(1)).unwrap();
+        let mut domain = LineDomain::new(clustered(50_000)).with_min_width(1e-6);
+        let tree = svt_quadtree(&mut domain, 100.0, 2.0, 1 << 20, &mut seeded(1)).unwrap();
         assert!(tree.max_depth() > 5, "depth = {}", tree.max_depth());
     }
 
@@ -79,16 +79,16 @@ mod tests {
 
     #[test]
     fn respects_node_limit() {
-        let domain = LineDomain::new(clustered(50_000)).with_min_width(1e-9);
-        let err = svt_quadtree(&domain, 0.0, 2.0, 8, &mut seeded(2)).unwrap_err();
+        let mut domain = LineDomain::new(clustered(50_000)).with_min_width(1e-9);
+        let err = svt_quadtree(&mut domain, 0.0, 2.0, 8, &mut seeded(2)).unwrap_err();
         assert!(matches!(err, CoreError::TreeTooLarge { .. }));
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let domain = LineDomain::new(clustered(1000)).with_min_width(1e-4);
-        let a = svt_quadtree(&domain, 10.0, 2.0, 1 << 16, &mut seeded(3)).unwrap();
-        let b = svt_quadtree(&domain, 10.0, 2.0, 1 << 16, &mut seeded(3)).unwrap();
+        let mut domain = LineDomain::new(clustered(1000)).with_min_width(1e-4);
+        let a = svt_quadtree(&mut domain, 10.0, 2.0, 1 << 16, &mut seeded(3)).unwrap();
+        let b = svt_quadtree(&mut domain, 10.0, 2.0, 1 << 16, &mut seeded(3)).unwrap();
         assert_eq!(a.len(), b.len());
     }
 }

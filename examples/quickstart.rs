@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("released PrivTree synopsis:");
     println!("  nodes     : {}", synopsis.node_count());
     println!("  max depth : {}", synopsis.max_depth());
-    println!(
-        "  levels    : {:?}",
-        synopsis.tree().depth_histogram()
-    );
+    println!("  levels    : {:?}", synopsis.tree().depth_histogram());
 
     // 3. Answer range-count queries from the synopsis alone — the raw
     //    data is no longer needed (and was never part of the release).

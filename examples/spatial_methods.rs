@@ -5,7 +5,9 @@
 //! cargo run --release --example spatial_methods
 //! ```
 
-use privtree_suite::baselines::{dawa_synopsis, hierarchy_synopsis, privelet_synopsis, ug_synopsis};
+use privtree_suite::baselines::{
+    dawa_synopsis, hierarchy_synopsis, privelet_synopsis, ug_synopsis,
+};
 use privtree_suite::datagen::spatial::road_like;
 use privtree_suite::datagen::viz::ascii_density;
 use privtree_suite::datagen::workload::{range_queries, QuerySize};
@@ -19,12 +21,7 @@ use privtree_suite::spatial::quadtree::SplitConfig;
 use privtree_suite::spatial::query::{RangeCountSynopsis, RangeQuery};
 use privtree_suite::spatial::synopsis::privtree_synopsis;
 
-fn score(
-    syn: &dyn RangeCountSynopsis,
-    queries: &[RangeQuery],
-    truth: &[f64],
-    n: usize,
-) -> f64 {
+fn score(syn: &dyn RangeCountSynopsis, queries: &[RangeQuery], truth: &[f64], n: usize) -> f64 {
     let est: Vec<f64> = queries.iter().map(|q| syn.answer(q)).collect();
     average_relative_error(&est, truth, smoothing_factor(n))
 }
@@ -55,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         privtree.max_depth()
     );
     let ug = ug_synopsis(&data, &domain, eps, 1.0, &mut seeded(2));
-    println!("  {:<10} {:>8.3}%", "UG", 100.0 * score(&ug, &queries, &truth, data.len()));
+    println!(
+        "  {:<10} {:>8.3}%",
+        "UG",
+        100.0 * score(&ug, &queries, &truth, data.len())
+    );
     let hier = hierarchy_synopsis(&data, &domain, eps, 3, 64, &mut seeded(3));
     println!(
         "  {:<10} {:>8.3}%",
@@ -63,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * score(&hier, &queries, &truth, data.len())
     );
     let dawa = dawa_synopsis(&data, &domain, eps, 20, &mut seeded(4));
-    println!("  {:<10} {:>8.3}%", "DAWA", 100.0 * score(&dawa, &queries, &truth, data.len()));
+    println!(
+        "  {:<10} {:>8.3}%",
+        "DAWA",
+        100.0 * score(&dawa, &queries, &truth, data.len())
+    );
     let privelet = privelet_synopsis(&data, &domain, eps, 20, &mut seeded(5));
     println!(
         "  {:<10} {:>8.3}%",
@@ -85,10 +90,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let c = privtree.answer(&q).max(0.0) as usize;
             // deposit a representative point per ~500 counted
             for _ in 0..(c / 500) {
-                private_points.push(&[
-                    (col as f64 + 0.5) / w as f64,
-                    (row as f64 + 0.5) / h as f64,
-                ]);
+                private_points
+                    .push(&[(col as f64 + 0.5) / w as f64, (row as f64 + 0.5) / h as f64]);
             }
         }
     }

@@ -25,7 +25,11 @@ fn main() {
             k,
             loss,
             2.0 * eps,
-            if loss > 2.0 * eps { "   <-- VIOLATION" } else { "" }
+            if loss > 2.0 * eps {
+                "   <-- VIOLATION"
+            } else {
+                ""
+            }
         );
     }
 
@@ -43,13 +47,15 @@ fn main() {
     let base = vec![0.05, 0.06, 0.3, 0.62, 0.9];
     let mut worst = 0.0f64;
     for insert_at in [0.01, 0.26, 0.49, 0.51, 0.75, 0.99] {
-        let d0 = LineDomain::new(base.clone()).with_min_width(0.2);
+        let mut d0 = LineDomain::new(base.clone()).with_min_width(0.2);
         let mut with = base.clone();
         with.push(insert_at);
-        let d1 = LineDomain::new(with).with_min_width(0.2);
-        worst = worst.max(audit_privtree(&d0, &d1, &params, 3));
+        let mut d1 = LineDomain::new(with).with_min_width(0.2);
+        worst = worst.max(audit_privtree(&mut d0, &mut d1, &params, 3));
     }
     println!("  worst loss over all tree shapes and insertions: {worst:.4} <= eps = {eps}");
-    println!("\n(The scale PrivTree pays for this: lambda = {:.3} vs SVT's illusory {:.3}.)",
-        params.lambda, lambda);
+    println!(
+        "\n(The scale PrivTree pays for this: lambda = {:.3} vs SVT's illusory {:.3}.)",
+        params.lambda, lambda
+    );
 }

@@ -51,11 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         purchases.push(pick);
     }
 
-    let domain = TaxonomyDomain::new(tax, &purchases);
+    let mut domain = TaxonomyDomain::new(tax, &purchases);
     let epsilon = Epsilon::new(0.5)?;
     let (eps_tree, eps_counts) = epsilon.split_two(0.5)?;
     let params = PrivTreeParams::from_epsilon(eps_tree, domain.fanout())?;
-    let tree = build_privtree(&domain, &params, &mut rng)?;
+    let tree = build_privtree(&mut domain, &params, &mut rng)?;
     let mech = LaplaceMechanism::new(eps_counts, 1.0)?;
     let counts = noisy_leaf_counts(&tree, &mech, |n| domain.score(n), &mut rng);
 

@@ -8,8 +8,16 @@
 //!   exponential mechanism, the ρ/ρ⊤ analysis of Section 3.2).
 //! * [`core`] — decomposition trees, PrivTree (Algorithm 2), SimpleTree
 //!   (Algorithm 1), the noise-free tree `T*`, and exact privacy audits.
+//!   Both private builders are **level-synchronous**: each frontier level
+//!   is scored and noised in one deterministic pass and then split as one
+//!   `TreeDomain::split_frontier` batch (bit-identical to the sequential
+//!   reference loops, which are kept as `build_*_sequential`).
 //! * [`spatial`] — points, rectangles, quadtree domains, private spatial
 //!   synopses, and range-count query answering (Sections 2.2 and 3).
+//!   Domains own their scratch permutation directly (no `RefCell`, so
+//!   they are `Send`), and releases can be frozen into the
+//!   structure-of-arrays `FrozenSynopsis` whose `answer_batch` serves
+//!   query-heavy workloads without pointer chasing.
 //! * [`baselines`] — UG, AG, Hierarchy, a Privelet*-style wavelet
 //!   mechanism, and a DAWA-style two-stage method (Section 6.1).
 //! * [`markov`] — prediction suffix trees and the PrivTree extension for

@@ -19,7 +19,10 @@ use privtree_suite::svt::variants::binary_svt;
 
 #[test]
 fn datasets_are_seed_deterministic() {
-    assert_eq!(road_like(2000, 1).point(1999), road_like(2000, 1).point(1999));
+    assert_eq!(
+        road_like(2000, 1).point(1999),
+        road_like(2000, 1).point(1999)
+    );
     assert_eq!(
         beijing_like(1000, 2).point(999),
         beijing_like(1000, 2).point(999)
@@ -47,6 +50,32 @@ fn full_spatial_pipeline_is_deterministic() {
     };
     assert_eq!(run(42), run(42));
     assert_ne!(run(42), run(43), "different seeds must differ");
+}
+
+/// The frozen serving representation is a pure function of the release:
+/// freezing the same synopsis gives identical batch answers, and those
+/// agree with the tree walk.
+#[test]
+fn frozen_read_path_matches_tree_walk() {
+    let data = beijing_like(5_000, 5);
+    let queries = range_queries(&Rect::unit(4), QuerySize::Medium, 64, 12);
+    let syn = privtree_synopsis(
+        &data,
+        Rect::unit(4),
+        SplitConfig::full(4),
+        Epsilon::new(0.8).unwrap(),
+        &mut seeded(42),
+    )
+    .unwrap();
+    let frozen = syn.freeze();
+    assert_eq!(frozen.node_count(), syn.node_count());
+    let walk: Vec<f64> = queries.iter().map(|q| syn.answer(q)).collect();
+    let batch = frozen.answer_batch(&queries);
+    for (a, b) in walk.iter().zip(&batch) {
+        assert!((a - b).abs() < 1e-9, "tree-walk {a} vs frozen {b}");
+    }
+    // and freezing twice is identical
+    assert_eq!(batch, syn.freeze().answer_batch(&queries));
 }
 
 #[test]

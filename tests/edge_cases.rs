@@ -77,7 +77,10 @@ fn coincident_points_terminate() {
 #[test]
 fn invalid_parameters_error_out() {
     assert!(matches!(Epsilon::new(0.0), Err(DpError::InvalidEpsilon(_))));
-    assert!(matches!(Epsilon::new(-2.0), Err(DpError::InvalidEpsilon(_))));
+    assert!(matches!(
+        Epsilon::new(-2.0),
+        Err(DpError::InvalidEpsilon(_))
+    ));
     let e = Epsilon::new(1.0).unwrap();
     assert!(PrivTreeParams::from_epsilon(e, 0).is_err());
     assert!(PrivTreeParams::from_epsilon(e, 1).is_err());
@@ -122,9 +125,15 @@ fn baselines_on_tiny_data() {
     let dom = Rect::unit(2);
     let e = Epsilon::new(0.05).unwrap();
     let q = RangeQuery::new(Rect::new(&[0.0, 0.0], &[0.5, 1.0]));
-    assert!(ug_synopsis(&data, &dom, e, 1.0, &mut seeded(7)).answer(&q).is_finite());
-    assert!(dawa_synopsis(&data, &dom, e, 8, &mut seeded(8)).answer(&q).is_finite());
-    assert!(privelet_synopsis(&data, &dom, e, 8, &mut seeded(9)).answer(&q).is_finite());
+    assert!(ug_synopsis(&data, &dom, e, 1.0, &mut seeded(7))
+        .answer(&q)
+        .is_finite());
+    assert!(dawa_synopsis(&data, &dom, e, 8, &mut seeded(8))
+        .answer(&q)
+        .is_finite());
+    assert!(privelet_synopsis(&data, &dom, e, 8, &mut seeded(9))
+        .answer(&q)
+        .is_finite());
 }
 
 /// Queries that degenerate to zero volume return finite answers.
@@ -145,7 +154,10 @@ fn zero_volume_query() {
     let q = RangeQuery::new(Rect::new(&[0.3, 0.5], &[0.3, 0.5]));
     let est = syn.answer(&q);
     assert!(est.is_finite());
-    assert!(est.abs() < 1e-6, "zero-volume query should be ~0, got {est}");
+    assert!(
+        est.abs() < 1e-6,
+        "zero-volume query should be ~0, got {est}"
+    );
 }
 
 /// l⊤ = 1 truncates everything down to single symbols.

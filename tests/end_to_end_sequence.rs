@@ -36,7 +36,10 @@ fn privtree_beats_em_on_topk() {
         p_pt > p_em,
         "PrivTree precision {p_pt} should beat EM {p_em}"
     );
-    assert!(p_pt / reps as f64 > 0.5, "PrivTree precision too low: {p_pt}");
+    assert!(
+        p_pt / reps as f64 > 0.5,
+        "PrivTree precision too low: {p_pt}"
+    );
 }
 
 /// Figure 7's shape in miniature: synthetic data from the private PST has

@@ -14,10 +14,18 @@ use privtree_suite::spatial::quadtree::SplitConfig;
 use privtree_suite::spatial::query::{RangeCountSynopsis, RangeQuery};
 use privtree_suite::spatial::synopsis::{privtree_synopsis, simple_tree_synopsis};
 
-fn workload(data: &PointSet, domain: &Rect, size: QuerySize, n: usize) -> (Vec<RangeQuery>, Vec<f64>) {
+fn workload(
+    data: &PointSet,
+    domain: &Rect,
+    size: QuerySize,
+    n: usize,
+) -> (Vec<RangeQuery>, Vec<f64>) {
     let queries = range_queries(domain, size, n, 31);
     let idx = GridIndex::build(data, domain);
-    let truth = queries.iter().map(|q| idx.count(data, &q.rect) as f64).collect();
+    let truth = queries
+        .iter()
+        .map(|q| idx.count(data, &q.rect) as f64)
+        .collect();
     (queries, truth)
 }
 
@@ -41,8 +49,14 @@ fn privtree_wins_on_skewed_data() {
     let mut e_hier = 0.0;
     let mut e_simple = 0.0;
     for rep in 0..reps {
-        let pt = privtree_synopsis(&data, domain, SplitConfig::full(2), eps, &mut seeded(100 + rep))
-            .unwrap();
+        let pt = privtree_synopsis(
+            &data,
+            domain,
+            SplitConfig::full(2),
+            eps,
+            &mut seeded(100 + rep),
+        )
+        .unwrap();
         e_privtree += err_of(&pt, &queries, &truth, data.len());
         let ug = ug_synopsis(&data, &domain, eps, 1.0, &mut seeded(200 + rep));
         e_ug += err_of(&ug, &queries, &truth, data.len());

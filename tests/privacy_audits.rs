@@ -43,15 +43,15 @@ fn quadtree_privtree_exact_audit() {
         let mut d1 = d0.clone();
         d1.push(&insert_at);
 
-        let dom0 = QuadDomain::new(&d0, Rect::unit(2), config);
-        let dom1 = QuadDomain::new(&d1, Rect::unit(2), config);
+        let mut dom0 = QuadDomain::new(&d0, Rect::unit(2), config);
+        let mut dom1 = QuadDomain::new(&d1, Rect::unit(2), config);
         let lp0: Vec<f64> = shapes
             .iter()
-            .map(|s| privtree_log_prob(&dom0, s, &params))
+            .map(|s| privtree_log_prob(&mut dom0, s, &params))
             .collect();
         let lp1: Vec<f64> = shapes
             .iter()
-            .map(|s| privtree_log_prob(&dom1, s, &params))
+            .map(|s| privtree_log_prob(&mut dom1, s, &params))
             .collect();
         let worst = max_abs_log_ratio(&lp0, &lp1);
         assert!(
@@ -88,16 +88,16 @@ fn pst_privtree_exact_audit() {
     with.push(inserted);
     let d1 = SequenceDataset::new(&with, alphabet, l_top);
 
-    let dom0 = PstDomain::new(&d0);
-    let dom1 = PstDomain::new(&d1);
+    let mut dom0 = PstDomain::new(&d0);
+    let mut dom1 = PstDomain::new(&d1);
     let shapes = enumerate_shapes(beta, 2);
     let lp0: Vec<f64> = shapes
         .iter()
-        .map(|s| privtree_log_prob(&dom0, s, &params))
+        .map(|s| privtree_log_prob(&mut dom0, s, &params))
         .collect();
     let lp1: Vec<f64> = shapes
         .iter()
-        .map(|s| privtree_log_prob(&dom1, s, &params))
+        .map(|s| privtree_log_prob(&mut dom1, s, &params))
         .collect();
     let worst = max_abs_log_ratio(&lp0, &lp1);
     assert!(
@@ -114,11 +114,11 @@ fn privtree_bounded_while_svt_explodes() {
     // PrivTree on a 1-d toy domain
     let params = PrivTreeParams::from_epsilon(Epsilon::new(eps).unwrap(), 2).unwrap();
     let base = vec![0.01, 0.02, 0.55, 0.8];
-    let d0 = privtree_suite::core::domain::LineDomain::new(base.clone()).with_min_width(0.2);
+    let mut d0 = privtree_suite::core::domain::LineDomain::new(base.clone()).with_min_width(0.2);
     let mut with = base;
     with.push(0.01);
-    let d1 = privtree_suite::core::domain::LineDomain::new(with).with_min_width(0.2);
-    let privtree_loss = audit_privtree(&d0, &d1, &params, 3);
+    let mut d1 = privtree_suite::core::domain::LineDomain::new(with).with_min_width(0.2);
+    let privtree_loss = audit_privtree(&mut d0, &mut d1, &params, 3);
     assert!(privtree_loss <= eps + 1e-9);
 
     // binary SVT with the Claim-1 noise scale on 64 queries

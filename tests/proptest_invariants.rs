@@ -1,17 +1,26 @@
 //! Property-based tests on the workspace's core invariants.
 
-use proptest::prelude::*;
-use privtree_suite::baselines::hilbert::{hilbert_d2xy, hilbert_xy2d, morton_decode, morton_encode};
+use privtree_suite::baselines::hilbert::{
+    hilbert_d2xy, hilbert_xy2d, morton_decode, morton_encode,
+};
 use privtree_suite::baselines::wavelet::{haar_forward, haar_inverse};
 use privtree_suite::core::domain::{LineDomain, TreeDomain};
 use privtree_suite::core::nonprivate::nonprivate_tree;
+use privtree_suite::core::params::PrivTreeParams;
+use privtree_suite::core::privtree::{build_privtree, build_privtree_sequential};
+use privtree_suite::dp::budget::Epsilon;
 use privtree_suite::dp::laplace::Laplace;
 use privtree_suite::dp::rho::{rho, rho_upper};
+use privtree_suite::dp::rng::seeded;
 use privtree_suite::eval::metrics::total_variation_distance;
 use privtree_suite::markov::data::SequenceDataset;
 use privtree_suite::spatial::dataset::PointSet;
 use privtree_suite::spatial::geom::Rect;
 use privtree_suite::spatial::index::GridIndex;
+use privtree_suite::spatial::quadtree::SplitConfig;
+use privtree_suite::spatial::query::{RangeCountSynopsis, RangeQuery};
+use privtree_suite::spatial::synopsis::exact_synopsis;
+use proptest::prelude::*;
 
 proptest! {
     /// Lemma 3.1 over random parameters: ρ(x) ≤ ρ⊤(x).
@@ -45,8 +54,8 @@ proptest! {
         theta in 0.0f64..20.0,
     ) {
         let n = points.len() as f64;
-        let domain = LineDomain::new(points).with_min_width(1.0 / 64.0);
-        let tree = nonprivate_tree(&domain, theta, None);
+        let mut domain = LineDomain::new(points).with_min_width(1.0 / 64.0);
+        let tree = nonprivate_tree(&mut domain, theta, None);
         let leaf_total: f64 = tree.leaf_ids().map(|id| domain.score(tree.payload(id))).sum();
         prop_assert_eq!(leaf_total, n);
         // parents precede children in the arena
@@ -124,6 +133,55 @@ proptest! {
             prop_assert!(data.raw(i).len() <= l_top);
             prop_assert!(data.measured_length(i) <= l_top);
             prop_assert!(data.measured_length(i) >= 1);
+        }
+    }
+
+    /// The read-optimized frozen synopsis agrees with the tree-walk
+    /// answer (and with itself through `answer_batch`) on random
+    /// decompositions and random query rectangles.
+    #[test]
+    fn frozen_answer_batch_matches_tree_walk(
+        coords in proptest::collection::vec(0.0f64..1.0, 2..300),
+        theta in 0.0f64..30.0,
+        qa in 0.0f64..1.0, qb in 0.0f64..1.0,
+        qc in 0.0f64..1.0, qd in 0.0f64..1.0,
+    ) {
+        let n = coords.len() / 2 * 2;
+        let ps = PointSet::from_flat(2, coords[..n].to_vec());
+        let syn = exact_synopsis(&ps, Rect::unit(2), SplitConfig::full(2), theta, Some(8));
+        let frozen = syn.freeze();
+        let queries = [
+            RangeQuery::new(Rect::new(&[qa.min(qb), qc.min(qd)], &[qa.max(qb), qc.max(qd)])),
+            RangeQuery::new(Rect::unit(2)),
+        ];
+        let batch = frozen.answer_batch(&queries);
+        for (q, b) in queries.iter().zip(&batch) {
+            let a = syn.answer(q);
+            prop_assert!((a - b).abs() < 1e-9, "tree-walk {a} vs frozen {b} on {}", q.rect);
+            prop_assert_eq!(frozen.answer(q), *b);
+        }
+        // freezing is lossless
+        let thawed = frozen.thaw();
+        prop_assert_eq!(thawed.counts(), syn.counts());
+    }
+
+    /// The level-synchronous frontier builder reproduces the sequential
+    /// node-at-a-time builder exactly, for any data and seed.
+    #[test]
+    fn frontier_builder_matches_sequential(
+        coords in proptest::collection::vec(0.0f64..1.0, 0..150),
+        seed in 0u64..100_000,
+    ) {
+        let mut d1 = LineDomain::new(coords).with_min_width(1.0 / 256.0);
+        let mut d2 = d1.clone();
+        let params = PrivTreeParams::from_epsilon(Epsilon::new(1.0).unwrap(), 2).unwrap();
+        let a = build_privtree(&mut d1, &params, &mut seeded(seed)).unwrap();
+        let b = build_privtree_sequential(&mut d2, &params, &mut seeded(seed)).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for (ia, ib) in a.ids().zip(b.ids()) {
+            prop_assert_eq!(a.payload(ia), b.payload(ib));
+            prop_assert_eq!(a.depth(ia), b.depth(ib));
+            prop_assert_eq!(a.parent(ia), b.parent(ib));
         }
     }
 

@@ -1,0 +1,129 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small slice of the criterion API the workspace's benches
+//! use — `Criterion::default().sample_size(n)`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! with straightforward wall-clock timing. Results are printed one line
+//! per benchmark: median, mean, and throughput-free total over the sample.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. Collects `sample_size` timed samples per benchmark
+/// and reports summary statistics on stdout.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] whose `iter` is the
+    /// routine under measurement.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Handle passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over `sample_size` samples (one call each, after a
+    /// single untimed warm-up call).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine()); // warm-up
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id}: no samples (Bencher::iter never called)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "{id}: median {:?}, mean {:?} over {} samples",
+            median,
+            mean,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declare a benchmark group: a function that runs each target with a
+/// fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c = $crate::Criterion::default();
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        // 1 warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+}
