@@ -35,6 +35,10 @@ struct SubGrid {
     rect: Rect,
     m2: usize,
     values: Vec<f64>,
+    /// Sum of `values`, cached at build time: fully-covered coarse cells
+    /// are the common case on large queries, and workloads should not
+    /// re-reduce m2×m2 values per query per cell.
+    total: f64,
 }
 
 /// Build an AG synopsis (panics unless the data is 2-d, matching the
@@ -103,7 +107,13 @@ pub fn ag_synopsis<R: Rng + ?Sized>(
             for v in &mut values {
                 *v = mech2.randomize(*v, rng);
             }
-            cells.push(SubGrid { rect, m2, values });
+            let total = values.iter().sum();
+            cells.push(SubGrid {
+                rect,
+                m2,
+                values,
+                total,
+            });
         }
     }
     AgSynopsis {
@@ -136,7 +146,7 @@ impl AgSynopsis {
                 continue;
             }
             if q.contains_rect(&cell.rect) {
-                total += cell.values.iter().sum::<f64>();
+                total += cell.total;
                 continue;
             }
             // walk the sub-grid

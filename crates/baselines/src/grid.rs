@@ -6,10 +6,55 @@
 //! contribute `value · |q ∩ cell| / |cell|` (the same uniform assumption
 //! PrivTree's leaves use). A d-dimensional summed-area table makes the
 //! interior block O(2^d); only the boundary shell is walked cell by cell.
+//!
+//! Answering needs a handful of per-dimension index buffers. They live in
+//! a [`GridScratch`] that [`NoisyGrid::answer_batch`] allocates once and
+//! reuses across the whole workload, so grid-backed baselines (UG,
+//! Privelet's and DAWA's released grids, Hierarchy's levels) serve
+//! batches without per-query allocation — the same treatment the frozen
+//! PrivTree read path gets.
 
 use privtree_spatial::dataset::PointSet;
 use privtree_spatial::geom::Rect;
 use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
+
+/// Reusable per-query index buffers for [`NoisyGrid::answer_rect_with`].
+/// All vectors are resized to the grid's dimensionality on use and keep
+/// their capacity across queries.
+#[derive(Debug, Clone, Default)]
+pub struct GridScratch {
+    lo_c: Vec<usize>,
+    hi_c: Vec<usize>,
+    partial_lo: Vec<bool>,
+    partial_hi: Vec<bool>,
+    int_lo: Vec<usize>,
+    int_hi_excl: Vec<usize>,
+    coord: Vec<usize>,
+}
+
+impl GridScratch {
+    /// Fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, dims: usize) {
+        self.lo_c.clear();
+        self.lo_c.resize(dims, 0);
+        self.hi_c.clear();
+        self.hi_c.resize(dims, 0);
+        self.partial_lo.clear();
+        self.partial_lo.resize(dims, false);
+        self.partial_hi.clear();
+        self.partial_hi.resize(dims, false);
+        self.int_lo.clear();
+        self.int_lo.resize(dims, 0);
+        self.int_hi_excl.clear();
+        self.int_hi_excl.resize(dims, 0);
+        self.coord.clear();
+        self.coord.resize(dims, 0);
+    }
+}
 
 /// Exact histogram of `data` on a `bins`-per-dimension grid over `domain`
 /// (row-major, dimension 0 slowest).
@@ -180,13 +225,26 @@ impl NoisyGrid {
     /// Answer a range query: SAT over fully covered cells plus fractional
     /// contributions from the boundary shell.
     pub fn answer_rect(&self, q: &Rect) -> f64 {
+        self.answer_rect_with(q, &mut GridScratch::new())
+    }
+
+    /// [`NoisyGrid::answer_rect`] with caller-provided scratch, so a
+    /// workload reuses the boundary-walk buffers across queries (see
+    /// [`RangeCountSynopsis::answer_batch`] on this type).
+    pub fn answer_rect_with(&self, q: &Rect, s: &mut GridScratch) -> f64 {
         let d = self.dims();
+        s.reset(d);
         // overlapping cell index range [lo_c[k], hi_c[k]] inclusive, and
         // whether the low/high extreme cells are only partially covered
-        let mut lo_c = vec![0usize; d];
-        let mut hi_c = vec![0usize; d];
-        let mut partial_lo = vec![false; d];
-        let mut partial_hi = vec![false; d];
+        let GridScratch {
+            lo_c,
+            hi_c,
+            partial_lo,
+            partial_hi,
+            int_lo,
+            int_hi_excl,
+            coord,
+        } = s;
         for k in 0..d {
             let side = self.domain.side(k);
             if side <= 0.0 {
@@ -208,8 +266,6 @@ impl NoisyGrid {
         }
 
         // interior block (cells fully covered along every dimension)
-        let mut int_lo = vec![0usize; d];
-        let mut int_hi_excl = vec![0usize; d];
         let mut interior_nonempty = true;
         for k in 0..d {
             int_lo[k] = lo_c[k] + partial_lo[k] as usize;
@@ -222,7 +278,7 @@ impl NoisyGrid {
             }
         }
         let mut total = if interior_nonempty {
-            self.block_sum(&int_lo, &int_hi_excl)
+            self.block_sum(int_lo, int_hi_excl)
         } else {
             0.0
         };
@@ -230,19 +286,20 @@ impl NoisyGrid {
         // boundary shell: partition by the first dimension where the cell
         // sits at a partial edge; earlier dimensions stay interior, later
         // dimensions roam the full overlap range.
-        let mut coord = vec![0usize; d];
         for k in 0..d {
-            let mut edges = Vec::with_capacity(2);
+            let mut edges = [0usize; 2];
+            let mut n_edges = 0;
             if partial_lo[k] {
-                edges.push(lo_c[k]);
+                edges[n_edges] = lo_c[k];
+                n_edges += 1;
             }
             if partial_hi[k] && (hi_c[k] != lo_c[k] || !partial_lo[k]) {
-                edges.push(hi_c[k]);
+                edges[n_edges] = hi_c[k];
+                n_edges += 1;
             }
-            for &e in &edges {
+            for &e in &edges[..n_edges] {
                 coord[k] = e;
-                total +=
-                    self.boundary_walk(q, k, 0, &mut coord, &int_lo, &int_hi_excl, &lo_c, &hi_c);
+                total += self.boundary_walk(q, k, 0, coord, int_lo, int_hi_excl, lo_c, hi_c);
             }
         }
         total
@@ -288,6 +345,17 @@ impl NoisyGrid {
 impl RangeCountSynopsis for NoisyGrid {
     fn answer(&self, q: &RangeQuery) -> f64 {
         self.answer_rect(&q.rect)
+    }
+
+    /// One [`GridScratch`] serves the whole workload: no per-query
+    /// allocation (the trait default would re-allocate the boundary-walk
+    /// buffers on every call).
+    fn answer_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
+        let mut scratch = GridScratch::new();
+        queries
+            .iter()
+            .map(|q| self.answer_rect_with(&q.rect, &mut scratch))
+            .collect()
     }
 
     fn label(&self) -> &'static str {
@@ -430,6 +498,30 @@ mod tests {
                 (naive - fast).abs() < 1e-6,
                 "query {q}: fast {fast} vs naive {naive}"
             );
+        }
+    }
+
+    #[test]
+    fn answer_batch_scratch_reuse_matches_answer_bitwise() {
+        use privtree_spatial::query::RangeQuery;
+        let ps = random_points(2000, 2, 9);
+        let bins = vec![11usize, 13];
+        let h = histogram(&ps, &Rect::unit(2), &bins);
+        let g = NoisyGrid::new(Rect::unit(2), bins, h, "test");
+        let mut rng = privtree_dp::rng::seeded(10);
+        let queries: Vec<RangeQuery> = (0..200)
+            .map(|_| {
+                let a: f64 = rng.random();
+                let b: f64 = rng.random();
+                let c: f64 = rng.random();
+                let d: f64 = rng.random();
+                RangeQuery::new(Rect::new(&[a.min(b), c.min(d)], &[a.max(b), c.max(d)]))
+            })
+            .collect();
+        let batch = g.answer_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(g.answer(q).to_bits(), got.to_bits());
         }
     }
 

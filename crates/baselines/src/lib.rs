@@ -31,7 +31,7 @@ pub mod wavelet;
 
 pub use ag::ag_synopsis;
 pub use dawa::dawa_synopsis;
-pub use grid::{histogram, NoisyGrid};
+pub use grid::{histogram, GridScratch, NoisyGrid};
 pub use hierarchy::hierarchy_synopsis;
 pub use kd::kd_synopsis;
 pub use ug::ug_synopsis;

@@ -1,0 +1,147 @@
+//! Serving-engine throughput: the same PrivTree release answering a
+//! 10,000-query workload single-threaded versus chunked across the
+//! persistent worker pool at 1/4/8 workers, frozen and sharded. Verifies
+//! bit-identity between every configuration and writes a
+//! machine-readable summary to `BENCH_serve.json` (including the
+//! machine's core count — pool speedups are bounded by physical
+//! parallelism, so the numbers are only comparable per machine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privtree_datagen::spatial::gowalla_like;
+use privtree_datagen::workload::{range_queries, QuerySize};
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::seeded;
+use privtree_runtime::WorkerPool;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::sharded::ShardedSynopsis;
+use privtree_spatial::synopsis::privtree_synopsis;
+use privtree_spatial::FrozenSynopsis;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn best_secs(samples: usize, mut f: impl FnMut() -> Vec<f64>) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let data = gowalla_like(100_000, 1);
+    let domain = Rect::unit(2);
+    let eps = Epsilon::new(1.0).unwrap();
+    let queries = range_queries(&domain, QuerySize::Medium, 10_000, 7);
+
+    let frozen: FrozenSynopsis =
+        privtree_synopsis(&data, domain, SplitConfig::full(2), eps, &mut seeded(2))
+            .unwrap()
+            .freeze();
+    let sharded = ShardedSynopsis::from_frozen(&frozen, 2);
+
+    let pool1 = WorkerPool::new(1);
+    let pool4 = WorkerPool::new(4);
+    let pool8 = WorkerPool::new(8);
+
+    // the contract first: every configuration returns identical bits
+    let reference = frozen.answer_batch_sequential(&queries);
+    for (label, got) in [
+        (
+            "frozen_pool1",
+            frozen.answer_batch_with_pool(&queries, &pool1),
+        ),
+        (
+            "frozen_pool4",
+            frozen.answer_batch_with_pool(&queries, &pool4),
+        ),
+        (
+            "frozen_pool8",
+            frozen.answer_batch_with_pool(&queries, &pool8),
+        ),
+        ("sharded_seq", sharded.answer_batch_sequential(&queries)),
+        (
+            "sharded_pool8",
+            sharded.answer_batch_with_pool(&queries, &pool8),
+        ),
+    ] {
+        assert_eq!(reference.len(), got.len(), "{label}");
+        for (a, b) in reference.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{label} diverged");
+        }
+    }
+
+    c.bench_function("serve_frozen_sequential_10k", |b| {
+        b.iter(|| black_box(frozen.answer_batch_sequential(&queries)))
+    });
+    c.bench_function("serve_frozen_pool8_10k", |b| {
+        b.iter(|| black_box(frozen.answer_batch_with_pool(&queries, &pool8)))
+    });
+    c.bench_function("serve_sharded_pool8_10k", |b| {
+        b.iter(|| black_box(sharded.answer_batch_with_pool(&queries, &pool8)))
+    });
+
+    // wall-clock summary for the JSON artifact
+    let samples = 15;
+    let seq = best_secs(samples, || frozen.answer_batch_sequential(&queries));
+    let p1 = best_secs(samples, || frozen.answer_batch_with_pool(&queries, &pool1));
+    let p4 = best_secs(samples, || frozen.answer_batch_with_pool(&queries, &pool4));
+    let p8 = best_secs(samples, || frozen.answer_batch_with_pool(&queries, &pool8));
+    let sh_seq = best_secs(samples, || sharded.answer_batch_sequential(&queries));
+    let sh_p8 = best_secs(samples, || sharded.answer_batch_with_pool(&queries, &pool8));
+
+    let n = queries.len() as f64;
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"dataset\": \"gowalla_like_100k\",\n",
+            "  \"queries\": {},\n",
+            "  \"nodes\": {},\n",
+            "  \"shards\": {},\n",
+            "  \"cores\": {},\n",
+            "  \"bit_identical\": true,\n",
+            "  \"frozen_seq_secs\": {:.9},\n",
+            "  \"frozen_pool1_secs\": {:.9},\n",
+            "  \"frozen_pool4_secs\": {:.9},\n",
+            "  \"frozen_pool8_secs\": {:.9},\n",
+            "  \"sharded_seq_secs\": {:.9},\n",
+            "  \"sharded_pool8_secs\": {:.9},\n",
+            "  \"frozen_seq_qps\": {:.1},\n",
+            "  \"frozen_pool4_qps\": {:.1},\n",
+            "  \"frozen_pool8_qps\": {:.1},\n",
+            "  \"sharded_pool8_qps\": {:.1},\n",
+            "  \"pool4_speedup\": {:.3},\n",
+            "  \"pool8_speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        queries.len(),
+        frozen.node_count(),
+        sharded.shard_count(),
+        cores,
+        seq,
+        p1,
+        p4,
+        p8,
+        sh_seq,
+        sh_p8,
+        n / seq,
+        n / p4,
+        n / p8,
+        n / sh_p8,
+        seq / p4,
+        seq / p8,
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("wrote BENCH_serve.json:\n{json}"),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}\n{json}"),
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

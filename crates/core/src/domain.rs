@@ -47,10 +47,22 @@ pub trait TreeDomain {
     /// Split every node of a frontier level as one batch, returning one
     /// entry per input in order. The default loops [`TreeDomain::split`];
     /// domains whose nodes own disjoint scratch segments override this to
-    /// partition the batch (and, with the `parallel` feature of
-    /// `privtree-spatial`, fan the work out across threads).
+    /// partition the batch (and, with the default `parallel` feature of
+    /// `privtree-spatial`, fan the work out across the persistent
+    /// `privtree-runtime` worker pool).
     fn split_frontier(&mut self, nodes: &[&Self::Node]) -> Vec<Option<Vec<Self::Node>>> {
         nodes.iter().map(|n| self.split(n)).collect()
+    }
+
+    /// Raw scores `c(v)` for a whole frontier level, one per input in
+    /// order. This pass is noise-free: the builders call it *before*
+    /// drawing any Laplace noise, so `Sync` domains with expensive scores
+    /// (the PST's Eq. (13) histogram scans) override it to fan the reads
+    /// out across the worker pool — results are collected in input order,
+    /// so the level is bit-identical to the sequential loop, and the
+    /// noise draws that follow stay a sequential arena-order pass.
+    fn score_frontier(&self, nodes: &[&Self::Node]) -> Vec<f64> {
+        nodes.iter().map(|n| self.score(n)).collect()
     }
 }
 
@@ -77,6 +89,10 @@ impl<D: TreeDomain> TreeDomain for &mut D {
 
     fn split_frontier(&mut self, nodes: &[&Self::Node]) -> Vec<Option<Vec<Self::Node>>> {
         (**self).split_frontier(nodes)
+    }
+
+    fn score_frontier(&self, nodes: &[&Self::Node]) -> Vec<f64> {
+        (**self).score_frontier(nodes)
     }
 }
 

@@ -15,9 +15,12 @@
 //! ```
 //!
 //! [`build_privtree`] visits nodes **level-synchronously**: the entire
-//! frontier is scored and noised in one deterministic sequential pass
-//! (noise is consumed in arena order, exactly as the node-at-a-time loop
-//! of [`build_privtree_sequential`] consumes it, so both builders are
+//! frontier's noise-free raw scores are computed as one
+//! [`TreeDomain::score_frontier`] batch (which `Sync` domains may fan out
+//! across the `privtree-runtime` worker pool), then bias and Laplace
+//! noise are applied in one deterministic sequential pass (noise is
+//! consumed in arena order, exactly as the node-at-a-time loop of
+//! [`build_privtree_sequential`] consumes it, so both builders are
 //! bit-identical given the same seed), and the surviving nodes are then
 //! split as one batch through [`TreeDomain::split_frontier`]. Batching
 //! the splits lets domains with disjoint per-node scratch segments
@@ -57,11 +60,15 @@ pub fn build_privtree<D: TreeDomain, R: Rng + ?Sized>(
     let mut survivors: Vec<NodeId> = Vec::new();
 
     while !frontier.is_empty() {
-        // lines 5-7 for the whole level: score, bias, and draw all Laplace
-        // noise in one deterministic sequential pass (arena order).
+        // lines 5-7 for the whole level, in two passes: the noise-free raw
+        // scores as one batch (which `Sync` domains may compute on the
+        // worker pool), then bias + Laplace noise in one deterministic
+        // sequential pass (arena order).
+        let payloads: Vec<&D::Node> = frontier.iter().map(|&v| tree.payload(v)).collect();
+        let raw_scores = domain.score_frontier(&payloads);
+        debug_assert_eq!(raw_scores.len(), frontier.len());
         survivors.clear();
-        for &v in &frontier {
-            let raw = domain.score(tree.payload(v));
+        for (&v, raw) in frontier.iter().zip(raw_scores) {
             let biased = params.biased_score(raw, tree.depth(v));
             let noisy = biased + noise.sample(rng);
             if noisy > params.theta {

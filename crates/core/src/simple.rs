@@ -51,10 +51,13 @@ pub fn build_simple_tree<D: TreeDomain, R: Rng + ?Sized>(
     let mut survivors: Vec<NodeId> = Vec::new();
 
     while !frontier.is_empty() {
-        // noisy counts for the whole level, in arena order
+        // raw counts for the whole level as one noise-free batch, then the
+        // noisy counts in one sequential arena-order pass
+        let payloads: Vec<&D::Node> = frontier.iter().map(|&v| tree.payload(v)).collect();
+        let raw_scores = domain.score_frontier(&payloads);
+        debug_assert_eq!(raw_scores.len(), frontier.len());
         survivors.clear();
-        for &v in &frontier {
-            let c = domain.score(tree.payload(v));
+        for (&v, c) in frontier.iter().zip(raw_scores) {
             let c_hat = c + noise.sample(rng);
             debug_assert_eq!(noisy_counts.len(), v.index());
             noisy_counts.push(c_hat);

@@ -176,6 +176,30 @@ impl TreeDomain for PstDomain<'_> {
     fn score(&self, node: &PstNode) -> f64 {
         Self::score_of_hist(&self.hist(node))
     }
+
+    /// Pool-backed batch scoring. Unlike the quadtree's O(1) segment
+    /// lengths, the Eq. (13) score scans every occurrence of a node, so a
+    /// frontier level is a real fan-out: each score is an independent
+    /// noise-free read of shared state, chunked by occurrence count and
+    /// collected in input order (bit-identical to the sequential loop for
+    /// every worker count).
+    #[cfg(feature = "parallel")]
+    fn score_frontier(&self, nodes: &[&PstNode]) -> Vec<f64> {
+        /// Fan out only when the level scans at least this many
+        /// occurrences; below it the loop is cheaper than the dispatch.
+        const PARALLEL_OCC_THRESHOLD: usize = 1 << 14;
+
+        let total: usize = nodes.iter().map(|n| n.occurrence_count()).sum();
+        let pool = privtree_runtime::global();
+        if pool.workers() <= 1 || nodes.len() <= 1 || total < PARALLEL_OCC_THRESHOLD {
+            return nodes.iter().map(|n| self.score(n)).collect();
+        }
+        pool.map_vec_weighted(
+            nodes.to_vec(),
+            |n| n.occurrence_count().max(1),
+            |n| Self::score_of_hist(&self.hist(n)),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,430 @@
+//! A persistent, deterministic worker pool for the suite's hot paths.
+//!
+//! PrivTree workloads are build-once/read-many: a release is constructed
+//! level by level (disjoint segment splits, noise-free scoring) and then
+//! serves millions of range-count queries. Both sides decompose into
+//! *pure, independent* tasks whose results only need to come back in
+//! input order — so parallelism must never change a single bit of output.
+//! [`WorkerPool`] provides exactly that contract:
+//!
+//! * a **fixed set of worker threads** spawned once and fed over a
+//!   channel (no per-level `std::thread::scope` spawning — thread startup
+//!   used to dominate shallow levels and kept the `parallel` feature off
+//!   by default);
+//! * **chunked tasks**: a batch of items is cut into contiguous chunks
+//!   (optionally balanced by a caller-supplied weight, e.g. points per
+//!   segment or queries per slice) so per-task channel overhead is
+//!   amortized;
+//! * **ordered collection**: every chunk reports `(chunk_index, results)`
+//!   and the caller reassembles the output by index, so the returned
+//!   `Vec` is identical — bitwise — to what a sequential loop produces,
+//!   regardless of worker count or scheduling. Randomness never enters a
+//!   pooled task: Laplace draws stay sequential arena-order passes in the
+//!   builders.
+//!
+//! The pool is shared process-wide through [`global`] (sized from
+//! `PRIVTREE_POOL_WORKERS` or the machine's parallelism); benches and
+//! tests construct private pools with [`WorkerPool::new`] to compare
+//! worker counts explicitly.
+//!
+//! Scoped borrows: tasks may capture non-`'static` references (the point
+//! permutation's sub-slices, a borrowed synopsis). [`WorkerPool`] makes
+//! this sound the same way scoped thread pools do — every dispatch blocks
+//! until all of its chunks have reported back (even on panic, which is
+//! re-raised in the caller), so no borrow outlives the call.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work shipped to a worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// True on pool worker threads. A task already running on a pool must
+    /// not dispatch to one (its own or another): it would block waiting on
+    /// sub-jobs while occupying the very worker that could drain them — a
+    /// deadlock once every worker waits. Nested dispatches therefore run
+    /// inline, which is always safe (and bit-identical by contract).
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Fixed worker threads fed by one shared channel.
+///
+/// See the crate docs for the determinism contract. Dropping the pool
+/// closes the channel and joins every worker.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` threads (clamped to at least 1).
+    ///
+    /// A 1-worker pool never spawns: dispatches run inline on the caller,
+    /// which keeps single-core machines and `--no-default-features`-style
+    /// comparisons free of thread overhead.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return Self {
+                sender: None,
+                handles: Vec::new(),
+                workers,
+            };
+        }
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("privtree-worker-{i}"))
+                    .spawn(move || {
+                        IN_POOL_WORKER.set(true);
+                        loop {
+                            // hold the lock only while dequeuing, not
+                            // while running the job
+                            let job = match receiver.lock() {
+                                Ok(rx) => rx.recv(),
+                                Err(_) => break, // a job panicked mid-recv
+                            };
+                            match job {
+                                Ok(job) => job(),
+                                Err(_) => break, // pool dropped
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            handles,
+            workers,
+        }
+    }
+
+    /// Pool sized for this machine: `PRIVTREE_POOL_WORKERS` if set,
+    /// otherwise `std::thread::available_parallelism()`.
+    pub fn for_machine() -> Self {
+        let workers = std::env::var("PRIVTREE_POOL_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::new(workers)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Map `f` over `items` (chunks balanced by item count), returning
+    /// results in input order. Bit-identical to
+    /// `items.into_iter().map(f).collect()` for pure `f`.
+    pub fn map_vec<T, R>(&self, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        self.map_vec_weighted(items, |_| 1, f)
+    }
+
+    /// Map `f` over `items` with contiguous chunks balanced by `weight`
+    /// (e.g. points per segment — PrivTree levels are heavily skewed, so
+    /// equal-item chunks would serialize one dense chunk on one worker).
+    /// Results come back in input order; for pure `f` the output is
+    /// bit-identical to a sequential loop for every worker count.
+    pub fn map_vec_weighted<T, R>(
+        &self,
+        items: Vec<T>,
+        weight: impl Fn(&T) -> usize,
+        f: impl Fn(T) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        let n = items.len();
+        if self.workers <= 1 || n <= 1 || IN_POOL_WORKER.get() {
+            return items.into_iter().map(f).collect();
+        }
+
+        // cut [0, n) into contiguous weight-balanced chunks; mild
+        // oversubscription lets fast workers take a second helping
+        let weights: Vec<usize> = items.iter().map(&weight).collect();
+        let ranges = weighted_ranges(&weights, self.workers * 2);
+        if ranges.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        // carve the items into owned chunks, preserving order
+        let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(ranges.len());
+        let mut items = items.into_iter();
+        for (idx, r) in ranges.iter().enumerate() {
+            chunks.push((idx, items.by_ref().take(r.len()).collect()));
+        }
+
+        let (result_tx, result_rx) = channel::<(usize, std::thread::Result<Vec<R>>)>();
+        let f = &f;
+        let n_chunks = chunks.len();
+        for (idx, chunk) in chunks {
+            let result_tx = result_tx.clone();
+            self.submit(Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                }));
+                // the caller always outlives this send: it blocks on
+                // receiving exactly n_chunks reports
+                let _ = result_tx.send((idx, out));
+            }));
+        }
+        drop(result_tx);
+
+        let mut slots: Vec<Option<Vec<R>>> = (0..n_chunks).map(|_| None).collect();
+        let mut panic = None;
+        for _ in 0..n_chunks {
+            let (idx, out) = result_rx
+                .recv()
+                .expect("worker pool disconnected mid-dispatch");
+            match out {
+                Ok(results) => slots[idx] = Some(results),
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        // only re-raise once every chunk has reported: no task may still
+        // borrow the caller's data after this function returns
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            out.extend(slot.expect("every chunk reports exactly once"));
+        }
+        out
+    }
+
+    /// Map `f` over shared references, in input order. Convenience for
+    /// read-only fan-outs (per-level noise-free scoring).
+    pub fn map_ref<T, R>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.map_vec(items.iter().collect(), |t: &T| f(t))
+    }
+
+    /// Ship one erased job to the workers.
+    ///
+    /// The `'scope` lifetime is transmuted away; this is sound because
+    /// every public dispatch path blocks until all of its jobs have
+    /// reported completion (see [`WorkerPool::map_vec_weighted`]), so the
+    /// borrows a job captures always outlive its execution — the same
+    /// argument scoped thread pools rely on.
+    fn submit<'scope>(&self, job: Box<dyn FnOnce() + Send + 'scope>) {
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.sender
+            .as_ref()
+            .expect("submit on an inline (1-worker) pool")
+            .send(job)
+            .expect("worker pool channel closed");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // workers see Err(RecvError) and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The process-wide pool, created on first use via
+/// [`WorkerPool::for_machine`]. Builders and batch query paths reach for
+/// this when no explicit pool is supplied.
+pub fn global() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(WorkerPool::for_machine)
+}
+
+/// Cut `[0, len)` into at most `chunks` contiguous equal-count ranges
+/// (every range non-empty). Deterministic in its inputs.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Cut `[0, weights.len())` into at most `max_chunks` contiguous ranges of
+/// roughly equal total weight. Deterministic in its inputs.
+pub fn weighted_ranges(weights: &[usize], max_chunks: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_chunks = max_chunks.clamp(1, n);
+    let total: usize = weights.iter().sum();
+    let target = total.div_ceil(max_chunks).max(1);
+    let mut out = Vec::with_capacity(max_chunks);
+    let mut start = 0;
+    let mut acc = 0usize;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w;
+        if acc >= target && out.len() + 1 < max_chunks {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_vec_matches_sequential_for_every_worker_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for workers in [1usize, 2, 3, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let got = pool.map_vec(items.clone(), |x| x * x + 1);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_ref_preserves_order() {
+        let items: Vec<String> = (0..257).map(|i| format!("item-{i}")).collect();
+        let pool = WorkerPool::new(4);
+        let got = pool.map_ref(&items, |s| s.len());
+        let expected: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn weighted_map_handles_heavy_skew() {
+        // one huge item plus a sea of small ones: the pool must still
+        // return everything in order
+        let mut items: Vec<usize> = vec![1_000_000];
+        items.extend(1..500);
+        let pool = WorkerPool::new(4);
+        let got = pool.map_vec_weighted(items.clone(), |w| *w, |w| w + 1);
+        let expected: Vec<usize> = items.iter().map(|w| w + 1).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn borrows_stay_valid_across_dispatch() {
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let pool = WorkerPool::new(3);
+        let ranges = chunk_ranges(data.len(), 16);
+        let sums = pool.map_vec(ranges, |r| data[r].iter().sum::<f64>());
+        assert_eq!(sums.iter().sum::<f64>(), data.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.map_vec(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(pool.map_vec(vec![7u32], |x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_instead_of_deadlocking() {
+        // a pooled task dispatching again (same pool or another) must
+        // complete: nested dispatches detect the worker context and run
+        // inline rather than re-entering a pool
+        let outer = WorkerPool::new(2);
+        let inner = WorkerPool::new(2);
+        let got = outer.map_vec(vec![10usize, 20, 30], |x| {
+            let same: usize = outer.map_vec((0..x).collect(), |y| y + 1).iter().sum();
+            let other: usize = inner.map_vec((0..x).collect(), |y| y + 1).iter().sum();
+            assert_eq!(same, other);
+            same
+        });
+        assert_eq!(got, vec![55, 210, 465]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_vec((0..64).collect::<Vec<i32>>(), |x| {
+                assert!(x != 33, "boom");
+                x
+            })
+        }));
+        assert!(result.is_err(), "panic must surface to the caller");
+        // the pool remains usable after a propagated panic
+        let ok = pool.map_vec(vec![1, 2, 3], |x| x + 1);
+        assert_eq!(ok, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (len, chunks) in [(10usize, 3usize), (1, 8), (0, 4), (16, 16), (100, 7)] {
+            let ranges = chunk_ranges(len, chunks);
+            let covered: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(covered, len);
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_cover_exactly() {
+        let weights = [100usize, 1, 1, 1, 50, 2, 2, 90, 1];
+        let ranges = weighted_ranges(&weights, 4);
+        assert!(ranges.len() <= 4);
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, weights.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_works() {
+        let pool = global();
+        assert!(pool.workers() >= 1);
+        let got = pool.map_vec((0..100).collect::<Vec<u32>>(), |x| x + 1);
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[99], 100);
+    }
+}

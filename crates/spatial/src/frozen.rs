@@ -8,19 +8,79 @@
 //! layout: the release is frozen once into parallel flat arrays
 //! (`lo`/`hi` coordinates packed at the *actual* dimensionality, child
 //! ranges, counts) and every query runs an allocation-free iterative
-//! traversal over them. [`FrozenSynopsis::answer_batch`] additionally
-//! reuses one traversal stack across a whole workload.
+//! traversal over them. Single queries borrow a thread-local traversal
+//! stack, so even [`FrozenSynopsis::answer`] allocates nothing per call;
+//! batches go further and chunk the workload across the persistent
+//! `privtree-runtime` worker pool with one traversal stack per chunk
+//! ([`FrozenSynopsis::answer_batch_with_pool`]; with the default
+//! `parallel` feature, [`RangeCountSynopsis::answer_batch`] engages the
+//! shared global pool automatically on large workloads). Every query is
+//! answered independently by the same float operations, so pooled batch
+//! answers are bit-identical to the sequential loop for every worker
+//! count (property-tested in `tests/serving.rs`).
 //!
 //! Freezing is lossless: [`FrozenSynopsis::thaw`] reconstructs the exact
 //! tree (same arena order), and the answers agree with the tree-walk to
 //! floating-point reassociation error (≪ 1e-9; property-tested in
 //! `tests/proptest_invariants.rs`).
 
+use std::cell::RefCell;
+
 use privtree_core::tree::{NodeId, Tree};
+use privtree_runtime::WorkerPool;
 
 use crate::geom::Rect;
 use crate::query::{RangeCountSynopsis, RangeQuery};
 use crate::synopsis::SpatialSynopsis;
+
+thread_local! {
+    /// Reusable traversal stacks for single-query entry points: one for
+    /// the (possibly sharded) top arena, one for shard descents.
+    static QUERY_SCRATCH: RefCell<(Vec<u32>, Vec<u32>)> =
+        RefCell::new((Vec::with_capacity(64), Vec::with_capacity(64)));
+}
+
+/// Run `f` with the calling thread's reusable pair of traversal stacks.
+pub(crate) fn with_query_scratch<R>(f: impl FnOnce(&mut Vec<u32>, &mut Vec<u32>) -> R) -> R {
+    QUERY_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (top, shard) = &mut *scratch;
+        f(top, shard)
+    })
+}
+
+/// The one copy of the pooled batch-dispatch policy, shared by the frozen
+/// and sharded engines: cut the workload into `workers*2` contiguous
+/// ranges (one pool task each, mild oversubscription against query skew)
+/// and answer each chunk with `answer_chunk`, which sets up its own
+/// per-chunk traversal scratch. Falls back to one chunk on the caller
+/// when the pool cannot help. Ordered collection keeps the output
+/// bit-identical to `answer_chunk(queries)` for every worker count.
+pub(crate) fn dispatch_batch(
+    queries: &[RangeQuery],
+    pool: &WorkerPool,
+    answer_chunk: impl Fn(&[RangeQuery]) -> Vec<f64> + Sync,
+) -> Vec<f64> {
+    let ranges = privtree_runtime::chunk_ranges(queries.len(), pool.workers() * 2);
+    if pool.workers() <= 1 || ranges.len() <= 1 {
+        return answer_chunk(queries);
+    }
+    pool.map_vec(ranges, |r| answer_chunk(&queries[r]))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// How a node's box relates to a query box in the Section 2.2 traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Overlap {
+    /// Case 1: no overlap — contributes nothing.
+    Disjoint,
+    /// Case 2: node fully inside the query — take its released count.
+    Contained,
+    /// Cases 3/4: partial overlap — descend or apply the uniform rule.
+    Partial,
+}
 
 /// A flattened, immutable synopsis: one release, many fast reads.
 #[derive(Debug, Clone)]
@@ -107,6 +167,42 @@ impl FrozenSynopsis {
         &self.hi[index * self.dims..(index + 1) * self.dims]
     }
 
+    /// Arena index of each node's first child (0 for leaves).
+    pub(crate) fn first_child(&self) -> &[u32] {
+        &self.first_child
+    }
+
+    /// Number of children per node (0 for leaves).
+    pub(crate) fn child_count(&self) -> &[u32] {
+        &self.child_count
+    }
+
+    /// Assemble a frozen synopsis directly from its flat arrays (the
+    /// sharded re-layout builds sub-arenas this way).
+    pub(crate) fn from_raw(
+        dims: usize,
+        lo: Vec<f64>,
+        hi: Vec<f64>,
+        first_child: Vec<u32>,
+        child_count: Vec<u32>,
+        counts: Vec<f64>,
+        label: &'static str,
+    ) -> Self {
+        debug_assert_eq!(lo.len(), counts.len() * dims);
+        debug_assert_eq!(hi.len(), counts.len() * dims);
+        debug_assert_eq!(first_child.len(), counts.len());
+        debug_assert_eq!(child_count.len(), counts.len());
+        Self {
+            dims,
+            lo,
+            hi,
+            first_child,
+            child_count,
+            counts,
+            label,
+        }
+    }
+
     /// Reconstruct the pointer-walk synopsis (exact inverse of
     /// [`FrozenSynopsis::freeze`], same arena order).
     pub fn thaw(&self) -> SpatialSynopsis {
@@ -132,72 +228,129 @@ impl FrozenSynopsis {
         SpatialSynopsis::from_parts(tree, self.counts.clone(), self.label)
     }
 
-    /// The Section 2.2 traversal over the flat arrays, with a
-    /// caller-provided stack so batches allocate nothing per query.
-    fn answer_with_stack(&self, q: &Rect, stack: &mut Vec<u32>) -> f64 {
-        debug_assert_eq!(q.dims(), self.dims);
+    /// Case 1 vs case 2 vs cases 3/4 of the Section 2.2 traversal for
+    /// node `i` against the query box. This predicate (and
+    /// [`FrozenSynopsis::leaf_contribution`]) is the single copy of the
+    /// float-critical per-node logic: the frozen walk and the sharded
+    /// top walk both build on it, so their bit-identity contract cannot
+    /// drift apart.
+    #[inline]
+    pub(crate) fn classify(&self, i: usize, qlo: &[f64], qhi: &[f64]) -> Overlap {
         let d = self.dims;
+        let nlo = &self.lo[i * d..(i + 1) * d];
+        let nhi = &self.hi[i * d..(i + 1) * d];
+        // case 1: disjoint (shared edges do not overlap)
+        if (0..d).any(|k| nlo[k] >= qhi[k] || qlo[k] >= nhi[k]) {
+            return Overlap::Disjoint;
+        }
+        // case 2: node fully inside the query
+        if (0..d).all(|k| nlo[k] >= qlo[k] && nhi[k] <= qhi[k]) {
+            return Overlap::Contained;
+        }
+        Overlap::Partial
+    }
+
+    /// Case 4: the uniform-assumption contribution of a partially
+    /// overlapped leaf, or `None` for a degenerate (zero-volume) box.
+    #[inline]
+    pub(crate) fn leaf_contribution(&self, i: usize, qlo: &[f64], qhi: &[f64]) -> Option<f64> {
+        let d = self.dims;
+        let nlo = &self.lo[i * d..(i + 1) * d];
+        let nhi = &self.hi[i * d..(i + 1) * d];
+        let mut volume = 1.0;
+        let mut overlap = 1.0;
+        for k in 0..d {
+            volume *= nhi[k] - nlo[k];
+            overlap *= nhi[k].min(qhi[k]) - nlo[k].max(qlo[k]);
+        }
+        (volume > 0.0).then(|| self.counts[i] * overlap / volume)
+    }
+
+    /// The Section 2.2 traversal over the flat arrays, with a
+    /// caller-provided stack so batches allocate nothing per query, and a
+    /// caller-provided starting accumulator. The carried accumulator is
+    /// what lets [`crate::sharded::ShardedSynopsis`] splice a shard
+    /// descent into its top-level walk and stay bit-identical to the
+    /// unsharded traversal: every contribution is applied with `+=` in
+    /// the same order either way.
+    pub(crate) fn accumulate(&self, q: &Rect, stack: &mut Vec<u32>, init: f64) -> f64 {
+        debug_assert_eq!(q.dims(), self.dims);
         let (qlo, qhi) = (q.lo(), q.hi());
-        let mut acc = 0.0;
+        let mut acc = init;
         stack.clear();
         stack.push(0);
         while let Some(v) = stack.pop() {
             let i = v as usize;
-            let nlo = &self.lo[i * d..(i + 1) * d];
-            let nhi = &self.hi[i * d..(i + 1) * d];
-            // case 1: disjoint — ignore (shared edges do not overlap)
-            if (0..d).any(|k| nlo[k] >= qhi[k] || qlo[k] >= nhi[k]) {
-                continue;
-            }
-            // case 2: node fully inside the query — take its count
-            if (0..d).all(|k| nlo[k] >= qlo[k] && nhi[k] <= qhi[k]) {
-                acc += self.counts[i];
-                continue;
-            }
-            let children = self.child_count[i];
-            if children > 0 {
-                // case 3: partial overlap, internal — visit children in
-                // arena order (pushed reversed so they pop in order,
-                // keeping the summation order of the tree walk)
-                let first = self.first_child[i];
-                for c in (first..first + children).rev() {
-                    stack.push(c);
-                }
-            } else {
-                // case 4: partial overlap, leaf — uniform assumption
-                let mut volume = 1.0;
-                let mut overlap = 1.0;
-                for k in 0..d {
-                    volume *= nhi[k] - nlo[k];
-                    overlap *= nhi[k].min(qhi[k]) - nlo[k].max(qlo[k]);
-                }
-                if volume > 0.0 {
-                    acc += self.counts[i] * overlap / volume;
+            match self.classify(i, qlo, qhi) {
+                Overlap::Disjoint => {}
+                Overlap::Contained => acc += self.counts[i],
+                Overlap::Partial => {
+                    let children = self.child_count[i];
+                    if children > 0 {
+                        // case 3: partial overlap, internal — visit
+                        // children in arena order (pushed reversed so
+                        // they pop in order, keeping the summation order
+                        // of the tree walk)
+                        let first = self.first_child[i];
+                        for c in (first..first + children).rev() {
+                            stack.push(c);
+                        }
+                    } else if let Some(c) = self.leaf_contribution(i, qlo, qhi) {
+                        acc += c;
+                    }
                 }
             }
         }
         acc
     }
+
+    /// Answer a workload on the calling thread with one reused traversal
+    /// stack. This is the single-worker reference the pooled path is
+    /// property-tested against.
+    pub fn answer_batch_sequential(&self, queries: &[RangeQuery]) -> Vec<f64> {
+        let mut stack = Vec::with_capacity(64);
+        queries
+            .iter()
+            .map(|q| self.accumulate(&q.rect, &mut stack, 0.0))
+            .collect()
+    }
+
+    /// Answer a workload chunked across `pool`, one traversal stack per
+    /// chunk (so a worker allocates once per chunk, not per query).
+    /// Results come back in input order and each query is computed by
+    /// exactly the same float operations as the sequential path, so the
+    /// output is bit-identical to [`FrozenSynopsis::answer_batch_sequential`]
+    /// for every worker count.
+    pub fn answer_batch_with_pool(&self, queries: &[RangeQuery], pool: &WorkerPool) -> Vec<f64> {
+        dispatch_batch(queries, pool, |chunk| self.answer_batch_sequential(chunk))
+    }
 }
 
 impl RangeCountSynopsis for FrozenSynopsis {
     fn answer(&self, q: &RangeQuery) -> f64 {
-        let mut stack = Vec::with_capacity(64);
-        self.answer_with_stack(&q.rect, &mut stack)
+        with_query_scratch(|stack, _| self.accumulate(&q.rect, stack, 0.0))
     }
 
     fn answer_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
-        let mut stack = Vec::with_capacity(64);
-        queries
-            .iter()
-            .map(|q| self.answer_with_stack(&q.rect, &mut stack))
-            .collect()
+        #[cfg(feature = "parallel")]
+        {
+            let pool = privtree_runtime::global();
+            if pool.workers() > 1 && queries.len() >= BATCH_PARALLEL_THRESHOLD {
+                return self.answer_batch_with_pool(queries, pool);
+            }
+        }
+        self.answer_batch_sequential(queries)
     }
 
     fn label(&self) -> &'static str {
         self.label
     }
 }
+
+/// The shared global pool engages on `answer_batch` only for workloads at
+/// least this large; below it dispatch overhead beats the win.
+#[cfg(feature = "parallel")]
+pub(crate) const BATCH_PARALLEL_THRESHOLD: usize = 512;
 
 impl From<&SpatialSynopsis> for FrozenSynopsis {
     fn from(synopsis: &SpatialSynopsis) -> Self {

@@ -7,11 +7,19 @@
 //!   for the 10,000-query workloads of Section 6.1).
 //! * [`quadtree`] — the quadtree / 2^i-ary [`privtree_core::TreeDomain`]
 //!   with in-place point partitioning; `RefCell`-free, `Send`, and able
-//!   to split a whole frontier level as one (optionally threaded) batch.
+//!   to split a whole frontier level as one batch fanned out across the
+//!   persistent `privtree-runtime` worker pool (default `parallel`
+//!   feature; bit-identical to sequential for every worker count).
 //! * [`query`] — range-count queries and the `answer`/`answer_batch`
 //!   synopsis interface.
 //! * [`frozen`] — [`frozen::FrozenSynopsis`], the read-optimized
-//!   structure-of-arrays flattening of a release for serving workloads.
+//!   structure-of-arrays flattening of a release for serving workloads:
+//!   allocation-free single queries (thread-local traversal stack) and
+//!   pool-chunked batches.
+//! * [`sharded`] — [`sharded::ShardedSynopsis`], multi-arena serving with
+//!   domain-based query routing: one frozen arena per epoch/region shard
+//!   (or per cut subtree of one release, answering bit-identically to the
+//!   unsharded arena).
 //! * [`serialize`] — plain-text export/import of released synopses.
 //! * [`synopsis`] — private spatial synopses: PrivTree + noisy leaf counts
 //!   (Section 3.4) or SimpleTree with its own per-node counts, answered
@@ -24,6 +32,7 @@ pub mod index;
 pub mod quadtree;
 pub mod query;
 pub mod serialize;
+pub mod sharded;
 pub mod synopsis;
 
 pub use dataset::PointSet;
@@ -32,6 +41,7 @@ pub use geom::Rect;
 pub use index::GridIndex;
 pub use quadtree::{QuadDomain, QuadNode, SplitConfig};
 pub use query::{RangeCountSynopsis, RangeQuery};
+pub use sharded::ShardedSynopsis;
 pub use synopsis::{exact_synopsis, privtree_synopsis, simple_tree_synopsis, SpatialSynopsis};
 
 /// Maximum supported dimensionality (the paper's datasets are 2-d and 4-d;

@@ -12,11 +12,16 @@
 //! is `Send` and a whole frontier level can be split as one batch. The
 //! segments of a frontier are pairwise disjoint and (in builder order)
 //! ascending, so [`QuadDomain::split_frontier`] carves the permutation
-//! into independent sub-slices — and, under the `parallel` feature, fans
-//! them out across threads with `std::thread::scope` (deterministic:
-//! results are joined in input order and no randomness is involved).
+//! into independent sub-slices and fans them out across the persistent
+//! [`privtree_runtime::WorkerPool`] (deterministic: results are collected
+//! in input order and no randomness is involved, so pooled builds are
+//! bit-identical to sequential ones for every worker count). With the
+//! default `parallel` feature the shared [`privtree_runtime::global`]
+//! pool engages automatically on large levels; an explicit pool set via
+//! [`QuadDomain::with_pool`] is always used.
 
 use privtree_core::domain::TreeDomain;
+use privtree_runtime::WorkerPool;
 
 use crate::dataset::PointSet;
 use crate::geom::Rect;
@@ -141,6 +146,7 @@ pub struct QuadDomain<'a> {
     perm: Vec<u32>,
     root_rect: Rect,
     config: SplitConfig,
+    pool: Option<&'a WorkerPool>,
 }
 
 impl<'a> QuadDomain<'a> {
@@ -153,7 +159,17 @@ impl<'a> QuadDomain<'a> {
             perm: (0..data.len() as u32).collect(),
             root_rect,
             config,
+            pool: None,
         }
+    }
+
+    /// Split frontier levels on `pool` instead of the shared global pool.
+    /// An explicit pool is always used (even without the `parallel`
+    /// feature and below the auto-parallelism size threshold), which is
+    /// how the tests pin builds to specific worker counts.
+    pub fn with_pool(mut self, pool: &'a WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Domain with the standard β = 2^d quadtree split.
@@ -218,7 +234,7 @@ impl TreeDomain for QuadDomain<'_> {
             base = node.end;
         }
 
-        run_split_jobs(self.data, &self.config, jobs)
+        run_split_jobs(self.data, &self.config, jobs, self.pool)
     }
 
     fn score(&self, node: &QuadNode) -> f64 {
@@ -226,79 +242,41 @@ impl TreeDomain for QuadDomain<'_> {
     }
 }
 
-/// Execute the per-segment split jobs sequentially.
-#[cfg(not(feature = "parallel"))]
+/// Execute the per-segment split jobs, fanning them out across the worker
+/// pool when one is available and the level carries enough work. Chunks
+/// are balanced by *point* count, not node count — PrivTree levels are
+/// heavily skewed (one dense segment can hold most of the data), so
+/// equal-node chunks would serialize on one worker. Results are collected
+/// in input order, so the output is identical to the sequential path for
+/// every worker count.
 fn run_split_jobs(
     data: &PointSet,
     config: &SplitConfig,
     jobs: Vec<(&QuadNode, &mut [u32])>,
+    pool: Option<&WorkerPool>,
 ) -> Vec<Option<Vec<QuadNode>>> {
-    jobs.into_iter()
-        .map(|(node, seg)| split_segment(data, config, node, seg))
-        .collect()
-}
-
-/// Execute the per-segment split jobs across threads when the level holds
-/// enough work to amortize spawning. Output order always equals input
-/// order, so the result is identical to the sequential path.
-#[cfg(feature = "parallel")]
-fn run_split_jobs(
-    data: &PointSet,
-    config: &SplitConfig,
-    jobs: Vec<(&QuadNode, &mut [u32])>,
-) -> Vec<Option<Vec<QuadNode>>> {
-    /// Spawn threads only when a level moves at least this many points.
+    /// The shared global pool engages only when a level moves at least
+    /// this many points; an explicitly configured pool is always used.
     const PARALLEL_POINT_THRESHOLD: usize = 1 << 15;
 
     let total_points: usize = jobs.iter().map(|(_, seg)| seg.len()).sum();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(jobs.len());
-    if threads <= 1 || total_points < PARALLEL_POINT_THRESHOLD {
-        return jobs
+    let explicit = pool.is_some();
+    #[cfg(feature = "parallel")]
+    let pool = pool.or_else(|| Some(privtree_runtime::global()));
+    let engage = pool.is_some_and(|p| {
+        p.workers() > 1 && jobs.len() > 1 && (explicit || total_points >= PARALLEL_POINT_THRESHOLD)
+    });
+    match pool {
+        Some(pool) if engage => pool.map_vec_weighted(
+            jobs,
+            |(_, seg)| seg.len().max(1),
+            |(node, seg)| split_segment(data, config, node, seg),
+        ),
+        _ => jobs
             .into_iter()
             .map(|(node, seg)| split_segment(data, config, node, seg))
-            .collect();
+            .collect(),
     }
-
-    // contiguous chunks balanced by *point* count, not node count —
-    // PrivTree levels are heavily skewed (one dense segment can hold
-    // most of the data), so equal-node chunks would serialize on one
-    // thread. Joined in input order for determinism.
-    let target = total_points.div_ceil(threads);
-    let mut chunks: Vec<Vec<(&QuadNode, &mut [u32])>> = Vec::new();
-    let mut current: Vec<(&QuadNode, &mut [u32])> = Vec::new();
-    let mut current_points = 0usize;
-    for job in jobs {
-        current_points += job.1.len();
-        current.push(job);
-        if current_points >= target && chunks.len() + 1 < threads {
-            chunks.push(std::mem::take(&mut current));
-            current_points = 0;
-        }
-    }
-    if !current.is_empty() {
-        chunks.push(current);
-    }
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|(node, seg)| split_segment(data, config, node, seg))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("split worker panicked"))
-            .collect()
-    })
 }
 
 #[cfg(test)]

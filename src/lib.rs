@@ -22,6 +22,10 @@
 //!   mechanism, and a DAWA-style two-stage method (Section 6.1).
 //! * [`markov`] — prediction suffix trees and the PrivTree extension for
 //!   sequence data, plus the N-gram and EM baselines (Sections 4 and 6.2).
+//! * [`runtime`] — the persistent deterministic worker pool both hot
+//!   paths run on: fixed worker threads, channel-fed chunked tasks,
+//!   ordered result collection (pooled builds and batch answers are
+//!   bit-identical to sequential for every worker count).
 //! * [`svt`] — the four Sparse Vector Technique variants and the privacy
 //!   audits reproducing Lemma 5.1 and Appendix A.
 //! * [`datagen`] — seeded synthetic datasets standing in for the paper's
@@ -69,5 +73,6 @@ pub use privtree_datagen as datagen;
 pub use privtree_dp as dp;
 pub use privtree_eval as eval;
 pub use privtree_markov as markov;
+pub use privtree_runtime as runtime;
 pub use privtree_spatial as spatial;
 pub use privtree_svt as svt;
