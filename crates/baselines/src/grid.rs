@@ -56,14 +56,67 @@ impl GridScratch {
     }
 }
 
+/// The exact-histogram pass engages the shared pool only for datasets at
+/// least this large; below it the scan is too cheap to amortize dispatch.
+#[cfg(feature = "parallel")]
+const HISTOGRAM_PARALLEL_THRESHOLD: usize = 1 << 16;
+
 /// Exact histogram of `data` on a `bins`-per-dimension grid over `domain`
-/// (row-major, dimension 0 slowest).
+/// (row-major, dimension 0 slowest). With the default `parallel` feature,
+/// large datasets are scanned in chunks across the shared
+/// `privtree-runtime` pool — the per-cell counts are small integers, so
+/// float addition is exact in any order and the pooled result is
+/// bit-identical to the sequential scan. This is construction-side only:
+/// the per-cell noise draws of every grid baseline stay a sequential pass
+/// in cell order, so releases are unchanged.
 pub fn histogram(data: &PointSet, domain: &Rect, bins: &[usize]) -> Vec<f64> {
+    #[cfg(feature = "parallel")]
+    {
+        let pool = privtree_runtime::global();
+        if pool.workers() > 1 && data.len() >= HISTOGRAM_PARALLEL_THRESHOLD {
+            return histogram_with_pool(data, domain, bins, pool);
+        }
+    }
+    histogram_range(data, domain, bins, 0..data.len())
+}
+
+/// [`histogram`] chunked across an explicit pool: each worker scans a
+/// contiguous point range into a partial histogram and the partials are
+/// merged in chunk order. Bit-identical to the sequential scan for every
+/// worker count (integer-valued adds are exact).
+pub fn histogram_with_pool(
+    data: &PointSet,
+    domain: &Rect,
+    bins: &[usize],
+    pool: &privtree_runtime::WorkerPool,
+) -> Vec<f64> {
+    let ranges = privtree_runtime::chunk_ranges(data.len(), pool.workers() * 2);
+    if pool.workers() <= 1 || ranges.len() <= 1 {
+        return histogram_range(data, domain, bins, 0..data.len());
+    }
+    let partials = pool.map_vec(ranges, |r| histogram_range(data, domain, bins, r));
+    let mut total = vec![0.0f64; bins.iter().product()];
+    for part in partials {
+        for (t, p) in total.iter_mut().zip(part) {
+            *t += p;
+        }
+    }
+    total
+}
+
+/// The single copy of the binning scan, over one point range.
+fn histogram_range(
+    data: &PointSet,
+    domain: &Rect,
+    bins: &[usize],
+    range: std::ops::Range<usize>,
+) -> Vec<f64> {
     let d = data.dims();
     assert_eq!(bins.len(), d);
     let total: usize = bins.iter().product();
     let mut hist = vec![0.0f64; total];
-    for p in data.iter() {
+    for i in range {
+        let p = data.point(i);
         let mut idx = 0usize;
         for k in 0..d {
             let side = domain.side(k);
@@ -384,6 +437,21 @@ mod tests {
         let h = histogram(&ps, &Rect::unit(2), &[8, 8]);
         assert_eq!(h.len(), 64);
         assert_eq!(h.iter().sum::<f64>(), 1000.0);
+    }
+
+    #[test]
+    fn pooled_histogram_is_bit_identical_for_every_worker_count() {
+        let ps = random_points(30_000, 2, 11);
+        let bins = [16usize, 16];
+        let reference = histogram(&ps, &Rect::unit(2), &bins);
+        for workers in [1usize, 2, 4, 8] {
+            let pool = privtree_runtime::WorkerPool::new(workers);
+            let pooled = histogram_with_pool(&ps, &Rect::unit(2), &bins, &pool);
+            assert_eq!(pooled.len(), reference.len());
+            for (a, b) in reference.iter().zip(&pooled) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers = {workers}");
+            }
+        }
     }
 
     #[test]

@@ -1,10 +1,15 @@
-//! Serving-engine throughput: the same PrivTree release answering a
-//! 10,000-query workload single-threaded versus chunked across the
-//! persistent worker pool at 1/4/8 workers, frozen and sharded. Verifies
-//! bit-identity between every configuration and writes a
+//! Serving-engine throughput: the same PrivTree release answering
+//! 10,000-query workloads through every read engine — the plain frozen
+//! traversal (single-threaded and pool-chunked), the sharded re-layout,
+//! and the grid-routed accelerator (summed-area interior + cell-anchored
+//! boundary shell, with and without Morton batch reordering). Verifies
+//! the equality contracts between configurations and writes a
 //! machine-readable summary to `BENCH_serve.json` (including the
 //! machine's core count — pool speedups are bounded by physical
-//! parallelism, so the numbers are only comparable per machine).
+//! parallelism; the grid-routed speedup is algorithmic, so it must show
+//! even on one core). `cargo bench --bench serve -- --test` (or
+//! `PRIVTREE_BENCH_SMOKE=1`) runs a quick smoke configuration and skips
+//! the JSON artifact.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use privtree_datagen::spatial::gowalla_like;
@@ -16,7 +21,7 @@ use privtree_spatial::geom::Rect;
 use privtree_spatial::quadtree::SplitConfig;
 use privtree_spatial::sharded::ShardedSynopsis;
 use privtree_spatial::synopsis::privtree_synopsis;
-use privtree_spatial::FrozenSynopsis;
+use privtree_spatial::{FrozenSynopsis, GridRoutedSynopsis};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -30,11 +35,24 @@ fn best_secs(samples: usize, mut f: impl FnMut() -> Vec<f64>) -> f64 {
     best
 }
 
+fn assert_bits_equal(label: &str, reference: &[f64], got: &[f64]) {
+    assert_eq!(reference.len(), got.len(), "{label}");
+    for (a, b) in reference.iter().zip(got) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label} diverged");
+    }
+}
+
 fn bench_serve(c: &mut Criterion) {
-    let data = gowalla_like(100_000, 1);
+    let smoke = criterion::test_mode() || std::env::var_os("PRIVTREE_BENCH_SMOKE").is_some();
+    let (points, per_workload, samples) = if smoke {
+        (20_000, 500, 2)
+    } else {
+        (100_000, 10_000, 15)
+    };
+
+    let data = gowalla_like(points, 1);
     let domain = Rect::unit(2);
     let eps = Epsilon::new(1.0).unwrap();
-    let queries = range_queries(&domain, QuerySize::Medium, 10_000, 7);
 
     let frozen: FrozenSynopsis =
         privtree_synopsis(&data, domain, SplitConfig::full(2), eps, &mut seeded(2))
@@ -42,77 +60,156 @@ fn bench_serve(c: &mut Criterion) {
             .freeze();
     let sharded = ShardedSynopsis::from_frozen(&frozen, 2);
 
+    // PRIVTREE_GRID_BINS=<n> sweeps the resolution; default heuristic otherwise
+    let bins_override = std::env::var("PRIVTREE_GRID_BINS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    let grid_build_start = Instant::now();
+    let grid = match bins_override {
+        Some(b) => GridRoutedSynopsis::with_bins(frozen.clone(), &[b, b]).unwrap(),
+        None => GridRoutedSynopsis::build(frozen.clone()).unwrap(),
+    };
+    let grid_build_secs = grid_build_start.elapsed().as_secs_f64();
+
     let pool1 = WorkerPool::new(1);
     let pool4 = WorkerPool::new(4);
     let pool8 = WorkerPool::new(8);
 
-    // the contract first: every configuration returns identical bits
-    let reference = frozen.answer_batch_sequential(&queries);
+    // the contracts first, on the medium workload: every frozen/sharded
+    // configuration returns identical bits; grid-routed matches the plain
+    // traversal numerically and is itself bit-stable across its batch paths
+    let medium = range_queries(&domain, QuerySize::Medium, per_workload, 7);
+    let reference = frozen.answer_batch_sequential(&medium);
     for (label, got) in [
         (
             "frozen_pool1",
-            frozen.answer_batch_with_pool(&queries, &pool1),
+            frozen.answer_batch_with_pool(&medium, &pool1),
         ),
         (
             "frozen_pool4",
-            frozen.answer_batch_with_pool(&queries, &pool4),
+            frozen.answer_batch_with_pool(&medium, &pool4),
         ),
         (
             "frozen_pool8",
-            frozen.answer_batch_with_pool(&queries, &pool8),
+            frozen.answer_batch_with_pool(&medium, &pool8),
         ),
-        ("sharded_seq", sharded.answer_batch_sequential(&queries)),
+        ("sharded_seq", sharded.answer_batch_sequential(&medium)),
         (
             "sharded_pool8",
-            sharded.answer_batch_with_pool(&queries, &pool8),
+            sharded.answer_batch_with_pool(&medium, &pool8),
         ),
     ] {
-        assert_eq!(reference.len(), got.len(), "{label}");
-        for (a, b) in reference.iter().zip(&got) {
-            assert_eq!(a.to_bits(), b.to_bits(), "{label} diverged");
+        assert_bits_equal(label, &reference, &got);
+    }
+    let grid_medium = grid.answer_batch_sequential(&medium);
+    for (a, b) in reference.iter().zip(&grid_medium) {
+        let tol = 1e-9 * a.abs().max(1.0);
+        assert!((a - b).abs() <= tol, "grid_routed vs frozen: {a} vs {b}");
+    }
+    assert_bits_equal(
+        "grid_morton",
+        &grid_medium,
+        &grid.answer_batch_morton(&medium),
+    );
+    assert_bits_equal(
+        "grid_pool8",
+        &grid_medium,
+        &grid.answer_batch_with_pool(&medium, &pool8),
+    );
+
+    c.bench_function("serve_frozen_sequential_medium", |b| {
+        b.iter(|| black_box(frozen.answer_batch_sequential(&medium)))
+    });
+    c.bench_function("serve_grid_routed_medium", |b| {
+        b.iter(|| black_box(grid.answer_batch_sequential(&medium)))
+    });
+    c.bench_function("serve_grid_routed_morton_medium", |b| {
+        b.iter(|| black_box(grid.answer_batch_morton(&medium)))
+    });
+    c.bench_function("serve_frozen_pool8_medium", |b| {
+        b.iter(|| black_box(frozen.answer_batch_with_pool(&medium, &pool8)))
+    });
+    c.bench_function("serve_sharded_pool8_medium", |b| {
+        b.iter(|| black_box(sharded.answer_batch_with_pool(&medium, &pool8)))
+    });
+
+    // wall-clock summary across the paper's three workload classes
+    let mut workload_json = String::new();
+    let mut medium_frozen_qps = 0.0;
+    let mut medium_grid_qps = 0.0;
+    let mut medium_grid_morton_qps = 0.0;
+    for size in QuerySize::all() {
+        let queries = range_queries(&domain, size, per_workload, 7);
+        let frozen_ref = frozen.answer_batch_sequential(&queries);
+        let grid_got = grid.answer_batch_sequential(&queries);
+        for (a, b) in frozen_ref.iter().zip(&grid_got) {
+            let tol = 1e-9 * a.abs().max(1.0);
+            assert!((a - b).abs() <= tol, "{}: {a} vs {b}", size.name());
         }
+        let t_frozen = best_secs(samples, || frozen.answer_batch_sequential(&queries));
+        let t_grid = best_secs(samples, || grid.answer_batch_sequential(&queries));
+        let t_morton = best_secs(samples, || grid.answer_batch_morton(&queries));
+        let n = queries.len() as f64;
+        if size == QuerySize::Medium {
+            medium_frozen_qps = n / t_frozen;
+            medium_grid_qps = n / t_grid;
+            medium_grid_morton_qps = n / t_morton;
+        }
+        workload_json.push_str(&format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"frozen_seq_qps\": {:.1},\n",
+                "      \"grid_routed_qps\": {:.1},\n",
+                "      \"grid_routed_morton_qps\": {:.1},\n",
+                "      \"grid_speedup\": {:.3}\n",
+                "    }}{}\n"
+            ),
+            size.name(),
+            n / t_frozen,
+            n / t_grid,
+            n / t_morton,
+            t_frozen / t_grid,
+            if size == QuerySize::Large { "" } else { "," },
+        ));
     }
 
-    c.bench_function("serve_frozen_sequential_10k", |b| {
-        b.iter(|| black_box(frozen.answer_batch_sequential(&queries)))
-    });
-    c.bench_function("serve_frozen_pool8_10k", |b| {
-        b.iter(|| black_box(frozen.answer_batch_with_pool(&queries, &pool8)))
-    });
-    c.bench_function("serve_sharded_pool8_10k", |b| {
-        b.iter(|| black_box(sharded.answer_batch_with_pool(&queries, &pool8)))
-    });
+    let seq = best_secs(samples, || frozen.answer_batch_sequential(&medium));
+    let p4 = best_secs(samples, || frozen.answer_batch_with_pool(&medium, &pool4));
+    let p8 = best_secs(samples, || frozen.answer_batch_with_pool(&medium, &pool8));
+    let sh_p8 = best_secs(samples, || sharded.answer_batch_with_pool(&medium, &pool8));
 
-    // wall-clock summary for the JSON artifact
-    let samples = 15;
-    let seq = best_secs(samples, || frozen.answer_batch_sequential(&queries));
-    let p1 = best_secs(samples, || frozen.answer_batch_with_pool(&queries, &pool1));
-    let p4 = best_secs(samples, || frozen.answer_batch_with_pool(&queries, &pool4));
-    let p8 = best_secs(samples, || frozen.answer_batch_with_pool(&queries, &pool8));
-    let sh_seq = best_secs(samples, || sharded.answer_batch_sequential(&queries));
-    let sh_p8 = best_secs(samples, || sharded.answer_batch_with_pool(&queries, &pool8));
-
-    let n = queries.len() as f64;
+    let n = medium.len() as f64;
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
+    let bins = grid
+        .grid()
+        .bins()
+        .iter()
+        .map(|b| b.to_string())
+        .collect::<Vec<_>>()
+        .join("x");
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"serve\",\n",
             "  \"dataset\": \"gowalla_like_100k\",\n",
-            "  \"queries\": {},\n",
+            "  \"queries_per_workload\": {},\n",
             "  \"nodes\": {},\n",
             "  \"shards\": {},\n",
             "  \"cores\": {},\n",
+            "  \"grid_bins\": \"{}\",\n",
+            "  \"grid_cells\": {},\n",
+            "  \"grid_memory_bytes\": {},\n",
+            "  \"grid_build_secs\": {:.6},\n",
             "  \"bit_identical\": true,\n",
-            "  \"frozen_seq_secs\": {:.9},\n",
-            "  \"frozen_pool1_secs\": {:.9},\n",
-            "  \"frozen_pool4_secs\": {:.9},\n",
-            "  \"frozen_pool8_secs\": {:.9},\n",
-            "  \"sharded_seq_secs\": {:.9},\n",
-            "  \"sharded_pool8_secs\": {:.9},\n",
+            "  \"workloads\": {{\n",
+            "{}",
+            "  }},\n",
             "  \"frozen_seq_qps\": {:.1},\n",
+            "  \"grid_routed_qps\": {:.1},\n",
+            "  \"grid_routed_morton_qps\": {:.1},\n",
+            "  \"grid_speedup_medium\": {:.3},\n",
             "  \"frozen_pool4_qps\": {:.1},\n",
             "  \"frozen_pool8_qps\": {:.1},\n",
             "  \"sharded_pool8_qps\": {:.1},\n",
@@ -120,26 +217,32 @@ fn bench_serve(c: &mut Criterion) {
             "  \"pool8_speedup\": {:.3}\n",
             "}}\n"
         ),
-        queries.len(),
+        per_workload,
         frozen.node_count(),
         sharded.shard_count(),
         cores,
-        seq,
-        p1,
-        p4,
-        p8,
-        sh_seq,
-        sh_p8,
-        n / seq,
+        bins,
+        grid.grid().cells(),
+        grid.grid().memory_bytes(),
+        grid_build_secs,
+        workload_json,
+        medium_frozen_qps,
+        medium_grid_qps,
+        medium_grid_morton_qps,
+        medium_grid_qps / medium_frozen_qps,
         n / p4,
         n / p8,
         n / sh_p8,
         seq / p4,
         seq / p8,
     );
-    match std::fs::write("BENCH_serve.json", &json) {
-        Ok(()) => println!("wrote BENCH_serve.json:\n{json}"),
-        Err(e) => eprintln!("could not write BENCH_serve.json: {e}\n{json}"),
+    if smoke {
+        println!("smoke mode: skipping BENCH_serve.json\n{json}");
+    } else {
+        match std::fs::write("BENCH_serve.json", &json) {
+            Ok(()) => println!("wrote BENCH_serve.json:\n{json}"),
+            Err(e) => eprintln!("could not write BENCH_serve.json: {e}\n{json}"),
+        }
     }
 }
 

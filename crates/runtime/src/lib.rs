@@ -230,6 +230,26 @@ impl WorkerPool {
         self.map_vec(items.iter().collect(), |t: &T| f(t))
     }
 
+    /// Cut `[0, len)` into at most `max_chunks` contiguous ranges, run `f`
+    /// on each range (one pool task per range), and concatenate the
+    /// per-range outputs in range order. The one copy of the
+    /// "chunk an index space, fan out, flatten ordered" pattern used by
+    /// grid-cell precomputation and the baselines' histogram pass; for
+    /// pure `f` the result is bit-identical to `f(0..len)` for every
+    /// worker count. Runs `f(0..len)` inline when chunking cannot help.
+    pub fn map_chunks<R: Send>(
+        &self,
+        len: usize,
+        max_chunks: usize,
+        f: impl Fn(Range<usize>) -> Vec<R> + Sync,
+    ) -> Vec<R> {
+        let ranges = chunk_ranges(len, max_chunks);
+        if self.workers <= 1 || ranges.len() <= 1 {
+            return f(0..len);
+        }
+        self.map_vec(ranges, &f).into_iter().flatten().collect()
+    }
+
     /// Ship one erased job to the workers.
     ///
     /// The `'scope` lifetime is transmuted away; this is sound because
@@ -354,6 +374,21 @@ mod tests {
         let ranges = chunk_ranges(data.len(), 16);
         let sums = pool.map_vec(ranges, |r| data[r].iter().sum::<f64>());
         assert_eq!(sums.iter().sum::<f64>(), data.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn map_chunks_flattens_in_order() {
+        let expected: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let got = pool.map_chunks(1000, workers * 4, |r| r.map(|i| i * 3).collect());
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+        let pool = WorkerPool::new(4);
+        assert_eq!(
+            pool.map_chunks(0, 8, |r| r.map(|i| i * 3).collect::<Vec<_>>()),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

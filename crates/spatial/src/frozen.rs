@@ -34,19 +34,35 @@ use crate::query::{RangeCountSynopsis, RangeQuery};
 use crate::synopsis::SpatialSynopsis;
 
 thread_local! {
-    /// Reusable traversal stacks for single-query entry points: one for
-    /// the (possibly sharded) top arena, one for shard descents.
-    static QUERY_SCRATCH: RefCell<(Vec<u32>, Vec<u32>)> =
-        RefCell::new((Vec::with_capacity(64), Vec::with_capacity(64)));
+    /// A pool of reusable traversal stacks for single-query entry points.
+    /// A pool (rather than one fixed pair) makes [`with_query_scratch`]
+    /// reentrant: each call *takes* two stacks out of the `RefCell` and
+    /// returns them afterwards, so a nested call — e.g. an engine whose
+    /// `answer` consults another engine inside the closure — simply takes
+    /// two more instead of panicking on a double `borrow_mut`.
+    static QUERY_SCRATCH: RefCell<Vec<Vec<u32>>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Run `f` with the calling thread's reusable pair of traversal stacks.
+/// Run `f` with a reusable pair of traversal stacks (one for the possibly
+/// sharded top arena, one for shard descents), drawn from the calling
+/// thread's scratch pool. Safe to nest: the `RefCell` is only borrowed
+/// while checking stacks in and out, never across `f`. If `f` panics the
+/// two checked-out stacks are dropped rather than returned — the pool
+/// stays coherent, it just re-allocates on the next call.
 pub(crate) fn with_query_scratch<R>(f: impl FnOnce(&mut Vec<u32>, &mut Vec<u32>) -> R) -> R {
+    let (mut top, mut shard) = QUERY_SCRATCH.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        let top = pool.pop().unwrap_or_else(|| Vec::with_capacity(64));
+        let shard = pool.pop().unwrap_or_else(|| Vec::with_capacity(64));
+        (top, shard)
+    });
+    let out = f(&mut top, &mut shard);
     QUERY_SCRATCH.with(|cell| {
-        let mut scratch = cell.borrow_mut();
-        let (top, shard) = &mut *scratch;
-        f(top, shard)
-    })
+        let mut pool = cell.borrow_mut();
+        pool.push(shard);
+        pool.push(top);
+    });
+    out
 }
 
 /// The one copy of the pooled batch-dispatch policy, shared by the frozen
@@ -61,15 +77,56 @@ pub(crate) fn dispatch_batch(
     pool: &WorkerPool,
     answer_chunk: impl Fn(&[RangeQuery]) -> Vec<f64> + Sync,
 ) -> Vec<f64> {
-    let ranges = privtree_runtime::chunk_ranges(queries.len(), pool.workers() * 2);
-    if pool.workers() <= 1 || ranges.len() <= 1 {
-        return answer_chunk(queries);
-    }
-    pool.map_vec(ranges, |r| answer_chunk(&queries[r]))
-        .into_iter()
-        .flatten()
-        .collect()
+    pool.map_chunks(queries.len(), pool.workers() * 2, |r| {
+        answer_chunk(&queries[r])
+    })
 }
+
+/// Dispatch a dimensionality-generic method over the supported
+/// dimensionalities (1 through [`crate::MAX_DIMS`]), so hot per-node
+/// loops compile with the dimension count known. Every instantiation
+/// performs the same float operations in the same order — which arm runs
+/// can never change an answer's bits.
+macro_rules! dispatch_dims {
+    ($dims:expr, $D:ident => $call:expr) => {
+        match $dims {
+            1 => {
+                const $D: usize = 1;
+                $call
+            }
+            2 => {
+                const $D: usize = 2;
+                $call
+            }
+            3 => {
+                const $D: usize = 3;
+                $call
+            }
+            4 => {
+                const $D: usize = 4;
+                $call
+            }
+            5 => {
+                const $D: usize = 5;
+                $call
+            }
+            6 => {
+                const $D: usize = 6;
+                $call
+            }
+            7 => {
+                const $D: usize = 7;
+                $call
+            }
+            8 => {
+                const $D: usize = 8;
+                $call
+            }
+            d => unreachable!("dimensionality {d} exceeds MAX_DIMS"),
+        }
+    };
+}
+pub(crate) use dispatch_dims;
 
 /// How a node's box relates to a query box in the Section 2.2 traversal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,15 +293,25 @@ impl FrozenSynopsis {
     /// drift apart.
     #[inline]
     pub(crate) fn classify(&self, i: usize, qlo: &[f64], qhi: &[f64]) -> Overlap {
-        let d = self.dims;
-        let nlo = &self.lo[i * d..(i + 1) * d];
-        let nhi = &self.hi[i * d..(i + 1) * d];
+        dispatch_dims!(self.dims, D => self.classify_d::<D>(i, qlo, qhi))
+    }
+
+    /// [`FrozenSynopsis::classify`] monomorphized on the dimensionality
+    /// so the per-dimension compares unroll (this predicate runs once
+    /// per visited node — it is *the* hot instruction stream of every
+    /// read engine). Same compares in the same order as the dynamic
+    /// wrapper, so which instantiation runs never affects a result.
+    #[inline]
+    pub(crate) fn classify_d<const D: usize>(&self, i: usize, qlo: &[f64], qhi: &[f64]) -> Overlap {
+        debug_assert_eq!(self.dims, D);
+        let nlo = &self.lo[i * D..(i + 1) * D];
+        let nhi = &self.hi[i * D..(i + 1) * D];
         // case 1: disjoint (shared edges do not overlap)
-        if (0..d).any(|k| nlo[k] >= qhi[k] || qlo[k] >= nhi[k]) {
+        if (0..D).any(|k| nlo[k] >= qhi[k] || qlo[k] >= nhi[k]) {
             return Overlap::Disjoint;
         }
         // case 2: node fully inside the query
-        if (0..d).all(|k| nlo[k] >= qlo[k] && nhi[k] <= qhi[k]) {
+        if (0..D).all(|k| nlo[k] >= qlo[k] && nhi[k] <= qhi[k]) {
             return Overlap::Contained;
         }
         Overlap::Partial
@@ -254,12 +321,25 @@ impl FrozenSynopsis {
     /// overlapped leaf, or `None` for a degenerate (zero-volume) box.
     #[inline]
     pub(crate) fn leaf_contribution(&self, i: usize, qlo: &[f64], qhi: &[f64]) -> Option<f64> {
-        let d = self.dims;
-        let nlo = &self.lo[i * d..(i + 1) * d];
-        let nhi = &self.hi[i * d..(i + 1) * d];
+        dispatch_dims!(self.dims, D => self.leaf_contribution_d::<D>(i, qlo, qhi))
+    }
+
+    /// [`FrozenSynopsis::leaf_contribution`] monomorphized like
+    /// [`FrozenSynopsis::classify_d`]: identical multiplies in identical
+    /// order, just unrolled.
+    #[inline]
+    pub(crate) fn leaf_contribution_d<const D: usize>(
+        &self,
+        i: usize,
+        qlo: &[f64],
+        qhi: &[f64],
+    ) -> Option<f64> {
+        debug_assert_eq!(self.dims, D);
+        let nlo = &self.lo[i * D..(i + 1) * D];
+        let nhi = &self.hi[i * D..(i + 1) * D];
         let mut volume = 1.0;
         let mut overlap = 1.0;
-        for k in 0..d {
+        for k in 0..D {
             volume *= nhi[k] - nlo[k];
             overlap *= nhi[k].min(qhi[k]) - nlo[k].max(qlo[k]);
         }
@@ -275,13 +355,49 @@ impl FrozenSynopsis {
     /// the same order either way.
     pub(crate) fn accumulate(&self, q: &Rect, stack: &mut Vec<u32>, init: f64) -> f64 {
         debug_assert_eq!(q.dims(), self.dims);
-        let (qlo, qhi) = (q.lo(), q.hi());
+        self.accumulate_span(0, q.lo(), q.hi(), stack, init)
+    }
+
+    /// [`FrozenSynopsis::accumulate`] generalized to an **anchored
+    /// entry**: the traversal starts at arena node `start` instead of the
+    /// root, and the query box arrives as raw `lo`/`hi` spans (the
+    /// grid-routed shell walk synthesizes per-cell boxes without paying
+    /// [`Rect::new`]'s validation).
+    ///
+    /// When `start` is an *anchor* of a cell — the deepest node whose box
+    /// fully covers it, with every off-path sibling disjoint from the
+    /// cell (see [`crate::grid_route`]) — this is **bit-identical** to
+    /// `accumulate_span(0, ...)` for any query box inside the cell:
+    /// every skipped ancestor classifies as `Partial` (contributing
+    /// nothing) and every skipped sibling as `Disjoint`, so the `+=`
+    /// sequence is exactly the root traversal's.
+    pub(crate) fn accumulate_span(
+        &self,
+        start: u32,
+        qlo: &[f64],
+        qhi: &[f64],
+        stack: &mut Vec<u32>,
+        init: f64,
+    ) -> f64 {
+        dispatch_dims!(self.dims, D => self.accumulate_span_d::<D>(start, qlo, qhi, stack, init))
+    }
+
+    /// [`FrozenSynopsis::accumulate_span`] monomorphized on the
+    /// dimensionality (same walk, unrolled per-node compares).
+    pub(crate) fn accumulate_span_d<const D: usize>(
+        &self,
+        start: u32,
+        qlo: &[f64],
+        qhi: &[f64],
+        stack: &mut Vec<u32>,
+        init: f64,
+    ) -> f64 {
         let mut acc = init;
         stack.clear();
-        stack.push(0);
+        stack.push(start);
         while let Some(v) = stack.pop() {
             let i = v as usize;
-            match self.classify(i, qlo, qhi) {
+            match self.classify_d::<D>(i, qlo, qhi) {
                 Overlap::Disjoint => {}
                 Overlap::Contained => acc += self.counts[i],
                 Overlap::Partial => {
@@ -295,13 +411,29 @@ impl FrozenSynopsis {
                         for c in (first..first + children).rev() {
                             stack.push(c);
                         }
-                    } else if let Some(c) = self.leaf_contribution(i, qlo, qhi) {
+                    } else if let Some(c) = self.leaf_contribution_d::<D>(i, qlo, qhi) {
                         acc += c;
                     }
                 }
             }
         }
         acc
+    }
+
+    /// Answer `q` with the traversal entered at arena node `start`
+    /// (`start = 0` is [`RangeCountSynopsis::answer`]). This is the
+    /// public face of the anchored entry the grid-routed engine uses for
+    /// its boundary shell; exposed so the bit-identity contract —
+    /// anchored answers equal root answers exactly when `start` covers
+    /// the query — can be pinned from integration tests.
+    ///
+    /// Panics if `start` is out of bounds.
+    pub fn answer_from(&self, start: usize, q: &RangeQuery) -> f64 {
+        assert!(start < self.node_count(), "start node out of bounds");
+        debug_assert_eq!(q.rect.dims(), self.dims);
+        with_query_scratch(|stack, _| {
+            self.accumulate_span(start as u32, q.rect.lo(), q.rect.hi(), stack, 0.0)
+        })
     }
 
     /// Answer a workload on the calling thread with one reused traversal
@@ -462,6 +594,39 @@ mod tests {
             let est = frozen.answer(&RangeQuery::new(q));
             let truth = ps.count_in(&q) as f64;
             assert!((est - truth).abs() < 1e-9, "query {q}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn query_scratch_supports_nested_use() {
+        // an engine's `answer` may consult another engine from inside the
+        // scratch closure (reentrancy); the pool hands out distinct
+        // stacks per nesting level instead of double-borrowing
+        let frozen = FrozenSynopsis::freeze(&sample_synopsis(13));
+        let q = RangeQuery::new(Rect::new(&[0.1, 0.2], &[0.6, 0.7]));
+        let direct = frozen.answer(&q);
+        let nested = with_query_scratch(|outer_top, outer_shard| {
+            outer_top.push(7); // sentinel state that must survive the nested call
+            outer_shard.push(9);
+            let inner = frozen.answer(&q); // re-enters with_query_scratch
+            assert_eq!(outer_top.as_slice(), &[7]);
+            assert_eq!(outer_shard.as_slice(), &[9]);
+            inner
+        });
+        assert_eq!(direct.to_bits(), nested.to_bits());
+        // two levels deep for good measure
+        let deep = with_query_scratch(|_, _| with_query_scratch(|_, _| frozen.answer(&q)));
+        assert_eq!(direct.to_bits(), deep.to_bits());
+    }
+
+    #[test]
+    fn answer_from_root_matches_answer() {
+        let frozen = FrozenSynopsis::freeze(&sample_synopsis(17));
+        for q in random_queries(50, 18) {
+            assert_eq!(
+                frozen.answer(&q).to_bits(),
+                frozen.answer_from(0, &q).to_bits()
+            );
         }
     }
 

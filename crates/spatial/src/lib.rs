@@ -16,11 +16,18 @@
 //!   structure-of-arrays flattening of a release for serving workloads:
 //!   allocation-free single queries (thread-local traversal stack) and
 //!   pool-chunked batches.
+//! * [`grid_route`] — [`grid_route::GridRoutedSynopsis`], the grid-routed
+//!   accelerator over a frozen arena: a dense uniform cell grid built at
+//!   freeze time (per-cell anchors + summed-area table of exact cell
+//!   contributions) answers the interior of a query in O(2^d) lookups and
+//!   the boundary shell with short cell-anchored traversals; large
+//!   batches are Morton-reordered for cache locality.
 //! * [`sharded`] — [`sharded::ShardedSynopsis`], multi-arena serving with
 //!   domain-based query routing: one frozen arena per epoch/region shard
 //!   (or per cut subtree of one release, answering bit-identically to the
-//!   unsharded arena).
-//! * [`serialize`] — plain-text export/import of released synopses.
+//!   unsharded arena), optionally grid-routing each shard descent.
+//! * [`serialize`] — plain-text export/import of released synopses,
+//!   including the precomputed cell grid alongside a release.
 //! * [`synopsis`] — private spatial synopses: PrivTree + noisy leaf counts
 //!   (Section 3.4) or SimpleTree with its own per-node counts, answered
 //!   with the 4-case top-down traversal of Section 2.2.
@@ -28,6 +35,7 @@
 pub mod dataset;
 pub mod frozen;
 pub mod geom;
+pub mod grid_route;
 pub mod index;
 pub mod quadtree;
 pub mod query;
@@ -38,6 +46,7 @@ pub mod synopsis;
 pub use dataset::PointSet;
 pub use frozen::FrozenSynopsis;
 pub use geom::Rect;
+pub use grid_route::{CellGrid, GridRouteError, GridRoutedSynopsis};
 pub use index::GridIndex;
 pub use quadtree::{QuadDomain, QuadNode, SplitConfig};
 pub use query::{RangeCountSynopsis, RangeQuery};

@@ -13,9 +13,18 @@
 //!
 //! Children must appear after their parents (the arena order the builders
 //! produce), and each parent's children must be contiguous.
+//!
+//! A grid-routed release ([`crate::grid_route::GridRoutedSynopsis`])
+//! appends a `privtree-grid v1` section after the node lines — per-cell
+//! anchors and exact contributions in row-major order — so the
+//! accelerator's precomputation ships with the release instead of being
+//! redone at load time ([`grid_routed_to_text`]/[`grid_routed_from_text`];
+//! the summed-area table is rebuilt deterministically from the values, so
+//! a round trip answers bit-identically).
 
 use crate::frozen::FrozenSynopsis;
 use crate::geom::Rect;
+use crate::grid_route::{CellGrid, GridRoutedSynopsis};
 use crate::query::RangeCountSynopsis;
 use crate::synopsis::SpatialSynopsis;
 use privtree_core::tree::{NodeId, Tree};
@@ -29,6 +38,9 @@ pub enum ParseError {
     BadNode { line: usize, reason: String },
     /// The node count in the header does not match the body.
     CountMismatch { expected: usize, found: usize },
+    /// The grid section is missing, malformed, or inconsistent with the
+    /// release it is attached to.
+    BadGrid(String),
 }
 
 impl std::fmt::Display for ParseError {
@@ -41,6 +53,7 @@ impl std::fmt::Display for ParseError {
             ParseError::CountMismatch { expected, found } => {
                 write!(f, "expected {expected} nodes, found {found}")
             }
+            ParseError::BadGrid(reason) => write!(f, "bad grid section: {reason}"),
         }
     }
 }
@@ -93,6 +106,89 @@ pub fn frozen_to_text(synopsis: &FrozenSynopsis) -> String {
 /// representation.
 pub fn frozen_from_text(text: &str) -> Result<FrozenSynopsis, ParseError> {
     Ok(from_text(text)?.freeze())
+}
+
+/// Serialize a grid-routed release: the v1 synopsis text followed by a
+/// `privtree-grid v1` section carrying every cell's anchor and exact
+/// contribution (17 significant digits, so values round-trip bit-exactly).
+pub fn grid_routed_to_text(synopsis: &GridRoutedSynopsis) -> String {
+    let mut out = frozen_to_text(synopsis.frozen());
+    let grid = synopsis.grid();
+    let bins = grid
+        .bins()
+        .iter()
+        .map(|b| b.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push_str(&format!("privtree-grid v1 bins={bins}\n"));
+    for (i, (&a, v)) in grid.anchors().iter().zip(grid.values()).enumerate() {
+        out.push_str(&format!("cell {i} anchor={a} value={v:.17e}\n"));
+    }
+    out
+}
+
+/// Parse a grid-routed release: the synopsis part is parsed as usual, the
+/// grid section is validated (cell count, anchors in range and covering
+/// their cells) and its summed-area table rebuilt deterministically, so
+/// the result answers bit-identically to the serialized engine.
+pub fn grid_routed_from_text(text: &str) -> Result<GridRoutedSynopsis, ParseError> {
+    let marker = "privtree-grid v1 ";
+    let pos = text
+        .find(marker)
+        .ok_or_else(|| ParseError::BadGrid("missing privtree-grid section".into()))?;
+    let frozen = frozen_from_text(&text[..pos])?;
+    let mut lines = text[pos..].lines();
+    let header = lines.next().expect("marker guarantees a header line");
+    let bins: Vec<usize> = header
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix("bins="))
+        .ok_or_else(|| ParseError::BadGrid(format!("no bins= in header: {header}")))?
+        .split(',')
+        .map(|b| {
+            b.parse::<usize>()
+                .map_err(|_| ParseError::BadGrid(format!("bad bin count {b}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let cells: usize = bins.iter().product();
+    let mut anchors = Vec::with_capacity(cells);
+    let mut values = Vec::with_capacity(cells);
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |reason: String| ParseError::BadGrid(format!("{reason} in line: {line}"));
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some("cell") {
+            return Err(bad("expected a cell record".into()));
+        }
+        let index: usize = fields
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("bad cell index".into()))?;
+        if index != anchors.len() {
+            return Err(bad(format!("cell {index} out of order")));
+        }
+        let mut anchor: Option<u32> = None;
+        let mut value: Option<f64> = None;
+        for field in fields {
+            if let Some(v) = field.strip_prefix("anchor=") {
+                anchor = Some(v.parse().map_err(|_| bad("bad anchor".into()))?);
+            } else if let Some(v) = field.strip_prefix("value=") {
+                value = Some(v.parse().map_err(|_| bad("bad value".into()))?);
+            }
+        }
+        anchors.push(anchor.ok_or_else(|| bad("missing anchor".into()))?);
+        values.push(value.ok_or_else(|| bad("missing value".into()))?);
+    }
+    if anchors.len() != cells {
+        return Err(ParseError::BadGrid(format!(
+            "expected {cells} cells, found {}",
+            anchors.len()
+        )));
+    }
+    let grid = CellGrid::from_parts(&frozen, &bins, anchors, values)
+        .map_err(|e| ParseError::BadGrid(e.to_string()))?;
+    Ok(GridRoutedSynopsis::from_prebuilt(frozen, grid))
 }
 
 /// Parse the v1 text format back into a synopsis.
@@ -295,6 +391,64 @@ mod tests {
         assert_eq!(back.node_count(), frozen.node_count());
         let q = RangeQuery::new(Rect::new(&[0.05, 0.1], &[0.4, 0.33]));
         assert!((back.answer(&q) - frozen.answer(&q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_routed_round_trip_is_bit_exact() {
+        use crate::grid_route::GridRoutedSynopsis;
+        let frozen = sample_synopsis().freeze();
+        let grid = GridRoutedSynopsis::with_bins(frozen, &[9, 7]).unwrap();
+        let text = grid_routed_to_text(&grid);
+        assert!(text.contains("privtree-grid v1 bins=9,7"));
+        let back = grid_routed_from_text(&text).unwrap();
+        assert_eq!(back.grid().bins(), grid.grid().bins());
+        assert_eq!(back.grid().anchors(), grid.grid().anchors());
+        let mut rng = seeded(40);
+        for _ in 0..100 {
+            let a: f64 = rng.random();
+            let b: f64 = rng.random();
+            let c: f64 = rng.random();
+            let d: f64 = rng.random();
+            let q = RangeQuery::new(Rect::new(&[a.min(b), c.min(d)], &[a.max(b), c.max(d)]));
+            assert_eq!(
+                grid.answer(&q).to_bits(),
+                back.answer(&q).to_bits(),
+                "round-tripped grid diverged on {}",
+                q.rect
+            );
+        }
+    }
+
+    #[test]
+    fn grid_section_is_validated() {
+        use crate::grid_route::GridRoutedSynopsis;
+        let frozen = sample_synopsis().freeze();
+        let grid = GridRoutedSynopsis::with_bins(frozen, &[3, 3]).unwrap();
+        let text = grid_routed_to_text(&grid);
+        // no grid section at all
+        assert!(matches!(
+            grid_routed_from_text(&to_text(&sample_synopsis())),
+            Err(ParseError::BadGrid(_))
+        ));
+        // truncated cell list
+        let truncated =
+            text.lines()
+                .take(text.lines().count() - 1)
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                });
+        assert!(matches!(
+            grid_routed_from_text(&truncated),
+            Err(ParseError::BadGrid(_))
+        ));
+        // an anchor that is out of range (or unparseable once mangled)
+        let corrupted = text.replacen("anchor=", "anchor=999999", 1);
+        assert!(matches!(
+            grid_routed_from_text(&corrupted),
+            Err(ParseError::BadGrid(_))
+        ));
     }
 
     #[test]

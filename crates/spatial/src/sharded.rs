@@ -26,6 +26,15 @@
 //! Batches go through the same worker-pool chunking as
 //! [`FrozenSynopsis::answer_batch`], with a pair of per-chunk traversal
 //! stacks ([`ShardedSynopsis::answer_batch_with_pool`]).
+//!
+//! Shard descents can additionally be **grid-routed**
+//! ([`ShardedSynopsis::with_shard_grids`]): each shard arena gets its own
+//! [`crate::grid_route::CellGrid`], so the heavy part of a query — the
+//! walk inside the shard the query lands on — resolves through
+//! summed-area interior lookups plus cell-anchored boundary traversals.
+//! Grid-routed shard answers match the plain descent to float
+//! reassociation error (≤ 1e-9 relative; the bit-identity pin applies to
+//! the *ungridded* configuration).
 
 use privtree_runtime::WorkerPool;
 
@@ -33,6 +42,7 @@ use privtree_runtime::WorkerPool;
 use crate::frozen::BATCH_PARALLEL_THRESHOLD;
 use crate::frozen::{with_query_scratch, FrozenSynopsis, Overlap};
 use crate::geom::Rect;
+use crate::grid_route::{CellGrid, GridRouteError, GridRoutedSynopsis};
 use crate::query::{RangeCountSynopsis, RangeQuery};
 
 /// Sentinel in `shard_ref` for top nodes not backed by a shard.
@@ -49,6 +59,9 @@ pub struct ShardedSynopsis {
     shard_ref: Vec<u32>,
     /// One frozen arena per cut subtree / per independent release.
     shards: Vec<FrozenSynopsis>,
+    /// When present (see [`ShardedSynopsis::with_shard_grids`]), one
+    /// routing grid per shard arena, indexed like `shards`.
+    shard_grids: Option<Vec<CellGrid>>,
     label: &'static str,
 }
 
@@ -132,6 +145,7 @@ impl ShardedSynopsis {
             top,
             shard_ref,
             shards,
+            shard_grids: None,
             label: "ShardedSynopsis",
         }
     }
@@ -195,8 +209,43 @@ impl ShardedSynopsis {
             top,
             shard_ref,
             shards,
+            shard_grids: None,
             label: "ShardedSynopsis",
         }
+    }
+
+    /// Attach a grid-routed accelerator to every shard arena (default
+    /// per-shard resolution, precomputed on the shared pool when the
+    /// `parallel` feature is on). Fails with [`GridRouteError`] when a
+    /// shard cannot be grid-routed — e.g. inconsistent counts — leaving
+    /// the synopsis unchanged is impossible at that point, so callers
+    /// keep the plain configuration by simply not calling this.
+    pub fn with_shard_grids(self) -> Result<Self, GridRouteError> {
+        #[cfg(feature = "parallel")]
+        let pool = Some(privtree_runtime::global());
+        #[cfg(not(feature = "parallel"))]
+        let pool = None;
+        self.with_shard_grids_and_pool(pool)
+    }
+
+    /// [`ShardedSynopsis::with_shard_grids`] pinned to an explicit pool
+    /// (`None` precomputes on the calling thread).
+    pub fn with_shard_grids_and_pool(
+        mut self,
+        pool: Option<&WorkerPool>,
+    ) -> Result<Self, GridRouteError> {
+        let grids = self
+            .shards
+            .iter()
+            .map(|shard| CellGrid::build(shard, &GridRoutedSynopsis::default_bins(shard), pool))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.shard_grids = Some(grids);
+        Ok(self)
+    }
+
+    /// The per-shard routing grids, when attached.
+    pub fn shard_grids(&self) -> Option<&[CellGrid]> {
+        self.shard_grids.as_deref()
     }
 
     /// Override the display label.
@@ -250,9 +299,15 @@ impl ShardedSynopsis {
                     if self.shard_ref[i] != NO_SHARD {
                         // shard-backed leaf: descend the shard arena
                         // exactly where the unsharded DFS would descend
-                        // the cut subtree, carrying the accumulator
-                        let shard = &self.shards[self.shard_ref[i] as usize];
-                        acc = shard.accumulate(q, shard_stack, acc);
+                        // the cut subtree, carrying the accumulator —
+                        // through the shard's cell grid when one is
+                        // attached
+                        let s = self.shard_ref[i] as usize;
+                        let shard = &self.shards[s];
+                        acc = match &self.shard_grids {
+                            Some(grids) => grids[s].answer_span(shard, qlo, qhi, shard_stack, acc),
+                            None => shard.accumulate(q, shard_stack, acc),
+                        };
                     } else if kids[i] > 0 {
                         // case 3: internal — children in arena order
                         // (pushed reversed so they pop in order)
@@ -437,6 +492,31 @@ mod tests {
             "b",
         );
         ShardedSynopsis::from_releases(vec![a, b]);
+    }
+
+    #[test]
+    fn shard_grids_match_plain_sharding() {
+        let frozen = sample_frozen(31);
+        let queries = random_queries(400, 32);
+        let plain = ShardedSynopsis::from_frozen(&frozen, 2);
+        let gridded = ShardedSynopsis::from_frozen(&frozen, 2)
+            .with_shard_grids()
+            .unwrap();
+        assert_eq!(
+            gridded.shard_grids().map(|g| g.len()),
+            Some(plain.shard_count())
+        );
+        for q in &queries {
+            let a = plain.answer(q);
+            let b = gridded.answer(q);
+            let tol = 1e-9 * a.abs().max(1.0);
+            assert!((a - b).abs() <= tol, "{a} vs {b} on {}", q.rect);
+        }
+        // batch paths stay bit-identical to the gridded single-query path
+        let batch = gridded.answer_batch_sequential(&queries);
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(gridded.answer(q).to_bits(), b.to_bits());
+        }
     }
 
     #[test]

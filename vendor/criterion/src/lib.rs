@@ -8,6 +8,14 @@
 
 use std::time::{Duration, Instant};
 
+/// True when the bench binary was invoked with `--test`
+/// (`cargo bench -- --test`), real criterion's smoke mode: benches should
+/// run a quick configuration (this shim also drops the default sample
+/// count to 2) and skip committing measurement artifacts.
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Benchmark driver. Collects `sample_size` timed samples per benchmark
 /// and reports summary statistics on stdout.
 pub struct Criterion {
@@ -16,7 +24,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        Self {
+            sample_size: if test_mode() { 2 } else { 10 },
+        }
     }
 }
 
