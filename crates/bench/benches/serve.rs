@@ -7,16 +7,21 @@
 //! machine-readable summary to `BENCH_serve.json` (including the
 //! machine's core count — pool speedups are bounded by physical
 //! parallelism; the grid-routed speedup is algorithmic, so it must show
-//! even on one core). `cargo bench --bench serve -- --test` (or
-//! `PRIVTREE_BENCH_SMOKE=1`) runs a quick smoke configuration and skips
-//! the JSON artifact.
+//! even on one core). An **epoch-churn** lane drives the
+//! `privtree-engine` `ReleaseStore`: per-snapshot qps before and after an
+//! epoch swap, plus the swap latency itself (routing arena + one shard
+//! grid — the incremental-rebuild contract is asserted in-bench).
+//! `cargo bench --bench serve -- --test` (or `PRIVTREE_BENCH_SMOKE=1`)
+//! runs a quick smoke configuration and skips the JSON artifact.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use privtree_datagen::spatial::gowalla_like;
 use privtree_datagen::workload::{range_queries, QuerySize};
 use privtree_dp::budget::Epsilon;
 use privtree_dp::rng::seeded;
+use privtree_engine::ReleaseStore;
 use privtree_runtime::WorkerPool;
+use privtree_spatial::dataset::PointSet;
 use privtree_spatial::geom::Rect;
 use privtree_spatial::quadtree::SplitConfig;
 use privtree_spatial::sharded::ShardedSynopsis;
@@ -58,7 +63,7 @@ fn bench_serve(c: &mut Criterion) {
         privtree_synopsis(&data, domain, SplitConfig::full(2), eps, &mut seeded(2))
             .unwrap()
             .freeze();
-    let sharded = ShardedSynopsis::from_frozen(&frozen, 2);
+    let sharded = ShardedSynopsis::from_frozen(&frozen, 2).unwrap();
 
     // PRIVTREE_GRID_BINS=<n> sweeps the resolution; default heuristic otherwise
     let bins_override = std::env::var("PRIVTREE_GRID_BINS")
@@ -173,6 +178,79 @@ fn bench_serve(c: &mut Criterion) {
         ));
     }
 
+    // ---- epoch churn through the engine: answer / swap one shard /
+    // answer. The store serves four strip releases with per-shard grids;
+    // a swap must rebuild exactly one grid plus the 5-node routing arena,
+    // retained snapshots must stay frozen, and the swapped store must
+    // answer bit-identically to a from-scratch gridded rebuild. ----
+    const STRIPS: usize = 4;
+    let mut strip_sets: Vec<PointSet> = (0..STRIPS).map(|_| PointSet::new(2)).collect();
+    for p in data.iter() {
+        let s = ((p[0] * STRIPS as f64) as usize).min(STRIPS - 1);
+        strip_sets[s].push(p);
+    }
+    let strip_release = |i: usize, seed: u64| -> FrozenSynopsis {
+        let lo = i as f64 / STRIPS as f64;
+        let hi = (i + 1) as f64 / STRIPS as f64;
+        let region = Rect::new(&[lo, 0.0], &[hi, 1.0]);
+        privtree_synopsis(
+            &strip_sets[i],
+            region,
+            SplitConfig::full(2),
+            eps,
+            &mut seeded(seed),
+        )
+        .unwrap()
+        .freeze()
+    };
+    let store = ReleaseStore::open_gridded(
+        (0..STRIPS).map(|i| (format!("strip{i}"), strip_release(i, 100 + i as u64))),
+    )
+    .unwrap();
+    let next_epochs = [strip_release(0, 200), strip_release(0, 201)];
+
+    let churn_before = store.snapshot();
+    let churn_reference = churn_before.synopsis().answer_batch_sequential(&medium);
+    let t_churn_before = best_secs(samples, || {
+        churn_before.synopsis().answer_batch_sequential(&medium)
+    });
+    let mut swap_best_secs = f64::INFINITY;
+    let mut churn_report = None;
+    for s in 0..samples.max(2) {
+        let replacement = next_epochs[s % 2].clone();
+        let swap_start = Instant::now();
+        let report = store.swap("strip0", replacement).unwrap();
+        swap_best_secs = swap_best_secs.min(swap_start.elapsed().as_secs_f64());
+        assert_eq!(report.grids_built, 1, "swap must rebuild exactly one grid");
+        assert_eq!(report.shards_reused, STRIPS - 1);
+        churn_report = Some(report);
+    }
+    let churn_report = churn_report.expect("at least one swap ran");
+    let churn_after = store.snapshot();
+    let t_churn_after = best_secs(samples, || {
+        churn_after.synopsis().answer_batch_sequential(&medium)
+    });
+    // retained snapshots are frozen across swaps
+    assert_bits_equal(
+        "epoch_churn_retained_snapshot",
+        &churn_reference,
+        &churn_before.synopsis().answer_batch_sequential(&medium),
+    );
+    // the incrementally swapped store equals a from-scratch gridded build
+    let fresh = ShardedSynopsis::from_releases(
+        (0..STRIPS)
+            .map(|i| churn_after.synopsis().shards()[i].arena().clone())
+            .collect(),
+    )
+    .unwrap()
+    .with_shard_grids()
+    .unwrap();
+    assert_bits_equal(
+        "epoch_churn_fresh_rebuild",
+        &fresh.answer_batch_sequential(&medium),
+        &churn_after.synopsis().answer_batch_sequential(&medium),
+    );
+
     let seq = best_secs(samples, || frozen.answer_batch_sequential(&medium));
     let p4 = best_secs(samples, || frozen.answer_batch_with_pool(&medium, &pool4));
     let p8 = best_secs(samples, || frozen.answer_batch_with_pool(&medium, &pool8));
@@ -206,6 +284,15 @@ fn bench_serve(c: &mut Criterion) {
             "  \"workloads\": {{\n",
             "{}",
             "  }},\n",
+            "  \"epoch_churn\": {{\n",
+            "    \"shards\": {},\n",
+            "    \"swap_best_secs\": {:.6},\n",
+            "    \"swap_grids_built\": {},\n",
+            "    \"swap_grid_cells_built\": {},\n",
+            "    \"swap_routing_nodes_rebuilt\": {},\n",
+            "    \"snapshot_qps_before_swap\": {:.1},\n",
+            "    \"snapshot_qps_after_swap\": {:.1}\n",
+            "  }},\n",
             "  \"frozen_seq_qps\": {:.1},\n",
             "  \"grid_routed_qps\": {:.1},\n",
             "  \"grid_routed_morton_qps\": {:.1},\n",
@@ -226,6 +313,13 @@ fn bench_serve(c: &mut Criterion) {
         grid.grid().memory_bytes(),
         grid_build_secs,
         workload_json,
+        STRIPS,
+        swap_best_secs,
+        churn_report.grids_built,
+        churn_report.grid_cells_built,
+        churn_report.routing_nodes_rebuilt,
+        medium.len() as f64 / t_churn_before,
+        medium.len() as f64 / t_churn_after,
         medium_frozen_qps,
         medium_grid_qps,
         medium_grid_morton_qps,

@@ -1,0 +1,582 @@
+//! Epoch-aware serving engine: a catalog of named releases behind an
+//! atomically swapped read snapshot.
+//!
+//! PrivTree is a build-once/read-many synopsis (Section 2.2/3.4 of the
+//! paper), and real deployments re-release per **epoch** or per
+//! **region**: every hour (or every city) a fresh differentially private
+//! release replaces its predecessor while queries keep flowing. The
+//! library crates provide the read structures — `FrozenSynopsis`,
+//! `ShardedSynopsis`, `GridRoutedSynopsis` — but no lifecycle; this crate
+//! owns it:
+//!
+//! * [`ReleaseStore`] holds a catalog of **named releases** (epoch/region
+//!   key → [`ShardHandle`], i.e. a frozen arena plus an optional
+//!   per-shard cell grid) and publishes them as one
+//!   [`ShardedSynopsis`]-backed [`Snapshot`].
+//! * Readers call [`ReleaseStore::snapshot`], which is two atomic
+//!   operations (an `Arc` clone through
+//!   [`privtree_runtime::ArcCell`]) — no locks held while answering, and
+//!   a snapshot taken before a swap keeps answering the *old* epoch's
+//!   bits for as long as it is held.
+//! * Writers call [`ReleaseStore::add`] / [`ReleaseStore::swap`] /
+//!   [`ReleaseStore::retire`]. A mutation rebuilds **only** the small
+//!   routing arena (one synthetic root + one leaf per shard, via
+//!   `ShardedSynopsis::from_handles`) and — in a gridded store — the cell
+//!   grid of **only** the release(s) it introduced; every surviving shard
+//!   is reused by `Arc` pointer, grid included. The returned
+//!   [`SwapReport`] instruments exactly that (`routing_nodes_rebuilt`,
+//!   `grids_built`, `grid_cells_built`, `shards_reused`), and the
+//!   lifecycle tests assert on it.
+//!
+//! # Determinism contract
+//!
+//! The catalog is a `BTreeMap`, so shards always enter the routing arena
+//! in **sorted key order**. A snapshot reached through *any* sequence of
+//! add/swap/retire operations therefore answers **bit-identically** to a
+//! from-scratch `ShardedSynopsis::from_releases` of the surviving shard
+//! set assembled in sorted key order (gridded stores compare against a
+//! gridded rebuild; grid precomputation is itself deterministic for
+//! every worker count). `crates/engine/tests/lifecycle.rs` property-tests
+//! this end to end.
+//!
+//! Failed mutations (unknown/duplicate key, overlapping regions,
+//! ungriddable release, retiring the last shard) leave the store — and
+//! every outstanding snapshot — completely unchanged: mutations stage on
+//! a copy of the catalog and publish only after every validation passed.
+//!
+//! The `privtree-serve` binary in this crate turns the store into a
+//! process: it loads serialized releases (`privtree-spatial`'s
+//! `serialize` module, grid sections included), answers a line-protocol
+//! query workload over stdin or a TCP socket through the pooled /
+//! Morton-batched read path, and accepts the same add/swap/retire
+//! operations at runtime.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use privtree_runtime::ArcCell;
+use privtree_spatial::grid_route::GridRouteError;
+use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
+use privtree_spatial::sharded::{ShardError, ShardHandle, ShardedSynopsis};
+
+/// Why a store operation was refused. Every error leaves the store and
+/// all outstanding snapshots unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// `add` with a key that is already serving (use `swap` to replace).
+    DuplicateKey(String),
+    /// `swap`/`retire` with a key the catalog does not hold.
+    UnknownKey(String),
+    /// `retire` would leave the store with nothing to serve.
+    WouldBeEmpty,
+    /// The resulting shard set cannot be assembled (overlapping regions,
+    /// mixed dimensionalities).
+    Shard(ShardError),
+    /// A gridded store could not build the new release's cell grid (e.g.
+    /// inconsistent counts — see `GridRouteError`).
+    Grid(GridRouteError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DuplicateKey(key) => {
+                write!(f, "release {key} already exists (swap it instead)")
+            }
+            EngineError::UnknownKey(key) => write!(f, "no release named {key}"),
+            EngineError::WouldBeEmpty => {
+                write!(
+                    f,
+                    "refusing to retire the last release; the store would be empty"
+                )
+            }
+            EngineError::Shard(e) => write!(f, "cannot assemble shard set: {e}"),
+            EngineError::Grid(e) => write!(f, "cannot grid-route release: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ShardError> for EngineError {
+    fn from(e: ShardError) -> Self {
+        EngineError::Shard(e)
+    }
+}
+
+impl From<GridRouteError> for EngineError {
+    fn from(e: GridRouteError) -> Self {
+        EngineError::Grid(e)
+    }
+}
+
+/// What one mutation actually rebuilt — the incremental-swap contract,
+/// returned by every mutating call so tests (and operators) can verify
+/// that a swap did not trigger a full recompute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapReport {
+    /// Version of the snapshot this mutation published.
+    pub version: u64,
+    /// Shards serving after the mutation.
+    pub shard_count: usize,
+    /// Nodes of the routing arena that was rebuilt (`shard_count + 1`
+    /// for region catalogs — the only arena a mutation constructs).
+    pub routing_nodes_rebuilt: usize,
+    /// Cell grids built by this mutation (0 in an ungridded store; 1 for
+    /// an add/swap in a gridded one, however many shards survive).
+    pub grids_built: usize,
+    /// Total cells precomputed by this mutation's grid builds.
+    pub grid_cells_built: usize,
+    /// Surviving shards whose arena was adopted by pointer from the
+    /// previous catalog (no rebuild of any kind).
+    pub shards_reused: usize,
+}
+
+/// Cumulative counters across a store's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Snapshots published (the initial open counts as one).
+    pub publishes: u64,
+    /// Cell grids built, totalled over every publish.
+    pub grids_built: u64,
+    /// Grid cells precomputed, totalled over every publish.
+    pub grid_cells_built: u64,
+}
+
+/// An immutable view of the store at one version: the published
+/// [`ShardedSynopsis`] plus the catalog keys it serves. Snapshots are
+/// shared (`Arc`), cheap to take, and never change after publication —
+/// a reader holding one across a swap keeps answering from the epoch it
+/// loaded.
+#[derive(Debug)]
+pub struct Snapshot {
+    synopsis: ShardedSynopsis,
+    keys: Vec<String>,
+    version: u64,
+}
+
+impl Snapshot {
+    /// The published read engine.
+    pub fn synopsis(&self) -> &ShardedSynopsis {
+        &self.synopsis
+    }
+
+    /// Catalog keys in shard order (sorted).
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+
+    /// Monotone publication version (the open is version 1).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of shards served.
+    pub fn shard_count(&self) -> usize {
+        self.synopsis.shard_count()
+    }
+
+    /// Total nodes across the routing arena and every shard.
+    pub fn node_count(&self) -> usize {
+        self.synopsis.node_count()
+    }
+
+    /// Dimensionality of the served domain.
+    pub fn dims(&self) -> usize {
+        self.synopsis.dims()
+    }
+}
+
+impl RangeCountSynopsis for Snapshot {
+    fn answer(&self, q: &RangeQuery) -> f64 {
+        self.synopsis.answer(q)
+    }
+
+    fn answer_batch(&self, queries: &[RangeQuery]) -> Vec<f64> {
+        self.synopsis.answer_batch(queries)
+    }
+
+    fn label(&self) -> &'static str {
+        self.synopsis.label()
+    }
+}
+
+/// Catalog state guarded by the writer mutex.
+#[derive(Debug)]
+struct Inner {
+    catalog: BTreeMap<String, ShardHandle>,
+    version: u64,
+    stats: StoreStats,
+}
+
+/// The epoch engine: named releases in, atomically swapped snapshots out.
+/// See the crate docs for the lifecycle and determinism contract.
+#[derive(Debug)]
+pub struct ReleaseStore {
+    /// Writers stage and publish under this lock; readers never take it.
+    inner: Mutex<Inner>,
+    /// The published snapshot readers load.
+    current: ArcCell<Snapshot>,
+    /// Whether every release must carry a cell grid (built on the shared
+    /// worker pool at add/swap time unless the handle already has one).
+    grids: bool,
+}
+
+/// Build the snapshot for `catalog`, ensuring grids when requested.
+/// Returns the snapshot plus (grids_built, grid_cells_built).
+fn build_snapshot(
+    catalog: &mut BTreeMap<String, ShardHandle>,
+    grids: bool,
+    version: u64,
+) -> Result<(Arc<Snapshot>, usize, usize), EngineError> {
+    let mut grids_built = 0usize;
+    let mut grid_cells_built = 0usize;
+    if grids {
+        // validate the shard set (cheap: shard_count + 1 routing nodes)
+        // before any grid precompute, so a rejected mutation — overlap,
+        // mixed dims — never pays for a grid it would throw away
+        ShardedSynopsis::from_handles(catalog.values().cloned().collect())?;
+        for handle in catalog.values_mut() {
+            if handle.ensure_grid(Some(privtree_runtime::global()))? {
+                grids_built += 1;
+                grid_cells_built += handle.grid().expect("grid was just built").cells();
+            }
+        }
+    }
+    let synopsis = ShardedSynopsis::from_handles(catalog.values().cloned().collect())?
+        .with_label("EpochSnapshot");
+    let snapshot = Arc::new(Snapshot {
+        synopsis,
+        keys: catalog.keys().cloned().collect(),
+        version,
+    });
+    Ok((snapshot, grids_built, grid_cells_built))
+}
+
+impl ReleaseStore {
+    /// Open a store over named releases, serving plain shard descents.
+    pub fn open<K, H>(releases: impl IntoIterator<Item = (K, H)>) -> Result<Self, EngineError>
+    where
+        K: Into<String>,
+        H: Into<ShardHandle>,
+    {
+        Self::build(releases, false)
+    }
+
+    /// Open a store whose shards are all grid-routed: releases that
+    /// arrive without a grid get one built (default resolution, on the
+    /// shared worker pool) at open/add/swap time.
+    pub fn open_gridded<K, H>(
+        releases: impl IntoIterator<Item = (K, H)>,
+    ) -> Result<Self, EngineError>
+    where
+        K: Into<String>,
+        H: Into<ShardHandle>,
+    {
+        Self::build(releases, true)
+    }
+
+    fn build<K, H>(
+        releases: impl IntoIterator<Item = (K, H)>,
+        grids: bool,
+    ) -> Result<Self, EngineError>
+    where
+        K: Into<String>,
+        H: Into<ShardHandle>,
+    {
+        let mut catalog: BTreeMap<String, ShardHandle> = BTreeMap::new();
+        for (key, handle) in releases {
+            let key = key.into();
+            if catalog.insert(key.clone(), handle.into()).is_some() {
+                return Err(EngineError::DuplicateKey(key));
+            }
+        }
+        if catalog.is_empty() {
+            return Err(EngineError::Shard(ShardError::Empty));
+        }
+        let (snapshot, grids_built, grid_cells_built) = build_snapshot(&mut catalog, grids, 1)?;
+        Ok(Self {
+            inner: Mutex::new(Inner {
+                catalog,
+                version: 1,
+                stats: StoreStats {
+                    publishes: 1,
+                    grids_built: grids_built as u64,
+                    grid_cells_built: grid_cells_built as u64,
+                },
+            }),
+            current: ArcCell::new(snapshot),
+            grids,
+        })
+    }
+
+    /// The current snapshot (two atomic ops; hold it as long as you
+    /// like — later swaps never mutate it).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current.load()
+    }
+
+    /// Whether this store maintains per-shard grids.
+    pub fn gridded(&self) -> bool {
+        self.grids
+    }
+
+    /// Catalog keys in shard (sorted) order.
+    pub fn keys(&self) -> Vec<String> {
+        self.snapshot().keys().to_vec()
+    }
+
+    /// Version of the currently published snapshot.
+    pub fn version(&self) -> u64 {
+        self.snapshot().version()
+    }
+
+    /// Cumulative build counters.
+    pub fn stats(&self) -> StoreStats {
+        self.lock().stats
+    }
+
+    /// Serve a new release under a fresh key. Fails with
+    /// [`EngineError::DuplicateKey`] if the key is taken.
+    pub fn add(
+        &self,
+        key: impl Into<String>,
+        release: impl Into<ShardHandle>,
+    ) -> Result<SwapReport, EngineError> {
+        let key = key.into();
+        let handle = release.into();
+        self.mutate(move |catalog| {
+            if catalog.contains_key(&key) {
+                return Err(EngineError::DuplicateKey(key));
+            }
+            catalog.insert(key, handle);
+            Ok(())
+        })
+    }
+
+    /// Replace the release serving under `key` — the epoch swap. Only
+    /// the routing arena and (in a gridded store) the new release's grid
+    /// are rebuilt; see [`SwapReport`].
+    pub fn swap(
+        &self,
+        key: impl Into<String>,
+        release: impl Into<ShardHandle>,
+    ) -> Result<SwapReport, EngineError> {
+        let key = key.into();
+        let handle = release.into();
+        self.mutate(move |catalog| {
+            if !catalog.contains_key(&key) {
+                return Err(EngineError::UnknownKey(key));
+            }
+            catalog.insert(key, handle);
+            Ok(())
+        })
+    }
+
+    /// Stop serving `key`. The store refuses to become empty.
+    pub fn retire(&self, key: &str) -> Result<SwapReport, EngineError> {
+        self.mutate(|catalog| {
+            if catalog.remove(key).is_none() {
+                return Err(EngineError::UnknownKey(key.to_string()));
+            }
+            Ok(())
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // a mutation never leaves `inner` partially written (publication
+        // is the last step), so a poisoned lock is safe to adopt
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Stage `op` on a copy of the catalog, validate, build the next
+    /// snapshot, and only then publish. Any error leaves the store
+    /// exactly as it was.
+    fn mutate(
+        &self,
+        op: impl FnOnce(&mut BTreeMap<String, ShardHandle>) -> Result<(), EngineError>,
+    ) -> Result<SwapReport, EngineError> {
+        let mut inner = self.lock();
+        let mut next = inner.catalog.clone(); // Arc bumps, not array copies
+        op(&mut next)?;
+        if next.is_empty() {
+            return Err(EngineError::WouldBeEmpty);
+        }
+        let version = inner.version + 1;
+        let (snapshot, grids_built, grid_cells_built) =
+            build_snapshot(&mut next, self.grids, version)?;
+        let shards_reused = next
+            .iter()
+            .filter(|(key, handle)| {
+                inner
+                    .catalog
+                    .get(*key)
+                    .is_some_and(|old| Arc::ptr_eq(old.arena_arc(), handle.arena_arc()))
+            })
+            .count();
+        let report = SwapReport {
+            version,
+            shard_count: next.len(),
+            routing_nodes_rebuilt: snapshot.synopsis().routing_node_count(),
+            grids_built,
+            grid_cells_built,
+            shards_reused,
+        };
+        inner.catalog = next;
+        inner.version = version;
+        inner.stats.publishes += 1;
+        inner.stats.grids_built += grids_built as u64;
+        inner.stats.grid_cells_built += grid_cells_built as u64;
+        self.current.store(snapshot);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privtree_spatial::{FrozenSynopsis, Rect};
+
+    /// A single-node release covering `region` with released count `c`.
+    fn leaf_release(region: Rect, c: f64) -> FrozenSynopsis {
+        FrozenSynopsis::from_tree(&privtree_core::tree::Tree::with_root(region), &[c], "leaf")
+    }
+
+    fn strip(i: usize) -> Rect {
+        Rect::new(&[i as f64 * 0.25, 0.0], &[(i as f64 + 1.0) * 0.25, 1.0])
+    }
+
+    fn open_strips() -> ReleaseStore {
+        ReleaseStore::open((0..4).map(|i| {
+            (
+                format!("strip{i}"),
+                leaf_release(strip(i), 10.0 * (i as f64 + 1.0)),
+            )
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn open_publishes_version_one() {
+        let store = open_strips();
+        let snap = store.snapshot();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.shard_count(), 4);
+        assert_eq!(snap.keys(), ["strip0", "strip1", "strip2", "strip3"]);
+        let whole = RangeQuery::new(Rect::unit(2));
+        assert_eq!(snap.answer(&whole), 100.0);
+    }
+
+    #[test]
+    fn swap_publishes_and_old_snapshots_keep_answering() {
+        let store = open_strips();
+        let before = store.snapshot();
+        let report = store.swap("strip1", leaf_release(strip(1), 200.0)).unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(report.shards_reused, 3);
+        assert_eq!(report.routing_nodes_rebuilt, 5);
+        let after = store.snapshot();
+        let whole = RangeQuery::new(Rect::unit(2));
+        assert_eq!(before.answer(&whole), 100.0, "old snapshot is frozen");
+        assert_eq!(after.answer(&whole), 280.0);
+        // untouched shards are adopted by pointer
+        for key in ["strip0", "strip2", "strip3"] {
+            let i = before.keys().iter().position(|k| k == key).unwrap();
+            let j = after.keys().iter().position(|k| k == key).unwrap();
+            assert!(Arc::ptr_eq(
+                before.synopsis().shards()[i].arena_arc(),
+                after.synopsis().shards()[j].arena_arc()
+            ));
+        }
+    }
+
+    #[test]
+    fn add_and_retire_round_trip() {
+        let store = open_strips();
+        assert_eq!(
+            store
+                .add("strip0", leaf_release(strip(0), 1.0))
+                .unwrap_err(),
+            EngineError::DuplicateKey("strip0".into())
+        );
+        let r = store
+            .add(
+                "strip4",
+                leaf_release(Rect::new(&[1.0, 0.0], &[1.25, 1.0]), 5.0),
+            )
+            .unwrap();
+        assert_eq!(r.shard_count, 5);
+        let r = store.retire("strip4").unwrap();
+        assert_eq!(r.shard_count, 4);
+        assert_eq!(
+            store.retire("strip4").unwrap_err(),
+            EngineError::UnknownKey("strip4".into())
+        );
+    }
+
+    #[test]
+    fn failed_mutations_leave_the_store_unchanged() {
+        let store = open_strips();
+        let before = store.snapshot();
+        // overlapping region: rejected by shard assembly
+        let overlapping = leaf_release(Rect::new(&[0.1, 0.0], &[0.6, 1.0]), 1.0);
+        assert!(matches!(
+            store.add("bad", overlapping),
+            Err(EngineError::Shard(ShardError::OverlappingRegions { .. }))
+        ));
+        assert!(matches!(
+            store.swap("missing", leaf_release(strip(0), 1.0)),
+            Err(EngineError::UnknownKey(_))
+        ));
+        let after = store.snapshot();
+        assert_eq!(after.version(), before.version());
+        assert_eq!(store.keys(), ["strip0", "strip1", "strip2", "strip3"]);
+    }
+
+    #[test]
+    fn store_refuses_to_become_empty() {
+        let store = ReleaseStore::open([("only", leaf_release(Rect::unit(2), 7.0))]).unwrap();
+        assert_eq!(store.retire("only").unwrap_err(), EngineError::WouldBeEmpty);
+        assert_eq!(store.snapshot().shard_count(), 1);
+        assert!(matches!(
+            ReleaseStore::open(Vec::<(String, FrozenSynopsis)>::new()),
+            Err(EngineError::Shard(ShardError::Empty))
+        ));
+    }
+
+    #[test]
+    fn gridded_store_builds_one_grid_per_new_release() {
+        let store = ReleaseStore::open_gridded(
+            (0..4).map(|i| (format!("strip{i}"), leaf_release(strip(i), 4.0))),
+        )
+        .unwrap();
+        assert_eq!(store.stats().grids_built, 4);
+        let before = store.snapshot();
+        let report = store.swap("strip2", leaf_release(strip(2), 9.0)).unwrap();
+        assert_eq!(report.grids_built, 1, "only the swapped shard's grid");
+        assert!(report.grid_cells_built > 0);
+        assert_eq!(store.stats().grids_built, 5);
+        // shard-set validation runs before any grid precompute: a release
+        // that is both overlapping and ungriddable must fail with the
+        // (cheap) shard error, not the (expensive) grid one
+        let region = Rect::new(&[0.1, 0.0], &[0.6, 1.0]);
+        let mut tree = privtree_core::tree::Tree::with_root(region);
+        tree.add_children(tree.root(), region.bisect(&[0, 1]));
+        let overlapping_and_inconsistent =
+            FrozenSynopsis::from_tree(&tree, &[100.0, 1.0, 1.0, 1.0, 1.0], "bad");
+        assert!(matches!(
+            store.add("bad", overlapping_and_inconsistent),
+            Err(EngineError::Shard(ShardError::OverlappingRegions { .. }))
+        ));
+        let after = store.snapshot();
+        // untouched shards keep their grids by pointer
+        for key in ["strip0", "strip1", "strip3"] {
+            let i = before.keys().iter().position(|k| k == key).unwrap();
+            let j = after.keys().iter().position(|k| k == key).unwrap();
+            assert!(Arc::ptr_eq(
+                before.synopsis().shards()[i].grid().unwrap(),
+                after.synopsis().shards()[j].grid().unwrap()
+            ));
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! End-to-end round trip through the `privtree-serve` binary: a
+//! serialized release goes in, a stdin line-protocol workload streams
+//! through, and every answer must equal the library's
+//! `FrozenSynopsis::answer` output exactly (same `%.17e` rendering, which
+//! round-trips `f64` bit-exactly). This is the CI smoke lane for the
+//! serving binary; it also exercises the TCP mode and the runtime epoch
+//! operations.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::seeded;
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
+use privtree_spatial::serialize::frozen_to_text;
+use privtree_spatial::synopsis::privtree_synopsis;
+use privtree_spatial::FrozenSynopsis;
+use rand::RngExt;
+
+/// The binary under test (cargo builds and points at it for integration
+/// tests of this crate).
+const BIN: &str = env!("CARGO_BIN_EXE_privtree-serve");
+
+fn sample_release(domain: Rect, seed: u64, n: usize) -> FrozenSynopsis {
+    let mut rng = seeded(seed);
+    let mut ps = PointSet::new(2);
+    for _ in 0..n {
+        ps.push(&[
+            domain.lo()[0] + rng.random::<f64>() * domain.side(0),
+            domain.lo()[1] + rng.random::<f64>().powi(2) * domain.side(1),
+        ]);
+    }
+    privtree_synopsis(
+        &ps,
+        domain,
+        SplitConfig::full(2),
+        Epsilon::new(1.0).unwrap(),
+        &mut seeded(seed ^ 0xabcd),
+    )
+    .unwrap()
+    .freeze()
+}
+
+fn workload(n: usize, seed: u64) -> Vec<RangeQuery> {
+    let mut rng = seeded(seed);
+    (0..n)
+        .map(|_| {
+            let (a, b) = (rng.random::<f64>(), rng.random::<f64>());
+            let (c, d) = (rng.random::<f64>(), rng.random::<f64>());
+            RangeQuery::new(Rect::new(&[a.min(b), c.min(d)], &[a.max(b), c.max(d)]))
+        })
+        .collect()
+}
+
+/// A scratch file that cleans up after itself.
+struct TempFile(std::path::PathBuf);
+
+impl TempFile {
+    fn write(name: &str, contents: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("privtree-serve-test-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).expect("write temp release");
+        Self(path)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn query_line(q: &RangeQuery) -> String {
+    let csv = |c: &[f64]| {
+        c.iter()
+            .map(|x| format!("{x:.17e}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!("{} {}", csv(q.rect.lo()), csv(q.rect.hi()))
+}
+
+/// Kill the child on drop so a failing assert cannot leak a process.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn stdin_round_trip_matches_library_answers() {
+    let frozen = sample_release(Rect::unit(2), 5, 4000);
+    let release_file = TempFile::write("release.txt", &frozen_to_text(&frozen));
+    let queries = workload(200, 6);
+
+    // workload: singles, one batch, and a stats probe
+    let mut input = String::new();
+    for q in &queries[..50] {
+        input.push_str(&format!("count {}\n", query_line(q)));
+    }
+    input.push_str(&format!("batch {}\n", queries.len()));
+    for q in &queries {
+        input.push_str(&query_line(q));
+        input.push('\n');
+    }
+    input.push_str("keys\nstats\nquit\n");
+
+    let output = Command::new(BIN)
+        .arg(format!("epoch0={}", release_file.path()))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .expect("piped stdin")
+                .write_all(input.as_bytes())?;
+            child.wait_with_output()
+        })
+        .expect("run privtree-serve");
+    assert!(
+        output.status.success(),
+        "privtree-serve failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 answers");
+    let mut lines = stdout.lines();
+    // the diff against the library path: every answer line must be the
+    // exact %.17e rendering of FrozenSynopsis::answer
+    for q in &queries[..50] {
+        let expect = format!("{:.17e}", frozen.answer(q));
+        assert_eq!(
+            lines.next(),
+            Some(expect.as_str()),
+            "single query {}",
+            q.rect
+        );
+    }
+    for q in &queries {
+        let expect = format!("{:.17e}", frozen.answer(q));
+        assert_eq!(
+            lines.next(),
+            Some(expect.as_str()),
+            "batched query {}",
+            q.rect
+        );
+    }
+    assert_eq!(lines.next(), Some("keys epoch0"));
+    let stats = lines.next().expect("stats line");
+    assert!(stats.starts_with("stats shards=1 "), "stats line: {stats}");
+    assert!(stats.contains("version=1"), "stats line: {stats}");
+    assert_eq!(lines.next(), None, "no unexpected trailing output");
+}
+
+/// A failed batch replies exactly one error line and leaves the stream
+/// aligned: the remaining batch lines are drained, never re-parsed as
+/// commands, and the next real command answers normally.
+#[test]
+fn bad_batch_line_does_not_desynchronize_the_protocol() {
+    let frozen = sample_release(Rect::unit(2), 31, 1500);
+    let release_file = TempFile::write("align-release.txt", &frozen_to_text(&frozen));
+    let q = RangeQuery::new(Rect::new(&[0.1, 0.2], &[0.5, 0.6]));
+    let input = format!(
+        "batch 3\n\
+         0.1,0.1 0.2,0.2\n\
+         garbage line\n\
+         0.3,0.3 0.4,0.4\n\
+         count {}\n\
+         batch 999999999999\n\
+         quit\n",
+        query_line(&q)
+    );
+    let output = Command::new(BIN)
+        .arg(format!("epoch0={}", release_file.path()))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .expect("piped stdin")
+                .write_all(input.as_bytes())?;
+            child.wait_with_output()
+        })
+        .expect("run privtree-serve");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    let mut lines = stdout.lines();
+    let batch_err = lines.next().expect("batch error");
+    assert!(batch_err.starts_with("error:"), "batch reply: {batch_err}");
+    assert_eq!(
+        lines.next(),
+        Some(format!("{:.17e}", frozen.answer(&q)).as_str()),
+        "the command after a failed batch must answer normally"
+    );
+    let cap_err = lines.next().expect("cap error");
+    assert!(
+        cap_err.starts_with("error:") && cap_err.contains("cap"),
+        "oversized batch reply: {cap_err}"
+    );
+    assert_eq!(lines.next(), None);
+}
+
+#[test]
+fn epoch_operations_swap_releases_mid_stream() {
+    let left = Rect::new(&[0.0, 0.0], &[0.5, 1.0]);
+    let right = Rect::new(&[0.5, 0.0], &[1.0, 1.0]);
+    let epoch_a = sample_release(left, 11, 2500);
+    let epoch_b = sample_release(left, 12, 2500);
+    let other = sample_release(right, 13, 2500);
+    // the store runs with --grids, so a query inside the left region is
+    // answered by that shard's grid-routed descent (entered with a zero
+    // accumulator) — bit-identical to the standalone grid-routed engine
+    // over the same release at the default resolution
+    let grid_a = privtree_spatial::GridRoutedSynopsis::build(epoch_a.clone()).unwrap();
+    let grid_b = privtree_spatial::GridRoutedSynopsis::build(epoch_b.clone()).unwrap();
+    let file_a = TempFile::write("epoch-a.txt", &frozen_to_text(&epoch_a));
+    let file_b = TempFile::write("epoch-b.txt", &frozen_to_text(&epoch_b));
+    let file_other = TempFile::write("other.txt", &frozen_to_text(&other));
+
+    // a query strictly inside the left region is answered by that shard
+    // alone, so the stream must see epoch A bits, then epoch B bits
+    let q = RangeQuery::new(Rect::new(&[0.05, 0.1], &[0.4, 0.8]));
+    let input = format!(
+        "count {line}\n\
+         add other {file_other}\n\
+         swap left {file_b}\n\
+         count {line}\n\
+         retire other\n\
+         keys\n\
+         retire left\n\
+         quit\n",
+        line = query_line(&q),
+        file_other = file_other.path(),
+        file_b = file_b.path(),
+    );
+    let output = Command::new(BIN)
+        .args(["--grids", &format!("left={}", file_a.path())])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .expect("piped stdin")
+                .write_all(input.as_bytes())?;
+            child.wait_with_output()
+        })
+        .expect("run privtree-serve");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next(),
+        Some(format!("{:.17e}", grid_a.answer(&q)).as_str()),
+        "pre-swap answer serves epoch A"
+    );
+    let add_line = lines.next().expect("add reply");
+    assert!(
+        add_line.starts_with("ok version=2") && add_line.contains("grids_built=1"),
+        "add reply: {add_line}"
+    );
+    let swap_line = lines.next().expect("swap reply");
+    assert!(
+        swap_line.starts_with("ok version=3")
+            && swap_line.contains("grids_built=1")
+            && swap_line.contains("shards_reused=1"),
+        "swap reply: {swap_line}"
+    );
+    assert_eq!(
+        lines.next(),
+        Some(format!("{:.17e}", grid_b.answer(&q)).as_str()),
+        "post-swap answer serves epoch B"
+    );
+    assert!(lines
+        .next()
+        .expect("retire reply")
+        .starts_with("ok version=4"));
+    assert_eq!(lines.next(), Some("keys left"));
+    let refuse = lines.next().expect("refusal");
+    assert!(refuse.starts_with("error:"), "last-shard retire: {refuse}");
+}
+
+#[test]
+fn tcp_mode_serves_connections() {
+    let frozen = sample_release(Rect::unit(2), 21, 2000);
+    let release_file = TempFile::write("tcp-release.txt", &frozen_to_text(&frozen));
+    let child = Command::new(BIN)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            &format!("epoch0={}", release_file.path()),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn privtree-serve");
+    let mut child = Reaper(child);
+    let mut announce = String::new();
+    BufReader::new(child.0.stdout.take().expect("piped stdout"))
+        .read_line(&mut announce)
+        .expect("read listen announcement");
+    let addr = announce
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {announce}"));
+
+    let queries = workload(40, 22);
+    for round in 0..2 {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        for q in &queries {
+            writeln!(writer, "count {}", query_line(q)).expect("send");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("receive");
+            assert_eq!(
+                reply.trim(),
+                format!("{:.17e}", frozen.answer(q)),
+                "round {round}, query {}",
+                q.rect
+            );
+        }
+        writeln!(writer, "quit").expect("send quit");
+    }
+}

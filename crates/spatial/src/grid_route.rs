@@ -1064,6 +1064,13 @@ impl GridRoutedSynopsis {
         self.frozen
     }
 
+    /// Take the engine apart into its arena and grid — e.g. to hand a
+    /// deserialized release (grid included) to the sharded/epoch layer as
+    /// one [`crate::sharded::ShardHandle`].
+    pub fn into_parts(self) -> (FrozenSynopsis, CellGrid) {
+        (self.frozen, self.grid)
+    }
+
     /// Override the display label.
     pub fn with_label(mut self, label: &'static str) -> Self {
         self.label = label;

@@ -50,7 +50,7 @@ pub use grid_route::{CellGrid, GridRouteError, GridRoutedSynopsis};
 pub use index::GridIndex;
 pub use quadtree::{QuadDomain, QuadNode, SplitConfig};
 pub use query::{RangeCountSynopsis, RangeQuery};
-pub use sharded::ShardedSynopsis;
+pub use sharded::{ShardError, ShardHandle, ShardedSynopsis};
 pub use synopsis::{exact_synopsis, privtree_synopsis, simple_tree_synopsis, SpatialSynopsis};
 
 /// Maximum supported dimensionality (the paper's datasets are 2-d and 4-d;

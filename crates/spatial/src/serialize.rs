@@ -2,9 +2,11 @@
 //!
 //! A differentially private release is only useful if it can leave the
 //! process that computed it. The format is line-oriented and
-//! self-describing:
+//! self-describing: a **manifest** line announces which sections the file
+//! carries, then each section follows with its own header:
 //!
 //! ```text
+//! privtree-manifest v1 sections=synopsis
 //! privtree-synopsis v1 dims=2 nodes=5 label=PrivTree
 //! node 0 parent=- lo=0,0 hi=1,1 count=1000.5
 //! node 1 parent=0 lo=0,0 hi=0.5,0.5 count=250.25
@@ -15,12 +17,19 @@
 //! produce), and each parent's children must be contiguous.
 //!
 //! A grid-routed release ([`crate::grid_route::GridRoutedSynopsis`])
-//! appends a `privtree-grid v1` section after the node lines — per-cell
-//! anchors and exact contributions in row-major order — so the
-//! accelerator's precomputation ships with the release instead of being
-//! redone at load time ([`grid_routed_to_text`]/[`grid_routed_from_text`];
-//! the summed-area table is rebuilt deterministically from the values, so
-//! a round trip answers bit-identically).
+//! declares `sections=synopsis,grid` and appends a `privtree-grid v1`
+//! section after the node lines — per-cell anchors and exact
+//! contributions in row-major order — so the accelerator's precomputation
+//! ships with the release instead of being redone at load time
+//! ([`grid_routed_to_text`]/[`grid_routed_from_text`]; the summed-area
+//! table is rebuilt deterministically from the values, so a round trip
+//! answers bit-identically).
+//!
+//! Parsers accept files without a manifest (the pre-manifest v1 format);
+//! when a manifest is present, the declared and actual sections must
+//! agree. Every [`ParseError`] names the section it arose in and the
+//! 1-based line number within the whole file, so a corrupt byte in a
+//! million-line release is localizable.
 
 use crate::frozen::FrozenSynopsis;
 use crate::geom::Rect;
@@ -29,39 +38,209 @@ use crate::query::RangeCountSynopsis;
 use crate::synopsis::SpatialSynopsis;
 use privtree_core::tree::{NodeId, Tree};
 
-/// Serialization failures.
+/// Serialization failures. Each variant carries the section name
+/// (`manifest`, `synopsis`, or `grid`) and, where one exists, the 1-based
+/// line number **within the whole file** where the problem was found.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseError {
-    /// The header line is missing or malformed.
-    BadHeader(String),
-    /// A node line could not be parsed.
-    BadNode { line: usize, reason: String },
-    /// The node count in the header does not match the body.
-    CountMismatch { expected: usize, found: usize },
-    /// The grid section is missing, malformed, or inconsistent with the
-    /// release it is attached to.
-    BadGrid(String),
+    /// A section header line is missing required fields or malformed.
+    BadHeader {
+        section: &'static str,
+        line: usize,
+        reason: String,
+    },
+    /// A record line inside a section could not be parsed or violates the
+    /// section's invariants.
+    BadRecord {
+        section: &'static str,
+        line: usize,
+        reason: String,
+    },
+    /// A section's header promised a different number of records than its
+    /// body carries (`line` points at the header).
+    CountMismatch {
+        section: &'static str,
+        line: usize,
+        expected: usize,
+        found: usize,
+    },
+    /// A section the caller (or the manifest) requires is absent.
+    MissingSection {
+        section: &'static str,
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ParseError::BadHeader(h) => write!(f, "bad synopsis header: {h}"),
-            ParseError::BadNode { line, reason } => {
-                write!(f, "bad node at line {line}: {reason}")
+            ParseError::BadHeader {
+                section,
+                line,
+                reason,
+            } => {
+                write!(f, "bad {section} header at line {line}: {reason}")
             }
-            ParseError::CountMismatch { expected, found } => {
-                write!(f, "expected {expected} nodes, found {found}")
+            ParseError::BadRecord {
+                section,
+                line,
+                reason,
+            } => {
+                write!(f, "bad {section} record at line {line}: {reason}")
             }
-            ParseError::BadGrid(reason) => write!(f, "bad grid section: {reason}"),
+            ParseError::CountMismatch {
+                section,
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{section} section (header at line {line}): expected {expected} records, \
+                 found {found}"
+            ),
+            ParseError::MissingSection { section, reason } => {
+                write!(f, "missing {section} section: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for ParseError {}
 
-/// Serialize a synopsis to the v1 text format.
-pub fn to_text(synopsis: &SpatialSynopsis) -> String {
+/// Section names as they appear in the manifest and in errors.
+const MANIFEST: &str = "manifest";
+const SYNOPSIS: &str = "synopsis";
+const GRID: &str = "grid";
+
+/// A line tagged with its 1-based number in the whole file.
+type NumberedLine<'a> = (usize, &'a str);
+
+/// A section's header line plus its record lines.
+type SectionLines<'a> = (NumberedLine<'a>, Vec<NumberedLine<'a>>);
+
+/// The file cut into sections, each line tagged with its 1-based number.
+struct Sections<'a> {
+    /// Synopsis header (line number, text).
+    synopsis_header: NumberedLine<'a>,
+    /// Node records of the synopsis section.
+    synopsis: Vec<NumberedLine<'a>>,
+    /// Grid section, when present: header + records.
+    grid: Option<SectionLines<'a>>,
+}
+
+/// Split a release file into its sections, validating the manifest (when
+/// present) against the sections actually found.
+fn split_sections(text: &str) -> Result<Sections<'_>, ParseError> {
+    let mut declared: Option<(usize, Vec<&str>)> = None;
+    let mut synopsis_header: Option<NumberedLine<'_>> = None;
+    let mut synopsis: Vec<NumberedLine<'_>> = Vec::new();
+    let mut grid: Option<SectionLines<'_>> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("privtree-manifest v1") {
+            if declared.is_some() || synopsis_header.is_some() {
+                return Err(ParseError::BadRecord {
+                    section: MANIFEST,
+                    line: line_no,
+                    reason: "manifest must be the first line and appear once".into(),
+                });
+            }
+            let sections = line
+                .split_whitespace()
+                .find_map(|f| f.strip_prefix("sections="))
+                .ok_or_else(|| ParseError::BadHeader {
+                    section: MANIFEST,
+                    line: line_no,
+                    reason: format!("no sections= field in: {line}"),
+                })?;
+            let names: Vec<&str> = sections.split(',').collect();
+            for name in &names {
+                if *name != SYNOPSIS && *name != GRID {
+                    return Err(ParseError::BadHeader {
+                        section: MANIFEST,
+                        line: line_no,
+                        reason: format!("unknown section name {name}"),
+                    });
+                }
+            }
+            declared = Some((line_no, names));
+        } else if line.starts_with("privtree-synopsis v1") {
+            if synopsis_header.is_some() {
+                return Err(ParseError::BadRecord {
+                    section: SYNOPSIS,
+                    line: line_no,
+                    reason: "duplicate synopsis header".into(),
+                });
+            }
+            synopsis_header = Some((line_no, line));
+        } else if line.starts_with("privtree-grid v1") {
+            if grid.is_some() {
+                return Err(ParseError::BadRecord {
+                    section: GRID,
+                    line: line_no,
+                    reason: "duplicate grid header".into(),
+                });
+            }
+            grid = Some(((line_no, line), Vec::new()));
+        } else if let Some((_, records)) = &mut grid {
+            records.push((line_no, line));
+        } else if synopsis_header.is_some() {
+            synopsis.push((line_no, line));
+        } else {
+            return Err(ParseError::BadHeader {
+                section: SYNOPSIS,
+                line: line_no,
+                reason: format!("expected a synopsis header, found: {line}"),
+            });
+        }
+    }
+    let synopsis_header = synopsis_header.ok_or_else(|| ParseError::MissingSection {
+        section: SYNOPSIS,
+        reason: "no privtree-synopsis header in input".into(),
+    })?;
+    if let Some((line, names)) = declared {
+        if !names.contains(&SYNOPSIS) {
+            return Err(ParseError::BadHeader {
+                section: MANIFEST,
+                line,
+                reason: "manifest does not declare the synopsis section".into(),
+            });
+        }
+        match (names.contains(&GRID), &grid) {
+            (true, None) => {
+                return Err(ParseError::MissingSection {
+                    section: GRID,
+                    reason: format!("declared by the manifest at line {line} but absent"),
+                })
+            }
+            (false, Some(((grid_line, _), _))) => {
+                return Err(ParseError::BadRecord {
+                    section: MANIFEST,
+                    line,
+                    reason: format!("grid section at line {grid_line} is not declared"),
+                })
+            }
+            _ => {}
+        }
+    }
+    Ok(Sections {
+        synopsis_header,
+        synopsis,
+        grid,
+    })
+}
+
+/// The manifest line announcing `sections`.
+fn manifest_line(sections: &[&str]) -> String {
+    format!("privtree-manifest v1 sections={}\n", sections.join(","))
+}
+
+/// The synopsis section (header + node records) without a manifest.
+fn synopsis_section(synopsis: &SpatialSynopsis) -> String {
     let tree = synopsis.tree();
     let dims = tree.payload(tree.root()).dims();
     let mut out = String::new();
@@ -95,6 +274,14 @@ pub fn to_text(synopsis: &SpatialSynopsis) -> String {
     out
 }
 
+/// Serialize a synopsis to the v1 text format (manifest + synopsis
+/// section).
+pub fn to_text(synopsis: &SpatialSynopsis) -> String {
+    let mut out = manifest_line(&[SYNOPSIS]);
+    out.push_str(&synopsis_section(synopsis));
+    out
+}
+
 /// Serialize a frozen synopsis: thaw to the tree view (lossless, same
 /// arena order) and emit the same v1 text format, so frozen and tree-walk
 /// releases interchange freely on disk.
@@ -103,16 +290,19 @@ pub fn frozen_to_text(synopsis: &FrozenSynopsis) -> String {
 }
 
 /// Parse the v1 text format directly into the read-optimized
-/// representation.
+/// representation. A trailing grid section, if any, is ignored (use
+/// [`grid_routed_from_text`] to load it).
 pub fn frozen_from_text(text: &str) -> Result<FrozenSynopsis, ParseError> {
     Ok(from_text(text)?.freeze())
 }
 
-/// Serialize a grid-routed release: the v1 synopsis text followed by a
-/// `privtree-grid v1` section carrying every cell's anchor and exact
-/// contribution (17 significant digits, so values round-trip bit-exactly).
+/// Serialize a grid-routed release: a manifest declaring both sections,
+/// the synopsis text, then a `privtree-grid v1` section carrying every
+/// cell's anchor and exact contribution (17 significant digits, so values
+/// round-trip bit-exactly).
 pub fn grid_routed_to_text(synopsis: &GridRoutedSynopsis) -> String {
-    let mut out = frozen_to_text(synopsis.frozen());
+    let mut out = manifest_line(&[SYNOPSIS, GRID]);
+    out.push_str(&synopsis_section(&synopsis.frozen().thaw()));
     let grid = synopsis.grid();
     let bins = grid
         .bins()
@@ -132,31 +322,66 @@ pub fn grid_routed_to_text(synopsis: &GridRoutedSynopsis) -> String {
 /// their cells) and its summed-area table rebuilt deterministically, so
 /// the result answers bit-identically to the serialized engine.
 pub fn grid_routed_from_text(text: &str) -> Result<GridRoutedSynopsis, ParseError> {
-    let marker = "privtree-grid v1 ";
-    let pos = text
-        .find(marker)
-        .ok_or_else(|| ParseError::BadGrid("missing privtree-grid section".into()))?;
-    let frozen = frozen_from_text(&text[..pos])?;
-    let mut lines = text[pos..].lines();
-    let header = lines.next().expect("marker guarantees a header line");
+    let sections = split_sections(text)?;
+    if sections.grid.is_none() {
+        return Err(ParseError::MissingSection {
+            section: GRID,
+            reason: "no privtree-grid header in input".into(),
+        });
+    }
+    let (frozen, grid) = parse_gridded(&sections)?;
+    Ok(GridRoutedSynopsis::from_prebuilt(frozen, grid))
+}
+
+/// Parse a release in a single pass, whatever sections it carries: the
+/// frozen arena plus the shipped [`CellGrid`] when a grid section is
+/// present (`None` otherwise). This is the loader for serving layers
+/// that accept both plain and grid-routed files — no second scan to
+/// probe for the grid.
+pub fn release_from_text(text: &str) -> Result<(FrozenSynopsis, Option<CellGrid>), ParseError> {
+    let sections = split_sections(text)?;
+    if sections.grid.is_none() {
+        return Ok((parse_synopsis(&sections)?.freeze(), None));
+    }
+    let (frozen, grid) = parse_gridded(&sections)?;
+    Ok((frozen, Some(grid)))
+}
+
+/// Parse the synopsis + grid sections of an already-split file (the grid
+/// section must be present).
+fn parse_gridded(sections: &Sections<'_>) -> Result<(FrozenSynopsis, CellGrid), ParseError> {
+    let ((header_line, header), records) = sections
+        .grid
+        .as_ref()
+        .expect("parse_gridded requires a grid section");
+    let frozen = parse_synopsis(sections)?.freeze();
+    let header_line = *header_line;
     let bins: Vec<usize> = header
         .split_whitespace()
         .find_map(|f| f.strip_prefix("bins="))
-        .ok_or_else(|| ParseError::BadGrid(format!("no bins= in header: {header}")))?
+        .ok_or_else(|| ParseError::BadHeader {
+            section: GRID,
+            line: header_line,
+            reason: format!("no bins= field in: {header}"),
+        })?
         .split(',')
         .map(|b| {
-            b.parse::<usize>()
-                .map_err(|_| ParseError::BadGrid(format!("bad bin count {b}")))
+            b.parse::<usize>().map_err(|_| ParseError::BadHeader {
+                section: GRID,
+                line: header_line,
+                reason: format!("bad bin count {b}"),
+            })
         })
         .collect::<Result<_, _>>()?;
     let cells: usize = bins.iter().product();
     let mut anchors = Vec::with_capacity(cells);
     let mut values = Vec::with_capacity(cells);
-    for line in lines {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let bad = |reason: String| ParseError::BadGrid(format!("{reason} in line: {line}"));
+    for &(line_no, line) in records {
+        let bad = |reason: String| ParseError::BadRecord {
+            section: GRID,
+            line: line_no,
+            reason,
+        };
         let mut fields = line.split_whitespace();
         if fields.next() != Some("cell") {
             return Err(bad("expected a cell record".into()));
@@ -172,75 +397,90 @@ pub fn grid_routed_from_text(text: &str) -> Result<GridRoutedSynopsis, ParseErro
         let mut value: Option<f64> = None;
         for field in fields {
             if let Some(v) = field.strip_prefix("anchor=") {
-                anchor = Some(v.parse().map_err(|_| bad("bad anchor".into()))?);
+                anchor = Some(v.parse().map_err(|_| bad(format!("bad anchor {v}")))?);
             } else if let Some(v) = field.strip_prefix("value=") {
-                value = Some(v.parse().map_err(|_| bad("bad value".into()))?);
+                value = Some(v.parse().map_err(|_| bad(format!("bad value {v}")))?);
             }
         }
         anchors.push(anchor.ok_or_else(|| bad("missing anchor".into()))?);
         values.push(value.ok_or_else(|| bad("missing value".into()))?);
     }
     if anchors.len() != cells {
-        return Err(ParseError::BadGrid(format!(
-            "expected {cells} cells, found {}",
-            anchors.len()
-        )));
+        return Err(ParseError::CountMismatch {
+            section: GRID,
+            line: header_line,
+            expected: cells,
+            found: anchors.len(),
+        });
     }
-    let grid = CellGrid::from_parts(&frozen, &bins, anchors, values)
-        .map_err(|e| ParseError::BadGrid(e.to_string()))?;
-    Ok(GridRoutedSynopsis::from_prebuilt(frozen, grid))
+    let grid = CellGrid::from_parts(&frozen, &bins, anchors, values).map_err(|e| {
+        ParseError::BadRecord {
+            section: GRID,
+            line: header_line,
+            reason: e.to_string(),
+        }
+    })?;
+    Ok((frozen, grid))
 }
 
-/// Parse the v1 text format back into a synopsis.
+/// Parse the v1 text format back into a synopsis. A trailing grid
+/// section, if any, is ignored.
 pub fn from_text(text: &str) -> Result<SpatialSynopsis, ParseError> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
+    parse_synopsis(&split_sections(text)?)
+}
+
+/// Parse the synopsis section of an already-split file.
+fn parse_synopsis(sections: &Sections<'_>) -> Result<SpatialSynopsis, ParseError> {
+    let (header_line, header) = sections.synopsis_header;
     let mut dims = 0usize;
     let mut nodes = 0usize;
-    if !header.starts_with("privtree-synopsis v1 ") {
-        return Err(ParseError::BadHeader(header.to_string()));
-    }
     for field in header.split_whitespace().skip(2) {
         if let Some(v) = field.strip_prefix("dims=") {
-            dims = v
-                .parse()
-                .map_err(|_| ParseError::BadHeader(header.to_string()))?;
+            dims = v.parse().map_err(|_| ParseError::BadHeader {
+                section: SYNOPSIS,
+                line: header_line,
+                reason: format!("bad dims field in: {header}"),
+            })?;
         } else if let Some(v) = field.strip_prefix("nodes=") {
-            nodes = v
-                .parse()
-                .map_err(|_| ParseError::BadHeader(header.to_string()))?;
+            nodes = v.parse().map_err(|_| ParseError::BadHeader {
+                section: SYNOPSIS,
+                line: header_line,
+                reason: format!("bad nodes field in: {header}"),
+            })?;
         }
     }
     if dims == 0 || nodes == 0 {
-        return Err(ParseError::BadHeader(header.to_string()));
+        return Err(ParseError::BadHeader {
+            section: SYNOPSIS,
+            line: header_line,
+            reason: format!("dims and nodes must both be positive in: {header}"),
+        });
     }
 
     // collect raw node records first
     struct Raw {
+        line: usize,
         parent: Option<usize>,
         rect: Rect,
         count: f64,
     }
     let mut raw: Vec<Raw> = Vec::with_capacity(nodes);
-    for (lineno, line) in lines {
-        if line.trim().is_empty() {
-            continue;
-        }
+    for &(line_no, line) in &sections.synopsis {
         let mut parent = None;
         let mut lo: Option<Vec<f64>> = None;
         let mut hi: Option<Vec<f64>> = None;
         let mut count: Option<f64> = None;
-        let bad = |reason: &str| ParseError::BadNode {
-            line: lineno + 1,
-            reason: reason.to_string(),
+        let bad = |reason: String| ParseError::BadRecord {
+            section: SYNOPSIS,
+            line: line_no,
+            reason,
         };
-        let parse_coords = |v: &str, lineno: usize| -> Result<Vec<f64>, ParseError> {
+        let parse_coords = |v: &str| -> Result<Vec<f64>, ParseError> {
             v.split(',')
                 .map(|x| {
-                    x.parse::<f64>().map_err(|_| ParseError::BadNode {
-                        line: lineno + 1,
+                    x.parse::<f64>().map_err(|_| ParseError::BadRecord {
+                        section: SYNOPSIS,
+                        line: line_no,
                         reason: format!("bad coordinate {x}"),
                     })
                 })
@@ -249,29 +489,38 @@ pub fn from_text(text: &str) -> Result<SpatialSynopsis, ParseError> {
         for field in line.split_whitespace().skip(2) {
             if let Some(v) = field.strip_prefix("parent=") {
                 if v != "-" {
-                    parent = Some(v.parse::<usize>().map_err(|_| bad("bad parent"))?);
+                    parent = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| bad(format!("bad parent {v}")))?,
+                    );
                 }
             } else if let Some(v) = field.strip_prefix("lo=") {
-                lo = Some(parse_coords(v, lineno)?);
+                lo = Some(parse_coords(v)?);
             } else if let Some(v) = field.strip_prefix("hi=") {
-                hi = Some(parse_coords(v, lineno)?);
+                hi = Some(parse_coords(v)?);
             } else if let Some(v) = field.strip_prefix("count=") {
-                count = Some(v.parse::<f64>().map_err(|_| bad("bad count"))?);
+                count = Some(
+                    v.parse::<f64>()
+                        .map_err(|_| bad(format!("bad count {v}")))?,
+                );
             }
         }
-        let lo = lo.ok_or_else(|| bad("missing lo"))?;
-        let hi = hi.ok_or_else(|| bad("missing hi"))?;
+        let lo = lo.ok_or_else(|| bad("missing lo".into()))?;
+        let hi = hi.ok_or_else(|| bad("missing hi".into()))?;
         if lo.len() != dims || hi.len() != dims {
-            return Err(bad("coordinate dimensionality mismatch"));
+            return Err(bad("coordinate dimensionality mismatch".into()));
         }
         raw.push(Raw {
+            line: line_no,
             parent,
             rect: Rect::new(&lo, &hi),
-            count: count.ok_or_else(|| bad("missing count"))?,
+            count: count.ok_or_else(|| bad("missing count".into()))?,
         });
     }
     if raw.len() != nodes {
         return Err(ParseError::CountMismatch {
+            section: SYNOPSIS,
+            line: header_line,
             expected: nodes,
             found: raw.len(),
         });
@@ -282,8 +531,9 @@ pub fn from_text(text: &str) -> Result<SpatialSynopsis, ParseError> {
     let mut tree = Tree::with_root(raw[0].rect);
     let mut i = 1usize;
     while i < raw.len() {
-        let parent = raw[i].parent.ok_or(ParseError::BadNode {
-            line: i + 2,
+        let parent = raw[i].parent.ok_or(ParseError::BadRecord {
+            section: SYNOPSIS,
+            line: raw[i].line,
             reason: "non-root node without parent".into(),
         })?;
         let mut group = vec![raw[i].rect];
@@ -293,8 +543,9 @@ pub fn from_text(text: &str) -> Result<SpatialSynopsis, ParseError> {
             j += 1;
         }
         if parent >= i {
-            return Err(ParseError::BadNode {
-                line: i + 2,
+            return Err(ParseError::BadRecord {
+                section: SYNOPSIS,
+                line: raw[i].line,
                 reason: "parent appears after child".into(),
             });
         }
@@ -355,30 +606,99 @@ mod tests {
     #[test]
     fn header_is_self_describing() {
         let text = to_text(&sample_synopsis());
-        let header = text.lines().next().unwrap();
+        let mut lines = text.lines();
+        let manifest = lines.next().unwrap();
+        assert_eq!(manifest, "privtree-manifest v1 sections=synopsis");
+        let header = lines.next().unwrap();
         assert!(header.contains("dims=2"));
         assert!(header.contains("label=PrivTree"));
     }
 
     #[test]
-    fn rejects_garbage() {
-        assert!(matches!(from_text(""), Err(ParseError::BadHeader(_))));
+    fn manifestless_input_still_parses() {
+        // the pre-manifest v1 format: synopsis header first
+        let text = to_text(&sample_synopsis());
+        let without: String = text.lines().skip(1).fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+        let back = from_text(&without).unwrap();
+        assert_eq!(back.node_count(), sample_synopsis().node_count());
+    }
+
+    #[test]
+    fn manifest_must_match_sections() {
+        let text = to_text(&sample_synopsis());
+        // declare a grid that is not there
+        let lying = text.replacen("sections=synopsis", "sections=synopsis,grid", 1);
         assert!(matches!(
-            from_text("not a synopsis\n"),
-            Err(ParseError::BadHeader(_))
+            from_text(&lying),
+            Err(ParseError::MissingSection {
+                section: "grid",
+                ..
+            })
         ));
-        let bad_body =
-            "privtree-synopsis v1 dims=2 nodes=2\nnode 0 parent=- lo=0,0 hi=1,1 count=5\n";
+        // unknown section name
+        let unknown = text.replacen("sections=synopsis", "sections=synopsis,bogus", 1);
         assert!(matches!(
-            from_text(bad_body),
-            Err(ParseError::CountMismatch { .. })
+            from_text(&unknown),
+            Err(ParseError::BadHeader {
+                section: "manifest",
+                line: 1,
+                ..
+            })
         ));
     }
 
     #[test]
-    fn rejects_corrupted_coordinates() {
-        let text = "privtree-synopsis v1 dims=2 nodes=1\nnode 0 parent=- lo=0,zz hi=1,1 count=5\n";
-        assert!(matches!(from_text(text), Err(ParseError::BadNode { .. })));
+    fn rejects_garbage() {
+        assert!(matches!(
+            from_text(""),
+            Err(ParseError::MissingSection {
+                section: "synopsis",
+                ..
+            })
+        ));
+        assert!(matches!(
+            from_text("not a synopsis\n"),
+            Err(ParseError::BadHeader {
+                section: "synopsis",
+                line: 1,
+                ..
+            })
+        ));
+        let bad_body =
+            "privtree-synopsis v1 dims=2 nodes=2\nnode 0 parent=- lo=0,0 hi=1,1 count=5\n";
+        match from_text(bad_body) {
+            Err(ParseError::CountMismatch {
+                section: "synopsis",
+                line: 1,
+                expected: 2,
+                found: 1,
+            }) => {}
+            other => panic!("expected a localized count mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_name_section_and_line() {
+        let text = "privtree-manifest v1 sections=synopsis\n\
+                    privtree-synopsis v1 dims=2 nodes=2\n\
+                    node 0 parent=- lo=0,0 hi=1,1 count=5\n\
+                    node 1 parent=0 lo=0,zz hi=1,1 count=5\n";
+        match from_text(text) {
+            Err(ParseError::BadRecord {
+                section: "synopsis",
+                line: 4,
+                reason,
+            }) => assert!(reason.contains("zz"), "reason: {reason}"),
+            other => panic!("expected a localized record error, got {other:?}"),
+        }
+        assert_eq!(
+            from_text(text).unwrap_err().to_string(),
+            "bad synopsis record at line 4: bad coordinate zz"
+        );
     }
 
     #[test]
@@ -399,6 +719,7 @@ mod tests {
         let frozen = sample_synopsis().freeze();
         let grid = GridRoutedSynopsis::with_bins(frozen, &[9, 7]).unwrap();
         let text = grid_routed_to_text(&grid);
+        assert!(text.starts_with("privtree-manifest v1 sections=synopsis,grid\n"));
         assert!(text.contains("privtree-grid v1 bins=9,7"));
         let back = grid_routed_from_text(&text).unwrap();
         assert_eq!(back.grid().bins(), grid.grid().bins());
@@ -420,6 +741,35 @@ mod tests {
     }
 
     #[test]
+    fn release_from_text_loads_both_shapes_in_one_pass() {
+        use crate::grid_route::GridRoutedSynopsis;
+        let frozen = sample_synopsis().freeze();
+        // a plain file: arena, no grid
+        let (plain, grid) = release_from_text(&frozen_to_text(&frozen)).unwrap();
+        assert!(grid.is_none());
+        assert_eq!(plain.node_count(), frozen.node_count());
+        // a gridded file: arena plus the shipped grid, bit-exact
+        let engine = GridRoutedSynopsis::with_bins(frozen, &[6, 4]).unwrap();
+        let (arena, grid) = release_from_text(&grid_routed_to_text(&engine)).unwrap();
+        let grid = grid.expect("grid section shipped");
+        assert_eq!(grid.bins(), engine.grid().bins());
+        assert_eq!(grid.anchors(), engine.grid().anchors());
+        assert_eq!(arena.node_count(), engine.frozen().node_count());
+    }
+
+    #[test]
+    fn frozen_parse_ignores_a_trailing_grid_section() {
+        use crate::grid_route::GridRoutedSynopsis;
+        let frozen = sample_synopsis().freeze();
+        let grid = GridRoutedSynopsis::with_bins(frozen.clone(), &[5, 5]).unwrap();
+        let text = grid_routed_to_text(&grid);
+        let back = frozen_from_text(&text).unwrap();
+        assert_eq!(back.node_count(), frozen.node_count());
+        let q = RangeQuery::new(Rect::new(&[0.1, 0.1], &[0.3, 0.2]));
+        assert_eq!(back.answer(&q).to_bits(), frozen.answer(&q).to_bits());
+    }
+
+    #[test]
     fn grid_section_is_validated() {
         use crate::grid_route::GridRoutedSynopsis;
         let frozen = sample_synopsis().freeze();
@@ -428,9 +778,13 @@ mod tests {
         // no grid section at all
         assert!(matches!(
             grid_routed_from_text(&to_text(&sample_synopsis())),
-            Err(ParseError::BadGrid(_))
+            Err(ParseError::MissingSection {
+                section: "grid",
+                ..
+            })
         ));
-        // truncated cell list
+        // truncated cell list: the mismatch is reported against the grid
+        // header's line
         let truncated =
             text.lines()
                 .take(text.lines().count() - 1)
@@ -439,15 +793,23 @@ mod tests {
                     acc.push('\n');
                     acc
                 });
-        assert!(matches!(
-            grid_routed_from_text(&truncated),
-            Err(ParseError::BadGrid(_))
-        ));
+        match grid_routed_from_text(&truncated) {
+            Err(ParseError::CountMismatch {
+                section: "grid",
+                expected: 9,
+                found: 8,
+                ..
+            }) => {}
+            other => panic!("expected a grid count mismatch, got {other:?}"),
+        }
         // an anchor that is out of range (or unparseable once mangled)
         let corrupted = text.replacen("anchor=", "anchor=999999", 1);
         assert!(matches!(
             grid_routed_from_text(&corrupted),
-            Err(ParseError::BadGrid(_))
+            Err(ParseError::BadRecord {
+                section: "grid",
+                ..
+            })
         ));
     }
 

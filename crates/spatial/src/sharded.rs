@@ -10,7 +10,14 @@
 //! *carried accumulator*. Shards whose regions are disjoint from the
 //! query are never touched — that is the routing.
 //!
-//! Two constructions:
+//! Shards are held as [`ShardHandle`]s — reference-counted pairs of a
+//! frozen arena and an optional per-shard [`CellGrid`] — so an
+//! epoch-lifecycle layer (see the `privtree-engine` crate) can replace
+//! one shard and rebuild **only** the small routing arena: every
+//! untouched handle is reused by pointer, its grid included. Cloning a
+//! handle is two `Arc` bumps, never a copy of node arrays.
+//!
+//! Three constructions:
 //!
 //! * [`ShardedSynopsis::from_frozen`] re-layouts one existing release,
 //!   cutting its tree at a chosen depth; every subtree below the cut
@@ -22,6 +29,14 @@
 //! * [`ShardedSynopsis::from_releases`] assembles independent releases
 //!   over pairwise-disjoint regions (the epoch/region case) under a
 //!   synthetic root whose count is the sum of the shard root counts.
+//! * [`ShardedSynopsis::from_handles`] is the same assembly over
+//!   already-shared handles — the incremental-rebuild entry point: only
+//!   the routing arena (one synthetic root plus one leaf per shard) is
+//!   constructed; arenas and grids are adopted as-is.
+//!
+//! Construction failures ([`ShardError`]: empty shard set, mixed
+//! dimensionalities, overlapping regions) are reported as values, not
+//! panics.
 //!
 //! Batches go through the same worker-pool chunking as
 //! [`FrozenSynopsis::answer_batch`], with a pair of per-chunk traversal
@@ -36,6 +51,8 @@
 //! reassociation error (≤ 1e-9 relative; the bit-identity pin applies to
 //! the *ungridded* configuration).
 
+use std::sync::Arc;
+
 use privtree_runtime::WorkerPool;
 
 #[cfg(feature = "parallel")]
@@ -48,6 +65,112 @@ use crate::query::{RangeCountSynopsis, RangeQuery};
 /// Sentinel in `shard_ref` for top nodes not backed by a shard.
 const NO_SHARD: u32 = u32::MAX;
 
+/// Why a sharded synopsis could not be assembled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// No shards were supplied — there is nothing to serve.
+    Empty,
+    /// Shard arenas disagree on the domain's dimensionality.
+    MixedDims { expected: usize, found: usize },
+    /// Two shard regions overlap, so a query inside the overlap would be
+    /// double-counted (regions are half-open; shared edges are fine).
+    OverlappingRegions { a: String, b: String },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Empty => write!(f, "at least one shard release is required"),
+            ShardError::MixedDims { expected, found } => {
+                write!(
+                    f,
+                    "mixed shard dimensionality: expected {expected}, found {found}"
+                )
+            }
+            ShardError::OverlappingRegions { a, b } => {
+                write!(f, "shard regions {a} and {b} overlap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One shard of a sharded synopsis: a reference-counted frozen arena plus
+/// an optional reference-counted routing grid. Handles are how the
+/// epoch-lifecycle layer shares untouched shards across rebuilds — two
+/// synopses holding the same handle serve the exact same arrays, and
+/// `Arc::ptr_eq` on [`ShardHandle::arena_arc`]/[`ShardHandle::grid`]
+/// proves (in tests) that a swap did not recompute them.
+#[derive(Debug, Clone)]
+pub struct ShardHandle {
+    arena: Arc<FrozenSynopsis>,
+    grid: Option<Arc<CellGrid>>,
+}
+
+impl ShardHandle {
+    /// Wrap a frozen release as an ungridded shard.
+    pub fn new(arena: FrozenSynopsis) -> Self {
+        Self::from_arc(Arc::new(arena))
+    }
+
+    /// Wrap an already-shared arena as an ungridded shard.
+    pub fn from_arc(arena: Arc<FrozenSynopsis>) -> Self {
+        Self { arena, grid: None }
+    }
+
+    /// Wrap a release together with a grid that was already built (or
+    /// deserialized) for exactly this arena. The pairing is trusted; a
+    /// grid built for a different arena answers garbage, so only pass
+    /// grids obtained from this release — e.g. via
+    /// [`GridRoutedSynopsis::into_parts`].
+    pub fn with_prebuilt_grid(arena: FrozenSynopsis, grid: CellGrid) -> Self {
+        Self {
+            arena: Arc::new(arena),
+            grid: Some(Arc::new(grid)),
+        }
+    }
+
+    /// Build this shard's [`CellGrid`] at the default resolution (on
+    /// `pool` when given) unless one is already attached. Returns whether
+    /// a grid was built — the lifecycle layer's instrumentation counts
+    /// these to prove a swap rebuilt only the touched shard.
+    pub fn ensure_grid(&mut self, pool: Option<&WorkerPool>) -> Result<bool, GridRouteError> {
+        if self.grid.is_some() {
+            return Ok(false);
+        }
+        let bins = GridRoutedSynopsis::default_bins(&self.arena);
+        self.grid = Some(Arc::new(CellGrid::build(&self.arena, &bins, pool)?));
+        Ok(true)
+    }
+
+    /// Detach the grid, keeping the plain arena.
+    pub fn drop_grid(&mut self) {
+        self.grid = None;
+    }
+
+    /// The shard's frozen arena.
+    pub fn arena(&self) -> &FrozenSynopsis {
+        &self.arena
+    }
+
+    /// The shared arena pointer (for `Arc::ptr_eq` reuse checks).
+    pub fn arena_arc(&self) -> &Arc<FrozenSynopsis> {
+        &self.arena
+    }
+
+    /// The shard's routing grid, when attached.
+    pub fn grid(&self) -> Option<&Arc<CellGrid>> {
+        self.grid.as_ref()
+    }
+}
+
+impl From<FrozenSynopsis> for ShardHandle {
+    fn from(arena: FrozenSynopsis) -> Self {
+        Self::new(arena)
+    }
+}
+
 /// A collection of frozen arenas served behind one routing arena.
 #[derive(Debug, Clone)]
 pub struct ShardedSynopsis {
@@ -57,11 +180,9 @@ pub struct ShardedSynopsis {
     top: FrozenSynopsis,
     /// Per top node: index into `shards`, or [`NO_SHARD`].
     shard_ref: Vec<u32>,
-    /// One frozen arena per cut subtree / per independent release.
-    shards: Vec<FrozenSynopsis>,
-    /// When present (see [`ShardedSynopsis::with_shard_grids`]), one
-    /// routing grid per shard arena, indexed like `shards`.
-    shard_grids: Option<Vec<CellGrid>>,
+    /// One handle (arena + optional grid) per cut subtree / per
+    /// independent release.
+    shards: Vec<ShardHandle>,
     label: &'static str,
 }
 
@@ -129,7 +250,12 @@ impl ShardedSynopsis {
     /// Re-layout one release into a top arena plus one shard per subtree
     /// rooted at depth `cut_depth` (subtrees that are single leaves stay
     /// in the top). Answers are bit-identical to `frozen`'s.
-    pub fn from_frozen(frozen: &FrozenSynopsis, cut_depth: u32) -> Self {
+    ///
+    /// The `Result` is part of the uniform construction surface
+    /// ([`ShardError`]); a re-layout of a well-formed frozen arena
+    /// currently cannot fail, so every error variant is reserved for the
+    /// multi-release constructors.
+    pub fn from_frozen(frozen: &FrozenSynopsis, cut_depth: u32) -> Result<Self, ShardError> {
         let depth_of = depths(frozen);
         let (top, top_old_ids) = extract_arena(frozen, 0, &depth_of, Some(cut_depth));
         let mut shard_ref = vec![NO_SHARD; top_old_ids.len()];
@@ -138,16 +264,15 @@ impl ShardedSynopsis {
             if depth_of[old] >= cut_depth && frozen.child_count()[old] > 0 {
                 shard_ref[new_id] = shards.len() as u32;
                 let (shard, _) = extract_arena(frozen, old, &depth_of, None);
-                shards.push(shard);
+                shards.push(ShardHandle::new(shard));
             }
         }
-        Self {
+        Ok(Self {
             top,
             shard_ref,
             shards,
-            shard_grids: None,
             label: "ShardedSynopsis",
-        }
+        })
     }
 
     /// Assemble independent releases over pairwise-disjoint regions under
@@ -156,27 +281,48 @@ impl ShardedSynopsis {
     /// answers with that aggregate. Queries route to the shards whose
     /// regions they overlap.
     ///
-    /// Panics if `shards` is empty, dimensionalities differ, or two shard
-    /// regions overlap (regions are half-open, so shared edges are fine).
-    pub fn from_releases(shards: Vec<FrozenSynopsis>) -> Self {
-        assert!(!shards.is_empty(), "at least one shard release required");
-        let d = shards[0].dims();
-        assert!(
-            shards.iter().all(|s| s.dims() == d),
-            "mixed shard dimensionality"
-        );
+    /// Fails with [`ShardError`] if `shards` is empty, dimensionalities
+    /// differ, or two shard regions overlap.
+    pub fn from_releases(shards: Vec<FrozenSynopsis>) -> Result<Self, ShardError> {
+        Self::from_handles(shards.into_iter().map(ShardHandle::new).collect())
+    }
+
+    /// [`ShardedSynopsis::from_releases`] over already-shared
+    /// [`ShardHandle`]s: only the routing arena — one synthetic root plus
+    /// one shard-backed leaf per handle — is built here; arenas and any
+    /// attached grids are adopted by reference. This is what makes an
+    /// epoch swap cheap: replace one handle, re-run `from_handles`, and
+    /// the rebuilt state is `shards.len() + 1` routing nodes.
+    ///
+    /// The synthetic root's count sums the shard root counts **in handle
+    /// order**, so callers that need bit-identity across rebuilds must
+    /// present handles in a canonical order (the engine layer sorts by
+    /// release key).
+    pub fn from_handles(shards: Vec<ShardHandle>) -> Result<Self, ShardError> {
+        if shards.is_empty() {
+            return Err(ShardError::Empty);
+        }
+        let d = shards[0].arena().dims();
+        for s in &shards {
+            if s.arena().dims() != d {
+                return Err(ShardError::MixedDims {
+                    expected: d,
+                    found: s.arena().dims(),
+                });
+            }
+        }
         let roots: Vec<Rect> = shards
             .iter()
-            .map(|s| Rect::new(s.node_lo(0), s.node_hi(0)))
+            .map(|s| Rect::new(s.arena().node_lo(0), s.arena().node_hi(0)))
             .collect();
         for i in 0..roots.len() {
             for j in i + 1..roots.len() {
-                assert!(
-                    !roots[i].intersects(&roots[j]),
-                    "shard regions {} and {} overlap",
-                    roots[i],
-                    roots[j]
-                );
+                if roots[i].intersects(&roots[j]) {
+                    return Err(ShardError::OverlappingRegions {
+                        a: roots[i].to_string(),
+                        b: roots[j].to_string(),
+                    });
+                }
             }
         }
         let mut bbox_lo = roots[0].lo().to_vec();
@@ -190,13 +336,13 @@ impl ShardedSynopsis {
         let n = shards.len();
         let mut lo = bbox_lo.clone();
         let mut hi = bbox_hi.clone();
-        let mut counts = vec![shards.iter().map(|s| s.counts()[0]).sum::<f64>()];
+        let mut counts = vec![shards.iter().map(|s| s.arena().counts()[0]).sum::<f64>()];
         let mut first_child = vec![1u32];
         let mut child_count = vec![n as u32];
         for (r, s) in roots.iter().zip(&shards) {
             lo.extend_from_slice(r.lo());
             hi.extend_from_slice(r.hi());
-            counts.push(s.counts()[0]);
+            counts.push(s.arena().counts()[0]);
             first_child.push(0);
             child_count.push(0);
         }
@@ -205,21 +351,21 @@ impl ShardedSynopsis {
         for (i, r) in shard_ref[1..].iter_mut().enumerate() {
             *r = i as u32;
         }
-        Self {
+        Ok(Self {
             top,
             shard_ref,
             shards,
-            shard_grids: None,
             label: "ShardedSynopsis",
-        }
+        })
     }
 
-    /// Attach a grid-routed accelerator to every shard arena (default
-    /// per-shard resolution, precomputed on the shared pool when the
-    /// `parallel` feature is on). Fails with [`GridRouteError`] when a
-    /// shard cannot be grid-routed — e.g. inconsistent counts — leaving
-    /// the synopsis unchanged is impossible at that point, so callers
-    /// keep the plain configuration by simply not calling this.
+    /// Attach a grid-routed accelerator to every shard arena that does
+    /// not already carry one (default per-shard resolution, precomputed
+    /// on the shared pool when the `parallel` feature is on). Fails with
+    /// [`GridRouteError`] when a shard cannot be grid-routed — e.g.
+    /// inconsistent counts — leaving the synopsis unchanged is impossible
+    /// at that point, so callers keep the plain configuration by simply
+    /// not calling this.
     pub fn with_shard_grids(self) -> Result<Self, GridRouteError> {
         #[cfg(feature = "parallel")]
         let pool = Some(privtree_runtime::global());
@@ -234,18 +380,20 @@ impl ShardedSynopsis {
         mut self,
         pool: Option<&WorkerPool>,
     ) -> Result<Self, GridRouteError> {
-        let grids = self
-            .shards
-            .iter()
-            .map(|shard| CellGrid::build(shard, &GridRoutedSynopsis::default_bins(shard), pool))
-            .collect::<Result<Vec<_>, _>>()?;
-        self.shard_grids = Some(grids);
+        for handle in &mut self.shards {
+            handle.ensure_grid(pool)?;
+        }
         Ok(self)
     }
 
-    /// The per-shard routing grids, when attached.
-    pub fn shard_grids(&self) -> Option<&[CellGrid]> {
-        self.shard_grids.as_deref()
+    /// The per-shard routing grids, when **every** shard carries one
+    /// (indexed like [`ShardedSynopsis::shards`]); `None` as soon as any
+    /// shard serves the plain descent.
+    pub fn shard_grids(&self) -> Option<Vec<&CellGrid>> {
+        self.shards
+            .iter()
+            .map(|h| h.grid().map(Arc::as_ref))
+            .collect()
     }
 
     /// Override the display label.
@@ -259,14 +407,25 @@ impl ShardedSynopsis {
         self.shards.len()
     }
 
-    /// The shard arenas (read-only).
-    pub fn shards(&self) -> &[FrozenSynopsis] {
+    /// The shard handles (read-only).
+    pub fn shards(&self) -> &[ShardHandle] {
         &self.shards
+    }
+
+    /// Nodes in the routing arena — the only nodes
+    /// [`ShardedSynopsis::from_handles`] actually constructs.
+    pub fn routing_node_count(&self) -> usize {
+        self.top.node_count()
     }
 
     /// Total nodes across the top and every shard.
     pub fn node_count(&self) -> usize {
-        self.top.node_count() + self.shards.iter().map(|s| s.node_count()).sum::<usize>()
+        self.top.node_count()
+            + self
+                .shards
+                .iter()
+                .map(|s| s.arena().node_count())
+                .sum::<usize>()
     }
 
     /// Dimensionality of the domain.
@@ -303,10 +462,12 @@ impl ShardedSynopsis {
                         // through the shard's cell grid when one is
                         // attached
                         let s = self.shard_ref[i] as usize;
-                        let shard = &self.shards[s];
-                        acc = match &self.shard_grids {
-                            Some(grids) => grids[s].answer_span(shard, qlo, qhi, shard_stack, acc),
-                            None => shard.accumulate(q, shard_stack, acc),
+                        let handle = &self.shards[s];
+                        acc = match handle.grid() {
+                            Some(grid) => {
+                                grid.answer_span(handle.arena(), qlo, qhi, shard_stack, acc)
+                            }
+                            None => handle.arena().accumulate(q, shard_stack, acc),
                         };
                     } else if kids[i] > 0 {
                         // case 3: internal — children in arena order
@@ -425,7 +586,7 @@ mod tests {
         let frozen = sample_frozen(11);
         let queries = random_queries(300, 12);
         for cut_depth in 0..5 {
-            let sharded = ShardedSynopsis::from_frozen(&frozen, cut_depth);
+            let sharded = ShardedSynopsis::from_frozen(&frozen, cut_depth).unwrap();
             assert_eq!(
                 sharded.node_count() - sharded.shard_count(),
                 frozen.node_count(),
@@ -447,7 +608,7 @@ mod tests {
     #[test]
     fn whole_domain_query_matches_root_count() {
         let frozen = sample_frozen(3);
-        let sharded = ShardedSynopsis::from_frozen(&frozen, 2);
+        let sharded = ShardedSynopsis::from_frozen(&frozen, 2).unwrap();
         let whole = RangeQuery::new(Rect::unit(2));
         assert_eq!(
             sharded.answer(&whole).to_bits(),
@@ -468,8 +629,9 @@ mod tests {
             &[30.0],
             "right",
         );
-        let sharded = ShardedSynopsis::from_releases(vec![left, right]);
+        let sharded = ShardedSynopsis::from_releases(vec![left, right]).unwrap();
         assert_eq!(sharded.shard_count(), 2);
+        assert_eq!(sharded.routing_node_count(), 3);
         // a query inside the left region only sees the left shard
         let q = RangeQuery::new(Rect::new(&[0.0, 0.0], &[0.25, 1.0]));
         assert!((sharded.answer(&q) - 5.0).abs() < 1e-12);
@@ -479,7 +641,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overlap")]
     fn from_releases_rejects_overlapping_regions() {
         let a = FrozenSynopsis::from_tree(
             &privtree_core::tree::Tree::with_root(Rect::new(&[0.0, 0.0], &[0.6, 1.0])),
@@ -491,21 +652,77 @@ mod tests {
             &[1.0],
             "b",
         );
-        ShardedSynopsis::from_releases(vec![a, b]);
+        assert!(matches!(
+            ShardedSynopsis::from_releases(vec![a, b]),
+            Err(ShardError::OverlappingRegions { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_mixed_dim_shard_sets_are_refused() {
+        assert_eq!(
+            ShardedSynopsis::from_releases(Vec::new()).unwrap_err(),
+            ShardError::Empty
+        );
+        let flat = FrozenSynopsis::from_tree(
+            &privtree_core::tree::Tree::with_root(Rect::new(&[0.0, 0.0], &[0.5, 1.0])),
+            &[1.0],
+            "2d",
+        );
+        let cube = FrozenSynopsis::from_tree(
+            &privtree_core::tree::Tree::with_root(Rect::new(&[0.6, 0.0, 0.0], &[1.0, 1.0, 1.0])),
+            &[1.0],
+            "3d",
+        );
+        assert!(matches!(
+            ShardedSynopsis::from_releases(vec![flat, cube]),
+            Err(ShardError::MixedDims {
+                expected: 2,
+                found: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn from_handles_reuses_arenas_and_grids_by_pointer() {
+        let left = FrozenSynopsis::from_tree(
+            &privtree_core::tree::Tree::with_root(Rect::new(&[0.0, 0.0], &[0.5, 1.0])),
+            &[10.0],
+            "left",
+        );
+        let right = FrozenSynopsis::from_tree(
+            &privtree_core::tree::Tree::with_root(Rect::new(&[0.5, 0.0], &[1.0, 1.0])),
+            &[30.0],
+            "right",
+        );
+        let a = ShardedSynopsis::from_releases(vec![left, right])
+            .unwrap()
+            .with_shard_grids()
+            .unwrap();
+        let b = ShardedSynopsis::from_handles(a.shards().to_vec()).unwrap();
+        assert_eq!(b.routing_node_count(), 3);
+        for (ha, hb) in a.shards().iter().zip(b.shards()) {
+            assert!(Arc::ptr_eq(ha.arena_arc(), hb.arena_arc()));
+            assert!(Arc::ptr_eq(ha.grid().unwrap(), hb.grid().unwrap()));
+        }
+        let q = RangeQuery::new(Rect::new(&[0.0, 0.0], &[0.25, 1.0]));
+        assert_eq!(a.answer(&q).to_bits(), b.answer(&q).to_bits());
     }
 
     #[test]
     fn shard_grids_match_plain_sharding() {
         let frozen = sample_frozen(31);
         let queries = random_queries(400, 32);
-        let plain = ShardedSynopsis::from_frozen(&frozen, 2);
+        let plain = ShardedSynopsis::from_frozen(&frozen, 2).unwrap();
         let gridded = ShardedSynopsis::from_frozen(&frozen, 2)
+            .unwrap()
             .with_shard_grids()
             .unwrap();
         assert_eq!(
             gridded.shard_grids().map(|g| g.len()),
             Some(plain.shard_count())
         );
+        assert!(plain.shard_grids().is_none());
         for q in &queries {
             let a = plain.answer(q);
             let b = gridded.answer(q);
@@ -522,7 +739,7 @@ mod tests {
     #[test]
     fn batch_paths_agree_with_single_answers() {
         let frozen = sample_frozen(21);
-        let sharded = ShardedSynopsis::from_frozen(&frozen, 2);
+        let sharded = ShardedSynopsis::from_frozen(&frozen, 2).unwrap();
         let queries = random_queries(700, 22);
         let sequential = sharded.answer_batch_sequential(&queries);
         for (q, s) in queries.iter().zip(&sequential) {

@@ -25,7 +25,15 @@
 //! * [`runtime`] — the persistent deterministic worker pool both hot
 //!   paths run on: fixed worker threads, channel-fed chunked tasks,
 //!   ordered result collection (pooled builds and batch answers are
-//!   bit-identical to sequential for every worker count).
+//!   bit-identical to sequential for every worker count) — plus
+//!   `ArcCell`, the atomic snapshot-publication slot the engine swaps
+//!   epochs through.
+//! * [`engine`] — the epoch-aware serving layer: `ReleaseStore` holds
+//!   named releases (epoch/region key → frozen arena + optional cell
+//!   grid), publishes immutable `Snapshot`s readers load in two atomic
+//!   ops, and swaps/retires releases by rebuilding only the small
+//!   routing arena plus the touched shard's grid. The `privtree-serve`
+//!   binary serves a store over stdin or TCP.
 //! * [`svt`] — the four Sparse Vector Technique variants and the privacy
 //!   audits reproducing Lemma 5.1 and Appendix A.
 //! * [`datagen`] — seeded synthetic datasets standing in for the paper's
@@ -71,6 +79,7 @@ pub use privtree_baselines as baselines;
 pub use privtree_core as core;
 pub use privtree_datagen as datagen;
 pub use privtree_dp as dp;
+pub use privtree_engine as engine;
 pub use privtree_eval as eval;
 pub use privtree_markov as markov;
 pub use privtree_runtime as runtime;

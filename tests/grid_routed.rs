@@ -246,8 +246,9 @@ fn sharded_with_grids_matches_plain() {
         }
     }
     let frozen = release(2, &ps, 8);
-    let plain = ShardedSynopsis::from_frozen(&frozen, 2);
+    let plain = ShardedSynopsis::from_frozen(&frozen, 2).unwrap();
     let gridded = ShardedSynopsis::from_frozen(&frozen, 2)
+        .unwrap()
         .with_shard_grids()
         .unwrap();
     let mut rng = seeded(9);

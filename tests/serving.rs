@@ -78,7 +78,7 @@ proptest! {
     ) {
         let ps = point_set(&coords);
         let frozen = frozen_release(&ps, seed);
-        let sharded = ShardedSynopsis::from_frozen(&frozen, cut);
+        let sharded = ShardedSynopsis::from_frozen(&frozen, cut).unwrap();
         for q in workload(&qcoords) {
             prop_assert_eq!(frozen.answer(&q).to_bits(), sharded.answer(&q).to_bits());
         }
@@ -94,7 +94,7 @@ proptest! {
     ) {
         let ps = point_set(&coords);
         let frozen = frozen_release(&ps, seed);
-        let sharded = ShardedSynopsis::from_frozen(&frozen, 1);
+        let sharded = ShardedSynopsis::from_frozen(&frozen, 1).unwrap();
         let queries = workload(&qcoords);
         let frozen_ref: Vec<u64> = frozen
             .answer_batch_sequential(&queries)
@@ -162,7 +162,7 @@ fn trait_answer_batch_matches_sequential_on_large_workload() {
         ps.push(&[rng.random::<f64>() * 0.3, rng.random::<f64>() * 0.3 + 0.5]);
     }
     let frozen = frozen_release(&ps, 78);
-    let sharded = ShardedSynopsis::from_frozen(&frozen, 2);
+    let sharded = ShardedSynopsis::from_frozen(&frozen, 2).unwrap();
     let queries: Vec<RangeQuery> = (0..2048)
         .map(|_| {
             let cx = rng.random::<f64>() * 0.9;
@@ -222,7 +222,7 @@ fn multi_release_sharding_routes_correctly() {
             .freeze(),
         );
     }
-    let sharded = ShardedSynopsis::from_releases(releases.clone());
+    let sharded = ShardedSynopsis::from_releases(releases.clone()).unwrap();
     assert_eq!(sharded.shard_count(), 4);
     let mut rng = seeded(300);
     for (release, region) in releases.iter().zip(&quadrants) {
