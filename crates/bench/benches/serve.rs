@@ -10,7 +10,11 @@
 //! even on one core). An **epoch-churn** lane drives the
 //! `privtree-engine` `ReleaseStore`: per-snapshot qps before and after an
 //! epoch swap, plus the swap latency itself (routing arena + one shard
-//! grid — the incremental-rebuild contract is asserted in-bench).
+//! grid — the incremental-rebuild contract is asserted in-bench). A
+//! **load** lane times text parse vs `privtree-bin` decode of the same
+//! release (plain and gridded; identical arrays asserted in-bench), and
+//! a **concurrent-TCP** lane hammers an in-process `privtree-serve`
+//! listener with N client threads streaming `batch` commands.
 //! `cargo bench --bench serve -- --test` (or `PRIVTREE_BENCH_SMOKE=1`)
 //! runs a quick smoke configuration and skips the JSON artifact.
 
@@ -19,25 +23,38 @@ use privtree_datagen::spatial::gowalla_like;
 use privtree_datagen::workload::{range_queries, QuerySize};
 use privtree_dp::budget::Epsilon;
 use privtree_dp::rng::seeded;
+use privtree_engine::serve::{spawn_tcp, ServeContext};
 use privtree_engine::ReleaseStore;
 use privtree_runtime::WorkerPool;
 use privtree_spatial::dataset::PointSet;
 use privtree_spatial::geom::Rect;
 use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::query::RangeQuery;
 use privtree_spatial::sharded::ShardedSynopsis;
 use privtree_spatial::synopsis::privtree_synopsis;
 use privtree_spatial::{FrozenSynopsis, GridRoutedSynopsis};
 use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
 use std::time::Instant;
 
-fn best_secs(samples: usize, mut f: impl FnMut() -> Vec<f64>) -> f64 {
+/// Best-of-N wall clock of an arbitrary action.
+fn best_time(samples: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..samples {
         let start = Instant::now();
-        black_box(f());
+        f();
         best = best.min(start.elapsed().as_secs_f64());
     }
     best
+}
+
+/// [`best_time`] over an answer-producing workload, with the result
+/// sunk through `black_box` so the answers are not optimized away.
+fn best_secs(samples: usize, mut f: impl FnMut() -> Vec<f64>) -> f64 {
+    best_time(samples, || {
+        black_box(f());
+    })
 }
 
 fn assert_bits_equal(label: &str, reference: &[f64], got: &[f64]) {
@@ -251,6 +268,112 @@ fn bench_serve(c: &mut Criterion) {
         &churn_after.synopsis().answer_batch_sequential(&medium),
     );
 
+    // ---- the load lane: text parse vs privtree-bin decode of the same
+    // release, plain and gridded. The binary path must hand back the
+    // exact arrays the text path produces (asserted), and it skips all
+    // per-line float parsing — the speedup is the point of the format. ----
+    use privtree_spatial::serialize::{frozen_to_text, release_from_text, release_to_text};
+    use privtree_store::{decode_release, text_to_binary};
+    let plain_text = frozen_to_text(&frozen);
+    let plain_binary = text_to_binary(&plain_text).expect("text converts");
+    let gridded_text = release_to_text(grid.frozen(), Some(grid.grid()));
+    let gridded_binary = text_to_binary(&gridded_text).expect("gridded text converts");
+    {
+        let (t, tg) = release_from_text(&plain_text).unwrap();
+        let (b, bg) = decode_release(&plain_binary).unwrap();
+        assert!(tg.is_none() && bg.is_none());
+        assert_eq!(t.lo_coords(), b.lo_coords(), "load lane: lo diverged");
+        assert_eq!(t.hi_coords(), b.hi_coords(), "load lane: hi diverged");
+        assert_eq!(t.first_child(), b.first_child());
+        assert_eq!(t.child_count(), b.child_count());
+        assert_eq!(t.counts(), b.counts(), "load lane: counts diverged");
+        let (_, tg) = release_from_text(&gridded_text).unwrap();
+        let (_, bg) = decode_release(&gridded_binary).unwrap();
+        let (tg, bg) = (tg.unwrap(), bg.unwrap());
+        assert_eq!(tg.anchors(), bg.anchors(), "load lane: anchors diverged");
+        assert_eq!(tg.values(), bg.values(), "load lane: values diverged");
+    }
+    let load_samples = samples.max(3);
+    let text_parse_secs = best_time(load_samples, || {
+        black_box(release_from_text(black_box(&plain_text)).unwrap());
+    });
+    let binary_decode_secs = best_time(load_samples, || {
+        black_box(decode_release(black_box(&plain_binary)).unwrap());
+    });
+    let gridded_text_parse_secs = best_time(load_samples, || {
+        black_box(release_from_text(black_box(&gridded_text)).unwrap());
+    });
+    let gridded_binary_decode_secs = best_time(load_samples, || {
+        black_box(decode_release(black_box(&gridded_binary)).unwrap());
+    });
+
+    // ---- the concurrent-TCP lane: an in-process privtree-serve
+    // listener (gridded single-release store, thread per connection,
+    // shared global pool) hammered by N client threads streaming batch
+    // commands; every reply is diffed against the library answer. ----
+    let tcp_store = ReleaseStore::open_gridded([("gowalla", frozen.clone())]).unwrap();
+    let tcp_expected: Vec<String> = tcp_store
+        .snapshot()
+        .synopsis()
+        .answer_batch_sequential(&medium)
+        .iter()
+        .map(|a| format!("{a:.17e}"))
+        .collect();
+    let (tcp_addr, _accept_loop) = spawn_tcp(Arc::new(ServeContext::new(tcp_store)), "127.0.0.1:0")
+        .expect("bind the bench listener");
+    let query_line = |q: &RangeQuery| {
+        let csv = |c: &[f64]| {
+            c.iter()
+                .map(|x| format!("{x:.17e}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!("{} {}\n", csv(q.rect.lo()), csv(q.rect.hi()))
+    };
+    let mut batch_payload = format!("batch {}\n", medium.len());
+    for q in &medium {
+        batch_payload.push_str(&query_line(q));
+    }
+    let batch_payload = Arc::new(batch_payload);
+    let tcp_expected = Arc::new(tcp_expected);
+    let tcp_rounds = if smoke { 1 } else { 4 };
+    let mut tcp_lanes: Vec<(usize, f64)> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let payload = Arc::clone(&batch_payload);
+                let expected = Arc::clone(&tcp_expected);
+                scope.spawn(move || {
+                    let stream =
+                        std::net::TcpStream::connect(tcp_addr).expect("connect to bench listener");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                    let mut writer = std::io::BufWriter::new(stream);
+                    let mut reply = String::new();
+                    for _ in 0..tcp_rounds {
+                        writer.write_all(payload.as_bytes()).expect("send batch");
+                        writer.flush().expect("flush batch");
+                        for want in expected.iter() {
+                            reply.clear();
+                            reader.read_line(&mut reply).expect("read reply");
+                            assert_eq!(reply.trim_end(), want, "TCP answer diverged");
+                        }
+                    }
+                    let _ = writer.write_all(b"quit\n");
+                    let _ = writer.flush();
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let total = (threads * tcp_rounds * medium.len()) as f64;
+        tcp_lanes.push((threads, total / elapsed));
+    }
+    let tcp_json = tcp_lanes
+        .iter()
+        .map(|(threads, qps)| format!("    \"threads_{threads}_qps\": {qps:.1}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let seq = best_secs(samples, || frozen.answer_batch_sequential(&medium));
     let p4 = best_secs(samples, || frozen.answer_batch_with_pool(&medium, &pool4));
     let p8 = best_secs(samples, || frozen.answer_batch_with_pool(&medium, &pool8));
@@ -293,6 +416,23 @@ fn bench_serve(c: &mut Criterion) {
             "    \"snapshot_qps_before_swap\": {:.1},\n",
             "    \"snapshot_qps_after_swap\": {:.1}\n",
             "  }},\n",
+            "  \"load\": {{\n",
+            "    \"text_bytes\": {},\n",
+            "    \"binary_bytes\": {},\n",
+            "    \"text_parse_secs\": {:.6},\n",
+            "    \"binary_decode_secs\": {:.6},\n",
+            "    \"decode_speedup\": {:.2},\n",
+            "    \"gridded_text_bytes\": {},\n",
+            "    \"gridded_binary_bytes\": {},\n",
+            "    \"gridded_text_parse_secs\": {:.6},\n",
+            "    \"gridded_binary_decode_secs\": {:.6},\n",
+            "    \"gridded_decode_speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"concurrent_tcp\": {{\n",
+            "    \"queries_per_batch\": {},\n",
+            "    \"rounds_per_thread\": {},\n",
+            "{}\n",
+            "  }},\n",
             "  \"frozen_seq_qps\": {:.1},\n",
             "  \"grid_routed_qps\": {:.1},\n",
             "  \"grid_routed_morton_qps\": {:.1},\n",
@@ -320,6 +460,19 @@ fn bench_serve(c: &mut Criterion) {
         churn_report.routing_nodes_rebuilt,
         medium.len() as f64 / t_churn_before,
         medium.len() as f64 / t_churn_after,
+        plain_text.len(),
+        plain_binary.len(),
+        text_parse_secs,
+        binary_decode_secs,
+        text_parse_secs / binary_decode_secs,
+        gridded_text.len(),
+        gridded_binary.len(),
+        gridded_text_parse_secs,
+        gridded_binary_decode_secs,
+        gridded_text_parse_secs / gridded_binary_decode_secs,
+        medium.len(),
+        tcp_rounds,
+        tcp_json,
         medium_frozen_qps,
         medium_grid_qps,
         medium_grid_morton_qps,

@@ -1,285 +1,51 @@
 //! `privtree-serve` — the PrivTree read path as a process.
 //!
-//! Loads one or more serialized releases (the `privtree-spatial`
-//! `serialize` text format; a `privtree-grid` section, when present,
-//! ships the precomputed cell grid so no rebuild happens at load time)
-//! into an epoch-aware [`ReleaseStore`], then answers a line-protocol
-//! query workload over **stdin** (default) or a **TCP socket**
-//! (`--listen ADDR`). Batches go through the pooled / Morton-reordered
-//! grid-routed read path; epoch operations (`add`/`swap`/`retire`)
-//! rebuild only the routing arena and the touched release's grid while
-//! in-flight readers keep their snapshot.
+//! Loads one or more serialized releases — the `privtree-spatial`
+//! `serialize` text format or the `privtree-store` binary format, told
+//! apart by magic sniffing; a grid section, when present, ships the
+//! precomputed cell grid so no rebuild happens at load time — into an
+//! epoch-aware [`privtree_engine::ReleaseStore`], then answers a
+//! line-protocol query workload over **stdin** (default) or a **TCP
+//! socket** (`--listen ADDR`). Batches go through the pooled /
+//! Morton-reordered grid-routed read path; epoch operations
+//! (`add`/`swap`/`retire`) rebuild only the routing arena and the
+//! touched release's grid while in-flight readers keep their snapshot.
 //!
 //! ```text
-//! privtree-serve [--grids] [--listen ADDR] <key=release.txt>...
+//! privtree-serve [--grids] [--listen ADDR] [--catalog DIR] <key=release>...
 //! ```
 //!
-//! Protocol (one command per line; one reply line per command, except
-//! `batch` which replies with `n` lines):
+//! With `--catalog DIR` the process **warm-starts** from an on-disk
+//! release catalog (every cataloged release is served under its key,
+//! alongside any `key=path` arguments) and gains the `save <key>` /
+//! `load <key>` protocol verbs, which persist a serving release to the
+//! catalog and add-or-swap one back from it.
 //!
-//! ```text
-//! count <lo0,lo1,..> <hi0,hi1,..>   -> answer as %.17e
-//! batch <n>                         -> reads n `<lo> <hi>` lines, then
-//!                                      n answer lines (pooled batch)
-//! add <key> <path>                  -> ok version=.. grids_built=.. ...
-//! swap <key> <path>                 -> ok version=.. grids_built=.. ...
-//! retire <key>                      -> ok version=.. ...
-//! keys                              -> keys <k1> <k2> ...
-//! stats                             -> stats shards=.. nodes=.. ...
-//! quit                              -> closes the stream
-//! ```
-//!
-//! Errors never kill the stream: a failed command replies
-//! `error: <reason>` and the next command proceeds. See
-//! `examples/epoch_serving.rs` for an end-to-end walkthrough.
+//! The protocol itself lives in [`privtree_engine::serve`] (one command
+//! per line; a failed command answers `err <reason>` and the connection
+//! keeps serving). See `examples/epoch_serving.rs` for an end-to-end
+//! walkthrough.
 
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::io::{self, Write};
 use std::sync::Arc;
 
-use privtree_engine::{ReleaseStore, SwapReport};
-use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
-use privtree_spatial::serialize::release_from_text;
+use privtree_engine::serve::{load_release, serve_lines, spawn_tcp, ServeContext};
+use privtree_engine::ReleaseStore;
 use privtree_spatial::sharded::ShardHandle;
-use privtree_spatial::Rect;
+use privtree_store::Catalog;
 
-/// Largest accepted `batch <n>`: bounds the per-batch allocation against
-/// hostile or mistyped counts (1M queries ≈ 70 MB of boxes — plenty for
-/// a line protocol; stream several batches for more).
-const MAX_BATCH: usize = 1 << 20;
-
-const USAGE: &str = "usage: privtree-serve [--grids] [--listen ADDR] <key=release.txt>...\n\
-                     releases are privtree-synopsis v1 text files (an attached \n\
-                     privtree-grid section is loaded instead of rebuilt); queries \n\
-                     arrive over stdin, or over TCP with --listen";
-
-/// Load a serialized release as a shard handle. A file carrying a grid
-/// section arrives pre-routed; anything else loads as a plain arena —
-/// either way the file is scanned once.
-fn load_release(path: &str) -> Result<ShardHandle, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let (arena, grid) = release_from_text(&text).map_err(|e| format!("{path}: {e}"))?;
-    Ok(match grid {
-        Some(grid) => ShardHandle::with_prebuilt_grid(arena, grid),
-        None => ShardHandle::new(arena),
-    })
-}
-
-/// Parse `<lo0,lo1,..> <hi0,hi1,..>` into a range query over `dims`
-/// dimensions.
-fn parse_query(dims: usize, lo: &str, hi: &str) -> Result<RangeQuery, String> {
-    let parse_coords = |csv: &str| -> Result<Vec<f64>, String> {
-        csv.split(',')
-            .map(|x| {
-                x.parse::<f64>()
-                    .map_err(|_| format!("bad coordinate {x}"))
-                    .and_then(|v| {
-                        v.is_finite()
-                            .then_some(v)
-                            .ok_or_else(|| format!("non-finite coordinate {x}"))
-                    })
-            })
-            .collect()
-    };
-    let lo = parse_coords(lo)?;
-    let hi = parse_coords(hi)?;
-    if lo.len() != dims || hi.len() != dims {
-        return Err(format!(
-            "expected {dims} coordinates per corner, got {}/{}",
-            lo.len(),
-            hi.len()
-        ));
-    }
-    for k in 0..dims {
-        if lo[k] > hi[k] {
-            return Err(format!("lo > hi along dimension {k}"));
-        }
-    }
-    Ok(RangeQuery::new(Rect::new(&lo, &hi)))
-}
-
-fn report_line(r: &SwapReport) -> String {
-    format!(
-        "ok version={} shards={} routing_nodes_rebuilt={} grids_built={} \
-         grid_cells_built={} shards_reused={}",
-        r.version,
-        r.shard_count,
-        r.routing_nodes_rebuilt,
-        r.grids_built,
-        r.grid_cells_built,
-        r.shards_reused
-    )
-}
-
-/// Run the line protocol over one input/output pair until EOF or `quit`.
-fn serve_lines(store: &ReleaseStore, input: impl BufRead, out: impl Write) -> io::Result<()> {
-    // buffer the writes: replies flush at command boundaries, so a batch
-    // of a million answers costs a handful of write syscalls instead of
-    // one per line (stdout's LineWriter and raw TcpStreams both would)
-    let mut out = io::BufWriter::new(out);
-    let mut lines = input.lines();
-    while let Some(line) = lines.next() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut fields = line.split_whitespace();
-        let command = fields.next().unwrap_or_default();
-        let reply = |out: &mut dyn Write, text: String| -> io::Result<()> {
-            out.write_all(text.as_bytes())?;
-            out.write_all(b"\n")?;
-            out.flush()
-        };
-        match command {
-            "count" => {
-                let snap = store.snapshot();
-                match (fields.next(), fields.next()) {
-                    (Some(lo), Some(hi)) => match parse_query(snap.dims(), lo, hi) {
-                        Ok(q) => reply(&mut out, format!("{:.17e}", snap.answer(&q)))?,
-                        Err(e) => reply(&mut out, format!("error: {e}"))?,
-                    },
-                    _ => reply(&mut out, "error: count needs <lo> <hi>".into())?,
-                }
-            }
-            "batch" => {
-                let snap = store.snapshot();
-                let n: usize = match fields.next().and_then(|v| v.parse().ok()) {
-                    Some(n) if n <= MAX_BATCH => n,
-                    Some(n) => {
-                        reply(
-                            &mut out,
-                            format!("error: batch of {n} exceeds the {MAX_BATCH}-query cap"),
-                        )?;
-                        continue;
-                    }
-                    None => {
-                        reply(&mut out, "error: batch needs a query count".into())?;
-                        continue;
-                    }
-                };
-                // always drain all n lines, even past a bad one — a batch
-                // failure must reply exactly one error line and leave the
-                // stream aligned on the next command
-                let mut queries = Vec::with_capacity(n);
-                let mut problem: Option<String> = None;
-                for _ in 0..n {
-                    let Some(qline) = lines.next() else {
-                        problem = Some("unexpected end of input inside batch".into());
-                        break;
-                    };
-                    let qline = qline?;
-                    if problem.is_some() {
-                        continue;
-                    }
-                    let mut parts = qline.split_whitespace();
-                    match (parts.next(), parts.next()) {
-                        (Some(lo), Some(hi)) => match parse_query(snap.dims(), lo, hi) {
-                            Ok(q) => queries.push(q),
-                            Err(e) => problem = Some(e),
-                        },
-                        _ => problem = Some(format!("bad batch line: {qline}")),
-                    }
-                }
-                match problem {
-                    Some(e) => reply(&mut out, format!("error: {e}"))?,
-                    None => {
-                        // the pooled / Morton-batched read path
-                        for a in snap.answer_batch(&queries) {
-                            out.write_all(format!("{a:.17e}\n").as_bytes())?;
-                        }
-                        out.flush()?;
-                    }
-                }
-            }
-            "add" | "swap" => match (fields.next(), fields.next()) {
-                (Some(key), Some(path)) => {
-                    let outcome = load_release(path).and_then(|handle| {
-                        let op = if command == "add" {
-                            store.add(key, handle)
-                        } else {
-                            store.swap(key, handle)
-                        };
-                        op.map_err(|e| e.to_string())
-                    });
-                    match outcome {
-                        Ok(report) => reply(&mut out, report_line(&report))?,
-                        Err(e) => reply(&mut out, format!("error: {e}"))?,
-                    }
-                }
-                _ => reply(&mut out, format!("error: {command} needs <key> <path>"))?,
-            },
-            "retire" => match fields.next() {
-                Some(key) => match store.retire(key) {
-                    Ok(report) => reply(&mut out, report_line(&report))?,
-                    Err(e) => reply(&mut out, format!("error: {e}"))?,
-                },
-                None => reply(&mut out, "error: retire needs <key>".into())?,
-            },
-            "keys" => {
-                let snap = store.snapshot();
-                reply(&mut out, format!("keys {}", snap.keys().join(" ")))?;
-            }
-            "stats" => {
-                let snap = store.snapshot();
-                let stats = store.stats();
-                reply(
-                    &mut out,
-                    format!(
-                        "stats shards={} nodes={} dims={} version={} gridded={} \
-                         publishes={} grids_built={}",
-                        snap.shard_count(),
-                        snap.node_count(),
-                        snap.dims(),
-                        snap.version(),
-                        store.gridded(),
-                        stats.publishes,
-                        stats.grids_built
-                    ),
-                )?;
-            }
-            "quit" => break,
-            other => reply(&mut out, format!("error: unknown command {other}"))?,
-        }
-    }
-    Ok(())
-}
-
-fn serve_tcp(store: ReleaseStore, addr: &str) -> Result<(), String> {
-    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
-    let local = listener
-        .local_addr()
-        .map_err(|e| format!("no local address: {e}"))?;
-    // announced on stdout so scripts (and the integration tests) can
-    // discover an OS-assigned port
-    println!("listening on {local}");
-    io::stdout().flush().ok();
-    let store = Arc::new(store);
-    for conn in listener.incoming() {
-        match conn {
-            Ok(stream) => {
-                let store = Arc::clone(&store);
-                std::thread::spawn(move || {
-                    let reader = match stream.try_clone() {
-                        Ok(read_half) => BufReader::new(read_half),
-                        Err(e) => {
-                            eprintln!("privtree-serve: cannot clone connection: {e}");
-                            return;
-                        }
-                    };
-                    // a dropped connection is normal client behaviour
-                    let _ = serve_lines(&store, reader, stream);
-                });
-            }
-            Err(e) => eprintln!("privtree-serve: failed connection: {e}"),
-        }
-    }
-    Ok(())
-}
+const USAGE: &str =
+    "usage: privtree-serve [--grids] [--listen ADDR] [--catalog DIR] <key=release>...\n\
+                     releases are privtree-synopsis v1 text files or privtree-bin v1\n\
+                     binary files (sniffed; an attached grid section is loaded instead\n\
+                     of rebuilt); queries arrive over stdin, or over TCP with --listen;\n\
+                     --catalog warm-starts from (and enables save/load against) an\n\
+                     on-disk release catalog";
 
 fn run() -> Result<(), String> {
     let mut grids = false;
     let mut listen: Option<String> = None;
+    let mut catalog_dir: Option<String> = None;
     let mut releases: Vec<(String, ShardHandle)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -287,6 +53,9 @@ fn run() -> Result<(), String> {
             "--grids" => grids = true,
             "--listen" => {
                 listen = Some(args.next().ok_or("--listen needs an address")?);
+            }
+            "--catalog" => {
+                catalog_dir = Some(args.next().ok_or("--catalog needs a directory")?);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -300,6 +69,18 @@ fn run() -> Result<(), String> {
             }
         }
     }
+    let catalog = match &catalog_dir {
+        Some(dir) => {
+            let catalog = Catalog::open_or_create(dir).map_err(|e| e.to_string())?;
+            // cataloged releases first; explicit key=path arguments may
+            // not collide (the store refuses duplicates)
+            for (key, arena, grid) in catalog.load_all().map_err(|e| e.to_string())? {
+                releases.push((key, ShardHandle::from_release(arena, grid)));
+            }
+            Some(catalog)
+        }
+        None => None,
+    };
     if releases.is_empty() {
         return Err(format!("no releases given\n{USAGE}"));
     }
@@ -311,17 +92,32 @@ fn run() -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let snap = store.snapshot();
     eprintln!(
-        "privtree-serve: {} release(s), {} nodes, dims={}, gridded={}",
+        "privtree-serve: {} release(s), {} nodes, dims={}, gridded={}{}",
         snap.shard_count(),
         snap.node_count(),
         snap.dims(),
-        store.gridded()
+        store.gridded(),
+        match &catalog_dir {
+            Some(dir) => format!(", catalog={dir}"),
+            None => String::new(),
+        }
     );
+    let ctx = match catalog {
+        Some(catalog) => ServeContext::with_catalog(store, catalog),
+        None => ServeContext::new(store),
+    };
     match listen {
-        Some(addr) => serve_tcp(store, &addr),
+        Some(addr) => {
+            let (local, handle) = spawn_tcp(Arc::new(ctx), &addr)?;
+            // announced on stdout so scripts (and the integration tests)
+            // can discover an OS-assigned port
+            println!("listening on {local}");
+            io::stdout().flush().ok();
+            handle.join().map_err(|_| "accept loop panicked".into())
+        }
         None => {
             let stdin = io::stdin();
-            serve_lines(&store, stdin.lock(), io::stdout())
+            serve_lines(&ctx, stdin.lock(), io::stdout())
                 .map_err(|e| format!("stdin protocol failed: {e}"))
         }
     }

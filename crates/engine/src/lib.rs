@@ -44,12 +44,25 @@
 //! every outstanding snapshot — completely unchanged: mutations stage on
 //! a copy of the catalog and publish only after every validation passed.
 //!
+//! # Persistence
+//!
+//! Stores survive the process through `privtree-store`:
+//! [`ReleaseStore::open_catalog`] warm-starts a store from an on-disk
+//! release catalog (binary `privtree-bin v1` entries decode in one
+//! validated pass — no per-line parsing) and
+//! [`ReleaseStore::persist_catalog`] writes every serving release back
+//! (binary, grids included, atomic publish). Either direction preserves
+//! answers bit for bit.
+//!
 //! The `privtree-serve` binary in this crate turns the store into a
-//! process: it loads serialized releases (`privtree-spatial`'s
-//! `serialize` module, grid sections included), answers a line-protocol
-//! query workload over stdin or a TCP socket through the pooled /
-//! Morton-batched read path, and accepts the same add/swap/retire
-//! operations at runtime.
+//! process: it loads serialized releases (text or binary, sniffed;
+//! shipped grid sections arrive prebuilt), answers a line-protocol query
+//! workload over stdin or a TCP socket through the pooled /
+//! Morton-batched read path, and accepts the same add/swap/retire —
+//! plus catalog save/load — operations at runtime. The protocol itself
+//! is the [`serve`] module, embeddable in tests and benchmarks.
+
+pub mod serve;
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -58,6 +71,7 @@ use privtree_runtime::ArcCell;
 use privtree_spatial::grid_route::GridRouteError;
 use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
 use privtree_spatial::sharded::{ShardError, ShardHandle, ShardedSynopsis};
+use privtree_store::{Catalog, ReleaseFormat, StoreError};
 
 /// Why a store operation was refused. Every error leaves the store and
 /// all outstanding snapshots unchanged.
@@ -75,6 +89,9 @@ pub enum EngineError {
     /// A gridded store could not build the new release's cell grid (e.g.
     /// inconsistent counts — see `GridRouteError`).
     Grid(GridRouteError),
+    /// The on-disk catalog refused (corrupt file, bad manifest, unknown
+    /// key — see `privtree_store::StoreError`).
+    Store(StoreError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -92,6 +109,7 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::Shard(e) => write!(f, "cannot assemble shard set: {e}"),
             EngineError::Grid(e) => write!(f, "cannot grid-route release: {e}"),
+            EngineError::Store(e) => write!(f, "release store: {e}"),
         }
     }
 }
@@ -107,6 +125,12 @@ impl From<ShardError> for EngineError {
 impl From<GridRouteError> for EngineError {
     fn from(e: GridRouteError) -> Self {
         EngineError::Grid(e)
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
     }
 }
 
@@ -308,6 +332,40 @@ impl ReleaseStore {
             current: ArcCell::new(snapshot),
             grids,
         })
+    }
+
+    /// Warm-start a store from an on-disk catalog: every release in the
+    /// catalog is loaded (binary entries in one decode pass; shipped
+    /// grids arrive prebuilt either way) and served under its catalog
+    /// key. `grids` behaves as in [`ReleaseStore::open_gridded`] —
+    /// releases that arrive without a grid get one built.
+    pub fn open_catalog(catalog: &Catalog, grids: bool) -> Result<Self, EngineError> {
+        let releases = catalog.load_all().map_err(EngineError::Store)?;
+        let handles = releases
+            .into_iter()
+            .map(|(key, arena, grid)| (key, ShardHandle::from_release(arena, grid)));
+        Self::build(handles, grids)
+    }
+
+    /// Persist every currently-serving release into `catalog` (binary
+    /// format, grids included, atomic publish per release). Returns how
+    /// many releases were written. Reopening the catalog via
+    /// [`ReleaseStore::open_catalog`] reproduces this snapshot's answers
+    /// bit for bit.
+    pub fn persist_catalog(&self, catalog: &mut Catalog) -> Result<usize, EngineError> {
+        let snap = self.snapshot();
+        let shards = snap.synopsis().shards();
+        for (key, shard) in snap.keys().iter().zip(shards) {
+            catalog
+                .save(
+                    key,
+                    shard.arena(),
+                    shard.grid().map(|g| g.as_ref()),
+                    ReleaseFormat::Binary,
+                )
+                .map_err(EngineError::Store)?;
+        }
+        Ok(snap.keys().len())
     }
 
     /// The current snapshot (two atomic ops; hold it as long as you

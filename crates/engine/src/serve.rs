@@ -1,0 +1,396 @@
+//! The serving protocol as a library: the line protocol the
+//! `privtree-serve` binary speaks, embeddable in tests and benchmarks
+//! (the concurrent-TCP benchmark lane drives [`spawn_tcp`] in-process).
+//!
+//! Protocol (one command per line; one reply line per command, except
+//! `batch` which replies with `n` answer lines):
+//!
+//! ```text
+//! count <lo0,lo1,..> <hi0,hi1,..>   -> answer as %.17e
+//! batch <n>                         -> reads n `<lo> <hi>` lines, then
+//!                                      n answer lines (pooled batch)
+//! add <key> <path>                  -> ok version=.. grids_built=.. ...
+//! swap <key> <path>                 -> ok version=.. grids_built=.. ...
+//! retire <key>                      -> ok version=.. ...
+//! save <key>                        -> ok saved key=.. file=.. (catalog)
+//! load <key>                        -> ok version=.. (add-or-swap from
+//!                                      the catalog)
+//! keys                              -> keys <k1> <k2> ...
+//! stats                             -> stats shards=.. nodes=.. ...
+//! quit                              -> closes the stream
+//! ```
+//!
+//! **Errors never kill the stream**: every failed command — malformed
+//! line, unparseable query, missing file, rejected `add`/`swap`, even a
+//! line that is not valid UTF-8 — answers `err <reason>` and the
+//! connection keeps serving. Only a real I/O failure (or EOF / `quit`)
+//! ends a session. `crates/engine/tests/serve_roundtrip.rs` pins this.
+
+use std::io::{self, BufRead, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, Mutex};
+
+use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
+use privtree_spatial::serialize::release_from_text;
+use privtree_spatial::sharded::ShardHandle;
+use privtree_spatial::Rect;
+use privtree_store::catalog::looks_binary;
+use privtree_store::{decode_release, Catalog, ReleaseFormat};
+
+use crate::{ReleaseStore, SwapReport};
+
+/// Largest accepted `batch <n>`: bounds the per-batch allocation against
+/// hostile or mistyped counts (1M queries ≈ 70 MB of boxes — plenty for
+/// a line protocol; stream several batches for more).
+pub const MAX_BATCH: usize = 1 << 20;
+
+/// Everything one serving process shares across its connections: the
+/// epoch store plus, when warm-started from disk, the catalog the
+/// `save`/`load` verbs operate on.
+#[derive(Debug)]
+pub struct ServeContext {
+    /// The epoch-aware release store answering queries.
+    pub store: ReleaseStore,
+    /// The attached on-disk catalog, if any (`--catalog DIR`). Guarded:
+    /// `save`/`load` may arrive on any connection thread.
+    pub catalog: Option<Mutex<Catalog>>,
+}
+
+impl ServeContext {
+    /// A context without an attached catalog (`save`/`load` answer
+    /// `err`).
+    pub fn new(store: ReleaseStore) -> Self {
+        Self {
+            store,
+            catalog: None,
+        }
+    }
+
+    /// A context with an attached catalog.
+    pub fn with_catalog(store: ReleaseStore, catalog: Catalog) -> Self {
+        Self {
+            store,
+            catalog: Some(Mutex::new(catalog)),
+        }
+    }
+}
+
+/// Load a release file as a shard handle, **sniffing the format**: a
+/// `privtree-bin` magic means one-pass binary decode, anything else
+/// parses as the text format. Either way a shipped grid section arrives
+/// prebuilt.
+pub fn load_release(path: &str) -> Result<ShardHandle, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let (arena, grid) = if looks_binary(&bytes) {
+        decode_release(&bytes).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|_| format!("{path}: neither privtree-bin nor UTF-8 text"))?;
+        release_from_text(text).map_err(|e| format!("{path}: {e}"))?
+    };
+    Ok(ShardHandle::from_release(arena, grid))
+}
+
+/// Parse `<lo0,lo1,..> <hi0,hi1,..>` into a range query over `dims`
+/// dimensions.
+pub fn parse_query(dims: usize, lo: &str, hi: &str) -> Result<RangeQuery, String> {
+    let parse_coords = |csv: &str| -> Result<Vec<f64>, String> {
+        csv.split(',')
+            .map(|x| {
+                x.parse::<f64>()
+                    .map_err(|_| format!("bad coordinate {x}"))
+                    .and_then(|v| {
+                        v.is_finite()
+                            .then_some(v)
+                            .ok_or_else(|| format!("non-finite coordinate {x}"))
+                    })
+            })
+            .collect()
+    };
+    let lo = parse_coords(lo)?;
+    let hi = parse_coords(hi)?;
+    if lo.len() != dims || hi.len() != dims {
+        return Err(format!(
+            "expected {dims} coordinates per corner, got {}/{}",
+            lo.len(),
+            hi.len()
+        ));
+    }
+    for k in 0..dims {
+        if lo[k] > hi[k] {
+            return Err(format!("lo > hi along dimension {k}"));
+        }
+    }
+    Ok(RangeQuery::new(Rect::new(&lo, &hi)))
+}
+
+/// Render a mutation report as the protocol's `ok` reply.
+pub fn report_line(r: &SwapReport) -> String {
+    format!(
+        "ok version={} shards={} routing_nodes_rebuilt={} grids_built={} \
+         grid_cells_built={} shards_reused={}",
+        r.version,
+        r.shard_count,
+        r.routing_nodes_rebuilt,
+        r.grids_built,
+        r.grid_cells_built,
+        r.shards_reused
+    )
+}
+
+/// Read one raw line (stripped of `\r\n`) into `buf`. `Ok(false)` at
+/// EOF. Raw bytes, not `str`: a line that is not valid UTF-8 must reach
+/// the protocol loop so it can answer `err` instead of poisoning the
+/// stream the way `BufRead::lines`' `InvalidData` error would.
+fn read_raw_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> io::Result<bool> {
+    buf.clear();
+    if input.read_until(b'\n', buf)? == 0 {
+        return Ok(false);
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    Ok(true)
+}
+
+/// Persist the serving release `key` into the attached catalog.
+fn save_verb(ctx: &ServeContext, key: &str) -> Result<String, String> {
+    let catalog = ctx
+        .catalog
+        .as_ref()
+        .ok_or("no catalog attached (start with --catalog DIR)")?;
+    let snap = ctx.store.snapshot();
+    let idx = snap
+        .keys()
+        .iter()
+        .position(|k| k == key)
+        .ok_or_else(|| format!("no release named {key}"))?;
+    let shard = &snap.synopsis().shards()[idx];
+    let mut catalog = catalog.lock().unwrap_or_else(|e| e.into_inner());
+    let entry = catalog
+        .save(
+            key,
+            shard.arena(),
+            shard.grid().map(|g| g.as_ref()),
+            ReleaseFormat::Binary,
+        )
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "ok saved key={key} file={} format={} checksum=crc32:{:08x}",
+        entry.file, entry.format, entry.checksum
+    ))
+}
+
+/// Load `key` from the attached catalog and add-or-swap it into the
+/// store.
+fn load_verb(ctx: &ServeContext, key: &str) -> Result<SwapReport, String> {
+    let catalog = ctx
+        .catalog
+        .as_ref()
+        .ok_or("no catalog attached (start with --catalog DIR)")?;
+    let (arena, grid) = {
+        let catalog = catalog.lock().unwrap_or_else(|e| e.into_inner());
+        catalog.load(key).map_err(|e| e.to_string())?
+    };
+    let handle = ShardHandle::from_release(arena, grid);
+    let serving = ctx.store.snapshot().keys().iter().any(|k| k == key);
+    let op = if serving {
+        ctx.store.swap(key, handle)
+    } else {
+        ctx.store.add(key, handle)
+    };
+    op.map_err(|e| e.to_string())
+}
+
+/// Run the line protocol over one input/output pair until EOF or `quit`.
+pub fn serve_lines(ctx: &ServeContext, mut input: impl BufRead, out: impl Write) -> io::Result<()> {
+    // buffer the writes: replies flush at command boundaries, so a batch
+    // of a million answers costs a handful of write syscalls instead of
+    // one per line (stdout's LineWriter and raw TcpStreams both would)
+    let mut out = io::BufWriter::new(out);
+    let mut raw = Vec::new();
+    let mut qraw = Vec::new();
+    while read_raw_line(&mut input, &mut raw)? {
+        let reply = |out: &mut dyn Write, text: String| -> io::Result<()> {
+            out.write_all(text.as_bytes())?;
+            out.write_all(b"\n")?;
+            out.flush()
+        };
+        let Ok(line) = std::str::from_utf8(&raw) else {
+            reply(&mut out, "err line is not valid utf-8".into())?;
+            continue;
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let command = fields.next().unwrap_or_default();
+        match command {
+            "count" => {
+                let snap = ctx.store.snapshot();
+                match (fields.next(), fields.next()) {
+                    (Some(lo), Some(hi)) => match parse_query(snap.dims(), lo, hi) {
+                        Ok(q) => reply(&mut out, format!("{:.17e}", snap.answer(&q)))?,
+                        Err(e) => reply(&mut out, format!("err {e}"))?,
+                    },
+                    _ => reply(&mut out, "err count needs <lo> <hi>".into())?,
+                }
+            }
+            "batch" => {
+                let snap = ctx.store.snapshot();
+                let n: usize = match fields.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n <= MAX_BATCH => n,
+                    Some(n) => {
+                        reply(
+                            &mut out,
+                            format!("err batch of {n} exceeds the {MAX_BATCH}-query cap"),
+                        )?;
+                        continue;
+                    }
+                    None => {
+                        reply(&mut out, "err batch needs a query count".into())?;
+                        continue;
+                    }
+                };
+                // always drain all n lines, even past a bad one — a batch
+                // failure must reply exactly one err line and leave the
+                // stream aligned on the next command
+                let mut queries = Vec::with_capacity(n);
+                let mut problem: Option<String> = None;
+                for _ in 0..n {
+                    if !read_raw_line(&mut input, &mut qraw)? {
+                        problem = Some("unexpected end of input inside batch".into());
+                        break;
+                    }
+                    if problem.is_some() {
+                        continue;
+                    }
+                    let Ok(qline) = std::str::from_utf8(&qraw) else {
+                        problem = Some("batch line is not valid utf-8".into());
+                        continue;
+                    };
+                    let mut parts = qline.split_whitespace();
+                    match (parts.next(), parts.next()) {
+                        (Some(lo), Some(hi)) => match parse_query(snap.dims(), lo, hi) {
+                            Ok(q) => queries.push(q),
+                            Err(e) => problem = Some(e),
+                        },
+                        _ => problem = Some(format!("bad batch line: {qline}")),
+                    }
+                }
+                match problem {
+                    Some(e) => reply(&mut out, format!("err {e}"))?,
+                    None => {
+                        // the pooled / Morton-batched read path
+                        for a in snap.answer_batch(&queries) {
+                            out.write_all(format!("{a:.17e}\n").as_bytes())?;
+                        }
+                        out.flush()?;
+                    }
+                }
+            }
+            "add" | "swap" => match (fields.next(), fields.next()) {
+                (Some(key), Some(path)) => {
+                    let outcome = load_release(path).and_then(|handle| {
+                        let op = if command == "add" {
+                            ctx.store.add(key, handle)
+                        } else {
+                            ctx.store.swap(key, handle)
+                        };
+                        op.map_err(|e| e.to_string())
+                    });
+                    match outcome {
+                        Ok(report) => reply(&mut out, report_line(&report))?,
+                        Err(e) => reply(&mut out, format!("err {e}"))?,
+                    }
+                }
+                _ => reply(&mut out, format!("err {command} needs <key> <path>"))?,
+            },
+            "retire" => match fields.next() {
+                Some(key) => match ctx.store.retire(key) {
+                    Ok(report) => reply(&mut out, report_line(&report))?,
+                    Err(e) => reply(&mut out, format!("err {e}"))?,
+                },
+                None => reply(&mut out, "err retire needs <key>".into())?,
+            },
+            "save" => match fields.next() {
+                Some(key) => match save_verb(ctx, key) {
+                    Ok(ok) => reply(&mut out, ok)?,
+                    Err(e) => reply(&mut out, format!("err {e}"))?,
+                },
+                None => reply(&mut out, "err save needs <key>".into())?,
+            },
+            "load" => match fields.next() {
+                Some(key) => match load_verb(ctx, key) {
+                    Ok(report) => reply(&mut out, report_line(&report))?,
+                    Err(e) => reply(&mut out, format!("err {e}"))?,
+                },
+                None => reply(&mut out, "err load needs <key>".into())?,
+            },
+            "keys" => {
+                let snap = ctx.store.snapshot();
+                reply(&mut out, format!("keys {}", snap.keys().join(" ")))?;
+            }
+            "stats" => {
+                let snap = ctx.store.snapshot();
+                let stats = ctx.store.stats();
+                reply(
+                    &mut out,
+                    format!(
+                        "stats shards={} nodes={} dims={} version={} gridded={} \
+                         publishes={} grids_built={}",
+                        snap.shard_count(),
+                        snap.node_count(),
+                        snap.dims(),
+                        snap.version(),
+                        ctx.store.gridded(),
+                        stats.publishes,
+                        stats.grids_built
+                    ),
+                )?;
+            }
+            "quit" => break,
+            other => reply(&mut out, format!("err unknown command {other}"))?,
+        }
+    }
+    Ok(())
+}
+
+/// Bind `addr` and serve connections in background threads (one per
+/// connection, sharing `ctx`). Returns the bound address — which
+/// resolves an OS-assigned `:0` port — plus the accept-loop handle.
+/// Embedders (the TCP benchmark lane, tests) can drop the handle and
+/// keep the listener running for the life of the process; the binary
+/// joins it.
+pub fn spawn_tcp(
+    ctx: Arc<ServeContext>,
+    addr: &str,
+) -> Result<(SocketAddr, std::thread::JoinHandle<()>), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("no local address: {e}"))?;
+    let handle = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let ctx = Arc::clone(&ctx);
+                    std::thread::spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(read_half) => io::BufReader::new(read_half),
+                            Err(e) => {
+                                eprintln!("privtree-serve: cannot clone connection: {e}");
+                                return;
+                            }
+                        };
+                        // a dropped connection is normal client behaviour
+                        let _ = serve_lines(&ctx, reader, stream);
+                    });
+                }
+                Err(e) => eprintln!("privtree-serve: failed connection: {e}"),
+            }
+        }
+    });
+    Ok((local, handle))
+}

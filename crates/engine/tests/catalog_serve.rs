@@ -1,0 +1,274 @@
+//! The binary-format serving lane: a text release is converted to
+//! `privtree-bin v1`, published into an on-disk catalog, warm-started
+//! through the `privtree-serve` binary via `--catalog`, and every
+//! answer is diffed against the **text-loaded** library path — the
+//! formats must be indistinguishable at the query level. Also drives
+//! the `save`/`load` protocol verbs and the library-level
+//! `open_catalog`/`persist_catalog` round trip.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::seeded;
+use privtree_engine::ReleaseStore;
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
+use privtree_spatial::serialize::{grid_routed_to_text, release_from_text};
+use privtree_spatial::{FrozenSynopsis, GridRoutedSynopsis};
+use privtree_store::{text_to_binary, Catalog, ReleaseFormat};
+use rand::RngExt;
+
+const BIN: &str = env!("CARGO_BIN_EXE_privtree-serve");
+
+fn sample_release(domain: Rect, seed: u64, n: usize) -> FrozenSynopsis {
+    let mut rng = seeded(seed);
+    let mut ps = PointSet::new(2);
+    for _ in 0..n {
+        ps.push(&[
+            domain.lo()[0] + rng.random::<f64>() * domain.side(0),
+            domain.lo()[1] + rng.random::<f64>().powi(2) * domain.side(1),
+        ]);
+    }
+    privtree_spatial::synopsis::privtree_synopsis(
+        &ps,
+        domain,
+        SplitConfig::full(2),
+        Epsilon::new(1.0).unwrap(),
+        &mut seeded(seed ^ 0xabcd),
+    )
+    .unwrap()
+    .freeze()
+}
+
+fn workload(n: usize, seed: u64) -> Vec<RangeQuery> {
+    let mut rng = seeded(seed);
+    (0..n)
+        .map(|_| {
+            let (a, b) = (rng.random::<f64>(), rng.random::<f64>());
+            let (c, d) = (rng.random::<f64>(), rng.random::<f64>());
+            RangeQuery::new(Rect::new(&[a.min(b), c.min(d)], &[a.max(b), c.max(d)]))
+        })
+        .collect()
+}
+
+fn query_line(q: &RangeQuery) -> String {
+    let csv = |c: &[f64]| {
+        c.iter()
+            .map(|x| format!("{x:.17e}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!("{} {}", csv(q.rect.lo()), csv(q.rect.hi()))
+}
+
+/// A scratch directory that cleans up after itself.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "privtree-catalog-serve-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The CI lane: text → binary → catalog → `privtree-serve --catalog`,
+/// every answer diffed against the text-loaded library path (gridded
+/// release, so the grid ships through the binary format too).
+#[test]
+fn catalog_served_binary_matches_text_loaded_library() {
+    let frozen = sample_release(Rect::unit(2), 61, 4000);
+    let engine = GridRoutedSynopsis::build(frozen).unwrap();
+    let text = grid_routed_to_text(&engine);
+
+    // the reference: the text path, loaded exactly as the library would
+    let (ref_arena, ref_grid) = release_from_text(&text).unwrap();
+    let reference =
+        GridRoutedSynopsis::from_prebuilt(ref_arena, ref_grid.expect("grid section shipped"));
+
+    // the lane under test: text → binary → catalog (validated import)
+    let dir = TempDir::new("lane");
+    let binary = text_to_binary(&text).expect("text converts to binary");
+    let mut catalog = Catalog::open_or_create(&dir.0).unwrap();
+    catalog
+        .import("epoch0", &binary, ReleaseFormat::Binary)
+        .expect("binary imports");
+    drop(catalog);
+
+    let queries = workload(150, 62);
+    let mut input = String::new();
+    for q in &queries[..40] {
+        input.push_str(&format!("count {}\n", query_line(q)));
+    }
+    input.push_str(&format!("batch {}\n", queries.len()));
+    for q in &queries {
+        input.push_str(&query_line(q));
+        input.push('\n');
+    }
+    input.push_str("keys\nquit\n");
+
+    let output = Command::new(BIN)
+        .args(["--catalog", dir.0.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .expect("piped stdin")
+                .write_all(input.as_bytes())?;
+            child.wait_with_output()
+        })
+        .expect("run privtree-serve");
+    assert!(
+        output.status.success(),
+        "privtree-serve failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 answers");
+    let mut lines = stdout.lines();
+    // single-shard stores route straight into the shard's grid-routed
+    // descent, so the binary's answers must equal the text-loaded
+    // grid-routed engine exactly — same %.17e bits
+    for q in queries[..40].iter().chain(&queries) {
+        let expect = format!("{:.17e}", reference.answer(q));
+        assert_eq!(lines.next(), Some(expect.as_str()), "query {}", q.rect);
+    }
+    assert_eq!(lines.next(), Some("keys epoch0"));
+    assert_eq!(lines.next(), None);
+}
+
+/// `save` persists a serving release into the catalog and `load` brings
+/// one back (add-or-swap), over one stdin session.
+#[test]
+fn save_and_load_verbs_round_trip_through_the_catalog() {
+    let left = Rect::new(&[0.0, 0.0], &[0.5, 1.0]);
+    let right = Rect::new(&[0.5, 0.0], &[1.0, 1.0]);
+    let west = sample_release(left, 71, 2500);
+    let east = sample_release(right, 72, 2500);
+    let q_west = RangeQuery::new(Rect::new(&[0.05, 0.1], &[0.45, 0.9]));
+
+    let dir = TempDir::new("verbs");
+    let mut catalog = Catalog::open_or_create(&dir.0).unwrap();
+    catalog
+        .save("west", &west, None, ReleaseFormat::Binary)
+        .unwrap();
+    drop(catalog);
+
+    // east arrives as a key=path text file beside the cataloged west
+    let east_path = dir.0.join("east-input.txt");
+    std::fs::write(
+        &east_path,
+        privtree_spatial::serialize::frozen_to_text(&east),
+    )
+    .unwrap();
+
+    let input = format!(
+        "keys\n\
+         save east\n\
+         retire east\n\
+         keys\n\
+         load east\n\
+         keys\n\
+         count {west_q}\n\
+         quit\n",
+        west_q = query_line(&q_west),
+    );
+    let output = Command::new(BIN)
+        .args([
+            "--catalog",
+            dir.0.to_str().unwrap(),
+            &format!("east={}", east_path.display()),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .expect("piped stdin")
+                .write_all(input.as_bytes())?;
+            child.wait_with_output()
+        })
+        .expect("run privtree-serve");
+    assert!(
+        output.status.success(),
+        "privtree-serve failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    let mut lines = stdout.lines();
+    assert_eq!(lines.next(), Some("keys east west"));
+    let saved = lines.next().expect("save reply");
+    assert!(
+        saved.starts_with("ok saved key=east") && saved.contains("format=binary"),
+        "save reply: {saved}"
+    );
+    assert!(lines
+        .next()
+        .expect("retire reply")
+        .starts_with("ok version=2"));
+    assert_eq!(lines.next(), Some("keys west"));
+    let loaded = lines.next().expect("load reply");
+    assert!(loaded.starts_with("ok version=3"), "load reply: {loaded}");
+    assert_eq!(lines.next(), Some("keys east west"));
+    // a query strictly inside west is answered by that shard alone
+    assert_eq!(
+        lines.next(),
+        Some(format!("{:.17e}", west.answer(&q_west)).as_str())
+    );
+    assert_eq!(lines.next(), None);
+
+    // the catalog on disk now holds both releases (east was saved)
+    let reopened = Catalog::open(&dir.0).unwrap();
+    assert_eq!(reopened.keys().collect::<Vec<_>>(), ["east", "west"]);
+}
+
+/// Library-level warm start: persist a gridded store, reopen it from
+/// the catalog, and require bit-identical answers — grids adopted from
+/// disk, not rebuilt.
+#[test]
+fn open_catalog_reproduces_a_persisted_store_exactly() {
+    let strips: Vec<(String, FrozenSynopsis)> = (0..3)
+        .map(|i| {
+            let lo = i as f64 / 3.0;
+            let region = Rect::new(&[lo, 0.0], &[lo + 1.0 / 3.0, 1.0]);
+            (format!("strip{i}"), sample_release(region, 80 + i, 1500))
+        })
+        .collect();
+    let store = ReleaseStore::open_gridded(strips).unwrap();
+    let queries = workload(200, 81);
+    let reference = store.snapshot().synopsis().answer_batch(&queries);
+
+    let dir = TempDir::new("warm");
+    let mut catalog = Catalog::open_or_create(&dir.0).unwrap();
+    assert_eq!(store.persist_catalog(&mut catalog).unwrap(), 3);
+
+    // reopen purely from disk
+    let reopened_catalog = Catalog::open(&dir.0).unwrap();
+    let warm = ReleaseStore::open_catalog(&reopened_catalog, true).unwrap();
+    let snap = warm.snapshot();
+    assert_eq!(snap.keys(), store.snapshot().keys());
+    // grids shipped with the releases: the warm open built none
+    assert_eq!(warm.stats().grids_built, 0, "grids must come from disk");
+    let got = snap.synopsis().answer_batch(&queries);
+    for (a, b) in reference.iter().zip(&got) {
+        assert_eq!(a.to_bits(), b.to_bits(), "warm-start answers diverged");
+    }
+}

@@ -202,7 +202,7 @@ fn bad_batch_line_does_not_desynchronize_the_protocol() {
     let stdout = String::from_utf8(output.stdout).expect("utf-8");
     let mut lines = stdout.lines();
     let batch_err = lines.next().expect("batch error");
-    assert!(batch_err.starts_with("error:"), "batch reply: {batch_err}");
+    assert!(batch_err.starts_with("err "), "batch reply: {batch_err}");
     assert_eq!(
         lines.next(),
         Some(format!("{:.17e}", frozen.answer(&q)).as_str()),
@@ -210,8 +210,79 @@ fn bad_batch_line_does_not_desynchronize_the_protocol() {
     );
     let cap_err = lines.next().expect("cap error");
     assert!(
-        cap_err.starts_with("error:") && cap_err.contains("cap"),
+        cap_err.starts_with("err ") && cap_err.contains("cap"),
         "oversized batch reply: {cap_err}"
+    );
+    assert_eq!(lines.next(), None);
+}
+
+/// The liveness contract: malformed commands, bad arguments, failed
+/// epoch operations, and even lines that are not valid UTF-8 must each
+/// answer exactly one `err <reason>` line and leave the connection
+/// serving — the stream only ends at EOF, `quit`, or a real I/O
+/// failure. (Regression: `BufRead::lines` used to surface invalid UTF-8
+/// as an `InvalidData` I/O error that tore the connection down.)
+#[test]
+fn protocol_errors_never_terminate_the_connection() {
+    let frozen = sample_release(Rect::unit(2), 47, 1500);
+    let release_file = TempFile::write("errs-release.txt", &frozen_to_text(&frozen));
+    let q = RangeQuery::new(Rect::new(&[0.2, 0.1], &[0.6, 0.5]));
+
+    // one connection, a gauntlet of malformed traffic, then a real query
+    let mut input: Vec<u8> = Vec::new();
+    input.extend_from_slice(b"definitely-not-a-command 1 2 3\n");
+    input.extend_from_slice(b"count\n"); // missing arguments
+    input.extend_from_slice(b"count 0.1,0.1 zz,0.9\n"); // bad coordinate
+    input.extend_from_slice(b"count 0.5,0.5 0.1,0.1\n"); // lo > hi
+    input.extend_from_slice(b"count inf,0.0 1.0,1.0\n"); // non-finite
+    input.extend_from_slice(b"\xff\xfe garbage bytes\n"); // not UTF-8
+    input.extend_from_slice(b"add broken /no/such/file.txt\n"); // failed add
+    input.extend_from_slice(b"swap missing ");
+    input.extend_from_slice(release_file.path().as_bytes()); // unknown key
+    input.extend_from_slice(b"\nretire epoch0\n"); // last shard
+    input.extend_from_slice(b"save epoch0\n"); // no catalog attached
+    input.extend_from_slice(b"load epoch0\n"); // no catalog attached
+    input.extend_from_slice(format!("count {}\nquit\n", query_line(&q)).as_bytes());
+
+    let output = Command::new(BIN)
+        .arg(format!("epoch0={}", release_file.path()))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .and_then(|mut child| {
+            child.stdin.take().expect("piped stdin").write_all(&input)?;
+            child.wait_with_output()
+        })
+        .expect("run privtree-serve");
+    assert!(output.status.success(), "the process must exit cleanly");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    let mut lines = stdout.lines();
+    for expected in [
+        "unknown command",
+        "count needs",
+        "bad coordinate",
+        "lo > hi",
+        "non-finite",
+        "utf-8",
+        "no/such/file",
+        "no release named missing",
+        "refusing to retire",
+        "no catalog",
+        "no catalog",
+    ] {
+        let reply = lines
+            .next()
+            .unwrap_or_else(|| panic!("missing err for {expected:?}"));
+        assert!(
+            reply.starts_with("err ") && reply.contains(expected),
+            "expected an err mentioning {expected:?}, got: {reply}"
+        );
+    }
+    assert_eq!(
+        lines.next(),
+        Some(format!("{:.17e}", frozen.answer(&q)).as_str()),
+        "the connection must still answer after every err"
     );
     assert_eq!(lines.next(), None);
 }
@@ -295,7 +366,7 @@ fn epoch_operations_swap_releases_mid_stream() {
         .starts_with("ok version=4"));
     assert_eq!(lines.next(), Some("keys left"));
     let refuse = lines.next().expect("refusal");
-    assert!(refuse.starts_with("error:"), "last-shard retire: {refuse}");
+    assert!(refuse.starts_with("err "), "last-shard retire: {refuse}");
 }
 
 #[test]

@@ -128,6 +128,57 @@ macro_rules! dispatch_dims {
 }
 pub(crate) use dispatch_dims;
 
+/// Why a set of flat arrays is not a valid frozen arena. Returned by
+/// [`FrozenSynopsis::from_flat_parts`], the constructor deserializers use
+/// — a decoder handing over hostile bytes gets a typed refusal, never a
+/// panic deeper in the read path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatLayoutError {
+    /// Zero nodes — there is no release to serve.
+    Empty,
+    /// Dimensionality outside `1..=MAX_DIMS`.
+    BadDims { dims: usize },
+    /// An array's length disagrees with the node count / dimensionality.
+    LengthMismatch {
+        array: &'static str,
+        expected: usize,
+        found: usize,
+    },
+    /// A node's box is not a finite `lo <= hi` rectangle.
+    BadGeometry { node: usize },
+    /// The child ranges do not tile the arena (children must be
+    /// contiguous, appear after their parent, and cover nodes `1..n`
+    /// exactly once; leaves must carry `first_child == 0`).
+    BadChildRange { node: usize, reason: String },
+}
+
+impl std::fmt::Display for FlatLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlatLayoutError::Empty => write!(f, "zero-node arena"),
+            FlatLayoutError::BadDims { dims } => {
+                write!(f, "dimensionality {dims} outside 1..={}", crate::MAX_DIMS)
+            }
+            FlatLayoutError::LengthMismatch {
+                array,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{array} array holds {found} entries, expected {expected}"
+            ),
+            FlatLayoutError::BadGeometry { node } => {
+                write!(f, "node {node} is not a finite lo <= hi box")
+            }
+            FlatLayoutError::BadChildRange { node, reason } => {
+                write!(f, "bad child range at node {node}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlatLayoutError {}
+
 /// How a node's box relates to a query box in the Section 2.2 traversal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Overlap {
@@ -224,14 +275,136 @@ impl FrozenSynopsis {
         &self.hi[index * self.dims..(index + 1) * self.dims]
     }
 
-    /// Arena index of each node's first child (0 for leaves).
-    pub(crate) fn first_child(&self) -> &[u32] {
+    /// Arena index of each node's first child (0 for leaves). Together
+    /// with [`FrozenSynopsis::child_count`] this is the whole tree
+    /// structure — serializers persist exactly these arrays.
+    pub fn first_child(&self) -> &[u32] {
         &self.first_child
     }
 
     /// Number of children per node (0 for leaves).
-    pub(crate) fn child_count(&self) -> &[u32] {
+    pub fn child_count(&self) -> &[u32] {
         &self.child_count
+    }
+
+    /// Packed lower corners, `dims` coordinates per node in arena order
+    /// (the raw column a serializer writes).
+    pub fn lo_coords(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Packed upper corners, `dims` coordinates per node in arena order.
+    pub fn hi_coords(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Assemble a frozen synopsis from untrusted flat arrays, validating
+    /// every structural invariant the read path relies on: array lengths,
+    /// finite `lo <= hi` boxes, and child ranges that are contiguous,
+    /// parent-before-child, and tile nodes `1..n` exactly once (leaves
+    /// must carry `first_child == 0`, the canonical form
+    /// [`FrozenSynopsis::from_tree`] produces). This is the deserializer
+    /// entry point — a corrupt file becomes a [`FlatLayoutError`], never
+    /// a panic inside a traversal.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_flat_parts(
+        dims: usize,
+        lo: Vec<f64>,
+        hi: Vec<f64>,
+        first_child: Vec<u32>,
+        child_count: Vec<u32>,
+        counts: Vec<f64>,
+        label: &'static str,
+    ) -> Result<Self, FlatLayoutError> {
+        let n = counts.len();
+        if n == 0 {
+            return Err(FlatLayoutError::Empty);
+        }
+        if dims == 0 || dims > crate::MAX_DIMS {
+            return Err(FlatLayoutError::BadDims { dims });
+        }
+        for (array, found) in [("lo", lo.len()), ("hi", hi.len())] {
+            if found != n * dims {
+                return Err(FlatLayoutError::LengthMismatch {
+                    array,
+                    expected: n * dims,
+                    found,
+                });
+            }
+        }
+        for (array, found) in [
+            ("first_child", first_child.len()),
+            ("child_count", child_count.len()),
+        ] {
+            if found != n {
+                return Err(FlatLayoutError::LengthMismatch {
+                    array,
+                    expected: n,
+                    found,
+                });
+            }
+        }
+        for i in 0..n {
+            let ok = (0..dims).all(|k| {
+                let (a, b) = (lo[i * dims + k], hi[i * dims + k]);
+                a.is_finite() && b.is_finite() && a <= b
+            });
+            if !ok {
+                return Err(FlatLayoutError::BadGeometry { node: i });
+            }
+        }
+        // the child ranges of internal nodes, sorted by range start, must
+        // tile [1, n) exactly, and each must start after its parent —
+        // together that makes every node reachable from the root with no
+        // cycles, which is all the iterative traversals assume
+        let mut internal: Vec<usize> = (0..n).filter(|&i| child_count[i] > 0).collect();
+        internal.sort_unstable_by_key(|&i| first_child[i]);
+        let mut next = 1u64;
+        for &i in &internal {
+            let (first, kids) = (first_child[i] as u64, child_count[i] as u64);
+            if first != next {
+                return Err(FlatLayoutError::BadChildRange {
+                    node: i,
+                    reason: format!("children start at {first}, expected {next}"),
+                });
+            }
+            if first <= i as u64 {
+                return Err(FlatLayoutError::BadChildRange {
+                    node: i,
+                    reason: "parent appears after its children".into(),
+                });
+            }
+            next = first + kids;
+            if next > n as u64 {
+                return Err(FlatLayoutError::BadChildRange {
+                    node: i,
+                    reason: format!("child range ends at {next}, past the {n}-node arena"),
+                });
+            }
+        }
+        if next != n as u64 {
+            return Err(FlatLayoutError::BadChildRange {
+                node: 0,
+                reason: format!("child ranges cover nodes 1..{next}, arena holds {n}"),
+            });
+        }
+        for i in 0..n {
+            if child_count[i] == 0 && first_child[i] != 0 {
+                return Err(FlatLayoutError::BadChildRange {
+                    node: i,
+                    reason: "leaf with a non-zero first_child".into(),
+                });
+            }
+        }
+        Ok(Self::from_raw(
+            dims,
+            lo,
+            hi,
+            first_child,
+            child_count,
+            counts,
+            label,
+        ))
     }
 
     /// Assemble a frozen synopsis directly from its flat arrays (the

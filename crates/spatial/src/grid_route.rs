@@ -280,8 +280,11 @@ impl CellGrid {
 
     /// Re-assemble a grid from persisted parts, validating that the
     /// anchors are plausible (in range and covering their cells). The
-    /// summed-area table is rebuilt deterministically from `values`.
-    pub(crate) fn from_parts(
+    /// summed-area table is rebuilt deterministically from `values`, so
+    /// a deserialized grid answers bit-identically to the one that was
+    /// serialized. This is the entry point for every release loader
+    /// (text and binary alike).
+    pub fn from_parts(
         frozen: &FrozenSynopsis,
         bins: &[usize],
         anchors: Vec<u32>,
@@ -1023,8 +1026,12 @@ impl GridRoutedSynopsis {
         Ok(Self::from_prebuilt(frozen, grid))
     }
 
-    /// Wrap an arena with an already-validated grid (deserialization).
-    pub(crate) fn from_prebuilt(frozen: FrozenSynopsis, grid: CellGrid) -> Self {
+    /// Wrap an arena with an already-validated grid (deserialization —
+    /// e.g. a [`CellGrid::from_parts`] result, or the pieces of
+    /// [`GridRoutedSynopsis::into_parts`]). The pairing is trusted the
+    /// same way [`crate::sharded::ShardHandle::with_prebuilt_grid`]
+    /// trusts it: a grid built for a *different* arena answers garbage.
+    pub fn from_prebuilt(frozen: FrozenSynopsis, grid: CellGrid) -> Self {
         Self {
             frozen,
             grid,

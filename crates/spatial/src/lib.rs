@@ -44,7 +44,7 @@ pub mod sharded;
 pub mod synopsis;
 
 pub use dataset::PointSet;
-pub use frozen::FrozenSynopsis;
+pub use frozen::{FlatLayoutError, FrozenSynopsis};
 pub use geom::Rect;
 pub use grid_route::{CellGrid, GridRouteError, GridRoutedSynopsis};
 pub use index::GridIndex;

@@ -296,25 +296,43 @@ pub fn frozen_from_text(text: &str) -> Result<FrozenSynopsis, ParseError> {
     Ok(from_text(text)?.freeze())
 }
 
-/// Serialize a grid-routed release: a manifest declaring both sections,
-/// the synopsis text, then a `privtree-grid v1` section carrying every
-/// cell's anchor and exact contribution (17 significant digits, so values
-/// round-trip bit-exactly).
-pub fn grid_routed_to_text(synopsis: &GridRoutedSynopsis) -> String {
-    let mut out = manifest_line(&[SYNOPSIS, GRID]);
-    out.push_str(&synopsis_section(&synopsis.frozen().thaw()));
-    let grid = synopsis.grid();
+/// The `privtree-grid v1` section (header + cell records) for `grid`.
+fn grid_section(grid: &CellGrid) -> String {
     let bins = grid
         .bins()
         .iter()
         .map(|b| b.to_string())
         .collect::<Vec<_>>()
         .join(",");
-    out.push_str(&format!("privtree-grid v1 bins={bins}\n"));
+    let mut out = format!("privtree-grid v1 bins={bins}\n");
     for (i, (&a, v)) in grid.anchors().iter().zip(grid.values()).enumerate() {
         out.push_str(&format!("cell {i} anchor={a} value={v:.17e}\n"));
     }
     out
+}
+
+/// Serialize a grid-routed release: a manifest declaring both sections,
+/// the synopsis text, then a `privtree-grid v1` section carrying every
+/// cell's anchor and exact contribution (17 significant digits, so values
+/// round-trip bit-exactly).
+pub fn grid_routed_to_text(synopsis: &GridRoutedSynopsis) -> String {
+    release_to_text(synopsis.frozen(), Some(synopsis.grid()))
+}
+
+/// Serialize an arena plus an optional shipped grid — the exact inverse
+/// of [`release_from_text`], so serving layers (and the binary-format
+/// converters in `privtree-store`) can write whichever shape they hold
+/// without wrapping it in an engine first.
+pub fn release_to_text(arena: &FrozenSynopsis, grid: Option<&CellGrid>) -> String {
+    match grid {
+        None => frozen_to_text(arena),
+        Some(grid) => {
+            let mut out = manifest_line(&[SYNOPSIS, GRID]);
+            out.push_str(&synopsis_section(&arena.thaw()));
+            out.push_str(&grid_section(grid));
+            out
+        }
+    }
 }
 
 /// Parse a grid-routed release: the synopsis part is parsed as usual, the

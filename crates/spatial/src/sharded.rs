@@ -119,6 +119,18 @@ impl ShardHandle {
         Self { arena, grid: None }
     }
 
+    /// Wrap a loaded release — arena plus optional shipped grid — as a
+    /// handle: the one constructor every deserialization path (text,
+    /// binary, catalog) funnels through. The grid, when present, must
+    /// have been built or validated for exactly this arena (see
+    /// [`ShardHandle::with_prebuilt_grid`]).
+    pub fn from_release(arena: FrozenSynopsis, grid: Option<CellGrid>) -> Self {
+        match grid {
+            Some(grid) => Self::with_prebuilt_grid(arena, grid),
+            None => Self::new(arena),
+        }
+    }
+
     /// Wrap a release together with a grid that was already built (or
     /// deserialized) for exactly this arena. The pairing is trusted; a
     /// grid built for a different arena answers garbage, so only pass

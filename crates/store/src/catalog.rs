@@ -1,0 +1,592 @@
+//! The on-disk release catalog: a directory of release files behind a
+//! `catalog.toml` manifest.
+//!
+//! ```text
+//! catalog-dir/
+//!   catalog.toml            # the manifest (always written last)
+//!   west-6a8c3f21.ptbin     # one file per release
+//!   east-0f9d1e44.txt
+//! ```
+//!
+//! The manifest maps each release key to its file, format, and a
+//! whole-file CRC-32, in a minimal TOML subset this crate parses without
+//! dependencies:
+//!
+//! ```toml
+//! # privtree-store catalog
+//! version = 1
+//!
+//! [[release]]
+//! key = "west"
+//! file = "west-6a8c3f21.ptbin"
+//! format = "binary"
+//! checksum = "crc32:8f1d3a2b"
+//! ```
+//!
+//! **Atomic publish**: every write — data file and manifest alike — goes
+//! to a `.tmp` sibling first and is then renamed into place, and the
+//! manifest is rewritten only *after* its data file landed. A crash at
+//! any point leaves either the old catalog or the new one, never a
+//! manifest pointing at a half-written release. Loads verify the
+//! whole-file checksum before decoding, so a torn or bit-rotted file is
+//! a typed error, not a wrong answer.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use privtree_spatial::grid_route::CellGrid;
+use privtree_spatial::serialize::{release_from_text, release_to_text};
+use privtree_spatial::FrozenSynopsis;
+
+use crate::format::{crc32, decode_release, encode_release, MAGIC};
+use crate::StoreError;
+
+/// The manifest file name inside a catalog directory.
+pub const MANIFEST_FILE: &str = "catalog.toml";
+
+/// Manifest schema version this crate reads and writes.
+const MANIFEST_VERSION: u64 = 1;
+
+/// On-disk representation of one release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseFormat {
+    /// `privtree-bin v1` (see [`crate::format`]).
+    Binary,
+    /// The line-oriented `privtree-synopsis v1` text format.
+    Text,
+}
+
+impl ReleaseFormat {
+    /// Manifest spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReleaseFormat::Binary => "binary",
+            ReleaseFormat::Text => "text",
+        }
+    }
+
+    /// File extension for new release files.
+    fn extension(self) -> &'static str {
+        match self {
+            ReleaseFormat::Binary => "ptbin",
+            ReleaseFormat::Text => "txt",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "binary" => Some(ReleaseFormat::Binary),
+            "text" => Some(ReleaseFormat::Text),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ReleaseFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One manifest entry: where a release lives and how to check it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// File name relative to the catalog directory.
+    pub file: String,
+    /// How the file is encoded.
+    pub format: ReleaseFormat,
+    /// CRC-32 of the whole file, verified before every decode.
+    pub checksum: u32,
+}
+
+/// An open catalog: the directory plus its parsed manifest.
+#[derive(Debug)]
+pub struct Catalog {
+    dir: PathBuf,
+    entries: BTreeMap<String, CatalogEntry>,
+}
+
+/// Map a release key to a filesystem-safe stem: keep `[A-Za-z0-9._-]`,
+/// replace the rest with `_`, and suffix the key's CRC-32 so distinct
+/// keys can never collide on disk after sanitization.
+fn file_stem(key: &str) -> String {
+    let safe: String = key
+        .chars()
+        .take(48)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{safe}-{:08x}", crc32(key.as_bytes()))
+}
+
+/// Escape a string for a double-quoted TOML value.
+fn toml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescape a double-quoted TOML value (the subset [`toml_escape`]
+/// emits).
+fn toml_unescape(s: &str, line: usize) -> Result<String, StoreError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            other => {
+                return Err(StoreError::Manifest {
+                    line,
+                    reason: format!("unsupported escape \\{}", other.unwrap_or(' ')),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Write `bytes` to `path` atomically **and durably**: `.tmp` sibling
+/// first, `fsync` it (so the data blocks are on disk before the rename
+/// can make them visible), rename into place, then `fsync` the parent
+/// directory so the rename itself survives power loss — without the
+/// directory sync, a crash can persist the rename while the file is
+/// still empty, exactly the torn state this module promises away.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    use std::io::Write as _;
+    let tmp = path.with_extension(format!(
+        "{}.tmp",
+        path.extension().and_then(|e| e.to_str()).unwrap_or("dat")
+    ));
+    let write_synced = || -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    };
+    write_synced().map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        StoreError::io(format!("write {}", tmp.display()), e)
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        StoreError::io(format!("rename {} into place", tmp.display()), e)
+    })?;
+    if let Some(parent) = path.parent() {
+        std::fs::File::open(parent)
+            .and_then(|dir| dir.sync_all())
+            .map_err(|e| StoreError::io(format!("sync directory {}", parent.display()), e))?;
+    }
+    Ok(())
+}
+
+impl Catalog {
+    /// Open an existing catalog: the directory must hold a manifest.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        let manifest = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest)
+            .map_err(|e| StoreError::io(format!("read {}", manifest.display()), e))?;
+        let entries = parse_manifest(&text)?;
+        Ok(Self { dir, entries })
+    }
+
+    /// Open a catalog, creating the directory and an empty manifest when
+    /// none exists yet.
+    pub fn open_or_create(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        if dir.join(MANIFEST_FILE).exists() {
+            return Self::open(dir);
+        }
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io(format!("create {}", dir.display()), e))?;
+        let catalog = Self {
+            dir,
+            entries: BTreeMap::new(),
+        };
+        catalog.write_manifest()?;
+        Ok(catalog)
+    }
+
+    /// The catalog directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of releases in the catalog.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog holds no releases.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Release keys in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|k| k.as_str())
+    }
+
+    /// The manifest entry for `key`, if any.
+    pub fn entry(&self, key: &str) -> Option<&CatalogEntry> {
+        self.entries.get(key)
+    }
+
+    /// Persist a release under `key`: encode in `format`, publish the
+    /// file atomically, then update the manifest. An existing entry for
+    /// `key` is replaced (its old file is removed if the name changed).
+    pub fn save(
+        &mut self,
+        key: &str,
+        arena: &FrozenSynopsis,
+        grid: Option<&CellGrid>,
+        format: ReleaseFormat,
+    ) -> Result<CatalogEntry, StoreError> {
+        let bytes = match format {
+            ReleaseFormat::Binary => encode_release(arena, grid),
+            ReleaseFormat::Text => release_to_text(arena, grid).into_bytes(),
+        };
+        self.publish(key, &bytes, format)
+    }
+
+    /// Ingest already-encoded release bytes under `key`, validating that
+    /// they decode cleanly first (so the catalog can never point at a
+    /// file its own loader rejects). This is how externally produced
+    /// releases — e.g. a text release converted with
+    /// [`crate::text_to_binary`] — enter a catalog.
+    pub fn import(
+        &mut self,
+        key: &str,
+        bytes: &[u8],
+        format: ReleaseFormat,
+    ) -> Result<CatalogEntry, StoreError> {
+        match format {
+            ReleaseFormat::Binary => {
+                decode_release(bytes)?;
+            }
+            ReleaseFormat::Text => {
+                let text = std::str::from_utf8(bytes).map_err(|_| {
+                    StoreError::Text(privtree_spatial::serialize::ParseError::MissingSection {
+                        section: "synopsis",
+                        reason: "text release is not valid UTF-8".into(),
+                    })
+                })?;
+                release_from_text(text)?;
+            }
+        }
+        self.publish(key, bytes, format)
+    }
+
+    /// Write the data file, then the manifest — both atomically.
+    fn publish(
+        &mut self,
+        key: &str,
+        bytes: &[u8],
+        format: ReleaseFormat,
+    ) -> Result<CatalogEntry, StoreError> {
+        let file = format!("{}.{}", file_stem(key), format.extension());
+        atomic_write(&self.dir.join(&file), bytes)?;
+        let entry = CatalogEntry {
+            file: file.clone(),
+            format,
+            checksum: crc32(bytes),
+        };
+        let previous = self.entries.insert(key.to_string(), entry.clone());
+        self.write_manifest()?;
+        if let Some(prev) = previous {
+            if prev.file != file {
+                let _ = std::fs::remove_file(self.dir.join(&prev.file));
+            }
+        }
+        Ok(entry)
+    }
+
+    /// Load the release stored under `key`, verifying the whole-file
+    /// checksum before decoding. Returns the same shape the serving
+    /// loaders use: the frozen arena plus the shipped grid, if any.
+    pub fn load(&self, key: &str) -> Result<(FrozenSynopsis, Option<CellGrid>), StoreError> {
+        let entry = self
+            .entries
+            .get(key)
+            .ok_or_else(|| StoreError::UnknownKey {
+                key: key.to_string(),
+            })?;
+        let path = self.dir.join(&entry.file);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| StoreError::io(format!("read {}", path.display()), e))?;
+        let found = crc32(&bytes);
+        if found != entry.checksum {
+            return Err(StoreError::ChecksumMismatch {
+                section: "file",
+                expected: entry.checksum,
+                found,
+            });
+        }
+        match entry.format {
+            ReleaseFormat::Binary => decode_release(&bytes),
+            ReleaseFormat::Text => {
+                let text = std::str::from_utf8(&bytes).map_err(|_| {
+                    StoreError::Text(privtree_spatial::serialize::ParseError::MissingSection {
+                        section: "synopsis",
+                        reason: "text release is not valid UTF-8".into(),
+                    })
+                })?;
+                Ok(release_from_text(text)?)
+            }
+        }
+    }
+
+    /// Load every release, in sorted key order — the warm-start path.
+    #[allow(clippy::type_complexity)]
+    pub fn load_all(&self) -> Result<Vec<(String, FrozenSynopsis, Option<CellGrid>)>, StoreError> {
+        self.entries
+            .keys()
+            .map(|key| {
+                let (arena, grid) = self.load(key)?;
+                Ok((key.clone(), arena, grid))
+            })
+            .collect()
+    }
+
+    /// Drop `key` from the catalog: manifest first (so a crash leaves an
+    /// orphan file, never a dangling entry), then the data file.
+    pub fn remove(&mut self, key: &str) -> Result<(), StoreError> {
+        let entry = self
+            .entries
+            .remove(key)
+            .ok_or_else(|| StoreError::UnknownKey {
+                key: key.to_string(),
+            })?;
+        self.write_manifest()?;
+        let _ = std::fs::remove_file(self.dir.join(&entry.file));
+        Ok(())
+    }
+
+    /// Render and atomically replace `catalog.toml`.
+    fn write_manifest(&self) -> Result<(), StoreError> {
+        let mut out = String::from("# privtree-store catalog\n");
+        out.push_str(&format!("version = {MANIFEST_VERSION}\n"));
+        for (key, entry) in &self.entries {
+            out.push_str(&format!(
+                "\n[[release]]\nkey = \"{}\"\nfile = \"{}\"\nformat = \"{}\"\nchecksum = \"crc32:{:08x}\"\n",
+                toml_escape(key),
+                toml_escape(&entry.file),
+                entry.format,
+                entry.checksum,
+            ));
+        }
+        atomic_write(&self.dir.join(MANIFEST_FILE), out.as_bytes())
+    }
+}
+
+/// Parse the manifest subset [`Catalog::write_manifest`] emits:
+/// comments, `version = N`, `[[release]]` table headers, and
+/// double-quoted `key = "value"` assignments.
+fn parse_manifest(text: &str) -> Result<BTreeMap<String, CatalogEntry>, StoreError> {
+    struct Partial {
+        line: usize,
+        key: Option<String>,
+        file: Option<String>,
+        format: Option<ReleaseFormat>,
+        checksum: Option<u32>,
+    }
+    let mut entries = BTreeMap::new();
+    let mut current: Option<Partial> = None;
+    let mut version: Option<u64> = None;
+
+    let finish = |p: Partial, entries: &mut BTreeMap<String, CatalogEntry>| {
+        let missing = |field: &str| StoreError::Manifest {
+            line: p.line,
+            reason: format!("[[release]] is missing {field}"),
+        };
+        let key = p.key.clone().ok_or_else(|| missing("key"))?;
+        let entry = CatalogEntry {
+            file: p.file.clone().ok_or_else(|| missing("file"))?,
+            format: p.format.ok_or_else(|| missing("format"))?,
+            checksum: p.checksum.ok_or_else(|| missing("checksum"))?,
+        };
+        if entries.insert(key.clone(), entry).is_some() {
+            return Err(StoreError::Manifest {
+                line: p.line,
+                reason: format!("duplicate release key {key}"),
+            });
+        }
+        Ok(())
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[release]]" {
+            if let Some(p) = current.take() {
+                finish(p, &mut entries)?;
+            }
+            current = Some(Partial {
+                line: line_no,
+                key: None,
+                file: None,
+                format: None,
+                checksum: None,
+            });
+            continue;
+        }
+        let (name, value) = line.split_once('=').ok_or_else(|| StoreError::Manifest {
+            line: line_no,
+            reason: format!("expected name = value, found: {line}"),
+        })?;
+        let (name, value) = (name.trim(), value.trim());
+        if current.is_none() {
+            if name == "version" {
+                let v: u64 = value.parse().map_err(|_| StoreError::Manifest {
+                    line: line_no,
+                    reason: format!("bad version {value}"),
+                })?;
+                if v != MANIFEST_VERSION {
+                    return Err(StoreError::Manifest {
+                        line: line_no,
+                        reason: format!("manifest version {v} is not supported"),
+                    });
+                }
+                version = Some(v);
+                continue;
+            }
+            return Err(StoreError::Manifest {
+                line: line_no,
+                reason: format!("unexpected top-level field {name}"),
+            });
+        }
+        let quoted = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| StoreError::Manifest {
+                line: line_no,
+                reason: format!("{name} value must be double-quoted"),
+            })?;
+        let value = toml_unescape(quoted, line_no)?;
+        let p = current.as_mut().expect("inside a [[release]] table");
+        match name {
+            "key" => p.key = Some(value),
+            "file" => p.file = Some(value),
+            "format" => {
+                p.format =
+                    Some(
+                        ReleaseFormat::parse(&value).ok_or_else(|| StoreError::Manifest {
+                            line: line_no,
+                            reason: format!("unknown format {value}"),
+                        })?,
+                    )
+            }
+            "checksum" => {
+                let hex = value
+                    .strip_prefix("crc32:")
+                    .ok_or_else(|| StoreError::Manifest {
+                        line: line_no,
+                        reason: format!("checksum must be crc32:<hex>, found {value}"),
+                    })?;
+                p.checksum =
+                    Some(
+                        u32::from_str_radix(hex, 16).map_err(|_| StoreError::Manifest {
+                            line: line_no,
+                            reason: format!("bad checksum hex {hex}"),
+                        })?,
+                    );
+            }
+            other => {
+                return Err(StoreError::Manifest {
+                    line: line_no,
+                    reason: format!("unknown release field {other}"),
+                })
+            }
+        }
+    }
+    if let Some(p) = current.take() {
+        finish(p, &mut entries)?;
+    }
+    if version.is_none() {
+        return Err(StoreError::Manifest {
+            line: 1,
+            reason: "no version field".into(),
+        });
+    }
+    Ok(entries)
+}
+
+/// Sniff whether `bytes` look like a `privtree-bin` file (vs text).
+pub fn looks_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_stems_are_safe_and_distinct() {
+        let a = file_stem("epoch/2026-07-27T00:00");
+        assert!(a
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')));
+        // sanitization collides, the checksum suffix does not
+        assert_ne!(file_stem("a/b"), file_stem("a:b"));
+        assert_eq!(file_stem("west"), file_stem("west"));
+    }
+
+    #[test]
+    fn manifest_round_trips_awkward_keys() {
+        let dir =
+            std::env::temp_dir().join(format!("privtree-catalog-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cat = Catalog::open_or_create(&dir).unwrap();
+        let tree = privtree_core::tree::Tree::with_root(privtree_spatial::Rect::unit(2));
+        let arena = FrozenSynopsis::from_tree(&tree, &[7.5], "leaf");
+        cat.save("we\"ird\\key", &arena, None, ReleaseFormat::Binary)
+            .unwrap();
+        let reopened = Catalog::open(&dir).unwrap();
+        assert_eq!(reopened.keys().collect::<Vec<_>>(), ["we\"ird\\key"]);
+        let (back, grid) = reopened.load("we\"ird\\key").unwrap();
+        assert!(grid.is_none());
+        assert_eq!(back.counts(), &[7.5]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_rejects_garbage() {
+        assert!(matches!(
+            parse_manifest("version = 1\nbogus = 3\n"),
+            Err(StoreError::Manifest { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_manifest("version = 2\n"),
+            Err(StoreError::Manifest { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_manifest("version = 1\n[[release]]\nkey = \"a\"\n"),
+            Err(StoreError::Manifest { .. })
+        ));
+        assert!(parse_manifest("version = 1\n").unwrap().is_empty());
+    }
+}

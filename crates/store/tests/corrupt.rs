@@ -1,0 +1,262 @@
+//! Decoder robustness: hostile `privtree-bin` bytes must always come
+//! back as a typed [`StoreError`] — never a panic, and never an
+//! allocation sized from an unvalidated header. The corruptions are
+//! table-driven: each case mutates a valid file and names the exact
+//! error variant the decoder must refuse with.
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::seeded;
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::grid_route::GridRoutedSynopsis;
+use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::FrozenSynopsis;
+use privtree_store::{decode_release, encode_release, StoreError, HEADER_LEN};
+use rand::RngExt;
+
+fn sample_release(seed: u64) -> FrozenSynopsis {
+    let mut rng = seeded(seed);
+    let mut ps = PointSet::new(2);
+    for _ in 0..800 {
+        ps.push(&[rng.random::<f64>() * 0.4, rng.random::<f64>()]);
+    }
+    privtree_spatial::synopsis::privtree_synopsis(
+        &ps,
+        Rect::unit(2),
+        SplitConfig::full(2),
+        Epsilon::new(1.0).unwrap(),
+        &mut seeded(seed ^ 7),
+    )
+    .unwrap()
+    .freeze()
+}
+
+/// A valid binary release without a grid.
+fn plain_bytes() -> Vec<u8> {
+    encode_release(&sample_release(3), None)
+}
+
+/// A valid binary release with a grid.
+fn gridded_bytes() -> Vec<u8> {
+    let engine = GridRoutedSynopsis::with_bins(sample_release(4), &[6, 5]).unwrap();
+    let (arena, grid) = engine.into_parts();
+    encode_release(&arena, Some(&grid))
+}
+
+/// Overwrite `len` bytes at `at` with `patch`.
+fn patched(mut bytes: Vec<u8>, at: usize, patch: &[u8]) -> Vec<u8> {
+    bytes[at..at + patch.len()].copy_from_slice(patch);
+    bytes
+}
+
+/// XOR-flip one byte.
+fn flipped(mut bytes: Vec<u8>, at: usize) -> Vec<u8> {
+    bytes[at] ^= 0xFF;
+    bytes
+}
+
+/// One corruption case: a label, the mutated bytes, and the acceptance
+/// predicate for the decoder's refusal.
+type Case = (&'static str, Vec<u8>, fn(&StoreError) -> bool);
+
+#[test]
+fn corrupt_inputs_are_typed_errors() {
+    let plain = plain_bytes();
+    let gridded = gridded_bytes();
+    // the first section's payload starts after the header + 12-byte
+    // section frame; its CRC sits 4 bytes before the next section
+    let first_payload = HEADER_LEN + 12;
+
+    let cases: Vec<Case> = vec![
+        ("empty file", Vec::new(), |e| {
+            matches!(e, StoreError::SizeMismatch { .. })
+        }),
+        (
+            "header torn mid-way",
+            plain[..HEADER_LEN / 2].to_vec(),
+            |e| matches!(e, StoreError::SizeMismatch { .. }),
+        ),
+        ("wrong magic", patched(plain.clone(), 0, b"NOTMYFMT"), |e| {
+            matches!(e, StoreError::BadMagic)
+        }),
+        (
+            "future version",
+            patched(plain.clone(), 8, &9u32.to_le_bytes()),
+            |e| matches!(e, StoreError::UnsupportedVersion { found: 9 }),
+        ),
+        (
+            "unknown flag bits",
+            patched(plain.clone(), 12, &0x80u32.to_le_bytes()),
+            |e| matches!(e, StoreError::BadHeader { .. }),
+        ),
+        (
+            "zero dims",
+            patched(plain.clone(), 16, &0u32.to_le_bytes()),
+            |e| matches!(e, StoreError::BadHeader { .. }),
+        ),
+        (
+            "dims past MAX_DIMS",
+            patched(plain.clone(), 16, &64u32.to_le_bytes()),
+            |e| matches!(e, StoreError::BadHeader { .. }),
+        ),
+        (
+            "reserved field set",
+            patched(plain.clone(), 20, &1u32.to_le_bytes()),
+            |e| matches!(e, StoreError::BadHeader { .. }),
+        ),
+        (
+            "zero nodes",
+            patched(plain.clone(), 24, &0u64.to_le_bytes()),
+            |e| matches!(e, StoreError::BadHeader { .. }),
+        ),
+        (
+            // the OOM guard: a header claiming 2^40 nodes implies a file
+            // size that disagrees with reality, and the decoder must say
+            // so before sizing any buffer from the count
+            "hostile node count",
+            patched(plain.clone(), 24, &(1u64 << 40).to_le_bytes()),
+            |e| matches!(e, StoreError::SizeMismatch { .. }),
+        ),
+        (
+            "overflowing node count",
+            patched(plain.clone(), 24, &u64::MAX.to_le_bytes()),
+            |e| {
+                matches!(
+                    e,
+                    StoreError::BadHeader { .. } | StoreError::SizeMismatch { .. }
+                )
+            },
+        ),
+        (
+            "cells without grid flag",
+            patched(plain.clone(), 32, &16u64.to_le_bytes()),
+            |e| matches!(e, StoreError::BadHeader { .. }),
+        ),
+        (
+            "grid flag with zero cells",
+            patched(
+                patched(gridded.clone(), 32, &0u64.to_le_bytes()),
+                12,
+                &1u32.to_le_bytes(),
+            ),
+            |e| matches!(e, StoreError::BadHeader { .. }),
+        ),
+        (
+            "truncated mid-section",
+            plain[..plain.len() - 21].to_vec(),
+            |e| matches!(e, StoreError::SizeMismatch { .. }),
+        ),
+        (
+            "trailing garbage",
+            {
+                let mut b = plain.clone();
+                b.extend_from_slice(b"extra");
+                b
+            },
+            |e| matches!(e, StoreError::SizeMismatch { .. }),
+        ),
+        (
+            "flipped payload byte",
+            flipped(plain.clone(), first_payload + 3),
+            |e| {
+                matches!(
+                    e,
+                    StoreError::ChecksumMismatch {
+                        section: "node-lo",
+                        ..
+                    }
+                )
+            },
+        ),
+        (
+            "flipped CRC byte",
+            // the node-lo CRC sits right after its payload
+            {
+                let nodes = {
+                    let mut a = [0u8; 8];
+                    a.copy_from_slice(&plain[24..32]);
+                    u64::from_le_bytes(a)
+                };
+                let crc_at = first_payload + (nodes as usize) * 2 * 8;
+                flipped(plain.clone(), crc_at)
+            },
+            |e| {
+                matches!(
+                    e,
+                    StoreError::ChecksumMismatch {
+                        section: "node-lo",
+                        ..
+                    }
+                )
+            },
+        ),
+        (
+            "flipped grid value byte",
+            flipped(gridded.clone(), gridded.len() - 7),
+            |e| {
+                matches!(
+                    e,
+                    StoreError::ChecksumMismatch {
+                        section: "grid-values",
+                        ..
+                    }
+                )
+            },
+        ),
+    ];
+
+    for (label, bytes, expect) in cases {
+        match decode_release(&bytes) {
+            Ok(_) => panic!("{label}: decoded corrupt input"),
+            Err(e) => assert!(expect(&e), "{label}: unexpected error {e:?}"),
+        }
+    }
+}
+
+/// Structural corruption *with a valid checksum* — the CRC is recomputed
+/// after the mutation, so only the layout validator can catch it.
+#[test]
+fn consistent_checksums_do_not_bless_bad_layouts() {
+    let arena = sample_release(9);
+    let n = arena.node_count();
+    let bytes = encode_release(&arena, None);
+    // break the child ranges: point the root's children past the arena.
+    // locate the first-child section: header + two f64 coord sections
+    let coords = n * arena.dims() * 8;
+    let fc_payload = HEADER_LEN + (12 + coords + 4) * 2 + 12;
+    let mut bad = bytes.clone();
+    bad[fc_payload..fc_payload + 4].copy_from_slice(&(n as u32).to_le_bytes());
+    // fix up the CRC so only layout validation can refuse
+    let crc = privtree_store::format::crc32(&bad[fc_payload..fc_payload + n * 4]);
+    let crc_at = fc_payload + n * 4;
+    bad[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+    match decode_release(&bad) {
+        Err(StoreError::Layout(_)) => {}
+        other => panic!("expected a layout refusal, got {other:?}"),
+    }
+
+    // and a grid whose anchors were re-checksummed after corruption must
+    // fail grid validation, not checksum validation
+    let engine = GridRoutedSynopsis::with_bins(sample_release(10), &[4, 4]).unwrap();
+    let (garena, grid) = engine.into_parts();
+    let gbytes = encode_release(&garena, Some(&grid));
+    let gn = garena.node_count();
+    let gcoords = gn * garena.dims() * 8;
+    // sections: lo, hi (f64*n*d), first, kids (u32*n), counts (f64*n), gbins (u32*d)
+    let anchors_payload = HEADER_LEN
+        + (12 + gcoords + 4) * 2
+        + (12 + gn * 4 + 4) * 2
+        + (12 + gn * 8 + 4)
+        + (12 + garena.dims() * 4 + 4)
+        + 12;
+    let mut gbad = gbytes.clone();
+    gbad[anchors_payload..anchors_payload + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let cells = grid.cells();
+    let gcrc = privtree_store::format::crc32(&gbad[anchors_payload..anchors_payload + cells * 4]);
+    let gcrc_at = anchors_payload + cells * 4;
+    gbad[gcrc_at..gcrc_at + 4].copy_from_slice(&gcrc.to_le_bytes());
+    match decode_release(&gbad) {
+        Err(StoreError::Grid(_)) => {}
+        other => panic!("expected a grid refusal, got {other:?}"),
+    }
+}

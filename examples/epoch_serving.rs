@@ -1,5 +1,6 @@
-//! Epoch-aware serving: run a `ReleaseStore` in-process, then hand the
-//! same releases to the `privtree-serve` binary.
+//! Epoch-aware serving: run a `ReleaseStore` in-process, persist it to
+//! an on-disk catalog, warm-start a second store from that catalog, and
+//! hand the same releases to the `privtree-serve` binary.
 //!
 //! ```sh
 //! cargo run --release --example epoch_serving
@@ -7,17 +8,19 @@
 //!
 //! The example builds two per-region PrivTree releases, serves them from
 //! an epoch store (snapshots are immutable; a swap rebuilds only the
-//! routing arena + the swapped shard's grid), and writes one release to
-//! disk in the `serialize` text format so you can drive the standalone
-//! binary with the printed commands:
+//! routing arena + the swapped shard's grid), persists every serving
+//! release into a `privtree-store` catalog (binary `privtree-bin v1`
+//! files behind a `catalog.toml` manifest, grids included), reopens the
+//! catalog cold and verifies the warm-started store answers the same
+//! bits, and finally prints the matching standalone-server commands:
 //!
 //! ```sh
 //! # build the server once
 //! cargo build --release -p privtree-engine
-//! # serve the release over stdin (one command per line):
+//! # warm-start straight from the catalog (save/load verbs enabled):
 //! printf 'count 0.1,0.1 0.4,0.9\nstats\nquit\n' | \
-//!   target/release/privtree-serve --grids west=/tmp/west-epoch0.txt
-//! # or over TCP:
+//!   target/release/privtree-serve --grids --catalog /tmp/privtree-catalog
+//! # or serve a single text release over TCP:
 //! target/release/privtree-serve --listen 127.0.0.1:4780 west=/tmp/west-epoch0.txt
 //! ```
 
@@ -32,6 +35,7 @@ use privtree_suite::spatial::query::{RangeCountSynopsis, RangeQuery};
 use privtree_suite::spatial::serialize::frozen_to_text;
 use privtree_suite::spatial::synopsis::privtree_synopsis;
 use privtree_suite::spatial::FrozenSynopsis;
+use privtree_suite::store::Catalog;
 
 /// An ε-DP release over one half of the domain for one epoch.
 fn region_release(
@@ -97,9 +101,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(held.answer(&q).to_bits(), held_answer.to_bits());
 
-    // 3. The same releases drive the standalone server: serialize one and
-    //    print the matching privtree-serve invocation (see the module
-    //    docs for the full protocol).
+    // 3. Persist the store: every serving release lands in an on-disk
+    //    catalog as a privtree-bin v1 file (grids included) behind an
+    //    atomically published catalog.toml manifest.
+    let catalog_dir = std::env::temp_dir().join("privtree-catalog");
+    let mut catalog = Catalog::open_or_create(&catalog_dir)?;
+    let saved = store.persist_catalog(&mut catalog)?;
+    println!(
+        "\npersisted {saved} release(s) into {} ({} entries: {})",
+        catalog_dir.display(),
+        catalog.len(),
+        catalog.keys().collect::<Vec<_>>().join(", ")
+    );
+
+    // 4. Warm start: reopen the catalog cold and rebuild the store from
+    //    disk alone. Binary decode is one validated pass (no per-line
+    //    parsing) and the shipped grids are adopted, not rebuilt — and
+    //    the answers are bit-identical to the store we persisted.
+    let reopened = Catalog::open(&catalog_dir)?;
+    let warm = ReleaseStore::open_catalog(&reopened, true)?;
+    assert_eq!(
+        warm.snapshot().answer(&q).to_bits(),
+        store.snapshot().answer(&q).to_bits(),
+        "a warm-started store must answer the persisted epoch's exact bits"
+    );
+    println!(
+        "warm-started {} release(s) from disk: answer = {:.1} (bit-identical), grids rebuilt: {}",
+        warm.snapshot().shard_count(),
+        warm.snapshot().answer(&q),
+        warm.stats().grids_built
+    );
+
+    // 5. The same artifacts drive the standalone server: a text release
+    //    for key=path serving, or the whole catalog via --catalog (which
+    //    also enables the save/load protocol verbs).
     let path = std::env::temp_dir().join("west-epoch0.txt");
     std::fs::write(&path, frozen_to_text(&region_release(&data, west, 0)?))?;
     println!("\nwrote {}; try:", path.display());
@@ -107,6 +142,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  printf 'count 0.1,0.1 0.4,0.9\\nstats\\nquit\\n' | \\\n    \
          target/release/privtree-serve --grids west={}",
         path.display()
+    );
+    println!(
+        "  printf 'keys\\nstats\\nquit\\n' | \\\n    \
+         target/release/privtree-serve --grids --catalog {}",
+        catalog_dir.display()
     );
     Ok(())
 }

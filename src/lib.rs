@@ -33,7 +33,14 @@
 //!   grid), publishes immutable `Snapshot`s readers load in two atomic
 //!   ops, and swaps/retires releases by rebuilding only the small
 //!   routing arena plus the touched shard's grid. The `privtree-serve`
-//!   binary serves a store over stdin or TCP.
+//!   binary serves a store over stdin or TCP, warm-starts from an
+//!   on-disk catalog (`--catalog`), and persists releases back to it.
+//! * [`store`] — release persistence: the `privtree-bin v1` binary
+//!   columnar format (length-prefixed, CRC-checksummed little-endian
+//!   sections; decodes in one validated pass with no per-line parsing)
+//!   and the on-disk release catalog (`catalog.toml` manifest, atomic
+//!   write-temp-then-rename publish). Binary and text loads of the same
+//!   release answer bit-identically.
 //! * [`svt`] — the four Sparse Vector Technique variants and the privacy
 //!   audits reproducing Lemma 5.1 and Appendix A.
 //! * [`datagen`] — seeded synthetic datasets standing in for the paper's
@@ -84,4 +91,5 @@ pub use privtree_eval as eval;
 pub use privtree_markov as markov;
 pub use privtree_runtime as runtime;
 pub use privtree_spatial as spatial;
+pub use privtree_store as store;
 pub use privtree_svt as svt;
