@@ -307,6 +307,55 @@ fn bench_serve(c: &mut Criterion) {
         black_box(decode_release(black_box(&gridded_binary)).unwrap());
     });
 
+    // ---- the mmap sub-lane: catalog warm start through the zero-copy
+    // path (map + header walk + whole-file CRC, columns borrowed from
+    // the page cache, grid left staged) against the owned catalog load
+    // (read + CRC + full decode + eager grid build) of the same gowalla
+    // release. Mapped answers must be bit-identical to owned answers. ----
+    use privtree_store::{Catalog, ReleaseFormat};
+    let mmap_dir = std::env::temp_dir().join(format!("privtree-bench-mmap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&mmap_dir);
+    let mut mmap_catalog = Catalog::open_or_create(&mmap_dir).expect("bench catalog");
+    mmap_catalog
+        .import("gowalla", &gridded_binary, ReleaseFormat::Binary)
+        .expect("import the gowalla release");
+    let mapped_release = mmap_catalog
+        .load_mapped("gowalla")
+        .expect("map the release");
+    let mmap_mapped_bytes = mapped_release.mapped_bytes;
+    drop(mapped_release);
+    {
+        let mapped = ReleaseStore::open_catalog_with(&mmap_catalog, true, true).unwrap();
+        let owned = ReleaseStore::open_catalog_with(&mmap_catalog, true, false).unwrap();
+        assert_bits_equal(
+            "load lane: mmap-served vs owned-load answers",
+            &owned.snapshot().synopsis().answer_batch_sequential(&medium),
+            &mapped
+                .snapshot()
+                .synopsis()
+                .answer_batch_sequential(&medium),
+        );
+    }
+    let mmap_open_secs = best_time(load_samples, || {
+        black_box(mmap_catalog.load_mapped("gowalla").unwrap());
+    });
+    let mmap_owned_load_secs = best_time(load_samples, || {
+        black_box(mmap_catalog.load("gowalla").unwrap());
+    });
+    // First query on a fresh mapped open: the one-time cost a cold
+    // replica actually pays, including the staged grid's lazy assembly.
+    let first_query = std::slice::from_ref(&medium[0]);
+    let mmap_first_query_secs = best_time(load_samples, || {
+        let store = ReleaseStore::open_catalog_with(&mmap_catalog, true, true).unwrap();
+        black_box(
+            store
+                .snapshot()
+                .synopsis()
+                .answer_batch_sequential(black_box(first_query)),
+        );
+    });
+    let _ = std::fs::remove_dir_all(&mmap_dir);
+
     // ---- the concurrent-TCP lane: an in-process privtree-serve
     // listener (gridded single-release store, thread per connection,
     // shared global pool) hammered by N client threads streaming batch
@@ -426,7 +475,14 @@ fn bench_serve(c: &mut Criterion) {
             "    \"gridded_binary_bytes\": {},\n",
             "    \"gridded_text_parse_secs\": {:.6},\n",
             "    \"gridded_binary_decode_secs\": {:.6},\n",
-            "    \"gridded_decode_speedup\": {:.2}\n",
+            "    \"gridded_decode_speedup\": {:.2},\n",
+            "    \"mmap\": {{\n",
+            "      \"mapped_bytes\": {},\n",
+            "      \"open_secs\": {:.6},\n",
+            "      \"owned_load_secs\": {:.6},\n",
+            "      \"first_query_secs\": {:.6},\n",
+            "      \"speedup_vs_owned_decode\": {:.2}\n",
+            "    }}\n",
             "  }},\n",
             "  \"concurrent_tcp\": {{\n",
             "    \"queries_per_batch\": {},\n",
@@ -470,6 +526,11 @@ fn bench_serve(c: &mut Criterion) {
         gridded_text_parse_secs,
         gridded_binary_decode_secs,
         gridded_text_parse_secs / gridded_binary_decode_secs,
+        mmap_mapped_bytes,
+        mmap_open_secs,
+        mmap_owned_load_secs,
+        mmap_first_query_secs,
+        mmap_owned_load_secs / mmap_open_secs,
         medium.len(),
         tcp_rounds,
         tcp_json,

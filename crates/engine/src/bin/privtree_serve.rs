@@ -12,14 +12,19 @@
 //! touched release's grid while in-flight readers keep their snapshot.
 //!
 //! ```text
-//! privtree-serve [--grids] [--listen ADDR] [--catalog DIR] <key=release>...
+//! privtree-serve [--grids] [--listen ADDR] [--catalog DIR]
+//!                [--mmap|--no-mmap] <key=release>...
 //! ```
 //!
 //! With `--catalog DIR` the process **warm-starts** from an on-disk
 //! release catalog (every cataloged release is served under its key,
 //! alongside any `key=path` arguments) and gains the `save <key>` /
 //! `load <key>` protocol verbs, which persist a serving release to the
-//! catalog and add-or-swap one back from it.
+//! catalog and add-or-swap one back from it. Catalog opens default to
+//! **zero-copy**: binary releases are memory-mapped straight out of the
+//! page cache, columns borrow the mapping, and shipped grids assemble
+//! lazily on first use — `--no-mmap` restores owned copying decodes
+//! (answers are bit-identical either way).
 //!
 //! The protocol itself lives in [`privtree_engine::serve`] (one command
 //! per line; a failed command answers `err <reason>` and the connection
@@ -34,18 +39,21 @@ use privtree_engine::ReleaseStore;
 use privtree_spatial::sharded::ShardHandle;
 use privtree_store::Catalog;
 
-const USAGE: &str =
-    "usage: privtree-serve [--grids] [--listen ADDR] [--catalog DIR] <key=release>...\n\
+const USAGE: &str = "usage: privtree-serve [--grids] [--listen ADDR] [--catalog DIR]\n\
+                     [--mmap|--no-mmap] <key=release>...\n\
                      releases are privtree-synopsis v1 text files or privtree-bin v1\n\
                      binary files (sniffed; an attached grid section is loaded instead\n\
                      of rebuilt); queries arrive over stdin, or over TCP with --listen;\n\
                      --catalog warm-starts from (and enables save/load against) an\n\
-                     on-disk release catalog";
+                     on-disk release catalog; --mmap (the default) serves catalog\n\
+                     releases zero-copy from a memory mapping, --no-mmap decodes them\n\
+                     into owned buffers";
 
 fn run() -> Result<(), String> {
     let mut grids = false;
     let mut listen: Option<String> = None;
     let mut catalog_dir: Option<String> = None;
+    let mut mmap = true;
     let mut releases: Vec<(String, ShardHandle)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,6 +65,8 @@ fn run() -> Result<(), String> {
             "--catalog" => {
                 catalog_dir = Some(args.next().ok_or("--catalog needs a directory")?);
             }
+            "--mmap" => mmap = true,
+            "--no-mmap" => mmap = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -74,8 +84,14 @@ fn run() -> Result<(), String> {
             let catalog = Catalog::open_or_create(dir).map_err(|e| e.to_string())?;
             // cataloged releases first; explicit key=path arguments may
             // not collide (the store refuses duplicates)
-            for (key, arena, grid) in catalog.load_all().map_err(|e| e.to_string())? {
-                releases.push((key, ShardHandle::from_release(arena, grid)));
+            if mmap {
+                for (key, loaded) in catalog.load_all_mapped().map_err(|e| e.to_string())? {
+                    releases.push((key, loaded.into_handle()));
+                }
+            } else {
+                for (key, arena, grid) in catalog.load_all().map_err(|e| e.to_string())? {
+                    releases.push((key, ShardHandle::from_release(arena, grid)));
+                }
             }
             Some(catalog)
         }
@@ -105,7 +121,8 @@ fn run() -> Result<(), String> {
     let ctx = match catalog {
         Some(catalog) => ServeContext::with_catalog(store, catalog),
         None => ServeContext::new(store),
-    };
+    }
+    .with_mmap(mmap);
     match listen {
         Some(addr) => {
             let (local, handle) = spawn_tcp(Arc::new(ctx), &addr)?;

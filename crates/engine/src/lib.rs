@@ -335,16 +335,40 @@ impl ReleaseStore {
     }
 
     /// Warm-start a store from an on-disk catalog: every release in the
-    /// catalog is loaded (binary entries in one decode pass; shipped
-    /// grids arrive prebuilt either way) and served under its catalog
-    /// key. `grids` behaves as in [`ReleaseStore::open_gridded`] —
-    /// releases that arrive without a grid get one built.
+    /// catalog is loaded and served under its catalog key. `grids`
+    /// behaves as in [`ReleaseStore::open_gridded`] — releases that
+    /// arrive without a grid get one built. Defaults to zero-copy mapped
+    /// opens; see [`ReleaseStore::open_catalog_with`].
     pub fn open_catalog(catalog: &Catalog, grids: bool) -> Result<Self, EngineError> {
-        let releases = catalog.load_all().map_err(EngineError::Store)?;
-        let handles = releases
-            .into_iter()
-            .map(|(key, arena, grid)| (key, ShardHandle::from_release(arena, grid)));
-        Self::build(handles, grids)
+        Self::open_catalog_with(catalog, grids, true)
+    }
+
+    /// [`ReleaseStore::open_catalog`] with the storage mode explicit.
+    /// With `mmap` true, binary releases are opened zero-copy: the file
+    /// is memory-mapped (owned read fallback when mapping is
+    /// unavailable), columns borrow the mapping, and shipped grids stay
+    /// *staged* until first use — the warm start costs map + validate
+    /// instead of a full decode, and answers are bit-identical either
+    /// way. With `mmap` false, every release is decoded into owned
+    /// buffers up front.
+    pub fn open_catalog_with(
+        catalog: &Catalog,
+        grids: bool,
+        mmap: bool,
+    ) -> Result<Self, EngineError> {
+        if mmap {
+            let releases = catalog.load_all_mapped().map_err(EngineError::Store)?;
+            let handles = releases
+                .into_iter()
+                .map(|(key, loaded)| (key, loaded.into_handle()));
+            Self::build(handles, grids)
+        } else {
+            let releases = catalog.load_all().map_err(EngineError::Store)?;
+            let handles = releases
+                .into_iter()
+                .map(|(key, arena, grid)| (key, ShardHandle::from_release(arena, grid)));
+            Self::build(handles, grids)
+        }
     }
 
     /// Persist every currently-serving release into `catalog` (binary

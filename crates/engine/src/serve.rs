@@ -54,6 +54,10 @@ pub struct ServeContext {
     /// The attached on-disk catalog, if any (`--catalog DIR`). Guarded:
     /// `save`/`load` may arrive on any connection thread.
     pub catalog: Option<Mutex<Catalog>>,
+    /// Whether runtime `load` verbs open catalog releases zero-copy
+    /// (memory-mapped, staged grids) instead of decoding into owned
+    /// buffers. Defaults on; `--no-mmap` turns it off.
+    pub mmap: bool,
 }
 
 impl ServeContext {
@@ -63,6 +67,7 @@ impl ServeContext {
         Self {
             store,
             catalog: None,
+            mmap: true,
         }
     }
 
@@ -71,7 +76,14 @@ impl ServeContext {
         Self {
             store,
             catalog: Some(Mutex::new(catalog)),
+            mmap: true,
         }
+    }
+
+    /// Set whether catalog `load` verbs open releases zero-copy.
+    pub fn with_mmap(mut self, mmap: bool) -> Self {
+        self.mmap = mmap;
+        self
     }
 }
 
@@ -188,11 +200,18 @@ fn load_verb(ctx: &ServeContext, key: &str) -> Result<SwapReport, String> {
         .catalog
         .as_ref()
         .ok_or("no catalog attached (start with --catalog DIR)")?;
-    let (arena, grid) = {
+    let handle = {
         let catalog = catalog.lock().unwrap_or_else(|e| e.into_inner());
-        catalog.load(key).map_err(|e| e.to_string())?
+        if ctx.mmap {
+            catalog
+                .load_mapped(key)
+                .map_err(|e| e.to_string())?
+                .into_handle()
+        } else {
+            let (arena, grid) = catalog.load(key).map_err(|e| e.to_string())?;
+            ShardHandle::from_release(arena, grid)
+        }
     };
-    let handle = ShardHandle::from_release(arena, grid);
     let serving = ctx.store.snapshot().keys().iter().any(|k| k == key);
     let op = if serving {
         ctx.store.swap(key, handle)
@@ -335,11 +354,25 @@ pub fn serve_lines(ctx: &ServeContext, mut input: impl BufRead, out: impl Write)
             "stats" => {
                 let snap = ctx.store.snapshot();
                 let stats = ctx.store.stats();
+                let shards = snap.synopsis().shards();
+                let mapped_bytes: usize = shards.iter().map(|s| s.mapped_bytes()).sum();
+                let storage: String = snap
+                    .keys()
+                    .iter()
+                    .zip(shards)
+                    .map(|(key, shard)| {
+                        if shard.is_mapped() {
+                            format!(" storage.{key}=mapped:{}", shard.mapped_bytes())
+                        } else {
+                            format!(" storage.{key}=owned")
+                        }
+                    })
+                    .collect();
                 reply(
                     &mut out,
                     format!(
                         "stats shards={} nodes={} dims={} version={} gridded={} \
-                         publishes={} grids_built={}",
+                         publishes={} grids_built={} mapped_bytes={mapped_bytes}{storage}",
                         snap.shard_count(),
                         snap.node_count(),
                         snap.dims(),

@@ -23,6 +23,22 @@ use rand::RngExt;
 
 const BIN: &str = env!("CARGO_BIN_EXE_privtree-serve");
 
+/// Storage mode under test: CI runs this suite twice, once with
+/// `PRIVTREE_SERVE_MMAP=0` (owned decodes) and once without (zero-copy
+/// mapped opens, the default) — the answers must be identical in both.
+fn mmap_mode() -> bool {
+    std::env::var("PRIVTREE_SERVE_MMAP").map_or(true, |v| v != "0")
+}
+
+/// The `privtree-serve` flag for the mode under test.
+fn mmap_flag() -> &'static str {
+    if mmap_mode() {
+        "--mmap"
+    } else {
+        "--no-mmap"
+    }
+}
+
 fn sample_release(domain: Rect, seed: u64, n: usize) -> FrozenSynopsis {
     let mut rng = seeded(seed);
     let mut ps = PointSet::new(2);
@@ -120,7 +136,7 @@ fn catalog_served_binary_matches_text_loaded_library() {
     input.push_str("keys\nquit\n");
 
     let output = Command::new(BIN)
-        .args(["--catalog", dir.0.to_str().unwrap()])
+        .args(["--catalog", dir.0.to_str().unwrap(), mmap_flag()])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -192,6 +208,7 @@ fn save_and_load_verbs_round_trip_through_the_catalog() {
         .args([
             "--catalog",
             dir.0.to_str().unwrap(),
+            mmap_flag(),
             &format!("east={}", east_path.display()),
         ])
         .stdin(Stdio::piped())
@@ -260,15 +277,69 @@ fn open_catalog_reproduces_a_persisted_store_exactly() {
     let mut catalog = Catalog::open_or_create(&dir.0).unwrap();
     assert_eq!(store.persist_catalog(&mut catalog).unwrap(), 3);
 
-    // reopen purely from disk
+    // reopen purely from disk, in the storage mode under test
     let reopened_catalog = Catalog::open(&dir.0).unwrap();
-    let warm = ReleaseStore::open_catalog(&reopened_catalog, true).unwrap();
+    let warm = ReleaseStore::open_catalog_with(&reopened_catalog, true, mmap_mode()).unwrap();
     let snap = warm.snapshot();
     assert_eq!(snap.keys(), store.snapshot().keys());
     // grids shipped with the releases: the warm open built none
     assert_eq!(warm.stats().grids_built, 0, "grids must come from disk");
+    if mmap_mode() && cfg!(all(unix, feature = "mmap")) {
+        for shard in snap.synopsis().shards() {
+            assert!(shard.is_mapped(), "catalog shards should be mapped");
+        }
+    }
     let got = snap.synopsis().answer_batch(&queries);
     for (a, b) in reference.iter().zip(&got) {
         assert_eq!(a.to_bits(), b.to_bits(), "warm-start answers diverged");
     }
+    // answering assembled any staged grids lazily — still not "built"
+    assert_eq!(warm.stats().grids_built, 0, "lazy assembly is not a build");
+}
+
+/// Zero-copy swap safety: snapshots borrowed from a mapped store keep
+/// answering — bit-identically — through swaps, retires, and even the
+/// removal of the release files themselves (the mapping pins the
+/// unlinked inodes until the last snapshot drops).
+#[test]
+fn mapped_snapshots_survive_swap_retire_and_file_removal() {
+    let strips: Vec<(String, FrozenSynopsis)> = (0..2)
+        .map(|i| {
+            let lo = i as f64 / 2.0;
+            let region = Rect::new(&[lo, 0.0], &[lo + 0.5, 1.0]);
+            (format!("strip{i}"), sample_release(region, 90 + i, 1500))
+        })
+        .collect();
+    let dir = TempDir::new("unlink");
+    let mut catalog = Catalog::open_or_create(&dir.0).unwrap();
+    for (key, arena) in &strips {
+        catalog
+            .save(key, arena, None, ReleaseFormat::Binary)
+            .unwrap();
+    }
+    let warm = ReleaseStore::open_catalog_with(&catalog, true, true).unwrap();
+    let queries = workload(120, 91);
+    let old_snap = warm.snapshot();
+    let reference = old_snap.synopsis().answer_batch(&queries);
+
+    // swap one shard, retire nothing yet — then delete every release
+    // file from under the store
+    let fresh = sample_release(Rect::new(&[0.0, 0.0], &[0.5, 1.0]), 97, 1500);
+    warm.swap("strip0", fresh).unwrap();
+    catalog.remove("strip0").unwrap();
+    catalog.remove("strip1").unwrap();
+    drop(catalog);
+    let _ = std::fs::remove_dir_all(&dir.0);
+
+    // the pre-swap snapshot still answers from the (unlinked) mappings
+    let again = old_snap.synopsis().answer_batch(&queries);
+    for (a, b) in reference.iter().zip(&again) {
+        assert_eq!(a.to_bits(), b.to_bits(), "old snapshot diverged");
+    }
+    // and the post-swap snapshot serves the surviving mapped shard plus
+    // the fresh owned one
+    let new_snap = warm.snapshot();
+    assert_eq!(new_snap.version(), 2);
+    let whole = RangeQuery::new(Rect::unit(2));
+    assert!(new_snap.answer(&whole).is_finite());
 }

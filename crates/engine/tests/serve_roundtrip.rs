@@ -162,7 +162,83 @@ fn stdin_round_trip_matches_library_answers() {
     let stats = lines.next().expect("stats line");
     assert!(stats.starts_with("stats shards=1 "), "stats line: {stats}");
     assert!(stats.contains("version=1"), "stats line: {stats}");
+    // key=path loads decode into process memory: storage reports owned
+    assert!(stats.contains(" mapped_bytes=0"), "stats line: {stats}");
+    assert!(
+        stats.contains(" storage.epoch0=owned"),
+        "stats line: {stats}"
+    );
     assert_eq!(lines.next(), None, "no unexpected trailing output");
+}
+
+/// The `stats` verb reports each release's storage mode: `mapped:<n>`
+/// (with the mapping's byte count) for zero-copy catalog opens, `owned`
+/// for copying loads — and `--no-mmap` forces everything owned.
+#[test]
+fn stats_reports_per_release_storage_mode() {
+    use privtree_store::{Catalog, ReleaseFormat};
+
+    let dir = std::env::temp_dir().join(format!("privtree-serve-storage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut catalog = Catalog::open_or_create(&dir).unwrap();
+    let frozen = sample_release(Rect::unit(2), 45, 2000);
+    catalog
+        .save("epoch0", &frozen, None, ReleaseFormat::Binary)
+        .unwrap();
+    let file_len = std::fs::metadata(dir.join(&catalog.entry("epoch0").unwrap().file))
+        .unwrap()
+        .len();
+    drop(catalog);
+
+    let run = |flag: &str| -> String {
+        let output = Command::new(BIN)
+            .args(["--catalog", dir.to_str().unwrap(), flag])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .and_then(|mut child| {
+                child
+                    .stdin
+                    .take()
+                    .expect("piped stdin")
+                    .write_all(b"stats\nquit\n")?;
+                child.wait_with_output()
+            })
+            .expect("run privtree-serve");
+        assert!(
+            output.status.success(),
+            "privtree-serve {flag} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout)
+            .expect("utf-8")
+            .trim()
+            .to_string()
+    };
+
+    let mapped_stats = run("--mmap");
+    if cfg!(all(unix, feature = "mmap")) {
+        assert!(
+            mapped_stats.contains(&format!(" mapped_bytes={file_len}")),
+            "mapped stats: {mapped_stats}"
+        );
+        assert!(
+            mapped_stats.contains(&format!(" storage.epoch0=mapped:{file_len}")),
+            "mapped stats: {mapped_stats}"
+        );
+    }
+
+    let owned_stats = run("--no-mmap");
+    assert!(
+        owned_stats.contains(" mapped_bytes=0"),
+        "owned stats: {owned_stats}"
+    );
+    assert!(
+        owned_stats.contains(" storage.epoch0=owned"),
+        "owned stats: {owned_stats}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A failed batch replies exactly one error line and leaves the stream

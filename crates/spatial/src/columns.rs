@@ -1,0 +1,290 @@
+//! Owned-or-borrowed column storage for frozen synopsis arrays.
+//!
+//! A [`Column<T>`] behaves exactly like a `Vec<T>` for readers — it
+//! derefs to `&[T]` with no per-access branching — but its elements can
+//! live in one of two places:
+//!
+//! * **Owned**: a plain `Vec<T>`, produced by the build path, text
+//!   loads, and the copying binary decoder.
+//! * **Borrowed**: a typed window into a byte buffer owned by an
+//!   `Arc<dyn StableBytes>` — typically a memory-mapped release file —
+//!   so the column is served straight from the page cache without ever
+//!   copying it into process-private memory.
+//!
+//! Validation (`from_flat_parts`, `CellGrid::from_parts`) runs on the
+//! dereferenced slice and is therefore identical for both storages.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Byte buffers whose storage address is stable for the lifetime of the
+/// value.
+///
+/// # Safety
+///
+/// Implementors guarantee that the slice returned by
+/// [`stable_bytes`](StableBytes::stable_bytes) points at the same
+/// allocation, with the same length and unchanged contents, for as long
+/// as the value exists — even if the value itself is moved. Heap-backed
+/// buffers (`Vec<u8>`, memory mappings) satisfy this; inline buffers
+/// (arrays stored by value) do not.
+pub unsafe trait StableBytes: Send + Sync + fmt::Debug + 'static {
+    /// The stable backing bytes.
+    fn stable_bytes(&self) -> &[u8];
+}
+
+// SAFETY: the Vec's heap allocation never moves while the Vec is alive,
+// and this impl is only reachable through an Arc, so the Vec is never
+// mutated after construction.
+unsafe impl StableBytes for Vec<u8> {
+    fn stable_bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Scalar types a [`Column`] may borrow from raw bytes.
+///
+/// Sealed to the plain-old-data scalars of the `privtree-bin` format:
+/// every bit pattern of the right width must be a valid value.
+pub trait ColumnScalar: Copy + Send + Sync + fmt::Debug + 'static + sealed::Sealed {}
+
+impl ColumnScalar for u32 {}
+impl ColumnScalar for f64 {}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for f64 {}
+}
+
+/// The error returned when a borrowed column window fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnError {
+    /// The requested window extends past the owner's bytes.
+    OutOfBounds,
+    /// The window start is not aligned for the scalar type.
+    Misaligned,
+}
+
+impl fmt::Display for ColumnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnError::OutOfBounds => write!(f, "borrowed column window out of bounds"),
+            ColumnError::Misaligned => write!(f, "borrowed column window misaligned"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnError {}
+
+enum Storage<T> {
+    Owned(Vec<T>),
+    /// Keeps the backing buffer alive; the data pointer/len cached on the
+    /// column point into it.
+    Borrowed(Arc<dyn StableBytes>),
+}
+
+/// A read-only column of scalars, either owned or borrowed from a stable
+/// byte buffer (see module docs).
+pub struct Column<T: ColumnScalar> {
+    ptr: *const T,
+    len: usize,
+    storage: Storage<T>,
+}
+
+// SAFETY: the pointee is either the column's own Vec or a buffer kept
+// alive by the Arc in `storage`; both are immutable and Send + Sync.
+unsafe impl<T: ColumnScalar> Send for Column<T> {}
+unsafe impl<T: ColumnScalar> Sync for Column<T> {}
+
+impl<T: ColumnScalar> Column<T> {
+    /// Wrap an owned vector.
+    pub fn owned(values: Vec<T>) -> Self {
+        let ptr = values.as_ptr();
+        let len = values.len();
+        Column {
+            ptr,
+            len,
+            storage: Storage::Owned(values),
+        }
+    }
+
+    /// Borrow `len` scalars starting at byte `offset` of `owner`'s
+    /// stable bytes.
+    ///
+    /// Checks bounds and alignment; the scalar itself is sealed to types
+    /// for which every bit pattern is valid, so on success the
+    /// reinterpretation is sound. Callers are responsible for byte-order:
+    /// this is a plain in-memory view, so little-endian on-disk columns
+    /// must only be borrowed on little-endian hosts.
+    pub fn borrowed(
+        owner: Arc<dyn StableBytes>,
+        offset: usize,
+        len: usize,
+    ) -> Result<Self, ColumnError> {
+        let bytes = owner.stable_bytes();
+        let width = std::mem::size_of::<T>();
+        let byte_len = len.checked_mul(width).ok_or(ColumnError::OutOfBounds)?;
+        let end = offset
+            .checked_add(byte_len)
+            .ok_or(ColumnError::OutOfBounds)?;
+        if end > bytes.len() {
+            return Err(ColumnError::OutOfBounds);
+        }
+        let ptr = bytes[offset..].as_ptr();
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(ColumnError::Misaligned);
+        }
+        Ok(Column {
+            ptr: ptr as *const T,
+            len,
+            storage: Storage::Borrowed(owner),
+        })
+    }
+
+    /// Whether this column borrows from an external buffer (as opposed
+    /// to owning its elements).
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.storage, Storage::Borrowed(_))
+    }
+
+    /// Copy the column into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[T] {
+        // SAFETY: `ptr`/`len` describe either the owned Vec's buffer or
+        // a validated window into the borrowed owner's stable bytes;
+        // both stay valid and immutable while `self` is alive. A
+        // zero-len owned column's `Vec::as_ptr` is non-null and aligned,
+        // as `from_raw_parts` requires.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T: ColumnScalar> Deref for Column<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: ColumnScalar> From<Vec<T>> for Column<T> {
+    fn from(values: Vec<T>) -> Self {
+        Column::owned(values)
+    }
+}
+
+impl<T: ColumnScalar> Clone for Column<T> {
+    fn clone(&self) -> Self {
+        match &self.storage {
+            // cloning a borrowed column is an Arc bump, not a copy
+            Storage::Borrowed(owner) => Column {
+                ptr: self.ptr,
+                len: self.len,
+                storage: Storage::Borrowed(Arc::clone(owner)),
+            },
+            Storage::Owned(values) => Column::owned(values.clone()),
+        }
+    }
+}
+
+impl<T: ColumnScalar> fmt::Debug for Column<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.storage {
+            Storage::Owned(_) => "owned",
+            Storage::Borrowed(_) => "borrowed",
+        };
+        write!(f, "Column<{kind}; len={}>", self.len)
+    }
+}
+
+impl<T: ColumnScalar + PartialEq> PartialEq for Column<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_column_derefs_to_its_elements() {
+        let col: Column<f64> = vec![1.0, 2.0, 3.0].into();
+        assert_eq!(&col[..], &[1.0, 2.0, 3.0]);
+        assert_eq!(col.len(), 3);
+        assert!(!col.is_borrowed());
+        let copy = col.clone();
+        assert_eq!(&copy[..], &col[..]);
+    }
+
+    #[test]
+    fn empty_owned_column_is_fine() {
+        let col: Column<u32> = Vec::new().into();
+        assert!(col.is_empty());
+        assert_eq!(col.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn borrowed_column_reads_the_owner_bytes() {
+        let mut bytes = Vec::new();
+        for v in [7u32, 8, 9, 10] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let owner: Arc<dyn StableBytes> = Arc::new(bytes);
+        let col = Column::<u32>::borrowed(Arc::clone(&owner), 4, 2).unwrap();
+        assert!(col.is_borrowed());
+        if cfg!(target_endian = "little") {
+            assert_eq!(&col[..], &[8, 9]);
+        }
+        // the clone shares the owner rather than copying
+        let copy = col.clone();
+        assert!(copy.is_borrowed());
+        assert_eq!(&copy[..], &col[..]);
+    }
+
+    #[test]
+    fn borrowed_column_checks_bounds_and_alignment() {
+        let owner: Arc<dyn StableBytes> = Arc::new(vec![0u8; 64]);
+        assert_eq!(
+            Column::<f64>::borrowed(Arc::clone(&owner), 0, 9).unwrap_err(),
+            ColumnError::OutOfBounds
+        );
+        assert_eq!(
+            Column::<u32>::borrowed(Arc::clone(&owner), 63, 1).unwrap_err(),
+            ColumnError::OutOfBounds
+        );
+        assert_eq!(
+            Column::<u32>::borrowed(Arc::clone(&owner), usize::MAX, 1).unwrap_err(),
+            ColumnError::OutOfBounds
+        );
+        // a Vec<u8> is 1-aligned, so some offset within it must be
+        // misaligned for u32
+        let base = owner.stable_bytes().as_ptr() as usize;
+        let misaligned = (4 - (base % 4) + 1) % 4 + 1;
+        assert_eq!(
+            Column::<u32>::borrowed(Arc::clone(&owner), misaligned, 1).unwrap_err(),
+            ColumnError::Misaligned
+        );
+    }
+
+    #[test]
+    fn borrowed_column_keeps_the_owner_alive() {
+        let mut bytes = Vec::new();
+        for v in [1.5f64, -2.5, 4.25] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let col = {
+            let owner: Arc<dyn StableBytes> = Arc::new(bytes);
+            Column::<f64>::borrowed(owner, 0, 3).unwrap()
+        };
+        if cfg!(target_endian = "little") {
+            assert_eq!(&col[..], &[1.5, -2.5, 4.25]);
+        }
+    }
+}

@@ -29,6 +29,7 @@ use std::cell::RefCell;
 use privtree_core::tree::{NodeId, Tree};
 use privtree_runtime::WorkerPool;
 
+use crate::columns::Column;
 use crate::geom::Rect;
 use crate::query::{RangeCountSynopsis, RangeQuery};
 use crate::synopsis::SpatialSynopsis;
@@ -195,15 +196,15 @@ pub(crate) enum Overlap {
 pub struct FrozenSynopsis {
     dims: usize,
     /// Lower corners, packed `dims` coordinates per node.
-    lo: Vec<f64>,
+    lo: Column<f64>,
     /// Upper corners, packed `dims` coordinates per node.
-    hi: Vec<f64>,
+    hi: Column<f64>,
     /// Arena index of each node's first child (0 for leaves).
-    first_child: Vec<u32>,
+    first_child: Column<u32>,
     /// Number of children (0 for leaves).
-    child_count: Vec<u32>,
+    child_count: Column<u32>,
     /// Released per-node counts, arena order.
-    counts: Vec<f64>,
+    counts: Column<f64>,
     label: &'static str,
 }
 
@@ -236,11 +237,11 @@ impl FrozenSynopsis {
         }
         Self {
             dims,
-            lo,
-            hi,
-            first_child,
-            child_count,
-            counts: counts.to_vec(),
+            lo: lo.into(),
+            hi: hi.into(),
+            first_child: first_child.into(),
+            child_count: child_count.into(),
+            counts: counts.to_vec().into(),
             label,
         }
     }
@@ -298,6 +299,16 @@ impl FrozenSynopsis {
         &self.hi
     }
 
+    /// Whether any column borrows external storage (a mapped release
+    /// file) instead of owning its elements.
+    pub fn borrows_storage(&self) -> bool {
+        self.lo.is_borrowed()
+            || self.hi.is_borrowed()
+            || self.first_child.is_borrowed()
+            || self.child_count.is_borrowed()
+            || self.counts.is_borrowed()
+    }
+
     /// Assemble a frozen synopsis from untrusted flat arrays, validating
     /// every structural invariant the read path relies on: array lengths,
     /// finite `lo <= hi` boxes, and child ranges that are contiguous,
@@ -306,16 +317,23 @@ impl FrozenSynopsis {
     /// [`FrozenSynopsis::from_tree`] produces). This is the deserializer
     /// entry point — a corrupt file becomes a [`FlatLayoutError`], never
     /// a panic inside a traversal.
+    ///
+    /// The arrays may be owned `Vec`s or [`Column`]s borrowing a mapped
+    /// release file — validation reads through the same slice view
+    /// either way.
     #[allow(clippy::too_many_arguments)]
     pub fn from_flat_parts(
         dims: usize,
-        lo: Vec<f64>,
-        hi: Vec<f64>,
-        first_child: Vec<u32>,
-        child_count: Vec<u32>,
-        counts: Vec<f64>,
+        lo: impl Into<Column<f64>>,
+        hi: impl Into<Column<f64>>,
+        first_child: impl Into<Column<u32>>,
+        child_count: impl Into<Column<u32>>,
+        counts: impl Into<Column<f64>>,
         label: &'static str,
     ) -> Result<Self, FlatLayoutError> {
+        let (lo, hi) = (lo.into(), hi.into());
+        let (first_child, child_count) = (first_child.into(), child_count.into());
+        let counts = counts.into();
         let n = counts.len();
         if n == 0 {
             return Err(FlatLayoutError::Empty);
@@ -411,13 +429,16 @@ impl FrozenSynopsis {
     /// sharded re-layout builds sub-arenas this way).
     pub(crate) fn from_raw(
         dims: usize,
-        lo: Vec<f64>,
-        hi: Vec<f64>,
-        first_child: Vec<u32>,
-        child_count: Vec<u32>,
-        counts: Vec<f64>,
+        lo: impl Into<Column<f64>>,
+        hi: impl Into<Column<f64>>,
+        first_child: impl Into<Column<u32>>,
+        child_count: impl Into<Column<u32>>,
+        counts: impl Into<Column<f64>>,
         label: &'static str,
     ) -> Self {
+        let (lo, hi) = (lo.into(), hi.into());
+        let (first_child, child_count) = (first_child.into(), child_count.into());
+        let counts = counts.into();
         debug_assert_eq!(lo.len(), counts.len() * dims);
         debug_assert_eq!(hi.len(), counts.len() * dims);
         debug_assert_eq!(first_child.len(), counts.len());
@@ -455,7 +476,7 @@ impl FrozenSynopsis {
                 "frozen child ranges are not a valid arena layout"
             );
         }
-        SpatialSynopsis::from_parts(tree, self.counts.clone(), self.label)
+        SpatialSynopsis::from_parts(tree, self.counts.to_vec(), self.label)
     }
 
     /// Case 1 vs case 2 vs cases 3/4 of the Section 2.2 traversal for

@@ -51,6 +51,7 @@
 
 use privtree_runtime::WorkerPool;
 
+use crate::columns::Column;
 #[cfg(feature = "parallel")]
 use crate::frozen::BATCH_PARALLEL_THRESHOLD;
 use crate::frozen::{dispatch_batch, with_query_scratch, FrozenSynopsis};
@@ -212,7 +213,7 @@ pub struct CellGrid {
     geo: Geometry,
     /// Per cell (row-major): arena index of the deepest node whose box
     /// fully covers the cell.
-    anchors: Vec<u32>,
+    anchors: Column<u32>,
     /// The same anchors in reversed layout (dimension 0 fastest), so
     /// boundary-shell run scans stay contiguous whichever dimension the
     /// run follows. Derived from `anchors` — never serialized.
@@ -220,7 +221,7 @@ pub struct CellGrid {
     /// Per cell: the decomposition's exact traversal answer for the cell
     /// box (kept alongside the table so serialization round-trips
     /// bit-exactly).
-    values: Vec<f64>,
+    values: Column<f64>,
     /// Per cell (row-major): the anchor's released count when the anchor
     /// is a leaf with positive volume, else unused. With `leaf_vol`,
     /// this keeps the leaf fast path entirely inside grid-local arrays —
@@ -275,7 +276,7 @@ impl CellGrid {
             None => work(0..cells),
         };
         let (anchors, values): (Vec<u32>, Vec<f64>) = per_cell.into_iter().unzip();
-        Ok(Self::assemble(frozen, geo, anchors, values))
+        Ok(Self::assemble(frozen, geo, anchors.into(), values.into()))
     }
 
     /// Re-assemble a grid from persisted parts, validating that the
@@ -283,13 +284,15 @@ impl CellGrid {
     /// summed-area table is rebuilt deterministically from `values`, so
     /// a deserialized grid answers bit-identically to the one that was
     /// serialized. This is the entry point for every release loader
-    /// (text and binary alike).
+    /// (text and binary alike). The columns may be owned `Vec`s or
+    /// [`Column`]s borrowing a mapped release file.
     pub fn from_parts(
         frozen: &FrozenSynopsis,
         bins: &[usize],
-        anchors: Vec<u32>,
-        values: Vec<f64>,
+        anchors: impl Into<Column<u32>>,
+        values: impl Into<Column<f64>>,
     ) -> Result<Self, GridRouteError> {
+        let (anchors, values) = (anchors.into(), values.into());
         let geo = Self::geometry(frozen, bins)?;
         check_consistency(frozen)?;
         let cells = geo.cells();
@@ -352,8 +355,8 @@ impl CellGrid {
     fn assemble(
         frozen: &FrozenSynopsis,
         geo: Geometry,
-        anchors: Vec<u32>,
-        values: Vec<f64>,
+        anchors: Column<u32>,
+        values: Column<f64>,
     ) -> Self {
         let (sat, sat_strides) = build_sat(&geo.bins, &values);
         let d = geo.dims();
@@ -661,13 +664,14 @@ impl CellGrid {
                 // scan whichever anchor layout is contiguous along the
                 // run (both hold identical values, so the grouping — and
                 // therefore every answer — is the same either way)
-                let (scan, scan_stride, use_rev) = if self.geo.strides[run_dim] == 1 {
-                    (&self.anchors, 1usize, false)
-                } else if self.geo.rev_strides[run_dim] == 1 {
-                    (&self.anchors_rev, 1usize, true)
-                } else {
-                    (&self.anchors, self.geo.strides[run_dim], false)
-                };
+                let (scan, scan_stride, use_rev): (&[u32], usize, bool) =
+                    if self.geo.strides[run_dim] == 1 {
+                        (&self.anchors, 1, false)
+                    } else if self.geo.rev_strides[run_dim] == 1 {
+                        (&self.anchors_rev, 1, true)
+                    } else {
+                        (&self.anchors, self.geo.strides[run_dim], false)
+                    };
                 'rows: loop {
                     // one contiguous run of cells along run_dim
                     let mut idx_base = 0usize; // scan-layout base
@@ -987,6 +991,61 @@ fn build_sat(bins: &[usize], values: &[f64]) -> (Vec<f64>, Vec<usize>) {
         }
     }
     (sat, sat_strides)
+}
+
+/// The persisted columns of a [`CellGrid`], staged for later assembly.
+///
+/// A zero-copy release open validates the arena eagerly but defers
+/// [`CellGrid::from_parts`] — the dominant cost of a gridded decode — to
+/// the moment the grid is first needed. Until then the grid's anchors and
+/// values stay as [`Column`]s (typically borrowing the mapped file), and
+/// [`CellGridParts::assemble`] turns them into a fully validated grid.
+#[derive(Debug, Clone)]
+pub struct CellGridParts {
+    bins: Vec<usize>,
+    anchors: Column<u32>,
+    values: Column<f64>,
+}
+
+impl CellGridParts {
+    /// Stage grid columns for later assembly.
+    pub fn new(
+        bins: Vec<usize>,
+        anchors: impl Into<Column<u32>>,
+        values: impl Into<Column<f64>>,
+    ) -> Self {
+        CellGridParts {
+            bins,
+            anchors: anchors.into(),
+            values: values.into(),
+        }
+    }
+
+    /// Cells per dimension.
+    pub fn bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Per-cell anchors, row-major.
+    pub fn anchors(&self) -> &[u32] {
+        &self.anchors
+    }
+
+    /// Per-cell exact traversal answers, row-major.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Run full [`CellGrid::from_parts`] validation + assembly against
+    /// `frozen`. Borrowed columns are cloned by Arc bump, not copied.
+    pub fn assemble(&self, frozen: &FrozenSynopsis) -> Result<CellGrid, GridRouteError> {
+        CellGrid::from_parts(
+            frozen,
+            &self.bins,
+            self.anchors.clone(),
+            self.values.clone(),
+        )
+    }
 }
 
 /// A frozen release plus its cell grid: the grid-routed serving engine.

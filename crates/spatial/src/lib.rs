@@ -2,6 +2,9 @@
 //! (Sections 2.2, 3, and 6.1 of the paper).
 //!
 //! * [`geom`] — d-dimensional axis-aligned rectangles (half-open boxes).
+//! * [`columns`] — owned-or-borrowed column storage ([`columns::Column`])
+//!   backing the frozen arrays, so releases can be served either from
+//!   process-owned `Vec`s or zero-copy from memory-mapped catalog files.
 //! * [`dataset`] — flat point storage with bounding boxes.
 //! * [`index`] — a bucket-grid index for *exact* range counts (ground truth
 //!   for the 10,000-query workloads of Section 6.1).
@@ -32,6 +35,7 @@
 //!   (Section 3.4) or SimpleTree with its own per-node counts, answered
 //!   with the 4-case top-down traversal of Section 2.2.
 
+pub mod columns;
 pub mod dataset;
 pub mod frozen;
 pub mod geom;
@@ -43,10 +47,11 @@ pub mod serialize;
 pub mod sharded;
 pub mod synopsis;
 
+pub use columns::{Column, ColumnError, ColumnScalar, StableBytes};
 pub use dataset::PointSet;
 pub use frozen::{FlatLayoutError, FrozenSynopsis};
 pub use geom::Rect;
-pub use grid_route::{CellGrid, GridRouteError, GridRoutedSynopsis};
+pub use grid_route::{CellGrid, CellGridParts, GridRouteError, GridRoutedSynopsis};
 pub use index::GridIndex;
 pub use quadtree::{QuadDomain, QuadNode, SplitConfig};
 pub use query::{RangeCountSynopsis, RangeQuery};

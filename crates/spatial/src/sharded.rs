@@ -51,7 +51,7 @@
 //! reassociation error (≤ 1e-9 relative; the bit-identity pin applies to
 //! the *ungridded* configuration).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use privtree_runtime::WorkerPool;
 
@@ -59,7 +59,7 @@ use privtree_runtime::WorkerPool;
 use crate::frozen::BATCH_PARALLEL_THRESHOLD;
 use crate::frozen::{with_query_scratch, FrozenSynopsis, Overlap};
 use crate::geom::Rect;
-use crate::grid_route::{CellGrid, GridRouteError, GridRoutedSynopsis};
+use crate::grid_route::{CellGrid, CellGridParts, GridRouteError, GridRoutedSynopsis};
 use crate::query::{RangeCountSynopsis, RangeQuery};
 
 /// Sentinel in `shard_ref` for top nodes not backed by a shard.
@@ -106,6 +106,24 @@ impl std::error::Error for ShardError {}
 pub struct ShardHandle {
     arena: Arc<FrozenSynopsis>,
     grid: Option<Arc<CellGrid>>,
+    /// Grid columns shipped with a zero-copy release open, assembled
+    /// into a [`CellGrid`] at most once, on first use. Shared across
+    /// handle clones so snapshots taken before and after the first query
+    /// route through the same grid.
+    staged: Option<Arc<StagedGrid>>,
+    /// Bytes of the memory mapping backing this shard's release file, or
+    /// 0 when the release is process-owned.
+    mapped_bytes: usize,
+}
+
+/// A staged grid: persisted columns plus the once-assembled result.
+#[derive(Debug)]
+struct StagedGrid {
+    parts: CellGridParts,
+    /// `None` inside the lock means assembly was attempted and failed
+    /// (possible only for releases that bypassed eager validation); the
+    /// shard then serves plain arena descents, which are exact.
+    assembled: OnceLock<Option<Arc<CellGrid>>>,
 }
 
 impl ShardHandle {
@@ -116,7 +134,12 @@ impl ShardHandle {
 
     /// Wrap an already-shared arena as an ungridded shard.
     pub fn from_arc(arena: Arc<FrozenSynopsis>) -> Self {
-        Self { arena, grid: None }
+        Self {
+            arena,
+            grid: None,
+            staged: None,
+            mapped_bytes: 0,
+        }
     }
 
     /// Wrap a loaded release — arena plus optional shipped grid — as a
@@ -140,15 +163,46 @@ impl ShardHandle {
         Self {
             arena: Arc::new(arena),
             grid: Some(Arc::new(grid)),
+            staged: None,
+            mapped_bytes: 0,
         }
     }
 
+    /// Wrap a zero-copy release open: the arena (already validated) plus
+    /// optionally the persisted grid columns, whose
+    /// [`CellGrid::from_parts`] assembly is deferred until the grid is
+    /// first used (see [`ShardHandle::grid`]).
+    pub fn from_staged(arena: FrozenSynopsis, staged: Option<CellGridParts>) -> Self {
+        Self {
+            arena: Arc::new(arena),
+            grid: None,
+            staged: staged.map(|parts| {
+                Arc::new(StagedGrid {
+                    parts,
+                    assembled: OnceLock::new(),
+                })
+            }),
+            mapped_bytes: 0,
+        }
+    }
+
+    /// Record the size of the memory mapping backing this shard's
+    /// release (0 = process-owned storage).
+    pub fn with_mapped_bytes(mut self, bytes: usize) -> Self {
+        self.mapped_bytes = bytes;
+        self
+    }
+
     /// Build this shard's [`CellGrid`] at the default resolution (on
-    /// `pool` when given) unless one is already attached. Returns whether
+    /// `pool` when given) unless one is already attached or staged. A
+    /// staged grid shipped with the release stays staged — it assembles
+    /// on first use (see [`ShardHandle::grid`]), which is what keeps a
+    /// zero-copy catalog warm start O(map + validate) — and counts as
+    /// *not built*, exactly like a grid decoded eagerly. Returns whether
     /// a grid was built — the lifecycle layer's instrumentation counts
     /// these to prove a swap rebuilt only the touched shard.
     pub fn ensure_grid(&mut self, pool: Option<&WorkerPool>) -> Result<bool, GridRouteError> {
-        if self.grid.is_some() {
+        if self.grid.is_some() || self.staged.is_some() {
             return Ok(false);
         }
         let bins = GridRoutedSynopsis::default_bins(&self.arena);
@@ -159,6 +213,7 @@ impl ShardHandle {
     /// Detach the grid, keeping the plain arena.
     pub fn drop_grid(&mut self) {
         self.grid = None;
+        self.staged = None;
     }
 
     /// The shard's frozen arena.
@@ -171,9 +226,32 @@ impl ShardHandle {
         &self.arena
     }
 
-    /// The shard's routing grid, when attached.
+    /// The shard's routing grid, when attached or staged.
+    ///
+    /// A staged grid (zero-copy open) is assembled here on first call —
+    /// every later call, on this handle or any clone, returns the same
+    /// `Arc`. If assembly fails the shard answers through plain arena
+    /// descents (exact, just slower), mirroring an ungridded release.
     pub fn grid(&self) -> Option<&Arc<CellGrid>> {
-        self.grid.as_ref()
+        if let Some(grid) = self.grid.as_ref() {
+            return Some(grid);
+        }
+        let staged = self.staged.as_ref()?;
+        staged
+            .assembled
+            .get_or_init(|| staged.parts.assemble(&self.arena).ok().map(Arc::new))
+            .as_ref()
+    }
+
+    /// Bytes of the memory mapping backing this shard's release file
+    /// (0 when the release is process-owned).
+    pub fn mapped_bytes(&self) -> usize {
+        self.mapped_bytes
+    }
+
+    /// Whether this shard serves from a memory-mapped release file.
+    pub fn is_mapped(&self) -> bool {
+        self.mapped_bytes > 0
     }
 }
 

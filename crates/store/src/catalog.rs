@@ -38,7 +38,14 @@ use privtree_spatial::grid_route::CellGrid;
 use privtree_spatial::serialize::{release_from_text, release_to_text};
 use privtree_spatial::FrozenSynopsis;
 
+use std::sync::Arc;
+
+use privtree_spatial::grid_route::CellGridParts;
+use privtree_spatial::sharded::ShardHandle;
+use privtree_spatial::StableBytes;
+
 use crate::format::{crc32, decode_release, encode_release, MAGIC};
+use crate::view::{open_release_view, ReleaseBytes};
 use crate::StoreError;
 
 /// The manifest file name inside a catalog directory.
@@ -97,6 +104,48 @@ pub struct CatalogEntry {
     pub format: ReleaseFormat,
     /// CRC-32 of the whole file, verified before every decode.
     pub checksum: u32,
+}
+
+/// A release opened by [`Catalog::load_mapped`]: the validated arena
+/// (columns borrowing the mapping when storage is zero-copy) plus the
+/// grid in whichever form the load produced — eager for copying paths,
+/// staged for zero-copy opens. Convert to a serving handle with
+/// [`LoadedRelease::into_handle`].
+#[derive(Debug)]
+pub struct LoadedRelease {
+    /// The validated frozen arena.
+    pub arena: FrozenSynopsis,
+    /// An eagerly assembled grid (text loads and copy fallbacks).
+    pub grid: Option<CellGrid>,
+    /// Persisted grid columns awaiting first-use assembly (zero-copy
+    /// opens). At most one of `grid` / `staged_grid` is `Some`.
+    pub staged_grid: Option<CellGridParts>,
+    /// Bytes held by a memory mapping backing the columns (0 when the
+    /// storage is owned).
+    pub mapped_bytes: usize,
+}
+
+impl LoadedRelease {
+    /// Whether the release's columns borrow a memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.mapped_bytes > 0
+    }
+
+    /// Convert into a serving [`ShardHandle`], preserving the storage
+    /// mode and the staged-vs-eager grid state.
+    pub fn into_handle(self) -> ShardHandle {
+        let handle = match self.grid {
+            Some(grid) => ShardHandle::with_prebuilt_grid(self.arena, grid),
+            None => ShardHandle::from_staged(self.arena, self.staged_grid),
+        };
+        handle.with_mapped_bytes(self.mapped_bytes)
+    }
+}
+
+impl From<LoadedRelease> for ShardHandle {
+    fn from(release: LoadedRelease) -> Self {
+        release.into_handle()
+    }
 }
 
 /// An open catalog: the directory plus its parsed manifest.
@@ -366,6 +415,62 @@ impl Catalog {
                 let (arena, grid) = self.load(key)?;
                 Ok((key.clone(), arena, grid))
             })
+            .collect()
+    }
+
+    /// Load the release stored under `key` with zero-copy storage when
+    /// possible: binary releases are memory-mapped (falling back to an
+    /// owned read when the `mmap` feature is off or mapping fails), the
+    /// whole-file checksum is verified against the manifest, and the
+    /// columns borrow the mapping in place. The grid, when shipped, is
+    /// *staged* rather than assembled, so opening is O(map + validate);
+    /// `ShardHandle` assembles it on first use. Text releases fall back
+    /// to the copying [`Catalog::load`] path.
+    pub fn load_mapped(&self, key: &str) -> Result<LoadedRelease, StoreError> {
+        let entry = self
+            .entries
+            .get(key)
+            .ok_or_else(|| StoreError::UnknownKey {
+                key: key.to_string(),
+            })?;
+        if entry.format == ReleaseFormat::Text {
+            let (arena, grid) = self.load(key)?;
+            return Ok(LoadedRelease {
+                arena,
+                grid,
+                staged_grid: None,
+                mapped_bytes: 0,
+            });
+        }
+        let path = self.dir.join(&entry.file);
+        let owner = ReleaseBytes::map(&path)?;
+        let found = crc32(owner.bytes());
+        if found != entry.checksum {
+            return Err(StoreError::ChecksumMismatch {
+                section: "file",
+                expected: entry.checksum,
+                found,
+            });
+        }
+        let mapped_bytes = owner.mapped_len();
+        let owner: Arc<dyn StableBytes> = Arc::new(owner);
+        // the whole-file CRC above already covers every section byte, so
+        // the open skips the per-section CRC pass
+        let view = open_release_view(&owner, false)?;
+        Ok(LoadedRelease {
+            arena: view.arena,
+            grid: None,
+            staged_grid: view.grid,
+            mapped_bytes,
+        })
+    }
+
+    /// [`Catalog::load_mapped`] for every release, in sorted key order —
+    /// the zero-copy warm-start path.
+    pub fn load_all_mapped(&self) -> Result<Vec<(String, LoadedRelease)>, StoreError> {
+        self.entries
+            .keys()
+            .map(|key| Ok((key.clone(), self.load_mapped(key)?)))
             .collect()
     }
 

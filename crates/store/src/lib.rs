@@ -23,6 +23,15 @@
 //!   whole-file checksum. Every publish (data file and manifest alike)
 //!   is write-temp-then-rename, so a crashed writer can never leave a
 //!   half-written catalog behind.
+//! * [`view`] — **zero-copy loading**: [`ReleaseBytes`] memory-maps a
+//!   release file (read-only, falling back to an owned read when the
+//!   `mmap` feature is off or mapping fails) and
+//!   [`open_release_view`] validates the header and sections against
+//!   the mapping, handing back a `FrozenSynopsis` whose columns borrow
+//!   the mapped bytes directly — the page cache *is* the serving
+//!   arena. Misaligned or legacy-unpadded sections fall back to
+//!   copying that column, never to an error, and the shipped grid is
+//!   returned staged so warm start pays only map + validate.
 //! * [`text_to_binary`] / [`binary_to_text`] — lossless conversion
 //!   between the two formats. The binary loader reproduces the text
 //!   loader's output *exactly* (same arrays, same bits), so a release
@@ -36,9 +45,14 @@
 
 pub mod catalog;
 pub mod format;
+pub mod view;
 
-pub use catalog::{Catalog, CatalogEntry, ReleaseFormat};
-pub use format::{decode_release, encode_release, encoded_len, HEADER_LEN, MAGIC, VERSION};
+pub use catalog::{Catalog, CatalogEntry, LoadedRelease, ReleaseFormat};
+pub use format::{
+    decode_release, encode_release, encode_release_unaligned, encoded_len, HEADER_LEN, MAGIC,
+    VERSION,
+};
+pub use view::{decode_release_view, open_release_view, ReleaseBytes, ReleaseView};
 
 use privtree_spatial::frozen::FlatLayoutError;
 use privtree_spatial::grid_route::GridRouteError;

@@ -2,7 +2,13 @@
 //! back as a typed [`StoreError`] — never a panic, and never an
 //! allocation sized from an unvalidated header. The corruptions are
 //! table-driven: each case mutates a valid file and names the exact
-//! error variant the decoder must refuse with.
+//! error variant the decoder must refuse with, and every case runs
+//! through **both** decoders — the copying [`decode_release`] and the
+//! zero-copy [`decode_release_view`] — which must refuse identically
+//! (the zero-copy path may hand out borrowed slices of the hostile
+//! bytes, so it gets no validation discount).
+
+use std::sync::Arc;
 
 use privtree_dp::budget::Epsilon;
 use privtree_dp::rng::seeded;
@@ -10,8 +16,10 @@ use privtree_spatial::dataset::PointSet;
 use privtree_spatial::geom::Rect;
 use privtree_spatial::grid_route::GridRoutedSynopsis;
 use privtree_spatial::quadtree::SplitConfig;
-use privtree_spatial::FrozenSynopsis;
-use privtree_store::{decode_release, encode_release, StoreError, HEADER_LEN};
+use privtree_spatial::{FrozenSynopsis, StableBytes};
+use privtree_store::{
+    decode_release, decode_release_view, encode_release, ReleaseBytes, StoreError, HEADER_LEN,
+};
 use rand::RngExt;
 
 fn sample_release(seed: u64) -> FrozenSynopsis {
@@ -43,6 +51,64 @@ fn gridded_bytes() -> Vec<u8> {
     encode_release(&arena, Some(&grid))
 }
 
+/// One section's location inside an encoded release, as discovered by
+/// walking the actual bytes (honouring the aligned-layout flag), so the
+/// corruption cases never hand-compute offsets that a layout revision
+/// would silently invalidate.
+#[derive(Debug, Clone, Copy)]
+struct Section {
+    /// Offset of the padding that precedes the frame (equals `frame`
+    /// when the section needed none).
+    pad: usize,
+    /// Offset of the 12-byte tag+length frame.
+    frame: usize,
+    /// Offset of the first payload byte.
+    payload: usize,
+    /// Payload length in bytes.
+    len: usize,
+    /// Offset of the 4-byte CRC.
+    crc: usize,
+}
+
+/// Walk every section frame in `bytes` (which must be a structurally
+/// valid release) and return them in file order.
+fn walk_sections(bytes: &[u8]) -> Vec<(String, Section)> {
+    let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let aligned = flags & 2 != 0;
+    let mut pos = HEADER_LEN;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let pad = pos;
+        if aligned {
+            pos += (8 - ((pos + 12) % 8)) % 8;
+        }
+        let tag = String::from_utf8_lossy(&bytes[pos..pos + 4]).into_owned();
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        out.push((
+            tag,
+            Section {
+                pad,
+                frame: pos,
+                payload: pos + 12,
+                len,
+                crc: pos + 12 + len,
+            },
+        ));
+        pos += 12 + len + 4;
+    }
+    assert_eq!(pos, bytes.len(), "section walk must cover the whole file");
+    out
+}
+
+/// The section carrying `tag`.
+fn section(bytes: &[u8], tag: &str) -> Section {
+    walk_sections(bytes)
+        .into_iter()
+        .find(|(t, _)| t == tag)
+        .unwrap_or_else(|| panic!("no {tag} section"))
+        .1
+}
+
 /// Overwrite `len` bytes at `at` with `patch`.
 fn patched(mut bytes: Vec<u8>, at: usize, patch: &[u8]) -> Vec<u8> {
     bytes[at..at + patch.len()].copy_from_slice(patch);
@@ -55,6 +121,12 @@ fn flipped(mut bytes: Vec<u8>, at: usize) -> Vec<u8> {
     bytes
 }
 
+/// Decode `bytes` through the zero-copy view path.
+fn decode_view(bytes: &[u8]) -> Result<(), StoreError> {
+    let owner: Arc<dyn StableBytes> = Arc::new(ReleaseBytes::from_vec(bytes.to_vec()));
+    decode_release_view(&owner).map(|_| ())
+}
+
 /// One corruption case: a label, the mutated bytes, and the acceptance
 /// predicate for the decoder's refusal.
 type Case = (&'static str, Vec<u8>, fn(&StoreError) -> bool);
@@ -63,9 +135,12 @@ type Case = (&'static str, Vec<u8>, fn(&StoreError) -> bool);
 fn corrupt_inputs_are_typed_errors() {
     let plain = plain_bytes();
     let gridded = gridded_bytes();
-    // the first section's payload starts after the header + 12-byte
-    // section frame; its CRC sits 4 bytes before the next section
-    let first_payload = HEADER_LEN + 12;
+    let lo = section(&plain, "NLOC");
+    assert!(
+        lo.frame > lo.pad,
+        "the first section of an aligned file needs padding — if the \
+         layout changes, pick another section for the padding case"
+    );
 
     let cases: Vec<Case> = vec![
         ("empty file", Vec::new(), |e| {
@@ -134,11 +209,7 @@ fn corrupt_inputs_are_typed_errors() {
         ),
         (
             "grid flag with zero cells",
-            patched(
-                patched(gridded.clone(), 32, &0u64.to_le_bytes()),
-                12,
-                &1u32.to_le_bytes(),
-            ),
+            patched(gridded.clone(), 32, &0u64.to_le_bytes()),
             |e| matches!(e, StoreError::BadHeader { .. }),
         ),
         (
@@ -156,30 +227,22 @@ fn corrupt_inputs_are_typed_errors() {
             |e| matches!(e, StoreError::SizeMismatch { .. }),
         ),
         (
-            "flipped payload byte",
-            flipped(plain.clone(), first_payload + 3),
-            |e| {
-                matches!(
-                    e,
-                    StoreError::ChecksumMismatch {
-                        section: "node-lo",
-                        ..
-                    }
-                )
-            },
+            // an oversized section length cannot change the (validated)
+            // whole-file size, so only the frame check can refuse it
+            "oversized section length",
+            patched(plain.clone(), lo.frame + 4, &(u64::MAX / 2).to_le_bytes()),
+            |e| matches!(e, StoreError::BadSection { .. }),
         ),
         (
-            "flipped CRC byte",
-            // the node-lo CRC sits right after its payload
-            {
-                let nodes = {
-                    let mut a = [0u8; 8];
-                    a.copy_from_slice(&plain[24..32]);
-                    u64::from_le_bytes(a)
-                };
-                let crc_at = first_payload + (nodes as usize) * 2 * 8;
-                flipped(plain.clone(), crc_at)
-            },
+            // a garbage byte in the inter-section padding means the
+            // payload offsets are not where the aligned layout promises
+            "non-zero section padding",
+            flipped(plain.clone(), lo.pad),
+            |e| matches!(e, StoreError::BadSection { .. }),
+        ),
+        (
+            "flipped payload byte",
+            flipped(plain.clone(), lo.payload + 3),
             |e| {
                 matches!(
                     e,
@@ -190,9 +253,21 @@ fn corrupt_inputs_are_typed_errors() {
                 )
             },
         ),
+        ("flipped CRC byte", flipped(plain.clone(), lo.crc), |e| {
+            matches!(
+                e,
+                StoreError::ChecksumMismatch {
+                    section: "node-lo",
+                    ..
+                }
+            )
+        }),
         (
             "flipped grid value byte",
-            flipped(gridded.clone(), gridded.len() - 7),
+            {
+                let gv = section(&gridded, "GVAL");
+                flipped(gridded.clone(), gv.payload + gv.len - 3)
+            },
             |e| {
                 matches!(
                     e,
@@ -210,29 +285,36 @@ fn corrupt_inputs_are_typed_errors() {
             Ok(_) => panic!("{label}: decoded corrupt input"),
             Err(e) => assert!(expect(&e), "{label}: unexpected error {e:?}"),
         }
+        match decode_view(&bytes) {
+            Ok(_) => panic!("{label}: zero-copy decoded corrupt input"),
+            Err(e) => assert!(expect(&e), "{label}: unexpected zero-copy error {e:?}"),
+        }
     }
 }
 
 /// Structural corruption *with a valid checksum* — the CRC is recomputed
-/// after the mutation, so only the layout validator can catch it.
+/// after the mutation, so only the layout validator can catch it. Both
+/// decode paths must refuse: the zero-copy view runs the same arena and
+/// grid validation over its borrowed columns.
 #[test]
 fn consistent_checksums_do_not_bless_bad_layouts() {
     let arena = sample_release(9);
     let n = arena.node_count();
     let bytes = encode_release(&arena, None);
-    // break the child ranges: point the root's children past the arena.
-    // locate the first-child section: header + two f64 coord sections
-    let coords = n * arena.dims() * 8;
-    let fc_payload = HEADER_LEN + (12 + coords + 4) * 2 + 12;
+    // break the child ranges: point the root's children past the arena
+    let fc = section(&bytes, "NFCH");
     let mut bad = bytes.clone();
-    bad[fc_payload..fc_payload + 4].copy_from_slice(&(n as u32).to_le_bytes());
+    bad[fc.payload..fc.payload + 4].copy_from_slice(&(n as u32).to_le_bytes());
     // fix up the CRC so only layout validation can refuse
-    let crc = privtree_store::format::crc32(&bad[fc_payload..fc_payload + n * 4]);
-    let crc_at = fc_payload + n * 4;
-    bad[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+    let crc = privtree_store::format::crc32(&bad[fc.payload..fc.payload + fc.len]);
+    bad[fc.crc..fc.crc + 4].copy_from_slice(&crc.to_le_bytes());
     match decode_release(&bad) {
         Err(StoreError::Layout(_)) => {}
         other => panic!("expected a layout refusal, got {other:?}"),
+    }
+    match decode_view(&bad) {
+        Err(StoreError::Layout(_)) => {}
+        other => panic!("expected a zero-copy layout refusal, got {other:?}"),
     }
 
     // and a grid whose anchors were re-checksummed after corruption must
@@ -240,23 +322,17 @@ fn consistent_checksums_do_not_bless_bad_layouts() {
     let engine = GridRoutedSynopsis::with_bins(sample_release(10), &[4, 4]).unwrap();
     let (garena, grid) = engine.into_parts();
     let gbytes = encode_release(&garena, Some(&grid));
-    let gn = garena.node_count();
-    let gcoords = gn * garena.dims() * 8;
-    // sections: lo, hi (f64*n*d), first, kids (u32*n), counts (f64*n), gbins (u32*d)
-    let anchors_payload = HEADER_LEN
-        + (12 + gcoords + 4) * 2
-        + (12 + gn * 4 + 4) * 2
-        + (12 + gn * 8 + 4)
-        + (12 + garena.dims() * 4 + 4)
-        + 12;
+    let ga = section(&gbytes, "GANC");
     let mut gbad = gbytes.clone();
-    gbad[anchors_payload..anchors_payload + 4].copy_from_slice(&u32::MAX.to_le_bytes());
-    let cells = grid.cells();
-    let gcrc = privtree_store::format::crc32(&gbad[anchors_payload..anchors_payload + cells * 4]);
-    let gcrc_at = anchors_payload + cells * 4;
-    gbad[gcrc_at..gcrc_at + 4].copy_from_slice(&gcrc.to_le_bytes());
+    gbad[ga.payload..ga.payload + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let gcrc = privtree_store::format::crc32(&gbad[ga.payload..ga.payload + ga.len]);
+    gbad[ga.crc..ga.crc + 4].copy_from_slice(&gcrc.to_le_bytes());
     match decode_release(&gbad) {
         Err(StoreError::Grid(_)) => {}
         other => panic!("expected a grid refusal, got {other:?}"),
+    }
+    match decode_view(&gbad) {
+        Err(StoreError::Grid(_)) => {}
+        other => panic!("expected a zero-copy grid refusal, got {other:?}"),
     }
 }

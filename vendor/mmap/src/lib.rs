@@ -1,0 +1,229 @@
+//! Minimal read-only memory mapping for the PrivTree suite.
+//!
+//! This is a deliberately tiny, dependency-free shim over `mmap(2)` /
+//! `munmap(2)`: it maps a whole file `PROT_READ` + `MAP_SHARED`, exposes
+//! the mapping as `&[u8]`, and unmaps on drop. Nothing else — no
+//! resizing, no writes, no advice hints.
+//!
+//! Safety model: a [`Mmap`] owns its mapping for its whole lifetime, so
+//! the returned byte slice is valid as long as the `Mmap` is alive. The
+//! mapping is read-only, so it is `Send + Sync`. The one caveat every
+//! caller must respect is external truncation: shrinking the mapped file
+//! while the mapping is live turns reads past EOF into `SIGBUS`. The
+//! PrivTree catalog never rewrites release files in place — it publishes
+//! via atomic rename — so a mapping taken from a catalog stays backed by
+//! the original inode even after the catalog entry is replaced or
+//! removed.
+//!
+//! On non-unix targets the same API is provided by reading the file into
+//! an owned buffer, so callers never need to `cfg` on the platform.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+#[cfg(unix)]
+mod unix {
+    use super::*;
+    use std::os::unix::io::AsRawFd;
+
+    use std::ffi::{c_int, c_void};
+
+    const PROT_READ: c_int = 1;
+    const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// A read-only, shared mapping of an entire file.
+    pub struct Mmap {
+        /// Null iff the file was empty (zero-length maps are invalid for
+        /// `mmap(2)`, so an empty file is represented without a mapping).
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is immutable for its whole lifetime and `munmap` runs
+    // once in `Drop`, so shared references from any thread are fine.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Map `path` read-only in its entirety.
+        pub fn open(path: &Path) -> io::Result<Mmap> {
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            if len > usize::MAX as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "file too large to map",
+                ));
+            }
+            let len = len as usize;
+            if len == 0 {
+                return Ok(Mmap {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            // the fd can be closed immediately; the mapping keeps the
+            // inode alive on its own
+            Ok(Mmap { ptr, len })
+        }
+
+        /// The mapped bytes. Empty iff the file was empty.
+        pub fn bytes(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: ptr/len come from a successful PROT_READ mapping
+            // that lives until Drop.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+
+        /// Length of the mapping in bytes.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// Whether the mapped file was empty.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                // SAFETY: exactly the region returned by mmap in `open`.
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+
+    impl std::fmt::Debug for Mmap {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mmap").field("len", &self.len).finish()
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod fallback {
+    use super::*;
+
+    /// Portable stand-in: owns a full copy of the file. Same API shape,
+    /// no page-cache sharing.
+    #[derive(Debug)]
+    pub struct Mmap {
+        buf: Vec<u8>,
+    }
+
+    impl Mmap {
+        pub fn open(path: &Path) -> io::Result<Mmap> {
+            Ok(Mmap {
+                buf: std::fs::read(path)?,
+            })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            &self.buf
+        }
+
+        pub fn len(&self) -> usize {
+            self.buf.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.buf.is_empty()
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use unix::Mmap;
+
+#[cfg(not(unix))]
+pub use fallback::Mmap;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("privtree-mmap-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(map.bytes(), &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), b"");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Mmap::open(Path::new("/definitely/not/here.ptbin")).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mapping_survives_unlink() {
+        // the property the catalog relies on: atomic-rename publishes can
+        // replace or remove a file while existing mappings stay valid
+        let path = temp_path("unlink");
+        let payload = vec![42u8; 4096 * 3 + 17];
+        std::fs::write(&path, &payload).unwrap();
+        let map = Mmap::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(map.bytes(), &payload[..]);
+    }
+
+    #[test]
+    fn mapping_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+    }
+}
