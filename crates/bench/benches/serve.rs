@@ -23,9 +23,9 @@ use privtree_datagen::spatial::gowalla_like;
 use privtree_datagen::workload::{range_queries, QuerySize};
 use privtree_dp::budget::Epsilon;
 use privtree_dp::rng::seeded;
-use privtree_engine::serve::{spawn_tcp, ServeContext};
+use privtree_engine::serve::{spawn_tcp, spawn_tcp_with, ServeContext, ServeOptions};
 use privtree_engine::ReleaseStore;
-use privtree_runtime::WorkerPool;
+use privtree_runtime::{ShutdownSignal, WorkerPool};
 use privtree_spatial::dataset::PointSet;
 use privtree_spatial::geom::Rect;
 use privtree_spatial::quadtree::SplitConfig;
@@ -36,7 +36,7 @@ use privtree_spatial::{FrozenSynopsis, GridRoutedSynopsis};
 use std::hint::black_box;
 use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Best-of-N wall clock of an arbitrary action.
 fn best_time(samples: usize, mut f: impl FnMut()) -> f64 {
@@ -368,8 +368,9 @@ fn bench_serve(c: &mut Criterion) {
         .iter()
         .map(|a| format!("{a:.17e}"))
         .collect();
-    let (tcp_addr, _accept_loop) = spawn_tcp(Arc::new(ServeContext::new(tcp_store)), "127.0.0.1:0")
+    let tcp_server = spawn_tcp(Arc::new(ServeContext::new(tcp_store)), "127.0.0.1:0")
         .expect("bind the bench listener");
+    let tcp_addr = tcp_server.addr();
     let query_line = |q: &RangeQuery| {
         let csv = |c: &[f64]| {
             c.iter()
@@ -386,42 +387,75 @@ fn bench_serve(c: &mut Criterion) {
     let batch_payload = Arc::new(batch_payload);
     let tcp_expected = Arc::new(tcp_expected);
     let tcp_rounds = if smoke { 1 } else { 4 };
-    let mut tcp_lanes: Vec<(usize, f64)> = Vec::new();
-    for threads in [1usize, 2, 4] {
-        let start = Instant::now();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let payload = Arc::clone(&batch_payload);
-                let expected = Arc::clone(&tcp_expected);
-                scope.spawn(move || {
-                    let stream =
-                        std::net::TcpStream::connect(tcp_addr).expect("connect to bench listener");
-                    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
-                    let mut writer = std::io::BufWriter::new(stream);
-                    let mut reply = String::new();
-                    for _ in 0..tcp_rounds {
-                        writer.write_all(payload.as_bytes()).expect("send batch");
-                        writer.flush().expect("flush batch");
-                        for want in expected.iter() {
-                            reply.clear();
-                            reader.read_line(&mut reply).expect("read reply");
-                            assert_eq!(reply.trim_end(), want, "TCP answer diverged");
+    let run_sweep = |addr: std::net::SocketAddr| -> Vec<(usize, f64)> {
+        let mut lanes = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let payload = Arc::clone(&batch_payload);
+                    let expected = Arc::clone(&tcp_expected);
+                    scope.spawn(move || {
+                        let stream =
+                            std::net::TcpStream::connect(addr).expect("connect to bench listener");
+                        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                        let mut writer = std::io::BufWriter::new(stream);
+                        let mut reply = String::new();
+                        for _ in 0..tcp_rounds {
+                            writer.write_all(payload.as_bytes()).expect("send batch");
+                            writer.flush().expect("flush batch");
+                            for want in expected.iter() {
+                                reply.clear();
+                                reader.read_line(&mut reply).expect("read reply");
+                                assert_eq!(reply.trim_end(), want, "TCP answer diverged");
+                            }
                         }
-                    }
-                    let _ = writer.write_all(b"quit\n");
-                    let _ = writer.flush();
-                });
-            }
-        });
-        let elapsed = start.elapsed().as_secs_f64();
-        let total = (threads * tcp_rounds * medium.len()) as f64;
-        tcp_lanes.push((threads, total / elapsed));
-    }
-    let tcp_json = tcp_lanes
-        .iter()
-        .map(|(threads, qps)| format!("    \"threads_{threads}_qps\": {qps:.1}"))
-        .collect::<Vec<_>>()
-        .join(",\n");
+                        let _ = writer.write_all(b"quit\n");
+                        let _ = writer.flush();
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let total = (threads * tcp_rounds * medium.len()) as f64;
+            lanes.push((threads, total / elapsed));
+        }
+        lanes
+    };
+    let lanes_json = |lanes: &[(usize, f64)]| {
+        lanes
+            .iter()
+            .map(|(threads, qps)| format!("    \"threads_{threads}_qps\": {qps:.1}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let tcp_lanes = run_sweep(tcp_addr);
+    let tcp_json = lanes_json(&tcp_lanes);
+
+    // the same sweep against a fully-guarded listener — read and write
+    // deadlines armed, connection cap enforced — then a graceful drain;
+    // the lifecycle guards must cost <2% qps on the hot path
+    let hard_store = ReleaseStore::open_gridded([("gowalla", frozen.clone())]).unwrap();
+    let hard_server = spawn_tcp_with(
+        Arc::new(ServeContext::new(hard_store)),
+        "127.0.0.1:0",
+        ServeOptions {
+            max_conns: 64,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            ..ServeOptions::default()
+        },
+        ShutdownSignal::new(),
+    )
+    .expect("bind the hardened bench listener");
+    let hard_lanes = run_sweep(hard_server.addr());
+    let hard_json = lanes_json(&hard_lanes);
+    let drained = hard_server.drain(Duration::from_secs(5));
+    assert!(drained, "hardened bench listener failed to drain");
+    let overhead_pct = {
+        let base = tcp_lanes.last().map(|(_, qps)| *qps).unwrap_or(1.0);
+        let hard = hard_lanes.last().map(|(_, qps)| *qps).unwrap_or(1.0);
+        (base - hard) / base * 100.0
+    };
 
     let seq = best_secs(samples, || frozen.answer_batch_sequential(&medium));
     let p4 = best_secs(samples, || frozen.answer_batch_with_pool(&medium, &pool4));
@@ -489,6 +523,14 @@ fn bench_serve(c: &mut Criterion) {
             "    \"rounds_per_thread\": {},\n",
             "{}\n",
             "  }},\n",
+            "  \"hardening\": {{\n",
+            "    \"read_timeout_secs\": 30,\n",
+            "    \"write_timeout_secs\": 30,\n",
+            "    \"max_conns\": 64,\n",
+            "    \"drained_within_5s\": {},\n",
+            "{},\n",
+            "    \"overhead_pct_threads_4\": {:.2}\n",
+            "  }},\n",
             "  \"frozen_seq_qps\": {:.1},\n",
             "  \"grid_routed_qps\": {:.1},\n",
             "  \"grid_routed_morton_qps\": {:.1},\n",
@@ -534,6 +576,9 @@ fn bench_serve(c: &mut Criterion) {
         medium.len(),
         tcp_rounds,
         tcp_json,
+        drained,
+        hard_json,
+        overhead_pct,
         medium_frozen_qps,
         medium_grid_qps,
         medium_grid_morton_qps,

@@ -13,47 +13,80 @@
 //!
 //! ```text
 //! privtree-serve [--grids] [--listen ADDR] [--catalog DIR]
-//!                [--mmap|--no-mmap] <key=release>...
+//!                [--mmap|--no-mmap] [--max-conns N] [--read-timeout S]
+//!                [--drain-timeout S] <key=release>...
 //! ```
 //!
 //! With `--catalog DIR` the process **warm-starts** from an on-disk
 //! release catalog (every cataloged release is served under its key,
 //! alongside any `key=path` arguments) and gains the `save <key>` /
 //! `load <key>` protocol verbs, which persist a serving release to the
-//! catalog and add-or-swap one back from it. Catalog opens default to
-//! **zero-copy**: binary releases are memory-mapped straight out of the
-//! page cache, columns borrow the mapping, and shipped grids assemble
-//! lazily on first use — `--no-mmap` restores owned copying decodes
-//! (answers are bit-identical either way).
+//! catalog and add-or-swap one back from it. The warm start is
+//! **lossy**: a key whose file is missing, torn, or corrupt is
+//! quarantined (logged at startup, reported by `stats`) and every clean
+//! release serves — a degraded boot beats no boot. Catalog opens
+//! default to **zero-copy**: binary releases are memory-mapped straight
+//! out of the page cache, columns borrow the mapping, and shipped grids
+//! assemble lazily on first use — `--no-mmap` restores owned copying
+//! decodes (answers are bit-identical either way).
+//!
+//! In listen mode the process runs under lifecycle guards: at most
+//! `--max-conns` concurrent connections (excess accepts answer
+//! `err busy`), a `--read-timeout` idle deadline evicting stalled peers
+//! (0 disables it), a 64 KiB protocol line cap, and per-command panic
+//! isolation. `SIGTERM`/`SIGINT` — or EOF on stdin — start a **graceful
+//! drain**: stop accepting, finish in-flight replies, and exit once
+//! every connection closed or `--drain-timeout` passed. (An EOF that
+//! arrives instantly means stdin was never attached, e.g. `< /dev/null`
+//! under a supervisor, and is ignored.)
 //!
 //! The protocol itself lives in [`privtree_engine::serve`] (one command
 //! per line; a failed command answers `err <reason>` and the connection
 //! keeps serving). See `examples/epoch_serving.rs` for an end-to-end
 //! walkthrough.
 
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
-use privtree_engine::serve::{load_release, serve_lines, spawn_tcp, ServeContext};
+use privtree_engine::serve::{
+    load_release, serve_lines, spawn_tcp_with, ServeContext, ServeOptions,
+};
 use privtree_engine::ReleaseStore;
+use privtree_runtime::{install_termination_handler, ShutdownSignal};
 use privtree_spatial::sharded::ShardHandle;
 use privtree_store::Catalog;
 
 const USAGE: &str = "usage: privtree-serve [--grids] [--listen ADDR] [--catalog DIR]\n\
-                     [--mmap|--no-mmap] <key=release>...\n\
+                     [--mmap|--no-mmap] [--max-conns N] [--read-timeout SECS]\n\
+                     [--drain-timeout SECS] <key=release>...\n\
                      releases are privtree-synopsis v1 text files or privtree-bin v1\n\
                      binary files (sniffed; an attached grid section is loaded instead\n\
                      of rebuilt); queries arrive over stdin, or over TCP with --listen;\n\
                      --catalog warm-starts from (and enables save/load against) an\n\
-                     on-disk release catalog; --mmap (the default) serves catalog\n\
-                     releases zero-copy from a memory mapping, --no-mmap decodes them\n\
-                     into owned buffers";
+                     on-disk release catalog, quarantining damaged entries instead of\n\
+                     refusing to boot; --mmap (the default) serves catalog releases\n\
+                     zero-copy from a memory mapping, --no-mmap decodes them into owned\n\
+                     buffers; --max-conns (default 1024) sheds excess connections with\n\
+                     `err busy`; --read-timeout (default 30, 0=off) evicts peers idle\n\
+                     that long; SIGTERM/SIGINT or stdin EOF drain gracefully, waiting\n\
+                     up to --drain-timeout (default 5) for in-flight replies";
+
+fn parse_secs(flag: &str, value: Option<String>) -> Result<u64, String> {
+    value
+        .ok_or_else(|| format!("{flag} needs a number of seconds"))?
+        .parse()
+        .map_err(|_| format!("{flag} needs a number of seconds"))
+}
 
 fn run() -> Result<(), String> {
     let mut grids = false;
     let mut listen: Option<String> = None;
     let mut catalog_dir: Option<String> = None;
     let mut mmap = true;
+    let mut max_conns: usize = 1024;
+    let mut read_timeout_secs: u64 = 30;
+    let mut drain_timeout_secs: u64 = 5;
     let mut releases: Vec<(String, ShardHandle)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +100,19 @@ fn run() -> Result<(), String> {
             }
             "--mmap" => mmap = true,
             "--no-mmap" => mmap = false,
+            "--max-conns" => {
+                max_conns = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--max-conns needs a positive count")?;
+            }
+            "--read-timeout" => {
+                read_timeout_secs = parse_secs("--read-timeout", args.next())?;
+            }
+            "--drain-timeout" => {
+                drain_timeout_secs = parse_secs("--drain-timeout", args.next())?;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -79,24 +125,47 @@ fn run() -> Result<(), String> {
             }
         }
     }
+    let mut quarantined = Vec::new();
     let catalog = match &catalog_dir {
         Some(dir) => {
             let catalog = Catalog::open_or_create(dir).map_err(|e| e.to_string())?;
+            let sweep = catalog.recovery_sweep();
+            if !sweep.is_clean() {
+                eprintln!(
+                    "privtree-serve: catalog recovery swept {} stale tmp file(s), \
+                     {} orphan file(s)",
+                    sweep.tmp_files, sweep.orphan_files
+                );
+            }
             // cataloged releases first; explicit key=path arguments may
-            // not collide (the store refuses duplicates)
+            // not collide (the store refuses duplicates). Lossy: damaged
+            // entries quarantine instead of refusing to boot.
             if mmap {
-                for (key, loaded) in catalog.load_all_mapped().map_err(|e| e.to_string())? {
+                let (loaded, bad) = catalog.load_all_mapped_lossy();
+                for (key, loaded) in loaded {
                     releases.push((key, loaded.into_handle()));
                 }
+                quarantined = bad
+                    .into_iter()
+                    .map(|(key, e)| (key, e.to_string()))
+                    .collect();
             } else {
-                for (key, arena, grid) in catalog.load_all().map_err(|e| e.to_string())? {
+                let (loaded, bad) = catalog.load_all_lossy();
+                for (key, arena, grid) in loaded {
                     releases.push((key, ShardHandle::from_release(arena, grid)));
                 }
+                quarantined = bad
+                    .into_iter()
+                    .map(|(key, e)| (key, e.to_string()))
+                    .collect();
             }
             Some(catalog)
         }
         None => None,
     };
+    for (key, reason) in &quarantined {
+        eprintln!("privtree-serve: quarantined catalog release {key}: {reason}");
+    }
     if releases.is_empty() {
         return Err(format!("no releases given\n{USAGE}"));
     }
@@ -108,7 +177,7 @@ fn run() -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let snap = store.snapshot();
     eprintln!(
-        "privtree-serve: {} release(s), {} nodes, dims={}, gridded={}{}",
+        "privtree-serve: {} release(s), {} nodes, dims={}, gridded={}{}{}",
         snap.shard_count(),
         snap.node_count(),
         snap.dims(),
@@ -116,21 +185,65 @@ fn run() -> Result<(), String> {
         match &catalog_dir {
             Some(dir) => format!(", catalog={dir}"),
             None => String::new(),
+        },
+        match quarantined.len() {
+            0 => String::new(),
+            n => format!(", quarantined={n}"),
         }
     );
     let ctx = match catalog {
         Some(catalog) => ServeContext::with_catalog(store, catalog),
         None => ServeContext::new(store),
     }
-    .with_mmap(mmap);
+    .with_mmap(mmap)
+    .with_quarantined(quarantined);
     match listen {
         Some(addr) => {
-            let (local, handle) = spawn_tcp(Arc::new(ctx), &addr)?;
+            let opts = ServeOptions {
+                max_conns,
+                read_timeout: (read_timeout_secs > 0)
+                    .then(|| Duration::from_secs(read_timeout_secs)),
+                ..ServeOptions::default()
+            };
+            let shutdown = ShutdownSignal::new();
+            // SIGTERM / SIGINT drain instead of killing mid-reply
+            install_termination_handler(&shutdown);
+            // stdin EOF drains too: a supervisor closing our stdin (or
+            // an operator's ctrl-d) winds the listener down cleanly. An
+            // EOF that arrives instantly means stdin was never attached
+            // (e.g. `< /dev/null`) — ignore it, or daemonized servers
+            // would exit at startup.
+            let stdin_shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                let started = std::time::Instant::now();
+                let mut sink = [0u8; 256];
+                let mut stdin = io::stdin().lock();
+                loop {
+                    match stdin.read(&mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+                if started.elapsed() >= Duration::from_millis(200) {
+                    stdin_shutdown.trigger();
+                }
+            });
+            let server = spawn_tcp_with(Arc::new(ctx), &addr, opts, shutdown)?;
             // announced on stdout so scripts (and the integration tests)
             // can discover an OS-assigned port
-            println!("listening on {local}");
+            println!("listening on {}", server.addr());
             io::stdout().flush().ok();
-            handle.join().map_err(|_| "accept loop panicked".into())
+            let drained = server.join_then_drain(Duration::from_secs(drain_timeout_secs));
+            if drained {
+                eprintln!("privtree-serve: drained, exiting");
+                Ok(())
+            } else {
+                eprintln!(
+                    "privtree-serve: drain deadline ({drain_timeout_secs}s) passed with \
+                     connections still open, exiting"
+                );
+                Ok(())
+            }
         }
         None => {
             let stdin = io::stdin();

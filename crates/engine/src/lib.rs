@@ -371,6 +371,39 @@ impl ReleaseStore {
         }
     }
 
+    /// Warm-start from an on-disk catalog **tolerating damaged
+    /// entries**: releases that load cleanly are served bit-identically
+    /// to a strict open, and every key whose file is missing, torn, or
+    /// corrupt is *quarantined* — returned alongside its typed
+    /// [`StoreError`] instead of failing the whole boot. A serving
+    /// process prefers a degraded start over no start; the caller logs
+    /// the quarantine list and `stats` surfaces it at the protocol
+    /// level. Fails only when **no** release survives (an empty store
+    /// cannot serve) or the surviving set itself is invalid.
+    pub fn open_catalog_lossy(
+        catalog: &Catalog,
+        grids: bool,
+        mmap: bool,
+    ) -> Result<(Self, Vec<(String, StoreError)>), EngineError> {
+        let (handles, quarantined) = if mmap {
+            let (loaded, quarantined) = catalog.load_all_mapped_lossy();
+            let handles: Vec<(String, ShardHandle)> = loaded
+                .into_iter()
+                .map(|(key, loaded)| (key, loaded.into_handle()))
+                .collect();
+            (handles, quarantined)
+        } else {
+            let (loaded, quarantined) = catalog.load_all_lossy();
+            let handles: Vec<(String, ShardHandle)> = loaded
+                .into_iter()
+                .map(|(key, arena, grid)| (key, ShardHandle::from_release(arena, grid)))
+                .collect();
+            (handles, quarantined)
+        };
+        let store = Self::build(handles, grids)?;
+        Ok((store, quarantined))
+    }
+
     /// Persist every currently-serving release into `catalog` (binary
     /// format, grids included, atomic publish per release). Returns how
     /// many releases were written. Reopening the catalog via

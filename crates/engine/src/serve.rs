@@ -25,11 +25,43 @@
 //! line that is not valid UTF-8 — answers `err <reason>` and the
 //! connection keeps serving. Only a real I/O failure (or EOF / `quit`)
 //! ends a session. `crates/engine/tests/serve_roundtrip.rs` pins this.
+//!
+//! # Limits and lifecycle guards
+//!
+//! A listener is only as robust as its worst-behaved peer, so every
+//! connection runs under [`ServeOptions`]:
+//!
+//! * **Line cap** — a protocol line longer than
+//!   [`ServeOptions::max_line`] bytes (default [`MAX_LINE`], 64 KiB)
+//!   answers `err line too long ...` and the stream **resyncs to the
+//!   next newline**; memory per connection stays bounded no matter
+//!   what the peer sends.
+//! * **Read deadline** — [`ServeOptions::read_timeout`] bounds the
+//!   silence between bytes. A peer that connects and trickles (or
+//!   stalls entirely — the slowloris pattern) is evicted when the
+//!   deadline passes; it can never pin a connection slot open.
+//! * **Connection cap** — at most [`ServeOptions::max_conns`]
+//!   concurrent connections; an accept beyond the cap is answered
+//!   `err busy` and closed immediately instead of queueing unboundedly.
+//! * **Panic isolation** — each command dispatch runs under
+//!   `catch_unwind`: a panicking verb answers `err internal ...` and
+//!   the connection (and every other connection) keeps serving.
+//!   Shared state stays usable because every lock in the stack
+//!   recovers from poisoning via `into_inner`.
+//! * **Graceful drain** — [`spawn_tcp`] returns a [`ServerHandle`]
+//!   whose [`ServerHandle::drain`] trips a [`ShutdownSignal`]: the
+//!   accept loop stops, in-flight commands finish their replies, idle
+//!   connections close at the next poll tick, and `drain` reports
+//!   whether everything wound down inside the deadline.
 
-use std::io::{self, BufRead, Write};
-use std::net::{SocketAddr, TcpListener};
-use std::sync::{Arc, Mutex};
+use std::io::{self, BufRead, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
+use privtree_runtime::{failpoints, ShutdownSignal};
 use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
 use privtree_spatial::serialize::release_from_text;
 use privtree_spatial::sharded::ShardHandle;
@@ -43,6 +75,53 @@ use crate::{ReleaseStore, SwapReport};
 /// hostile or mistyped counts (1M queries ≈ 70 MB of boxes — plenty for
 /// a line protocol; stream several batches for more).
 pub const MAX_BATCH: usize = 1 << 20;
+
+/// Default hard cap on one protocol line, in bytes (64 KiB). The widest
+/// legitimate line is a `count`/batch query — two corners of
+/// 17-significant-digit coordinates — which stays under a kilobyte even
+/// at the format's maximum dimensionality, so 64 KiB is three orders of
+/// magnitude of headroom. Anything longer answers
+/// `err line too long ...` and the stream resyncs at the next newline.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// How often a guarded connection read wakes up to check deadlines and
+/// the shutdown flag while the peer is silent.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// How often the accept loop polls for the shutdown flag between
+/// connections.
+const ACCEPT_TICK: Duration = Duration::from_millis(15);
+
+/// Per-connection lifecycle limits. `Default` is the embedder profile —
+/// no read deadline (a quiet REPL or test driver is not a slowloris) —
+/// while the `privtree-serve` binary layers its flag defaults on top
+/// (`--read-timeout 30`, `--max-conns 1024`).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Most concurrent connections before new accepts answer
+    /// `err busy` and close.
+    pub max_conns: usize,
+    /// Longest silence between bytes before an idle connection is
+    /// evicted (`None`: never).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout for replies (`None`: never). A peer that
+    /// stops reading its replies stalls only its own connection thread
+    /// until this fires.
+    pub write_timeout: Option<Duration>,
+    /// Hard cap on one protocol line, in bytes.
+    pub max_line: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            max_conns: 1024,
+            read_timeout: None,
+            write_timeout: None,
+            max_line: MAX_LINE,
+        }
+    }
+}
 
 /// Everything one serving process shares across its connections: the
 /// epoch store plus, when warm-started from disk, the catalog the
@@ -58,6 +137,10 @@ pub struct ServeContext {
     /// (memory-mapped, staged grids) instead of decoding into owned
     /// buffers. Defaults on; `--no-mmap` turns it off.
     pub mmap: bool,
+    /// Catalog keys a lossy warm start quarantined (key, reason).
+    /// Surfaced through `stats` so an operator can see at the protocol
+    /// level that the process booted degraded.
+    pub quarantined: Vec<(String, String)>,
 }
 
 impl ServeContext {
@@ -68,6 +151,7 @@ impl ServeContext {
             store,
             catalog: None,
             mmap: true,
+            quarantined: Vec::new(),
         }
     }
 
@@ -77,6 +161,7 @@ impl ServeContext {
             store,
             catalog: Some(Mutex::new(catalog)),
             mmap: true,
+            quarantined: Vec::new(),
         }
     }
 
@@ -84,6 +169,23 @@ impl ServeContext {
     pub fn with_mmap(mut self, mmap: bool) -> Self {
         self.mmap = mmap;
         self
+    }
+
+    /// Record the keys a lossy warm start had to quarantine.
+    pub fn with_quarantined(mut self, quarantined: Vec<(String, String)>) -> Self {
+        self.quarantined = quarantined;
+        self
+    }
+
+    /// The attached catalog, poison-recovered: a verb that panicked
+    /// while holding the lock (the catalog mutates in place, so its
+    /// state is whatever the last completed step left — always
+    /// consistent, because every on-disk step is atomic) must not lock
+    /// out every later `save`/`load`.
+    fn lock_catalog(&self) -> Option<MutexGuard<'_, Catalog>> {
+        self.catalog
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -150,27 +252,92 @@ pub fn report_line(r: &SwapReport) -> String {
     )
 }
 
-/// Read one raw line (stripped of `\r\n`) into `buf`. `Ok(false)` at
-/// EOF. Raw bytes, not `str`: a line that is not valid UTF-8 must reach
-/// the protocol loop so it can answer `err` instead of poisoning the
-/// stream the way `BufRead::lines`' `InvalidData` error would.
-fn read_raw_line(input: &mut impl BufRead, buf: &mut Vec<u8>) -> io::Result<bool> {
-    buf.clear();
-    if input.read_until(b'\n', buf)? == 0 {
-        return Ok(false);
+/// What [`read_raw_line`] found on the stream.
+enum RawLine {
+    /// End of input before any byte of a new line.
+    Eof,
+    /// A complete line (stripped of `\r\n`) is in the buffer.
+    Line,
+    /// The line exceeded the cap; the stream is already resynced past
+    /// its terminating newline (or at EOF) and the buffer is empty.
+    TooLong,
+}
+
+/// Read one raw line (stripped of `\r\n`) into `buf`, refusing to
+/// buffer more than `max_line` bytes. Raw bytes, not `str`: a line that
+/// is not valid UTF-8 must reach the protocol loop so it can answer
+/// `err` instead of poisoning the stream the way `BufRead::lines`'
+/// `InvalidData` error would. An oversized line is consumed up to and
+/// including its newline — so the next read starts on the next command
+/// — while the buffer stays capped at `max_line` bytes.
+fn read_raw_line(
+    input: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max_line: usize,
+) -> io::Result<RawLine> {
+    if let Err(failure) = failpoints::check("serve.read") {
+        return Err(io::Error::other(failure.to_string()));
     }
-    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+    buf.clear();
+    let mut overflowed = false;
+    loop {
+        let available = input.fill_buf()?;
+        if available.is_empty() {
+            // EOF: an unterminated final line still counts as a line
+            if overflowed {
+                return Ok(RawLine::TooLong);
+            }
+            if buf.is_empty() {
+                return Ok(RawLine::Eof);
+            }
+            break;
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !overflowed && buf.len() + pos > max_line {
+                    overflowed = true;
+                    buf.clear();
+                }
+                if !overflowed {
+                    buf.extend_from_slice(&available[..pos]);
+                }
+                input.consume(pos + 1);
+                if overflowed {
+                    return Ok(RawLine::TooLong);
+                }
+                break;
+            }
+            None => {
+                let n = available.len();
+                if !overflowed && buf.len() + n > max_line {
+                    overflowed = true;
+                    buf.clear();
+                }
+                if !overflowed {
+                    buf.extend_from_slice(available);
+                }
+                input.consume(n);
+            }
+        }
+    }
+    while matches!(buf.last(), Some(b'\r')) {
         buf.pop();
     }
-    Ok(true)
+    Ok(RawLine::Line)
+}
+
+/// Write one reply line and flush it to the peer.
+fn reply(out: &mut dyn Write, text: &str) -> io::Result<()> {
+    if let Err(failure) = failpoints::check("serve.write") {
+        return Err(io::Error::other(failure.to_string()));
+    }
+    out.write_all(text.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
 }
 
 /// Persist the serving release `key` into the attached catalog.
 fn save_verb(ctx: &ServeContext, key: &str) -> Result<String, String> {
-    let catalog = ctx
-        .catalog
-        .as_ref()
-        .ok_or("no catalog attached (start with --catalog DIR)")?;
     let snap = ctx.store.snapshot();
     let idx = snap
         .keys()
@@ -178,7 +345,9 @@ fn save_verb(ctx: &ServeContext, key: &str) -> Result<String, String> {
         .position(|k| k == key)
         .ok_or_else(|| format!("no release named {key}"))?;
     let shard = &snap.synopsis().shards()[idx];
-    let mut catalog = catalog.lock().unwrap_or_else(|e| e.into_inner());
+    let mut catalog = ctx
+        .lock_catalog()
+        .ok_or("no catalog attached (start with --catalog DIR)")?;
     let entry = catalog
         .save(
             key,
@@ -196,12 +365,10 @@ fn save_verb(ctx: &ServeContext, key: &str) -> Result<String, String> {
 /// Load `key` from the attached catalog and add-or-swap it into the
 /// store.
 fn load_verb(ctx: &ServeContext, key: &str) -> Result<SwapReport, String> {
-    let catalog = ctx
-        .catalog
-        .as_ref()
-        .ok_or("no catalog attached (start with --catalog DIR)")?;
     let handle = {
-        let catalog = catalog.lock().unwrap_or_else(|e| e.into_inner());
+        let catalog = ctx
+            .lock_catalog()
+            .ok_or("no catalog attached (start with --catalog DIR)")?;
         if ctx.mmap {
             catalog
                 .load_mapped(key)
@@ -221,209 +388,508 @@ fn load_verb(ctx: &ServeContext, key: &str) -> Result<SwapReport, String> {
     op.map_err(|e| e.to_string())
 }
 
-/// Run the line protocol over one input/output pair until EOF or `quit`.
-pub fn serve_lines(ctx: &ServeContext, mut input: impl BufRead, out: impl Write) -> io::Result<()> {
+/// Whether the protocol loop keeps reading after a command.
+enum Flow {
+    Continue,
+    Quit,
+}
+
+/// Best-effort description of a panic payload for the `err internal`
+/// reply.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Dispatch one already-read command line. Reads further lines from
+/// `input` only for `batch`. Every failure answers `err ...`; only a
+/// real I/O error propagates.
+fn dispatch(
+    ctx: &ServeContext,
+    line: &str,
+    input: &mut impl BufRead,
+    out: &mut dyn Write,
+    qraw: &mut Vec<u8>,
+    opts: &ServeOptions,
+) -> io::Result<Flow> {
+    let mut fields = line.split_whitespace();
+    let command = fields.next().unwrap_or_default();
+    match command {
+        "count" => {
+            let snap = ctx.store.snapshot();
+            match (fields.next(), fields.next()) {
+                (Some(lo), Some(hi)) => match parse_query(snap.dims(), lo, hi) {
+                    Ok(q) => reply(out, &format!("{:.17e}", snap.answer(&q)))?,
+                    Err(e) => reply(out, &format!("err {e}"))?,
+                },
+                _ => reply(out, "err count needs <lo> <hi>")?,
+            }
+        }
+        "batch" => {
+            let snap = ctx.store.snapshot();
+            let n: usize = match fields.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n <= MAX_BATCH => n,
+                Some(n) => {
+                    reply(
+                        out,
+                        &format!("err batch of {n} exceeds the {MAX_BATCH}-query cap"),
+                    )?;
+                    return Ok(Flow::Continue);
+                }
+                None => {
+                    reply(out, "err batch needs a query count")?;
+                    return Ok(Flow::Continue);
+                }
+            };
+            // always drain all n lines, even past a bad one — a batch
+            // failure must reply exactly one err line and leave the
+            // stream aligned on the next command
+            let mut queries = Vec::with_capacity(n);
+            let mut problem: Option<String> = None;
+            for _ in 0..n {
+                match read_raw_line(input, qraw, opts.max_line)? {
+                    RawLine::Eof => {
+                        problem = Some("unexpected end of input inside batch".into());
+                        break;
+                    }
+                    RawLine::TooLong => {
+                        if problem.is_none() {
+                            problem = Some(format!("line too long (max {} bytes)", opts.max_line));
+                        }
+                        continue;
+                    }
+                    RawLine::Line => {}
+                }
+                if problem.is_some() {
+                    continue;
+                }
+                let Ok(qline) = std::str::from_utf8(qraw) else {
+                    problem = Some("batch line is not valid utf-8".into());
+                    continue;
+                };
+                let mut parts = qline.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (Some(lo), Some(hi)) => match parse_query(snap.dims(), lo, hi) {
+                        Ok(q) => queries.push(q),
+                        Err(e) => problem = Some(e),
+                    },
+                    _ => problem = Some(format!("bad batch line: {qline}")),
+                }
+            }
+            match problem {
+                Some(e) => reply(out, &format!("err {e}"))?,
+                None => {
+                    // the pooled / Morton-batched read path
+                    for a in snap.answer_batch(&queries) {
+                        out.write_all(format!("{a:.17e}\n").as_bytes())?;
+                    }
+                    out.flush()?;
+                }
+            }
+        }
+        "add" | "swap" => match (fields.next(), fields.next()) {
+            (Some(key), Some(path)) => {
+                let outcome = load_release(path).and_then(|handle| {
+                    let op = if command == "add" {
+                        ctx.store.add(key, handle)
+                    } else {
+                        ctx.store.swap(key, handle)
+                    };
+                    op.map_err(|e| e.to_string())
+                });
+                match outcome {
+                    Ok(report) => reply(out, &report_line(&report))?,
+                    Err(e) => reply(out, &format!("err {e}"))?,
+                }
+            }
+            _ => reply(out, &format!("err {command} needs <key> <path>"))?,
+        },
+        "retire" => match fields.next() {
+            Some(key) => match ctx.store.retire(key) {
+                Ok(report) => reply(out, &report_line(&report))?,
+                Err(e) => reply(out, &format!("err {e}"))?,
+            },
+            None => reply(out, "err retire needs <key>")?,
+        },
+        "save" => match fields.next() {
+            Some(key) => match save_verb(ctx, key) {
+                Ok(ok) => reply(out, &ok)?,
+                Err(e) => reply(out, &format!("err {e}"))?,
+            },
+            None => reply(out, "err save needs <key>")?,
+        },
+        "load" => match fields.next() {
+            Some(key) => match load_verb(ctx, key) {
+                Ok(report) => reply(out, &report_line(&report))?,
+                Err(e) => reply(out, &format!("err {e}"))?,
+            },
+            None => reply(out, "err load needs <key>")?,
+        },
+        "keys" => {
+            let snap = ctx.store.snapshot();
+            reply(out, &format!("keys {}", snap.keys().join(" ")))?;
+        }
+        "stats" => {
+            let snap = ctx.store.snapshot();
+            let stats = ctx.store.stats();
+            let shards = snap.synopsis().shards();
+            let mapped_bytes: usize = shards.iter().map(|s| s.mapped_bytes()).sum();
+            let storage: String = snap
+                .keys()
+                .iter()
+                .zip(shards)
+                .map(|(key, shard)| {
+                    if shard.is_mapped() {
+                        format!(" storage.{key}=mapped:{}", shard.mapped_bytes())
+                    } else {
+                        format!(" storage.{key}=owned")
+                    }
+                })
+                .collect();
+            // a degraded boot is visible at the protocol level: how
+            // many catalog keys the lossy warm start quarantined, and
+            // which (reasons go to the startup log — they have spaces)
+            let quarantined: String = if ctx.quarantined.is_empty() {
+                String::new()
+            } else {
+                ctx.quarantined
+                    .iter()
+                    .map(|(key, _)| format!(" quarantined.{key}=1"))
+                    .collect()
+            };
+            reply(
+                out,
+                &format!(
+                    "stats shards={} nodes={} dims={} version={} gridded={} \
+                     publishes={} grids_built={} mapped_bytes={mapped_bytes} \
+                     quarantined={}{storage}{quarantined}",
+                    snap.shard_count(),
+                    snap.node_count(),
+                    snap.dims(),
+                    snap.version(),
+                    ctx.store.gridded(),
+                    stats.publishes,
+                    stats.grids_built,
+                    ctx.quarantined.len(),
+                ),
+            )?;
+        }
+        "quit" => return Ok(Flow::Quit),
+        other => reply(out, &format!("err unknown command {other}"))?,
+    }
+    Ok(Flow::Continue)
+}
+
+/// Run the line protocol over one input/output pair until EOF or `quit`,
+/// with default options (no deadlines, [`MAX_LINE`] line cap) and no
+/// shutdown signal.
+pub fn serve_lines(ctx: &ServeContext, input: impl BufRead, out: impl Write) -> io::Result<()> {
+    serve_lines_with(ctx, input, out, &ServeOptions::default(), None)
+}
+
+/// Run the line protocol over one input/output pair until EOF, `quit`,
+/// an I/O failure, or — checked between commands — a tripped shutdown
+/// signal. Oversized lines answer `err line too long ...` and resync; a
+/// command that panics answers `err internal ...` and the session keeps
+/// serving.
+pub fn serve_lines_with(
+    ctx: &ServeContext,
+    mut input: impl BufRead,
+    out: impl Write,
+    opts: &ServeOptions,
+    shutdown: Option<&ShutdownSignal>,
+) -> io::Result<()> {
     // buffer the writes: replies flush at command boundaries, so a batch
     // of a million answers costs a handful of write syscalls instead of
     // one per line (stdout's LineWriter and raw TcpStreams both would)
     let mut out = io::BufWriter::new(out);
     let mut raw = Vec::new();
     let mut qraw = Vec::new();
-    while read_raw_line(&mut input, &mut raw)? {
-        let reply = |out: &mut dyn Write, text: String| -> io::Result<()> {
-            out.write_all(text.as_bytes())?;
-            out.write_all(b"\n")?;
-            out.flush()
-        };
+    loop {
+        if shutdown.is_some_and(|s| s.is_triggered()) {
+            break;
+        }
+        match read_raw_line(&mut input, &mut raw, opts.max_line)? {
+            RawLine::Eof => break,
+            RawLine::TooLong => {
+                reply(
+                    &mut out,
+                    &format!("err line too long (max {} bytes)", opts.max_line),
+                )?;
+                continue;
+            }
+            RawLine::Line => {}
+        }
         let Ok(line) = std::str::from_utf8(&raw) else {
-            reply(&mut out, "err line is not valid utf-8".into())?;
+            reply(&mut out, "err line is not valid utf-8")?;
             continue;
         };
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let mut fields = line.split_whitespace();
-        let command = fields.next().unwrap_or_default();
-        match command {
-            "count" => {
-                let snap = ctx.store.snapshot();
-                match (fields.next(), fields.next()) {
-                    (Some(lo), Some(hi)) => match parse_query(snap.dims(), lo, hi) {
-                        Ok(q) => reply(&mut out, format!("{:.17e}", snap.answer(&q)))?,
-                        Err(e) => reply(&mut out, format!("err {e}"))?,
-                    },
-                    _ => reply(&mut out, "err count needs <lo> <hi>".into())?,
-                }
-            }
-            "batch" => {
-                let snap = ctx.store.snapshot();
-                let n: usize = match fields.next().and_then(|v| v.parse().ok()) {
-                    Some(n) if n <= MAX_BATCH => n,
-                    Some(n) => {
-                        reply(
-                            &mut out,
-                            format!("err batch of {n} exceeds the {MAX_BATCH}-query cap"),
-                        )?;
-                        continue;
-                    }
-                    None => {
-                        reply(&mut out, "err batch needs a query count".into())?;
-                        continue;
-                    }
-                };
-                // always drain all n lines, even past a bad one — a batch
-                // failure must reply exactly one err line and leave the
-                // stream aligned on the next command
-                let mut queries = Vec::with_capacity(n);
-                let mut problem: Option<String> = None;
-                for _ in 0..n {
-                    if !read_raw_line(&mut input, &mut qraw)? {
-                        problem = Some("unexpected end of input inside batch".into());
-                        break;
-                    }
-                    if problem.is_some() {
-                        continue;
-                    }
-                    let Ok(qline) = std::str::from_utf8(&qraw) else {
-                        problem = Some("batch line is not valid utf-8".into());
-                        continue;
-                    };
-                    let mut parts = qline.split_whitespace();
-                    match (parts.next(), parts.next()) {
-                        (Some(lo), Some(hi)) => match parse_query(snap.dims(), lo, hi) {
-                            Ok(q) => queries.push(q),
-                            Err(e) => problem = Some(e),
-                        },
-                        _ => problem = Some(format!("bad batch line: {qline}")),
-                    }
-                }
-                match problem {
-                    Some(e) => reply(&mut out, format!("err {e}"))?,
-                    None => {
-                        // the pooled / Morton-batched read path
-                        for a in snap.answer_batch(&queries) {
-                            out.write_all(format!("{a:.17e}\n").as_bytes())?;
-                        }
-                        out.flush()?;
-                    }
-                }
-            }
-            "add" | "swap" => match (fields.next(), fields.next()) {
-                (Some(key), Some(path)) => {
-                    let outcome = load_release(path).and_then(|handle| {
-                        let op = if command == "add" {
-                            ctx.store.add(key, handle)
-                        } else {
-                            ctx.store.swap(key, handle)
-                        };
-                        op.map_err(|e| e.to_string())
-                    });
-                    match outcome {
-                        Ok(report) => reply(&mut out, report_line(&report))?,
-                        Err(e) => reply(&mut out, format!("err {e}"))?,
-                    }
-                }
-                _ => reply(&mut out, format!("err {command} needs <key> <path>"))?,
+        // panic isolation: a bug in one verb answers `err internal` and
+        // the session keeps serving. (A panic inside `batch`'s query
+        // reads could leave unread batch lines on the stream; the peer
+        // sees them answered as unknown commands — still `err`, never a
+        // dead stream.)
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            dispatch(ctx, line, &mut input, &mut out, &mut qraw, opts)
+        }));
+        match outcome {
+            Ok(flow) => match flow? {
+                Flow::Continue => {}
+                Flow::Quit => break,
             },
-            "retire" => match fields.next() {
-                Some(key) => match ctx.store.retire(key) {
-                    Ok(report) => reply(&mut out, report_line(&report))?,
-                    Err(e) => reply(&mut out, format!("err {e}"))?,
-                },
-                None => reply(&mut out, "err retire needs <key>".into())?,
-            },
-            "save" => match fields.next() {
-                Some(key) => match save_verb(ctx, key) {
-                    Ok(ok) => reply(&mut out, ok)?,
-                    Err(e) => reply(&mut out, format!("err {e}"))?,
-                },
-                None => reply(&mut out, "err save needs <key>".into())?,
-            },
-            "load" => match fields.next() {
-                Some(key) => match load_verb(ctx, key) {
-                    Ok(report) => reply(&mut out, report_line(&report))?,
-                    Err(e) => reply(&mut out, format!("err {e}"))?,
-                },
-                None => reply(&mut out, "err load needs <key>".into())?,
-            },
-            "keys" => {
-                let snap = ctx.store.snapshot();
-                reply(&mut out, format!("keys {}", snap.keys().join(" ")))?;
-            }
-            "stats" => {
-                let snap = ctx.store.snapshot();
-                let stats = ctx.store.stats();
-                let shards = snap.synopsis().shards();
-                let mapped_bytes: usize = shards.iter().map(|s| s.mapped_bytes()).sum();
-                let storage: String = snap
-                    .keys()
-                    .iter()
-                    .zip(shards)
-                    .map(|(key, shard)| {
-                        if shard.is_mapped() {
-                            format!(" storage.{key}=mapped:{}", shard.mapped_bytes())
-                        } else {
-                            format!(" storage.{key}=owned")
-                        }
-                    })
-                    .collect();
-                reply(
-                    &mut out,
-                    format!(
-                        "stats shards={} nodes={} dims={} version={} gridded={} \
-                         publishes={} grids_built={} mapped_bytes={mapped_bytes}{storage}",
-                        snap.shard_count(),
-                        snap.node_count(),
-                        snap.dims(),
-                        snap.version(),
-                        ctx.store.gridded(),
-                        stats.publishes,
-                        stats.grids_built
-                    ),
-                )?;
-            }
-            "quit" => break,
-            other => reply(&mut out, format!("err unknown command {other}"))?,
+            Err(payload) => reply(
+                &mut out,
+                &format!("err internal: {}", panic_message(payload.as_ref())),
+            )?,
         }
     }
     Ok(())
 }
 
+/// Decrements the live-connection counter when a connection thread
+/// exits — however it exits (EOF, `quit`, deadline eviction, panic).
+struct ConnSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A connection read half that turns the socket's short read timeout
+/// into a poll tick: every tick it checks the shutdown flag and the
+/// idle deadline, so a silent peer can be evicted and a draining server
+/// never waits on one.
+struct GuardedRead {
+    stream: TcpStream,
+    shutdown: ShutdownSignal,
+    /// Longest allowed silence between bytes (`None`: forever).
+    deadline: Option<Duration>,
+}
+
+impl Read for GuardedRead {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let start = Instant::now();
+        loop {
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.shutdown.is_triggered() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "server is draining",
+                        ));
+                    }
+                    if let Some(deadline) = self.deadline {
+                        if start.elapsed() >= deadline {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "read deadline exceeded",
+                            ));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+/// A running TCP listener: its bound address (resolving an OS-assigned
+/// `:0` port), the accept-loop thread, and the drain machinery.
+/// Embedders (the TCP benchmark lane, tests) can hold the handle for
+/// the life of the process; the binary parks on [`ServerHandle::join`]
+/// and calls [`ServerHandle::drain`] when a termination signal lands.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<()>,
+    shutdown: ShutdownSignal,
+    active: Arc<AtomicUsize>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clone of the shutdown signal driving this listener; trip it
+    /// (directly, or via `install_termination_handler`) to start a
+    /// drain.
+    pub fn shutdown_signal(&self) -> ShutdownSignal {
+        self.shutdown.clone()
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Block until the shutdown signal trips, then drain (see
+    /// [`ServerHandle::drain`]).
+    pub fn join_then_drain(self, deadline: Duration) -> bool {
+        while !self.shutdown.is_triggered() {
+            std::thread::sleep(ACCEPT_TICK);
+        }
+        self.drain(deadline)
+    }
+
+    /// Graceful shutdown: trip the signal (idempotent), stop accepting,
+    /// let in-flight commands finish their replies, and wait up to
+    /// `deadline` for every connection to close. Returns whether the
+    /// drain completed inside the deadline (`false`: some connection
+    /// was still mid-command; the process may still exit — the sockets
+    /// die with it).
+    pub fn drain(self, deadline: Duration) -> bool {
+        self.shutdown.trigger();
+        let start = Instant::now();
+        // the accept loop notices the flag within one poll tick
+        let _ = self.join.join();
+        while self.active.load(Ordering::SeqCst) > 0 {
+            if start.elapsed() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+}
+
 /// Bind `addr` and serve connections in background threads (one per
-/// connection, sharing `ctx`). Returns the bound address — which
-/// resolves an OS-assigned `:0` port — plus the accept-loop handle.
-/// Embedders (the TCP benchmark lane, tests) can drop the handle and
-/// keep the listener running for the life of the process; the binary
-/// joins it.
-pub fn spawn_tcp(
+/// connection, sharing `ctx`) with default [`ServeOptions`].
+pub fn spawn_tcp(ctx: Arc<ServeContext>, addr: &str) -> Result<ServerHandle, String> {
+    spawn_tcp_with(ctx, addr, ServeOptions::default(), ShutdownSignal::new())
+}
+
+/// Bind `addr` and serve connections under the given lifecycle options,
+/// draining when `shutdown` trips. The accept loop enforces
+/// [`ServeOptions::max_conns`] (excess accepts answer `err busy` and
+/// close) and polls the shutdown flag between accepts.
+pub fn spawn_tcp_with(
     ctx: Arc<ServeContext>,
     addr: &str,
-) -> Result<(SocketAddr, std::thread::JoinHandle<()>), String> {
+    opts: ServeOptions,
+    shutdown: ShutdownSignal,
+) -> Result<ServerHandle, String> {
     let listener = TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
     let local = listener
         .local_addr()
         .map_err(|e| format!("no local address: {e}"))?;
-    let handle = std::thread::spawn(move || {
-        for conn in listener.incoming() {
-            match conn {
-                Ok(stream) => {
-                    let ctx = Arc::clone(&ctx);
-                    std::thread::spawn(move || {
-                        let reader = match stream.try_clone() {
-                            Ok(read_half) => io::BufReader::new(read_half),
-                            Err(e) => {
-                                eprintln!("privtree-serve: cannot clone connection: {e}");
-                                return;
-                            }
-                        };
-                        // a dropped connection is normal client behaviour
-                        let _ = serve_lines(&ctx, reader, stream);
-                    });
-                }
-                Err(e) => eprintln!("privtree-serve: failed connection: {e}"),
-            }
-        }
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll listener: {e}"))?;
+    let active = Arc::new(AtomicUsize::new(0));
+    let accept_active = Arc::clone(&active);
+    let accept_shutdown = shutdown.clone();
+    let join = std::thread::spawn(move || {
+        accept_loop(listener, ctx, opts, accept_shutdown, accept_active);
     });
-    Ok((local, handle))
+    Ok(ServerHandle {
+        addr: local,
+        join,
+        shutdown,
+        active,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    ctx: Arc<ServeContext>,
+    opts: ServeOptions,
+    shutdown: ShutdownSignal,
+    active: Arc<AtomicUsize>,
+) {
+    loop {
+        if shutdown.is_triggered() {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(ACCEPT_TICK);
+                continue;
+            }
+            Err(e) => {
+                eprintln!("privtree-serve: failed connection: {e}");
+                continue;
+            }
+        };
+        // claim a slot before spawning, so a burst of accepts can never
+        // overshoot the cap while threads are still starting
+        if active.fetch_add(1, Ordering::SeqCst) >= opts.max_conns {
+            active.fetch_sub(1, Ordering::SeqCst);
+            shed(stream);
+            continue;
+        }
+        let slot = ConnSlot(Arc::clone(&active));
+        let ctx = Arc::clone(&ctx);
+        let opts = opts.clone();
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            let _slot = slot; // freed on every exit path
+            serve_connection(ctx, stream, opts, shutdown);
+        });
+    }
+}
+
+/// Answer `err busy` and close: load shedding at the connection cap.
+/// Best-effort — the reply is one small write, bounded by a short
+/// timeout so a hostile peer cannot stall the accept loop.
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.write_all(b"err busy\n");
+}
+
+fn serve_connection(
+    ctx: Arc<ServeContext>,
+    stream: TcpStream,
+    opts: ServeOptions,
+    shutdown: ShutdownSignal,
+) {
+    let read_half = match stream.try_clone() {
+        Ok(half) => half,
+        Err(e) => {
+            eprintln!("privtree-serve: cannot clone connection: {e}");
+            return;
+        }
+    };
+    // the socket's read timeout is the guard's poll tick — short enough
+    // that drains and deadline evictions land promptly
+    let tick = match opts.read_timeout {
+        Some(deadline) => deadline.min(POLL_TICK),
+        None => POLL_TICK,
+    };
+    let _ = read_half.set_read_timeout(Some(tick.max(Duration::from_millis(1))));
+    let _ = stream.set_write_timeout(opts.write_timeout);
+    let reader = io::BufReader::new(GuardedRead {
+        stream: read_half,
+        shutdown: shutdown.clone(),
+        deadline: opts.read_timeout,
+    });
+    // a dropped connection (or a deadline eviction) is normal peer
+    // behaviour; the outer catch_unwind keeps a pathological panic in
+    // the reply path from tearing down the whole thread with noise
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        let _ = serve_lines_with(&ctx, reader, stream, &opts, Some(&shutdown));
+    }));
 }

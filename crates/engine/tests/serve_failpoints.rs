@@ -1,0 +1,135 @@
+//! Fault-injection regressions on the serve layer (require
+//! `--features failpoints`; a separate test binary because the
+//! failpoint registry is process-global): a verb that panics
+//! mid-command — while holding the catalog lock — answers
+//! `err internal` and the *next* command on the same shared context
+//! succeeds (panic isolation plus lock-poison recovery), and an
+//! injected connection-read failure ends only its own session.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::seeded;
+use privtree_engine::serve::{serve_lines, ServeContext};
+use privtree_engine::ReleaseStore;
+use privtree_runtime::failpoints::{self, FailAction};
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::FrozenSynopsis;
+use privtree_store::Catalog;
+use rand::RngExt;
+
+/// The failpoint registry is process-global: serialize these tests.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn sample_release(seed: u64, points: usize) -> FrozenSynopsis {
+    let mut rng = seeded(seed);
+    let mut ps = PointSet::new(2);
+    for _ in 0..points {
+        ps.push(&[rng.random::<f64>(), rng.random::<f64>().powi(2)]);
+    }
+    privtree_spatial::synopsis::privtree_synopsis(
+        &ps,
+        Rect::unit(2),
+        SplitConfig::full(2),
+        Epsilon::new(1.0).unwrap(),
+        &mut seeded(seed ^ 0x7777),
+    )
+    .unwrap()
+    .freeze()
+}
+
+fn run_lines(ctx: &ServeContext, input: &[u8]) -> Vec<String> {
+    let mut out = Vec::new();
+    serve_lines(ctx, std::io::Cursor::new(input), &mut out).unwrap();
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// A scratch directory that cleans up after itself.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "privtree-serve-failpt-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn panicking_save_is_isolated_and_the_catalog_lock_recovers() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoints::reset();
+    let dir = TempDir::new("poison");
+    let catalog = Catalog::open_or_create(&dir.0).unwrap();
+    let store = ReleaseStore::open([("main", sample_release(107, 500))]).unwrap();
+    let ctx = ServeContext::with_catalog(store, catalog);
+
+    // the first save panics at the data file's create step — while the
+    // verb holds the catalog mutex
+    failpoints::arm("catalog.data.create", FailAction::Panic, 1);
+    let replies = run_lines(&ctx, b"save main\nsave main\nkeys\n");
+    failpoints::reset();
+    assert_eq!(replies.len(), 3, "got {replies:?}");
+    assert!(
+        replies[0].starts_with("err internal:"),
+        "panic answers err internal, got: {}",
+        replies[0]
+    );
+    assert!(
+        replies[1].starts_with("ok saved key=main"),
+        "the poisoned lock must recover, got: {}",
+        replies[1]
+    );
+    assert_eq!(replies[2], "keys main", "session kept serving");
+}
+
+#[test]
+fn injected_connection_read_error_ends_only_that_session() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoints::reset();
+    let store = ReleaseStore::open([("main", sample_release(108, 500))]).unwrap();
+    let ctx = ServeContext::new(store);
+    // the 2nd read of this session fails like a dropped socket
+    failpoints::arm("serve.read", FailAction::Error, 2);
+    let mut out = Vec::new();
+    let result = serve_lines(&ctx, std::io::Cursor::new(b"keys\nkeys\n"), &mut out);
+    failpoints::reset();
+    assert!(result.is_err(), "injected IO error must end the session");
+    let replies = String::from_utf8(out).unwrap();
+    assert_eq!(replies, "keys main\n", "first command was served");
+    // the shared context is untouched: a fresh session serves fine
+    let replies = run_lines(&ctx, b"keys\n");
+    assert_eq!(replies, ["keys main"]);
+}
+
+#[test]
+fn injected_write_failure_ends_the_session_not_the_store() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoints::reset();
+    let store = ReleaseStore::open([("main", sample_release(109, 500))]).unwrap();
+    let ctx = ServeContext::new(store);
+    failpoints::arm("serve.write", FailAction::Error, 1);
+    let mut out = Vec::new();
+    let result = serve_lines(&ctx, std::io::Cursor::new(b"keys\n"), &mut out);
+    failpoints::reset();
+    assert!(result.is_err(), "injected write failure must surface");
+    let replies = run_lines(&ctx, b"keys\n");
+    assert_eq!(replies, ["keys main"], "the shared store keeps serving");
+}

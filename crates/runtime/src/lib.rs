@@ -33,6 +33,11 @@
 //! until all of its chunks have reported back (even on panic, which is
 //! re-raised in the caller), so no borrow outlives the call.
 
+pub mod failpoints;
+pub mod shutdown;
+
+pub use shutdown::{install_termination_handler, ShutdownSignal};
+
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Sender};

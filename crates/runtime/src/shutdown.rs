@@ -1,0 +1,105 @@
+//! Cooperative shutdown signalling for serving processes.
+//!
+//! A [`ShutdownSignal`] is a shared one-way flag: once triggered it
+//! stays triggered, and every clone observes it. The serve layer's
+//! accept loop and connection threads poll it between commands, so
+//! triggering the signal starts a **drain**: stop accepting, finish
+//! in-flight replies, close. [`install_termination_handler`] wires the
+//! same flag to `SIGTERM`/`SIGINT` on Unix (dependency-free, via the C
+//! library's `signal(2)`), so `kill <pid>` drains instead of dropping
+//! connections mid-reply.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, monotone "stop now" flag. Cheap to clone (one `Arc`);
+/// safe to poll from any thread.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownSignal {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownSignal {
+    /// A fresh, untriggered signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the flag. Idempotent; never blocks.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the flag has been tripped (by any clone or by an
+    /// installed signal handler).
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::ShutdownSignal;
+    use std::sync::OnceLock;
+
+    /// The signal a handler trips. `OnceLock::get` and the `AtomicBool`
+    /// store are both plain atomic operations — async-signal-safe.
+    static INSTALLED: OnceLock<ShutdownSignal> = OnceLock::new();
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `sighandler_t signal(int signum, sighandler_t handler)` from
+        /// the C library (always linked; no crates.io dependency).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        if let Some(signal) = INSTALLED.get() {
+            signal.trigger();
+        }
+    }
+
+    /// Route `SIGTERM` and `SIGINT` to `shutdown.trigger()`. Returns
+    /// `false` if a handler was already installed for another signal
+    /// instance (only the first installation wins).
+    pub fn install_termination_handler(shutdown: &ShutdownSignal) -> bool {
+        if INSTALLED.set(shutdown.clone()).is_err() {
+            return false;
+        }
+        let handler = on_terminate as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+        true
+    }
+}
+
+#[cfg(unix)]
+pub use unix::install_termination_handler;
+
+/// Signal handlers are not available on this platform; the caller
+/// falls back to explicit [`ShutdownSignal::trigger`] calls (stdin
+/// EOF, an admin verb). Returns `false`.
+#[cfg(not(unix))]
+pub fn install_termination_handler(_shutdown: &ShutdownSignal) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_observe_the_trigger() {
+        let signal = ShutdownSignal::new();
+        let observer = signal.clone();
+        assert!(!observer.is_triggered());
+        signal.trigger();
+        assert!(observer.is_triggered());
+        signal.trigger(); // idempotent
+        assert!(observer.is_triggered());
+    }
+}

@@ -25,11 +25,23 @@
 //!
 //! **Atomic publish**: every write — data file and manifest alike — goes
 //! to a `.tmp` sibling first and is then renamed into place, and the
-//! manifest is rewritten only *after* its data file landed. A crash at
-//! any point leaves either the old catalog or the new one, never a
-//! manifest pointing at a half-written release. Loads verify the
+//! manifest is rewritten only *after* its data file landed. Data file
+//! names are **generation-unique** (they carry the content checksum),
+//! so a publish never overwrites a live file in place — the manifest
+//! always points at bytes that match its recorded checksum, whichever
+//! side of the crash it landed on. A crash at any point therefore
+//! leaves either the old catalog or the new one, never a manifest
+//! pointing at a half-written release; whatever half-finished residue
+//! remains (`.tmp` siblings, orphaned release files no manifest entry
+//! references) is swept by [`Catalog::open`]. Loads verify the
 //! whole-file checksum before decoding, so a torn or bit-rotted file is
 //! a typed error, not a wrong answer.
+//!
+//! Every step of this protocol is threaded with deterministic
+//! failpoints (`privtree_runtime::failpoints`, compiled in only under
+//! the `failpoints` feature); `crates/store/tests/failpoints.rs`
+//! interrupts a publish at every single step and proves the directory
+//! reopens at exactly the old or the new generation.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -148,11 +160,33 @@ impl From<LoadedRelease> for ShardHandle {
     }
 }
 
+/// What [`Catalog::open`] cleaned up while recovering the directory
+/// from a possible crashed writer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySweep {
+    /// Stale `.tmp` siblings removed (a writer died between create and
+    /// rename).
+    pub tmp_files: usize,
+    /// Orphaned release files removed (present on disk, referenced by
+    /// no manifest entry — a writer died between landing the data file
+    /// and the manifest, or between the manifest and the old file's
+    /// unlink).
+    pub orphan_files: usize,
+}
+
+impl RecoverySweep {
+    /// Whether the sweep removed anything.
+    pub fn is_clean(&self) -> bool {
+        self.tmp_files == 0 && self.orphan_files == 0
+    }
+}
+
 /// An open catalog: the directory plus its parsed manifest.
 #[derive(Debug)]
 pub struct Catalog {
     dir: PathBuf,
     entries: BTreeMap<String, CatalogEntry>,
+    sweep: RecoverySweep,
 }
 
 /// Map a release key to a filesystem-safe stem: keep `[A-Za-z0-9._-]`,
@@ -216,30 +250,79 @@ fn toml_unescape(s: &str, line: usize) -> Result<String, StoreError> {
     Ok(out)
 }
 
+/// Traverse the failpoint `{label}.{step}`. With the `failpoints`
+/// feature off this compiles to nothing (no allocation, no lookup).
+#[cfg(feature = "failpoints")]
+fn fail_point(label: &str, step: &str) -> Result<(), privtree_runtime::failpoints::Failure> {
+    privtree_runtime::failpoints::check(&format!("{label}.{step}"))
+}
+
+/// No-op stand-in when fault injection is compiled out.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+fn fail_point(_label: &str, _step: &str) -> Result<(), privtree_runtime::failpoints::Failure> {
+    Ok(())
+}
+
 /// Write `bytes` to `path` atomically **and durably**: `.tmp` sibling
 /// first, `fsync` it (so the data blocks are on disk before the rename
 /// can make them visible), rename into place, then `fsync` the parent
 /// directory so the rename itself survives power loss — without the
 /// directory sync, a crash can persist the rename while the file is
 /// still empty, exactly the torn state this module promises away.
-fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+///
+/// `label` names the failpoints threaded through the five steps
+/// (`{label}.create` / `.write` / `.sync` / `.rename` / `.dirsync`).
+/// An injected **error** behaves like the real syscall failing — the
+/// `.tmp` sibling is cleaned up; an injected **crash** returns without
+/// any cleanup, leaving the disk exactly as a dying process would
+/// (a torn `.tmp`, an un-synced rename), for [`Catalog::open`]'s
+/// recovery sweep to deal with.
+fn atomic_write(path: &Path, bytes: &[u8], label: &str) -> Result<(), StoreError> {
     use std::io::Write as _;
     let tmp = path.with_extension(format!(
         "{}.tmp",
         path.extension().and_then(|e| e.to_str()).unwrap_or("dat")
     ));
-    let write_synced = || -> std::io::Result<()> {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(bytes)?;
-        file.sync_all()
+    // an injected crash must leave the .tmp residue in place — the
+    // process is modelled as dead, so no cleanup code would have run
+    let injected = |f: privtree_runtime::failpoints::Failure| -> StoreError {
+        if !f.is_crash() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        StoreError::Io {
+            context: format!("write {}", tmp.display()),
+            message: f.to_string(),
+        }
     };
-    write_synced().map_err(|e| {
+    let cleanup_io = |context: String, e: std::io::Error| -> StoreError {
         let _ = std::fs::remove_file(&tmp);
-        StoreError::io(format!("write {}", tmp.display()), e)
-    })?;
-    std::fs::rename(&tmp, path).map_err(|e| {
-        let _ = std::fs::remove_file(&tmp);
-        StoreError::io(format!("rename {} into place", tmp.display()), e)
+        StoreError::io(context, e)
+    };
+    fail_point(label, "create").map_err(&injected)?;
+    let mut file = std::fs::File::create(&tmp)
+        .map_err(|e| cleanup_io(format!("create {}", tmp.display()), e))?;
+    if let Err(f) = fail_point(label, "write") {
+        if f.is_crash() {
+            // model a torn write: half the payload reached the disk
+            let _ = file.write_all(&bytes[..bytes.len() / 2]);
+        }
+        drop(file);
+        return Err(injected(f));
+    }
+    file.write_all(bytes)
+        .map_err(|e| cleanup_io(format!("write {}", tmp.display()), e))?;
+    fail_point(label, "sync").map_err(&injected)?;
+    file.sync_all()
+        .map_err(|e| cleanup_io(format!("sync {}", tmp.display()), e))?;
+    drop(file);
+    fail_point(label, "rename").map_err(&injected)?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| cleanup_io(format!("rename {} into place", tmp.display()), e))?;
+    fail_point(label, "dirsync").map_err(|f| StoreError::Io {
+        // the rename already landed: nothing to clean up either way
+        context: format!("sync directory of {}", path.display()),
+        message: f.to_string(),
     })?;
     if let Some(parent) = path.parent() {
         std::fs::File::open(parent)
@@ -249,15 +332,71 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     Ok(())
 }
 
+/// Whether `name` looks like a catalog-managed release file: the
+/// `.ptbin`/`.txt` extension plus the checksum suffix every
+/// catalog-generated name carries. Only such files are candidates for
+/// the orphan sweep — anything else in the directory is left alone.
+fn looks_like_release_file(name: &str) -> bool {
+    let stem = match name.rsplit_once('.') {
+        Some((stem, "ptbin" | "txt")) => stem,
+        _ => return false,
+    };
+    match stem.rsplit_once('-') {
+        Some((_, suffix)) => suffix.len() == 8 && suffix.bytes().all(|b| b.is_ascii_hexdigit()),
+        None => false,
+    }
+}
+
+/// Remove crashed-writer residue from `dir`: stale `.tmp` siblings and
+/// release-shaped files no manifest entry references. Sweep failures
+/// are ignored (recovery must never make an openable catalog
+/// unopenable); unremoved files are simply re-candidates next open.
+fn sweep_dir(dir: &Path, entries: &BTreeMap<String, CatalogEntry>) -> RecoverySweep {
+    let mut sweep = RecoverySweep::default();
+    let Ok(read_dir) = std::fs::read_dir(dir) else {
+        return sweep;
+    };
+    for dirent in read_dir.flatten() {
+        let name = dirent.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name == MANIFEST_FILE {
+            continue;
+        }
+        if entries.values().any(|e| e.file == name) {
+            continue;
+        }
+        if name.ends_with(".tmp") {
+            if std::fs::remove_file(dirent.path()).is_ok() {
+                sweep.tmp_files += 1;
+            }
+        } else if looks_like_release_file(name) && std::fs::remove_file(dirent.path()).is_ok() {
+            sweep.orphan_files += 1;
+        }
+    }
+    sweep
+}
+
 impl Catalog {
     /// Open an existing catalog: the directory must hold a manifest.
+    ///
+    /// Opening **recovers** the directory from a crashed writer: stale
+    /// `.tmp` siblings and orphaned release files (left by a process
+    /// that died mid-publish) are removed, and the result is reported
+    /// through [`Catalog::recovery_sweep`]. The manifest itself is
+    /// written atomically, so it always parses to either the old or
+    /// the new generation.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
         let manifest = dir.join(MANIFEST_FILE);
         let text = std::fs::read_to_string(&manifest)
             .map_err(|e| StoreError::io(format!("read {}", manifest.display()), e))?;
         let entries = parse_manifest(&text)?;
-        Ok(Self { dir, entries })
+        let sweep = sweep_dir(&dir, &entries);
+        Ok(Self {
+            dir,
+            entries,
+            sweep,
+        })
     }
 
     /// Open a catalog, creating the directory and an empty manifest when
@@ -269,12 +408,22 @@ impl Catalog {
         }
         std::fs::create_dir_all(&dir)
             .map_err(|e| StoreError::io(format!("create {}", dir.display()), e))?;
-        let catalog = Self {
+        let mut catalog = Self {
             dir,
             entries: BTreeMap::new(),
+            sweep: RecoverySweep::default(),
         };
         catalog.write_manifest()?;
+        // a writer may have died before its first manifest landed —
+        // clear its .tmp residue exactly like the open path would
+        catalog.sweep = sweep_dir(&catalog.dir, &catalog.entries);
         Ok(catalog)
+    }
+
+    /// What [`Catalog::open`] removed while recovering the directory
+    /// ([`RecoverySweep::is_clean`] when there was nothing to do).
+    pub fn recovery_sweep(&self) -> RecoverySweep {
+        self.sweep
     }
 
     /// The catalog directory.
@@ -348,23 +497,46 @@ impl Catalog {
     }
 
     /// Write the data file, then the manifest — both atomically.
+    ///
+    /// The file name carries the content checksum, so replacing a key
+    /// writes a **new** file instead of renaming over the live one:
+    /// until the manifest lands, the old generation's bytes still match
+    /// the old manifest's checksum, and after it lands the new ones
+    /// match the new — there is no window in which the manifest points
+    /// at bytes it did not record. The superseded file is unlinked last
+    /// (pure GC; a crash before the unlink leaves an orphan for the
+    /// next open's recovery sweep).
     fn publish(
         &mut self,
         key: &str,
         bytes: &[u8],
         format: ReleaseFormat,
     ) -> Result<CatalogEntry, StoreError> {
-        let file = format!("{}.{}", file_stem(key), format.extension());
-        atomic_write(&self.dir.join(&file), bytes)?;
+        let checksum = crc32(bytes);
+        let file = format!("{}-{checksum:08x}.{}", file_stem(key), format.extension());
+        atomic_write(&self.dir.join(&file), bytes, "catalog.data")?;
         let entry = CatalogEntry {
             file: file.clone(),
             format,
-            checksum: crc32(bytes),
+            checksum,
         };
         let previous = self.entries.insert(key.to_string(), entry.clone());
-        self.write_manifest()?;
+        if let Err(e) = self.write_manifest() {
+            // roll the in-memory map back so this handle stays
+            // consistent with the manifest that is actually on disk
+            // (the new data file is an orphan; the sweep reclaims it)
+            match previous {
+                Some(prev) => self.entries.insert(key.to_string(), prev),
+                None => self.entries.remove(key),
+            };
+            return Err(e);
+        }
         if let Some(prev) = previous {
             if prev.file != file {
+                fail_point("catalog.gc", "unlink").map_err(|f| StoreError::Io {
+                    context: format!("unlink superseded {}", prev.file),
+                    message: f.to_string(),
+                })?;
                 let _ = std::fs::remove_file(self.dir.join(&prev.file));
             }
         }
@@ -474,6 +646,47 @@ impl Catalog {
             .collect()
     }
 
+    /// [`Catalog::load_all`], degraded: releases whose file is missing,
+    /// torn, or corrupt are **quarantined** (returned with their typed
+    /// per-key error) instead of failing the whole load, so one bad
+    /// release costs capacity, not availability. Surviving releases
+    /// load bit-identically to the strict path, in sorted key order.
+    #[allow(clippy::type_complexity)]
+    pub fn load_all_lossy(
+        &self,
+    ) -> (
+        Vec<(String, FrozenSynopsis, Option<CellGrid>)>,
+        Vec<(String, StoreError)>,
+    ) {
+        let mut loaded = Vec::new();
+        let mut quarantined = Vec::new();
+        for key in self.entries.keys() {
+            match self.load(key) {
+                Ok((arena, grid)) => loaded.push((key.clone(), arena, grid)),
+                Err(e) => quarantined.push((key.clone(), e)),
+            }
+        }
+        (loaded, quarantined)
+    }
+
+    /// [`Catalog::load_all_mapped`], degraded exactly like
+    /// [`Catalog::load_all_lossy`]: per-key errors quarantine that key,
+    /// the rest of the catalog serves.
+    #[allow(clippy::type_complexity)]
+    pub fn load_all_mapped_lossy(
+        &self,
+    ) -> (Vec<(String, LoadedRelease)>, Vec<(String, StoreError)>) {
+        let mut loaded = Vec::new();
+        let mut quarantined = Vec::new();
+        for key in self.entries.keys() {
+            match self.load_mapped(key) {
+                Ok(release) => loaded.push((key.clone(), release)),
+                Err(e) => quarantined.push((key.clone(), e)),
+            }
+        }
+        (loaded, quarantined)
+    }
+
     /// Drop `key` from the catalog: manifest first (so a crash leaves an
     /// orphan file, never a dangling entry), then the data file.
     pub fn remove(&mut self, key: &str) -> Result<(), StoreError> {
@@ -483,7 +696,14 @@ impl Catalog {
             .ok_or_else(|| StoreError::UnknownKey {
                 key: key.to_string(),
             })?;
-        self.write_manifest()?;
+        if let Err(e) = self.write_manifest() {
+            self.entries.insert(key.to_string(), entry);
+            return Err(e);
+        }
+        fail_point("catalog.gc", "unlink").map_err(|f| StoreError::Io {
+            context: format!("unlink removed {}", entry.file),
+            message: f.to_string(),
+        })?;
         let _ = std::fs::remove_file(self.dir.join(&entry.file));
         Ok(())
     }
@@ -501,7 +721,11 @@ impl Catalog {
                 entry.checksum,
             ));
         }
-        atomic_write(&self.dir.join(MANIFEST_FILE), out.as_bytes())
+        atomic_write(
+            &self.dir.join(MANIFEST_FILE),
+            out.as_bytes(),
+            "catalog.manifest",
+        )
     }
 }
 

@@ -47,7 +47,7 @@ pub mod catalog;
 pub mod format;
 pub mod view;
 
-pub use catalog::{Catalog, CatalogEntry, LoadedRelease, ReleaseFormat};
+pub use catalog::{Catalog, CatalogEntry, LoadedRelease, RecoverySweep, ReleaseFormat};
 pub use format::{
     decode_release, encode_release, encode_release_unaligned, encoded_len, HEADER_LEN, MAGIC,
     VERSION,

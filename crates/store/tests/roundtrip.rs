@@ -185,7 +185,9 @@ fn catalog_lifecycle_end_to_end() {
         cat.load("east"),
         Err(privtree_store::StoreError::UnknownKey { .. })
     ));
-    // a replacement under the same key reuses the same file name
+    // a replacement under the same key lands in a NEW file (the name
+    // carries the content checksum) so the live generation is never
+    // overwritten in place, and the superseded file is GC'd
     let entry_before = cat.entry("west").unwrap().clone();
     cat.save(
         "west",
@@ -195,8 +197,12 @@ fn catalog_lifecycle_end_to_end() {
     )
     .unwrap();
     let entry_after = cat.entry("west").unwrap();
-    assert_eq!(entry_before.file, entry_after.file);
+    assert_ne!(entry_before.file, entry_after.file);
     assert_ne!(entry_before.checksum, entry_after.checksum);
+    assert!(
+        !dir.join(&entry_before.file).exists(),
+        "the superseded generation is unlinked after the manifest lands"
+    );
     // only live files + the manifest remain on disk
     let mut files: Vec<String> = std::fs::read_dir(&dir)
         .unwrap()
