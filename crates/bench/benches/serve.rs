@@ -356,6 +356,93 @@ fn bench_serve(c: &mut Criterion) {
     });
     let _ = std::fs::remove_dir_all(&mmap_dir);
 
+    // ---- the sustained-churn lane: strip0 swapped every few ms under
+    // continuous query load, with the durable mutation journal off and
+    // on (fsync=always and fsync=every:8). Each swap in the journaled
+    // configs goes journal-before-ack through the engine's persist
+    // hook, exactly like a `--journal` server; the lane records swap
+    // p99 and read qps per config, so the journal's overhead on both
+    // the mutation path and the read path lands in the artifact. ----
+    use privtree_spatial::sharded::ShardHandle;
+    use privtree_store::FsyncPolicy;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let churn_interval = Duration::from_millis(if smoke { 1 } else { 5 });
+    let churn_swaps = if smoke { 4 } else { 60 };
+    let churn_queries = &medium[..medium.len().min(200)];
+    let strip_frozen: Vec<FrozenSynopsis> = (0..STRIPS)
+        .map(|i| strip_release(i, 100 + i as u64))
+        .collect();
+    let churn_lane = |tag: &str, policy: Option<FsyncPolicy>| -> (f64, f64) {
+        let dir =
+            std::env::temp_dir().join(format!("privtree-bench-churn-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut catalog = Catalog::open_or_create(&dir).expect("churn catalog");
+        catalog.set_retention(2);
+        for (i, frozen) in strip_frozen.iter().enumerate() {
+            catalog
+                .save(&format!("strip{i}"), frozen, None, ReleaseFormat::Binary)
+                .unwrap();
+        }
+        if let Some(policy) = policy {
+            catalog.enable_journal(policy).unwrap();
+        }
+        let store = ReleaseStore::open(strip_frozen.iter().enumerate().map(|(i, frozen)| {
+            (
+                format!("strip{i}"),
+                ShardHandle::from_release(frozen.clone(), None),
+            )
+        }))
+        .unwrap();
+        let stop = AtomicBool::new(false);
+        let answered = AtomicU64::new(0);
+        let mut latencies = Vec::with_capacity(churn_swaps);
+        let churn_start = Instant::now();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = store.snapshot();
+                    black_box(snap.synopsis().answer_batch_sequential(churn_queries));
+                    answered.fetch_add(churn_queries.len() as u64, Ordering::Relaxed);
+                }
+            });
+            for s in 0..churn_swaps {
+                let replacement = ShardHandle::from_release(next_epochs[s % 2].clone(), None);
+                let swap_start = Instant::now();
+                if policy.is_some() {
+                    store
+                        .swap_with("strip0", replacement, |next| {
+                            let shard = next.get("strip0").expect("the swap staged strip0");
+                            let bytes = privtree_store::encode_release(
+                                shard.arena(),
+                                shard.grid().map(|g| g.as_ref()),
+                            );
+                            catalog
+                                .import("strip0", &bytes, ReleaseFormat::Binary)
+                                .map(|_| ())
+                                .map_err(privtree_engine::EngineError::Store)
+                        })
+                        .unwrap();
+                } else {
+                    store.swap("strip0", replacement).unwrap();
+                }
+                latencies.push(swap_start.elapsed().as_secs_f64());
+                std::thread::sleep(churn_interval);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let elapsed = churn_start.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&dir);
+        latencies.sort_by(f64::total_cmp);
+        let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+        (p99, answered.load(Ordering::Relaxed) as f64 / elapsed)
+    };
+    let (churn_off_p99, churn_off_qps) = churn_lane("off", None);
+    let (churn_always_p99, churn_always_qps) =
+        churn_lane("fsync-always", Some(FsyncPolicy::Always));
+    let (churn_every8_p99, churn_every8_qps) =
+        churn_lane("fsync-every8", Some(FsyncPolicy::EveryN(8)));
+    let churn_overhead_pct = (churn_always_p99 - churn_off_p99) / churn_off_p99 * 100.0;
+
     // ---- the concurrent-TCP lane: an in-process privtree-serve
     // listener (gridded single-release store, thread per connection,
     // shared global pool) hammered by N client threads streaming batch
@@ -518,6 +605,14 @@ fn bench_serve(c: &mut Criterion) {
             "      \"speedup_vs_owned_decode\": {:.2}\n",
             "    }}\n",
             "  }},\n",
+            "  \"sustained_churn\": {{\n",
+            "    \"swaps_per_config\": {},\n",
+            "    \"swap_interval_ms\": {},\n",
+            "    \"journal_off\": {{ \"swap_p99_secs\": {:.6}, \"read_qps\": {:.1} }},\n",
+            "    \"journal_fsync_always\": {{ \"swap_p99_secs\": {:.6}, \"read_qps\": {:.1} }},\n",
+            "    \"journal_fsync_every8\": {{ \"swap_p99_secs\": {:.6}, \"read_qps\": {:.1} }},\n",
+            "    \"journal_swap_overhead_pct\": {:.2}\n",
+            "  }},\n",
             "  \"concurrent_tcp\": {{\n",
             "    \"queries_per_batch\": {},\n",
             "    \"rounds_per_thread\": {},\n",
@@ -573,6 +668,15 @@ fn bench_serve(c: &mut Criterion) {
         mmap_owned_load_secs,
         mmap_first_query_secs,
         mmap_owned_load_secs / mmap_open_secs,
+        churn_swaps,
+        churn_interval.as_millis(),
+        churn_off_p99,
+        churn_off_qps,
+        churn_always_p99,
+        churn_always_qps,
+        churn_every8_p99,
+        churn_every8_qps,
+        churn_overhead_pct,
         medium.len(),
         tcp_rounds,
         tcp_json,

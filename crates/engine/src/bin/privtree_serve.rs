@@ -13,7 +13,9 @@
 //!
 //! ```text
 //! privtree-serve [--grids] [--listen ADDR] [--catalog DIR]
-//!                [--mmap|--no-mmap] [--max-conns N] [--read-timeout S]
+//!                [--journal] [--fsync always|never|every:N]
+//!                [--keep-generations N] [--mmap|--no-mmap]
+//!                [--max-conns N] [--read-timeout S]
 //!                [--drain-timeout S] <key=release>...
 //! ```
 //!
@@ -29,6 +31,16 @@
 //! out of the page cache, columns borrow the mapping, and shipped grids
 //! assemble lazily on first use — `--no-mmap` restores owned copying
 //! decodes (answers are bit-identical either way).
+//!
+//! With `--journal` (requires `--catalog`), every `add`/`swap`/`retire`
+//! appends a write-ahead record to the catalog's journal **before** the
+//! ok line is written — an acked mutation survives a crash, and the
+//! next boot replays the journal on top of the manifest. `--fsync`
+//! picks the append durability (`always`, the default; `every:N`;
+//! `never`), `--keep-generations N` retains the newest N generations
+//! per key (GC never unlinks a file a retained generation still
+//! references), and the `checkpoint` verb folds the journal into the
+//! manifest and rotates the segment.
 //!
 //! In listen mode the process runs under lifecycle guards: at most
 //! `--max-conns` concurrent connections (excess accepts answer
@@ -55,9 +67,10 @@ use privtree_engine::serve::{
 use privtree_engine::ReleaseStore;
 use privtree_runtime::{install_termination_handler, ShutdownSignal};
 use privtree_spatial::sharded::ShardHandle;
-use privtree_store::Catalog;
+use privtree_store::{Catalog, FsyncPolicy};
 
 const USAGE: &str = "usage: privtree-serve [--grids] [--listen ADDR] [--catalog DIR]\n\
+                     [--journal] [--fsync always|never|every:N] [--keep-generations N]\n\
                      [--mmap|--no-mmap] [--max-conns N] [--read-timeout SECS]\n\
                      [--drain-timeout SECS] <key=release>...\n\
                      releases are privtree-synopsis v1 text files or privtree-bin v1\n\
@@ -65,12 +78,17 @@ const USAGE: &str = "usage: privtree-serve [--grids] [--listen ADDR] [--catalog 
                      of rebuilt); queries arrive over stdin, or over TCP with --listen;\n\
                      --catalog warm-starts from (and enables save/load against) an\n\
                      on-disk release catalog, quarantining damaged entries instead of\n\
-                     refusing to boot; --mmap (the default) serves catalog releases\n\
-                     zero-copy from a memory mapping, --no-mmap decodes them into owned\n\
-                     buffers; --max-conns (default 1024) sheds excess connections with\n\
-                     `err busy`; --read-timeout (default 30, 0=off) evicts peers idle\n\
-                     that long; SIGTERM/SIGINT or stdin EOF drain gracefully, waiting\n\
-                     up to --drain-timeout (default 5) for in-flight replies";
+                     refusing to boot; --journal (requires --catalog) makes every\n\
+                     add/swap/retire durable via a write-ahead journal record before\n\
+                     the ack, replayed on the next boot; --fsync (default always) picks\n\
+                     the journal append durability; --keep-generations (default 1)\n\
+                     retains the newest N generations per key; --mmap (the default)\n\
+                     serves catalog releases zero-copy from a memory mapping, --no-mmap\n\
+                     decodes them into owned buffers; --max-conns (default 1024) sheds\n\
+                     excess connections with `err busy`; --read-timeout (default 30,\n\
+                     0=off) evicts peers idle that long; SIGTERM/SIGINT or stdin EOF\n\
+                     drain gracefully, waiting up to --drain-timeout (default 5) for\n\
+                     in-flight replies";
 
 fn parse_secs(flag: &str, value: Option<String>) -> Result<u64, String> {
     value
@@ -83,6 +101,9 @@ fn run() -> Result<(), String> {
     let mut grids = false;
     let mut listen: Option<String> = None;
     let mut catalog_dir: Option<String> = None;
+    let mut journal = false;
+    let mut fsync = FsyncPolicy::Always;
+    let mut keep_generations: usize = 1;
     let mut mmap = true;
     let mut max_conns: usize = 1024;
     let mut read_timeout_secs: u64 = 30;
@@ -97,6 +118,20 @@ fn run() -> Result<(), String> {
             }
             "--catalog" => {
                 catalog_dir = Some(args.next().ok_or("--catalog needs a directory")?);
+            }
+            "--journal" => journal = true,
+            "--fsync" => {
+                let spelling = args.next().ok_or("--fsync needs always|never|every:N")?;
+                fsync = FsyncPolicy::parse(&spelling).ok_or_else(|| {
+                    format!("--fsync: bad policy {spelling} (always|never|every:N)")
+                })?;
+            }
+            "--keep-generations" => {
+                keep_generations = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--keep-generations needs a positive count")?;
             }
             "--mmap" => mmap = true,
             "--no-mmap" => mmap = false,
@@ -125,17 +160,40 @@ fn run() -> Result<(), String> {
             }
         }
     }
+    if catalog_dir.is_none() {
+        if journal {
+            return Err(format!("--journal requires --catalog\n{USAGE}"));
+        }
+        if keep_generations != 1 {
+            return Err(format!("--keep-generations requires --catalog\n{USAGE}"));
+        }
+    }
     let mut quarantined = Vec::new();
     let catalog = match &catalog_dir {
         Some(dir) => {
-            let catalog = Catalog::open_or_create(dir).map_err(|e| e.to_string())?;
+            // open replays any journal the manifest references; the
+            // sweep runs after replay so journal-only generations are
+            // never mistaken for orphans
+            let mut catalog = Catalog::open_or_create(dir).map_err(|e| e.to_string())?;
             let sweep = catalog.recovery_sweep();
             if !sweep.is_clean() {
                 eprintln!(
                     "privtree-serve: catalog recovery swept {} stale tmp file(s), \
-                     {} orphan file(s)",
-                    sweep.tmp_files, sweep.orphan_files
+                     {} orphan file(s), {} orphan journal segment(s)",
+                    sweep.tmp_files, sweep.orphan_files, sweep.journal_files
                 );
+            }
+            if catalog.replayed_ops() > 0 {
+                eprintln!(
+                    "privtree-serve: replayed {} journaled op(s) on top of the manifest \
+                     (journal_seq={})",
+                    catalog.replayed_ops(),
+                    catalog.journal_seq()
+                );
+            }
+            catalog.set_retention(keep_generations);
+            if journal {
+                catalog.enable_journal(fsync).map_err(|e| e.to_string())?;
             }
             // cataloged releases first; explicit key=path arguments may
             // not collide (the store refuses duplicates). Lossy: damaged
@@ -177,7 +235,7 @@ fn run() -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let snap = store.snapshot();
     eprintln!(
-        "privtree-serve: {} release(s), {} nodes, dims={}, gridded={}{}{}",
+        "privtree-serve: {} release(s), {} nodes, dims={}, gridded={}{}{}{}",
         snap.shard_count(),
         snap.node_count(),
         snap.dims(),
@@ -185,6 +243,10 @@ fn run() -> Result<(), String> {
         match &catalog_dir {
             Some(dir) => format!(", catalog={dir}"),
             None => String::new(),
+        },
+        match journal {
+            true => format!(", journal=on fsync={fsync} keep={keep_generations}"),
+            false => String::new(),
         },
         match quarantined.len() {
             0 => String::new(),

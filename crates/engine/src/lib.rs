@@ -458,15 +458,32 @@ impl ReleaseStore {
         key: impl Into<String>,
         release: impl Into<ShardHandle>,
     ) -> Result<SwapReport, EngineError> {
+        self.add_with(key, release, |_| Ok(()))
+    }
+
+    /// [`ReleaseStore::add`] with a durability hook: `persist` runs
+    /// after the staged catalog validated and the next snapshot built,
+    /// but **before** publication — journal the mutation there and an
+    /// ack can never outrun its record. A `persist` error aborts the
+    /// whole mutation.
+    pub fn add_with(
+        &self,
+        key: impl Into<String>,
+        release: impl Into<ShardHandle>,
+        persist: impl FnOnce(&BTreeMap<String, ShardHandle>) -> Result<(), EngineError>,
+    ) -> Result<SwapReport, EngineError> {
         let key = key.into();
         let handle = release.into();
-        self.mutate(move |catalog| {
-            if catalog.contains_key(&key) {
-                return Err(EngineError::DuplicateKey(key));
-            }
-            catalog.insert(key, handle);
-            Ok(())
-        })
+        self.mutate_with(
+            move |catalog| {
+                if catalog.contains_key(&key) {
+                    return Err(EngineError::DuplicateKey(key));
+                }
+                catalog.insert(key, handle);
+                Ok(())
+            },
+            persist,
+        )
     }
 
     /// Replace the release serving under `key` — the epoch swap. Only
@@ -477,25 +494,52 @@ impl ReleaseStore {
         key: impl Into<String>,
         release: impl Into<ShardHandle>,
     ) -> Result<SwapReport, EngineError> {
+        self.swap_with(key, release, |_| Ok(()))
+    }
+
+    /// [`ReleaseStore::swap`] with a durability hook; see
+    /// [`ReleaseStore::add_with`].
+    pub fn swap_with(
+        &self,
+        key: impl Into<String>,
+        release: impl Into<ShardHandle>,
+        persist: impl FnOnce(&BTreeMap<String, ShardHandle>) -> Result<(), EngineError>,
+    ) -> Result<SwapReport, EngineError> {
         let key = key.into();
         let handle = release.into();
-        self.mutate(move |catalog| {
-            if !catalog.contains_key(&key) {
-                return Err(EngineError::UnknownKey(key));
-            }
-            catalog.insert(key, handle);
-            Ok(())
-        })
+        self.mutate_with(
+            move |catalog| {
+                if !catalog.contains_key(&key) {
+                    return Err(EngineError::UnknownKey(key));
+                }
+                catalog.insert(key, handle);
+                Ok(())
+            },
+            persist,
+        )
     }
 
     /// Stop serving `key`. The store refuses to become empty.
     pub fn retire(&self, key: &str) -> Result<SwapReport, EngineError> {
-        self.mutate(|catalog| {
-            if catalog.remove(key).is_none() {
-                return Err(EngineError::UnknownKey(key.to_string()));
-            }
-            Ok(())
-        })
+        self.retire_with(key, |_| Ok(()))
+    }
+
+    /// [`ReleaseStore::retire`] with a durability hook; see
+    /// [`ReleaseStore::add_with`].
+    pub fn retire_with(
+        &self,
+        key: &str,
+        persist: impl FnOnce(&BTreeMap<String, ShardHandle>) -> Result<(), EngineError>,
+    ) -> Result<SwapReport, EngineError> {
+        self.mutate_with(
+            |catalog| {
+                if catalog.remove(key).is_none() {
+                    return Err(EngineError::UnknownKey(key.to_string()));
+                }
+                Ok(())
+            },
+            persist,
+        )
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -505,11 +549,16 @@ impl ReleaseStore {
     }
 
     /// Stage `op` on a copy of the catalog, validate, build the next
-    /// snapshot, and only then publish. Any error leaves the store
-    /// exactly as it was.
-    fn mutate(
+    /// snapshot, run the `persist` durability hook, and only then
+    /// publish. Any error — the op's, the build's, or `persist`'s —
+    /// leaves the store exactly as it was. `persist` is deliberately
+    /// the **last** fallible step: when it journals the mutation, a
+    /// record exists for every published (acked) state, and no record
+    /// exists for a state that failed validation.
+    fn mutate_with(
         &self,
         op: impl FnOnce(&mut BTreeMap<String, ShardHandle>) -> Result<(), EngineError>,
+        persist: impl FnOnce(&BTreeMap<String, ShardHandle>) -> Result<(), EngineError>,
     ) -> Result<SwapReport, EngineError> {
         let mut inner = self.lock();
         let mut next = inner.catalog.clone(); // Arc bumps, not array copies
@@ -520,6 +569,7 @@ impl ReleaseStore {
         let version = inner.version + 1;
         let (snapshot, grids_built, grid_cells_built) =
             build_snapshot(&mut next, self.grids, version)?;
+        persist(&next)?;
         let shards_reused = next
             .iter()
             .filter(|(key, handle)| {

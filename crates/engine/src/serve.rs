@@ -15,10 +15,19 @@
 //! save <key>                        -> ok saved key=.. file=.. (catalog)
 //! load <key>                        -> ok version=.. (add-or-swap from
 //!                                      the catalog)
+//! checkpoint                        -> ok checkpoint journal_seq=..
+//!                                      (fold journal into the manifest)
 //! keys                              -> keys <k1> <k2> ...
 //! stats                             -> stats shards=.. nodes=.. ...
 //! quit                              -> closes the stream
 //! ```
+//!
+//! With a **journaled catalog** (`--journal`), every `add`/`swap`/
+//! `retire` persists a catalog generation and appends a write-ahead
+//! record *before* the ok line is written — an acked mutation survives
+//! a crash. See `crates/engine/README.md` for the full protocol
+//! reference, every `err <reason>` string, and the journal-related
+//! `stats` keys.
 //!
 //! **Errors never kill the stream**: every failed command — malformed
 //! line, unparseable query, missing file, rejected `add`/`swap`, even a
@@ -42,7 +51,8 @@
 //!   deadline passes; it can never pin a connection slot open.
 //! * **Connection cap** — at most [`ServeOptions::max_conns`]
 //!   concurrent connections; an accept beyond the cap is answered
-//!   `err busy` and closed immediately instead of queueing unboundedly.
+//!   `err busy (connection cap reached, retry shortly)` and closed
+//!   immediately instead of queueing unboundedly.
 //! * **Panic isolation** — each command dispatch runs under
 //!   `catch_unwind`: a panicking verb answers `err internal ...` and
 //!   the connection (and every other connection) keeps serving.
@@ -54,6 +64,7 @@
 //!   connections close at the next poll tick, and `drain` reports
 //!   whether everything wound down inside the deadline.
 
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -67,9 +78,9 @@ use privtree_spatial::serialize::release_from_text;
 use privtree_spatial::sharded::ShardHandle;
 use privtree_spatial::Rect;
 use privtree_store::catalog::looks_binary;
-use privtree_store::{decode_release, Catalog, ReleaseFormat};
+use privtree_store::{decode_release, encode_release, Catalog, ReleaseFormat, StoreError};
 
-use crate::{ReleaseStore, SwapReport};
+use crate::{EngineError, ReleaseStore, SwapReport};
 
 /// Largest accepted `batch <n>`: bounds the per-batch allocation against
 /// hostile or mistyped counts (1M queries ≈ 70 MB of boxes — plenty for
@@ -141,6 +152,11 @@ pub struct ServeContext {
     /// Surfaced through `stats` so an operator can see at the protocol
     /// level that the process booted degraded.
     pub quarantined: Vec<(String, String)>,
+    /// Whether the attached catalog journals mutations — captured at
+    /// construction (the flag never flips mid-flight), so the hot
+    /// `add`/`swap`/`retire` dispatch can branch without taking the
+    /// catalog lock first.
+    journal: bool,
 }
 
 impl ServeContext {
@@ -152,17 +168,28 @@ impl ServeContext {
             catalog: None,
             mmap: true,
             quarantined: Vec::new(),
+            journal: false,
         }
     }
 
-    /// A context with an attached catalog.
+    /// A context with an attached catalog. When the catalog journals
+    /// (see `Catalog::enable_journal`), every `add`/`swap`/`retire`
+    /// verb persists its mutation through the catalog **before**
+    /// acking.
     pub fn with_catalog(store: ReleaseStore, catalog: Catalog) -> Self {
+        let journal = catalog.journaling();
         Self {
             store,
             catalog: Some(Mutex::new(catalog)),
             mmap: true,
             quarantined: Vec::new(),
+            journal,
         }
+    }
+
+    /// Whether mutations are journaled through the attached catalog.
+    pub fn journaled(&self) -> bool {
+        self.journal
     }
 
     /// Set whether catalog `load` verbs open releases zero-copy.
@@ -495,7 +522,30 @@ fn dispatch(
         "add" | "swap" => match (fields.next(), fields.next()) {
             (Some(key), Some(path)) => {
                 let outcome = load_release(path).and_then(|handle| {
-                    let op = if command == "add" {
+                    let op = if ctx.journaled() {
+                        // journal-before-ack: persist the staged shard
+                        // into the catalog (one generation + one
+                        // write-ahead record) as the mutation's last
+                        // fallible step — the handle is re-encoded
+                        // after the snapshot build so a shipped grid
+                        // lands in the catalog too
+                        let persist = |next: &BTreeMap<String, ShardHandle>| {
+                            let shard = next.get(key).expect("the op staged this key");
+                            let bytes =
+                                encode_release(shard.arena(), shard.grid().map(|g| g.as_ref()));
+                            let mut catalog =
+                                ctx.lock_catalog().expect("journaling implies a catalog");
+                            catalog
+                                .import(key, &bytes, ReleaseFormat::Binary)
+                                .map(|_| ())
+                                .map_err(EngineError::Store)
+                        };
+                        if command == "add" {
+                            ctx.store.add_with(key, handle, persist)
+                        } else {
+                            ctx.store.swap_with(key, handle, persist)
+                        }
+                    } else if command == "add" {
                         ctx.store.add(key, handle)
                     } else {
                         ctx.store.swap(key, handle)
@@ -510,10 +560,26 @@ fn dispatch(
             _ => reply(out, &format!("err {command} needs <key> <path>"))?,
         },
         "retire" => match fields.next() {
-            Some(key) => match ctx.store.retire(key) {
-                Ok(report) => reply(out, &report_line(&report))?,
-                Err(e) => reply(out, &format!("err {e}"))?,
-            },
+            Some(key) => {
+                let op = if ctx.journaled() {
+                    ctx.store.retire_with(key, |_| {
+                        let mut catalog = ctx.lock_catalog().expect("journaling implies a catalog");
+                        match catalog.remove(key) {
+                            // a key the catalog never held (nothing was
+                            // journaled for it) has nothing to retire
+                            // durably — recovery won't resurrect it
+                            Ok(()) | Err(StoreError::UnknownKey { .. }) => Ok(()),
+                            Err(e) => Err(EngineError::Store(e)),
+                        }
+                    })
+                } else {
+                    ctx.store.retire(key)
+                };
+                match op {
+                    Ok(report) => reply(out, &report_line(&report))?,
+                    Err(e) => reply(out, &format!("err {e}"))?,
+                }
+            }
             None => reply(out, "err retire needs <key>")?,
         },
         "save" => match fields.next() {
@@ -529,6 +595,27 @@ fn dispatch(
                 Err(e) => reply(out, &format!("err {e}"))?,
             },
             None => reply(out, "err load needs <key>")?,
+        },
+        "checkpoint" => match ctx.lock_catalog() {
+            None => reply(out, "err no catalog attached (start with --catalog DIR)")?,
+            Some(mut catalog) => {
+                if catalog.journaling() {
+                    // journaled mutations already persisted every
+                    // serving release; fold the journal into the
+                    // manifest and rotate the segment
+                    match catalog.checkpoint() {
+                        Ok(seq) => reply(out, &format!("ok checkpoint journal_seq={seq}"))?,
+                        Err(e) => reply(out, &format!("err {e}"))?,
+                    }
+                } else {
+                    // no journal: a checkpoint is a full persist of the
+                    // serving snapshot (the manifest rewrites per save)
+                    match ctx.store.persist_catalog(&mut catalog) {
+                        Ok(saved) => reply(out, &format!("ok checkpoint saved={saved}"))?,
+                        Err(e) => reply(out, &format!("err {e}"))?,
+                    }
+                }
+            }
         },
         "keys" => {
             let snap = ctx.store.snapshot();
@@ -562,12 +649,36 @@ fn dispatch(
                     .map(|(key, _)| format!(" quarantined.{key}=1"))
                     .collect()
             };
+            // durability posture: whether mutations are journaled, how
+            // far the journal has advanced, how much of the boot came
+            // from replay, and how many older generations are retained
+            let journal: String = match ctx.lock_catalog() {
+                None => " journal=0".into(),
+                Some(catalog) => {
+                    let mut s = format!(
+                        " journal={} keep={} retained={}",
+                        u8::from(catalog.journaling()),
+                        catalog.keep_generations(),
+                        catalog.retained_total(),
+                    );
+                    if catalog.journaling() {
+                        s.push_str(&format!(
+                            " journal_seq={} checkpoint_seq={} replayed={} fsync={}",
+                            catalog.journal_seq(),
+                            catalog.checkpoint_seq(),
+                            catalog.replayed_ops(),
+                            catalog.fsync_policy().expect("journaling"),
+                        ));
+                    }
+                    s
+                }
+            };
             reply(
                 out,
                 &format!(
                     "stats shards={} nodes={} dims={} version={} gridded={} \
                      publishes={} grids_built={} mapped_bytes={mapped_bytes} \
-                     quarantined={}{storage}{quarantined}",
+                     quarantined={}{journal}{storage}{quarantined}",
                     snap.shard_count(),
                     snap.node_count(),
                     snap.dims(),
@@ -852,12 +963,13 @@ fn accept_loop(
     }
 }
 
-/// Answer `err busy` and close: load shedding at the connection cap.
-/// Best-effort — the reply is one small write, bounded by a short
-/// timeout so a hostile peer cannot stall the accept loop.
+/// Answer `err busy` (with a retry hint — the cap is a transient
+/// condition, not a protocol error) and close: load shedding at the
+/// connection cap. Best-effort — the reply is one small write, bounded
+/// by a short timeout so a hostile peer cannot stall the accept loop.
 fn shed(mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let _ = stream.write_all(b"err busy\n");
+    let _ = stream.write_all(b"err busy (connection cap reached, retry shortly)\n");
 }
 
 fn serve_connection(

@@ -1,0 +1,503 @@
+//! The PR's crash contract, proven at every IO step (requires
+//! `--features failpoints`): a scripted add/swap/retire/checkpoint
+//! history runs against a **journaled** catalog through the engine's
+//! journal-before-ack mutation path, a crash is injected at every
+//! single failpoint traversal in turn, and after each crash the
+//! reopened store must be **bit-identical to a fresh build of the
+//! acked prefix** — plus, at the steps where the write-ahead record
+//! itself landed before the crash, the one in-flight op (standard WAL
+//! atomicity: a record either took effect or it did not; nothing in
+//! between). Alongside the state check: no residue files survive
+//! recovery, and the GC never unlinked a file a current or retained
+//! generation still references. A property test drives random
+//! histories through random injection points under random retention.
+
+#![cfg(feature = "failpoints")]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::seeded;
+use privtree_engine::{EngineError, ReleaseStore};
+use privtree_runtime::failpoints::{self, FailAction};
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::sharded::ShardHandle;
+use privtree_spatial::FrozenSynopsis;
+use privtree_store::format::crc32;
+use privtree_store::{Catalog, FsyncPolicy, ReleaseFormat};
+use proptest::prelude::*;
+use rand::RngExt;
+
+/// The failpoint registry is process-global: every test that arms
+/// triggers serializes on this lock.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn sample_release(domain: Rect, seed: u64) -> FrozenSynopsis {
+    let mut rng = seeded(seed);
+    let mut ps = PointSet::new(2);
+    for _ in 0..160 {
+        ps.push(&[
+            domain.lo()[0] + rng.random::<f64>() * domain.side(0),
+            domain.lo()[1] + rng.random::<f64>() * domain.side(1),
+        ]);
+    }
+    privtree_spatial::synopsis::privtree_synopsis(
+        &ps,
+        domain,
+        SplitConfig::full(2),
+        Epsilon::new(1.0).unwrap(),
+        &mut seeded(seed ^ 0x7a31),
+    )
+    .unwrap()
+    .freeze()
+}
+
+const KEYS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+fn key_idx(key: &str) -> usize {
+    KEYS.iter().position(|k| *k == key).expect("known key")
+}
+
+/// Shards in a store tile disjoint regions, so each key owns a fixed
+/// x-strip of the unit square; swapping a key moves between variants
+/// of that strip. Three variants per key, built once (PrivTree runs
+/// are the slow part; the crash sweep reuses them at every step).
+fn releases() -> &'static [[FrozenSynopsis; 3]; 3] {
+    static RELEASES: OnceLock<[[FrozenSynopsis; 3]; 3]> = OnceLock::new();
+    RELEASES.get_or_init(|| {
+        std::array::from_fn(|k| {
+            let lo = k as f64 / 3.0;
+            let strip = Rect::new(&[lo, 0.0], &[lo + 1.0 / 3.0, 1.0]);
+            std::array::from_fn(|v| sample_release(strip, (k * 3 + v + 1) as u64))
+        })
+    })
+}
+
+/// The release a key serves at `variant`.
+fn rel(key: &str, variant: usize) -> &'static FrozenSynopsis {
+    &releases()[key_idx(key)][variant]
+}
+
+fn bits(arena: &FrozenSynopsis) -> Vec<u64> {
+    arena.counts().iter().map(|c| c.to_bits()).collect()
+}
+
+/// A scratch directory that cleans up after itself.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("privtree-jnlfp-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One protocol-level mutation, as the serve layer would issue it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    Add(&'static str, usize),
+    Swap(&'static str, usize),
+    Retire(&'static str),
+    Checkpoint,
+}
+
+/// The scripted history the crash sweep replays: adds, replacing
+/// swaps, a retire, and checkpoints (journal rotations) interleaved.
+/// Starts from a seeded catalog serving `alpha` at release 0.
+const HISTORY: &[Op] = &[
+    Op::Add("beta", 1),
+    Op::Swap("alpha", 2),
+    Op::Checkpoint,
+    Op::Add("gamma", 0),
+    Op::Retire("beta"),
+    Op::Swap("gamma", 1),
+    Op::Checkpoint,
+    Op::Swap("alpha", 1),
+];
+
+/// The key -> release-index map after applying `ops` on the seeded
+/// initial state (`alpha` at release 0).
+fn expected_state(ops: &[Op]) -> BTreeMap<&'static str, usize> {
+    let mut state = BTreeMap::from([("alpha", 0usize)]);
+    for op in ops {
+        match *op {
+            Op::Add(key, r) | Op::Swap(key, r) => {
+                state.insert(key, r);
+            }
+            Op::Retire(key) => {
+                state.remove(key);
+            }
+            Op::Checkpoint => {}
+        }
+    }
+    state
+}
+
+/// A journaled catalog seeded with `alpha` (release 0) and
+/// checkpointed, built with fault injection disarmed.
+fn seeded_dir(dir: &Path, keep: usize) -> Catalog {
+    failpoints::reset();
+    let mut catalog = Catalog::open_or_create(dir).unwrap();
+    catalog.set_retention(keep);
+    catalog.enable_journal(FsyncPolicy::Always).unwrap();
+    catalog
+        .save("alpha", rel("alpha", 0), None, ReleaseFormat::Binary)
+        .unwrap();
+    catalog.checkpoint().unwrap();
+    catalog
+}
+
+/// Boot a store from the catalog exactly like the serving binary does
+/// (strict load — this test never damages files, it kills writers).
+fn boot_store(catalog: &Catalog) -> ReleaseStore {
+    let releases = catalog.load_all().unwrap();
+    ReleaseStore::open(
+        releases
+            .into_iter()
+            .map(|(key, arena, grid)| (key, ShardHandle::from_release(arena, grid))),
+    )
+    .unwrap()
+}
+
+/// Apply one op through the engine's journal-before-ack path — the
+/// same staging the serve layer's dispatch uses.
+fn apply(store: &ReleaseStore, catalog: &mut Catalog, op: Op) -> Result<(), String> {
+    fn persist_upsert(
+        catalog: &mut Catalog,
+        key: &str,
+        next: &BTreeMap<String, ShardHandle>,
+    ) -> Result<(), EngineError> {
+        let shard = next.get(key).expect("staged");
+        let bytes = privtree_store::encode_release(shard.arena(), shard.grid().map(|g| g.as_ref()));
+        catalog
+            .import(key, &bytes, ReleaseFormat::Binary)
+            .map(|_| ())
+            .map_err(EngineError::Store)
+    }
+    match op {
+        Op::Add(key, r) => store
+            .add_with(
+                key,
+                ShardHandle::from_release(rel(key, r).clone(), None),
+                |next| persist_upsert(catalog, key, next),
+            )
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        Op::Swap(key, r) => store
+            .swap_with(
+                key,
+                ShardHandle::from_release(rel(key, r).clone(), None),
+                |next| persist_upsert(catalog, key, next),
+            )
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        Op::Retire(key) => store
+            .retire_with(key, |_| catalog.remove(key).map_err(EngineError::Store))
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        Op::Checkpoint => catalog.checkpoint().map(|_| ()).map_err(|e| e.to_string()),
+    }
+}
+
+/// Count the failpoint traversals of one clean scripted run.
+fn history_step_count(keep: usize) -> u64 {
+    let dir = TempDir::new(&format!("count-{keep}"));
+    let mut catalog = seeded_dir(&dir.0, keep);
+    let store = boot_store(&catalog);
+    failpoints::reset();
+    for &op in HISTORY {
+        apply(&store, &mut catalog, op).unwrap();
+    }
+    let steps = failpoints::hits();
+    failpoints::reset();
+    steps
+}
+
+/// Everything the recovered directory is allowed to contain: the
+/// manifest, the active journal segment, and one file per live
+/// (current or retained) generation.
+fn assert_no_residue(dir: &Path, catalog: &Catalog) {
+    let mut allowed: BTreeSet<String> = BTreeSet::from(["catalog.toml".to_string()]);
+    if let Some(segment) = catalog.journal_segment() {
+        allowed.insert(segment.to_string());
+    }
+    for key in catalog.keys().map(str::to_string).collect::<Vec<_>>() {
+        allowed.insert(catalog.entry(&key).unwrap().file.clone());
+    }
+    for (_, entry) in catalog.retained_entries() {
+        allowed.insert(entry.file.clone());
+    }
+    let on_disk: BTreeSet<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .collect();
+    assert_eq!(
+        on_disk, allowed,
+        "recovered directory must hold exactly the live files"
+    );
+}
+
+/// The GC half of the contract: every file a current **or retained**
+/// generation references exists and matches its recorded checksum.
+fn assert_generations_intact(dir: &Path, catalog: &Catalog) {
+    let check = |label: &str, entry: &privtree_store::CatalogEntry| {
+        let bytes = std::fs::read(dir.join(&entry.file))
+            .unwrap_or_else(|e| panic!("{label} generation file {} lost: {e}", entry.file));
+        assert_eq!(
+            crc32(&bytes),
+            entry.checksum,
+            "{label} generation file {} torn",
+            entry.file
+        );
+    };
+    for key in catalog.keys().map(str::to_string).collect::<Vec<_>>() {
+        check("current", catalog.entry(&key).unwrap());
+    }
+    for (key, entry) in catalog.retained_entries() {
+        check(&format!("retained[{key}]"), entry);
+    }
+}
+
+/// Reopen after a crash and pin the recovered state to the acked
+/// prefix — or the acked prefix plus the one in-flight op whose
+/// write-ahead record landed before the crash.
+fn assert_recovers_to_acked_prefix(dir: &Path, acked: &[Op], in_flight: Option<Op>, ctx: &str) {
+    let catalog = Catalog::open(dir).unwrap_or_else(|e| panic!("{ctx}: must reopen, got {e}"));
+    assert_no_residue(dir, &catalog);
+    assert_generations_intact(dir, &catalog);
+
+    let candidates: Vec<BTreeMap<&'static str, usize>> = {
+        let mut c = vec![expected_state(acked)];
+        if let Some(op) = in_flight {
+            let mut with: Vec<Op> = acked.to_vec();
+            with.push(op);
+            let state = expected_state(&with);
+            if !c.contains(&state) {
+                c.push(state);
+            }
+        }
+        c
+    };
+    let loaded = catalog
+        .load_all()
+        .unwrap_or_else(|e| panic!("{ctx}: every recovered entry must load, got {e}"));
+    let recovered: BTreeMap<&str, Vec<u64>> = loaded
+        .iter()
+        .map(|(key, arena, _)| (key.as_str(), bits(arena)))
+        .collect();
+    let matched = candidates.iter().any(|state| {
+        state.len() == recovered.len()
+            && state
+                .iter()
+                .all(|(key, &r)| recovered.get(*key) == Some(&bits(rel(key, r))))
+    });
+    assert!(
+        matched,
+        "{ctx}: recovered keys {:?} match neither the acked prefix nor prefix+in-flight \
+         (acked {acked:?}, in-flight {in_flight:?})",
+        recovered.keys().collect::<Vec<_>>()
+    );
+
+    // and the recovered catalog must boot a serving store: the answers
+    // of a fresh build of this state are, by construction, the answers
+    // of the recovered one (bit-identical per-shard counts + structure)
+    let store = boot_store(&catalog);
+    assert_eq!(store.keys().len(), recovered.len(), "{ctx}: store boots");
+}
+
+/// The tentpole: crash the scripted history at every failpoint step —
+/// journal appends and fsyncs, data-file writes, manifest rewrites,
+/// segment rotations, GC unlinks — and prove exact acked-prefix
+/// recovery after each.
+#[test]
+fn scripted_history_crashed_at_every_step_recovers_the_acked_prefix() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for keep in [1usize, 2] {
+        let steps = history_step_count(keep);
+        assert!(
+            steps >= 40,
+            "expected a rich failpoint surface over the history, got {steps}"
+        );
+        for step in 1..=steps {
+            let dir = TempDir::new(&format!("crash-k{keep}-s{step}"));
+            let mut catalog = seeded_dir(&dir.0, keep);
+            let store = boot_store(&catalog);
+            failpoints::reset();
+            failpoints::arm_global(step, FailAction::Crash);
+            let mut acked = 0;
+            let mut crashed = None;
+            for (i, &op) in HISTORY.iter().enumerate() {
+                match apply(&store, &mut catalog, op) {
+                    Ok(()) => acked = i + 1,
+                    Err(_) => {
+                        crashed = Some(op);
+                        break; // the process died mid-op
+                    }
+                }
+            }
+            let crashed = crashed.unwrap_or_else(|| {
+                panic!("step {step}/{steps} keep={keep}: injected crash never fired")
+            });
+            drop(store);
+            drop(catalog);
+            failpoints::reset();
+            assert_recovers_to_acked_prefix(
+                &dir.0,
+                &HISTORY[..acked],
+                Some(crashed),
+                &format!("keep={keep} step={step}/{steps}"),
+            );
+        }
+    }
+}
+
+/// Injected *errors* (syscall fails, process lives): the op reports
+/// failure, the live store keeps serving the pre-op state, and after
+/// disarming, the remainder of the history applies cleanly to the
+/// exact final state — an operator can always retry past a transient
+/// disk error.
+#[test]
+fn errored_history_retries_to_the_final_state() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let steps = history_step_count(2);
+    // probe a spread of steps (every step is covered by the crash
+    // sweep; the error sweep checks the retry path at each phase)
+    for step in (1..=steps).step_by(3) {
+        let dir = TempDir::new(&format!("err-{step}"));
+        let mut catalog = seeded_dir(&dir.0, 2);
+        let store = boot_store(&catalog);
+        failpoints::reset();
+        failpoints::arm_global(step, FailAction::Error);
+        let mut failed = None;
+        for (i, &op) in HISTORY.iter().enumerate() {
+            if let Err(e) = apply(&store, &mut catalog, op) {
+                failed = Some((i, op, e));
+                break;
+            }
+        }
+        let (at, op, e) = failed.unwrap_or_else(|| panic!("step {step}: error never fired"));
+        assert!(
+            e.contains("injected"),
+            "step {step}: only the injection may fail here, got {e}"
+        );
+        failpoints::reset();
+        // retry the failed op, then run the rest of the history
+        apply(&store, &mut catalog, op)
+            .unwrap_or_else(|e| panic!("step {step}: retry of {op:?} must succeed, got {e}"));
+        for &op in &HISTORY[at + 1..] {
+            apply(&store, &mut catalog, op).unwrap();
+        }
+        drop(store);
+        drop(catalog);
+        assert_recovers_to_acked_prefix(&dir.0, HISTORY, None, &format!("error step={step}"));
+    }
+}
+
+/// After a graceful run of the whole history, a restart replays the
+/// journal to the exact final state — and a checkpoint-then-restart
+/// reaches the same state with zero replayed ops.
+#[test]
+fn full_history_replays_and_checkpoints_to_the_same_state() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = TempDir::new("graceful");
+    let mut catalog = seeded_dir(&dir.0, 2);
+    let store = boot_store(&catalog);
+    failpoints::reset();
+    for &op in HISTORY {
+        apply(&store, &mut catalog, op).unwrap();
+    }
+    drop(store);
+    drop(catalog);
+    assert_recovers_to_acked_prefix(&dir.0, HISTORY, None, "graceful restart");
+
+    // the post-restart catalog replayed the ops after the last
+    // checkpoint; a fresh checkpoint folds them away
+    let mut catalog = Catalog::open(&dir.0).unwrap();
+    assert!(
+        catalog.replayed_ops() > 0,
+        "the tail of the history replays"
+    );
+    catalog.checkpoint().unwrap();
+    drop(catalog);
+    let catalog = Catalog::open(&dir.0).unwrap();
+    assert_eq!(catalog.replayed_ops(), 0, "checkpoint folded the journal");
+    drop(catalog);
+    assert_recovers_to_acked_prefix(&dir.0, HISTORY, None, "post-checkpoint restart");
+}
+
+proptest! {
+    /// Random histories, random retention, random injection step: the
+    /// acked prefix (plus at most the one in-flight op) always
+    /// recovers, with no residue and no GC'd live generation. Op codes
+    /// pack a key (`code % 3`) and a kind (`code / 3`: add-or-swap at
+    /// two different releases, retire, checkpoint).
+    #[test]
+    fn random_interrupted_histories_recover_the_acked_prefix(
+        codes in proptest::collection::vec(0usize..12, 1..6),
+        keep in 1usize..3,
+        step in 1u64..80,
+    ) {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = TempDir::new("prop");
+        let mut catalog = seeded_dir(&dir.0, keep);
+        let store = boot_store(&catalog);
+        failpoints::reset();
+        failpoints::arm_global(step, FailAction::Crash);
+        let keys = ["alpha", "beta", "gamma"];
+        let mut acked: Vec<Op> = Vec::new();
+        let mut serving: BTreeSet<&str> = BTreeSet::from(["alpha"]);
+        let mut crashed = None;
+        for &code in &codes {
+            let key = keys[code % 3];
+            let op = match code / 3 {
+                0 => {
+                    if serving.contains(key) { Op::Swap(key, code % 3) } else { Op::Add(key, code % 3) }
+                }
+                1 => {
+                    if serving.contains(key) { Op::Swap(key, (code + 1) % 3) } else { Op::Add(key, (code + 1) % 3) }
+                }
+                2 => {
+                    // retiring the last key is refused before any IO;
+                    // skip instead of burning a history slot on a no-op
+                    if serving.len() < 2 || !serving.contains(key) { continue } else { Op::Retire(key) }
+                }
+                _ => Op::Checkpoint,
+            };
+            match apply(&store, &mut catalog, op) {
+                Ok(()) => {
+                    match op {
+                        Op::Add(k, _) | Op::Swap(k, _) => { serving.insert(k); }
+                        Op::Retire(k) => { serving.remove(k); }
+                        Op::Checkpoint => {}
+                    }
+                    acked.push(op);
+                }
+                Err(_) => { crashed = Some(op); break; }
+            }
+        }
+        drop(store);
+        drop(catalog);
+        failpoints::reset();
+        // the armed step may lie beyond the history's traversals — a
+        // clean run recovers to the full history, which `crashed =
+        // None` encodes
+        assert_recovers_to_acked_prefix(
+            &dir.0,
+            &acked,
+            crashed,
+            &format!("prop keep={keep} step={step}"),
+        );
+    }
+}

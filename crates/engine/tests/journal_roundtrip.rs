@@ -1,0 +1,315 @@
+//! End-to-end journal recovery through the real `privtree-serve`
+//! binary: boot with `--journal`, mutate over the wire, then restart —
+//! once after a graceful `quit` and once after a mid-session SIGKILL —
+//! and require every **acked** mutation to come back, with answers
+//! bit-identical to an in-process store built fresh from the same
+//! releases. No failpoints feature needed: the kill is a real signal.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use privtree_dp::budget::Epsilon;
+use privtree_dp::rng::seeded;
+use privtree_engine::ReleaseStore;
+use privtree_spatial::dataset::PointSet;
+use privtree_spatial::geom::Rect;
+use privtree_spatial::quadtree::SplitConfig;
+use privtree_spatial::query::RangeQuery;
+use privtree_spatial::sharded::ShardHandle;
+use privtree_spatial::{FrozenSynopsis, RangeCountSynopsis};
+use privtree_store::{encode_release, Catalog, ReleaseFormat};
+use rand::RngExt;
+
+const BIN: &str = env!("CARGO_BIN_EXE_privtree-serve");
+
+fn sample_release(domain: Rect, seed: u64) -> FrozenSynopsis {
+    let mut rng = seeded(seed);
+    let mut ps = PointSet::new(2);
+    for _ in 0..200 {
+        ps.push(&[
+            domain.lo()[0] + rng.random::<f64>() * domain.side(0),
+            domain.lo()[1] + rng.random::<f64>() * domain.side(1),
+        ]);
+    }
+    privtree_spatial::synopsis::privtree_synopsis(
+        &ps,
+        domain,
+        SplitConfig::full(2),
+        Epsilon::new(1.0).unwrap(),
+        &mut seeded(seed ^ 0x3d2f),
+    )
+    .unwrap()
+    .freeze()
+}
+
+/// Each serving key owns a fixed x-strip (shards must tile disjoint
+/// regions); variants within a strip are what swaps move between.
+fn strip(k: usize) -> Rect {
+    let lo = k as f64 / 3.0;
+    Rect::new(&[lo, 0.0], &[lo + 1.0 / 3.0, 1.0])
+}
+
+/// A scratch directory that cleans up after itself.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("privtree-jnlrt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        Self(path)
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// An interactive line-protocol session against the serve binary,
+/// killed on drop so a failing assert cannot leak a process.
+struct Session {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Session {
+    fn spawn(catalog_dir: &Path, extra: &[&str]) -> Self {
+        let mut child = Command::new(BIN)
+            .arg("--catalog")
+            .arg(catalog_dir)
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn privtree-serve");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Self {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// Send one command line, read its one reply line.
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").expect("serve stdin open");
+        self.stdin.flush().unwrap();
+        let mut reply = String::new();
+        self.stdout.read_line(&mut reply).expect("serve reply");
+        assert!(!reply.is_empty(), "serve hung up on {line:?}");
+        reply.trim_end().to_string()
+    }
+
+    /// Send one command line and require an `ok`-prefixed reply.
+    fn ok(&mut self, line: &str) -> String {
+        let reply = self.send(line);
+        assert!(reply.starts_with("ok"), "{line:?} failed: {reply}");
+        reply
+    }
+
+    /// Graceful shutdown: `quit` and reap.
+    fn quit(mut self) {
+        let _ = writeln!(self.stdin, "quit");
+        let _ = self.stdin.flush();
+        let _ = self.child.wait();
+    }
+
+    /// Kill the serving process mid-session with SIGKILL — no flush,
+    /// no shutdown hook, exactly like a crash or an OOM kill.
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL serve");
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn query_line(q: &RangeQuery) -> String {
+    let csv = |c: &[f64]| {
+        c.iter()
+            .map(|x| format!("{x:.17e}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!("count {} {}", csv(q.rect.lo()), csv(q.rect.hi()))
+}
+
+/// Probe queries spanning strip boundaries and interiors.
+fn probes() -> Vec<RangeQuery> {
+    vec![
+        RangeQuery::new(Rect::new(&[0.05, 0.1], &[0.95, 0.9])),
+        RangeQuery::new(Rect::new(&[0.0, 0.0], &[0.4, 1.0])),
+        RangeQuery::new(Rect::new(&[0.3, 0.2], &[0.7, 0.8])),
+        RangeQuery::new(Rect::new(&[0.66, 0.5], &[1.0, 1.0])),
+    ]
+}
+
+/// Assert the restarted server answers every probe bit-identically to
+/// an in-process store built fresh from `state`.
+fn assert_serves_state(session: &mut Session, state: &BTreeMap<&str, &FrozenSynopsis>) {
+    let keys = session.send("keys");
+    let keys = keys
+        .strip_prefix("keys ")
+        .unwrap_or_else(|| panic!("malformed keys reply: {keys}"));
+    let mut served: Vec<&str> = keys.split_whitespace().collect();
+    served.sort_unstable();
+    let expected: Vec<&str> = state.keys().copied().collect();
+    assert_eq!(
+        served, expected,
+        "restart must serve exactly the acked keys"
+    );
+
+    let fresh = ReleaseStore::open(
+        state
+            .iter()
+            .map(|(key, arena)| (*key, ShardHandle::from_release((*arena).clone(), None))),
+    )
+    .unwrap();
+    let snap = fresh.snapshot();
+    for q in probes() {
+        let got = session.send(&query_line(&q));
+        let want = format!("{:.17e}", snap.answer(&q));
+        assert_eq!(got, want, "recovered answers must be bit-identical");
+    }
+}
+
+fn seed_alpha(dir: &Path, alpha: &FrozenSynopsis) {
+    let mut catalog = Catalog::open_or_create(dir).unwrap();
+    catalog
+        .save("alpha", alpha, None, ReleaseFormat::Binary)
+        .unwrap();
+}
+
+fn write_release(dir: &TempDir, name: &str, arena: &FrozenSynopsis) -> String {
+    let path = dir.file(name);
+    std::fs::write(&path, encode_release(arena, None)).unwrap();
+    path.display().to_string()
+}
+
+#[test]
+fn journaled_mutations_survive_a_graceful_restart() {
+    let work = TempDir::new("graceful");
+    let store_dir = work.file("catalog");
+    std::fs::create_dir_all(&store_dir).unwrap();
+
+    let alpha0 = sample_release(strip(0), 11);
+    let alpha1 = sample_release(strip(0), 12);
+    let beta0 = sample_release(strip(1), 21);
+    let gamma0 = sample_release(strip(2), 31);
+    seed_alpha(&store_dir, &alpha0);
+    let beta_path = write_release(&work, "beta0.ptbin", &beta0);
+    let alpha_path = write_release(&work, "alpha1.ptbin", &alpha1);
+    let gamma_path = write_release(&work, "gamma0.ptbin", &gamma0);
+
+    let mut s = Session::spawn(
+        &store_dir,
+        &["--journal", "--fsync", "always", "--keep-generations", "2"],
+    );
+    s.ok(&format!("add beta {beta_path}"));
+    s.ok(&format!("swap alpha {alpha_path}"));
+    let stats = s.send("stats");
+    assert!(
+        stats.contains(" journal=1 "),
+        "stats must report journaling on: {stats}"
+    );
+    assert!(
+        stats.contains(" keep=2 "),
+        "stats must report the retention depth: {stats}"
+    );
+    assert!(
+        stats.contains(" journal_seq="),
+        "stats must report the journal sequence: {stats}"
+    );
+    assert!(
+        stats.contains(" fsync=always"),
+        "stats must report the fsync policy: {stats}"
+    );
+    let cp = s.ok("checkpoint");
+    assert!(
+        cp.starts_with("ok checkpoint journal_seq="),
+        "checkpoint reports the folded sequence: {cp}"
+    );
+    s.ok(&format!("add gamma {gamma_path}"));
+    s.quit();
+
+    // restart: the checkpointed state plus the journaled tail (gamma)
+    // must come back
+    let mut s = Session::spawn(&store_dir, &["--journal"]);
+    let stats = s.send("stats");
+    assert!(
+        stats.contains(" replayed=1 "),
+        "one op after the checkpoint must replay: {stats}"
+    );
+    assert_serves_state(
+        &mut s,
+        &BTreeMap::from([("alpha", &alpha1), ("beta", &beta0), ("gamma", &gamma0)]),
+    );
+    s.quit();
+}
+
+#[test]
+fn journaled_mutations_survive_sigkill() {
+    let work = TempDir::new("sigkill");
+    let store_dir = work.file("catalog");
+    std::fs::create_dir_all(&store_dir).unwrap();
+
+    let alpha0 = sample_release(strip(0), 41);
+    let alpha1 = sample_release(strip(0), 42);
+    let beta0 = sample_release(strip(1), 51);
+    seed_alpha(&store_dir, &alpha0);
+    let beta_path = write_release(&work, "beta0.ptbin", &beta0);
+    let alpha_path = write_release(&work, "alpha1.ptbin", &alpha1);
+
+    let mut s = Session::spawn(&store_dir, &["--journal", "--fsync", "always"]);
+    // both mutations are ACKED over the wire before the kill — with
+    // --fsync always the ack means the record is durable
+    s.ok(&format!("add beta {beta_path}"));
+    s.ok(&format!("swap alpha {alpha_path}"));
+    s.kill();
+
+    let mut s = Session::spawn(&store_dir, &["--journal"]);
+    let stats = s.send("stats");
+    assert!(
+        stats.contains(" replayed=2 "),
+        "both acked mutations must replay after SIGKILL: {stats}"
+    );
+    assert_serves_state(
+        &mut s,
+        &BTreeMap::from([("alpha", &alpha1), ("beta", &beta0)]),
+    );
+    s.quit();
+
+    // a third boot replays the same ops again (nothing checkpointed
+    // them away) and still serves the same state
+    let mut s = Session::spawn(&store_dir, &["--journal"]);
+    s.ok("checkpoint");
+    s.quit();
+    let mut s = Session::spawn(&store_dir, &["--journal"]);
+    let stats = s.send("stats");
+    assert!(
+        stats.contains(" replayed=0 "),
+        "the checkpoint folds the journal tail: {stats}"
+    );
+    assert_serves_state(
+        &mut s,
+        &BTreeMap::from([("alpha", &alpha1), ("beta", &beta0)]),
+    );
+    s.quit();
+}

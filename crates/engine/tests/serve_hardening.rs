@@ -176,7 +176,11 @@ fn connection_cap_sheds_with_err_busy() {
     let mut second_reader = BufReader::new(second);
     reply.clear();
     second_reader.read_line(&mut reply).unwrap();
-    assert_eq!(reply.trim_end(), "err busy");
+    assert_eq!(
+        reply.trim_end(),
+        "err busy (connection cap reached, retry shortly)",
+        "shed reply carries the retry hint"
+    );
     reply.clear();
     assert_eq!(
         second_reader.read_line(&mut reply).unwrap(),
@@ -202,7 +206,10 @@ fn connection_cap_sheds_with_err_busy() {
         if reply.trim_end() == "keys main" {
             break;
         }
-        assert_eq!(reply.trim_end(), "err busy");
+        assert!(
+            reply.starts_with("err busy"),
+            "unexpected reply while the slot is held: {reply}"
+        );
         assert!(
             Instant::now() < deadline,
             "slot never freed after the first client quit"

@@ -22,7 +22,16 @@
 //!   `catalog.toml` manifest mapping release key → file, format, and
 //!   whole-file checksum. Every publish (data file and manifest alike)
 //!   is write-temp-then-rename, so a crashed writer can never leave a
-//!   half-written catalog behind.
+//!   half-written catalog behind. Replaced releases keep their newest
+//!   `keep` generations per key; the GC only unlinks files no live
+//!   generation references.
+//! * [`journal`] — the **write-ahead operation journal**: an
+//!   append-only segment of CRC-framed add/swap/retire/checkpoint
+//!   records beside the manifest. With journaling enabled a mutation
+//!   is durable after one sequential append (fsynced per
+//!   [`FsyncPolicy`]); `Catalog::open` replays the segment on top of
+//!   the manifest, truncating torn tails, and `Catalog::checkpoint`
+//!   folds the state back into the manifest and rotates the segment.
 //! * [`view`] — **zero-copy loading**: [`ReleaseBytes`] memory-maps a
 //!   release file (read-only, falling back to an owned read when the
 //!   `mmap` feature is off or mapping fails) and
@@ -45,6 +54,7 @@
 
 pub mod catalog;
 pub mod format;
+pub mod journal;
 pub mod view;
 
 pub use catalog::{Catalog, CatalogEntry, LoadedRelease, RecoverySweep, ReleaseFormat};
@@ -52,6 +62,7 @@ pub use format::{
     decode_release, encode_release, encode_release_unaligned, encoded_len, HEADER_LEN, MAGIC,
     VERSION,
 };
+pub use journal::{FsyncPolicy, Journal, JournalOp, JournalRecord};
 pub use view::{decode_release_view, open_release_view, ReleaseBytes, ReleaseView};
 
 use privtree_spatial::frozen::FlatLayoutError;
@@ -95,6 +106,9 @@ pub enum StoreError {
     Grid(GridRouteError),
     /// The catalog manifest is malformed (1-based line number).
     Manifest { line: usize, reason: String },
+    /// A journal segment is unusable (bad header, wrong base sequence,
+    /// wedged handle); `context` names the segment path.
+    Journal { context: String, reason: String },
     /// The catalog holds no release under this key.
     UnknownKey { key: String },
 }
@@ -131,6 +145,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Grid(e) => write!(f, "invalid grid: {e}"),
             StoreError::Manifest { line, reason } => {
                 write!(f, "bad catalog manifest at line {line}: {reason}")
+            }
+            StoreError::Journal { context, reason } => {
+                write!(f, "journal {context}: {reason}")
             }
             StoreError::UnknownKey { key } => write!(f, "catalog has no release named {key}"),
         }

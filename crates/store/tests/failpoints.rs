@@ -266,12 +266,91 @@ fn publish_errored_at_every_step_stays_consistent_and_retries_cleanly() {
     }
 }
 
+/// A zero-copy reader mapped **before** a publish crashes keeps
+/// serving the exact generation it mapped — old bytes, never torn —
+/// no matter which IO step killed the writer, and recovery never
+/// sweeps the file a retained generation still references. (With
+/// `keep = 2` the superseded generation stays catalog-live, so the
+/// reader's file must survive on disk too, not merely as mapped
+/// pages over an unlinked inode.)
+#[test]
+fn mapped_readers_survive_publishes_crashed_at_every_step() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // count under the same retention: keeping the old generation drops
+    // the GC-unlink step a keep=1 replace would take
+    let steps = {
+        let dir = TempDir::new("count-mapped");
+        let mut catalog = seeded_catalog(&dir.0);
+        catalog.set_retention(2);
+        failpoints::reset();
+        catalog
+            .save("beta", &releases()[2], None, ReleaseFormat::Binary)
+            .unwrap();
+        let steps = failpoints::hits();
+        failpoints::reset();
+        steps
+    };
+    assert!(steps >= 7, "expected >=7 IO steps, got {steps}");
+    let old_beta = bits(&releases()[1]);
+    let new_beta = bits(&releases()[2]);
+    for step in 1..=steps {
+        let dir = TempDir::new(&format!("mapped-crash-{step}"));
+        let mut catalog = seeded_catalog(&dir.0);
+        catalog.set_retention(2);
+        let reader = catalog.load_mapped("beta").unwrap();
+        let reader_file = catalog.entry("beta").unwrap().file.clone();
+        failpoints::reset();
+        failpoints::arm_global(step, FailAction::Crash);
+        let result = catalog.save("beta", &releases()[2], None, ReleaseFormat::Binary);
+        assert!(result.is_err(), "step {step}: injected crash must surface");
+        drop(catalog); // the writer died; the reader lives on
+
+        // mid-crash, before any recovery: the mapped view still reads
+        // the generation it opened, bit-exact
+        assert_eq!(
+            bits(&reader.arena),
+            old_beta,
+            "step {step}: reader torn by the crashed writer"
+        );
+        failpoints::reset();
+
+        let recovered = Catalog::open(&dir.0).unwrap();
+        assert!(tmp_residue(&dir.0).is_empty(), "step {step}");
+        let (beta_back, _) = recovered.load("beta").unwrap();
+        let got = bits(&beta_back);
+        assert!(
+            got == old_beta || got == new_beta,
+            "step {step}: beta must be exactly old or new"
+        );
+        // the reader's generation is catalog-live (current, or retained
+        // under keep=2 once the new generation landed) — recovery and
+        // GC must not have unlinked its file
+        let reader_live = recovered.entry("beta").map(|e| e.file.as_str())
+            == Some(reader_file.as_str())
+            || recovered
+                .retained_entries()
+                .any(|(key, e)| key == "beta" && e.file == reader_file);
+        assert!(
+            reader_live,
+            "step {step}: the mapped generation fell out of the catalog"
+        );
+        assert!(
+            dir.0.join(&reader_file).exists(),
+            "step {step}: GC unlinked a live generation under a mapped reader"
+        );
+        // and it still reads clean after the sweep
+        assert_eq!(bits(&reader.arena), old_beta, "step {step}: reader torn");
+    }
+}
+
 proptest! {
     /// Random operation sequences interrupted at a random step with a
     /// random action: whatever happened, the catalog reopens, sweeps
     /// clean, and every surviving entry loads with a verified checksum.
     /// Each op code packs a key (`op % 3`) and a kind (`op / 3`: save
-    /// it, save a different generation of it, or remove it).
+    /// it, save a different generation of it, or remove it). A mapped
+    /// reader opened on the seeded `beta` before the interrupted
+    /// history must keep reading its opening bytes throughout.
     #[test]
     fn random_interrupted_histories_always_recover(
         ops in proptest::collection::vec(0usize..9, 1..5),
@@ -281,6 +360,8 @@ proptest! {
         let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let dir = TempDir::new("prop");
         let mut catalog = seeded_catalog(&dir.0);
+        let reader = catalog.load_mapped("beta").unwrap();
+        let reader_bits = bits(&reader.arena);
         failpoints::reset();
         let action = if crash == 1 { FailAction::Crash } else { FailAction::Error };
         failpoints::arm_global(step, action);
@@ -309,5 +390,7 @@ proptest! {
         drop(catalog);
         failpoints::reset();
         assert_recovered(&dir.0);
+        // the interleaved mapped reader must never observe torn bytes
+        prop_assert_eq!(bits(&reader.arena), reader_bits);
     }
 }

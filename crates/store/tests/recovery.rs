@@ -11,7 +11,7 @@ use privtree_spatial::dataset::PointSet;
 use privtree_spatial::geom::Rect;
 use privtree_spatial::quadtree::SplitConfig;
 use privtree_spatial::FrozenSynopsis;
-use privtree_store::{Catalog, ReleaseFormat, StoreError};
+use privtree_store::{Catalog, FsyncPolicy, ReleaseFormat, StoreError};
 use rand::RngExt;
 
 fn sample_release(seed: u64, points: usize) -> FrozenSynopsis {
@@ -166,4 +166,61 @@ fn open_sweeps_stale_tmp_and_orphan_files() {
     // a second open finds nothing left to do
     let again = Catalog::open(&dir.0).unwrap();
     assert!(again.recovery_sweep().is_clean());
+}
+
+/// A writer that dies mid-rotation can strand journal residue: a
+/// half-written segment `.tmp`, or a rotated-out segment the manifest
+/// no longer references. `Catalog::open` sweeps both, leaves the
+/// **active** segment and every bystander alone, and the journaled
+/// state still replays.
+#[test]
+fn open_sweeps_dead_writer_journal_residue() {
+    let dir = TempDir::new("journal-residue");
+    let mut catalog = Catalog::open_or_create(&dir.0).unwrap();
+    catalog.enable_journal(FsyncPolicy::Always).unwrap();
+    catalog
+        .save("live", &sample_release(9, 250), None, ReleaseFormat::Binary)
+        .unwrap();
+    // rotate once so the active segment has a non-zero base sequence —
+    // the sweep must key off the manifest reference, not the name
+    catalog.checkpoint().unwrap();
+    catalog
+        .save(
+            "live",
+            &sample_release(10, 250),
+            None,
+            ReleaseFormat::Binary,
+        )
+        .unwrap();
+    let active = catalog.journal_segment().unwrap().to_string();
+    drop(catalog);
+
+    // residue a dying writer could leave behind: a torn segment .tmp,
+    // an orphaned rotated-out segment, and a bystander the sweep must
+    // never touch
+    std::fs::write(dir.0.join("journal-00000000000000ff.bin.tmp"), b"torn").unwrap();
+    std::fs::write(dir.0.join("journal-00000000deadbeef.bin"), b"stale segment").unwrap();
+    std::fs::write(dir.0.join("journal.log"), b"not ours").unwrap();
+
+    let catalog = Catalog::open(&dir.0).unwrap();
+    let sweep = catalog.recovery_sweep();
+    assert_eq!(sweep.tmp_files, 1, "segment .tmp swept");
+    assert_eq!(sweep.journal_files, 1, "orphaned rotated segment swept");
+    assert_eq!(sweep.orphan_files, 0);
+    assert!(!dir.0.join("journal-00000000000000ff.bin.tmp").exists());
+    assert!(!dir.0.join("journal-00000000deadbeef.bin").exists());
+    assert!(
+        dir.0.join("journal.log").exists(),
+        "only journal-<seq>.bin names are managed"
+    );
+    assert!(
+        dir.0.join(&active).exists(),
+        "the referenced active segment survives the sweep"
+    );
+    assert_eq!(catalog.replayed_ops(), 1, "the post-rotation op replays");
+
+    // a second open finds nothing left to do
+    let again = Catalog::open(&dir.0).unwrap();
+    assert!(again.recovery_sweep().is_clean());
+    assert_eq!(again.replayed_ops(), 1);
 }
