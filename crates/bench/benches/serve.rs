@@ -14,7 +14,9 @@
 //! **load** lane times text parse vs `privtree-bin` decode of the same
 //! release (plain and gridded; identical arrays asserted in-bench), and
 //! a **concurrent-TCP** lane hammers an in-process `privtree-serve`
-//! listener with N client threads streaming `batch` commands.
+//! listener with 1/2/4/8 client threads over both protocols — text
+//! `batch` commands and binary `privtree-wire` frames — and records the
+//! reactor's cross-connection coalescing counters.
 //! `cargo bench --bench serve -- --test` (or `PRIVTREE_BENCH_SMOKE=1`)
 //! runs a quick smoke configuration and skips the JSON artifact.
 
@@ -24,6 +26,7 @@ use privtree_datagen::workload::{range_queries, QuerySize};
 use privtree_dp::budget::Epsilon;
 use privtree_dp::rng::seeded;
 use privtree_engine::serve::{spawn_tcp, spawn_tcp_with, ServeContext, ServeOptions};
+use privtree_engine::wire::WireClient;
 use privtree_engine::ReleaseStore;
 use privtree_runtime::{ShutdownSignal, WorkerPool};
 use privtree_spatial::dataset::PointSet;
@@ -444,44 +447,65 @@ fn bench_serve(c: &mut Criterion) {
     let churn_overhead_pct = (churn_always_p99 - churn_off_p99) / churn_off_p99 * 100.0;
 
     // ---- the concurrent-TCP lane: an in-process privtree-serve
-    // listener (gridded single-release store, thread per connection,
-    // shared global pool) hammered by N client threads streaming batch
-    // commands; every reply is diffed against the library answer. ----
+    // listener (gridded single-release store, every connection
+    // multiplexed onto the reactor thread, shared global pool) hammered
+    // by N client threads — text clients streaming `batch` commands and
+    // binary clients streaming `privtree-wire` QRYB frames; every reply
+    // is diffed against the library answer (text as its exact %.17e
+    // rendering, binary bit for bit). The lane measures *protocol*
+    // cost, so it uses the small-query workload (cheap grid-routed
+    // answers — encode/decode dominates, which is what the two wire
+    // formats differ in), and both clients pay their encode every
+    // round: text renders its `batch` payload per round exactly like
+    // the binary client packs its frame per round. ----
+    let tcp_workload = range_queries(&domain, QuerySize::Small, per_workload, 11);
     let tcp_store = ReleaseStore::open_gridded([("gowalla", frozen.clone())]).unwrap();
-    let tcp_expected: Vec<String> = tcp_store
-        .snapshot()
-        .synopsis()
-        .answer_batch_sequential(&medium)
+    let tcp_expected_f64 = Arc::new(
+        tcp_store
+            .snapshot()
+            .synopsis()
+            .answer_batch_sequential(&tcp_workload),
+    );
+    let tcp_expected: Vec<String> = tcp_expected_f64
         .iter()
         .map(|a| format!("{a:.17e}"))
         .collect();
     let tcp_server = spawn_tcp(Arc::new(ServeContext::new(tcp_store)), "127.0.0.1:0")
         .expect("bind the bench listener");
     let tcp_addr = tcp_server.addr();
-    let query_line = |q: &RangeQuery| {
-        let csv = |c: &[f64]| {
-            c.iter()
-                .map(|x| format!("{x:.17e}"))
-                .collect::<Vec<_>>()
-                .join(",")
-        };
-        format!("{} {}\n", csv(q.rect.lo()), csv(q.rect.hi()))
+    let render_batch = |queries: &[RangeQuery]| {
+        use std::fmt::Write as _;
+        let mut payload = String::with_capacity(72 * queries.len() + 16);
+        let _ = writeln!(payload, "batch {}", queries.len());
+        for q in queries {
+            for (i, c) in q.rect.lo().iter().enumerate() {
+                if i > 0 {
+                    payload.push(',');
+                }
+                let _ = write!(payload, "{c:.17e}");
+            }
+            payload.push(' ');
+            for (i, c) in q.rect.hi().iter().enumerate() {
+                if i > 0 {
+                    payload.push(',');
+                }
+                let _ = write!(payload, "{c:.17e}");
+            }
+            payload.push('\n');
+        }
+        payload
     };
-    let mut batch_payload = format!("batch {}\n", medium.len());
-    for q in &medium {
-        batch_payload.push_str(&query_line(q));
-    }
-    let batch_payload = Arc::new(batch_payload);
     let tcp_expected = Arc::new(tcp_expected);
     let tcp_rounds = if smoke { 1 } else { 4 };
     let run_sweep = |addr: std::net::SocketAddr| -> Vec<(usize, f64)> {
         let mut lanes = Vec::new();
-        for threads in [1usize, 2, 4] {
+        for threads in [1usize, 2, 4, 8] {
             let start = Instant::now();
             std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    let payload = Arc::clone(&batch_payload);
                     let expected = Arc::clone(&tcp_expected);
+                    let queries = &tcp_workload;
+                    let render_batch = &render_batch;
                     scope.spawn(move || {
                         let stream =
                             std::net::TcpStream::connect(addr).expect("connect to bench listener");
@@ -489,6 +513,7 @@ fn bench_serve(c: &mut Criterion) {
                         let mut writer = std::io::BufWriter::new(stream);
                         let mut reply = String::new();
                         for _ in 0..tcp_rounds {
+                            let payload = render_batch(queries);
                             writer.write_all(payload.as_bytes()).expect("send batch");
                             writer.flush().expect("flush batch");
                             for want in expected.iter() {
@@ -503,20 +528,82 @@ fn bench_serve(c: &mut Criterion) {
                 }
             });
             let elapsed = start.elapsed().as_secs_f64();
+            let total = (threads * tcp_rounds * tcp_workload.len()) as f64;
+            lanes.push((threads, total / elapsed));
+        }
+        lanes
+    };
+    // the same sweep over the binary protocol: each client thread ships
+    // the whole workload as a single privtree-wire QRYB frame per round
+    // and checks the ANSV payload bit for bit against the library answer
+    let run_wire_sweep = |addr: std::net::SocketAddr| -> Vec<(usize, f64)> {
+        let mut lanes = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let expected = Arc::clone(&tcp_expected_f64);
+                    let queries = &tcp_workload;
+                    scope.spawn(move || {
+                        let mut client =
+                            WireClient::connect(addr).expect("connect to bench listener");
+                        for _ in 0..tcp_rounds {
+                            let answers = client.query(queries).expect("binary batch");
+                            for (want, got) in expected.iter().zip(answers.iter()) {
+                                assert_eq!(
+                                    want.to_bits(),
+                                    got.to_bits(),
+                                    "binary TCP answer diverged"
+                                );
+                            }
+                        }
+                        let _ = client.quit();
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
             let total = (threads * tcp_rounds * medium.len()) as f64;
             lanes.push((threads, total / elapsed));
         }
         lanes
     };
-    let lanes_json = |lanes: &[(usize, f64)]| {
+    let lanes_json = |lanes: &[(usize, f64)], indent: &str| {
         lanes
             .iter()
-            .map(|(threads, qps)| format!("    \"threads_{threads}_qps\": {qps:.1}"))
+            .map(|(threads, qps)| format!("{indent}\"threads_{threads}_qps\": {qps:.1}"))
             .collect::<Vec<_>>()
             .join(",\n")
     };
     let tcp_lanes = run_sweep(tcp_addr);
-    let tcp_json = lanes_json(&tcp_lanes);
+    let wire_lanes = run_wire_sweep(tcp_addr);
+    let tcp_json = lanes_json(&tcp_lanes, "      ");
+    let wire_json = lanes_json(&wire_lanes, "      ");
+    let binary_speedup_1_thread = wire_lanes[0].1 / tcp_lanes[0].1;
+
+    // scrape the reactor's protocol counters off the shared listener so
+    // the cross-connection coalescing behaviour lands in the JSON
+    let tcp_stats = {
+        let stream = std::net::TcpStream::connect(tcp_addr).expect("connect for stats");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = std::io::BufWriter::new(stream);
+        writer.write_all(b"stats\nquit\n").expect("send stats");
+        writer.flush().expect("flush stats");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read stats");
+        line
+    };
+    let stat = |key: &str| -> f64 {
+        let needle = format!("{key}=");
+        tcp_stats
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&needle))
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("stats reply missing {key}: {tcp_stats}"))
+    };
+    let coalesced_dispatches = stat("coalesced_dispatches");
+    let coalesced_queries = stat("coalesced_queries");
+    let coalesced_spans = stat("coalesced_spans");
+    let spans_per_dispatch = coalesced_spans / coalesced_dispatches.max(1.0);
 
     // the same sweep against a fully-guarded listener — read and write
     // deadlines armed, connection cap enforced — then a graceful drain;
@@ -535,7 +622,7 @@ fn bench_serve(c: &mut Criterion) {
     )
     .expect("bind the hardened bench listener");
     let hard_lanes = run_sweep(hard_server.addr());
-    let hard_json = lanes_json(&hard_lanes);
+    let hard_json = lanes_json(&hard_lanes, "    ");
     let drained = hard_server.drain(Duration::from_secs(5));
     assert!(drained, "hardened bench listener failed to drain");
     let overhead_pct = {
@@ -614,9 +701,20 @@ fn bench_serve(c: &mut Criterion) {
             "    \"journal_swap_overhead_pct\": {:.2}\n",
             "  }},\n",
             "  \"concurrent_tcp\": {{\n",
+            "    \"query_size\": \"small\",\n",
             "    \"queries_per_batch\": {},\n",
             "    \"rounds_per_thread\": {},\n",
+            "    \"text\": {{\n",
             "{}\n",
+            "    }},\n",
+            "    \"binary\": {{\n",
+            "{}\n",
+            "    }},\n",
+            "    \"binary_speedup_1_thread\": {:.2},\n",
+            "    \"coalesced_dispatches\": {},\n",
+            "    \"coalesced_queries\": {},\n",
+            "    \"coalesced_spans\": {},\n",
+            "    \"spans_per_dispatch\": {:.2}\n",
             "  }},\n",
             "  \"hardening\": {{\n",
             "    \"read_timeout_secs\": 30,\n",
@@ -624,7 +722,7 @@ fn bench_serve(c: &mut Criterion) {
             "    \"max_conns\": 64,\n",
             "    \"drained_within_5s\": {},\n",
             "{},\n",
-            "    \"overhead_pct_threads_4\": {:.2}\n",
+            "    \"overhead_pct_threads_8\": {:.2}\n",
             "  }},\n",
             "  \"frozen_seq_qps\": {:.1},\n",
             "  \"grid_routed_qps\": {:.1},\n",
@@ -677,9 +775,15 @@ fn bench_serve(c: &mut Criterion) {
         churn_every8_p99,
         churn_every8_qps,
         churn_overhead_pct,
-        medium.len(),
+        tcp_workload.len(),
         tcp_rounds,
         tcp_json,
+        wire_json,
+        binary_speedup_1_thread,
+        coalesced_dispatches,
+        coalesced_queries,
+        coalesced_spans,
+        spans_per_dispatch,
         drained,
         hard_json,
         overhead_pct,

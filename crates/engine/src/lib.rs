@@ -62,7 +62,9 @@
 //! plus catalog save/load — operations at runtime. The protocol itself
 //! is the [`serve`] module, embeddable in tests and benchmarks.
 
+mod reactor;
 pub mod serve;
+pub mod wire;
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};

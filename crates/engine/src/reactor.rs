@@ -1,0 +1,1006 @@
+//! The multiplexed TCP front end: one thread, every connection.
+//!
+//! The thread-per-connection loop this replaces spent the serving gap
+//! on context switches and per-connection batch dispatches; the
+//! reactor owns every socket nonblockingly (readiness via
+//! [`privtree_runtime::readiness`], i.e. `poll(2)`), decodes complete
+//! text lines and binary frames into per-connection job queues, and —
+//! the point of the exercise — **coalesces queries that arrived on
+//! different connections in the same tick into one pooled dispatch**
+//! through [`privtree_runtime::Coalescer`]: the worker pool answers a
+//! single Morton-ordered batch, and the reactor scatters each
+//! connection's slice of the results back to its socket.
+//!
+//! Correctness invariants, all pinned by the serve test suites:
+//!
+//! * **Per-connection order** — jobs execute strictly in arrival
+//!   order: queries queued before a mutation are answered from the
+//!   pre-mutation snapshot taken when their dispatch ran, and their
+//!   replies are written before the mutation's `ok`.
+//! * **Bit identity** — coalescing is pure concatenation and the batch
+//!   answerers are per-item, so a coalesced answer is bit-identical to
+//!   a solo dispatch of the same query (and to the text protocol's
+//!   `%.17e` rendering of it).
+//! * **Lifecycle guards** — the connection cap sheds with the text
+//!   `err busy` line (negotiation has not happened at accept time),
+//!   read/write deadlines evict stalled peers, a tripped shutdown stops
+//!   accepting and drains in-flight replies, and every dispatch and
+//!   control verb runs under `catch_unwind` so one panicking command
+//!   answers `err internal ...` (text) or an `ERRF` frame (binary)
+//!   while every connection keeps serving.
+//! * **Journal-before-ack** — control verbs execute through
+//!   [`control_reply`], whose `ok` line exists only after the catalog
+//!   persist completed; the reactor buffers that line after every
+//!   earlier reply, so the peer never sees an ack for an unpersisted
+//!   mutation.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use privtree_runtime::readiness::{self, PollEntry};
+use privtree_runtime::{failpoints, Coalescer, ShutdownSignal};
+use privtree_spatial::query::RangeQuery;
+use privtree_store::frame::{parse_header, payload, FrameError};
+
+use crate::serve::{
+    control_reply, panic_message, parse_query, shed, ServeContext, ServeOptions, MAX_BATCH,
+};
+use crate::wire;
+
+/// Poll timeout: the longest the reactor sleeps when no socket has
+/// traffic. Also bounds how late a drain or deadline eviction lands.
+const REACTOR_TICK: Duration = Duration::from_millis(20);
+
+/// Most bytes ingested from one connection per tick, so a firehose
+/// peer cannot starve the others between polls.
+const READ_QUANTUM: usize = 1 << 20;
+
+/// Pending-output level above which a connection stops being read:
+/// TCP backpressure propagates to the peer instead of the reactor
+/// buffering unboundedly. One reply may exceed this (a maximal batch
+/// renders tens of megabytes) — the cap stops *additional* commands
+/// from piling more replies on, it never splits one.
+const OUT_HIGH_WATER: usize = 1 << 20;
+
+/// What protocol a connection speaks, decided by its first byte.
+enum Proto {
+    /// Nothing read yet.
+    Pending,
+    /// The line protocol, with its incremental decode state.
+    Text(TextState),
+    /// `privtree-wire v1` frames.
+    Wire,
+}
+
+/// Incremental text-protocol decode state.
+#[derive(Default)]
+struct TextState {
+    /// Discarding an oversized line up to its newline (the resync the
+    /// line cap promises).
+    skipping: bool,
+    /// An open `batch <n>` still collecting its query lines.
+    batch: Option<BatchState>,
+}
+
+/// A `batch <n>` mid-collection.
+struct BatchState {
+    /// Query lines still owed.
+    remaining: usize,
+    /// Parsed queries so far (abandoned once `problem` is set).
+    queries: Vec<RangeQuery>,
+    /// First failure; the batch still drains all `n` lines so the
+    /// stream stays aligned, then answers this one `err`.
+    problem: Option<String>,
+    /// Dimensionality captured when the batch opened.
+    dims: usize,
+}
+
+/// How to render a dispatch's answers back to the connection.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// One `%.17e` line (`count`).
+    Count,
+    /// One `%.17e` line per answer, written as a single buffer.
+    Batch,
+    /// One `ANSV` frame, CRC'd iff the request was.
+    Wire { crc: bool },
+}
+
+/// One unit of work a connection has queued, in arrival order.
+enum Job {
+    /// Queries awaiting a (coalesced) pooled dispatch.
+    Queries {
+        queries: Vec<RangeQuery>,
+        shape: Shape,
+    },
+    /// A control verb line for [`control_reply`].
+    Control(String),
+    /// Bytes already rendered at decode time (errors, `HELO`).
+    Reply(Vec<u8>),
+    /// Flush everything queued before this, then close.
+    Quit,
+}
+
+/// One connection's state in the reactor.
+struct Conn {
+    stream: TcpStream,
+    proto: Proto,
+    /// Raw unconsumed bytes off the socket. Bounded: complete lines and
+    /// frames leave it every tick, so it holds at most one incomplete
+    /// line/frame plus one read quantum.
+    inbuf: Vec<u8>,
+    /// How much of `inbuf` has been decoded this tick. A cursor rather
+    /// than per-event `drain`: draining the buffer once per line would
+    /// memmove the whole remaining batch payload every line (quadratic
+    /// in the buffered bytes); instead the consumed prefix is compacted
+    /// once after each ingest pass.
+    inpos: usize,
+    jobs: VecDeque<Job>,
+    /// Rendered replies not yet written, in reply order.
+    outbuf: Vec<u8>,
+    /// How much of `outbuf` has been written.
+    outpos: usize,
+    last_read: Instant,
+    /// When the peer first refused bytes with output pending.
+    write_stalled: Option<Instant>,
+    /// Flush `outbuf`, then close (a `quit`, or a fatal protocol
+    /// error whose reply is already buffered).
+    closing: bool,
+    /// Drop the connection now.
+    dead: bool,
+    /// The peer half-closed; finalize once `inbuf` is drained.
+    eof: bool,
+    /// EOF finalization already ran.
+    eof_done: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            proto: Proto::Pending,
+            inbuf: Vec::new(),
+            inpos: 0,
+            jobs: VecDeque::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            last_read: Instant::now(),
+            write_stalled: None,
+            closing: false,
+            dead: false,
+            eof: false,
+            eof_done: false,
+        }
+    }
+
+    fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.outpos
+    }
+
+    /// Queue a text reply line.
+    fn push_line(&mut self, line: &str) {
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        self.jobs.push_back(Job::Reply(bytes));
+    }
+
+    /// Queue an `ERRF` frame; `close` also queues the quit that makes
+    /// it the connection's last words.
+    fn push_err_frame(&mut self, ctx: &ServeContext, code: u16, message: &str, close: bool) {
+        let mut bytes = Vec::new();
+        wire::encode_err_frame_into(&mut bytes, code, message);
+        ctx.counters.wire_frames_out.fetch_add(1, Ordering::Relaxed);
+        self.jobs.push_back(Job::Reply(bytes));
+        if close {
+            self.jobs.push_back(Job::Quit);
+        }
+    }
+}
+
+/// Raw descriptor for the readiness set.
+#[cfg(unix)]
+fn fd_of<T: std::os::fd::AsRawFd>(s: &T) -> i64 {
+    s.as_raw_fd() as i64
+}
+
+/// Non-Unix readiness ignores descriptors (everything polls ready).
+#[cfg(not(unix))]
+fn fd_of<T>(_s: &T) -> i64 {
+    0
+}
+
+/// The reactor loop: owns the listener and every accepted socket until
+/// shutdown (drain) or abort (drop everything). `active` mirrors the
+/// live connection count for [`crate::serve::ServerHandle`].
+pub(crate) fn run_reactor(
+    listener: TcpListener,
+    ctx: Arc<ServeContext>,
+    opts: ServeOptions,
+    shutdown: ShutdownSignal,
+    active: Arc<AtomicUsize>,
+    abort: Arc<AtomicBool>,
+) {
+    let mut listener = Some(listener);
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        if abort.load(Ordering::SeqCst) {
+            break;
+        }
+        let draining = shutdown.is_triggered();
+        if draining {
+            // closing the listener refuses new connections immediately
+            listener = None;
+            if conns.is_empty() {
+                break;
+            }
+        }
+
+        // readiness: the listener wants accepts; a connection wants
+        // reads unless it is closing or back-pressured, and writes only
+        // while output is pending (POLLOUT on an idle socket is always
+        // ready and would busy-spin the loop)
+        let mut entries = Vec::with_capacity(conns.len() + 1);
+        let listener_slot = listener.as_ref().map(|l| {
+            entries.push(PollEntry::read(fd_of(l)));
+            entries.len() - 1
+        });
+        let conn_base = entries.len();
+        for conn in &conns {
+            let mut e = PollEntry {
+                fd: fd_of(&conn.stream),
+                want_read: !conn.closing && !conn.eof && conn.pending_out() < OUT_HIGH_WATER,
+                want_write: conn.pending_out() > 0,
+                ..PollEntry::default()
+            };
+            if !e.want_read && !e.want_write {
+                // still in the set so a hangup wakes the poll
+                e.want_read = conn.eof || conn.closing;
+            }
+            entries.push(e);
+        }
+        readiness::wait(&mut entries, REACTOR_TICK);
+
+        // accept burst, shedding past the cap
+        if let (Some(l), Some(slot)) = (&listener, listener_slot) {
+            if entries[slot].readable {
+                accept_burst(l, &mut conns, &opts);
+            }
+        }
+
+        // read + decode into jobs
+        let now = Instant::now();
+        for (i, conn) in conns.iter_mut().enumerate() {
+            if conn.dead || conn.closing {
+                continue;
+            }
+            let ready = entries
+                .get(conn_base + i)
+                .is_some_and(|e| e.readable || e.closed);
+            if ready && !conn.eof && conn.pending_out() < OUT_HIGH_WATER {
+                read_some(conn, now);
+            }
+            if !conn.dead {
+                // a decode bug must not take the listener down: the
+                // connection answers through its error paths, and a
+                // panic here closes only this connection
+                if catch_unwind(AssertUnwindSafe(|| ingest(conn, &ctx, &opts, draining))).is_err() {
+                    conn.dead = true;
+                }
+            }
+        }
+
+        execute_jobs(&mut conns, &ctx);
+
+        // flush, then lifecycle: write stalls, idle deadlines, drain
+        for conn in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            flush(conn, now, opts.write_timeout);
+            if conn.dead {
+                continue;
+            }
+            let flushed = conn.pending_out() == 0;
+            if conn.closing && flushed {
+                conn.dead = true;
+                continue;
+            }
+            if conn.eof && conn.eof_done && conn.jobs.is_empty() && flushed {
+                conn.dead = true;
+                continue;
+            }
+            if draining && conn.jobs.is_empty() && flushed {
+                // in-flight replies have been written; drain closes the
+                // connection without reading further commands
+                conn.dead = true;
+                continue;
+            }
+            if let Some(deadline) = opts.read_timeout {
+                if !conn.closing
+                    && conn.jobs.is_empty()
+                    && flushed
+                    && now.duration_since(conn.last_read) >= deadline
+                {
+                    // slowloris eviction: silent (or trickling-and-
+                    // stalled) peers cannot pin a slot open
+                    conn.dead = true;
+                }
+            }
+        }
+
+        conns.retain(|conn| {
+            if conn.dead {
+                let counter = match conn.proto {
+                    Proto::Text(_) => Some(&ctx.counters.text_conns),
+                    Proto::Wire => Some(&ctx.counters.wire_conns),
+                    Proto::Pending => None,
+                };
+                if let Some(c) = counter {
+                    c.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            !conn.dead
+        });
+        active.store(conns.len(), Ordering::SeqCst);
+    }
+    // aborted (or drained): whatever remains is dropped, sockets close
+    for conn in &conns {
+        let counter = match conn.proto {
+            Proto::Text(_) => Some(&ctx.counters.text_conns),
+            Proto::Wire => Some(&ctx.counters.wire_conns),
+            Proto::Pending => None,
+        };
+        if let Some(c) = counter {
+            c.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    drop(conns);
+    active.store(0, Ordering::SeqCst);
+}
+
+/// Drain the listener's accept queue; connections past the cap are
+/// answered `err busy` and closed (see [`shed`]).
+fn accept_burst(listener: &TcpListener, conns: &mut Vec<Conn>, opts: &ServeOptions) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if conns.len() >= opts.max_conns {
+                    shed(stream);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // small request/reply turnarounds; Nagle would add its
+                // full delay to every coalesced batch
+                let _ = stream.set_nodelay(true);
+                conns.push(Conn::new(stream));
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("privtree-serve: failed connection: {e}");
+                return;
+            }
+        }
+    }
+}
+
+/// Pull up to [`READ_QUANTUM`] bytes off one socket into its `inbuf`.
+fn read_some(conn: &mut Conn, now: Instant) {
+    if failpoints::check("serve.read").is_err() {
+        conn.dead = true;
+        return;
+    }
+    let mut taken = 0;
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.eof = true;
+                return;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&buf[..n]);
+                conn.last_read = now;
+                taken += n;
+                if taken >= READ_QUANTUM {
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Decode everything decodable in `inbuf` into jobs, negotiating the
+/// protocol on the first byte, then finalize EOF once the buffer is
+/// spent. While draining, buffered bytes are left unread — in-flight
+/// means "already queued", matching the old loop's between-commands
+/// shutdown check.
+fn ingest(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions, draining: bool) {
+    if draining {
+        return;
+    }
+    ingest_negotiated(conn, ctx, opts);
+    // compact the consumed prefix once per pass (see `Conn::inpos`)
+    let consumed = conn.inpos.min(conn.inbuf.len());
+    if consumed > 0 {
+        conn.inbuf.drain(..consumed);
+    }
+    conn.inpos = 0;
+}
+
+/// [`ingest`]'s body: negotiate, then decode via the cursor.
+fn ingest_negotiated(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions) {
+    if matches!(conn.proto, Proto::Pending) {
+        if conn.inbuf.is_empty() {
+            if conn.eof {
+                conn.eof_done = true;
+            }
+            return;
+        }
+        if conn.inbuf[0] == wire::PREAMBLE[0] {
+            if conn.inbuf.len() < wire::PREAMBLE.len() {
+                if conn.eof {
+                    conn.eof_done = true; // truncated preamble: close
+                }
+                return;
+            }
+            if conn.inbuf[..4] == wire::PREAMBLE {
+                conn.inbuf.drain(..4);
+                conn.proto = Proto::Wire;
+                ctx.counters.wire_conns.fetch_add(1, Ordering::Relaxed);
+                let mut hello = Vec::new();
+                wire::encode_hello_frame_into(&mut hello, ctx.store.snapshot().dims());
+                ctx.counters.wire_frames_out.fetch_add(1, Ordering::Relaxed);
+                conn.jobs.push_back(Job::Reply(hello));
+            } else {
+                conn.proto = Proto::Wire; // it tried to speak binary
+                ctx.counters.wire_conns.fetch_add(1, Ordering::Relaxed);
+                conn.push_err_frame(ctx, wire::ERR_BAD_FRAME, "bad preamble", true);
+                conn.inbuf.clear();
+                return;
+            }
+        } else {
+            conn.proto = Proto::Text(TextState::default());
+            ctx.counters.text_conns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    match &mut conn.proto {
+        Proto::Pending => unreachable!("negotiated above"),
+        Proto::Text(_) => ingest_text(conn, ctx, opts),
+        Proto::Wire => ingest_wire(conn, ctx, opts),
+    }
+}
+
+/// What one scan of the text buffer produced.
+enum TextEvent {
+    /// A complete line (already drained from `inbuf`).
+    Line(Vec<u8>),
+    /// An oversized line was discarded through its newline.
+    TooLong,
+    /// Need more bytes.
+    Incomplete,
+}
+
+/// Extract the next line event from `inbuf`, honoring skip-to-newline
+/// resync and the line cap.
+fn next_text_event(conn: &mut Conn, skipping: &mut bool, max_line: usize) -> TextEvent {
+    if *skipping {
+        match conn.inbuf[conn.inpos..].iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                conn.inpos += pos + 1;
+                *skipping = false;
+                return TextEvent::TooLong;
+            }
+            None => {
+                conn.inbuf.clear(); // keep discarding, stay bounded
+                conn.inpos = 0;
+                return TextEvent::Incomplete;
+            }
+        }
+    }
+    match conn.inbuf[conn.inpos..].iter().position(|&b| b == b'\n') {
+        Some(pos) if pos > max_line => {
+            conn.inpos += pos + 1;
+            TextEvent::TooLong
+        }
+        Some(pos) => {
+            let mut line = conn.inbuf[conn.inpos..conn.inpos + pos].to_vec();
+            conn.inpos += pos + 1;
+            while matches!(line.last(), Some(b'\r')) {
+                line.pop();
+            }
+            TextEvent::Line(line)
+        }
+        None if conn.inbuf.len() - conn.inpos > max_line => {
+            conn.inbuf.clear();
+            conn.inpos = 0;
+            *skipping = true;
+            TextEvent::Incomplete
+        }
+        None => TextEvent::Incomplete,
+    }
+}
+
+/// Decode complete text lines into jobs until the buffer runs dry,
+/// then finalize EOF (unterminated final line, truncated batch, quit).
+fn ingest_text(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions) {
+    loop {
+        let Proto::Text(state) = &mut conn.proto else {
+            return;
+        };
+        let mut skipping = state.skipping;
+        let event = next_text_event(conn, &mut skipping, opts.max_line);
+        let Proto::Text(state) = &mut conn.proto else {
+            return;
+        };
+        state.skipping = skipping;
+        match event {
+            TextEvent::Incomplete => break,
+            TextEvent::TooLong => {
+                let err = format!("err line too long (max {} bytes)", opts.max_line);
+                if in_batch(conn) {
+                    batch_line_problem(conn, err.trim_start_matches("err ").to_string());
+                } else {
+                    conn.push_line(&err);
+                }
+            }
+            TextEvent::Line(line) => text_line(conn, ctx, &line),
+        }
+    }
+    if conn.eof && !conn.eof_done {
+        let Proto::Text(state) = &mut conn.proto else {
+            return;
+        };
+        if state.skipping {
+            state.skipping = false;
+            let err = format!("err line too long (max {} bytes)", opts.max_line);
+            if in_batch(conn) {
+                batch_line_problem(conn, err.trim_start_matches("err ").to_string());
+            } else {
+                conn.push_line(&err);
+            }
+        } else if conn.inpos < conn.inbuf.len() {
+            // an unterminated final line still counts as a line
+            let line = conn.inbuf[conn.inpos..].to_vec();
+            conn.inbuf.clear();
+            conn.inpos = 0;
+            text_line(conn, ctx, &line);
+        }
+        if let Proto::Text(state) = &mut conn.proto {
+            if state.batch.take().is_some() {
+                conn.push_line("err unexpected end of input inside batch");
+            }
+        }
+        conn.jobs.push_back(Job::Quit);
+        conn.eof_done = true;
+    }
+}
+
+fn in_batch(conn: &Conn) -> bool {
+    matches!(&conn.proto, Proto::Text(s) if s.batch.is_some())
+}
+
+/// Record a failed batch line (the batch still drains its remaining
+/// lines so the stream stays aligned).
+fn batch_line_problem(conn: &mut Conn, problem: String) {
+    let Proto::Text(state) = &mut conn.proto else {
+        return;
+    };
+    let Some(batch) = &mut state.batch else {
+        return;
+    };
+    if batch.problem.is_none() {
+        batch.problem = Some(problem);
+    }
+    batch.remaining -= 1;
+    if batch.remaining == 0 {
+        finish_batch(conn);
+    }
+}
+
+/// Close out a completed batch into its job (queries or one `err`).
+fn finish_batch(conn: &mut Conn) {
+    let Proto::Text(state) = &mut conn.proto else {
+        return;
+    };
+    let Some(batch) = state.batch.take() else {
+        return;
+    };
+    match batch.problem {
+        Some(e) => conn.push_line(&format!("err {e}")),
+        None => conn.jobs.push_back(Job::Queries {
+            queries: batch.queries,
+            shape: Shape::Batch,
+        }),
+    }
+}
+
+/// Route one complete text line: a batch query line if a batch is
+/// open, a command otherwise.
+fn text_line(conn: &mut Conn, ctx: &ServeContext, raw: &[u8]) {
+    if in_batch(conn) {
+        let Ok(qline) = std::str::from_utf8(raw) else {
+            batch_line_problem(conn, "batch line is not valid utf-8".into());
+            return;
+        };
+        let mut parts = qline.split_whitespace();
+        let parsed = match (parts.next(), parts.next()) {
+            (Some(lo), Some(hi)) => {
+                let dims = match &conn.proto {
+                    Proto::Text(s) => s.batch.as_ref().map_or(0, |b| b.dims),
+                    _ => 0,
+                };
+                parse_query(dims, lo, hi)
+            }
+            _ => Err(format!("bad batch line: {qline}")),
+        };
+        match parsed {
+            Ok(q) => {
+                let Proto::Text(state) = &mut conn.proto else {
+                    return;
+                };
+                let Some(batch) = &mut state.batch else {
+                    return;
+                };
+                if batch.problem.is_none() {
+                    batch.queries.push(q);
+                }
+                batch.remaining -= 1;
+                if batch.remaining == 0 {
+                    finish_batch(conn);
+                }
+            }
+            Err(e) => batch_line_problem(conn, e),
+        }
+        return;
+    }
+    let Ok(line) = std::str::from_utf8(raw) else {
+        conn.push_line("err line is not valid utf-8");
+        return;
+    };
+    let line = line.trim();
+    if line.is_empty() {
+        return;
+    }
+    let mut fields = line.split_whitespace();
+    match fields.next().unwrap_or_default() {
+        "count" => {
+            let snap = ctx.store.snapshot();
+            match (fields.next(), fields.next()) {
+                (Some(lo), Some(hi)) => match parse_query(snap.dims(), lo, hi) {
+                    Ok(q) => conn.jobs.push_back(Job::Queries {
+                        queries: vec![q],
+                        shape: Shape::Count,
+                    }),
+                    Err(e) => conn.push_line(&format!("err {e}")),
+                },
+                _ => conn.push_line("err count needs <lo> <hi>"),
+            }
+        }
+        "batch" => {
+            let n: usize = match fields.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n <= MAX_BATCH => n,
+                Some(n) => {
+                    conn.push_line(&format!(
+                        "err batch of {n} exceeds the {MAX_BATCH}-query cap"
+                    ));
+                    return;
+                }
+                None => {
+                    conn.push_line("err batch needs a query count");
+                    return;
+                }
+            };
+            let dims = ctx.store.snapshot().dims();
+            if n == 0 {
+                conn.jobs.push_back(Job::Queries {
+                    queries: Vec::new(),
+                    shape: Shape::Batch,
+                });
+                return;
+            }
+            let Proto::Text(state) = &mut conn.proto else {
+                return;
+            };
+            state.batch = Some(BatchState {
+                remaining: n,
+                queries: Vec::with_capacity(n.min(1 << 16)),
+                problem: None,
+                dims,
+            });
+        }
+        "quit" => {
+            conn.jobs.push_back(Job::Quit);
+        }
+        _ => conn.jobs.push_back(Job::Control(line.to_string())),
+    }
+}
+
+/// Decode complete binary frames into jobs until the buffer runs dry,
+/// then finalize EOF (a truncated frame is a clean close — no reply
+/// target exists for half a frame).
+fn ingest_wire(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions) {
+    loop {
+        let header = match parse_header(&conn.inbuf[conn.inpos..], opts.max_frame) {
+            Ok(None) => break,
+            Ok(Some(header)) => header,
+            Err(e) => {
+                ctx.counters.wire_frames_in.fetch_add(1, Ordering::Relaxed);
+                let code = match e {
+                    FrameError::Oversized { .. } => wire::ERR_OVERSIZED,
+                    _ => wire::ERR_BAD_FRAME,
+                };
+                conn.push_err_frame(ctx, code, &e.to_string(), true);
+                conn.inbuf.clear();
+                conn.inpos = 0;
+                return;
+            }
+        };
+        if conn.inbuf.len() - conn.inpos < header.total_len() {
+            break; // bounded: len already validated against max_frame
+        }
+        let frame = conn.inbuf[conn.inpos..conn.inpos + header.total_len()].to_vec();
+        conn.inpos += header.total_len();
+        ctx.counters.wire_frames_in.fetch_add(1, Ordering::Relaxed);
+        let body = match payload(&header, &frame) {
+            Ok(body) => body,
+            Err(e) => {
+                // the full frame was consumed, so the stream is still
+                // aligned: a corrupted payload keeps the session alive
+                conn.push_err_frame(ctx, wire::ERR_CHECKSUM, &e.to_string(), false);
+                continue;
+            }
+        };
+        match header.tag {
+            wire::TAG_QUERY => {
+                let dims = ctx.store.snapshot().dims();
+                match wire::decode_query_payload(body, dims) {
+                    Ok(queries) => conn.jobs.push_back(Job::Queries {
+                        queries,
+                        shape: Shape::Wire {
+                            crc: header.has_crc(),
+                        },
+                    }),
+                    Err(e) => conn.push_err_frame(ctx, wire::ERR_BAD_QUERY, &e, false),
+                }
+            }
+            wire::TAG_QUIT => {
+                conn.jobs.push_back(Job::Quit);
+                conn.inbuf.clear();
+                conn.inpos = 0;
+                return;
+            }
+            other => {
+                let msg = format!("unexpected frame {:?}", String::from_utf8_lossy(&other));
+                conn.push_err_frame(ctx, wire::ERR_BAD_FRAME, &msg, true);
+                conn.inbuf.clear();
+                conn.inpos = 0;
+                return;
+            }
+        }
+    }
+    if conn.eof && !conn.eof_done {
+        conn.jobs.push_back(Job::Quit);
+        conn.eof_done = true;
+    }
+}
+
+/// Run every queued job to completion, in per-connection order, in
+/// rounds: first every connection's *leading* query jobs coalesce into
+/// one pooled dispatch (the cross-connection batching this module
+/// exists for), then leading non-query jobs execute, until no job
+/// remains. A connection's query queued before its mutation is always
+/// dispatched — and its reply buffered — before the mutation runs.
+fn execute_jobs(conns: &mut [Conn], ctx: &ServeContext) {
+    loop {
+        let mut progressed = false;
+
+        // gather leading query jobs across every connection
+        let mut co: Coalescer<(usize, Shape), RangeQuery> = Coalescer::new();
+        for (i, conn) in conns.iter_mut().enumerate() {
+            if conn.dead || conn.closing {
+                continue;
+            }
+            while let Some(Job::Queries { .. }) = conn.jobs.front() {
+                let Some(Job::Queries { queries, shape }) = conn.jobs.pop_front() else {
+                    unreachable!("front was a query job");
+                };
+                co.push((i, shape), queries);
+                progressed = true;
+            }
+        }
+        if !co.is_empty() {
+            dispatch(conns, ctx, &co);
+        }
+
+        // leading non-query jobs: control verbs, rendered replies, quit
+        for conn in conns.iter_mut() {
+            if conn.dead || conn.closing {
+                continue;
+            }
+            loop {
+                match conn.jobs.front() {
+                    None | Some(Job::Queries { .. }) => break,
+                    Some(_) => {}
+                }
+                let job = conn.jobs.pop_front().expect("front checked");
+                progressed = true;
+                match job {
+                    Job::Queries { .. } => unreachable!("filtered above"),
+                    Job::Reply(bytes) => conn.outbuf.extend_from_slice(&bytes),
+                    Job::Control(line) => {
+                        // panic isolation per verb, same as the old
+                        // per-connection loop
+                        let reply = catch_unwind(AssertUnwindSafe(|| control_reply(ctx, &line)))
+                            .unwrap_or_else(|payload| {
+                                format!("err internal: {}", panic_message(payload.as_ref()))
+                            });
+                        conn.outbuf.extend_from_slice(reply.as_bytes());
+                        conn.outbuf.push(b'\n');
+                    }
+                    Job::Quit => {
+                        conn.closing = true;
+                        conn.jobs.clear();
+                        break;
+                    }
+                }
+            }
+        }
+
+        if !progressed {
+            return;
+        }
+    }
+}
+
+/// One pooled dispatch for every leading query job this round, with
+/// results scattered back per connection (bit-identical to solo
+/// dispatches — the batch answerers are per-item and the merge is pure
+/// concatenation).
+fn dispatch(conns: &mut [Conn], ctx: &ServeContext, co: &Coalescer<(usize, Shape), RangeQuery>) {
+    let counters = &ctx.counters;
+    counters
+        .coalesced_dispatches
+        .fetch_add(1, Ordering::Relaxed);
+    counters
+        .coalesced_queries
+        .fetch_add(co.len() as u64, Ordering::Relaxed);
+    counters
+        .coalesced_spans
+        .fetch_add(co.spans() as u64, Ordering::Relaxed);
+    let snap = ctx.store.snapshot();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        snap.synopsis()
+            .answer_batch_with_pool(co.items(), privtree_runtime::global())
+    }));
+    match outcome {
+        Ok(answers) => {
+            for (&(i, shape), slice) in co.scatter(&answers) {
+                append_answers(&mut conns[i], shape, slice, ctx);
+            }
+        }
+        Err(payload) => {
+            // every participant learns of the failure; the listener —
+            // and each connection — keeps serving
+            let msg = panic_message(payload.as_ref());
+            for &(i, shape) in co.sources() {
+                let conn = &mut conns[i];
+                match shape {
+                    Shape::Count | Shape::Batch => {
+                        conn.outbuf
+                            .extend_from_slice(format!("err internal: {msg}\n").as_bytes());
+                    }
+                    Shape::Wire { .. } => {
+                        wire::encode_err_frame_into(
+                            &mut conn.outbuf,
+                            wire::ERR_INTERNAL,
+                            &format!("internal: {msg}"),
+                        );
+                        counters.wire_frames_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Render one reply unit's answers into the connection's output buffer.
+fn append_answers(conn: &mut Conn, shape: Shape, answers: &[f64], ctx: &ServeContext) {
+    match shape {
+        Shape::Count | Shape::Batch => {
+            // the whole reply renders into one buffer: a batch of a
+            // million answers is one write stream, not a million
+            let mut rendered = String::with_capacity(answers.len() * 26);
+            for a in answers {
+                let _ = writeln!(rendered, "{a:.17e}");
+            }
+            conn.outbuf.extend_from_slice(rendered.as_bytes());
+        }
+        Shape::Wire { crc } => {
+            wire::encode_answer_frame_into(&mut conn.outbuf, answers, crc);
+            ctx.counters.wire_frames_out.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Write as much pending output as the socket accepts, tracking stalls
+/// against the write deadline.
+fn flush(conn: &mut Conn, now: Instant, write_timeout: Option<Duration>) {
+    if conn.pending_out() == 0 {
+        conn.outbuf.clear();
+        conn.outpos = 0;
+        conn.write_stalled = None;
+        return;
+    }
+    if failpoints::check("serve.write").is_err() {
+        conn.dead = true;
+        return;
+    }
+    loop {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.outpos += n;
+                conn.write_stalled = None;
+                if conn.pending_out() == 0 {
+                    conn.outbuf.clear();
+                    conn.outpos = 0;
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // the peer stopped reading with replies pending: start
+                // (or check) the stall clock
+                let since = *conn.write_stalled.get_or_insert(now);
+                if let Some(deadline) = write_timeout {
+                    if now.duration_since(since) >= deadline {
+                        conn.dead = true;
+                    }
+                }
+                return;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}

@@ -1,9 +1,15 @@
-//! The serving protocol as a library: the line protocol the
-//! `privtree-serve` binary speaks, embeddable in tests and benchmarks
+//! The serving protocols as a library: the line protocol the
+//! `privtree-serve` binary speaks and the `privtree-wire v1` binary
+//! protocol (see [`crate::wire`]), embeddable in tests and benchmarks
 //! (the concurrent-TCP benchmark lane drives [`spawn_tcp`] in-process).
+//! One listener serves both protocols: a connection whose first byte is
+//! the wire preamble's `0xB7` speaks binary frames, anything else
+//! speaks the text protocol below. TCP connections are multiplexed
+//! onto a fixed reactor thread (see [`crate::reactor`]) that coalesces
+//! concurrently-arriving queries into single pooled batch dispatches.
 //!
-//! Protocol (one command per line; one reply line per command, except
-//! `batch` which replies with `n` answer lines):
+//! Text protocol (one command per line; one reply line per command,
+//! except `batch` which replies with `n` answer lines):
 //!
 //! ```text
 //! count <lo0,lo1,..> <hi0,hi1,..>   -> answer as %.17e
@@ -53,6 +59,11 @@
 //!   concurrent connections; an accept beyond the cap is answered
 //!   `err busy (connection cap reached, retry shortly)` and closed
 //!   immediately instead of queueing unboundedly.
+//! * **Frame cap** — a binary-protocol frame declaring a payload
+//!   longer than [`ServeOptions::max_frame`] bytes is answered with a
+//!   typed `ERRF` frame and the connection closes, before a single
+//!   payload byte is buffered — the line cap's contract, scaled to
+//!   framed batches.
 //! * **Panic isolation** — each command dispatch runs under
 //!   `catch_unwind`: a panicking verb answers `err internal ...` and
 //!   the connection (and every other connection) keeps serving.
@@ -60,15 +71,16 @@
 //!   recovers from poisoning via `into_inner`.
 //! * **Graceful drain** — [`spawn_tcp`] returns a [`ServerHandle`]
 //!   whose [`ServerHandle::drain`] trips a [`ShutdownSignal`]: the
-//!   accept loop stops, in-flight commands finish their replies, idle
-//!   connections close at the next poll tick, and `drain` reports
-//!   whether everything wound down inside the deadline.
+//!   reactor stops accepting (the listener closes), in-flight commands
+//!   finish their replies, idle connections close at the next poll
+//!   tick, and `drain` reports whether everything wound down inside
+//!   the deadline.
 
 use std::collections::BTreeMap;
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -95,12 +107,8 @@ pub const MAX_BATCH: usize = 1 << 20;
 /// `err line too long ...` and the stream resyncs at the next newline.
 pub const MAX_LINE: usize = 64 * 1024;
 
-/// How often a guarded connection read wakes up to check deadlines and
-/// the shutdown flag while the peer is silent.
-const POLL_TICK: Duration = Duration::from_millis(100);
-
-/// How often the accept loop polls for the shutdown flag between
-/// connections.
+/// How often [`ServerHandle::join_then_drain`] polls for the shutdown
+/// flag while parked.
 const ACCEPT_TICK: Duration = Duration::from_millis(15);
 
 /// Per-connection lifecycle limits. `Default` is the embedder profile —
@@ -115,12 +123,17 @@ pub struct ServeOptions {
     /// Longest silence between bytes before an idle connection is
     /// evicted (`None`: never).
     pub read_timeout: Option<Duration>,
-    /// Socket write timeout for replies (`None`: never). A peer that
-    /// stops reading its replies stalls only its own connection thread
-    /// until this fires.
+    /// Longest a reply write may sit stalled on a peer that stopped
+    /// reading before the connection is evicted (`None`: never). Only
+    /// that connection's buffered replies are affected — the reactor
+    /// keeps serving everyone else either way.
     pub write_timeout: Option<Duration>,
     /// Hard cap on one protocol line, in bytes.
     pub max_line: usize,
+    /// Hard cap on one binary-protocol frame payload, in bytes. A
+    /// frame declaring more is answered with a typed `ERRF` frame and
+    /// the connection closes — before any payload byte is buffered.
+    pub max_frame: u32,
 }
 
 impl Default for ServeOptions {
@@ -130,8 +143,33 @@ impl Default for ServeOptions {
             read_timeout: None,
             write_timeout: None,
             max_line: MAX_LINE,
+            max_frame: crate::wire::MAX_FRAME,
         }
     }
+}
+
+/// Monotone per-listener protocol telemetry, surfaced by the `stats`
+/// verb: how many connections each protocol currently holds, how many
+/// binary frames have crossed the wire, and how the reactor is
+/// coalescing concurrent queries into pooled dispatches
+/// (`coalesced_spans / coalesced_dispatches` > 1 means queries from
+/// different connections are riding the same batch).
+#[derive(Debug, Default)]
+pub struct ProtocolCounters {
+    /// Text-protocol connections currently open (TCP listener only).
+    pub text_conns: AtomicU64,
+    /// Binary-protocol connections currently open.
+    pub wire_conns: AtomicU64,
+    /// Binary frames decoded off the wire (including refused ones).
+    pub wire_frames_in: AtomicU64,
+    /// Binary frames written to the wire (`HELO`/`ANSV`/`ERRF`).
+    pub wire_frames_out: AtomicU64,
+    /// Pooled batch dispatches the reactor has issued.
+    pub coalesced_dispatches: AtomicU64,
+    /// Queries answered through those dispatches.
+    pub coalesced_queries: AtomicU64,
+    /// Per-connection query jobs folded into those dispatches.
+    pub coalesced_spans: AtomicU64,
 }
 
 /// Everything one serving process shares across its connections: the
@@ -152,6 +190,9 @@ pub struct ServeContext {
     /// Surfaced through `stats` so an operator can see at the protocol
     /// level that the process booted degraded.
     pub quarantined: Vec<(String, String)>,
+    /// Per-protocol connection/frame/coalescing telemetry, updated by
+    /// the TCP reactor and surfaced through `stats`.
+    pub counters: ProtocolCounters,
     /// Whether the attached catalog journals mutations — captured at
     /// construction (the flag never flips mid-flight), so the hot
     /// `add`/`swap`/`retire` dispatch can branch without taking the
@@ -168,6 +209,7 @@ impl ServeContext {
             catalog: None,
             mmap: true,
             quarantined: Vec::new(),
+            counters: ProtocolCounters::default(),
             journal: false,
         }
     }
@@ -183,6 +225,7 @@ impl ServeContext {
             catalog: Some(Mutex::new(catalog)),
             mmap: true,
             quarantined: Vec::new(),
+            counters: ProtocolCounters::default(),
             journal,
         }
     }
@@ -423,7 +466,7 @@ enum Flow {
 
 /// Best-effort description of a panic payload for the `err internal`
 /// reply.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -511,14 +554,37 @@ fn dispatch(
             match problem {
                 Some(e) => reply(out, &format!("err {e}"))?,
                 None => {
-                    // the pooled / Morton-batched read path
-                    for a in snap.answer_batch(&queries) {
-                        out.write_all(format!("{a:.17e}\n").as_bytes())?;
+                    // the pooled / Morton-batched read path; the whole
+                    // reply is rendered into one buffer and written in
+                    // a single call — a million answers used to be a
+                    // million small writes through the BufWriter
+                    let answers = snap.answer_batch(&queries);
+                    let mut rendered = String::with_capacity(answers.len() * 26);
+                    for a in answers {
+                        use std::fmt::Write as _;
+                        let _ = writeln!(rendered, "{a:.17e}");
                     }
+                    out.write_all(rendered.as_bytes())?;
                     out.flush()?;
                 }
             }
         }
+        "quit" => return Ok(Flow::Quit),
+        _ => reply(out, &control_reply(ctx, line))?,
+    }
+    Ok(Flow::Continue)
+}
+
+/// Execute one control verb — everything except the stream-coupled
+/// `count`/`batch`/`quit` — and render its reply line. Shared by the
+/// stdin protocol loop and the TCP reactor, so mutations keep the
+/// identical journal-before-ack ordering on both front ends: the
+/// returned `ok` line exists only after the catalog persist inside the
+/// store op has completed.
+pub(crate) fn control_reply(ctx: &ServeContext, line: &str) -> String {
+    let mut fields = line.split_whitespace();
+    let command = fields.next().unwrap_or_default();
+    match command {
         "add" | "swap" => match (fields.next(), fields.next()) {
             (Some(key), Some(path)) => {
                 let outcome = load_release(path).and_then(|handle| {
@@ -553,11 +619,11 @@ fn dispatch(
                     op.map_err(|e| e.to_string())
                 });
                 match outcome {
-                    Ok(report) => reply(out, &report_line(&report))?,
-                    Err(e) => reply(out, &format!("err {e}"))?,
+                    Ok(report) => report_line(&report),
+                    Err(e) => format!("err {e}"),
                 }
             }
-            _ => reply(out, &format!("err {command} needs <key> <path>"))?,
+            _ => format!("err {command} needs <key> <path>"),
         },
         "retire" => match fields.next() {
             Some(key) => {
@@ -576,50 +642,50 @@ fn dispatch(
                     ctx.store.retire(key)
                 };
                 match op {
-                    Ok(report) => reply(out, &report_line(&report))?,
-                    Err(e) => reply(out, &format!("err {e}"))?,
+                    Ok(report) => report_line(&report),
+                    Err(e) => format!("err {e}"),
                 }
             }
-            None => reply(out, "err retire needs <key>")?,
+            None => "err retire needs <key>".into(),
         },
         "save" => match fields.next() {
             Some(key) => match save_verb(ctx, key) {
-                Ok(ok) => reply(out, &ok)?,
-                Err(e) => reply(out, &format!("err {e}"))?,
+                Ok(ok) => ok,
+                Err(e) => format!("err {e}"),
             },
-            None => reply(out, "err save needs <key>")?,
+            None => "err save needs <key>".into(),
         },
         "load" => match fields.next() {
             Some(key) => match load_verb(ctx, key) {
-                Ok(report) => reply(out, &report_line(&report))?,
-                Err(e) => reply(out, &format!("err {e}"))?,
+                Ok(report) => report_line(&report),
+                Err(e) => format!("err {e}"),
             },
-            None => reply(out, "err load needs <key>")?,
+            None => "err load needs <key>".into(),
         },
         "checkpoint" => match ctx.lock_catalog() {
-            None => reply(out, "err no catalog attached (start with --catalog DIR)")?,
+            None => "err no catalog attached (start with --catalog DIR)".into(),
             Some(mut catalog) => {
                 if catalog.journaling() {
                     // journaled mutations already persisted every
                     // serving release; fold the journal into the
                     // manifest and rotate the segment
                     match catalog.checkpoint() {
-                        Ok(seq) => reply(out, &format!("ok checkpoint journal_seq={seq}"))?,
-                        Err(e) => reply(out, &format!("err {e}"))?,
+                        Ok(seq) => format!("ok checkpoint journal_seq={seq}"),
+                        Err(e) => format!("err {e}"),
                     }
                 } else {
                     // no journal: a checkpoint is a full persist of the
                     // serving snapshot (the manifest rewrites per save)
                     match ctx.store.persist_catalog(&mut catalog) {
-                        Ok(saved) => reply(out, &format!("ok checkpoint saved={saved}"))?,
-                        Err(e) => reply(out, &format!("err {e}"))?,
+                        Ok(saved) => format!("ok checkpoint saved={saved}"),
+                        Err(e) => format!("err {e}"),
                     }
                 }
             }
         },
         "keys" => {
             let snap = ctx.store.snapshot();
-            reply(out, &format!("keys {}", snap.keys().join(" ")))?;
+            format!("keys {}", snap.keys().join(" "))
         }
         "stats" => {
             let snap = ctx.store.snapshot();
@@ -673,27 +739,33 @@ fn dispatch(
                     s
                 }
             };
-            reply(
-                out,
-                &format!(
-                    "stats shards={} nodes={} dims={} version={} gridded={} \
-                     publishes={} grids_built={} mapped_bytes={mapped_bytes} \
-                     quarantined={}{journal}{storage}{quarantined}",
-                    snap.shard_count(),
-                    snap.node_count(),
-                    snap.dims(),
-                    snap.version(),
-                    ctx.store.gridded(),
-                    stats.publishes,
-                    stats.grids_built,
-                    ctx.quarantined.len(),
-                ),
-            )?;
+            let c = &ctx.counters;
+            format!(
+                "stats shards={} nodes={} dims={} version={} gridded={} \
+                 publishes={} grids_built={} mapped_bytes={mapped_bytes} \
+                 quarantined={} conns_text={} conns_wire={} wire_frames_in={} \
+                 wire_frames_out={} coalesced_dispatches={} \
+                 coalesced_queries={} coalesced_spans={}\
+                 {journal}{storage}{quarantined}",
+                snap.shard_count(),
+                snap.node_count(),
+                snap.dims(),
+                snap.version(),
+                ctx.store.gridded(),
+                stats.publishes,
+                stats.grids_built,
+                ctx.quarantined.len(),
+                c.text_conns.load(Ordering::Relaxed),
+                c.wire_conns.load(Ordering::Relaxed),
+                c.wire_frames_in.load(Ordering::Relaxed),
+                c.wire_frames_out.load(Ordering::Relaxed),
+                c.coalesced_dispatches.load(Ordering::Relaxed),
+                c.coalesced_queries.load(Ordering::Relaxed),
+                c.coalesced_spans.load(Ordering::Relaxed),
+            )
         }
-        "quit" => return Ok(Flow::Quit),
-        other => reply(out, &format!("err unknown command {other}"))?,
+        other => format!("err unknown command {other}"),
     }
-    Ok(Flow::Continue)
 }
 
 /// Run the line protocol over one input/output pair until EOF or `quit`,
@@ -766,71 +838,21 @@ pub fn serve_lines_with(
     Ok(())
 }
 
-/// Decrements the live-connection counter when a connection thread
-/// exits — however it exits (EOF, `quit`, deadline eviction, panic).
-struct ConnSlot(Arc<AtomicUsize>);
-
-impl Drop for ConnSlot {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-/// A connection read half that turns the socket's short read timeout
-/// into a poll tick: every tick it checks the shutdown flag and the
-/// idle deadline, so a silent peer can be evicted and a draining server
-/// never waits on one.
-struct GuardedRead {
-    stream: TcpStream,
-    shutdown: ShutdownSignal,
-    /// Longest allowed silence between bytes (`None`: forever).
-    deadline: Option<Duration>,
-}
-
-impl Read for GuardedRead {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let start = Instant::now();
-        loop {
-            match self.stream.read(buf) {
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if self.shutdown.is_triggered() {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            "server is draining",
-                        ));
-                    }
-                    if let Some(deadline) = self.deadline {
-                        if start.elapsed() >= deadline {
-                            return Err(io::Error::new(
-                                io::ErrorKind::TimedOut,
-                                "read deadline exceeded",
-                            ));
-                        }
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                other => return other,
-            }
-        }
-    }
-}
-
 /// A running TCP listener: its bound address (resolving an OS-assigned
-/// `:0` port), the accept-loop thread, and the drain machinery.
-/// Embedders (the TCP benchmark lane, tests) can hold the handle for
-/// the life of the process; the binary parks on [`ServerHandle::join`]
-/// and calls [`ServerHandle::drain`] when a termination signal lands.
+/// `:0` port), the reactor thread, and the drain machinery. Embedders
+/// (the TCP benchmark lane, tests) can hold the handle for the life of
+/// the process; the binary parks on [`ServerHandle::join_then_drain`]
+/// and drains when a termination signal lands.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     join: std::thread::JoinHandle<()>,
     shutdown: ShutdownSignal,
     active: Arc<AtomicUsize>,
+    /// Tripped by a timed-out [`ServerHandle::drain`]: tells the
+    /// reactor to drop every remaining connection instead of waiting
+    /// for their in-flight replies.
+    abort: Arc<AtomicBool>,
 }
 
 impl ServerHandle {
@@ -864,33 +886,43 @@ impl ServerHandle {
     /// let in-flight commands finish their replies, and wait up to
     /// `deadline` for every connection to close. Returns whether the
     /// drain completed inside the deadline (`false`: some connection
-    /// was still mid-command; the process may still exit — the sockets
-    /// die with it).
+    /// was still mid-command; its socket is dropped without waiting for
+    /// its reply).
     pub fn drain(self, deadline: Duration) -> bool {
         self.shutdown.trigger();
         let start = Instant::now();
-        // the accept loop notices the flag within one poll tick
-        let _ = self.join.join();
+        // the reactor notices the flag within one poll tick, closes the
+        // listener, and winds connections down as their replies finish
+        let mut completed = true;
         while self.active.load(Ordering::SeqCst) > 0 {
             if start.elapsed() >= deadline {
-                return false;
+                completed = false;
+                break;
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        true
+        if !completed {
+            // past the deadline: tell the reactor to drop whatever is
+            // left so the join below cannot hang on a stuck peer
+            self.abort.store(true, Ordering::SeqCst);
+        }
+        let _ = self.join.join();
+        completed
     }
 }
 
-/// Bind `addr` and serve connections in background threads (one per
-/// connection, sharing `ctx`) with default [`ServeOptions`].
+/// Bind `addr` and serve connections on the reactor thread (sharing
+/// `ctx`) with default [`ServeOptions`].
 pub fn spawn_tcp(ctx: Arc<ServeContext>, addr: &str) -> Result<ServerHandle, String> {
     spawn_tcp_with(ctx, addr, ServeOptions::default(), ShutdownSignal::new())
 }
 
 /// Bind `addr` and serve connections under the given lifecycle options,
-/// draining when `shutdown` trips. The accept loop enforces
-/// [`ServeOptions::max_conns`] (excess accepts answer `err busy` and
-/// close) and polls the shutdown flag between accepts.
+/// draining when `shutdown` trips. All connections — text and binary —
+/// are multiplexed onto one reactor thread (see [`crate::reactor`])
+/// that enforces [`ServeOptions::max_conns`] (excess accepts answer
+/// `err busy` and close), evicts deadline violators, and coalesces
+/// concurrently-arriving queries into pooled batch dispatches.
 pub fn spawn_tcp_with(
     ctx: Arc<ServeContext>,
     addr: &str,
@@ -905,103 +937,38 @@ pub fn spawn_tcp_with(
         .set_nonblocking(true)
         .map_err(|e| format!("cannot poll listener: {e}"))?;
     let active = Arc::new(AtomicUsize::new(0));
-    let accept_active = Arc::clone(&active);
-    let accept_shutdown = shutdown.clone();
+    let abort = Arc::new(AtomicBool::new(false));
+    let reactor_active = Arc::clone(&active);
+    let reactor_abort = Arc::clone(&abort);
+    let reactor_shutdown = shutdown.clone();
     let join = std::thread::spawn(move || {
-        accept_loop(listener, ctx, opts, accept_shutdown, accept_active);
+        crate::reactor::run_reactor(
+            listener,
+            ctx,
+            opts,
+            reactor_shutdown,
+            reactor_active,
+            reactor_abort,
+        );
     });
     Ok(ServerHandle {
         addr: local,
         join,
         shutdown,
         active,
+        abort,
     })
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    ctx: Arc<ServeContext>,
-    opts: ServeOptions,
-    shutdown: ShutdownSignal,
-    active: Arc<AtomicUsize>,
-) {
-    loop {
-        if shutdown.is_triggered() {
-            return;
-        }
-        let stream = match listener.accept() {
-            Ok((stream, _peer)) => stream,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                std::thread::sleep(ACCEPT_TICK);
-                continue;
-            }
-            Err(e) => {
-                eprintln!("privtree-serve: failed connection: {e}");
-                continue;
-            }
-        };
-        // claim a slot before spawning, so a burst of accepts can never
-        // overshoot the cap while threads are still starting
-        if active.fetch_add(1, Ordering::SeqCst) >= opts.max_conns {
-            active.fetch_sub(1, Ordering::SeqCst);
-            shed(stream);
-            continue;
-        }
-        let slot = ConnSlot(Arc::clone(&active));
-        let ctx = Arc::clone(&ctx);
-        let opts = opts.clone();
-        let shutdown = shutdown.clone();
-        std::thread::spawn(move || {
-            let _slot = slot; // freed on every exit path
-            serve_connection(ctx, stream, opts, shutdown);
-        });
-    }
 }
 
 /// Answer `err busy` (with a retry hint — the cap is a transient
 /// condition, not a protocol error) and close: load shedding at the
-/// connection cap. Best-effort — the reply is one small write, bounded
-/// by a short timeout so a hostile peer cannot stall the accept loop.
-fn shed(mut stream: TcpStream) {
+/// connection cap. The reply is the text line whatever protocol the
+/// peer intended — shedding happens before the first byte arrives, so
+/// negotiation never ran (a binary client recognizes the `err ` prefix
+/// where its fixed-size preamble reply would be). Best-effort — one
+/// small write, bounded by a short timeout so a hostile peer cannot
+/// stall the reactor.
+pub(crate) fn shed(mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let _ = stream.write_all(b"err busy (connection cap reached, retry shortly)\n");
-}
-
-fn serve_connection(
-    ctx: Arc<ServeContext>,
-    stream: TcpStream,
-    opts: ServeOptions,
-    shutdown: ShutdownSignal,
-) {
-    let read_half = match stream.try_clone() {
-        Ok(half) => half,
-        Err(e) => {
-            eprintln!("privtree-serve: cannot clone connection: {e}");
-            return;
-        }
-    };
-    // the socket's read timeout is the guard's poll tick — short enough
-    // that drains and deadline evictions land promptly
-    let tick = match opts.read_timeout {
-        Some(deadline) => deadline.min(POLL_TICK),
-        None => POLL_TICK,
-    };
-    let _ = read_half.set_read_timeout(Some(tick.max(Duration::from_millis(1))));
-    let _ = stream.set_write_timeout(opts.write_timeout);
-    let reader = io::BufReader::new(GuardedRead {
-        stream: read_half,
-        shutdown: shutdown.clone(),
-        deadline: opts.read_timeout,
-    });
-    // a dropped connection (or a deadline eviction) is normal peer
-    // behaviour; the outer catch_unwind keeps a pathological panic in
-    // the reply path from tearing down the whole thread with noise
-    let _ = catch_unwind(AssertUnwindSafe(|| {
-        let _ = serve_lines_with(&ctx, reader, stream, &opts, Some(&shutdown));
-    }));
 }

@@ -488,3 +488,191 @@ fn tcp_mode_serves_connections() {
         writeln!(writer, "quit").expect("send quit");
     }
 }
+
+/// One listener, both protocols at once: text clients stream
+/// `count`/`batch` lines while binary clients stream `QRYB` frames on
+/// concurrent connections. Every answer — parsed text or packed `f64`
+/// — must be **bit-identical** to the library path, so coalesced
+/// cross-connection dispatches are invisible at the answer level.
+#[test]
+fn mixed_text_and_binary_clients_answer_bit_exact() {
+    use privtree_engine::wire::WireClient;
+
+    let frozen = sample_release(Rect::unit(2), 61, 2500);
+    let release_file = TempFile::write("mixed-release.txt", &frozen_to_text(&frozen));
+    let child = Command::new(BIN)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            &format!("epoch0={}", release_file.path()),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn privtree-serve");
+    let mut child = Reaper(child);
+    let mut announce = String::new();
+    BufReader::new(child.0.stdout.take().expect("piped stdout"))
+        .read_line(&mut announce)
+        .expect("read listen announcement");
+    let addr = announce
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {announce}"))
+        .to_string();
+
+    let frozen = std::sync::Arc::new(frozen);
+    let mut workers = Vec::new();
+    // two text + two binary clients, interleaved on the same reactor
+    for t in 0..2u64 {
+        let addr = addr.clone();
+        let frozen = std::sync::Arc::clone(&frozen);
+        workers.push(std::thread::spawn(move || {
+            let queries = workload(60, 100 + t);
+            let stream = std::net::TcpStream::connect(&addr).expect("connect text");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = stream;
+            // singles, then one batch over the same workload
+            for q in &queries[..20] {
+                writeln!(writer, "count {}", query_line(q)).expect("send");
+                let mut reply = String::new();
+                reader.read_line(&mut reply).expect("receive");
+                assert_eq!(reply.trim(), format!("{:.17e}", frozen.answer(q)));
+            }
+            writeln!(writer, "batch {}", queries.len()).expect("send batch");
+            for q in &queries {
+                writeln!(writer, "{}", query_line(q)).expect("send line");
+            }
+            for q in &queries {
+                let mut reply = String::new();
+                reader.read_line(&mut reply).expect("batch answer");
+                assert_eq!(
+                    reply.trim(),
+                    format!("{:.17e}", frozen.answer(q)),
+                    "text batch answer diverged"
+                );
+            }
+            writeln!(writer, "quit").expect("quit");
+        }));
+    }
+    for t in 0..2u64 {
+        let addr = addr.clone();
+        let frozen = std::sync::Arc::clone(&frozen);
+        workers.push(std::thread::spawn(move || {
+            let queries = workload(60, 200 + t);
+            let mut client = WireClient::connect(&addr)
+                .expect("connect binary")
+                .with_crc(t == 0); // one client CRC'd, one bare
+            assert_eq!(client.dims(), 2);
+            for chunk in queries.chunks(15) {
+                let answers = client.query(chunk).expect("query frame");
+                for (q, a) in chunk.iter().zip(&answers) {
+                    assert_eq!(
+                        a.to_bits(),
+                        frozen.answer(q).to_bits(),
+                        "binary answer diverged for {}",
+                        q.rect
+                    );
+                }
+            }
+            client.quit().expect("quit frame");
+        }));
+    }
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+}
+
+/// The `stats` verb reports the reactor's per-protocol telemetry:
+/// current text/binary connection counts, frames decoded and written,
+/// and the coalescing counters that prove queries ride pooled
+/// dispatches.
+#[test]
+fn stats_reports_protocol_and_coalescing_counters() {
+    use privtree_engine::wire::WireClient;
+
+    let frozen = sample_release(Rect::unit(2), 71, 1500);
+    let release_file = TempFile::write("stats-release.txt", &frozen_to_text(&frozen));
+    let child = Command::new(BIN)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            &format!("epoch0={}", release_file.path()),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn privtree-serve");
+    let mut child = Reaper(child);
+    let mut announce = String::new();
+    BufReader::new(child.0.stdout.take().expect("piped stdout"))
+        .read_line(&mut announce)
+        .expect("read listen announcement");
+    let addr = announce
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {announce}"));
+
+    // a binary client answers two frames and stays connected
+    let queries = workload(24, 72);
+    let mut wire_client = WireClient::connect(addr).expect("connect binary");
+    wire_client.query(&queries[..12]).expect("first frame");
+    wire_client.query(&queries[12..]).expect("second frame");
+
+    // a text client probes stats on its own (counted) connection
+    let stream = std::net::TcpStream::connect(addr).expect("connect text");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writeln!(writer, "stats").expect("send stats");
+    let mut stats = String::new();
+    reader.read_line(&mut stats).expect("stats line");
+
+    fn field(stats: &str, key: &str) -> u64 {
+        stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("stats missing {key}: {stats}"))
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric {key}: {stats}"))
+    }
+    assert_eq!(field(&stats, "conns_text"), 1, "the stats probe itself");
+    assert_eq!(field(&stats, "conns_wire"), 1, "the resident binary client");
+    assert_eq!(
+        field(&stats, "wire_frames_in"),
+        2,
+        "two QRYB frames decoded"
+    );
+    assert_eq!(
+        field(&stats, "wire_frames_out"),
+        3,
+        "one HELO and two ANSV frames written"
+    );
+    assert!(
+        field(&stats, "coalesced_dispatches") >= 2,
+        "each query frame rode a pooled dispatch: {stats}"
+    );
+    assert_eq!(
+        field(&stats, "coalesced_queries"),
+        24,
+        "every query dispatched"
+    );
+    assert!(field(&stats, "coalesced_spans") >= 2, "stats: {stats}");
+
+    // closing the binary client drops its connection count
+    wire_client.quit().expect("quit frame");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        writeln!(writer, "stats").expect("send stats");
+        stats.clear();
+        reader.read_line(&mut stats).expect("stats line");
+        if field(&stats, "conns_wire") == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "wire connection never released: {stats}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    writeln!(writer, "quit").expect("quit");
+}

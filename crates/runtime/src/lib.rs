@@ -33,9 +33,12 @@
 //! until all of its chunks have reported back (even on panic, which is
 //! re-raised in the caller), so no borrow outlives the call.
 
+pub mod coalesce;
 pub mod failpoints;
+pub mod readiness;
 pub mod shutdown;
 
+pub use coalesce::Coalescer;
 pub use shutdown::{install_termination_handler, ShutdownSignal};
 
 use std::ops::Range;

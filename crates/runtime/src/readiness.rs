@@ -1,0 +1,186 @@
+//! Socket readiness for a multiplexed front end.
+//!
+//! A reactor that owns many nonblocking sockets on one thread needs to
+//! sleep until *any* of them has bytes (or buffer space) — busy-spinning
+//! would burn the core the worker pool wants, and a fixed sleep tick
+//! would add its full latency to every request. This module wraps the
+//! C library's `poll(2)` (always linked; no crates.io dependency — the
+//! same approach as [`crate::shutdown`]'s `signal(2)` binding) behind a
+//! portable [`wait`] call.
+//!
+//! On platforms without `poll(2)` the fallback sleeps one short tick
+//! and reports every descriptor ready, degrading the reactor to the
+//! try-every-socket tick loop the serve layer's accept path always
+//! used — correct (all sockets are nonblocking), just less efficient.
+
+use std::time::Duration;
+
+/// One descriptor in a [`wait`] set: which events the caller wants,
+/// and — filled in by the call — which it got.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PollEntry {
+    /// The raw descriptor (`as_raw_fd()` on Unix; ignored by the
+    /// fallback implementation).
+    pub fd: i64,
+    /// Wake when the descriptor has bytes to read (or a pending
+    /// accept).
+    pub want_read: bool,
+    /// Wake when the descriptor can accept more written bytes.
+    pub want_write: bool,
+    /// Out: readable now (includes EOF/hangup — a read will not block).
+    pub readable: bool,
+    /// Out: writable now.
+    pub writable: bool,
+    /// Out: the peer hung up or the descriptor is in an error state;
+    /// the next read/write will surface it.
+    pub closed: bool,
+}
+
+impl PollEntry {
+    /// An entry waiting for readability only.
+    pub fn read(fd: i64) -> Self {
+        Self {
+            fd,
+            want_read: true,
+            ..Self::default()
+        }
+    }
+
+    /// An entry waiting for readability and writability.
+    pub fn read_write(fd: i64) -> Self {
+        Self {
+            fd,
+            want_read: true,
+            want_write: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Block until at least one entry is ready or `timeout` elapses,
+/// filling in each entry's readiness flags. Returns how many entries
+/// reported an event (0 on timeout or interruption — callers poll in a
+/// loop either way).
+pub fn wait(entries: &mut [PollEntry], timeout: Duration) -> usize {
+    imp::wait(entries, timeout)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::PollEntry;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    /// `struct pollfd` from `poll(2)`; identical layout on every Unix.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        /// `int poll(struct pollfd *fds, nfds_t nfds, int timeout)`.
+        /// `nfds_t` is `unsigned long` on Linux and `unsigned int` on
+        /// the BSDs; passing a zero-extended `c_ulong` is correct for
+        /// both ABIs on every supported 64-bit target.
+        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+    }
+
+    pub fn wait(entries: &mut [PollEntry], timeout: Duration) -> usize {
+        let mut fds: Vec<PollFd> = entries
+            .iter()
+            .map(|e| PollFd {
+                fd: e.fd as i32,
+                events: if e.want_read { POLLIN } else { 0 }
+                    | if e.want_write { POLLOUT } else { 0 },
+                revents: 0,
+            })
+            .collect();
+        let ms: i32 = timeout.as_millis().min(i32::MAX as u128) as i32;
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, ms) };
+        if rc <= 0 {
+            // timeout, or EINTR/ENOMEM — the caller's loop retries
+            return 0;
+        }
+        let mut ready = 0;
+        for (entry, fd) in entries.iter_mut().zip(&fds) {
+            let r = fd.revents;
+            entry.readable = r & (POLLIN | POLLHUP | POLLERR) != 0;
+            entry.writable = r & POLLOUT != 0;
+            entry.closed = r & (POLLHUP | POLLERR | POLLNVAL) != 0;
+            if r != 0 {
+                ready += 1;
+            }
+        }
+        ready
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::PollEntry;
+    use std::time::Duration;
+
+    /// No `poll(2)`: sleep one short tick and report everything ready;
+    /// the caller's nonblocking reads/writes sort out reality.
+    pub fn wait(entries: &mut [PollEntry], timeout: Duration) -> usize {
+        std::thread::sleep(timeout.min(Duration::from_millis(15)));
+        for entry in entries.iter_mut() {
+            entry.readable = entry.want_read;
+            entry.writable = entry.want_write;
+            entry.closed = false;
+        }
+        entries.len()
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn wakes_on_readable_and_times_out_when_silent() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        // silent peer: poll times out with nothing ready
+        let mut entries = [PollEntry::read(server.as_raw_fd() as i64)];
+        assert_eq!(wait(&mut entries, Duration::from_millis(20)), 0);
+        assert!(!entries[0].readable);
+
+        // a written byte wakes the poll well before the long timeout
+        client.write_all(b"x").unwrap();
+        let started = Instant::now();
+        let ready = wait(&mut entries, Duration::from_secs(10));
+        assert_eq!(ready, 1);
+        assert!(entries[0].readable);
+        assert!(started.elapsed() < Duration::from_secs(5));
+
+        // a hangup reads as readable (EOF) so the reactor notices
+        drop(client);
+        let mut entries = [PollEntry::read(server.as_raw_fd() as i64)];
+        assert_eq!(wait(&mut entries, Duration::from_secs(10)), 1);
+        assert!(entries[0].readable);
+    }
+
+    #[test]
+    fn reports_writability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut entries = [PollEntry::read_write(client.as_raw_fd() as i64)];
+        assert!(wait(&mut entries, Duration::from_secs(5)) >= 1);
+        assert!(entries[0].writable, "fresh socket has send-buffer space");
+    }
+}

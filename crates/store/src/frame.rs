@@ -1,0 +1,234 @@
+//! Generic length-prefixed message frames with optional CRC-32.
+//!
+//! The `privtree-bin` file format frames every section as
+//! `tag | length | payload | CRC-32` and validates each length against
+//! a hard bound *before* sizing any buffer (see [`crate::format`]).
+//! This module lifts that convention out of the file decoder so stream
+//! protocols can reuse it — concretely, the engine's `privtree-wire v1`
+//! query protocol frames every message with these helpers.
+//!
+//! A frame on the stream is:
+//!
+//! ```text
+//! [0..4)   tag       4 ASCII bytes naming the message kind
+//! [4)      flags     u8 (bit 0: a CRC-32 trailer follows the payload)
+//! [5..8)   reserved  must be zero
+//! [8..12)  len       u32 little-endian payload byte count
+//! [12..)   payload   `len` bytes
+//! then, iff flags bit 0:
+//!          crc       u32 little-endian CRC-32 (IEEE) of the payload
+//! ```
+//!
+//! Decoding is incremental and hostile-input safe by construction:
+//! [`parse_header`] needs only the first [`FRAME_HEADER_LEN`] bytes,
+//! refuses unknown flags, nonzero reserved bytes, and any length above
+//! the caller's cap — all **before** a single payload byte is buffered,
+//! so a forged length can cost the reader at most the cap, never an
+//! unbounded allocation (the same size-before-allocate contract the
+//! file format's header check makes). [`payload`] then verifies the
+//! CRC, when present, with the same `crc32` the file format uses.
+
+use crate::format::crc32;
+
+/// Fixed byte count of a frame header (tag + flags + reserved + len).
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Frame flag bit 0: a CRC-32 trailer follows the payload.
+pub const FRAME_FLAG_CRC: u8 = 0b0000_0001;
+
+/// Every flag bit this revision understands; anything else is refused
+/// (an unknown flag could change the frame's extent, so skipping it
+/// would desynchronize the stream).
+const KNOWN_FLAGS: u8 = FRAME_FLAG_CRC;
+
+/// A parsed frame header: what the next message claims to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Message kind (4 ASCII bytes, protocol-defined).
+    pub tag: [u8; 4],
+    /// Frame flags (only [`FRAME_FLAG_CRC`] is defined).
+    pub flags: u8,
+    /// Payload byte count.
+    pub len: u32,
+}
+
+impl FrameHeader {
+    /// Whether a CRC-32 trailer follows the payload.
+    pub fn has_crc(&self) -> bool {
+        self.flags & FRAME_FLAG_CRC != 0
+    }
+
+    /// Total on-stream byte count of the frame: header, payload, and
+    /// trailer.
+    pub fn total_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.len as usize + if self.has_crc() { 4 } else { 0 }
+    }
+}
+
+/// Why a frame was refused. Typed so protocol layers can answer with a
+/// matching error message (and tests can pin the exact refusal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header carries a flag bit this reader does not understand.
+    UnknownFlags { flags: u8 },
+    /// The reserved header bytes are not zero.
+    NonZeroReserved,
+    /// The declared payload length exceeds the caller's cap.
+    Oversized { len: u32, max: u32 },
+    /// The payload does not match its CRC-32 trailer.
+    ChecksumMismatch { stored: u32, computed: u32 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::UnknownFlags { flags } => {
+                write!(f, "unknown frame flags {flags:#04x}")
+            }
+            FrameError::NonZeroReserved => write!(f, "nonzero reserved frame bytes"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode one complete frame (header, payload, optional CRC trailer).
+pub fn encode_frame(tag: [u8; 4], payload: &[u8], with_crc: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len() + 4);
+    encode_frame_into(&mut out, tag, payload, with_crc);
+    out
+}
+
+/// Append one complete frame to `out` (the reply-buffer path: a reactor
+/// scattering many replies into one connection buffer).
+pub fn encode_frame_into(out: &mut Vec<u8>, tag: [u8; 4], payload: &[u8], with_crc: bool) {
+    debug_assert!(
+        payload.len() <= u32::MAX as usize,
+        "frame payload too large"
+    );
+    out.extend_from_slice(&tag);
+    out.push(if with_crc { FRAME_FLAG_CRC } else { 0 });
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    if with_crc {
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+    }
+}
+
+/// Parse a frame header from the front of `bytes`, validating it
+/// against `max_payload` before any buffer is sized from it.
+///
+/// Returns `Ok(None)` when fewer than [`FRAME_HEADER_LEN`] bytes are
+/// buffered (read more and retry). A returned header still needs
+/// [`FrameHeader::total_len`] bytes on the stream before [`payload`]
+/// can slice the message out.
+pub fn parse_header(bytes: &[u8], max_payload: u32) -> Result<Option<FrameHeader>, FrameError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let flags = bytes[4];
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(FrameError::UnknownFlags { flags });
+    }
+    if bytes[5..8] != [0, 0, 0] {
+        return Err(FrameError::NonZeroReserved);
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if len > max_payload {
+        return Err(FrameError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    Ok(Some(FrameHeader {
+        tag: bytes[..4].try_into().expect("4 bytes"),
+        flags,
+        len,
+    }))
+}
+
+/// Slice the payload out of a complete frame (`frame` must hold at
+/// least [`FrameHeader::total_len`] bytes starting at the header),
+/// verifying the CRC-32 trailer when the header carries one.
+pub fn payload<'a>(header: &FrameHeader, frame: &'a [u8]) -> Result<&'a [u8], FrameError> {
+    let body = &frame[FRAME_HEADER_LEN..FRAME_HEADER_LEN + header.len as usize];
+    if header.has_crc() {
+        let at = FRAME_HEADER_LEN + header.len as usize;
+        let stored = u32::from_le_bytes(frame[at..at + 4].try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(FrameError::ChecksumMismatch { stored, computed });
+        }
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_and_without_crc() {
+        for with_crc in [false, true] {
+            let frame = encode_frame(*b"TEST", b"hello frame", with_crc);
+            let header = parse_header(&frame, 1024).unwrap().expect("complete");
+            assert_eq!(header.tag, *b"TEST");
+            assert_eq!(header.has_crc(), with_crc);
+            assert_eq!(header.len, 11);
+            assert_eq!(frame.len(), header.total_len());
+            assert_eq!(payload(&header, &frame).unwrap(), b"hello frame");
+        }
+    }
+
+    #[test]
+    fn short_input_asks_for_more() {
+        let frame = encode_frame(*b"TEST", b"payload", true);
+        for cut in 0..FRAME_HEADER_LEN {
+            assert_eq!(parse_header(&frame[..cut], 1024), Ok(None));
+        }
+    }
+
+    #[test]
+    fn hostile_headers_are_refused_before_allocation() {
+        let mut frame = encode_frame(*b"TEST", b"x", false);
+        frame[4] = 0x80; // unknown flag
+        assert_eq!(
+            parse_header(&frame, 1024),
+            Err(FrameError::UnknownFlags { flags: 0x80 })
+        );
+        frame[4] = 0;
+        frame[6] = 7; // reserved byte
+        assert_eq!(parse_header(&frame, 1024), Err(FrameError::NonZeroReserved));
+        frame[6] = 0;
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes()); // forged length
+        assert_eq!(
+            parse_header(&frame, 1024),
+            Err(FrameError::Oversized {
+                len: u32::MAX,
+                max: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let mut frame = encode_frame(*b"TEST", b"sensitive", true);
+        let header = parse_header(&frame, 1024).unwrap().unwrap();
+        frame[FRAME_HEADER_LEN] ^= 0x01;
+        let err = payload(&header, &frame).unwrap_err();
+        assert!(matches!(err, FrameError::ChecksumMismatch { .. }));
+        // without the trailer the flip would go unnoticed — the flag is
+        // what buys integrity
+        let plain = encode_frame(*b"TEST", b"sensitive", false);
+        let header = parse_header(&plain, 1024).unwrap().unwrap();
+        assert_eq!(payload(&header, &plain).unwrap(), b"sensitive");
+    }
+}

@@ -18,6 +18,11 @@
 //!   one validated pass over the bytes — no per-line parsing, no
 //!   intermediate strings. `crates/store/README.md` specifies the layout
 //!   byte by byte.
+//! * [`frame`] — the section convention lifted out of the file format
+//!   as generic **stream frames**: `tag | flags | length | payload |
+//!   optional CRC-32`, with the same validate-size-before-allocate
+//!   contract. The engine's `privtree-wire v1` query protocol frames
+//!   every message with these helpers.
 //! * [`catalog`] — the **on-disk release catalog**: a directory with a
 //!   `catalog.toml` manifest mapping release key → file, format, and
 //!   whole-file checksum. Every publish (data file and manifest alike)
@@ -54,6 +59,7 @@
 
 pub mod catalog;
 pub mod format;
+pub mod frame;
 pub mod journal;
 pub mod view;
 
