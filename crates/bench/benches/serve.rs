@@ -16,7 +16,10 @@
 //! a **concurrent-TCP** lane hammers an in-process `privtree-serve`
 //! listener with 1/2/4/8 client threads over both protocols — text
 //! `batch` commands and binary `privtree-wire` frames — and records the
-//! reactor's cross-connection coalescing counters.
+//! reactor's cross-connection coalescing counters. A **telemetry** lane
+//! prices timing capture (qps with the runtime switch on vs off,
+//! target <2%) and scrapes the reactor's per-stage tick histograms off
+//! the `metrics` verb into the record.
 //! `cargo bench --bench serve -- --test` (or `PRIVTREE_BENCH_SMOKE=1`)
 //! runs a quick smoke configuration and skips the JSON artifact.
 
@@ -28,7 +31,7 @@ use privtree_dp::rng::seeded;
 use privtree_engine::serve::{spawn_tcp, spawn_tcp_with, ServeContext, ServeOptions};
 use privtree_engine::wire::WireClient;
 use privtree_engine::ReleaseStore;
-use privtree_runtime::{ShutdownSignal, WorkerPool};
+use privtree_runtime::{telemetry, ShutdownSignal, WorkerPool};
 use privtree_spatial::dataset::PointSet;
 use privtree_spatial::geom::Rect;
 use privtree_spatial::quadtree::SplitConfig;
@@ -631,6 +634,67 @@ fn bench_serve(c: &mut Criterion) {
         (base - hard) / base * 100.0
     };
 
+    // ---- telemetry overhead: the same small-query workload over the
+    // binary protocol (the fastest serving path, so the clock reads are
+    // the largest relative cost they can be) with timing capture on vs
+    // off via the runtime switch. Counters record in both
+    // configurations — only the Instant reads differ — and the target
+    // is <2% qps. With timing back on, the reactor's per-stage tick
+    // histograms are scraped off the `metrics` verb into the record. ----
+    let telemetry_round = |addr: std::net::SocketAddr| -> f64 {
+        let mut client = WireClient::connect(addr).expect("connect for telemetry lane");
+        let start = Instant::now();
+        for _ in 0..tcp_rounds {
+            black_box(client.query(&tcp_workload).expect("telemetry lane batch"));
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let _ = client.quit();
+        (tcp_rounds * tcp_workload.len()) as f64 / elapsed
+    };
+    // one discarded warm-up round, then interleaved best-of reps so
+    // neither configuration soaks up cold-cache cost for the other
+    let telemetry_reps = if smoke { 2 } else { 5 };
+    telemetry_round(tcp_addr);
+    let (mut telemetry_on_qps, mut telemetry_off_qps) = (0.0f64, 0.0f64);
+    for _ in 0..telemetry_reps {
+        telemetry::set_enabled(true);
+        telemetry_on_qps = telemetry_on_qps.max(telemetry_round(tcp_addr));
+        telemetry::set_enabled(false);
+        telemetry_off_qps = telemetry_off_qps.max(telemetry_round(tcp_addr));
+    }
+    telemetry::set_enabled(true);
+    let telemetry_overhead_pct = (telemetry_off_qps - telemetry_on_qps) / telemetry_off_qps * 100.0;
+
+    let exposition = WireClient::connect(tcp_addr)
+        .expect("connect for metrics scrape")
+        .metrics()
+        .expect("METR scrape");
+    let metric = |key: &str| -> f64 {
+        exposition
+            .lines()
+            .find_map(|l| {
+                l.strip_prefix(key)
+                    .and_then(|rest| rest.trim_start().parse().ok())
+            })
+            .unwrap_or_else(|| panic!("exposition missing {key}"))
+    };
+    let stage_json = ["decode", "coalesce", "dispatch", "scatter", "flush"]
+        .iter()
+        .map(|stage| {
+            let p50 = metric(&format!(
+                "reactor_stage_us{{stage=\"{stage}\",quantile=\"0.5\"}}"
+            ));
+            let p99 = metric(&format!(
+                "reactor_stage_us{{stage=\"{stage}\",quantile=\"0.99\"}}"
+            ));
+            let ticks = metric(&format!("reactor_stage_us_count{{stage=\"{stage}\"}}"));
+            format!(
+                "      \"{stage}\": {{ \"p50_us\": {p50}, \"p99_us\": {p99}, \"ticks\": {ticks} }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let seq = best_secs(samples, || frozen.answer_batch_sequential(&medium));
     let p4 = best_secs(samples, || frozen.answer_batch_with_pool(&medium, &pool4));
     let p8 = best_secs(samples, || frozen.answer_batch_with_pool(&medium, &pool8));
@@ -724,6 +788,15 @@ fn bench_serve(c: &mut Criterion) {
             "{},\n",
             "    \"overhead_pct_threads_8\": {:.2}\n",
             "  }},\n",
+            "  \"telemetry\": {{\n",
+            "    \"query_size\": \"small\",\n",
+            "    \"on_qps\": {:.1},\n",
+            "    \"off_qps\": {:.1},\n",
+            "    \"overhead_pct\": {:.2},\n",
+            "    \"reactor_stage_us\": {{\n",
+            "{}\n",
+            "    }}\n",
+            "  }},\n",
             "  \"frozen_seq_qps\": {:.1},\n",
             "  \"grid_routed_qps\": {:.1},\n",
             "  \"grid_routed_morton_qps\": {:.1},\n",
@@ -787,6 +860,10 @@ fn bench_serve(c: &mut Criterion) {
         drained,
         hard_json,
         overhead_pct,
+        telemetry_on_qps,
+        telemetry_off_qps,
+        telemetry_overhead_pct,
+        stage_json,
         medium_frozen_qps,
         medium_grid_qps,
         medium_grid_morton_qps,

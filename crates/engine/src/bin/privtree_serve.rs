@@ -16,7 +16,8 @@
 //!                [--journal] [--fsync always|never|every:N]
 //!                [--keep-generations N] [--mmap|--no-mmap]
 //!                [--max-conns N] [--read-timeout S]
-//!                [--drain-timeout S] <key=release>...
+//!                [--drain-timeout S] [--slow-query-log MS]
+//!                <key=release>...
 //! ```
 //!
 //! With `--catalog DIR` the process **warm-starts** from an on-disk
@@ -72,7 +73,7 @@ use privtree_store::{Catalog, FsyncPolicy};
 const USAGE: &str = "usage: privtree-serve [--grids] [--listen ADDR] [--catalog DIR]\n\
                      [--journal] [--fsync always|never|every:N] [--keep-generations N]\n\
                      [--mmap|--no-mmap] [--max-conns N] [--read-timeout SECS]\n\
-                     [--drain-timeout SECS] <key=release>...\n\
+                     [--drain-timeout SECS] [--slow-query-log MS] <key=release>...\n\
                      releases are privtree-synopsis v1 text files or privtree-bin v1\n\
                      binary files (sniffed; an attached grid section is loaded instead\n\
                      of rebuilt); queries arrive over stdin, or over TCP with --listen;\n\
@@ -88,7 +89,9 @@ const USAGE: &str = "usage: privtree-serve [--grids] [--listen ADDR] [--catalog 
                      excess connections with `err busy`; --read-timeout (default 30,\n\
                      0=off) evicts peers idle that long; SIGTERM/SIGINT or stdin EOF\n\
                      drain gracefully, waiting up to --drain-timeout (default 5) for\n\
-                     in-flight replies";
+                     in-flight replies; --slow-query-log records queries slower than MS\n\
+                     milliseconds in a ring the `slowlog` verb dumps (the `metrics` verb\n\
+                     serves the full telemetry exposition either way)";
 
 fn parse_secs(flag: &str, value: Option<String>) -> Result<u64, String> {
     value
@@ -108,6 +111,7 @@ fn run() -> Result<(), String> {
     let mut max_conns: usize = 1024;
     let mut read_timeout_secs: u64 = 30;
     let mut drain_timeout_secs: u64 = 5;
+    let mut slow_query_log_ms: Option<u64> = None;
     let mut releases: Vec<(String, ShardHandle)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -147,6 +151,14 @@ fn run() -> Result<(), String> {
             }
             "--drain-timeout" => {
                 drain_timeout_secs = parse_secs("--drain-timeout", args.next())?;
+            }
+            "--slow-query-log" => {
+                slow_query_log_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or("--slow-query-log needs a positive number of milliseconds")?,
+                );
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -253,12 +265,15 @@ fn run() -> Result<(), String> {
             n => format!(", quarantined={n}"),
         }
     );
-    let ctx = match catalog {
+    let mut ctx = match catalog {
         Some(catalog) => ServeContext::with_catalog(store, catalog),
         None => ServeContext::new(store),
     }
     .with_mmap(mmap)
     .with_quarantined(quarantined);
+    if let Some(ms) = slow_query_log_ms {
+        ctx = ctx.with_slow_query_log(Duration::from_millis(ms));
+    }
     match listen {
         Some(addr) => {
             let opts = ServeOptions {

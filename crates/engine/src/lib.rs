@@ -68,7 +68,9 @@ pub mod wire;
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use privtree_runtime::telemetry::{self, Counter, Histogram, Registry};
 use privtree_runtime::ArcCell;
 use privtree_spatial::grid_route::GridRouteError;
 use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
@@ -227,12 +229,43 @@ impl RangeCountSynopsis for Snapshot {
     }
 }
 
+/// Telemetry handles for the epoch engine's mutation path. Registered
+/// once per registry ([`EngineMetrics::register`]) and attached with
+/// [`ReleaseStore::attach_metrics`]; counters record always, the
+/// latency histogram only while `telemetry::enabled()`.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    /// Wall time of one publishing mutation (stage + validate + grid
+    /// build + persist hook + publish), µs.
+    pub swap_us: Arc<Histogram>,
+    /// Snapshots published (open counts as the first).
+    pub publishes: Arc<Counter>,
+    /// Per-shard cell grids built (open + incremental swaps).
+    pub grids_built: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    /// Get-or-create the engine metric set in `registry`.
+    pub fn register(registry: &Registry) -> Arc<Self> {
+        Arc::new(Self {
+            swap_us: registry.histogram("store_swap_us", &[]),
+            publishes: registry.counter("store_publishes_total", &[]),
+            grids_built: registry.counter("store_grids_built_total", &[]),
+        })
+    }
+}
+
 /// Catalog state guarded by the writer mutex.
 #[derive(Debug)]
 struct Inner {
     catalog: BTreeMap<String, ShardHandle>,
     version: u64,
     stats: StoreStats,
+    /// When the current snapshot was published (drives the snapshot
+    /// age gauge).
+    published_at: Instant,
+    /// Telemetry handles, when attached.
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 /// The epoch engine: named releases in, atomically swapped snapshots out.
@@ -330,6 +363,8 @@ impl ReleaseStore {
                     grids_built: grids_built as u64,
                     grid_cells_built: grid_cells_built as u64,
                 },
+                published_at: Instant::now(),
+                metrics: None,
             }),
             current: ArcCell::new(snapshot),
             grids,
@@ -453,6 +488,23 @@ impl ReleaseStore {
         self.lock().stats
     }
 
+    /// Time since the current snapshot was published.
+    pub fn snapshot_age(&self) -> Duration {
+        self.lock().published_at.elapsed()
+    }
+
+    /// Attach telemetry: mutations record their latency and counts
+    /// through `metrics` from here on. The publishes/grids already
+    /// counted (the open itself, pre-attach mutations) are folded in,
+    /// so the registry's counters match [`ReleaseStore::stats`]
+    /// whenever the attach happened.
+    pub fn attach_metrics(&self, metrics: Arc<EngineMetrics>) {
+        let mut inner = self.lock();
+        metrics.publishes.add(inner.stats.publishes);
+        metrics.grids_built.add(inner.stats.grids_built);
+        inner.metrics = Some(metrics);
+    }
+
     /// Serve a new release under a fresh key. Fails with
     /// [`EngineError::DuplicateKey`] if the key is taken.
     pub fn add(
@@ -563,6 +615,7 @@ impl ReleaseStore {
         persist: impl FnOnce(&BTreeMap<String, ShardHandle>) -> Result<(), EngineError>,
     ) -> Result<SwapReport, EngineError> {
         let mut inner = self.lock();
+        let mutation_start = (inner.metrics.is_some() && telemetry::enabled()).then(Instant::now);
         let mut next = inner.catalog.clone(); // Arc bumps, not array copies
         op(&mut next)?;
         if next.is_empty() {
@@ -594,7 +647,15 @@ impl ReleaseStore {
         inner.stats.publishes += 1;
         inner.stats.grids_built += grids_built as u64;
         inner.stats.grid_cells_built += grid_cells_built as u64;
+        inner.published_at = Instant::now();
         self.current.store(snapshot);
+        if let Some(m) = &inner.metrics {
+            m.publishes.inc();
+            m.grids_built.add(grids_built as u64);
+            if let Some(t) = mutation_start {
+                m.swap_us.observe(t.elapsed().as_micros() as u64);
+            }
+        }
         Ok(report)
     }
 }

@@ -44,12 +44,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use privtree_runtime::readiness::{self, PollEntry};
+use privtree_runtime::telemetry::{Stage, TickTrace};
 use privtree_runtime::{failpoints, Coalescer, ShutdownSignal};
 use privtree_spatial::query::RangeQuery;
 use privtree_store::frame::{parse_header, payload, FrameError};
 
 use crate::serve::{
-    control_reply, panic_message, parse_query, shed, ServeContext, ServeOptions, MAX_BATCH,
+    control_reply, exposition_lines, panic_message, parse_query, shed, ServeContext, ServeOptions,
+    MAX_BATCH,
 };
 use crate::wire;
 
@@ -99,6 +101,9 @@ struct BatchState {
     problem: Option<String>,
     /// Dimensionality captured when the batch opened.
     dims: usize,
+    /// When the `batch` command decoded (request latency starts at the
+    /// command, not its last query line). `None` when nothing clocks.
+    created: Option<Instant>,
 }
 
 /// How to render a dispatch's answers back to the connection.
@@ -118,6 +123,9 @@ enum Job {
     Queries {
         queries: Vec<RangeQuery>,
         shape: Shape,
+        /// Decode time, for the per-protocol request-latency histogram
+        /// and the slow-query log. `None` when nothing clocks.
+        created: Option<Instant>,
     },
     /// A control verb line for [`control_reply`].
     Control(String),
@@ -196,7 +204,7 @@ impl Conn {
     fn push_err_frame(&mut self, ctx: &ServeContext, code: u16, message: &str, close: bool) {
         let mut bytes = Vec::new();
         wire::encode_err_frame_into(&mut bytes, code, message);
-        ctx.counters.wire_frames_out.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.wire_frames_out.inc();
         self.jobs.push_back(Job::Reply(bytes));
         if close {
             self.jobs.push_back(Job::Quit);
@@ -233,6 +241,10 @@ pub(crate) fn run_reactor(
         if abort.load(Ordering::SeqCst) {
             break;
         }
+        // per-tick stage timings; only stages that had work are
+        // recorded, so idle 20 ms poll ticks never dilute the
+        // histograms (`new` samples the enabled switch once per tick)
+        let mut trace = TickTrace::new();
         let draining = shutdown.is_triggered();
         if draining {
             // closing the listener refuses new connections immediately
@@ -270,41 +282,83 @@ pub(crate) fn run_reactor(
         // accept burst, shedding past the cap
         if let (Some(l), Some(slot)) = (&listener, listener_slot) {
             if entries[slot].readable {
-                accept_burst(l, &mut conns, &opts);
+                accept_burst(l, &mut conns, &ctx, &opts);
             }
         }
 
-        // read + decode into jobs
+        // read + decode into jobs; the whole pass is the `decode`
+        // stage, charged only when some socket actually had traffic
         let now = Instant::now();
-        for (i, conn) in conns.iter_mut().enumerate() {
-            if conn.dead || conn.closing {
-                continue;
-            }
-            let ready = entries
-                .get(conn_base + i)
-                .is_some_and(|e| e.readable || e.closed);
-            if ready && !conn.eof && conn.pending_out() < OUT_HIGH_WATER {
-                read_some(conn, now);
-            }
-            if !conn.dead {
-                // a decode bug must not take the listener down: the
-                // connection answers through its error paths, and a
-                // panic here closes only this connection
-                if catch_unwind(AssertUnwindSafe(|| ingest(conn, &ctx, &opts, draining))).is_err() {
-                    conn.dead = true;
+        let any_input = conns.iter().enumerate().any(|(i, conn)| {
+            !conn.dead
+                && !conn.closing
+                && entries
+                    .get(conn_base + i)
+                    .is_some_and(|e| e.readable || e.closed)
+        });
+        let read_pass = |conns: &mut Vec<Conn>| {
+            for (i, conn) in conns.iter_mut().enumerate() {
+                if conn.dead || conn.closing {
+                    continue;
+                }
+                let ready = entries
+                    .get(conn_base + i)
+                    .is_some_and(|e| e.readable || e.closed);
+                if ready && !conn.eof && conn.pending_out() < OUT_HIGH_WATER {
+                    let before = conn.inbuf.len();
+                    read_some(conn, now);
+                    let got = conn.inbuf.len() - before;
+                    if got > 0 {
+                        ctx.metrics.bytes_in.add(got as u64);
+                    }
+                }
+                if !conn.dead {
+                    // a decode bug must not take the listener down: the
+                    // connection answers through its error paths, and a
+                    // panic here closes only this connection
+                    if catch_unwind(AssertUnwindSafe(|| ingest(conn, &ctx, &opts, draining)))
+                        .is_err()
+                    {
+                        conn.dead = true;
+                    }
                 }
             }
+        };
+        if any_input {
+            trace.time(Stage::Decode, || read_pass(&mut conns));
+        } else {
+            read_pass(&mut conns);
         }
 
-        execute_jobs(&mut conns, &ctx);
+        // queue depth after decode is the tick's high-water mark:
+        // everything below works the queues down
+        ctx.metrics
+            .queue_depth
+            .set(conns.iter().map(|c| c.jobs.len() as u64).sum());
+
+        execute_jobs(&mut conns, &ctx, &mut trace);
 
         // flush, then lifecycle: write stalls, idle deadlines, drain
         for conn in conns.iter_mut() {
             if conn.dead {
                 continue;
             }
-            flush(conn, now, opts.write_timeout);
+            let before = conn.pending_out();
+            if before > 0 {
+                trace.time(Stage::Flush, || flush(conn, now, opts.write_timeout));
+                ctx.metrics
+                    .bytes_out
+                    .add((before - conn.pending_out()) as u64);
+            } else {
+                flush(conn, now, opts.write_timeout);
+            }
             if conn.dead {
+                // the only in-flush death with replies still owed is a
+                // stalled-writer deadline or a failed socket; count the
+                // deadline case as an eviction
+                if conn.write_stalled.is_some() {
+                    ctx.metrics.conns_evicted.inc();
+                }
                 continue;
             }
             let flushed = conn.pending_out() == 0;
@@ -331,34 +385,30 @@ pub(crate) fn run_reactor(
                     // slowloris eviction: silent (or trickling-and-
                     // stalled) peers cannot pin a slot open
                     conn.dead = true;
+                    ctx.metrics.conns_evicted.inc();
                 }
             }
         }
 
         conns.retain(|conn| {
             if conn.dead {
-                let counter = match conn.proto {
-                    Proto::Text(_) => Some(&ctx.counters.text_conns),
-                    Proto::Wire => Some(&ctx.counters.wire_conns),
-                    Proto::Pending => None,
-                };
-                if let Some(c) = counter {
-                    c.fetch_sub(1, Ordering::Relaxed);
+                match conn.proto {
+                    Proto::Text(_) => ctx.metrics.conns_text.sub(1),
+                    Proto::Wire => ctx.metrics.conns_wire.sub(1),
+                    Proto::Pending => {}
                 }
             }
             !conn.dead
         });
         active.store(conns.len(), Ordering::SeqCst);
+        trace.observe_into(&ctx.metrics.stage_us);
     }
     // aborted (or drained): whatever remains is dropped, sockets close
     for conn in &conns {
-        let counter = match conn.proto {
-            Proto::Text(_) => Some(&ctx.counters.text_conns),
-            Proto::Wire => Some(&ctx.counters.wire_conns),
-            Proto::Pending => None,
-        };
-        if let Some(c) = counter {
-            c.fetch_sub(1, Ordering::Relaxed);
+        match conn.proto {
+            Proto::Text(_) => ctx.metrics.conns_text.sub(1),
+            Proto::Wire => ctx.metrics.conns_wire.sub(1),
+            Proto::Pending => {}
         }
     }
     drop(conns);
@@ -367,11 +417,17 @@ pub(crate) fn run_reactor(
 
 /// Drain the listener's accept queue; connections past the cap are
 /// answered `err busy` and closed (see [`shed`]).
-fn accept_burst(listener: &TcpListener, conns: &mut Vec<Conn>, opts: &ServeOptions) {
+fn accept_burst(
+    listener: &TcpListener,
+    conns: &mut Vec<Conn>,
+    ctx: &ServeContext,
+    opts: &ServeOptions,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 if conns.len() >= opts.max_conns {
+                    ctx.metrics.conns_shed.inc();
                     shed(stream);
                     continue;
                 }
@@ -476,21 +532,21 @@ fn ingest_negotiated(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions) {
             if conn.inbuf[..4] == wire::PREAMBLE {
                 conn.inbuf.drain(..4);
                 conn.proto = Proto::Wire;
-                ctx.counters.wire_conns.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.conns_wire.add(1);
                 let mut hello = Vec::new();
                 wire::encode_hello_frame_into(&mut hello, ctx.store.snapshot().dims());
-                ctx.counters.wire_frames_out.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.wire_frames_out.inc();
                 conn.jobs.push_back(Job::Reply(hello));
             } else {
                 conn.proto = Proto::Wire; // it tried to speak binary
-                ctx.counters.wire_conns.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.conns_wire.add(1);
                 conn.push_err_frame(ctx, wire::ERR_BAD_FRAME, "bad preamble", true);
                 conn.inbuf.clear();
                 return;
             }
         } else {
             conn.proto = Proto::Text(TextState::default());
-            ctx.counters.text_conns.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.conns_text.add(1);
         }
     }
     match &mut conn.proto {
@@ -566,6 +622,7 @@ fn ingest_text(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions) {
         match event {
             TextEvent::Incomplete => break,
             TextEvent::TooLong => {
+                ctx.metrics.line_resyncs.inc();
                 let err = format!("err line too long (max {} bytes)", opts.max_line);
                 if in_batch(conn) {
                     batch_line_problem(conn, err.trim_start_matches("err ").to_string());
@@ -582,6 +639,7 @@ fn ingest_text(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions) {
         };
         if state.skipping {
             state.skipping = false;
+            ctx.metrics.line_resyncs.inc();
             let err = format!("err line too long (max {} bytes)", opts.max_line);
             if in_batch(conn) {
                 batch_line_problem(conn, err.trim_start_matches("err ").to_string());
@@ -640,6 +698,7 @@ fn finish_batch(conn: &mut Conn) {
         None => conn.jobs.push_back(Job::Queries {
             queries: batch.queries,
             shape: Shape::Batch,
+            created: batch.created,
         }),
     }
 }
@@ -700,6 +759,7 @@ fn text_line(conn: &mut Conn, ctx: &ServeContext, raw: &[u8]) {
                     Ok(q) => conn.jobs.push_back(Job::Queries {
                         queries: vec![q],
                         shape: Shape::Count,
+                        created: ctx.clocked().then(Instant::now),
                     }),
                     Err(e) => conn.push_line(&format!("err {e}")),
                 },
@@ -720,11 +780,13 @@ fn text_line(conn: &mut Conn, ctx: &ServeContext, raw: &[u8]) {
                     return;
                 }
             };
+            let created = ctx.clocked().then(Instant::now);
             let dims = ctx.store.snapshot().dims();
             if n == 0 {
                 conn.jobs.push_back(Job::Queries {
                     queries: Vec::new(),
                     shape: Shape::Batch,
+                    created,
                 });
                 return;
             }
@@ -736,6 +798,7 @@ fn text_line(conn: &mut Conn, ctx: &ServeContext, raw: &[u8]) {
                 queries: Vec::with_capacity(n.min(1 << 16)),
                 problem: None,
                 dims,
+                created,
             });
         }
         "quit" => {
@@ -754,7 +817,7 @@ fn ingest_wire(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions) {
             Ok(None) => break,
             Ok(Some(header)) => header,
             Err(e) => {
-                ctx.counters.wire_frames_in.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.wire_frames_in.inc();
                 let code = match e {
                     FrameError::Oversized { .. } => wire::ERR_OVERSIZED,
                     _ => wire::ERR_BAD_FRAME,
@@ -770,7 +833,7 @@ fn ingest_wire(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions) {
         }
         let frame = conn.inbuf[conn.inpos..conn.inpos + header.total_len()].to_vec();
         conn.inpos += header.total_len();
-        ctx.counters.wire_frames_in.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.wire_frames_in.inc();
         let body = match payload(&header, &frame) {
             Ok(body) => body,
             Err(e) => {
@@ -789,9 +852,21 @@ fn ingest_wire(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions) {
                         shape: Shape::Wire {
                             crc: header.has_crc(),
                         },
+                        created: ctx.clocked().then(Instant::now),
                     }),
                     Err(e) => conn.push_err_frame(ctx, wire::ERR_BAD_QUERY, &e, false),
                 }
+            }
+            wire::TAG_METRICS => {
+                // the binary `metrics` verb: rendered at decode time
+                // (like `HELO`) and queued as a reply, so it lands in
+                // per-connection order behind earlier frames
+                let mut text = exposition_lines(ctx).join("\n");
+                text.push('\n');
+                let mut bytes = Vec::new();
+                wire::encode_metrics_frame_into(&mut bytes, &text, header.has_crc());
+                ctx.metrics.wire_frames_out.inc();
+                conn.jobs.push_back(Job::Reply(bytes));
             }
             wire::TAG_QUIT => {
                 conn.jobs.push_back(Job::Quit);
@@ -820,26 +895,43 @@ fn ingest_wire(conn: &mut Conn, ctx: &ServeContext, opts: &ServeOptions) {
 /// exists for), then leading non-query jobs execute, until no job
 /// remains. A connection's query queued before its mutation is always
 /// dispatched — and its reply buffered — before the mutation runs.
-fn execute_jobs(conns: &mut [Conn], ctx: &ServeContext) {
+fn execute_jobs(conns: &mut [Conn], ctx: &ServeContext, trace: &mut TickTrace) {
     loop {
         let mut progressed = false;
 
-        // gather leading query jobs across every connection
+        // gather leading query jobs across every connection (the
+        // `coalesce` stage, charged only when something gathered)
+        let gather_start = trace.capturing().then(Instant::now);
         let mut co: Coalescer<(usize, Shape), RangeQuery> = Coalescer::new();
+        let mut metas: Vec<QueryMeta> = Vec::new();
         for (i, conn) in conns.iter_mut().enumerate() {
             if conn.dead || conn.closing {
                 continue;
             }
             while let Some(Job::Queries { .. }) = conn.jobs.front() {
-                let Some(Job::Queries { queries, shape }) = conn.jobs.pop_front() else {
+                let Some(Job::Queries {
+                    queries,
+                    shape,
+                    created,
+                }) = conn.jobs.pop_front()
+                else {
                     unreachable!("front was a query job");
                 };
+                metas.push(QueryMeta {
+                    shape,
+                    created,
+                    offset: co.len(),
+                    len: queries.len(),
+                });
                 co.push((i, shape), queries);
                 progressed = true;
             }
         }
         if !co.is_empty() {
-            dispatch(conns, ctx, &co);
+            if let Some(t) = gather_start {
+                trace.add_us(Stage::Coalesce, t.elapsed().as_micros() as u64);
+            }
+            dispatch(conns, ctx, &co, &metas, trace);
         }
 
         // leading non-query jobs: control verbs, rendered replies, quit
@@ -882,30 +974,65 @@ fn execute_jobs(conns: &mut [Conn], ctx: &ServeContext) {
     }
 }
 
+/// One query job's bookkeeping through a pooled dispatch: where its
+/// queries sit in the coalesced batch, and when it decoded.
+struct QueryMeta {
+    shape: Shape,
+    created: Option<Instant>,
+    /// Start of this job's queries in `co.items()`.
+    offset: usize,
+    len: usize,
+}
+
 /// One pooled dispatch for every leading query job this round, with
 /// results scattered back per connection (bit-identical to solo
 /// dispatches — the batch answerers are per-item and the merge is pure
 /// concatenation).
-fn dispatch(conns: &mut [Conn], ctx: &ServeContext, co: &Coalescer<(usize, Shape), RangeQuery>) {
-    let counters = &ctx.counters;
-    counters
-        .coalesced_dispatches
-        .fetch_add(1, Ordering::Relaxed);
-    counters
-        .coalesced_queries
-        .fetch_add(co.len() as u64, Ordering::Relaxed);
-    counters
-        .coalesced_spans
-        .fetch_add(co.spans() as u64, Ordering::Relaxed);
+fn dispatch(
+    conns: &mut [Conn],
+    ctx: &ServeContext,
+    co: &Coalescer<(usize, Shape), RangeQuery>,
+    metas: &[QueryMeta],
+    trace: &mut TickTrace,
+) {
+    let m = &ctx.metrics;
+    m.coalesced_dispatches.inc();
+    m.coalesced_queries.add(co.len() as u64);
+    m.coalesced_spans.add(co.spans() as u64);
     let snap = ctx.store.snapshot();
+    let clock = trace.capturing() || metas.iter().any(|meta| meta.created.is_some());
+    let pool_start = clock.then(Instant::now);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         snap.synopsis()
             .answer_batch_with_pool(co.items(), privtree_runtime::global())
     }));
+    let dispatch_us = pool_start.map_or(0, |t| t.elapsed().as_micros() as u64);
+    trace.add_us(Stage::Dispatch, dispatch_us);
     match outcome {
         Ok(answers) => {
-            for (&(i, shape), slice) in co.scatter(&answers) {
-                append_answers(&mut conns[i], shape, slice, ctx);
+            trace.time(Stage::Scatter, || {
+                for (&(i, shape), slice) in co.scatter(&answers) {
+                    append_answers(&mut conns[i], shape, slice, ctx);
+                }
+            });
+            // per-job latency (decode to reply rendered) and the
+            // slow-query log; the pooled batch cost is shared, so each
+            // job charges the same dispatch span
+            for meta in metas {
+                let Some(created) = meta.created else {
+                    continue;
+                };
+                let proto = match meta.shape {
+                    Shape::Wire { .. } => "wire",
+                    Shape::Count | Shape::Batch => "text",
+                };
+                ctx.observe_request(
+                    &snap,
+                    proto,
+                    &co.items()[meta.offset..meta.offset + meta.len],
+                    created.elapsed().as_micros() as u64,
+                    dispatch_us,
+                );
             }
         }
         Err(payload) => {
@@ -925,7 +1052,7 @@ fn dispatch(conns: &mut [Conn], ctx: &ServeContext, co: &Coalescer<(usize, Shape
                             wire::ERR_INTERNAL,
                             &format!("internal: {msg}"),
                         );
-                        counters.wire_frames_out.fetch_add(1, Ordering::Relaxed);
+                        m.wire_frames_out.inc();
                     }
                 }
             }
@@ -947,7 +1074,7 @@ fn append_answers(conn: &mut Conn, shape: Shape, answers: &[f64], ctx: &ServeCon
         }
         Shape::Wire { crc } => {
             wire::encode_answer_frame_into(&mut conn.outbuf, answers, crc);
-            ctx.counters.wire_frames_out.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.wire_frames_out.inc();
         }
     }
 }

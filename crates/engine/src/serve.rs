@@ -24,7 +24,11 @@
 //! checkpoint                        -> ok checkpoint journal_seq=..
 //!                                      (fold journal into the manifest)
 //! keys                              -> keys <k1> <k2> ...
-//! stats                             -> stats shards=.. nodes=.. ...
+//! stats                             -> stats <key=value ...> (sorted)
+//! metrics                           -> metrics <n>, then n sorted
+//!                                      name{label="v"} value lines
+//! slowlog                           -> slowlog <n>, then n slow-query
+//!                                      lines (--slow-query-log MS)
 //! quit                              -> closes the stream
 //! ```
 //!
@@ -76,7 +80,7 @@
 //!   tick, and `drain` reports whether everything wound down inside
 //!   the deadline.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -84,15 +88,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use privtree_runtime::telemetry::{self, Counter, Gauge, Histogram, Registry, STAGES};
 use privtree_runtime::{failpoints, ShutdownSignal};
 use privtree_spatial::query::{RangeCountSynopsis, RangeQuery};
 use privtree_spatial::serialize::release_from_text;
 use privtree_spatial::sharded::ShardHandle;
 use privtree_spatial::Rect;
 use privtree_store::catalog::looks_binary;
-use privtree_store::{decode_release, encode_release, Catalog, ReleaseFormat, StoreError};
+use privtree_store::{
+    decode_release, encode_release, Catalog, CatalogMetrics, ReleaseFormat, StoreError,
+};
 
-use crate::{EngineError, ReleaseStore, SwapReport};
+use crate::{EngineError, EngineMetrics, ReleaseStore, Snapshot, SwapReport};
 
 /// Largest accepted `batch <n>`: bounds the per-batch allocation against
 /// hostile or mistyped counts (1M queries ≈ 70 MB of boxes — plenty for
@@ -148,28 +155,204 @@ impl Default for ServeOptions {
     }
 }
 
-/// Monotone per-listener protocol telemetry, surfaced by the `stats`
-/// verb: how many connections each protocol currently holds, how many
-/// binary frames have crossed the wire, and how the reactor is
-/// coalescing concurrent queries into pooled dispatches
-/// (`coalesced_spans / coalesced_dispatches` > 1 means queries from
-/// different connections are riding the same batch).
-#[derive(Debug, Default)]
-pub struct ProtocolCounters {
-    /// Text-protocol connections currently open (TCP listener only).
-    pub text_conns: AtomicU64,
-    /// Binary-protocol connections currently open.
-    pub wire_conns: AtomicU64,
-    /// Binary frames decoded off the wire (including refused ones).
-    pub wire_frames_in: AtomicU64,
-    /// Binary frames written to the wire (`HELO`/`ANSV`/`ERRF`).
-    pub wire_frames_out: AtomicU64,
+/// Every metric one serving process records, registered in (and
+/// rendered through) one per-context [`Registry`] — the `metrics` verb
+/// is `registry.render()` plus a handful of gauges refreshed at scrape
+/// time, and the `stats` verb is a sorted key=value view over the same
+/// handles. Counters and gauges record unconditionally (they are one
+/// atomic op); only latency clocks honor the [`telemetry::enabled`]
+/// kill switch.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// The registry every handle below lives in. Per-context, not
+    /// process-global: parallel in-process listeners (tests, embedders)
+    /// must not see each other's counts.
+    pub registry: Arc<Registry>,
+    /// Text-protocol connections currently open (`conns{proto="text"}`).
+    pub conns_text: Arc<Gauge>,
+    /// Binary-protocol connections currently open (`conns{proto="wire"}`).
+    pub conns_wire: Arc<Gauge>,
+    /// Binary frames decoded off the wire, including refused ones
+    /// (`wire_frames_total{dir="in"}`).
+    pub wire_frames_in: Arc<Counter>,
+    /// Binary frames written to the wire (`wire_frames_total{dir="out"}`).
+    pub wire_frames_out: Arc<Counter>,
+    /// Payload bytes read off sockets (`reactor_bytes_total{dir="in"}`).
+    pub bytes_in: Arc<Counter>,
+    /// Reply bytes written to sockets (`reactor_bytes_total{dir="out"}`).
+    pub bytes_out: Arc<Counter>,
     /// Pooled batch dispatches the reactor has issued.
-    pub coalesced_dispatches: AtomicU64,
+    pub coalesced_dispatches: Arc<Counter>,
     /// Queries answered through those dispatches.
-    pub coalesced_queries: AtomicU64,
+    pub coalesced_queries: Arc<Counter>,
     /// Per-connection query jobs folded into those dispatches.
-    pub coalesced_spans: AtomicU64,
+    pub coalesced_spans: Arc<Counter>,
+    /// Accepts refused with `err busy` at the connection cap.
+    pub conns_shed: Arc<Counter>,
+    /// Connections evicted by a read or write deadline.
+    pub conns_evicted: Arc<Counter>,
+    /// Oversized lines discarded through their newline (the line cap's
+    /// resync path).
+    pub line_resyncs: Arc<Counter>,
+    /// Jobs queued across every connection, sampled once per reactor
+    /// tick after decode.
+    pub queue_depth: Arc<Gauge>,
+    /// Text-protocol query latency, decode to reply rendered, µs
+    /// (`request_us{proto="text"}`).
+    pub request_us_text: Arc<Histogram>,
+    /// Binary-protocol query latency, µs (`request_us{proto="wire"}`).
+    pub request_us_wire: Arc<Histogram>,
+    /// Per-tick reactor stage wall time, µs, indexed like
+    /// [`STAGES`] (`reactor_stage_us{stage=...}`).
+    pub stage_us: [Arc<Histogram>; STAGES.len()],
+    /// `checkpoint` verb wall time, µs.
+    pub checkpoint_us: Arc<Histogram>,
+    /// Queries that crossed the slow-query threshold.
+    pub slow_queries: Arc<Counter>,
+    /// Seconds since the context was built; refreshed at scrape time.
+    pub uptime_seconds: Arc<Gauge>,
+    /// Seconds since the store last published a snapshot; refreshed at
+    /// scrape time.
+    pub snapshot_age_seconds: Arc<Gauge>,
+    /// Serving releases; refreshed at scrape time.
+    pub store_shards: Arc<Gauge>,
+    /// Synopsis nodes across every serving release; refreshed at
+    /// scrape time.
+    pub store_nodes: Arc<Gauge>,
+    /// Bytes served borrowed from memory mappings; refreshed at scrape
+    /// time.
+    pub store_mapped_bytes: Arc<Gauge>,
+    /// Snapshot version; refreshed at scrape time.
+    pub store_version: Arc<Gauge>,
+    /// The engine-side handles ([`ReleaseStore::attach_metrics`]):
+    /// swap latency, publishes, grids built.
+    pub engine: Arc<EngineMetrics>,
+}
+
+impl ServeMetrics {
+    /// Register every serving metric in `registry` (names are listed in
+    /// `crates/engine/README.md` under *Telemetry*).
+    pub fn register(registry: Arc<Registry>) -> Self {
+        let stage_us =
+            STAGES.map(|s| registry.histogram("reactor_stage_us", &[("stage", s.name())]));
+        Self {
+            conns_text: registry.gauge("conns", &[("proto", "text")]),
+            conns_wire: registry.gauge("conns", &[("proto", "wire")]),
+            wire_frames_in: registry.counter("wire_frames_total", &[("dir", "in")]),
+            wire_frames_out: registry.counter("wire_frames_total", &[("dir", "out")]),
+            bytes_in: registry.counter("reactor_bytes_total", &[("dir", "in")]),
+            bytes_out: registry.counter("reactor_bytes_total", &[("dir", "out")]),
+            coalesced_dispatches: registry.counter("coalesced_dispatches_total", &[]),
+            coalesced_queries: registry.counter("coalesced_queries_total", &[]),
+            coalesced_spans: registry.counter("coalesced_spans_total", &[]),
+            conns_shed: registry.counter("conns_shed_total", &[]),
+            conns_evicted: registry.counter("conns_evicted_total", &[]),
+            line_resyncs: registry.counter("line_resyncs_total", &[]),
+            queue_depth: registry.gauge("reactor_queue_depth", &[]),
+            request_us_text: registry.histogram("request_us", &[("proto", "text")]),
+            request_us_wire: registry.histogram("request_us", &[("proto", "wire")]),
+            stage_us,
+            checkpoint_us: registry.histogram("checkpoint_us", &[]),
+            slow_queries: registry.counter("slow_queries_total", &[]),
+            uptime_seconds: registry.gauge("uptime_seconds", &[]),
+            snapshot_age_seconds: registry.gauge("snapshot_age_seconds", &[]),
+            store_shards: registry.gauge("store_shards", &[]),
+            store_nodes: registry.gauge("store_nodes", &[]),
+            store_mapped_bytes: registry.gauge("store_mapped_bytes", &[]),
+            store_version: registry.gauge("store_version", &[]),
+            engine: EngineMetrics::register(&registry),
+            registry,
+        }
+    }
+}
+
+/// Slow-query entries retained (a ring: the newest
+/// [`SLOWLOG_CAPACITY`] survive).
+pub const SLOWLOG_CAPACITY: usize = 64;
+
+/// One query the slow-query log caught: when it ran (seconds since the
+/// context was built), which protocol carried it, how the time split
+/// between waiting for its dispatch and the pooled batch itself, which
+/// serving shards its box touched, and the box.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Seconds between context construction and the reply, ms
+    /// precision.
+    pub at_secs: f64,
+    /// `"text"` or `"wire"`.
+    pub proto: &'static str,
+    /// Queries in the job (the box below is the first).
+    pub queries: usize,
+    /// Decode-to-reply wall time, µs.
+    pub total_us: u64,
+    /// Time before the pooled dispatch started, µs (queueing +
+    /// coalescing).
+    pub wait_us: u64,
+    /// The pooled batch dispatch itself, µs.
+    pub dispatch_us: u64,
+    /// Serving keys whose shard box the query intersects (`-` if
+    /// none).
+    pub shards: String,
+    /// The first query box, `lo0,lo1 hi0,hi1`.
+    pub box_text: String,
+}
+
+impl SlowEntry {
+    /// One `slowlog` reply line.
+    fn render(&self) -> String {
+        format!(
+            "t=+{:.3}s proto={} queries={} total_us={} wait_us={} dispatch_us={} \
+             shards={} box={}",
+            self.at_secs,
+            self.proto,
+            self.queries,
+            self.total_us,
+            self.wait_us,
+            self.dispatch_us,
+            self.shards,
+            self.box_text,
+        )
+    }
+}
+
+/// The slow-query ring: armed with a threshold (`--slow-query-log MS`
+/// or [`ServeContext::with_slow_query_log`]), every query job whose
+/// decode-to-reply time crosses it is recorded; the `slowlog` verb
+/// dumps the newest [`SLOWLOG_CAPACITY`] oldest-first. Disarmed (the
+/// default) it is one relaxed load per dispatch.
+#[derive(Debug, Default)]
+pub struct SlowLog {
+    /// Threshold in µs; 0 means disarmed.
+    threshold_us: AtomicU64,
+    entries: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// Threshold in µs, 0 when disarmed.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Arm (or re-arm) the log.
+    pub fn set_threshold(&self, threshold: Duration) {
+        self.threshold_us
+            .store(threshold.as_micros().max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// Record one slow query, evicting the oldest past capacity.
+    pub fn record(&self, entry: SlowEntry) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.len() >= SLOWLOG_CAPACITY {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    /// Rendered entries, oldest first.
+    pub fn render(&self) -> Vec<String> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.iter().map(SlowEntry::render).collect()
+    }
 }
 
 /// Everything one serving process shares across its connections: the
@@ -190,9 +373,17 @@ pub struct ServeContext {
     /// Surfaced through `stats` so an operator can see at the protocol
     /// level that the process booted degraded.
     pub quarantined: Vec<(String, String)>,
-    /// Per-protocol connection/frame/coalescing telemetry, updated by
-    /// the TCP reactor and surfaced through `stats`.
-    pub counters: ProtocolCounters,
+    /// Every metric this process records — protocol counters, latency
+    /// histograms, reactor stage timings — in one per-context registry,
+    /// surfaced by the `metrics` verb (and, as a sorted key=value view,
+    /// by `stats`).
+    pub metrics: ServeMetrics,
+    /// The slow-query ring the `slowlog` verb dumps; disarmed unless
+    /// [`ServeContext::with_slow_query_log`] armed it.
+    pub slowlog: SlowLog,
+    /// When the context was built (`uptime_seconds`, slowlog
+    /// timestamps).
+    started: Instant,
     /// Whether the attached catalog journals mutations — captured at
     /// construction (the flag never flips mid-flight), so the hot
     /// `add`/`swap`/`retire` dispatch can branch without taking the
@@ -204,12 +395,16 @@ impl ServeContext {
     /// A context without an attached catalog (`save`/`load` answer
     /// `err`).
     pub fn new(store: ReleaseStore) -> Self {
+        let metrics = ServeMetrics::register(Arc::new(Registry::new()));
+        store.attach_metrics(Arc::clone(&metrics.engine));
         Self {
             store,
             catalog: None,
             mmap: true,
             quarantined: Vec::new(),
-            counters: ProtocolCounters::default(),
+            metrics,
+            slowlog: SlowLog::default(),
+            started: Instant::now(),
             journal: false,
         }
     }
@@ -218,14 +413,19 @@ impl ServeContext {
     /// (see `Catalog::enable_journal`), every `add`/`swap`/`retire`
     /// verb persists its mutation through the catalog **before**
     /// acking.
-    pub fn with_catalog(store: ReleaseStore, catalog: Catalog) -> Self {
+    pub fn with_catalog(store: ReleaseStore, mut catalog: Catalog) -> Self {
         let journal = catalog.journaling();
+        let metrics = ServeMetrics::register(Arc::new(Registry::new()));
+        store.attach_metrics(Arc::clone(&metrics.engine));
+        catalog.attach_metrics(CatalogMetrics::register(&metrics.registry));
         Self {
             store,
             catalog: Some(Mutex::new(catalog)),
             mmap: true,
             quarantined: Vec::new(),
-            counters: ProtocolCounters::default(),
+            metrics,
+            slowlog: SlowLog::default(),
+            started: Instant::now(),
             journal,
         }
     }
@@ -241,10 +441,72 @@ impl ServeContext {
         self
     }
 
-    /// Record the keys a lossy warm start had to quarantine.
+    /// Record the keys a lossy warm start had to quarantine. Each key
+    /// also registers a `quarantined{key="...",reason="..."} 1` gauge
+    /// so the degraded boot — and why — is visible in the `metrics`
+    /// exposition (reasons are free text; label escaping keeps the
+    /// line format intact).
     pub fn with_quarantined(mut self, quarantined: Vec<(String, String)>) -> Self {
+        for (key, reason) in &quarantined {
+            self.metrics
+                .registry
+                .gauge("quarantined", &[("key", key), ("reason", reason)])
+                .set(1);
+        }
         self.quarantined = quarantined;
         self
+    }
+
+    /// Arm the slow-query log: any query job whose decode-to-reply
+    /// time reaches `threshold` is recorded (box, touched shards,
+    /// wait/dispatch split) in the ring the `slowlog` verb dumps.
+    pub fn with_slow_query_log(self, threshold: Duration) -> Self {
+        self.slowlog.set_threshold(threshold);
+        self
+    }
+
+    /// Whether query paths need the clock: telemetry is on, or the
+    /// slow-query log is armed (an explicit opt-in that must keep
+    /// timing even when the telemetry switch is off).
+    pub(crate) fn clocked(&self) -> bool {
+        telemetry::enabled() || self.slowlog.threshold_us() > 0
+    }
+
+    /// Observe one finished query job: latency into the per-protocol
+    /// histogram, and — past the armed threshold — a slow-query entry
+    /// with shard attribution.
+    pub(crate) fn observe_request(
+        &self,
+        snap: &Snapshot,
+        proto: &'static str,
+        queries: &[RangeQuery],
+        total_us: u64,
+        dispatch_us: u64,
+    ) {
+        let hist = match proto {
+            "wire" => &self.metrics.request_us_wire,
+            _ => &self.metrics.request_us_text,
+        };
+        hist.observe(total_us);
+        let threshold = self.slowlog.threshold_us();
+        if threshold == 0 || total_us < threshold {
+            return;
+        }
+        self.metrics.slow_queries.inc();
+        let (shards, box_text) = match queries.first() {
+            Some(q) => (shard_keys_for(snap, q), rect_text(&q.rect)),
+            None => ("-".into(), "-".into()),
+        };
+        self.slowlog.record(SlowEntry {
+            at_secs: self.started.elapsed().as_millis() as f64 / 1000.0,
+            proto,
+            queries: queries.len(),
+            total_us,
+            wait_us: total_us.saturating_sub(dispatch_us),
+            dispatch_us,
+            shards,
+            box_text,
+        });
     }
 
     /// The attached catalog, poison-recovered: a verb that panicked
@@ -257,6 +519,63 @@ impl ServeContext {
             .as_ref()
             .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
     }
+}
+
+/// Serving keys whose shard box the query intersects, comma-joined
+/// (`-` when it clears every shard): the slow-query log's shard
+/// attribution. Runs only for queries already past the slow threshold.
+fn shard_keys_for(snap: &Snapshot, q: &RangeQuery) -> String {
+    let mut hit: Vec<&str> = Vec::new();
+    for (key, shard) in snap.keys().iter().zip(snap.synopsis().shards()) {
+        let arena = shard.arena();
+        if arena.node_count() == 0 {
+            continue;
+        }
+        let root = Rect::new(arena.node_lo(0), arena.node_hi(0));
+        if q.rect.intersects(&root) {
+            hit.push(key);
+        }
+    }
+    if hit.is_empty() {
+        "-".into()
+    } else {
+        hit.join(",")
+    }
+}
+
+/// `lo0,lo1 hi0,hi1` — the slowlog's box rendering.
+fn rect_text(rect: &Rect) -> String {
+    let join = |cs: &[f64]| {
+        cs.iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!("{} {}", join(rect.lo()), join(rect.hi()))
+}
+
+/// The full Prometheus-style exposition the `metrics` verb serves on
+/// both protocols: scrape-time gauges (uptime, snapshot age, store
+/// shape) are refreshed, then the registry renders every metric as
+/// sorted `name{label="v"} value` lines — two scrapes of identical
+/// state are byte-identical.
+pub fn exposition_lines(ctx: &ServeContext) -> Vec<String> {
+    let m = &ctx.metrics;
+    m.uptime_seconds.set(ctx.started.elapsed().as_secs());
+    m.snapshot_age_seconds
+        .set(ctx.store.snapshot_age().as_secs());
+    let snap = ctx.store.snapshot();
+    m.store_shards.set(snap.shard_count() as u64);
+    m.store_nodes.set(snap.node_count() as u64);
+    m.store_version.set(snap.version());
+    let mapped: usize = snap
+        .synopsis()
+        .shards()
+        .iter()
+        .map(|s| s.mapped_bytes())
+        .sum();
+    m.store_mapped_bytes.set(mapped as u64);
+    m.registry.render()
 }
 
 /// Load a release file as a shard handle, **sniffing the format**: a
@@ -494,7 +813,15 @@ fn dispatch(
             let snap = ctx.store.snapshot();
             match (fields.next(), fields.next()) {
                 (Some(lo), Some(hi)) => match parse_query(snap.dims(), lo, hi) {
-                    Ok(q) => reply(out, &format!("{:.17e}", snap.answer(&q)))?,
+                    Ok(q) => {
+                        let start = ctx.clocked().then(Instant::now);
+                        let answer = snap.answer(&q);
+                        if let Some(t) = start {
+                            let us = t.elapsed().as_micros() as u64;
+                            ctx.observe_request(&snap, "text", std::slice::from_ref(&q), us, us);
+                        }
+                        reply(out, &format!("{answer:.17e}"))?
+                    }
                     Err(e) => reply(out, &format!("err {e}"))?,
                 },
                 _ => reply(out, "err count needs <lo> <hi>")?,
@@ -528,6 +855,7 @@ fn dispatch(
                         break;
                     }
                     RawLine::TooLong => {
+                        ctx.metrics.line_resyncs.inc();
                         if problem.is_none() {
                             problem = Some(format!("line too long (max {} bytes)", opts.max_line));
                         }
@@ -558,7 +886,12 @@ fn dispatch(
                     // reply is rendered into one buffer and written in
                     // a single call — a million answers used to be a
                     // million small writes through the BufWriter
+                    let start = ctx.clocked().then(Instant::now);
                     let answers = snap.answer_batch(&queries);
+                    if let Some(t) = start {
+                        let us = t.elapsed().as_micros() as u64;
+                        ctx.observe_request(&snap, "text", &queries, us, us);
+                    }
                     let mut rendered = String::with_capacity(answers.len() * 26);
                     for a in answers {
                         use std::fmt::Write as _;
@@ -665,7 +998,8 @@ pub(crate) fn control_reply(ctx: &ServeContext, line: &str) -> String {
         "checkpoint" => match ctx.lock_catalog() {
             None => "err no catalog attached (start with --catalog DIR)".into(),
             Some(mut catalog) => {
-                if catalog.journaling() {
+                let start = telemetry::enabled().then(Instant::now);
+                let outcome = if catalog.journaling() {
                     // journaled mutations already persisted every
                     // serving release; fold the journal into the
                     // manifest and rotate the segment
@@ -680,7 +1014,13 @@ pub(crate) fn control_reply(ctx: &ServeContext, line: &str) -> String {
                         Ok(saved) => format!("ok checkpoint saved={saved}"),
                         Err(e) => format!("err {e}"),
                     }
+                };
+                if let Some(t) = start {
+                    ctx.metrics
+                        .checkpoint_us
+                        .observe(t.elapsed().as_micros() as u64);
                 }
+                outcome
             }
         },
         "keys" => {
@@ -688,81 +1028,85 @@ pub(crate) fn control_reply(ctx: &ServeContext, line: &str) -> String {
             format!("keys {}", snap.keys().join(" "))
         }
         "stats" => {
+            // a thin, deterministically sorted view over the registry
+            // (plus store-shape and durability-posture reads): the
+            // counters come from the same handles the reactor records
+            // into, so no pre-registry key can drift or regress
             let snap = ctx.store.snapshot();
-            let stats = ctx.store.stats();
+            let m = &ctx.metrics;
             let shards = snap.synopsis().shards();
             let mapped_bytes: usize = shards.iter().map(|s| s.mapped_bytes()).sum();
-            let storage: String = snap
-                .keys()
-                .iter()
-                .zip(shards)
-                .map(|(key, shard)| {
-                    if shard.is_mapped() {
-                        format!(" storage.{key}=mapped:{}", shard.mapped_bytes())
-                    } else {
-                        format!(" storage.{key}=owned")
-                    }
-                })
-                .collect();
+            let mut pairs = vec![
+                format!("shards={}", snap.shard_count()),
+                format!("nodes={}", snap.node_count()),
+                format!("dims={}", snap.dims()),
+                format!("version={}", snap.version()),
+                format!("gridded={}", ctx.store.gridded()),
+                format!("publishes={}", m.engine.publishes.get()),
+                format!("grids_built={}", m.engine.grids_built.get()),
+                format!("mapped_bytes={mapped_bytes}"),
+                format!("quarantined={}", ctx.quarantined.len()),
+                format!("conns_text={}", m.conns_text.get()),
+                format!("conns_wire={}", m.conns_wire.get()),
+                format!("wire_frames_in={}", m.wire_frames_in.get()),
+                format!("wire_frames_out={}", m.wire_frames_out.get()),
+                format!("coalesced_dispatches={}", m.coalesced_dispatches.get()),
+                format!("coalesced_queries={}", m.coalesced_queries.get()),
+                format!("coalesced_spans={}", m.coalesced_spans.get()),
+            ];
+            for (key, shard) in snap.keys().iter().zip(shards) {
+                pairs.push(if shard.is_mapped() {
+                    format!("storage.{key}=mapped:{}", shard.mapped_bytes())
+                } else {
+                    format!("storage.{key}=owned")
+                });
+            }
             // a degraded boot is visible at the protocol level: how
             // many catalog keys the lossy warm start quarantined, and
-            // which (reasons go to the startup log — they have spaces)
-            let quarantined: String = if ctx.quarantined.is_empty() {
-                String::new()
-            } else {
-                ctx.quarantined
-                    .iter()
-                    .map(|(key, _)| format!(" quarantined.{key}=1"))
-                    .collect()
-            };
+            // which (reasons go to the startup log and the `metrics`
+            // exposition — they have spaces)
+            for (key, _) in &ctx.quarantined {
+                pairs.push(format!("quarantined.{key}=1"));
+            }
             // durability posture: whether mutations are journaled, how
             // far the journal has advanced, how much of the boot came
             // from replay, and how many older generations are retained
-            let journal: String = match ctx.lock_catalog() {
-                None => " journal=0".into(),
+            match ctx.lock_catalog() {
+                None => pairs.push("journal=0".into()),
                 Some(catalog) => {
-                    let mut s = format!(
-                        " journal={} keep={} retained={}",
-                        u8::from(catalog.journaling()),
-                        catalog.keep_generations(),
-                        catalog.retained_total(),
-                    );
+                    pairs.push(format!("journal={}", u8::from(catalog.journaling())));
+                    pairs.push(format!("keep={}", catalog.keep_generations()));
+                    pairs.push(format!("retained={}", catalog.retained_total()));
                     if catalog.journaling() {
-                        s.push_str(&format!(
-                            " journal_seq={} checkpoint_seq={} replayed={} fsync={}",
-                            catalog.journal_seq(),
-                            catalog.checkpoint_seq(),
-                            catalog.replayed_ops(),
-                            catalog.fsync_policy().expect("journaling"),
+                        pairs.push(format!("journal_seq={}", catalog.journal_seq()));
+                        pairs.push(format!("checkpoint_seq={}", catalog.checkpoint_seq()));
+                        pairs.push(format!("replayed={}", catalog.replayed_ops()));
+                        pairs.push(format!(
+                            "fsync={}",
+                            catalog.fsync_policy().expect("journaling")
                         ));
                     }
-                    s
                 }
-            };
-            let c = &ctx.counters;
-            format!(
-                "stats shards={} nodes={} dims={} version={} gridded={} \
-                 publishes={} grids_built={} mapped_bytes={mapped_bytes} \
-                 quarantined={} conns_text={} conns_wire={} wire_frames_in={} \
-                 wire_frames_out={} coalesced_dispatches={} \
-                 coalesced_queries={} coalesced_spans={}\
-                 {journal}{storage}{quarantined}",
-                snap.shard_count(),
-                snap.node_count(),
-                snap.dims(),
-                snap.version(),
-                ctx.store.gridded(),
-                stats.publishes,
-                stats.grids_built,
-                ctx.quarantined.len(),
-                c.text_conns.load(Ordering::Relaxed),
-                c.wire_conns.load(Ordering::Relaxed),
-                c.wire_frames_in.load(Ordering::Relaxed),
-                c.wire_frames_out.load(Ordering::Relaxed),
-                c.coalesced_dispatches.load(Ordering::Relaxed),
-                c.coalesced_queries.load(Ordering::Relaxed),
-                c.coalesced_spans.load(Ordering::Relaxed),
-            )
+            }
+            pairs.sort();
+            format!("stats {}", pairs.join(" "))
+        }
+        "metrics" => {
+            // the full exposition rides the line protocol the way a
+            // batch reply does: a `metrics <n>` header, then n
+            // `name{label="v"} value` lines
+            let lines = exposition_lines(ctx);
+            format!("metrics {}\n{}", lines.len(), lines.join("\n"))
+        }
+        "slowlog" => {
+            let lines = ctx.slowlog.render();
+            if ctx.slowlog.threshold_us() == 0 {
+                "slowlog 0 (disarmed; start with --slow-query-log MS)".into()
+            } else if lines.is_empty() {
+                "slowlog 0".into()
+            } else {
+                format!("slowlog {}\n{}", lines.len(), lines.join("\n"))
+            }
         }
         other => format!("err unknown command {other}"),
     }
@@ -800,6 +1144,7 @@ pub fn serve_lines_with(
         match read_raw_line(&mut input, &mut raw, opts.max_line)? {
             RawLine::Eof => break,
             RawLine::TooLong => {
+                ctx.metrics.line_resyncs.inc();
                 reply(
                     &mut out,
                     &format!("err line too long (max {} bytes)", opts.max_line),

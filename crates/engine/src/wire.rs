@@ -41,6 +41,11 @@ pub const PREAMBLE: [u8; 4] = [0xB7, b'P', b'W', b'1'];
 
 /// Client → server: a batch of query boxes.
 pub const TAG_QUERY: [u8; 4] = *b"QRYB";
+/// Client → server: a metrics scrape (empty payload); the server
+/// answers with a `METR` frame whose payload is the UTF-8 exposition —
+/// the same sorted `name{label="v"} value` lines the text protocol's
+/// `metrics` verb serves.
+pub const TAG_METRICS: [u8; 4] = *b"METR";
 /// Client → server: flush and close (the binary `quit`).
 pub const TAG_QUIT: [u8; 4] = *b"QUIT";
 /// Server → client: the negotiation reply (wire version, dims).
@@ -168,6 +173,17 @@ pub fn decode_answer_payload(body: &[u8]) -> Result<Vec<f64>, String> {
         .collect())
 }
 
+/// Append a complete `METR` reply frame (the UTF-8 exposition text) to
+/// `out`, CRC'd iff the request frame was.
+pub fn encode_metrics_frame_into(out: &mut Vec<u8>, text: &str, with_crc: bool) {
+    encode_frame_into(out, TAG_METRICS, text.as_bytes(), with_crc);
+}
+
+/// Decode a `METR` reply payload into the exposition text.
+pub fn decode_metrics_payload(body: &[u8]) -> Result<String, String> {
+    String::from_utf8(body.to_vec()).map_err(|_| "metrics frame payload is not UTF-8".into())
+}
+
 /// Append a complete `ERRF` frame (`code` as `u16`, then the UTF-8
 /// message) to `out`. Error frames never carry a CRC.
 pub fn encode_err_frame_into(out: &mut Vec<u8>, code: u16, message: &str) {
@@ -276,6 +292,20 @@ impl WireClient {
             )));
         }
         Ok(answers)
+    }
+
+    /// Scrape the server's metrics: send a `METR` frame, read the
+    /// `METR` reply, and return the exposition text (sorted
+    /// `name{label="v"} value` lines, byte-identical to the text
+    /// protocol's `metrics` verb body).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let frame = encode_frame(TAG_METRICS, &[], self.crc);
+        self.stream.write_all(&frame)?;
+        let (header, body) = self.read_frame()?;
+        if header.tag != TAG_METRICS {
+            return Err(io::Error::other(frame_error(&header, &body)));
+        }
+        decode_metrics_payload(&body).map_err(io::Error::other)
     }
 
     /// Graceful close: send a `QUIT` frame and drop the connection.

@@ -37,6 +37,7 @@ pub mod coalesce;
 pub mod failpoints;
 pub mod readiness;
 pub mod shutdown;
+pub mod telemetry;
 
 pub use coalesce::Coalescer;
 pub use shutdown::{install_termination_handler, ShutdownSignal};

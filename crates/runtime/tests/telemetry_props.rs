@@ -1,0 +1,139 @@
+//! Property tests for the telemetry histogram: bucket boundaries
+//! partition `u64` exactly, concurrent recording from pool workers
+//! loses nothing and matches sequential recording bucket for bucket,
+//! and snapshot merging is associative and commutative (the contract
+//! that makes per-worker histograms foldable into one readout).
+
+use privtree_runtime::telemetry::{
+    bucket_index, bucket_upper, Histogram, HistogramSnapshot, BUCKETS,
+};
+use privtree_runtime::WorkerPool;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic value stream with a heavy-tailed spread (latencies
+/// span nine decades; uniform draws would leave high octaves untested).
+fn values(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let shift = (state >> 58) as u32; // 0..64
+            state >> shift.min(63)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every value lands in exactly one bucket: at or below its
+    /// bucket's upper boundary, strictly above the previous bucket's.
+    #[test]
+    fn buckets_partition_u64(seed in 0u64..1_000_000) {
+        for v in values(seed, 64) {
+            let i = bucket_index(v);
+            prop_assert!(i < BUCKETS);
+            prop_assert!(v <= bucket_upper(i), "v={v} above bucket {i}");
+            if i > 0 {
+                prop_assert!(v > bucket_upper(i - 1), "v={v} below bucket {i}");
+            }
+        }
+    }
+
+    /// Recording a workload from pool workers yields the same
+    /// snapshot — bucket for bucket, count, sum, and max — as
+    /// recording it sequentially, for every worker count.
+    #[test]
+    fn concurrent_recording_matches_sequential(
+        seed in 0u64..100_000,
+        n in 1usize..2_000,
+        workers in 1usize..6,
+    ) {
+        let vals = values(seed, n);
+        let sequential = Histogram::new();
+        for &v in &vals {
+            sequential.observe(v);
+        }
+        let concurrent = Arc::new(Histogram::new());
+        let pool = WorkerPool::new(workers);
+        pool.map_ref(&vals, |&v| concurrent.observe(v));
+        prop_assert_eq!(sequential.snapshot(), concurrent.snapshot());
+    }
+
+    /// Snapshot merging is associative and commutative, and matches
+    /// observing the concatenated stream into one histogram.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        sa in 0u64..100_000,
+        sb in 0u64..100_000,
+        sc in 0u64..100_000,
+        n in 1usize..300,
+    ) {
+        let observe_all = |streams: &[&[u64]]| {
+            let h = Histogram::new();
+            for s in streams {
+                for &v in *s {
+                    h.observe(v);
+                }
+            }
+            h.snapshot()
+        };
+        let (va, vb, vc) = (values(sa, n), values(sb, n + 1), values(sc, n + 2));
+        let (a, b, c) = (
+            observe_all(&[&va]),
+            observe_all(&[&vb]),
+            observe_all(&[&vc]),
+        );
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = b.clone();
+        right_inner.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+        // b ⊕ a == a ⊕ b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        // merge == one histogram over the concatenation
+        prop_assert_eq!(&left, &observe_all(&[&va, &vb, &vc]));
+        // the empty snapshot is the identity
+        let mut with_empty = left.clone();
+        with_empty.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&with_empty, &left);
+    }
+
+    /// Quantile readouts are monotone in `q`, bounded by the observed
+    /// max, and within one bucket's relative error of the true
+    /// rank-order statistic.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(seed in 0u64..100_000, n in 1usize..1_000) {
+        let mut vals = values(seed, n);
+        let h = Histogram::new();
+        for &v in &vals {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        vals.sort_unstable();
+        let mut prev = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let got = snap.quantile(q);
+            prop_assert!(got >= prev, "quantile not monotone at q={q}");
+            prop_assert!(got <= snap.max);
+            // the true order statistic shares got's bucket or a lower one
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let truth = vals[rank - 1];
+            prop_assert!(
+                bucket_index(truth) <= bucket_index(got),
+                "q={q}: true {truth} above reported {got}"
+            );
+            prev = got;
+        }
+    }
+}

@@ -96,9 +96,38 @@ use privtree_spatial::sharded::ShardHandle;
 use privtree_spatial::StableBytes;
 
 use crate::format::{crc32, decode_release, encode_release, MAGIC};
-use crate::journal::{self, FsyncPolicy, Journal, JournalOp};
+use crate::journal::{self, FsyncPolicy, Journal, JournalMetrics, JournalOp};
 use crate::view::{open_release_view, ReleaseBytes};
 use crate::StoreError;
+use privtree_runtime::telemetry::{Counter, Registry};
+
+/// Telemetry handles for catalog durability and recovery: the journal
+/// set plus replay/GC/checkpoint counters. Registered once per
+/// registry ([`CatalogMetrics::register`]) and attached with
+/// [`Catalog::attach_metrics`].
+#[derive(Debug)]
+pub struct CatalogMetrics {
+    /// Journal append/fsync handles (shared with the active segment).
+    pub journal: Arc<JournalMetrics>,
+    /// Journal records replayed on top of the manifest by opens.
+    pub replayed_ops: Arc<Counter>,
+    /// Superseded release files (and rotated segments) unlinked by GC.
+    pub gc_unlinked: Arc<Counter>,
+    /// Checkpoints folded into the manifest.
+    pub checkpoints: Arc<Counter>,
+}
+
+impl CatalogMetrics {
+    /// Get-or-create the catalog metric set in `registry`.
+    pub fn register(registry: &Registry) -> Arc<Self> {
+        Arc::new(Self {
+            journal: JournalMetrics::register(registry),
+            replayed_ops: registry.counter("journal_replayed_ops_total", &[]),
+            gc_unlinked: registry.counter("catalog_gc_unlinked_total", &[]),
+            checkpoints: registry.counter("catalog_checkpoints_total", &[]),
+        })
+    }
+}
 
 /// The manifest file name inside a catalog directory.
 pub const MANIFEST_FILE: &str = "catalog.toml";
@@ -250,6 +279,8 @@ pub struct Catalog {
     /// Journal records applied by the last open.
     replayed: usize,
     sweep: RecoverySweep,
+    /// Telemetry handles, when attached (see [`Catalog::attach_metrics`]).
+    metrics: Option<Arc<CatalogMetrics>>,
 }
 
 /// Map a release key to a filesystem-safe stem: keep `[A-Za-z0-9._-]`,
@@ -445,6 +476,7 @@ impl Catalog {
             journal_seq: parsed.journal_seq,
             replayed: 0,
             sweep: RecoverySweep::default(),
+            metrics: None,
         };
         if let Some(name) = catalog.journal_file.clone() {
             // the replay must run before the sweep: a post-checkpoint
@@ -494,6 +526,7 @@ impl Catalog {
             journal_seq: 0,
             replayed: 0,
             sweep: RecoverySweep::default(),
+            metrics: None,
         };
         catalog.write_manifest()?;
         // a writer may have died before its first manifest landed —
@@ -568,6 +601,18 @@ impl Catalog {
         self.keep = keep.max(1);
     }
 
+    /// Attach telemetry: journal appends/fsyncs, replays, GC unlinks,
+    /// and checkpoints record through `metrics` from here on. Records
+    /// the replay the last open already performed, so a registry
+    /// attached right after [`Catalog::open`] still sees it.
+    pub fn attach_metrics(&mut self, metrics: Arc<CatalogMetrics>) {
+        metrics.replayed_ops.add(self.replayed as u64);
+        if let Some(journal) = self.journal.as_mut() {
+            journal.set_metrics(Arc::clone(&metrics.journal));
+        }
+        self.metrics = Some(metrics);
+    }
+
     /// Whether mutations are journaled (see [`Catalog::enable_journal`]).
     pub fn journaling(&self) -> bool {
         self.journal.is_some()
@@ -617,7 +662,10 @@ impl Catalog {
             return Ok(());
         }
         let name = journal::segment_name(self.journal_seq);
-        let journal = Journal::create(&self.dir.join(&name), self.journal_seq, policy)?;
+        let mut journal = Journal::create(&self.dir.join(&name), self.journal_seq, policy)?;
+        if let Some(m) = &self.metrics {
+            journal.set_metrics(Arc::clone(&m.journal));
+        }
         let saved = self.journal_file.take();
         self.journal_file = Some(name);
         if let Err(e) = self.write_manifest() {
@@ -646,7 +694,10 @@ impl Catalog {
         journal.sync()?;
         let policy = journal.policy();
         let name = journal::segment_name(seq);
-        let next = Journal::create(&self.dir.join(&name), seq, policy)?;
+        let mut next = Journal::create(&self.dir.join(&name), seq, policy)?;
+        if let Some(m) = &self.metrics {
+            next.set_metrics(Arc::clone(&m.journal));
+        }
         let saved_seq = self.journal_seq;
         let saved_file = self.journal_file.clone();
         self.journal_seq = seq;
@@ -660,12 +711,19 @@ impl Catalog {
             return Err(e);
         }
         self.journal = Some(next);
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc();
+        }
         if let Some(old) = saved_file {
             fail_point("journal.gc", "unlink").map_err(|f| StoreError::Io {
                 context: format!("unlink rotated segment {old}"),
                 message: f.to_string(),
             })?;
-            let _ = std::fs::remove_file(self.dir.join(&old));
+            if std::fs::remove_file(self.dir.join(&old)).is_ok() {
+                if let Some(m) = &self.metrics {
+                    m.gc_unlinked.inc();
+                }
+            }
         }
         Ok(seq)
     }
@@ -772,7 +830,11 @@ impl Catalog {
                 context: format!("unlink superseded {file}"),
                 message: f.to_string(),
             })?;
-            let _ = std::fs::remove_file(self.dir.join(file));
+            if std::fs::remove_file(self.dir.join(file)).is_ok() {
+                if let Some(m) = &self.metrics {
+                    m.gc_unlinked.inc();
+                }
+            }
         }
         Ok(())
     }

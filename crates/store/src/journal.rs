@@ -51,10 +51,43 @@
 
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::catalog::{atomic_write, fail_point, ReleaseFormat};
 use crate::format::crc32;
 use crate::StoreError;
+use privtree_runtime::telemetry::{self, Counter, Histogram, Registry};
+
+/// Telemetry handles for the journal's durability path. Registered
+/// once per registry ([`JournalMetrics::register`]) and attached to a
+/// journal (usually via `Catalog::attach_metrics`); appends and
+/// fsyncs count always, while the `_us` histograms record only when
+/// `telemetry::enabled()` — so the clock is never read on an
+/// uninstrumented hot path.
+#[derive(Debug)]
+pub struct JournalMetrics {
+    /// Wall time of one append (write + policy-driven fsync), µs.
+    pub append_us: Arc<Histogram>,
+    /// Wall time of one `fdatasync`, µs (policy-driven or explicit).
+    pub fsync_us: Arc<Histogram>,
+    /// Records appended.
+    pub appends: Arc<Counter>,
+    /// Explicit or policy-driven fsyncs issued.
+    pub fsyncs: Arc<Counter>,
+}
+
+impl JournalMetrics {
+    /// Get-or-create the journal metric set in `registry`.
+    pub fn register(registry: &Registry) -> Arc<Self> {
+        Arc::new(Self {
+            append_us: registry.histogram("journal_append_us", &[]),
+            fsync_us: registry.histogram("journal_fsync_us", &[]),
+            appends: registry.counter("journal_appends_total", &[]),
+            fsyncs: registry.counter("journal_fsyncs_total", &[]),
+        })
+    }
+}
 
 /// Magic bytes opening every journal segment.
 pub const JOURNAL_MAGIC: [u8; 8] = *b"PRIVTJNL";
@@ -342,6 +375,8 @@ pub struct Journal {
     /// `len` is garbage we could not remove, so further appends would
     /// write an unreplayable log. Refuse them instead.
     wedged: bool,
+    /// Telemetry handles, when the owning catalog attached them.
+    metrics: Option<Arc<JournalMetrics>>,
 }
 
 impl Journal {
@@ -374,6 +409,7 @@ impl Journal {
             policy,
             appends_since_sync: 0,
             wedged: false,
+            metrics: None,
         };
         journal
             .file
@@ -479,6 +515,7 @@ impl Journal {
             policy,
             appends_since_sync: 0,
             wedged: false,
+            metrics: None,
         };
         Ok((journal, records))
     }
@@ -499,6 +536,12 @@ impl Journal {
         self.policy = policy;
     }
 
+    /// Attach telemetry handles; subsequent appends and fsyncs record
+    /// through them.
+    pub fn set_metrics(&mut self, metrics: Arc<JournalMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
     /// Append one record and make it durable per the fsync policy.
     /// Returns the record's sequence number. On an append **error** the
     /// file is rolled back to the previous record boundary, so a retry
@@ -513,6 +556,8 @@ impl Journal {
         }
         let seq = self.next_seq;
         let record = encode_record(seq, op);
+        let clocked = self.metrics.is_some() && telemetry::enabled();
+        let append_start = clocked.then(Instant::now);
         if let Err(f) = fail_point("journal.append", "write") {
             if f.is_crash() {
                 // model a torn append: half the record reached the disk
@@ -548,9 +593,16 @@ impl Journal {
                     message: f.to_string(),
                 });
             }
+            let sync_start = clocked.then(Instant::now);
             if let Err(e) = self.file.sync_data() {
                 self.rollback_to(self.len);
                 return Err(StoreError::io(format!("sync {}", self.path.display()), e));
+            }
+            if let Some(m) = &self.metrics {
+                m.fsyncs.inc();
+                if let Some(t) = sync_start {
+                    m.fsync_us.observe(t.elapsed().as_micros() as u64);
+                }
             }
             self.appends_since_sync = 0;
         } else {
@@ -558,6 +610,12 @@ impl Journal {
         }
         self.len = appended;
         self.next_seq += 1;
+        if let Some(m) = &self.metrics {
+            m.appends.inc();
+            if let Some(t) = append_start {
+                m.append_us.observe(t.elapsed().as_micros() as u64);
+            }
+        }
         Ok(seq)
     }
 
@@ -568,9 +626,16 @@ impl Journal {
             context: format!("sync {}", self.path.display()),
             message: f.to_string(),
         })?;
+        let sync_start = (self.metrics.is_some() && telemetry::enabled()).then(Instant::now);
         self.file
             .sync_data()
             .map_err(|e| StoreError::io(format!("sync {}", self.path.display()), e))?;
+        if let Some(m) = &self.metrics {
+            m.fsyncs.inc();
+            if let Some(t) = sync_start {
+                m.fsync_us.observe(t.elapsed().as_micros() as u64);
+            }
+        }
         self.appends_since_sync = 0;
         Ok(())
     }

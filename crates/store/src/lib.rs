@@ -63,12 +63,14 @@ pub mod frame;
 pub mod journal;
 pub mod view;
 
-pub use catalog::{Catalog, CatalogEntry, LoadedRelease, RecoverySweep, ReleaseFormat};
+pub use catalog::{
+    Catalog, CatalogEntry, CatalogMetrics, LoadedRelease, RecoverySweep, ReleaseFormat,
+};
 pub use format::{
     decode_release, encode_release, encode_release_unaligned, encoded_len, HEADER_LEN, MAGIC,
     VERSION,
 };
-pub use journal::{FsyncPolicy, Journal, JournalOp, JournalRecord};
+pub use journal::{FsyncPolicy, Journal, JournalMetrics, JournalOp, JournalRecord};
 pub use view::{decode_release_view, open_release_view, ReleaseBytes, ReleaseView};
 
 use privtree_spatial::frozen::FlatLayoutError;
